@@ -1,0 +1,71 @@
+// Ablation bench: remove one methodology rule at a time and measure the
+// damage at the final snapshot — the quantitative version of the design
+// rationale in DESIGN.md §5 and the paper's §3/§4/§7 discussion.
+#include "bench_common.h"
+#include "core/longitudinal.h"
+
+using namespace offnet;
+
+namespace {
+
+core::SnapshotResult run_with(const scan::World& world,
+                              core::PipelineOptions options) {
+  core::LongitudinalRunner runner(world, scan::ScannerKind::kRapid7,
+                                  options);
+  return runner.run_one(net::snapshot_count() - 1);
+}
+
+}  // namespace
+
+int main() {
+  const auto& world = bench::world();
+
+  struct Variant {
+    const char* name;
+    core::PipelineOptions options;
+  };
+  const Variant variants[] = {
+      {"full methodology", {}},
+      {"- dNSName containment (§4.3)", {.disable_subset_rule = true}},
+      {"- edge-conflict priority (§7)",
+       {.disable_edge_conflict_rule = true}},
+      {"- Netflix nginx rule (§4.4)", {.disable_nginx_rule = true}},
+      {"+ Cloudflare SSL filter (§7)",
+       {.apply_cloudflare_ssl_filter = true}},
+  };
+
+  bench::heading("Ablations at 2021-04 (confirmed off-net ASes)");
+  net::TextTable confirmed({"variant", "Google", "Netflix", "Facebook",
+                            "Akamai", "Cloudflare", "Apple", "Twitter"});
+  net::TextTable candidates({"variant", "Google", "Netflix", "Facebook",
+                             "Akamai", "Cloudflare", "Apple", "Twitter"});
+  for (const Variant& v : variants) {
+    std::fprintf(stderr, "[bench] variant: %s\n", v.name);
+    auto result = run_with(world, v.options);
+    std::vector<std::string> conf{v.name};
+    std::vector<std::string> cand{v.name};
+    for (const char* hg : {"Google", "Netflix", "Facebook", "Akamai",
+                           "Cloudflare", "Apple", "Twitter"}) {
+      const core::HgFootprint* fp = result.find(hg);
+      conf.push_back(std::to_string(fp->confirmed_or_ases.size()));
+      cand.push_back(std::to_string(fp->candidate_ases.size()));
+    }
+    confirmed.add_row(std::move(conf));
+    candidates.add_row(std::move(cand));
+  }
+  std::fputs(confirmed.to_string().c_str(), stdout);
+  std::printf("\ncandidate (certificate-only) ASes:\n");
+  std::fputs(candidates.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nReading:\n"
+      " - without dNSName containment, Cloudflare's universal-SSL\n"
+      "   customers flood the candidates (the paper's §3 challenge);\n"
+      " - without edge-conflict priority, Apple/Twitter gain phantom\n"
+      "   confirmed off-nets on Akamai hardware;\n"
+      " - without the nginx special case, Netflix confirmations collapse\n"
+      "   (its appliances expose no debug headers to scans);\n"
+      " - the Cloudflare SSL filter (§7 mitigation) removes its\n"
+      "   misidentified footprint without touching other HGs.\n");
+  return 0;
+}

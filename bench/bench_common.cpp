@@ -1,0 +1,67 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace offnet::bench {
+
+bool fast_mode() {
+  const char* env = std::getenv("OFFNET_BENCH_FAST");
+  return env != nullptr && env[0] != '\0';
+}
+
+double as_scale() { return fast_mode() ? 0.05 : 1.0; }
+
+const scan::World& world() {
+  static const scan::World instance = [] {
+    scan::WorldConfig config;
+    if (fast_mode()) {
+      config.topology_scale = 0.05;
+      config.background_scale = 0.001;
+      std::fprintf(stderr,
+                   "[bench] OFFNET_BENCH_FAST set: 1:20 world; compare "
+                   "shapes, not absolute numbers\n");
+    }
+    std::fprintf(stderr, "[bench] building world...\n");
+    return scan::World(config);
+  }();
+  return instance;
+}
+
+std::vector<core::SnapshotResult> run_longitudinal(
+    scan::ScannerKind scanner, core::PipelineOptions options) {
+  std::fprintf(stderr, "[bench] longitudinal %s run: ",
+               std::string(scan::scanner_name(scanner)).c_str());
+  core::LongitudinalRunner runner(world(), scanner, options);
+  auto results = runner.run(0, net::snapshot_count() - 1,
+                            [](const core::SnapshotResult&) {
+                              std::fputc('.', stderr);
+                              std::fflush(stderr);
+                            });
+  std::fputc('\n', stderr);
+  return results;
+}
+
+std::size_t footprint_size(const core::SnapshotResult& result,
+                           std::string_view hg) {
+  const core::HgFootprint* fp = result.find(hg);
+  return fp == nullptr ? 0 : analysis::effective_footprint(*fp).size();
+}
+
+void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string compare(double paper, double measured) {
+  std::string out = "paper ";
+  out += net::TextTable::format_double(paper, 0);
+  out += " / measured ";
+  out += net::TextTable::format_double(measured, 0);
+  if (paper > 0) {
+    out += " (";
+    out += net::TextTable::format_double(measured / paper, 2);
+    out += "x)";
+  }
+  return out;
+}
+
+}  // namespace offnet::bench

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/cohosting.h"
+#include "core/longitudinal.h"
+#include "net/table.h"
+#include "scan/world.h"
+
+namespace offnet::bench {
+
+/// The full-scale simulated world shared by a bench binary. Honours the
+/// OFFNET_BENCH_FAST environment variable (any non-empty value) to build
+/// a 1:20 world for quick iteration — absolute numbers then shrink, but
+/// every shape comparison still holds.
+const scan::World& world();
+
+/// True when running in fast mode.
+bool fast_mode();
+
+/// Factor by which AS-level counts are scaled in fast mode (1.0 in full
+/// mode); paper numbers are multiplied by this before comparison.
+double as_scale();
+
+/// Runs the longitudinal pipeline for one scanner, printing a progress
+/// dot per snapshot to stderr.
+std::vector<core::SnapshotResult> run_longitudinal(
+    scan::ScannerKind scanner = scan::ScannerKind::kRapid7,
+    core::PipelineOptions options = {});
+
+/// The effective (Netflix: envelope) footprint size for one HG in one
+/// result; 0 when absent.
+std::size_t footprint_size(const core::SnapshotResult& result,
+                           std::string_view hg);
+
+/// Section header on stdout.
+void heading(const std::string& title);
+
+/// "paper X vs measured Y (ratio)" formatting.
+std::string compare(double paper, double measured);
+
+}  // namespace offnet::bench

@@ -1,0 +1,76 @@
+// Figure 13 (Appendix A.7): off-net growth per network type and per
+// region for the top-4 HGs. Paper highlights: Akamai's Stub footprint
+// shrinks ~80% in North America while doubling in Asia; Akamai's Small-AS
+// footprint halves; aggressive Stub/Small growth in South America for the
+// other three.
+#include "analysis/demographics.h"
+#include "analysis/regional.h"
+#include "bench_common.h"
+#include "topology/category.h"
+
+using namespace offnet;
+
+int main() {
+  const auto& world = bench::world();
+  auto results = bench::run_longitudinal();
+  const auto snaps = net::study_snapshots();
+
+  const topo::SizeCategory categories[] = {
+      topo::SizeCategory::kStub, topo::SizeCategory::kSmall,
+      topo::SizeCategory::kMedium, topo::SizeCategory::kLarge};
+
+  for (topo::SizeCategory category : categories) {
+    for (const char* hg : {"Google", "Netflix", "Facebook", "Akamai"}) {
+      bench::heading(std::string("Figure 13: ") + hg + " " +
+                     std::string(topo::category_name(category)) +
+                     " ASes per region");
+      net::TextTable table({"snapshot", "Oceania", "Africa", "SouthAm",
+                            "NorthAm", "Asia", "Europe"});
+      for (std::size_t t = 0; t < results.size(); t += 3) {
+        const auto& ases =
+            analysis::effective_footprint(*results[t].find(hg));
+        const auto& cones = world.topology().cone_sizes(t);
+        std::array<std::size_t, topo::kRegionCount> counts{};
+        for (topo::AsId id : ases) {
+          if (topo::categorize(cones[id]) != category) continue;
+          auto c = world.topology().as(id).country;
+          if (c == topo::kNoCountry) continue;
+          counts[static_cast<int>(world.topology().country(c).region)]++;
+        }
+        table.add(snaps[t].to_string(),
+                  counts[static_cast<int>(topo::Region::kOceania)],
+                  counts[static_cast<int>(topo::Region::kAfrica)],
+                  counts[static_cast<int>(topo::Region::kSouthAmerica)],
+                  counts[static_cast<int>(topo::Region::kNorthAmerica)],
+                  counts[static_cast<int>(topo::Region::kAsia)],
+                  counts[static_cast<int>(topo::Region::kEurope)]);
+      }
+      std::fputs(table.to_string().c_str(), stdout);
+    }
+  }
+
+  // Akamai regional-shift shape check.
+  bench::heading("Akamai stub footprint shift (paper: NA shrinks, Asia "
+                 "grows)");
+  auto stub_count = [&](const core::SnapshotResult& r, topo::Region region) {
+    const auto& ases = analysis::effective_footprint(*r.find("Akamai"));
+    const auto& cones = world.topology().cone_sizes(r.snapshot);
+    std::size_t n = 0;
+    for (topo::AsId id : ases) {
+      if (topo::categorize(cones[id]) != topo::SizeCategory::kStub) continue;
+      auto c = world.topology().as(id).country;
+      if (c != topo::kNoCountry &&
+          world.topology().country(c).region == region) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  std::printf("North America: %zu -> %zu\n",
+              stub_count(results.front(), topo::Region::kNorthAmerica),
+              stub_count(results.back(), topo::Region::kNorthAmerica));
+  std::printf("Asia:          %zu -> %zu\n",
+              stub_count(results.front(), topo::Region::kAsia),
+              stub_count(results.back(), topo::Region::kAsia));
+  return 0;
+}

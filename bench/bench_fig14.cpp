@@ -1,0 +1,33 @@
+// Figure 14 (Appendix A.8): ASes hosting >=1 top-4 HG in at least 25% /
+// 50% of the snapshots, with the share they represent of all ASes that
+// ever hosted any examined HG. Also reports the ~5% per-snapshot
+// newcomer share.
+#include "analysis/cohosting.h"
+#include "bench_common.h"
+
+using namespace offnet;
+
+int main() {
+  auto results = bench::run_longitudinal();
+  analysis::CohostingAnalysis cohosting(bench::world().topology(), results);
+  const auto snaps = net::study_snapshots();
+
+  for (double fraction : {0.25, 0.50}) {
+    bench::heading("Figure 14: hosts with >=1 top-4 HG in >=" +
+                   net::percent(fraction) + " of snapshots");
+    auto dists = cohosting.persistent_distributions(fraction);
+    net::TextTable table({"snapshot", "1 HG", "2 HGs", "3 HGs", "4 HGs",
+                          "total", "share of ever-hosting"});
+    for (std::size_t t = 0; t < dists.size(); ++t) {
+      const auto& d = dists[t];
+      table.add(snaps[t].to_string(), d.hosted_n[1], d.hosted_n[2],
+                d.hosted_n[3], d.hosted_n[4], d.total_top4,
+                net::percent(d.top4_share));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  std::printf("\naverage newcomer share per snapshot: %s (paper: ~5%%)\n",
+              net::percent(cohosting.average_newcomer_share()).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: off-net footprint growth of the top-4 Hypergiants, including
+// the three Netflix measurement variants (initial / with expired certs /
+// with expired certs and non-TLS restoration).
+#include "bench_common.h"
+
+using namespace offnet;
+
+int main() {
+  auto results = bench::run_longitudinal();
+
+  bench::heading("Figure 3: top-4 off-net growth (#ASes)");
+  std::printf(
+      "paper anchors: Google 1044->3810; Facebook 0 (until mid-2016)"
+      " ->2214;\nAkamai 978 ->peak 1463 (2018-04)-> 1094; Netflix"
+      " 47->2115 with the\n2017-04..2019-10 expired-cert dip in the"
+      " 'initial' line only.\n\n");
+
+  net::TextTable table({"snapshot", "Google", "Facebook", "Akamai",
+                        "Netflix(initial)", "Netflix(w/ expired)",
+                        "Netflix(w/ expired,non-tls)"});
+  const auto snaps = net::study_snapshots();
+  for (const auto& result : results) {
+    const core::HgFootprint* nf = result.find("Netflix");
+    table.add(snaps[result.snapshot].to_string(),
+              result.find("Google")->confirmed_or_ases.size(),
+              result.find("Facebook")->confirmed_or_ases.size(),
+              result.find("Akamai")->confirmed_or_ases.size(),
+              nf->confirmed_or_ases.size(),
+              nf->confirmed_expired_ases.size(),
+              nf->confirmed_expired_http_ases.size());
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Shape summary.
+  auto g0 = results.front().find("Google")->confirmed_or_ases.size();
+  auto g30 = results.back().find("Google")->confirmed_or_ases.size();
+  std::printf("\nGoogle 2013->2021: %s\n",
+              bench::compare(3810.0 / 1044.0,
+                             static_cast<double>(g30) / g0).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: percentage of each country's Internet users within the
+// customer cones of ASes hosting Google off-nets (April 2021), versus
+// the direct coverage of Figure 7. Paper: worldwide coverage rises from
+// 57.8% to 68.2%; Europe 58.8% -> 77.5%; North America +43.9%.
+#include "analysis/coverage.h"
+#include "bench_common.h"
+#include "core/longitudinal.h"
+
+using namespace offnet;
+
+int main() {
+  const auto& world = bench::world();
+  core::LongitudinalRunner runner(world);
+  auto result = runner.run_one(net::snapshot_count() - 1);
+  analysis::CoverageAnalysis coverage(world.topology(), world.population());
+  std::size_t t = result.snapshot;
+  const auto& hosts = analysis::effective_footprint(*result.find("Google"));
+
+  bench::heading("Figure 8: Google coverage incl. customer cones, 2021-04");
+  double direct = coverage.worldwide(hosts, t, false);
+  double cones = coverage.worldwide(hosts, t, true);
+  std::printf("worldwide direct:   %s   (paper 57.8%%)\n",
+              net::percent(direct).c_str());
+  std::printf("worldwide w/ cones: %s   (paper 68.2%%)\n",
+              net::percent(cones).c_str());
+
+  net::TextTable table({"region", "direct", "w/ customer cones", "uplift"});
+  for (topo::Region region : topo::all_regions()) {
+    double d = coverage.regional(region, hosts, t, false);
+    double c = coverage.regional(region, hosts, t, true);
+    table.add(topo::region_name(region), net::percent(d), net::percent(c),
+              d > 0 ? net::percent(c / d - 1.0) : "-");
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  bench::heading("Countries with the largest cone uplift (paper: Turkey, "
+                 "Colombia, Russia)");
+  auto direct_c = coverage.per_country(hosts, t);
+  auto cones_c = coverage.per_country_with_cones(hosts, t);
+  std::vector<std::pair<double, topo::CountryId>> uplift;
+  for (std::size_t i = 0; i < direct_c.size(); ++i) {
+    uplift.emplace_back(cones_c[i].fraction - direct_c[i].fraction,
+                        direct_c[i].country);
+  }
+  std::sort(uplift.rbegin(), uplift.rend());
+  net::TextTable top({"country", "direct", "w/ cones"});
+  for (std::size_t i = 0; i < 8 && i < uplift.size(); ++i) {
+    topo::CountryId c = uplift[i].second;
+    top.add(world.topology().country(c).name,
+            net::percent(direct_c[c].fraction),
+            net::percent(cones_c[c].fraction));
+  }
+  std::fputs(top.to_string().c_str(), stdout);
+  return 0;
+}

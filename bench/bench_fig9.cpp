@@ -1,0 +1,60 @@
+// Figure 9: Facebook's per-country user coverage, Oct 2017 vs Apr 2021.
+// Paper: Africa +115% (34.7% -> 74.8%), Europe +136% (16.9% -> 39.8%),
+// South America +32% (51.6% -> 68%).
+#include "analysis/coverage.h"
+#include "bench_common.h"
+#include "core/longitudinal.h"
+
+using namespace offnet;
+
+int main() {
+  const auto& world = bench::world();
+  core::LongitudinalRunner runner(world);
+  auto t2017 = net::snapshot_index(net::YearMonth(2017, 10)).value();
+  auto t2021 = net::snapshot_count() - 1;
+  auto early = runner.run_one(t2017);
+  auto late = runner.run_one(t2021);
+  analysis::CoverageAnalysis coverage(world.topology(), world.population());
+
+  bench::heading("Figure 9: Facebook coverage, 2017-10 vs 2021-04");
+  const auto& hosts_2017 =
+      analysis::effective_footprint(*early.find("Facebook"));
+  const auto& hosts_2021 =
+      analysis::effective_footprint(*late.find("Facebook"));
+  std::printf("footprint: %zu ASes (2017) -> %zu ASes (2021)\n\n",
+              hosts_2017.size(), hosts_2021.size());
+
+  struct PaperRegion {
+    topo::Region region;
+    double paper_2017, paper_2021;
+  };
+  const PaperRegion paper[] = {
+      {topo::Region::kAfrica, 34.7, 74.8},
+      {topo::Region::kEurope, 16.9, 39.8},
+      {topo::Region::kSouthAmerica, 51.6, 68.0},
+  };
+
+  net::TextTable table({"region", "2017-10", "2021-04", "paper 2017",
+                        "paper 2021"});
+  for (topo::Region region : topo::all_regions()) {
+    double d17 = coverage.regional(region, hosts_2017, t2017);
+    double d21 = coverage.regional(region, hosts_2021, t2021);
+    std::string p17 = "-";
+    std::string p21 = "-";
+    for (const auto& row : paper) {
+      if (row.region == region) {
+        p17 = net::TextTable::format_double(row.paper_2017, 1) + "%";
+        p21 = net::TextTable::format_double(row.paper_2021, 1) + "%";
+      }
+    }
+    table.add(topo::region_name(region), net::percent(d17),
+              net::percent(d21), p17, p21);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  double w17 = coverage.worldwide(hosts_2017, t2017);
+  double w21 = coverage.worldwide(hosts_2021, t2021);
+  std::printf("\nworldwide: %s -> %s (coverage must rise everywhere)\n",
+              net::percent(w17).c_str(), net::percent(w21).c_str());
+  return 0;
+}

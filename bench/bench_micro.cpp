@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the pipeline's hot paths:
+// longest-prefix match, IP-to-AS construction, certificate validation,
+// fingerprint matching, and a full pipeline run on a small world.
+#include <benchmark/benchmark.h>
+
+#include "bgp/feed.h"
+#include "core/pipeline.h"
+#include "http/fingerprint.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+#include "scan/world.h"
+#include "tls/validator.h"
+
+using namespace offnet;
+
+namespace {
+
+const scan::World& micro_world() {
+  static const scan::World world = [] {
+    scan::WorldConfig config;
+    config.topology_scale = 0.02;
+    config.background_scale = 0.0005;
+    return scan::World(config);
+  }();
+  return world;
+}
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  net::Rng rng(1);
+  net::PrefixTrie<std::uint32_t> trie;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto len = static_cast<std::uint8_t>(rng.uniform(12, 24));
+    trie.insert(net::Prefix(net::IPv4(static_cast<std::uint32_t>(
+                                rng.uniform(0, 0xffffffffll))),
+                            len),
+                static_cast<std::uint32_t>(i));
+  }
+  std::vector<net::IPv4> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.emplace_back(
+        static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffll)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Ip2AsBuild(benchmark::State& state) {
+  const auto& world = micro_world();
+  bgp::FeedSimulator sim(world.topology(), bgp::FeedConfig{});
+  auto feed_a = sim.monthly_feed(30, bgp::Collector::kRipeRis);
+  auto feed_b = sim.monthly_feed(30, bgp::Collector::kRouteViews);
+  for (auto _ : state) {
+    bgp::Ip2AsBuilder builder;
+    builder.add_feed(feed_a);
+    builder.add_feed(feed_b);
+    benchmark::DoNotOptimize(builder.build());
+  }
+}
+BENCHMARK(BM_Ip2AsBuild);
+
+void BM_CertValidation(benchmark::State& state) {
+  const auto& world = micro_world();
+  tls::CertValidator validator(world.certs(), world.roots());
+  auto at = net::DayTime::from(net::YearMonth(2020, 1));
+  tls::CertId n = static_cast<tls::CertId>(world.certs().size());
+  tls::CertId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.validate(i, at));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_CertValidation);
+
+void BM_FingerprintMatch(benchmark::State& state) {
+  http::HeaderFingerprintSet set;
+  set.patterns.push_back(http::HeaderFingerprint::parse("Server:gws*"));
+  set.patterns.push_back(http::HeaderFingerprint::parse("X-FB-Debug:"));
+  set.patterns.push_back(http::HeaderFingerprint::parse("X-Netflix.*:"));
+  http::HeaderMap headers;
+  headers.add("Content-Type", "text/html");
+  headers.add("Cache-Control", "max-age=3600");
+  headers.add("Server", "gws");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.matches(headers));
+  }
+}
+BENCHMARK(BM_FingerprintMatch);
+
+void BM_ScanGeneration(benchmark::State& state) {
+  const auto& world = micro_world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.scan(30, scan::ScannerKind::kRapid7));
+  }
+}
+BENCHMARK(BM_ScanGeneration);
+
+void BM_PipelineRun(benchmark::State& state) {
+  const auto& world = micro_world();
+  auto snap = world.scan(30, scan::ScannerKind::kRapid7);
+  core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                world.certs(), world.roots());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(snap));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(snap.certs().size()));
+}
+BENCHMARK(BM_PipelineRun);
+
+void BM_ConeComputation(benchmark::State& state) {
+  const auto& world = micro_world();
+  const auto& graph = world.topology().graph();
+  const auto& alive = world.topology().alive_mask(30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.customer_cone_sizes(alive));
+  }
+}
+BENCHMARK(BM_ConeComputation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

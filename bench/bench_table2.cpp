@@ -1,0 +1,81 @@
+// Table 2: statistics for the three scan corpuses (Rapid7, Censys,
+// certigo active scan) in November 2019 — #IPs with certs, #ASes with
+// certs, scanner-unique ASes, and #ASes with Hypergiant certificates.
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+
+using namespace offnet;
+
+int main() {
+  const auto& world = bench::world();
+  const std::size_t t = scan::certigo_snapshot();  // 2019-10/11
+
+  bench::heading("Table 2: scan corpuses, Nov 2019");
+  std::printf(
+      "paper rows:  R7: 35,009,714 IPs, 57,769 ASes, 84 unique, 3788 any-HG"
+      " (G 3137 / N 1760 / F 1737 / A 1235)\n"
+      "             CS: 34,235,590 IPs, 58,183 ASes, 211 unique, 3974 any-HG"
+      " (G 3355 / N 1689 / F 1746 / A 1248)\n"
+      "             AC: 41,357,388 IPs, 59,178 ASes, 519 unique, 3802 any-HG"
+      " (G 3149 / N 1715 / F 1762 / A 1236)\n"
+      "(IP counts below are scaled back up by the background scale "
+      "factor %.0f)\n\n",
+      world.report_scale());
+
+  struct Row {
+    scan::ScannerKind kind;
+    core::SnapshotResult result;
+    std::unordered_set<net::Asn> ases;
+    std::size_t ips = 0;
+  };
+  std::vector<Row> rows;
+  for (auto kind : {scan::ScannerKind::kRapid7, scan::ScannerKind::kCensys,
+                    scan::ScannerKind::kCertigo}) {
+    if (!world.scanner_available(t, kind)) continue;
+    auto snap = world.scan(t, kind);
+    core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                  world.certs(), world.roots());
+    Row row{kind, pipeline.run(snap), {}, snap.certs().size()};
+    const auto& map = world.ip2as().at(t);
+    for (const auto& rec : snap.certs()) {
+      for (net::Asn asn : map.lookup(rec.ip)) row.ases.insert(asn);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  net::TextTable table({"Scan", "#IPs w/ certs (scaled)", "#ASes w/ cert",
+                        "unique ASes", "any HG", "Google", "Netflix",
+                        "Facebook", "Akamai"});
+  for (const Row& row : rows) {
+    // Unique = ASes seen only by this scanner.
+    std::size_t unique = 0;
+    for (net::Asn asn : row.ases) {
+      bool elsewhere = false;
+      for (const Row& other : rows) {
+        if (other.kind != row.kind && other.ases.contains(asn)) {
+          elsewhere = true;
+        }
+      }
+      if (!elsewhere) ++unique;
+    }
+    auto hg_count = [&](std::string_view name) {
+      const core::HgFootprint* fp = row.result.find(name);
+      return fp == nullptr ? std::size_t{0} : fp->candidate_ases.size();
+    };
+    table.add(scan::scanner_abbrev(row.kind),
+              net::with_commas(static_cast<long long>(
+                  static_cast<double>(row.ips) * world.report_scale())),
+              net::with_commas(static_cast<long long>(row.ases.size())),
+              unique, row.result.stats.ases_with_any_hg, hg_count("Google"),
+              hg_count("Netflix"), hg_count("Facebook"), hg_count("Akamai"));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks: AC sees ~15-20%% more IPs than R7/CS; AS-level HG\n"
+      "footprints are nearly identical across scanners; CS uncovers the\n"
+      "most Google ASes (SNI-aware scanning).\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Section 5 validation experiments: ground-truth accuracy (the paper's
+// operator survey: 89-95% of host ASes uncovered), ZGrab cross-domain
+// validation (89.7% of probes correctly fail, ~97% of the unexpected
+// successes on Akamai), the reverse test (0.1% of non-inferred IPs
+// validate; 98% of those are inferred off-nets), comparison against
+// earlier per-HG studies, the learned fingerprints (Tables 1/4), and the
+// §4.3 containment-rule ablation.
+#include "analysis/validation.h"
+#include "dns/baselines.h"
+#include "core/known_headers.h"
+#include "bench_common.h"
+#include "core/longitudinal.h"
+
+using namespace offnet;
+
+int main() {
+  const auto& world = bench::world();
+  core::LongitudinalRunner runner(world);
+  // The survey analyzed data of Nov 30, 2020 -> snapshot 2020-10.
+  auto survey_t = net::snapshot_index(net::YearMonth(2020, 10)).value();
+  auto result = runner.run_one(survey_t);
+
+  bench::heading("Operator-survey equivalent: measured vs ground truth "
+                 "(2020-10)");
+  std::printf("paper: 89-95%% of host ASes uncovered; ~6%% of identified "
+              "ASes not on one HG's list.\n\n");
+  net::TextTable accuracy({"Hypergiant", "measured", "truth", "recall",
+                           "precision"});
+  for (const char* hg :
+       {"Google", "Netflix", "Facebook", "Akamai", "Alibaba", "Amazon"}) {
+    auto acc = analysis::compare_to_ground_truth(world, result, hg);
+    accuracy.add(hg, acc.measured, acc.truth, net::percent(acc.recall()),
+                 net::percent(acc.precision()));
+  }
+  std::fputs(accuracy.to_string().c_str(), stdout);
+
+  bench::heading("ZGrab cross-domain validation (Nov 2019 equivalent)");
+  auto zgrab_t = scan::certigo_snapshot();
+  auto zgrab_result = runner.run_one(zgrab_t);
+  auto cross = analysis::cross_domain_validation(world, zgrab_result);
+  std::printf("probes: %zu\n", cross.probes);
+  std::printf("correctly failing: %s (paper 89.7%%)\n",
+              net::percent(cross.failing_share()).c_str());
+  std::printf("of validating probes, on Akamai-inferred IPs: %s "
+              "(paper 97%%)\n",
+              net::percent(cross.akamai_share_of_validated()).c_str());
+
+  bench::heading("Reverse test: non-inferred IPs asked for HG domains "
+                 "(Nov 2020 equivalent)");
+  auto reverse_snap = world.scan(survey_t, scan::ScannerKind::kRapid7);
+  auto reverse = analysis::reverse_validation(world, result, reverse_snap);
+  std::printf("sampled IPs: %zu (25%% sample)\n", reverse.sampled_ips);
+  std::printf("validating (scale-corrected): %s (paper 0.1%%)\n",
+              net::percent(reverse.scale_corrected_valid_share(
+                               world.report_scale()))
+                  .c_str());
+  std::printf("of validating IPs, inferred off-nets: %s (paper 98%%)\n",
+              net::percent(reverse.inferred_share_of_valid()).c_str());
+
+  bench::heading("Comparison to earlier techniques (reimplemented "
+                 "baselines, §1/§5)");
+  struct Earlier {
+    const char* study;
+    const char* hg;
+    net::YearMonth month;
+    bool ecs;  // true: ECS sweep, false: hostname-pattern enumeration
+    const char* paper;
+  };
+  const Earlier studies[] = {
+      {"ECS mapping (Calder et al.)", "Google", net::YearMonth(2016, 4),
+       true, "1445 ASes; ours covered 98% + 283 more"},
+      {"FNA hostname guessing 2018", "Facebook", net::YearMonth(2018, 4),
+       false, "1201 ASes; ours covered 96%"},
+      {"FNA hostname guessing 2019", "Facebook", net::YearMonth(2019, 10),
+       false, "1704 ASes; ours covered 94%"},
+      {"FNA hostname guessing 2021", "Facebook", net::YearMonth(2021, 4),
+       false, "2187 ASes; ours covered 95%"},
+      {"Open Connect DNS names", "Netflix", net::YearMonth(2017, 4), false,
+       "743 ASes in May 2017; we report 769 in Apr 2017"},
+  };
+  net::TextTable earlier({"study", "baseline #ASes", "we uncover", "extra",
+                          "paper"});
+  for (const Earlier& s : studies) {
+    auto t = net::snapshot_index(s.month).value();
+    int hg_idx = hg::profile_index(world.profiles(), s.hg);
+    std::vector<topo::AsId> baseline =
+        s.ecs ? dns::EcsMapper(world, hg_idx).map_footprint(t)
+              : dns::PatternEnumerator(world, hg_idx).map_footprint(t);
+    // Netflix needs the longitudinal HTTP-recovery state (§6.2); run a
+    // short window ending at the comparison snapshot.
+    core::SnapshotResult r;
+    if (std::string_view(s.hg) == "Netflix" && t >= 4) {
+      r = runner.run(t - 4, t).back();
+    } else {
+      r = runner.run_one(t);
+    }
+    auto cmp = dns::compare_footprints(
+        baseline, analysis::effective_footprint(*r.find(s.hg)));
+    earlier.add(s.study, cmp.baseline_ases,
+                net::percent(cmp.covered_share()), cmp.pipeline_extra(),
+                s.paper);
+  }
+  std::fputs(earlier.to_string().c_str(), stdout);
+  std::printf(
+      "(Google's ECS baseline returns nothing after mid-2016 — the paper's\n"
+      "motivation for a generic technique; the hostname baselines miss the\n"
+      "~5%% of deployments with non-standard names.)\n");
+
+  bench::heading("Learned header fingerprints (Tables 1 and 4)");
+  net::TextTable fingerprints({"Hypergiant", "learned patterns",
+                               "TLS dNSNames"});
+  for (const auto& fp : result.per_hg) {
+    std::string patterns;
+    for (const auto& p : fp.header_fingerprint.patterns) {
+      if (!patterns.empty()) patterns += ", ";
+      patterns += p.to_string();
+    }
+    if (patterns.empty()) {
+      patterns = core::nginx_default_rule_applies(fp.name)
+                     ? "(default-nginx rule)"
+                     : "(none)";
+    }
+    fingerprints.add(fp.name, patterns, fp.tls_fingerprint.dns_names.size());
+  }
+  std::fputs(fingerprints.to_string().c_str(), stdout);
+
+  bench::heading("Ablation: disable the §4.3 dNSName containment rule");
+  core::PipelineOptions ablated;
+  ablated.disable_subset_rule = true;
+  core::LongitudinalRunner ablated_runner(world, scan::ScannerKind::kRapid7,
+                                          ablated);
+  auto ablated_result = ablated_runner.run_one(survey_t);
+  net::TextTable ablation({"Hypergiant", "candidates (rule on)",
+                           "candidates (rule off)", "inflation"});
+  for (const char* hg : {"Cloudflare", "Google", "Netflix", "Amazon"}) {
+    auto on = result.find(hg)->candidate_ases.size();
+    auto off = ablated_result.find(hg)->candidate_ases.size();
+    ablation.add(hg, on, off,
+                 on > 0 ? net::TextTable::format_double(
+                              static_cast<double>(off) / on, 2) + "x"
+                        : "-");
+  }
+  std::fputs(ablation.to_string().c_str(), stdout);
+
+  bench::heading("Mitigation: Cloudflare universal-SSL filter (§7)");
+  core::PipelineOptions mitigated;
+  mitigated.apply_cloudflare_ssl_filter = true;
+  core::LongitudinalRunner mitigated_runner(
+      world, scan::ScannerKind::kRapid7, mitigated);
+  auto mitigated_result = mitigated_runner.run_one(survey_t);
+  std::printf("Cloudflare misidentified off-nets: %zu -> %zu after the "
+              "(ssl|sni)N.cloudflaressl.com filter\n",
+              result.find("Cloudflare")->confirmed_or_ases.size(),
+              mitigated_result.find("Cloudflare")->confirmed_or_ases.size());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Hide-and-Seek (§8): how well would the methodology survive Hypergiant
+// countermeasures? Builds four worlds — baseline plus each defense —
+// and compares the inferred top-4 footprints.
+//
+//   ./hide_and_seek
+#include <cstdio>
+
+#include "core/longitudinal.h"
+#include "net/table.h"
+#include "scan/sni.h"
+#include "scan/world.h"
+
+using namespace offnet;
+
+namespace {
+
+core::SnapshotResult run_world(const hg::Countermeasures& cm,
+                               bool sni_sweep = false) {
+  scan::WorldConfig config;
+  config.topology_scale = 0.05;
+  config.background_scale = 0.001;
+  config.countermeasures = cm;
+  scan::World world(config);
+  std::size_t t = net::snapshot_count() - 1;
+  scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+  if (sni_sweep) {
+    // §8 counter-countermeasure: probe every responsive server with the
+    // HGs' fully qualified domains instead of trusting default certs.
+    scan::SniScanner sni(world.fleet(), world.topology());
+    auto hostnames = scan::sni_probe_hostnames(world.profiles());
+    std::size_t added = sni.augment(snapshot, hostnames);
+    std::fprintf(stderr, "  SNI sweep added %zu records\n", added);
+  }
+  core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                world.certs(), world.roots());
+  return pipeline.run(snapshot);
+}
+
+}  // namespace
+
+int main() {
+  struct Scenario {
+    const char* name;
+    hg::Countermeasures cm;
+  };
+  struct ScenarioDef {
+    const char* name;
+    hg::Countermeasures cm;
+    bool sni = false;
+  };
+  const ScenarioDef scenarios[] = {
+      {"baseline (study period)", {}},
+      {"null default certs (SNI-only)", {.null_default_certs = true}},
+      {"  ... countered by SNI sweep", {.null_default_certs = true}, true},
+      {"strip Organization field", {.strip_organization = true}},
+      {"  ... SNI sweep does NOT help", {.strip_organization = true}, true},
+      {"anonymize headers", {.anonymize_headers = true}},
+  };
+
+  net::TextTable confirmed({"scenario", "Google", "Facebook", "Netflix",
+                            "Akamai"});
+  net::TextTable candidates({"scenario", "Google", "Facebook", "Netflix",
+                             "Akamai"});
+  for (const ScenarioDef& s : scenarios) {
+    std::fprintf(stderr, "running scenario: %s\n", s.name);
+    auto result = run_world(s.cm, s.sni);
+    std::vector<std::string> conf_row{s.name};
+    std::vector<std::string> cand_row{s.name};
+    for (const char* hg : {"Google", "Facebook", "Netflix", "Akamai"}) {
+      const core::HgFootprint* fp = result.find(hg);
+      conf_row.push_back(std::to_string(fp->confirmed_ases().size()));
+      cand_row.push_back(std::to_string(fp->candidate_ases.size()));
+    }
+    confirmed.add_row(std::move(conf_row));
+    candidates.add_row(std::move(cand_row));
+  }
+
+  std::printf("confirmed off-net ASes (certs + headers):\n%s\n",
+              confirmed.to_string().c_str());
+  std::printf("candidate ASes (certs only):\n%s\n",
+              candidates.to_string().c_str());
+  std::printf(
+      "Reading: removing the default certificate or the Organization\n"
+      "field blinds the certificate stage entirely (§8 options 1/3).\n"
+      "A fully-qualified SNI sweep (§8) completely defeats the null-cert\n"
+      "defense, but not the stripped Organization (the keyword search has\n"
+      "nothing to anchor on — SNI responses only re-surface third-party\n"
+      "service hosts). Anonymizing headers kills confirmation for\n"
+      "header-fingerprinted HGs but leaves candidates intact — and\n"
+      "Netflix stays confirmed because the default-nginx rule needs no\n"
+      "debug headers at all.\n");
+  return 0;
+}

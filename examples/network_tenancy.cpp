@@ -1,0 +1,90 @@
+// Network tenancy audit: the ISP-operator view. Pick host networks and
+// show which Hypergiants' off-nets were inferred inside them over the
+// study — the per-AS slice of the paper's §6.6 symbiosis analysis.
+//
+//   ./network_tenancy [asn...]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "analysis/cohosting.h"
+#include "core/longitudinal.h"
+#include "net/table.h"
+#include "scan/world.h"
+
+using namespace offnet;
+
+int main(int argc, char** argv) {
+  scan::WorldConfig config;
+  config.topology_scale = 0.05;
+  config.background_scale = 0.001;
+  scan::World world(config);
+
+  core::LongitudinalRunner runner(world);
+  std::fprintf(stderr, "running 31 snapshots ");
+  auto results = runner.run(0, net::snapshot_count() - 1,
+                            [](const core::SnapshotResult&) {
+                              std::fputc('.', stderr);
+                              std::fflush(stderr);
+                            });
+  std::fputc('\n', stderr);
+
+  // Tenancy per AS: snapshot -> set of HG names.
+  std::map<topo::AsId, std::map<std::size_t, std::string>> tenancy;
+  for (const auto& result : results) {
+    for (const auto& fp : result.per_hg) {
+      for (topo::AsId id : analysis::effective_footprint(fp)) {
+        auto& cell = tenancy[id][result.snapshot];
+        if (!cell.empty()) cell += "+";
+        cell += fp.name.substr(0, 1);  // G/N/F/A/...
+      }
+    }
+  }
+
+  // Either the ASNs given on the command line, or the three busiest
+  // hosts.
+  std::vector<topo::AsId> targets;
+  for (int i = 1; i < argc; ++i) {
+    if (auto id = world.topology().find_asn(
+            static_cast<net::Asn>(std::strtoul(argv[i], nullptr, 10)))) {
+      targets.push_back(*id);
+    } else {
+      std::fprintf(stderr, "unknown ASN %s\n", argv[i]);
+    }
+  }
+  if (targets.empty()) {
+    std::vector<std::pair<std::size_t, topo::AsId>> busiest;
+    for (const auto& [id, timeline] : tenancy) {
+      busiest.emplace_back(timeline.size(), id);
+    }
+    std::sort(busiest.rbegin(), busiest.rend());
+    for (std::size_t i = 0; i < 3 && i < busiest.size(); ++i) {
+      targets.push_back(busiest[i].second);
+    }
+  }
+
+  const auto snaps = net::study_snapshots();
+  for (topo::AsId id : targets) {
+    const auto& rec = world.topology().as(id);
+    std::printf(
+        "\nAS%u (%s, %s, cone %u) — Hypergiant tenancy timeline:\n",
+        rec.asn,
+        std::string(world.topology().country(rec.country).name).c_str(),
+        std::string(topo::category_name(
+                        world.topology().category(id,
+                                                  net::snapshot_count() - 1)))
+            .c_str(),
+        world.topology().cone_sizes(net::snapshot_count() - 1)[id]);
+    auto it = tenancy.find(id);
+    if (it == tenancy.end()) {
+      std::printf("  never hosted an inferred off-net\n");
+      continue;
+    }
+    for (std::size_t t = 0; t < snaps.size(); ++t) {
+      auto cell = it->second.find(t);
+      std::printf("  %s  %s\n", snaps[t].to_string().c_str(),
+                  cell == it->second.end() ? "-" : cell->second.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "analysis/certgroups.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace offnet::analysis {
+
+double CertGroupBreakdown::cumulative_top(std::size_t n) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n && i < top_shares.size(); ++i) {
+    sum += top_shares[i];
+  }
+  return sum;
+}
+
+CertGroupBreakdown cert_groups(
+    std::span<const std::pair<net::IPv4, tls::CertId>> ip_certs,
+    std::size_t top_n) {
+  CertGroupBreakdown out;
+  out.total_ips = ip_certs.size();
+  if (ip_certs.empty()) return out;
+
+  std::unordered_map<tls::CertId, std::size_t> counts;
+  for (const auto& [ip, cert] : ip_certs) ++counts[cert];
+  out.distinct_certs = counts.size();
+
+  std::vector<std::size_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [cert, count] : counts) sizes.push_back(count);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+
+  for (std::size_t i = 0; i < top_n && i < sizes.size(); ++i) {
+    out.top_shares.push_back(static_cast<double>(sizes[i]) /
+                             static_cast<double>(out.total_ips));
+  }
+  return out;
+}
+
+}  // namespace offnet::analysis

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "tls/certificate.h"
+
+namespace offnet::analysis {
+
+/// Certificate IP-group analysis (Fig. 11 / Appendix A.3): off-net IPs
+/// grouped by the certificate they serve, reported as the share of the
+/// HG's IP population covered by each of the top groups.
+struct CertGroupBreakdown {
+  std::size_t total_ips = 0;
+  std::size_t distinct_certs = 0;
+  /// Shares of the top groups (descending), top_shares.size() <= top_n.
+  std::vector<double> top_shares;
+
+  double top_share(std::size_t k) const {
+    return k < top_shares.size() ? top_shares[k] : 0.0;
+  }
+  double cumulative_top(std::size_t n) const;
+};
+
+CertGroupBreakdown cert_groups(
+    std::span<const std::pair<net::IPv4, tls::CertId>> ip_certs,
+    std::size_t top_n = 10);
+
+}  // namespace offnet::analysis

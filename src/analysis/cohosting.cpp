@@ -1,0 +1,153 @@
+#include "analysis/cohosting.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace offnet::analysis {
+
+const std::vector<topo::AsId>& effective_footprint(
+    const core::HgFootprint& footprint) {
+  if (!footprint.confirmed_expired_http_ases.empty()) {
+    return footprint.confirmed_expired_http_ases;
+  }
+  return footprint.confirmed_or_ases;
+}
+
+CohostingAnalysis::CohostingAnalysis(
+    const topo::Topology& topology,
+    std::span<const core::SnapshotResult> results)
+    : as_count_(topology.as_count()) {
+  constexpr std::array<std::string_view, 4> kTop4 = {"Google", "Netflix",
+                                                     "Facebook", "Akamai"};
+  top4_masks_.reserve(results.size());
+  any_hg_.reserve(results.size());
+  for (const core::SnapshotResult& result : results) {
+    std::vector<std::uint8_t> mask(as_count_, 0);
+    std::vector<char> any(as_count_, 0);
+    for (const core::HgFootprint& fp : result.per_hg) {
+      int top4_bit = -1;
+      for (std::size_t k = 0; k < kTop4.size(); ++k) {
+        if (fp.name == kTop4[k]) top4_bit = static_cast<int>(k);
+      }
+      for (topo::AsId id : effective_footprint(fp)) {
+        any[id] = 1;
+        if (top4_bit >= 0) mask[id] |= std::uint8_t(1u << top4_bit);
+      }
+    }
+    top4_masks_.push_back(std::move(mask));
+    any_hg_.push_back(std::move(any));
+  }
+}
+
+CohostingAnalysis::Distribution CohostingAnalysis::distribution_over(
+    std::size_t index, const std::vector<char>& eligible) const {
+  Distribution out;
+  const auto& mask = top4_masks_[index];
+  const auto& any = any_hg_[index];
+  for (topo::AsId id = 0; id < as_count_; ++id) {
+    if (!eligible.empty() && !eligible[id]) continue;
+    if (any[id]) ++out.total_any_hg;
+    int hosted = std::popcount(static_cast<unsigned>(mask[id]));
+    if (hosted > 0) {
+      ++out.hosted_n[static_cast<std::size_t>(hosted)];
+      ++out.total_top4;
+    }
+  }
+  out.top4_share = out.total_any_hg > 0
+                       ? static_cast<double>(out.total_top4) /
+                             static_cast<double>(out.total_any_hg)
+                       : 0.0;
+  return out;
+}
+
+CohostingAnalysis::Distribution CohostingAnalysis::snapshot_distribution(
+    std::size_t index) const {
+  return distribution_over(index, {});
+}
+
+std::vector<CohostingAnalysis::Distribution>
+CohostingAnalysis::always_host_distributions(std::size_t* always_count) const {
+  std::vector<char> always(as_count_, 1);
+  for (const auto& mask : top4_masks_) {
+    for (topo::AsId id = 0; id < as_count_; ++id) {
+      if (mask[id] == 0) always[id] = 0;
+    }
+  }
+  if (always_count != nullptr) {
+    *always_count = static_cast<std::size_t>(
+        std::count(always.begin(), always.end(), char(1)));
+  }
+  std::vector<Distribution> out;
+  for (std::size_t t = 0; t < top4_masks_.size(); ++t) {
+    out.push_back(distribution_over(t, always));
+  }
+  return out;
+}
+
+std::vector<CohostingAnalysis::Distribution>
+CohostingAnalysis::persistent_distributions(double fraction) const {
+  std::vector<std::size_t> hosting_snapshots(as_count_, 0);
+  for (const auto& mask : top4_masks_) {
+    for (topo::AsId id = 0; id < as_count_; ++id) {
+      if (mask[id] != 0) ++hosting_snapshots[id];
+    }
+  }
+  const auto threshold = static_cast<std::size_t>(
+      fraction * static_cast<double>(top4_masks_.size()));
+  std::vector<char> eligible(as_count_, 0);
+  for (topo::AsId id = 0; id < as_count_; ++id) {
+    if (hosting_snapshots[id] >= threshold && hosting_snapshots[id] > 0) {
+      eligible[id] = 1;
+    }
+  }
+  // Percentages in Fig. 14 are relative to ASes ever hosting any HG.
+  std::vector<char> ever_any(as_count_, 0);
+  for (const auto& any : any_hg_) {
+    for (topo::AsId id = 0; id < as_count_; ++id) {
+      if (any[id]) ever_any[id] = 1;
+    }
+  }
+  const auto ever_total = static_cast<std::size_t>(
+      std::count(ever_any.begin(), ever_any.end(), char(1)));
+
+  std::vector<Distribution> out;
+  for (std::size_t t = 0; t < top4_masks_.size(); ++t) {
+    Distribution d = distribution_over(t, eligible);
+    d.total_any_hg = ever_total;
+    d.top4_share = ever_total > 0 ? static_cast<double>(d.total_top4) /
+                                        static_cast<double>(ever_total)
+                                  : 0.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+double CohostingAnalysis::average_newcomer_share() const {
+  if (top4_masks_.size() < 2) return 0.0;
+  std::vector<char> seen(as_count_, 0);
+  for (topo::AsId id = 0; id < as_count_; ++id) {
+    if (top4_masks_[0][id] != 0) seen[id] = 1;
+  }
+  double total_share = 0.0;
+  std::size_t steps = 0;
+  for (std::size_t t = 1; t < top4_masks_.size(); ++t) {
+    std::size_t hosting = 0;
+    std::size_t newcomers = 0;
+    for (topo::AsId id = 0; id < as_count_; ++id) {
+      if (top4_masks_[t][id] == 0) continue;
+      ++hosting;
+      if (!seen[id]) {
+        ++newcomers;
+        seen[id] = 1;
+      }
+    }
+    if (hosting > 0) {
+      total_share += static_cast<double>(newcomers) /
+                     static_cast<double>(hosting);
+      ++steps;
+    }
+  }
+  return steps > 0 ? total_share / static_cast<double>(steps) : 0.0;
+}
+
+}  // namespace offnet::analysis

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace offnet::analysis {
+
+/// The paper's Netflix convention (§6.2): the envelope of the measured
+/// lines (restoring expired-certificate and HTTP-only servers) is the
+/// Netflix footprint used in all further analyses; other HGs use the
+/// plain header-confirmed set.
+const std::vector<topo::AsId>& effective_footprint(
+    const core::HgFootprint& footprint);
+
+/// Network-provider hosting behaviour (§6.6, Appendix A.8): how many of
+/// the top-4 Hypergiants each AS hosts, over time and persistently.
+class CohostingAnalysis {
+ public:
+  /// `results` is one longitudinal run; top-4 membership is by HG name.
+  CohostingAnalysis(const topo::Topology& topology,
+                    std::span<const core::SnapshotResult> results);
+
+  /// hosted_n[k] = #ASes hosting exactly k of the top-4 (k in 1..4);
+  /// `total_any_hg` counts ASes hosting >=1 of all examined HGs, and
+  /// `top4_share` is the paper's per-bar percentage.
+  struct Distribution {
+    std::array<std::size_t, 5> hosted_n{};  // index by k, [0] unused
+    std::size_t total_top4 = 0;
+    std::size_t total_any_hg = 0;
+    double top4_share = 0.0;
+  };
+
+  std::size_t snapshots() const { return top4_masks_.size(); }
+
+  /// Fig. 10b: per-snapshot distribution over all ASes hosting >=1 top-4.
+  Distribution snapshot_distribution(std::size_t index) const;
+
+  /// Fig. 10a: distribution per snapshot restricted to the ASes that host
+  /// >=1 top-4 HG in *every* snapshot. Also returns that AS count.
+  std::vector<Distribution> always_host_distributions(
+      std::size_t* always_count = nullptr) const;
+
+  /// Fig. 14: distributions restricted to ASes hosting >=1 top-4 in at
+  /// least `fraction` of the snapshots; percentages are relative to the
+  /// ASes ever hosting any examined HG.
+  std::vector<Distribution> persistent_distributions(double fraction) const;
+
+  /// Average share of newcomers (ASes never seen hosting before) per
+  /// snapshot (Appendix A.8 reports ~5%).
+  double average_newcomer_share() const;
+
+ private:
+  Distribution distribution_over(std::size_t index,
+                                 const std::vector<char>& eligible) const;
+
+  std::size_t as_count_;
+  // Per snapshot: per-AS bitmask of the top-4 HGs hosted, and a flag for
+  // hosting any examined HG at all.
+  std::vector<std::vector<std::uint8_t>> top4_masks_;
+  std::vector<std::vector<char>> any_hg_;
+};
+
+}  // namespace offnet::analysis

@@ -1,0 +1,82 @@
+#include "analysis/coverage.h"
+
+#include <algorithm>
+
+namespace offnet::analysis {
+
+std::vector<char> CoverageAnalysis::hosting_mask(
+    std::span<const topo::AsId> hosts, std::size_t snapshot,
+    bool with_cones) const {
+  if (with_cones) {
+    return topology_.graph().cone_union(hosts,
+                                        topology_.alive_mask(snapshot));
+  }
+  std::vector<char> mask(topology_.as_count(), 0);
+  for (topo::AsId id : hosts) mask[id] = 1;
+  return mask;
+}
+
+std::vector<CoverageAnalysis::CountryCoverage> CoverageAnalysis::per_country(
+    std::span<const topo::AsId> hosts, std::size_t snapshot) const {
+  std::vector<char> mask = hosting_mask(hosts, snapshot, false);
+  std::vector<CountryCoverage> out;
+  for (topo::CountryId c = 0; c < topology_.country_count(); ++c) {
+    out.push_back({c, population_.country_coverage(c, mask, snapshot)});
+  }
+  return out;
+}
+
+std::vector<CoverageAnalysis::CountryCoverage>
+CoverageAnalysis::per_country_with_cones(std::span<const topo::AsId> hosts,
+                                         std::size_t snapshot) const {
+  std::vector<char> mask = hosting_mask(hosts, snapshot, true);
+  std::vector<CountryCoverage> out;
+  for (topo::CountryId c = 0; c < topology_.country_count(); ++c) {
+    out.push_back({c, population_.country_coverage(c, mask, snapshot)});
+  }
+  return out;
+}
+
+double CoverageAnalysis::worldwide(std::span<const topo::AsId> hosts,
+                                   std::size_t snapshot,
+                                   bool with_cones) const {
+  return population_.world_coverage(hosting_mask(hosts, snapshot, with_cones),
+                                    snapshot);
+}
+
+double CoverageAnalysis::regional(topo::Region region,
+                                  std::span<const topo::AsId> hosts,
+                                  std::size_t snapshot,
+                                  bool with_cones) const {
+  return population_.region_coverage(
+      region, hosting_mask(hosts, snapshot, with_cones), snapshot);
+}
+
+std::vector<CoverageAnalysis::WhatIfPick> CoverageAnalysis::best_additions(
+    std::span<const topo::AsId> hosts, topo::CountryId country,
+    std::size_t snapshot, std::size_t count) const {
+  std::vector<char> mask = hosting_mask(hosts, snapshot, false);
+  const auto& alive = topology_.alive_mask(snapshot);
+
+  std::vector<WhatIfPick> picks;
+  for (std::size_t k = 0; k < count; ++k) {
+    topo::AsId best = topo::kNoAs;
+    double best_share = 0.0;
+    for (topo::AsId id = 0; id < topology_.as_count(); ++id) {
+      if (!alive[id] || mask[id]) continue;
+      if (topology_.as(id).country != country) continue;
+      double share = population_.share(id);
+      if (share > best_share) {
+        best_share = share;
+        best = id;
+      }
+    }
+    if (best == topo::kNoAs) break;
+    mask[best] = 1;
+    picks.push_back(
+        {best, population_.country_coverage(country, mask, snapshot)});
+  }
+  return picks;
+}
+
+}  // namespace offnet::analysis

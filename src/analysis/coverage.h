@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/population.h"
+#include "topology/topology.h"
+
+namespace offnet::analysis {
+
+/// Per-country user-population coverage of a hosting AS set (the paper's
+/// choropleth figures 7-9 and 12), with the optional customer-cone
+/// extension (off-nets may also serve the hosting AS's customers).
+class CoverageAnalysis {
+ public:
+  CoverageAnalysis(const topo::Topology& topology,
+                   const topo::PopulationView& population)
+      : topology_(topology), population_(population) {}
+
+  struct CountryCoverage {
+    topo::CountryId country;
+    double fraction = 0.0;  // of the country's Internet users
+  };
+
+  /// Coverage per country for users whose AS hosts a server.
+  std::vector<CountryCoverage> per_country(std::span<const topo::AsId> hosts,
+                                           std::size_t snapshot) const;
+
+  /// Same, but counting users within the hosting ASes' customer cones
+  /// (Fig. 8 / Fig. 12).
+  std::vector<CountryCoverage> per_country_with_cones(
+      std::span<const topo::AsId> hosts, std::size_t snapshot) const;
+
+  /// User-weighted worldwide coverage fraction.
+  double worldwide(std::span<const topo::AsId> hosts, std::size_t snapshot,
+                   bool with_cones = false) const;
+
+  /// User-weighted regional coverage fraction.
+  double regional(topo::Region region, std::span<const topo::AsId> hosts,
+                  std::size_t snapshot, bool with_cones = false) const;
+
+  /// Greedy what-if (§6.5): the ASes of `country` that would add the most
+  /// coverage if they hosted the HG, with the resulting coverage after
+  /// adding each. Returns up to `count` picks.
+  struct WhatIfPick {
+    topo::AsId as;
+    double coverage_after = 0.0;
+  };
+  std::vector<WhatIfPick> best_additions(std::span<const topo::AsId> hosts,
+                                         topo::CountryId country,
+                                         std::size_t snapshot,
+                                         std::size_t count) const;
+
+ private:
+  std::vector<char> hosting_mask(std::span<const topo::AsId> hosts,
+                                 std::size_t snapshot, bool with_cones) const;
+
+  const topo::Topology& topology_;
+  const topo::PopulationView& population_;
+};
+
+}  // namespace offnet::analysis

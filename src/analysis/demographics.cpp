@@ -1,0 +1,39 @@
+#include "analysis/demographics.h"
+
+namespace offnet::analysis {
+
+CategoryCounts categorize_set(const topo::Topology& topology,
+                              std::span<const topo::AsId> ases,
+                              std::size_t snapshot) {
+  CategoryCounts counts{};
+  const auto& cones = topology.cone_sizes(snapshot);
+  for (topo::AsId id : ases) {
+    counts[static_cast<std::size_t>(topo::categorize(cones[id]))]++;
+  }
+  return counts;
+}
+
+CategoryCounts internet_demographics(const topo::Topology& topology,
+                                     std::size_t snapshot) {
+  CategoryCounts counts{};
+  const auto& cones = topology.cone_sizes(snapshot);
+  const auto& alive = topology.alive_mask(snapshot);
+  for (topo::AsId id = 0; id < topology.as_count(); ++id) {
+    if (!alive[id]) continue;
+    counts[static_cast<std::size_t>(topo::categorize(cones[id]))]++;
+  }
+  return counts;
+}
+
+std::array<double, topo::kCategoryCount> shares(const CategoryCounts& counts) {
+  std::array<double, topo::kCategoryCount> out{};
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace offnet::analysis

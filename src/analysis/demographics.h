@@ -1,0 +1,29 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "topology/category.h"
+#include "topology/topology.h"
+
+namespace offnet::analysis {
+
+/// Counts per AS size category (Stub, Small, Medium, Large, XLarge).
+using CategoryCounts = std::array<std::size_t, topo::kCategoryCount>;
+
+/// Category breakdown of an AS set at a snapshot (Fig. 5's stacked bars).
+CategoryCounts categorize_set(const topo::Topology& topology,
+                              std::span<const topo::AsId> ases,
+                              std::size_t snapshot);
+
+/// Category breakdown of the whole (alive) Internet at a snapshot — the
+/// baseline demographics the paper contrasts against (§6.3: ~85% Stub,
+/// ~12% Small, ~2.6% Medium, <0.5% Large, <0.1% XLarge).
+CategoryCounts internet_demographics(const topo::Topology& topology,
+                                     std::size_t snapshot);
+
+/// Percentage shares of a counts vector.
+std::array<double, topo::kCategoryCount> shares(const CategoryCounts& counts);
+
+}  // namespace offnet::analysis

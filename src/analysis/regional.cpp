@@ -1,0 +1,38 @@
+#include "analysis/regional.h"
+
+namespace offnet::analysis {
+
+RegionCounts regionalize_set(const topo::Topology& topology,
+                             std::span<const topo::AsId> ases) {
+  RegionCounts counts{};
+  for (topo::AsId id : ases) {
+    auto country = topology.as(id).country;
+    if (country == topo::kNoCountry) continue;
+    counts[static_cast<std::size_t>(topology.country(country).region)]++;
+  }
+  return counts;
+}
+
+std::vector<topo::AsId> filter_region(const topo::Topology& topology,
+                                      std::span<const topo::AsId> ases,
+                                      topo::Region region) {
+  std::vector<topo::AsId> out;
+  for (topo::AsId id : ases) {
+    auto country = topology.as(id).country;
+    if (country == topo::kNoCountry) continue;
+    if (topology.country(country).region == region) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<topo::AsId> filter_country(const topo::Topology& topology,
+                                       std::span<const topo::AsId> ases,
+                                       topo::CountryId country) {
+  std::vector<topo::AsId> out;
+  for (topo::AsId id : ases) {
+    if (topology.as(id).country == country) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace offnet::analysis

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "topology/region.h"
+#include "topology/topology.h"
+
+namespace offnet::analysis {
+
+using RegionCounts = std::array<std::size_t, topo::kRegionCount>;
+
+/// Per-continent breakdown of an AS set (Fig. 6), via the AS-to-country
+/// mapping (Appendix A.2 / §6.4).
+RegionCounts regionalize_set(const topo::Topology& topology,
+                             std::span<const topo::AsId> ases);
+
+/// ASes of `set` within one region.
+std::vector<topo::AsId> filter_region(const topo::Topology& topology,
+                                      std::span<const topo::AsId> ases,
+                                      topo::Region region);
+
+/// ASes of `set` within one country.
+std::vector<topo::AsId> filter_country(const topo::Topology& topology,
+                                       std::span<const topo::AsId> ases,
+                                       topo::CountryId country);
+
+}  // namespace offnet::analysis

@@ -1,0 +1,186 @@
+#include "analysis/validation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/cohosting.h"
+#include "hypergiant/profile.h"
+#include "net/rng.h"
+
+namespace offnet::analysis {
+
+namespace {
+
+std::size_t overlap_count(std::span<const topo::AsId> a,
+                          std::span<const topo::AsId> b) {
+  // Both sorted.
+  std::size_t count = 0;
+  auto it = b.begin();
+  for (topo::AsId id : a) {
+    it = std::lower_bound(it, b.end(), id);
+    if (it == b.end()) break;
+    if (*it == id) ++count;
+  }
+  return count;
+}
+
+/// Ground-truth "does this IP hold a valid certificate for HG g's
+/// domains" oracle, from the fleet and background serve masks.
+std::unordered_map<std::uint32_t, std::uint32_t> serve_masks(
+    const scan::World& world, std::size_t snapshot) {
+  std::unordered_map<std::uint32_t, std::uint32_t> masks;
+  for (const hg::ServerRecord& rec : world.fleet().snapshot_fleet(snapshot)) {
+    if (rec.serves_hgs != 0) masks[rec.ip.value()] |= rec.serves_hgs;
+  }
+  world.background().for_each(snapshot, [&](const scan::BgServer& server) {
+    if (server.serves_hgs != 0) {
+      masks[server.ip.value()] |= server.serves_hgs;
+    }
+  });
+  return masks;
+}
+
+int world_profile_index(const scan::World& world, std::string_view name) {
+  return hg::profile_index(world.profiles(), name);
+}
+
+}  // namespace
+
+FootprintAccuracy compare_to_ground_truth(const scan::World& world,
+                                          const core::SnapshotResult& result,
+                                          std::string_view hypergiant) {
+  FootprintAccuracy out;
+  out.hypergiant = std::string(hypergiant);
+  const core::HgFootprint* fp = result.find(hypergiant);
+  if (fp == nullptr) return out;
+  int idx = world_profile_index(world, hypergiant);
+  if (idx < 0) return out;
+
+  const auto& measured = effective_footprint(*fp);
+  const auto& truth = world.plan().at(result.snapshot, idx).confirmed;
+  out.measured = measured.size();
+  out.truth = truth.size();
+  out.overlap = overlap_count(measured, truth);
+  return out;
+}
+
+CrossDomainResult cross_domain_validation(const scan::World& world,
+                                          const core::SnapshotResult& result,
+                                          std::uint64_t seed) {
+  CrossDomainResult out;
+  auto masks = serve_masks(world, result.snapshot);
+  net::Rng rng = net::Rng(seed).fork("cross-domain");
+
+  // Which HGs were inferred on each IP (to attribute Akamai).
+  std::unordered_set<std::uint32_t> akamai_ips;
+  if (const core::HgFootprint* ak = result.find("Akamai")) {
+    for (net::IPv4 ip : ak->confirmed_ip_list) akamai_ips.insert(ip.value());
+  }
+
+  const std::size_t n_hg = result.per_hg.size();
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    const core::HgFootprint& fp = result.per_hg[h];
+    for (net::IPv4 ip : fp.confirmed_ip_list) {
+      auto it = masks.find(ip.value());
+      std::uint32_t mask = it == masks.end() ? 0u : it->second;
+      // 10 random other HGs, one popular domain each.
+      auto others = rng.sample_indices(n_hg, 11);
+      std::size_t tested = 0;
+      for (std::size_t g : others) {
+        if (g == h || tested == 10) continue;
+        ++tested;
+        ++out.probes;
+        int g_profile = world_profile_index(world, result.per_hg[g].name);
+        if (g_profile >= 0 && (mask & (1u << g_profile))) {
+          ++out.validated;
+          if (akamai_ips.contains(ip.value())) ++out.validated_on_akamai;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ReverseTestResult reverse_validation(const scan::World& world,
+                                     const core::SnapshotResult& result,
+                                     const scan::ScanSnapshot& snapshot,
+                                     double sample_fraction,
+                                     std::uint64_t seed) {
+  ReverseTestResult out;
+  auto masks = serve_masks(world, result.snapshot);
+  net::Rng rng = net::Rng(seed).fork("reverse-test");
+
+  // On-net IPs (excluded from the sample) and inferred off-net IPs.
+  std::unordered_set<std::uint32_t> onnet_ips;
+  std::unordered_set<std::uint32_t> offnet_ips;
+  for (const hg::ServerRecord& rec :
+       world.fleet().snapshot_fleet(result.snapshot)) {
+    if (rec.role == hg::ServerRole::kOnNet) onnet_ips.insert(rec.ip.value());
+  }
+  for (const core::HgFootprint& fp : result.per_hg) {
+    for (net::IPv4 ip : fp.confirmed_ip_list) offnet_ips.insert(ip.value());
+  }
+
+  const std::size_t n_hg = result.per_hg.size();
+  std::unordered_set<std::uint32_t> seen;
+  for (const scan::CertScanRecord& rec : snapshot.certs()) {
+    if (!seen.insert(rec.ip.value()).second) continue;
+    if (onnet_ips.contains(rec.ip.value())) continue;
+    if (!rng.bernoulli(sample_fraction)) continue;
+    ++out.sampled_ips;
+    if (offnet_ips.contains(rec.ip.value())) ++out.sampled_offnet_ips;
+
+    auto it = masks.find(rec.ip.value());
+    std::uint32_t mask = it == masks.end() ? 0u : it->second;
+    bool valid = false;
+    if (mask != 0) {
+      for (std::size_t pick : rng.sample_indices(n_hg, 10)) {
+        int g_profile =
+            world_profile_index(world, result.per_hg[pick].name);
+        if (g_profile >= 0 && (mask & (1u << g_profile))) {
+          valid = true;
+          break;
+        }
+      }
+    }
+    if (valid) {
+      ++out.valid_ips;
+      if (offnet_ips.contains(rec.ip.value())) ++out.valid_inferred_offnets;
+    }
+  }
+  return out;
+}
+
+EarlierComparison compare_to_earlier(const scan::World& world,
+                                     const core::SnapshotResult& result,
+                                     std::string_view study,
+                                     std::string_view hypergiant,
+                                     double earlier_coverage,
+                                     std::uint64_t seed) {
+  EarlierComparison out;
+  out.study = std::string(study);
+  out.hypergiant = std::string(hypergiant);
+  out.month = net::study_snapshots()[result.snapshot];
+
+  int idx = world_profile_index(world, hypergiant);
+  const core::HgFootprint* fp = result.find(hypergiant);
+  if (idx < 0 || fp == nullptr) return out;
+
+  // The earlier technique saw an imperfect sample of the true footprint
+  // (DNS pattern guessing / ECS coverage limits).
+  const auto& truth = world.plan().at(result.snapshot, idx).confirmed;
+  net::Rng rng = net::Rng(seed).fork(study);
+  std::vector<topo::AsId> earlier;
+  for (topo::AsId id : truth) {
+    if (rng.bernoulli(earlier_coverage)) earlier.push_back(id);
+  }
+  out.earlier_ases = earlier.size();
+
+  const auto& ours = effective_footprint(*fp);
+  out.uncovered = overlap_count(earlier, ours);
+  out.additional = ours.size() - overlap_count(ours, earlier);
+  return out;
+}
+
+}  // namespace offnet::analysis

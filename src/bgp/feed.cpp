@@ -1,0 +1,110 @@
+#include "bgp/feed.h"
+
+#include <algorithm>
+
+#include "net/rng.h"
+
+namespace offnet::bgp {
+
+namespace {
+
+std::uint64_t prefix_tag(const net::Prefix& p) {
+  return (std::uint64_t{p.base().value()} << 8) | p.length();
+}
+
+}  // namespace
+
+FeedSimulator::FeedSimulator(const topo::Topology& topology, FeedConfig config)
+    : topology_(topology), config_(std::move(config)) {}
+
+MonthlyFeed FeedSimulator::monthly_feed(std::size_t snapshot,
+                                        Collector collector) const {
+  MonthlyFeed feed;
+  const auto& alive = topology_.alive_mask(snapshot);
+  net::Rng base = net::Rng(config_.seed).fork("bgp-feed");
+
+  for (topo::AsId id = 0; id < topology_.as_count(); ++id) {
+    if (!alive[id]) continue;
+    const topo::AsRecord& rec = topology_.as(id);
+    for (const net::Prefix& prefix : rec.prefixes) {
+      // Stable per-prefix decisions (identical across snapshots and
+      // collectors): is this prefix routed at all? Hypergiant
+      // infrastructure announces everything.
+      net::Rng stable = base.fork(prefix_tag(prefix));
+      if (!rec.always_routed &&
+          !stable.bernoulli(config_.announce_probability)) {
+        continue;
+      }
+
+      // Per-(prefix, collector, month) visibility.
+      net::Rng monthly = base.fork(prefix_tag(prefix) * 1000003u +
+                                   snapshot * 7u +
+                                   static_cast<std::uint64_t>(collector));
+      if (monthly.bernoulli(config_.collector_miss_rate)) continue;
+      double fraction = monthly.uniform_real(0.85, 1.0);
+      feed.push_back(MonthlyRouteObservation{prefix, rec.asn, collector,
+                                             fraction});
+
+      // Legitimate sibling MOAS: another AS of the same org also
+      // originates the prefix, persistently.
+      const auto& org_ases = topology_.orgs().ases_of(rec.org);
+      if (org_ases.size() > 1 && stable.bernoulli(config_.sibling_moas_rate)) {
+        topo::AsId sibling = org_ases[stable.index(org_ases.size())];
+        if (sibling != id && alive[sibling]) {
+          feed.push_back(MonthlyRouteObservation{
+              prefix, topology_.as(sibling).asn, collector,
+              monthly.uniform_real(0.6, 1.0)});
+        }
+      }
+
+      // Hijacks / route leaks: bogus origin, usually short-lived.
+      if (monthly.bernoulli(config_.hijack_rate)) {
+        topo::AsId attacker =
+            static_cast<topo::AsId>(monthly.index(topology_.as_count()));
+        if (attacker != id && alive[attacker]) {
+          double hijack_fraction =
+              monthly.bernoulli(config_.hijack_long_fraction)
+                  ? monthly.uniform_real(0.26, 0.6)
+                  : monthly.uniform_real(0.0, 0.2);
+          feed.push_back(MonthlyRouteObservation{
+              prefix, topology_.as(attacker).asn, collector,
+              hijack_fraction});
+        }
+      }
+    }
+  }
+  return feed;
+}
+
+Ip2AsSeries::Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
+                         std::size_t cache_capacity)
+    : topology_(topology),
+      simulator_(topology, std::move(config)),
+      cache_capacity_(std::max<std::size_t>(1, cache_capacity)) {}
+
+const Ip2AsMap& Ip2AsSeries::at(std::size_t snapshot) const {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->first == snapshot) {
+      cache_.splice(cache_.begin(), cache_, it);
+      return cache_.front().second;
+    }
+  }
+  Ip2AsBuilder builder;
+  builder.add_feed(simulator_.monthly_feed(snapshot, Collector::kRipeRis));
+  builder.add_feed(simulator_.monthly_feed(snapshot, Collector::kRouteViews));
+  Ip2AsMap map = builder.build();
+  stats_.emplace_back(snapshot, builder.stats());
+  cache_.emplace_front(snapshot, std::move(map));
+  while (cache_.size() > cache_capacity_) cache_.pop_back();
+  return cache_.front().second;
+}
+
+Ip2AsBuilder::Stats Ip2AsSeries::stats_at(std::size_t snapshot) const {
+  for (const auto& [snap, stats] : stats_) {
+    if (snap == snapshot) return stats;
+  }
+  at(snapshot);
+  return stats_at(snapshot);
+}
+
+}  // namespace offnet::bgp

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <utility>
+
+#include "bgp/ip2as.h"
+#include "bgp/route.h"
+#include "topology/topology.h"
+
+namespace offnet::bgp {
+
+/// Parameters of the synthetic BGP control plane.
+struct FeedConfig {
+  std::uint64_t seed = 20210823;
+
+  /// Probability a prefix is announced at all (dark/unrouted space keeps
+  /// IP-to-AS coverage well below 100%; the paper reports 75.8% of the
+  /// routable space including unallocated blocks).
+  double announce_probability = 0.93;
+
+  /// Probability a given collector misses an announced prefix entirely
+  /// (peering-dependent visibility).
+  double collector_miss_rate = 0.04;
+
+  /// Per announced prefix per month: probability of a hijack/leak event
+  /// adding a bogus origin.
+  double hijack_rate = 0.004;
+
+  /// Fraction of hijacks persisting past the 25%-of-month filter (the
+  /// paper cites <2% of hijacks lasting over a week).
+  double hijack_long_fraction = 0.02;
+
+  /// For organizations operating several ASes: probability a prefix is
+  /// legitimately announced by a sibling AS too (real MOAS).
+  double sibling_moas_rate = 0.10;
+};
+
+/// Generates monthly per-collector feeds from the topology. All decisions
+/// are hash-derived from (prefix, snapshot, collector), so feeds are
+/// stable across calls and mostly stable across snapshots, like real BGP.
+class FeedSimulator {
+ public:
+  FeedSimulator(const topo::Topology& topology, FeedConfig config);
+
+  MonthlyFeed monthly_feed(std::size_t snapshot, Collector collector) const;
+
+ private:
+  const topo::Topology& topology_;
+  FeedConfig config_;
+};
+
+/// Lazily builds and caches the per-snapshot IP-to-AS maps from both
+/// collectors, mirroring the paper's Appendix A.1 process. Keeps a small
+/// LRU of built maps (they are large; longitudinal runs access snapshots
+/// sequentially).
+class Ip2AsSeries final : public Ip2AsOracle {
+ public:
+  Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
+              std::size_t cache_capacity = 2);
+
+  const Ip2AsMap& at(std::size_t snapshot) const override;
+  Ip2AsBuilder::Stats stats_at(std::size_t snapshot) const;
+
+ private:
+  const topo::Topology& topology_;
+  FeedSimulator simulator_;
+  std::size_t cache_capacity_;
+  mutable std::list<std::pair<std::size_t, Ip2AsMap>> cache_;
+  mutable std::vector<std::pair<std::size_t, Ip2AsBuilder::Stats>> stats_;
+};
+
+}  // namespace offnet::bgp

@@ -1,0 +1,90 @@
+#include "bgp/ip2as.h"
+
+#include <algorithm>
+
+namespace offnet::bgp {
+
+bool OriginSet::add(net::Asn asn) {
+  if (count_ >= kMaxOrigins || contains(asn)) return false;
+  asns_[count_++] = asn;
+  return true;
+}
+
+bool OriginSet::contains(net::Asn asn) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (asns_[i] == asn) return true;
+  }
+  return false;
+}
+
+void Ip2AsMap::insert(const net::Prefix& prefix, const OriginSet& origins) {
+  auto index = static_cast<std::uint32_t>(origin_sets_.size());
+  origin_sets_.push_back(origins);
+  trie_.insert(prefix, index);
+}
+
+std::span<const net::Asn> Ip2AsMap::lookup(net::IPv4 ip) const {
+  const std::uint32_t* index = trie_.longest_match(ip);
+  if (index == nullptr) return {};
+  return origin_sets_[*index].origins();
+}
+
+net::Asn Ip2AsMap::primary(net::IPv4 ip) const {
+  auto origins = lookup(ip);
+  return origins.empty() ? net::kNoAsn : origins.front();
+}
+
+double Ip2AsMap::coverage(std::span<const net::IPv4> probes) const {
+  if (probes.empty()) return 0.0;
+  std::size_t mapped = 0;
+  for (net::IPv4 ip : probes) {
+    if (!lookup(ip).empty()) ++mapped;
+  }
+  return static_cast<double>(mapped) / static_cast<double>(probes.size());
+}
+
+void Ip2AsBuilder::add(const MonthlyRouteObservation& obs) {
+  if (net::is_bogon(obs.prefix)) {
+    ++stats_.bogon_prefix;
+    return;
+  }
+  if (net::is_reserved_asn(obs.origin)) {
+    ++stats_.reserved_origin;
+    return;
+  }
+  if (obs.fraction_of_month <= kPersistenceThreshold) {
+    ++stats_.below_persistence;
+    return;
+  }
+  ++stats_.accepted;
+  kept_.push_back(Kept{obs.prefix, obs.origin});
+}
+
+void Ip2AsBuilder::add_feed(const MonthlyFeed& feed) {
+  for (const auto& obs : feed) add(obs);
+}
+
+Ip2AsMap Ip2AsBuilder::build() const {
+  std::vector<Kept> sorted = kept_;
+  std::sort(sorted.begin(), sorted.end(), [](const Kept& a, const Kept& b) {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    return a.origin < b.origin;
+  });
+
+  Ip2AsMap map;
+  stats_.moas_prefixes = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const net::Prefix& prefix = sorted[i].prefix;
+    OriginSet origins;
+    while (i < sorted.size() && sorted[i].prefix == prefix) {
+      origins.add(sorted[i].origin);
+      ++i;
+    }
+    if (origins.moas()) ++stats_.moas_prefixes;
+    map.insert(prefix, origins);
+  }
+  return map;
+}
+
+}  // namespace offnet::bgp

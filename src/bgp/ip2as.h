@@ -1,0 +1,122 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "bgp/route.h"
+
+namespace offnet::bgp {
+
+/// Origin ASes mapped to one prefix. Usually one; BGP MOAS cases carry
+/// several (the paper treats all consistently-seen origins as valid).
+class OriginSet {
+ public:
+  static constexpr std::size_t kMaxOrigins = 4;
+
+  bool add(net::Asn asn);  // returns false if full or duplicate
+  bool contains(net::Asn asn) const;
+  std::size_t size() const { return count_; }
+  bool moas() const { return count_ > 1; }
+  std::span<const net::Asn> origins() const { return {asns_.data(), count_}; }
+  net::Asn primary() const { return count_ > 0 ? asns_[0] : net::kNoAsn; }
+
+ private:
+  std::array<net::Asn, kMaxOrigins> asns_{};
+  std::size_t count_ = 0;
+};
+
+/// The longest-prefix-match IP-to-AS mapping built from BGP data
+/// (Appendix A.1). Lookups return every valid origin for the covering
+/// prefix; callers decide how to treat MOAS.
+class Ip2AsMap {
+ public:
+  void insert(const net::Prefix& prefix, const OriginSet& origins);
+
+  /// Longest-prefix match; empty when no covering prefix was mapped.
+  std::span<const net::Asn> lookup(net::IPv4 ip) const;
+
+  /// First origin of the covering prefix, or kNoAsn.
+  net::Asn primary(net::IPv4 ip) const;
+
+  std::size_t prefix_count() const { return trie_.size(); }
+
+  /// Fraction of a probe set of addresses that have a mapping; the paper
+  /// reports 75.8% coverage of routable IPv4 space.
+  double coverage(std::span<const net::IPv4> probes) const;
+
+  /// Visits every (prefix, origins) mapping in prefix order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    trie_.for_each([&](const net::Prefix& prefix, std::uint32_t index) {
+      fn(prefix, origin_sets_[index]);
+    });
+  }
+
+ private:
+  net::PrefixTrie<std::uint32_t> trie_;
+  std::vector<OriginSet> origin_sets_;
+};
+
+/// Source of per-snapshot IP-to-AS maps. The simulation derives them
+/// from synthetic BGP feeds (Ip2AsSeries); real deployments can load a
+/// prefix2as file once (FixedIp2As).
+class Ip2AsOracle {
+ public:
+  virtual ~Ip2AsOracle() = default;
+  virtual const Ip2AsMap& at(std::size_t snapshot) const = 0;
+};
+
+/// One immutable map answering for every snapshot (e.g. loaded from a
+/// CAIDA-style prefix2as file).
+class FixedIp2As final : public Ip2AsOracle {
+ public:
+  explicit FixedIp2As(Ip2AsMap map) : map_(std::move(map)) {}
+  const Ip2AsMap& at(std::size_t) const override { return map_; }
+
+ private:
+  Ip2AsMap map_;
+};
+
+/// Applies the paper's cleaning rules to monthly collector feeds:
+///   - discard bogon prefixes and reserved origin ASNs,
+///   - keep only (prefix, origin) pairs seen for more than 25% of the
+///     month at some collector (filters hijacks/leaks; <2% of hijacks
+///     last over a week),
+///   - merge collectors; conflicting origins become MOAS.
+class Ip2AsBuilder {
+ public:
+  /// Minimum fraction of the month a mapping must persist.
+  static constexpr double kPersistenceThreshold = 0.25;
+
+  void add(const MonthlyRouteObservation& obs);
+  void add_feed(const MonthlyFeed& feed);
+
+  Ip2AsMap build() const;
+
+  /// Number of observations rejected by each rule, for reporting.
+  struct Stats {
+    std::size_t accepted = 0;
+    std::size_t below_persistence = 0;
+    std::size_t bogon_prefix = 0;
+    std::size_t reserved_origin = 0;
+    std::size_t moas_prefixes = 0;  // filled by build()
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Kept {
+    net::Prefix prefix;
+    net::Asn origin;
+  };
+
+  std::vector<Kept> kept_;
+  mutable Stats stats_;
+};
+
+}  // namespace offnet::bgp

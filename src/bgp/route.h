@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/prefix.h"
+
+namespace offnet::bgp {
+
+/// The two public BGP collector projects the paper merges (Appendix A.1).
+enum class Collector : std::uint8_t {
+  kRipeRis,
+  kRouteViews,
+};
+
+constexpr std::size_t kCollectorCount = 2;
+
+constexpr std::string_view collector_name(Collector c) {
+  switch (c) {
+    case Collector::kRipeRis: return "RIPE RIS";
+    case Collector::kRouteViews: return "RouteViews";
+  }
+  return "?";
+}
+
+/// One month of aggregated control-plane data for one (prefix, origin)
+/// pair at one collector: the fraction of the month during which the
+/// origin was observed announcing the prefix. This is the exact input
+/// shape of the paper's monthly-aggregation step.
+struct MonthlyRouteObservation {
+  net::Prefix prefix;
+  net::Asn origin = net::kNoAsn;
+  Collector collector = Collector::kRipeRis;
+  double fraction_of_month = 0.0;  // in [0, 1]
+};
+
+using MonthlyFeed = std::vector<MonthlyRouteObservation>;
+
+}  // namespace offnet::bgp

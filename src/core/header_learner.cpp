@@ -1,0 +1,91 @@
+#include "core/header_learner.h"
+
+#include <algorithm>
+
+#include "core/known_headers.h"
+#include "net/table.h"
+
+namespace offnet::core {
+
+HeaderFingerprintLearner::HeaderFingerprintLearner(std::string hypergiant,
+                                                   std::string keyword)
+    : hypergiant_(std::move(hypergiant)), keyword_(std::move(keyword)) {}
+
+void HeaderFingerprintLearner::observe(const http::HeaderMap& headers) {
+  ++samples_;
+  auto bump = [](std::vector<Tally>& tallies, std::string_view name,
+                 std::string_view value) {
+    for (Tally& t : tallies) {
+      if (http::header_name_equals(t.name, name) && t.value == value) {
+        ++t.count;
+        return;
+      }
+    }
+    tallies.push_back(Tally{std::string(name), std::string(value), 1});
+  };
+  for (const http::Header& h : headers.all()) {
+    bump(pair_tallies_, h.name, h.value);
+    if (!http::is_standard_header(h.name)) {
+      bump(name_tallies_, h.name, "");
+    }
+  }
+}
+
+std::vector<HeaderFingerprintLearner::Candidate>
+HeaderFingerprintLearner::candidates(std::size_t top_n) const {
+  auto top = [top_n](const std::vector<Tally>& tallies) {
+    std::vector<Tally> sorted = tallies;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Tally& a, const Tally& b) { return a.count > b.count; });
+    if (sorted.size() > top_n) sorted.resize(top_n);
+    return sorted;
+  };
+  std::vector<Candidate> out;
+  for (const Tally& t : top(pair_tallies_)) {
+    out.push_back(Candidate{t.name, t.value, t.count});
+  }
+  for (const Tally& t : top(name_tallies_)) {
+    out.push_back(Candidate{t.name, "", t.count});
+  }
+  return out;
+}
+
+bool HeaderFingerprintLearner::classify(const Candidate& candidate,
+                                        http::HeaderFingerprint* out) const {
+  // Automatic rule: the header name or value carries the HG keyword.
+  if (!http::is_standard_header(candidate.name) &&
+      (net::icontains(candidate.name, keyword_) ||
+       net::icontains(candidate.value, keyword_))) {
+    out->name = candidate.name;
+    out->value = candidate.value;
+    return true;
+  }
+  // Documentation oracle (the paper's manual verification, Table 4): the
+  // observed header must conform to a documented pattern for this HG.
+  for (const http::HeaderFingerprint& known :
+       known_fingerprints(hypergiant_)) {
+    http::HeaderMap probe;
+    probe.add(candidate.name, candidate.value);
+    if (known.matches(probe)) {
+      *out = known;
+      return true;
+    }
+  }
+  return false;
+}
+
+http::HeaderFingerprintSet HeaderFingerprintLearner::learn(
+    std::size_t top_n) const {
+  http::HeaderFingerprintSet set;
+  for (const Candidate& candidate : candidates(top_n)) {
+    http::HeaderFingerprint fp;
+    if (!classify(candidate, &fp)) continue;
+    if (std::find(set.patterns.begin(), set.patterns.end(), fp) ==
+        set.patterns.end()) {
+      set.patterns.push_back(fp);
+    }
+  }
+  return set;
+}
+
+}  // namespace offnet::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/fingerprint.h"
+#include "http/headers.h"
+
+namespace offnet::core {
+
+/// Learns a Hypergiant's HTTP(S) header fingerprint from on-net responses
+/// (§4.4): tallies the most frequent non-standard header name-value pairs
+/// and header names, then classifies candidates as HG-identifying when
+/// the name/value carries the HG keyword or when the pattern is publicly
+/// documented (the Table 4 oracle standing in for the paper's manual
+/// step).
+class HeaderFingerprintLearner {
+ public:
+  HeaderFingerprintLearner(std::string hypergiant, std::string keyword);
+
+  /// Feeds one on-net server response.
+  void observe(const http::HeaderMap& headers);
+
+  /// Number of responses observed.
+  std::size_t sample_count() const { return samples_; }
+
+  struct Candidate {
+    std::string name;
+    std::string value;  // empty for name-only candidates
+    std::size_t count = 0;
+  };
+
+  /// The frequency candidates considered (top pairs + top names), for
+  /// reporting.
+  std::vector<Candidate> candidates(std::size_t top_n = 50) const;
+
+  /// The classified fingerprint set.
+  http::HeaderFingerprintSet learn(std::size_t top_n = 50) const;
+
+ private:
+  bool classify(const Candidate& candidate,
+                http::HeaderFingerprint* out) const;
+
+  std::string hypergiant_;
+  std::string keyword_;
+  std::size_t samples_ = 0;
+  // name-value pair and name-only tallies (lower-cased keys, original
+  // spellings preserved for output).
+  struct Tally {
+    std::string name;
+    std::string value;
+    std::size_t count = 0;
+  };
+  std::vector<Tally> pair_tallies_;
+  std::vector<Tally> name_tallies_;
+};
+
+}  // namespace offnet::core

@@ -1,0 +1,70 @@
+#include "core/known_headers.h"
+
+#include <array>
+
+namespace offnet::core {
+
+namespace {
+
+// Appendix A.5, Table 4.
+constexpr std::array<KnownHeaderEntry, 33> kTable = {{
+    {"Akamai", "Server:AkamaiGHost", true},
+    {"Akamai", "Server:AkamaiNetStorage", true},
+    {"Alibaba", "Server:tengine*", true},
+    {"Alibaba", "Eagleid:", true},
+    {"Alibaba", "Server:AliyunOSS*", true},
+    {"Amazon", "x-amz-id2:", true},
+    {"Amazon", "x-amz-request-id:", true},
+    {"Amazon", "Server:AmazonS3", true},
+    {"Amazon", "Server:awselb*", true},
+    {"Amazon", "X-Amz-Cf-Id:", true},
+    {"Amazon", "X-Amz-Cf-Pop:", true},
+    {"Amazon", "x-amzn-RequestId:", true},
+    {"Apple", "CDNUUID:", false},
+    {"Cdnetworks", "Server:PWS/*", true},
+    {"Cloudflare", "Server:Cloudflare", true},
+    {"Cloudflare", "cf-cache-status:", true},
+    {"Cloudflare", "cf-ray:", true},
+    {"Cloudflare", "cf-request-id:", true},
+    {"Facebook", "Server:proxygen*", true},
+    {"Facebook", "X-FB-Debug:", true},
+    {"Facebook", "X-FB-TRIP-ID:", true},
+    {"Fastly", "X-Served-By:cache-*", true},
+    {"Google", "Server:gws*", true},
+    {"Google", "Server:gvs*", true},
+    {"Google", "X-Google-Security-Signals:", true},
+    {"Hulu", "X-Hulu-Request-Id:", false},
+    {"Hulu", "X-HULU-NGINX:", false},
+    {"Incapsula", "X-CDN:Incapsula", false},
+    {"Limelight", "Server:EdgePrism*", true},
+    {"Limelight", "X-LLID:", true},
+    {"Microsoft", "X-MSEdge-Ref:", true},
+    {"Netflix", "X-Netflix.*:", false},
+    {"Twitter", "Server:tsa_a", true},
+}};
+
+}  // namespace
+
+std::span<const KnownHeaderEntry> known_header_table() { return kTable; }
+
+std::vector<http::HeaderFingerprint> known_fingerprints(
+    std::string_view hypergiant) {
+  std::vector<http::HeaderFingerprint> out;
+  for (const KnownHeaderEntry& entry : kTable) {
+    if (entry.hypergiant == hypergiant) {
+      out.push_back(http::HeaderFingerprint::parse(entry.pattern));
+    }
+  }
+  return out;
+}
+
+bool nginx_default_rule_applies(std::string_view hypergiant) {
+  return hypergiant == "Netflix";
+}
+
+bool is_default_nginx(const http::HeaderMap& headers) {
+  const std::string* server = headers.find("Server");
+  return server != nullptr && *server == "nginx";
+}
+
+}  // namespace offnet::core

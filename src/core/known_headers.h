@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/fingerprint.h"
+
+namespace offnet::core {
+
+/// One row of the paper's Table 4: headers whose association with a
+/// Hypergiant is publicly documented or disclosed. This table encodes the
+/// outcome of the paper's *manual* classification step (§4.4) — the
+/// fingerprint learner still has to surface each pattern from on-net scan
+/// frequency statistics before it may be used.
+struct KnownHeaderEntry {
+  std::string_view hypergiant;
+  std::string_view pattern;  // paper notation, e.g. "Server:AkamaiGHost"
+  bool documented;
+};
+
+std::span<const KnownHeaderEntry> known_header_table();
+
+/// Patterns documented for one Hypergiant (by name, case-sensitive).
+std::vector<http::HeaderFingerprint> known_fingerprints(
+    std::string_view hypergiant);
+
+/// §4.4 special case: "we consider a server with a Netflix certificate
+/// and the default nginx HTTP(S) header as a Netflix off-net."
+bool nginx_default_rule_applies(std::string_view hypergiant);
+
+/// True if `headers` is a bare default-nginx response.
+bool is_default_nginx(const http::HeaderMap& headers);
+
+}  // namespace offnet::core

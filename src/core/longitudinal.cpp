@@ -1,0 +1,47 @@
+#include "core/longitudinal.h"
+
+namespace offnet::core {
+
+LongitudinalRunner::LongitudinalRunner(const scan::World& world,
+                                       scan::ScannerKind scanner,
+                                       PipelineOptions options)
+    : world_(world), scanner_(scanner), options_(std::move(options)) {}
+
+std::vector<SnapshotResult> LongitudinalRunner::run(
+    std::size_t first, std::size_t last,
+    const std::function<void(const SnapshotResult&)>& progress) const {
+  std::vector<SnapshotResult> results;
+  std::unordered_set<std::uint32_t> netflix_ips;
+
+  for (std::size_t t = first; t <= last; ++t) {
+    if (!world_.scanner_available(t, scanner_)) continue;
+    scan::ScanSnapshot snapshot = world_.scan(t, scanner_);
+
+    PipelineOptions options = options_;
+    options.netflix_prior_ips = &netflix_ips;
+    OffnetPipeline pipeline(world_.topology(), world_.ip2as(), world_.certs(),
+                            world_.roots(), standard_hg_inputs(), options);
+    SnapshotResult result = pipeline.run(snapshot);
+
+    // Remember every IP seen with a (valid) Netflix certificate: the raw
+    // material for the HTTP-only recovery in later snapshots.
+    if (const HgFootprint* netflix = result.find("Netflix")) {
+      for (const auto& [ip, cert] : netflix->candidate_ip_certs) {
+        netflix_ips.insert(ip.value());
+      }
+    }
+
+    if (progress) progress(result);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+SnapshotResult LongitudinalRunner::run_one(std::size_t snapshot) const {
+  scan::ScanSnapshot snap = world_.scan(snapshot, scanner_);
+  OffnetPipeline pipeline(world_.topology(), world_.ip2as(), world_.certs(),
+                          world_.roots(), standard_hg_inputs(), options_);
+  return pipeline.run(snap);
+}
+
+}  // namespace offnet::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "scan/world.h"
+
+namespace offnet::core {
+
+/// Runs the pipeline over every study snapshot for one scanner, carrying
+/// the cross-snapshot state the paper's longitudinal analysis needs (the
+/// set of IPs ever seen serving Netflix certificates, used to restore the
+/// HTTP-only servers of 2017-2019).
+class LongitudinalRunner {
+ public:
+  LongitudinalRunner(const scan::World& world,
+                     scan::ScannerKind scanner = scan::ScannerKind::kRapid7,
+                     PipelineOptions options = {});
+
+  /// Runs snapshots [first, last]; by default the whole study. Results
+  /// for snapshots where the scanner has no data are skipped.
+  std::vector<SnapshotResult> run(
+      std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
+      const std::function<void(const SnapshotResult&)>& progress = {}) const;
+
+  /// Runs a single snapshot (stateless: without the HTTP-only recovery).
+  SnapshotResult run_one(std::size_t snapshot) const;
+
+ private:
+  const scan::World& world_;
+  scan::ScannerKind scanner_;
+  PipelineOptions options_;
+};
+
+}  // namespace offnet::core

@@ -1,0 +1,341 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "core/known_headers.h"
+#include "net/table.h"
+
+namespace offnet::core {
+
+namespace {
+
+std::vector<topo::AsId> sorted_vector(
+    const std::unordered_set<topo::AsId>& set) {
+  std::vector<topo::AsId> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<HgInput> standard_hg_inputs() {
+  return {
+      {"Akamai", "akamai"},         {"Alibaba", "alibaba"},
+      {"Amazon", "amazon"},         {"Apple", "apple"},
+      {"Bamtech", "bamtech"},       {"Highwinds", "highwinds"},
+      {"CDN77", "cdn77"},           {"Cachefly", "cachefly"},
+      {"Cdnetworks", "cdnetworks"}, {"Chinacache", "chinacache"},
+      {"Cloudflare", "cloudflare"}, {"Disney", "disney"},
+      {"Facebook", "facebook"},     {"Fastly", "fastly"},
+      {"Google", "google"},         {"Hulu", "hulu"},
+      {"Incapsula", "incapsula"},   {"Limelight", "limelight"},
+      {"Microsoft", "microsoft"},   {"Netflix", "netflix"},
+      {"Twitter", "twitter"},       {"Verizon", "verizon"},
+      {"Yahoo", "yahoo"},
+  };
+}
+
+const HgFootprint* SnapshotResult::find(std::string_view name) const {
+  for (const HgFootprint& fp : per_hg) {
+    if (fp.name == name) return &fp;
+  }
+  return nullptr;
+}
+
+OffnetPipeline::OffnetPipeline(const topo::Topology& topology,
+                               const bgp::Ip2AsOracle& ip2as,
+                               const tls::CertificateStore& certs,
+                               const tls::RootStore& roots,
+                               std::vector<HgInput> hypergiants,
+                               PipelineOptions options)
+    : topology_(topology),
+      ip2as_(ip2as),
+      certs_(certs),
+      validator_(certs, roots),
+      hypergiants_(std::move(hypergiants)),
+      options_(std::move(options)) {}
+
+SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
+  const std::size_t n_hg = hypergiants_.size();
+  const net::DayTime at = scan.time();
+  const bgp::Ip2AsMap& ip2as = ip2as_.at(scan.snapshot_index());
+
+  SnapshotResult result;
+  result.snapshot = scan.snapshot_index();
+  result.scanner = scan.scanner();
+  result.per_hg.resize(n_hg);
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    result.per_hg[h].name = hypergiants_[h].name;
+    result.per_hg[h].tls_fingerprint.hypergiant = hypergiants_[h].name;
+    result.per_hg[h].tls_fingerprint.keyword = hypergiants_[h].keyword;
+  }
+
+  // ---- Hypergiant on-net AS sets from the organization database (the
+  // CAIDA AS Organizations step, Appendix A.2). ----
+  std::vector<std::unordered_set<net::Asn>> hg_asns(n_hg);
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    for (topo::OrgId org :
+         topology_.orgs().find_by_keyword(hypergiants_[h].keyword)) {
+      for (topo::AsId id : topology_.orgs().ases_of(org)) {
+        hg_asns[h].insert(topology_.as(id).asn);
+      }
+    }
+  }
+
+  // ---- Per-certificate caches (certificates repeat across many IPs). ----
+  const std::size_t n_certs = certs_.size();
+  std::vector<std::uint8_t> status_cache(n_certs, 0xff);
+  auto status_of = [&](tls::CertId id) {
+    if (status_cache[id] == 0xff) {
+      status_cache[id] =
+          static_cast<std::uint8_t>(validator_.validate(id, at));
+    }
+    return static_cast<tls::CertStatus>(status_cache[id]);
+  };
+  std::vector<std::uint8_t> mask_known(n_certs, 0);
+  std::vector<std::uint32_t> mask_cache(n_certs, 0);
+  auto org_mask_of = [&](tls::CertId id) {
+    if (!mask_known[id]) {
+      std::uint32_t mask = 0;
+      const auto& org = certs_.get(id).subject.organization;
+      for (std::size_t h = 0; h < n_hg; ++h) {
+        if (net::icontains(org, hypergiants_[h].keyword)) mask |= 1u << h;
+      }
+      mask_cache[id] = mask;
+      mask_known[id] = 1;
+    }
+    return mask_cache[id];
+  };
+
+  // ---- Pass 1: corpus stats, on-net discovery, TLS fingerprints. ----
+  std::unordered_set<net::Asn> ases_with_certs;
+  std::vector<std::vector<net::IPv4>> onnet_ips(n_hg);
+  std::unordered_set<std::uint32_t> corpus_ips;
+  corpus_ips.reserve(scan.certs().size() * 2);
+
+  for (const scan::CertScanRecord& rec : scan.certs()) {
+    ++result.stats.total_records;
+    corpus_ips.insert(rec.ip.value());
+    auto origins = ip2as.lookup(rec.ip);
+    for (net::Asn asn : origins) ases_with_certs.insert(asn);
+
+    tls::CertStatus status = status_of(rec.cert);
+    if (status != tls::CertStatus::kValid) {
+      ++result.stats.invalid_cert_ips;
+      continue;
+    }
+    ++result.stats.valid_cert_ips;
+
+    std::uint32_t mask = org_mask_of(rec.cert);
+    if (mask == 0) continue;
+    const tls::Certificate& cert = certs_.get(rec.cert);
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      if (!(mask & (1u << h))) continue;
+      bool onnet = std::any_of(origins.begin(), origins.end(),
+                               [&](net::Asn a) {
+                                 return hg_asns[h].contains(a);
+                               });
+      if (onnet) {
+        result.per_hg[h].tls_fingerprint.absorb(cert);
+        onnet_ips[h].push_back(rec.ip);
+        ++result.per_hg[h].onnet_ips;
+        ++result.stats.hg_cert_ips_onnet;
+      }
+    }
+  }
+
+  // ---- Pass 2: candidate off-nets (§4.3). ----
+  std::vector<std::unordered_set<std::uint32_t>> candidate_ips(n_hg);
+  std::vector<std::unordered_set<topo::AsId>> candidate_ases(n_hg);
+  std::unordered_set<topo::AsId> any_hg_ases;
+  // Netflix recovery (§6.2).
+  const auto netflix_idx = [&]() -> int {
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      if (nginx_default_rule_applies(hypergiants_[h].name)) {
+        return static_cast<int>(h);
+      }
+    }
+    return -1;
+  }();
+  std::unordered_set<std::uint32_t> netflix_expired_ips;
+
+  auto map_ases = [&](net::IPv4 ip,
+                      const std::unordered_set<net::Asn>& exclude)
+      -> std::vector<topo::AsId> {
+    std::vector<topo::AsId> out;
+    for (net::Asn asn : ip2as.lookup(ip)) {
+      if (exclude.contains(asn)) continue;
+      if (auto id = topology_.find_asn(asn)) out.push_back(*id);
+    }
+    return out;
+  };
+
+  // Per-(hg, cert) containment-rule cache: 0 unknown, 1 pass, 2 fail.
+  std::vector<std::vector<std::uint8_t>> subset_cache(
+      n_hg, std::vector<std::uint8_t>(n_certs, 0));
+
+  for (const scan::CertScanRecord& rec : scan.certs()) {
+    std::uint32_t mask = org_mask_of(rec.cert);
+    if (mask == 0) continue;
+    tls::CertStatus status = status_of(rec.cert);
+    bool valid = status == tls::CertStatus::kValid;
+    bool netflix_expired = status == tls::CertStatus::kExpired;
+    if (!valid && !netflix_expired) continue;
+
+    const tls::Certificate& cert = certs_.get(rec.cert);
+    auto origins = ip2as.lookup(rec.ip);
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      if (!(mask & (1u << h))) continue;
+      if (!valid &&
+          !(netflix_expired && static_cast<int>(h) == netflix_idx)) {
+        continue;
+      }
+      bool onnet = std::any_of(origins.begin(), origins.end(),
+                               [&](net::Asn a) {
+                                 return hg_asns[h].contains(a);
+                               });
+      if (onnet) continue;
+
+      auto& cache = subset_cache[h][rec.cert];
+      if (cache == 0) {
+        bool pass = options_.disable_subset_rule
+                        ? !cert.dns_names.empty()
+                        : result.per_hg[h].tls_fingerprint.covers_all_names(
+                              cert);
+        if (pass && options_.apply_cloudflare_ssl_filter &&
+            all_cloudflare_customer_names(cert)) {
+          pass = false;
+        }
+        cache = pass ? 1 : 2;
+      }
+      if (cache != 1) continue;
+
+      if (!valid) {
+        // Expired Netflix default certificate: only the recovery
+        // variants count these.
+        netflix_expired_ips.insert(rec.ip.value());
+        continue;
+      }
+      if (candidate_ips[h].insert(rec.ip.value()).second) {
+        result.per_hg[h].candidate_ip_certs.emplace_back(rec.ip, rec.cert);
+        auto ases = map_ases(rec.ip, hg_asns[h]);
+        for (topo::AsId id : ases) {
+          candidate_ases[h].insert(id);
+          any_hg_ases.insert(id);
+        }
+        ++result.stats.hg_cert_ips_offnet;
+      }
+    }
+  }
+
+  // ---- Pass 3: header fingerprints from on-net responses (§4.4). ----
+  std::vector<http::HeaderFingerprintSet> learned(n_hg);
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    HeaderFingerprintLearner learner(hypergiants_[h].name,
+                                     hypergiants_[h].keyword);
+    for (net::IPv4 ip : onnet_ips[h]) {
+      if (const http::HeaderMap* headers = scan.https_headers(ip)) {
+        learner.observe(*headers);
+      } else if (const http::HeaderMap* fallback = scan.http_headers(ip)) {
+        learner.observe(*fallback);
+      }
+    }
+    learned[h] = learner.learn();
+    result.per_hg[h].header_fingerprint = learned[h];
+  }
+
+  // Third-party edge fingerprints for the reverse-proxy conflict rule
+  // (§7): when a response carries both an edge CDN's and an origin HG's
+  // headers, the edge CDN owns the server.
+  std::vector<std::size_t> edge_hgs;
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    if (hypergiants_[h].name == "Akamai" ||
+        hypergiants_[h].name == "Cloudflare") {
+      edge_hgs.push_back(h);
+    }
+  }
+
+  // ---- Pass 4: header confirmation (§4.5). ----
+  for (std::size_t h = 0; h < n_hg; ++h) {
+    HgFootprint& fp = result.per_hg[h];
+    const bool nginx_rule = !options_.disable_nginx_rule &&
+                            nginx_default_rule_applies(hypergiants_[h].name);
+    auto matches = [&](const http::HeaderMap& headers) {
+      if (learned[h].matches(headers)) return true;
+      return nginx_rule && is_default_nginx(headers);
+    };
+    auto edge_conflict = [&](const http::HeaderMap& headers) {
+      if (options_.disable_edge_conflict_rule) return false;
+      for (std::size_t e : edge_hgs) {
+        if (e == h) continue;
+        if (learned[e].matches(headers)) return true;
+      }
+      return false;
+    };
+
+    std::unordered_set<topo::AsId> confirmed_or;
+    std::unordered_set<topo::AsId> confirmed_and;
+    std::unordered_set<topo::AsId> confirmed_expired;
+
+    auto confirm_ip = [&](net::IPv4 ip, bool into_expired_only) {
+      const http::HeaderMap* https = scan.https_headers(ip);
+      const http::HeaderMap* http = scan.http_headers(ip);
+      bool m_https = https != nullptr && matches(*https);
+      bool m_http = http != nullptr && matches(*http);
+      if (!m_https && !m_http) return;
+      const http::HeaderMap* matched = m_https ? https : http;
+      if (edge_conflict(*matched)) return;
+      auto ases = map_ases(ip, hg_asns[h]);
+      if (!into_expired_only) {
+        ++fp.confirmed_ips;
+        fp.confirmed_ip_list.push_back(ip);
+        for (topo::AsId id : ases) confirmed_or.insert(id);
+        if (m_https && m_http) {
+          for (topo::AsId id : ases) confirmed_and.insert(id);
+        }
+      }
+      for (topo::AsId id : ases) confirmed_expired.insert(id);
+    };
+
+    for (std::uint32_t ip_value : candidate_ips[h]) {
+      confirm_ip(net::IPv4(ip_value), false);
+    }
+    fp.candidate_ips = candidate_ips[h].size();
+    fp.candidate_ases = sorted_vector(candidate_ases[h]);
+    fp.confirmed_or_ases = sorted_vector(confirmed_or);
+    fp.confirmed_and_ases = sorted_vector(confirmed_and);
+
+    if (static_cast<int>(h) == netflix_idx) {
+      // Variant 1: restore IPs behind the expired default certificate.
+      for (std::uint32_t ip_value : netflix_expired_ips) {
+        confirm_ip(net::IPv4(ip_value), true);
+      }
+      fp.confirmed_expired_ases = sorted_vector(confirmed_expired);
+
+      // Variant 2: additionally restore servers that moved to plain HTTP
+      // (identified by having served Netflix certificates in earlier
+      // snapshots and still answering with the fingerprint on port 80).
+      if (options_.netflix_prior_ips != nullptr) {
+        std::unordered_set<topo::AsId> with_http = confirmed_expired;
+        for (std::uint32_t ip_value : *options_.netflix_prior_ips) {
+          net::IPv4 ip(ip_value);
+          if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS
+          const http::HeaderMap* http = scan.http_headers(ip);
+          if (http == nullptr || !matches(*http)) continue;
+          for (topo::AsId id : map_ases(ip, hg_asns[h])) {
+            with_http.insert(id);
+          }
+        }
+        fp.confirmed_expired_http_ases = sorted_vector(with_http);
+      } else {
+        fp.confirmed_expired_http_ases = fp.confirmed_expired_ases;
+      }
+    }
+  }
+
+  result.stats.ases_with_certs = ases_with_certs.size();
+  result.stats.ases_with_any_hg = any_hg_ases.size();
+  return result;
+}
+
+}  // namespace offnet::core

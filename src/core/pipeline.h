@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/feed.h"
+#include "bgp/ip2as.h"
+#include "core/header_learner.h"
+#include "core/tls_fingerprint.h"
+#include "http/fingerprint.h"
+#include "scan/record.h"
+#include "tls/validator.h"
+#include "topology/topology.h"
+
+namespace offnet::core {
+
+/// One Hypergiant to search for: the §4.6 inputs are just a name and the
+/// Organization keyword.
+struct HgInput {
+  std::string name;
+  std::string keyword;
+};
+
+/// The paper's 23 examined Hypergiants (§4.6).
+std::vector<HgInput> standard_hg_inputs();
+
+/// Optional pipeline behaviours.
+struct PipelineOptions {
+  /// §7 mitigation: drop candidate certificates whose dNSNames are all
+  /// (ssl|sni)[0-9]*.cloudflaressl.com (universal-SSL customers).
+  bool apply_cloudflare_ssl_filter = false;
+
+  /// Ablation: skip the §4.3 containment rule (all dNSNames must appear
+  /// on on-net certificates). Demonstrates why the rule exists.
+  bool disable_subset_rule = false;
+
+  /// Ablation: skip the §7 reverse-proxy conflict rule (edge CDN headers
+  /// win over origin debug headers). Without it, third-party-hosted
+  /// services are confirmed as the origin HG's off-nets.
+  bool disable_edge_conflict_rule = false;
+
+  /// Ablation: skip the §4.4 Netflix special case (certificate plus
+  /// default-nginx header). Netflix confirmations collapse without it.
+  bool disable_nginx_rule = false;
+
+  /// IPs known to have served Netflix certificates in earlier snapshots;
+  /// used to restore the HTTP-only Open Connect servers of 2017-2019
+  /// (§6.2, the "w/ expired, non-tls" line). Maintained by the
+  /// longitudinal runner.
+  const std::unordered_set<std::uint32_t>* netflix_prior_ips = nullptr;
+};
+
+/// Everything inferred about one Hypergiant from one scan snapshot.
+struct HgFootprint {
+  std::string name;
+
+  // --- IP level ---
+  std::size_t onnet_ips = 0;      // valid HG certs inside the HG's ASes
+  std::size_t candidate_ips = 0;  // §4.3 candidates outside the HG
+  std::size_t confirmed_ips = 0;  // header-confirmed off-net server IPs
+
+  // --- AS level (sorted AsId vectors) ---
+  std::vector<topo::AsId> candidate_ases;       // certificates only
+  std::vector<topo::AsId> confirmed_or_ases;    // certs & (HTTP or HTTPS)
+  std::vector<topo::AsId> confirmed_and_ases;   // certs & (HTTP and HTTPS)
+
+  /// Netflix-only recovery variants (§6.2): counting expired
+  /// certificates, and additionally the HTTP-only servers.
+  std::vector<topo::AsId> confirmed_expired_ases;
+  std::vector<topo::AsId> confirmed_expired_http_ases;
+
+  /// (ip, cert) of every candidate off-net IP — feeds the certificate
+  /// IP-group analysis (Fig. 11).
+  std::vector<std::pair<net::IPv4, tls::CertId>> candidate_ip_certs;
+
+  /// Header-confirmed off-net server IPs (for the §5 active-measurement
+  /// validation experiments).
+  std::vector<net::IPv4> confirmed_ip_list;
+
+  /// The learned fingerprints, for inspection.
+  TlsFingerprint tls_fingerprint;
+  http::HeaderFingerprintSet header_fingerprint;
+
+  /// The default confirmed set (the OR rule, as used throughout §6).
+  const std::vector<topo::AsId>& confirmed_ases() const {
+    return confirmed_or_ases;
+  }
+};
+
+/// Corpus-level statistics (Fig. 2, Table 2).
+struct CorpusStats {
+  std::size_t total_records = 0;       // IPs with any certificate
+  std::size_t valid_cert_ips = 0;      // passing §4.1
+  std::size_t invalid_cert_ips = 0;
+  std::size_t ases_with_certs = 0;     // distinct origin ASes
+  std::size_t hg_cert_ips_onnet = 0;   // HG-cert IPs inside HG ASes
+  std::size_t hg_cert_ips_offnet = 0;  // HG-cert IPs outside (candidates)
+  std::size_t ases_with_any_hg = 0;    // union of candidate AS sets
+};
+
+struct SnapshotResult {
+  std::size_t snapshot = 0;
+  scan::ScannerKind scanner = scan::ScannerKind::kRapid7;
+  CorpusStats stats;
+  std::vector<HgFootprint> per_hg;
+
+  const HgFootprint* find(std::string_view name) const;
+};
+
+/// The paper's methodology (§4): validate certificates, learn per-HG TLS
+/// fingerprints from on-net address space, identify candidate off-nets by
+/// Organization + dNSName containment, learn header fingerprints from
+/// on-net responses, and confirm candidates via HTTP(S) headers, with
+/// IP-to-AS mapping from BGP data.
+class OffnetPipeline {
+ public:
+  OffnetPipeline(const topo::Topology& topology,
+                 const bgp::Ip2AsOracle& ip2as,
+                 const tls::CertificateStore& certs,
+                 const tls::RootStore& roots,
+                 std::vector<HgInput> hypergiants = standard_hg_inputs(),
+                 PipelineOptions options = {});
+
+  SnapshotResult run(const scan::ScanSnapshot& scan) const;
+
+  std::span<const HgInput> hypergiants() const { return hypergiants_; }
+  const PipelineOptions& options() const { return options_; }
+  void set_options(PipelineOptions options) { options_ = std::move(options); }
+
+ private:
+  const topo::Topology& topology_;
+  const bgp::Ip2AsOracle& ip2as_;
+  const tls::CertificateStore& certs_;
+  tls::CertValidator validator_;
+  std::vector<HgInput> hypergiants_;
+  PipelineOptions options_;
+};
+
+}  // namespace offnet::core

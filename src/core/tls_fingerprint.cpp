@@ -1,0 +1,49 @@
+#include "core/tls_fingerprint.h"
+
+#include "net/table.h"
+
+namespace offnet::core {
+
+bool TlsFingerprint::organization_matches(const tls::Certificate& cert) const {
+  return net::icontains(cert.subject.organization, keyword);
+}
+
+bool TlsFingerprint::covers_all_names(const tls::Certificate& cert) const {
+  if (cert.dns_names.empty()) return false;
+  for (const std::string& name : cert.dns_names) {
+    if (!dns_names.contains(name)) return false;
+  }
+  return true;
+}
+
+void TlsFingerprint::absorb(const tls::Certificate& cert) {
+  for (const std::string& name : cert.dns_names) {
+    dns_names.insert(name);
+  }
+}
+
+bool is_cloudflare_customer_name(std::string_view name) {
+  std::string_view rest;
+  if (name.substr(0, 3) == "ssl") {
+    rest = name.substr(3);
+  } else if (name.substr(0, 3) == "sni") {
+    rest = name.substr(3);
+  } else {
+    return false;
+  }
+  std::size_t digits = 0;
+  while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+    ++digits;
+  }
+  return rest.substr(digits) == ".cloudflaressl.com";
+}
+
+bool all_cloudflare_customer_names(const tls::Certificate& cert) {
+  if (cert.dns_names.empty()) return false;
+  for (const std::string& name : cert.dns_names) {
+    if (!is_cloudflare_customer_name(name)) return false;
+  }
+  return true;
+}
+
+}  // namespace offnet::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "tls/certificate.h"
+
+namespace offnet::core {
+
+/// A Hypergiant's TLS fingerprint (§4.2): its Organization keyword plus
+/// the authoritative set of DNS names collected from end-entity
+/// certificates served inside the HG's own address space.
+struct TlsFingerprint {
+  std::string hypergiant;
+  std::string keyword;
+  std::unordered_set<std::string> dns_names;
+
+  /// True when the certificate's Organization names the HG (case-
+  /// insensitive substring, §4.2).
+  bool organization_matches(const tls::Certificate& cert) const;
+
+  /// §4.3 containment rule: every dNSName of the certificate must appear
+  /// in the on-net name set. Filters cert-provider customers and shared
+  /// certificates.
+  bool covers_all_names(const tls::Certificate& cert) const;
+
+  void absorb(const tls::Certificate& cert);
+};
+
+/// §7 Cloudflare mitigation: true when `name` matches
+/// (ssl|sni)[0-9]*.cloudflaressl.com.
+bool is_cloudflare_customer_name(std::string_view name);
+
+/// True when every dNSName on the certificate is a Cloudflare universal-
+/// SSL customer name.
+bool all_cloudflare_customer_names(const tls::Certificate& cert);
+
+}  // namespace offnet::core

@@ -1,0 +1,231 @@
+#include "dns/authority.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "net/rng.h"
+
+namespace offnet::dns {
+
+namespace {
+
+/// Distinct serving locations per country in the naming scheme.
+constexpr int kCodesPerCountry = 6;
+
+/// Share of deployments with non-standard hostnames the enumeration
+/// baselines cannot guess (why they miss ~4-6% of ASes, §5).
+constexpr double kNonStandardNameShare = 0.05;
+
+bool nonstandard_name(net::Asn asn) {
+  return net::Rng::hash("fna-nonstandard-" + std::to_string(asn)) % 100 <
+         kNonStandardNameShare * 100;
+}
+
+/// When Google's authority stopped handing off-net addresses to ECS
+/// queries (§1: "ECS-based mapping efforts no longer uncover Google
+/// off-nets").
+const net::YearMonth kGoogleEcsCutoff{2016, 7};
+
+}  // namespace
+
+std::string airport_code(const topo::Topology& topology, topo::AsId as) {
+  auto country = topology.as(as).country;
+  if (country == topo::kNoCountry) return "xx0";
+  std::string code(topology.country(country).code);
+  std::transform(code.begin(), code.end(), code.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  auto slot = net::Rng::hash("airport-" + std::to_string(topology.as(as).asn)) %
+              kCodesPerCountry;
+  return code + std::to_string(slot);
+}
+
+HgAuthority::HgAuthority(const scan::World& world, int hg)
+    : world_(world), hg_(hg) {}
+
+const HgAuthority::Cache& HgAuthority::cache(std::size_t snapshot) const {
+  if (cache_.snapshot != snapshot) {
+    Cache fresh;
+    fresh.snapshot = snapshot;
+    for (const hg::ServerRecord& rec :
+         world_.fleet().snapshot_fleet(snapshot)) {
+      if (rec.hg != hg_) continue;
+      if (rec.role == hg::ServerRole::kOnNet) {
+        if (fresh.onnets.size() < 8) fresh.onnets.push_back(rec.ip);
+      } else if (rec.role == hg::ServerRole::kOffNet) {
+        auto& ips = fresh.offnets[rec.as];
+        if (ips.size() < 3) ips.push_back(rec.ip);
+      }
+    }
+    cache_ = std::move(fresh);
+  }
+  return cache_;
+}
+
+bool HgAuthority::in_domains(std::string_view hostname) const {
+  for (const std::string& domain : world_.profiles()[hg_].domains) {
+    if (hostname == domain) return true;
+    if (hostname.size() > domain.size() + 1 &&
+        hostname.substr(hostname.size() - domain.size()) == domain &&
+        hostname[hostname.size() - domain.size() - 1] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HgAuthority::ecs_usable(std::size_t snapshot) const {
+  const hg::HgProfile& p = world_.profiles()[hg_];
+  // Only some HGs ever honoured ECS (§1: "many HGs do not support ECS").
+  if (p.name != "Google" && p.name != "Akamai") return false;
+  if (p.name == "Google" &&
+      net::study_snapshots()[snapshot] >= kGoogleEcsCutoff) {
+    return false;  // off-nets no longer exposed via ECS
+  }
+  return true;
+}
+
+HgAuthority::Response HgAuthority::resolve_ecs(std::string_view hostname,
+                                               const net::Prefix& client,
+                                               std::size_t snapshot) const {
+  Response response;
+  if (!in_domains(hostname)) return response;  // NXDOMAIN
+
+  const hg::HgProfile& p = world_.profiles()[hg_];
+  const Cache& state = cache(snapshot);
+  auto onnet_answer = [&]() {
+    // The default: an on-net front end.
+    if (!state.onnets.empty()) response.addresses.push_back(state.onnets[0]);
+  };
+
+  if (p.name != "Google" && p.name != "Akamai") {
+    response.refused = true;  // ECS option ignored/unsupported
+    onnet_answer();
+    return response;
+  }
+  if (!ecs_usable(snapshot)) {
+    onnet_answer();
+    return response;
+  }
+
+  // Client prefix -> AS (the authority's own BGP-derived view).
+  auto origins = world_.ip2as().at(snapshot).lookup(client.first_address());
+  topo::AsId client_as = topo::kNoAs;
+  for (net::Asn asn : origins) {
+    if (auto id = world_.topology().find_asn(asn)) {
+      client_as = *id;
+      break;
+    }
+  }
+  if (client_as == topo::kNoAs) {
+    onnet_answer();
+    return response;
+  }
+
+  // Serve from the client's AS, else from a provider hosting an off-net
+  // (cone serving, §6.5), else on-net.
+  auto direct = state.offnets.find(client_as);
+  if (direct != state.offnets.end()) {
+    response.addresses = direct->second;
+    return response;
+  }
+  for (topo::AsId provider : world_.topology().graph().providers(client_as)) {
+    auto via_provider = state.offnets.find(provider);
+    if (via_provider != state.offnets.end()) {
+      response.addresses = via_provider->second;
+      return response;
+    }
+  }
+  onnet_answer();
+  return response;
+}
+
+std::string HgAuthority::server_hostname(const hg::ServerRecord& server,
+                                         std::size_t snapshot) const {
+  if (server.hg != hg_ || server.role != hg::ServerRole::kOffNet) return {};
+  const hg::HgProfile& p = world_.profiles()[hg_];
+  const topo::Topology& topology = world_.topology();
+
+  std::string suffix;
+  if (p.name == "Facebook") {
+    suffix = ".fna.fbcdn.net";
+  } else if (p.name == "Netflix") {
+    suffix = ".isp.oca.nflxvideo.net";
+  } else {
+    return {};  // no exploitable per-server naming convention (§1)
+  }
+  if (nonstandard_name(topology.as(server.as).asn)) {
+    return "edge-" + std::to_string(topology.as(server.as).asn) + suffix;
+  }
+  // "<code><k>" where k is the AS's rank among same-code hosts.
+  const auto& hosts = world_.plan().at(snapshot, hg_).confirmed;
+  std::string code = airport_code(topology, server.as);
+  int k = 0;
+  for (topo::AsId as : hosts) {
+    if (nonstandard_name(topology.as(as).asn)) continue;
+    if (airport_code(topology, as) != code) continue;
+    ++k;
+    if (as == server.as) break;
+  }
+  return code + "-" + std::to_string(k) + suffix;
+}
+
+HgAuthority::Response HgAuthority::resolve_name(std::string_view hostname,
+                                                std::size_t snapshot) const {
+  Response response;
+  const hg::HgProfile& p = world_.profiles()[hg_];
+  std::string_view suffix;
+  if (p.name == "Facebook") {
+    suffix = ".fna.fbcdn.net";
+  } else if (p.name == "Netflix") {
+    suffix = ".isp.oca.nflxvideo.net";
+  } else {
+    return response;
+  }
+  if (hostname.size() <= suffix.size() ||
+      hostname.substr(hostname.size() - suffix.size()) != suffix) {
+    return response;
+  }
+  std::string_view label = hostname.substr(0, hostname.size() - suffix.size());
+
+  const topo::Topology& topology = world_.topology();
+  const auto& hosts = world_.plan().at(snapshot, hg_).confirmed;
+  topo::AsId target = topo::kNoAs;
+  if (label.substr(0, 5) == "edge-") {
+    // Non-standard direct names resolve too — if you know them.
+    net::Asn asn = 0;
+    for (char c : label.substr(5)) {
+      if (c < '0' || c > '9') return response;
+      asn = asn * 10 + static_cast<net::Asn>(c - '0');
+    }
+    if (auto id = topology.find_asn(asn)) {
+      if (std::binary_search(hosts.begin(), hosts.end(), *id)) target = *id;
+    }
+  } else {
+    auto dash = label.rfind('-');
+    if (dash == std::string_view::npos) return response;
+    std::string code(label.substr(0, dash));
+    int want = 0;
+    for (char c : label.substr(dash + 1)) {
+      if (c < '0' || c > '9') return response;
+      want = want * 10 + (c - '0');
+    }
+    int k = 0;
+    for (topo::AsId as : hosts) {
+      if (nonstandard_name(topology.as(as).asn)) continue;
+      if (airport_code(topology, as) != code) continue;
+      if (++k == want) {
+        target = as;
+        break;
+      }
+    }
+  }
+  if (target == topo::kNoAs) return response;  // NXDOMAIN
+
+  const Cache& state = cache(snapshot);
+  auto it = state.offnets.find(target);
+  if (it != state.offnets.end()) response.addresses = it->second;
+  return response;
+}
+
+}  // namespace offnet::dns

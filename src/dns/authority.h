@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix.h"
+#include "scan/world.h"
+
+/// A DNS control-plane simulation for the earlier mapping techniques the
+/// paper compares against (§1, §5): EDNS Client-Subnet redirection
+/// (Calder et al.'s Google mapping) and per-HG hostname naming schemes
+/// (Facebook FNA / Netflix Open Connect enumeration).
+namespace offnet::dns {
+
+/// One Hypergiant's authoritative DNS with client-aware redirection:
+/// queries for its domains are answered with a server near the client —
+/// an off-net inside the client's AS when one exists, else inside a
+/// provider in whose customer cone the client sits, else an on-net.
+class HgAuthority {
+ public:
+  HgAuthority(const scan::World& world, int hg);
+
+  struct Response {
+    std::vector<net::IPv4> addresses;
+    bool refused = false;  // ECS unsupported / resolver not whitelisted
+  };
+
+  /// Resolves `hostname` with an EDNS Client-Subnet option.
+  Response resolve_ecs(std::string_view hostname, const net::Prefix& client,
+                       std::size_t snapshot) const;
+
+  /// Resolves a concrete per-server hostname (the FNA/OCA naming
+  /// scheme), with no client information.
+  Response resolve_name(std::string_view hostname,
+                        std::size_t snapshot) const;
+
+  /// The naming-scheme hostname of an off-net server (empty when the HG
+  /// has no per-server naming convention or the server opted out of it).
+  std::string server_hostname(const hg::ServerRecord& server,
+                              std::size_t snapshot) const;
+
+  /// Whether this HG's authority honours ECS at this point of the study
+  /// (Google stopped exposing off-nets to ECS queries for its main
+  /// domains after ~2016, §1).
+  bool ecs_usable(std::size_t snapshot) const;
+
+  int hg() const { return hg_; }
+
+ private:
+  struct Cache {
+    std::size_t snapshot = static_cast<std::size_t>(-1);
+    std::unordered_map<topo::AsId, std::vector<net::IPv4>> offnets;
+    std::vector<net::IPv4> onnets;
+  };
+
+  bool in_domains(std::string_view hostname) const;
+  const Cache& cache(std::size_t snapshot) const;
+
+  const scan::World& world_;
+  int hg_;
+  mutable Cache cache_;
+};
+
+/// Pseudo airport code of a hosting AS (stable, derived from its country
+/// and ASN) — the location tag the FNA-style naming scheme embeds.
+std::string airport_code(const topo::Topology& topology, topo::AsId as);
+
+}  // namespace offnet::dns

@@ -1,0 +1,119 @@
+#include "dns/baselines.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace offnet::dns {
+
+namespace {
+
+std::vector<topo::AsId> to_sorted_ases(
+    const scan::World& world, int hg,
+    const std::unordered_set<std::uint32_t>& ips, std::size_t snapshot) {
+  // Both techniques end with the standard IP-to-AS mapping step; HG-own
+  // ASes are on-nets, not off-nets.
+  std::unordered_set<net::Asn> own;
+  if (auto org = world.topology().orgs().find_exact(
+          world.profiles()[hg].org_name)) {
+    for (topo::AsId id : world.topology().orgs().ases_of(*org)) {
+      own.insert(world.topology().as(id).asn);
+    }
+  }
+  std::unordered_set<topo::AsId> ases;
+  const auto& map = world.ip2as().at(snapshot);
+  for (std::uint32_t ip : ips) {
+    for (net::Asn asn : map.lookup(net::IPv4(ip))) {
+      if (own.contains(asn)) continue;
+      if (auto id = world.topology().find_asn(asn)) ases.insert(*id);
+    }
+  }
+  std::vector<topo::AsId> out(ases.begin(), ases.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+EcsMapper::EcsMapper(const scan::World& world, int hg)
+    : world_(world), authority_(world, hg) {}
+
+std::vector<topo::AsId> EcsMapper::map_footprint(std::size_t snapshot) const {
+  if (!authority_.ecs_usable(snapshot)) return {};
+  const topo::Topology& topology = world_.topology();
+  const std::string hostname =
+      "www." + world_.profiles()[authority_.hg()].domains.front();
+  const auto& alive = topology.alive_mask(snapshot);
+
+  std::unordered_set<std::uint32_t> ips;
+  for (topo::AsId id = 0; id < topology.as_count(); ++id) {
+    if (!alive[id] || topology.as(id).prefixes.empty()) continue;
+    // One query per announced prefix of the client AS.
+    for (const net::Prefix& prefix : topology.as(id).prefixes) {
+      auto response = authority_.resolve_ecs(hostname, prefix, snapshot);
+      for (net::IPv4 ip : response.addresses) ips.insert(ip.value());
+    }
+  }
+  return to_sorted_ases(world_, authority_.hg(), ips, snapshot);
+}
+
+PatternEnumerator::PatternEnumerator(const scan::World& world, int hg)
+    : world_(world), authority_(world, hg) {}
+
+std::size_t PatternEnumerator::guesses_per_snapshot() const {
+  // codes-per-country * countries * counter range.
+  return world_.topology().country_count() * 6 * 60;
+}
+
+std::vector<topo::AsId> PatternEnumerator::map_footprint(
+    std::size_t snapshot) const {
+  const hg::HgProfile& p = world_.profiles()[authority_.hg()];
+  std::string suffix;
+  if (p.name == "Facebook") {
+    suffix = ".fna.fbcdn.net";
+  } else if (p.name == "Netflix") {
+    suffix = ".isp.oca.nflxvideo.net";
+  } else {
+    return {};  // no exploitable naming convention (§1)
+  }
+
+  const topo::Topology& topology = world_.topology();
+  std::unordered_set<std::uint32_t> ips;
+  for (topo::CountryId c = 0; c < topology.country_count(); ++c) {
+    std::string country(topology.country(c).code);
+    std::transform(country.begin(), country.end(), country.begin(),
+                   [](unsigned char ch) {
+                     return static_cast<char>(std::tolower(ch));
+                   });
+    for (int slot = 0; slot < 6; ++slot) {
+      // Walk the per-location counter until a few consecutive misses.
+      int misses = 0;
+      for (int k = 1; k <= 60 && misses < 3; ++k) {
+        std::string hostname =
+            country + std::to_string(slot) + "-" + std::to_string(k) + suffix;
+        auto response = authority_.resolve_name(hostname, snapshot);
+        if (response.addresses.empty()) {
+          ++misses;
+          continue;
+        }
+        misses = 0;
+        for (net::IPv4 ip : response.addresses) ips.insert(ip.value());
+      }
+    }
+  }
+  return to_sorted_ases(world_, authority_.hg(), ips, snapshot);
+}
+
+BaselineComparison compare_footprints(std::span<const topo::AsId> baseline,
+                                      std::span<const topo::AsId> pipeline) {
+  BaselineComparison out;
+  out.baseline_ases = baseline.size();
+  out.pipeline_ases = pipeline.size();
+  std::vector<topo::AsId> overlap;
+  std::set_intersection(baseline.begin(), baseline.end(), pipeline.begin(),
+                        pipeline.end(), std::back_inserter(overlap));
+  out.overlap = overlap.size();
+  return out;
+}
+
+}  // namespace offnet::dns

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "dns/authority.h"
+
+namespace offnet::dns {
+
+/// The earlier mapping techniques the paper compares against (§5),
+/// implemented for real against the simulated DNS control plane.
+
+/// Calder et al.'s EDNS-Client-Subnet mapper: issue queries that appear
+/// to come from every routed prefix and collect the addresses the HG's
+/// authority returns, mapped to ASes with the same BGP-derived IP-to-AS
+/// mapping the certificate pipeline uses.
+class EcsMapper {
+ public:
+  EcsMapper(const scan::World& world, int hg);
+
+  /// The AS footprint uncovered by the ECS sweep (sorted, HG's own ASes
+  /// excluded). Empty when the HG ignores ECS or has stopped exposing
+  /// off-nets to it.
+  std::vector<topo::AsId> map_footprint(std::size_t snapshot) const;
+
+ private:
+  const scan::World& world_;
+  HgAuthority authority_;
+};
+
+/// The hostname-pattern enumeration used to map Facebook's FNA and
+/// Netflix's Open Connect (§1/§5): guess per-location hostnames from
+/// public airport codes and counters, resolve each, and keep the hits.
+/// "Fragile and tedious": non-standard names are never found.
+class PatternEnumerator {
+ public:
+  PatternEnumerator(const scan::World& world, int hg);
+
+  std::vector<topo::AsId> map_footprint(std::size_t snapshot) const;
+
+  /// The guessed hostname space (for reporting query cost).
+  std::size_t guesses_per_snapshot() const;
+
+ private:
+  const scan::World& world_;
+  HgAuthority authority_;
+};
+
+/// Overlap statistics between a baseline footprint and the certificate
+/// pipeline's footprint (both sorted AsId vectors).
+struct BaselineComparison {
+  std::size_t baseline_ases = 0;
+  std::size_t pipeline_ases = 0;
+  std::size_t overlap = 0;
+
+  /// Share of the baseline's ASes the pipeline also uncovers (the
+  /// paper's headline: 94-98%).
+  double covered_share() const {
+    return baseline_ases > 0 ? static_cast<double>(overlap) / baseline_ases
+                             : 0.0;
+  }
+  /// ASes only the pipeline finds (its coverage advantage).
+  std::size_t pipeline_extra() const { return pipeline_ases - overlap; }
+};
+
+BaselineComparison compare_footprints(std::span<const topo::AsId> baseline,
+                                      std::span<const topo::AsId> pipeline);
+
+}  // namespace offnet::dns

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "http/headers.h"
+
+namespace offnet::http {
+
+using HeaderSetId = std::uint32_t;
+constexpr HeaderSetId kNoHeaders = 0xffffffffu;
+
+/// Interning pool for header sets. Scan corpuses reference header sets by
+/// id: servers of the same software emit identical headers, so interning
+/// keeps hundreds of thousands of scan records cheap.
+class HeaderCatalog {
+ public:
+  HeaderSetId add(HeaderMap headers) {
+    sets_.push_back(std::move(headers));
+    return static_cast<HeaderSetId>(sets_.size() - 1);
+  }
+
+  const HeaderMap& get(HeaderSetId id) const { return sets_[id]; }
+  std::size_t size() const { return sets_.size(); }
+
+  static const HeaderMap& empty_set() {
+    static const HeaderMap kEmpty;
+    return kEmpty;
+  }
+
+  const HeaderMap& get_or_empty(HeaderSetId id) const {
+    return id == kNoHeaders ? empty_set() : get(id);
+  }
+
+ private:
+  std::vector<HeaderMap> sets_;
+};
+
+}  // namespace offnet::http

@@ -1,0 +1,73 @@
+#include "http/fingerprint.h"
+
+#include <algorithm>
+
+namespace offnet::http {
+
+namespace {
+
+bool value_matches(const HeaderFingerprint& fp, std::string_view value) {
+  if (fp.value.empty()) return true;
+  if (fp.value_is_prefix) {
+    return value.substr(0, fp.value.size()) == fp.value;
+  }
+  return value == fp.value;
+}
+
+bool name_matches(const HeaderFingerprint& fp, std::string_view name) {
+  if (fp.name_is_prefix) {
+    if (name.size() < fp.name.size()) return false;
+    return header_name_equals(name.substr(0, fp.name.size()), fp.name);
+  }
+  return header_name_equals(name, fp.name);
+}
+
+}  // namespace
+
+bool HeaderFingerprint::matches(const HeaderMap& headers) const {
+  for (const Header& h : headers.all()) {
+    if (name_matches(*this, h.name) && value_matches(*this, h.value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+HeaderFingerprint HeaderFingerprint::parse(std::string_view text) {
+  HeaderFingerprint fp;
+  auto colon = text.find(':');
+  std::string_view name =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  std::string_view value =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : text.substr(colon + 1);
+  if (name.size() >= 2 && name.substr(name.size() - 2) == ".*") {
+    fp.name_is_prefix = true;
+    name = name.substr(0, name.size() - 2);
+  }
+  if (!value.empty() && value.back() == '*') {
+    fp.value_is_prefix = true;
+    value = value.substr(0, value.size() - 1);
+  }
+  fp.name = std::string(name);
+  fp.value = std::string(value);
+  return fp;
+}
+
+std::string HeaderFingerprint::to_string() const {
+  std::string out = name;
+  if (name_is_prefix) out += ".*";
+  out += ":";
+  out += value;
+  if (value_is_prefix) out += "*";
+  return out;
+}
+
+bool HeaderFingerprintSet::matches(const HeaderMap& headers) const {
+  return std::any_of(patterns.begin(), patterns.end(),
+                     [&](const HeaderFingerprint& fp) {
+                       return fp.matches(headers);
+                     });
+}
+
+}  // namespace offnet::http

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/headers.h"
+
+namespace offnet::http {
+
+/// One header-based server fingerprint (a row of the paper's Table 4).
+/// An empty value means "header name present" suffices; a value ending
+/// in '*' is matched as a prefix; ".*" after a name prefix (as in
+/// "X-Netflix.*") is matched as a header-NAME prefix.
+struct HeaderFingerprint {
+  std::string name;
+  std::string value;           // empty => name-only match
+  bool value_is_prefix = false;
+  bool name_is_prefix = false;
+
+  bool matches(const HeaderMap& headers) const;
+
+  /// Parses the paper's notation: "Server:AkamaiGHost", "CF-Request-Id:",
+  /// "Server:gws*", "X-Netflix.*:".
+  static HeaderFingerprint parse(std::string_view text);
+
+  std::string to_string() const;
+  bool operator==(const HeaderFingerprint&) const = default;
+};
+
+/// A Hypergiant's full header fingerprint: any listed pattern matching
+/// classifies the response as that Hypergiant's server software.
+struct HeaderFingerprintSet {
+  std::vector<HeaderFingerprint> patterns;
+
+  bool matches(const HeaderMap& headers) const;
+  bool empty() const { return patterns.empty(); }
+};
+
+}  // namespace offnet::http

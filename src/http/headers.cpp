@@ -1,0 +1,44 @@
+#include "http/headers.h"
+
+#include <array>
+
+namespace offnet::http {
+
+void HeaderMap::add(std::string name, std::string value) {
+  headers_.push_back(Header{std::move(name), std::move(value)});
+}
+
+const std::string* HeaderMap::find(std::string_view name) const {
+  for (const Header& h : headers_) {
+    if (header_name_equals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+bool header_name_equals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] - 'A' + 'a') : a[i];
+    char cb = b[i] >= 'A' && b[i] <= 'Z' ? char(b[i] - 'A' + 'a') : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+bool is_standard_header(std::string_view name) {
+  static constexpr std::array<std::string_view, 20> kStandard = {
+      "cache-control",  "content-length",   "content-type",
+      "date",           "expires",          "connection",
+      "etag",           "last-modified",    "accept-ranges",
+      "vary",           "age",              "content-encoding",
+      "keep-alive",     "transfer-encoding","pragma",
+      "set-cookie",     "location",         "content-language",
+      "strict-transport-security",          "x-content-type-options",
+  };
+  for (std::string_view s : kStandard) {
+    if (header_name_equals(name, s)) return true;
+  }
+  return false;
+}
+
+}  // namespace offnet::http

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace offnet::http {
+
+/// One HTTP response header.
+struct Header {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Header&) const = default;
+};
+
+/// An ordered HTTP response header list, as captured by banner scans.
+/// Name lookups are case-insensitive per RFC 9110.
+class HeaderMap {
+ public:
+  HeaderMap() = default;
+  HeaderMap(std::initializer_list<Header> headers) : headers_(headers) {}
+
+  void add(std::string name, std::string value);
+
+  /// First value for `name`, or nullptr.
+  const std::string* find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+
+  std::span<const Header> all() const { return headers_; }
+  std::size_t size() const { return headers_.size(); }
+  bool empty() const { return headers_.empty(); }
+
+ private:
+  std::vector<Header> headers_;
+};
+
+/// Case-insensitive header-name equality.
+bool header_name_equals(std::string_view a, std::string_view b);
+
+/// True for ubiquitous standard response headers (Cache-Control,
+/// Content-Length, ...). The fingerprint learner filters these out when
+/// looking for name-only debug headers (§4.4); name-value pairs such as
+/// "Server: AkamaiGHost" remain eligible.
+bool is_standard_header(std::string_view name);
+
+}  // namespace offnet::http

@@ -1,0 +1,297 @@
+#include "hypergiant/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "net/date.h"
+#include "net/rng.h"
+#include "topology/category.h"
+
+namespace offnet::hg {
+
+namespace {
+
+/// Weighted sampling without replacement (Efraimidis-Spirakis): draw `k`
+/// distinct items, probability proportional to weight. Exact for any
+/// k <= n.
+std::vector<topo::AsId> weighted_sample(net::Rng& rng,
+                                        std::span<const topo::AsId> items,
+                                        std::span<const double> weights,
+                                        std::size_t k) {
+  k = std::min(k, items.size());
+  if (k == 0) return {};
+  std::vector<std::pair<double, topo::AsId>> keyed;
+  keyed.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    double w = weights[i];
+    if (w <= 0.0) continue;
+    double u = rng.uniform_real(1e-12, 1.0);
+    keyed.emplace_back(-std::log(u) / w, items[i]);
+  }
+  k = std::min(k, keyed.size());
+  std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end());
+  std::vector<topo::AsId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(keyed[i].second);
+  return out;
+}
+
+RegionWeights lerp_weights(const RegionWeights& a, const RegionWeights& b,
+                           double t) {
+  RegionWeights out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a[i] + (b[i] - a[i]) * t;
+  }
+  return out;
+}
+
+}  // namespace
+
+DeploymentPlan::DeploymentPlan(
+    std::vector<std::vector<HgDeployment>> per_snapshot, std::size_t as_count)
+    : per_snapshot_(std::move(per_snapshot)), as_count_(as_count) {}
+
+std::vector<char> DeploymentPlan::confirmed_mask(std::size_t snapshot,
+                                                 int hg) const {
+  std::vector<char> mask(as_count_, 0);
+  for (topo::AsId id : at(snapshot, hg).confirmed) mask[id] = 1;
+  return mask;
+}
+
+DeploymentPlanner::DeploymentPlanner(const topo::Topology& topology,
+                                     std::span<const HgProfile> profiles,
+                                     DeploymentConfig config)
+    : topology_(topology), profiles_(profiles), config_(std::move(config)) {}
+
+DeploymentPlan DeploymentPlanner::plan() const {
+  const auto snapshots = net::study_snapshots();
+  const std::size_t n_as = topology_.as_count();
+  const std::size_t n_hg = profiles_.size();
+  net::Rng rng = net::Rng(config_.seed).fork("deployment");
+
+  // ASes owned by any Hypergiant can never host another HG's off-net.
+  std::vector<char> hg_owned(n_as, 0);
+  for (const HgProfile& p : profiles_) {
+    if (auto org = topology_.orgs().find_exact(p.org_name)) {
+      for (topo::AsId id : topology_.orgs().ases_of(*org)) hg_owned[id] = 1;
+    }
+  }
+
+  // Stable per-AS stratum for the early-footprint decorrelation.
+  std::vector<double> stratum(n_as);
+  for (topo::AsId id = 0; id < n_as; ++id) {
+    stratum[id] = static_cast<double>(
+                      net::Rng::hash(std::to_string(topology_.as(id).asn)) %
+                      100000) /
+                  100000.0;
+  }
+
+  std::vector<topo::Region> as_region(n_as);
+  for (topo::AsId id = 0; id < n_as; ++id) {
+    auto c = topology_.as(id).country;
+    as_region[id] = c == topo::kNoCountry
+                        ? topo::Region::kNorthAmerica
+                        : topology_.country(c).region;
+  }
+
+  // Hosting-pool state.
+  std::vector<char> in_pool(n_as, 0);
+  std::vector<topo::AsId> pool;
+
+  // Per-HG state.
+  std::vector<std::vector<char>> in_set(n_hg, std::vector<char>(n_as, 0));
+  std::vector<std::vector<topo::AsId>> members(n_hg);
+  std::vector<std::vector<char>> in_certonly(n_hg,
+                                             std::vector<char>(n_as, 0));
+  std::vector<std::vector<topo::AsId>> certonly_members(n_hg);
+
+  std::vector<std::vector<HgDeployment>> result(snapshots.size());
+
+  const int akamai_idx =
+      profile_index(profiles_, "Akamai");
+
+  for (std::size_t t = 0; t < snapshots.size(); ++t) {
+    const net::YearMonth month = snapshots[t];
+    const double frac =
+        snapshots.size() > 1
+            ? static_cast<double>(t) / static_cast<double>(snapshots.size() - 1)
+            : 0.0;
+    const auto& alive = topology_.alive_mask(t);
+    const auto& cones = topology_.cone_sizes(t);
+
+    auto category_of = [&](topo::AsId id) {
+      return static_cast<std::size_t>(topo::categorize(cones[id]));
+    };
+
+    // ---- Grow the hosting pool to its target size. ----
+    {
+      auto target = static_cast<std::size_t>(
+          anchor_value(config_.pool_size, month) * config_.pool_calibration);
+      if (pool.size() < target) {
+        std::vector<topo::AsId> candidates;
+        std::vector<double> weights;
+        for (topo::AsId id = 0; id < n_as; ++id) {
+          if (!alive[id] || in_pool[id] || hg_owned[id]) continue;
+          double w = config_.pool_category_weights[category_of(id)] *
+                     config_.pool_region_weights[static_cast<int>(
+                         as_region[id])] *
+                     std::pow(topology_.as(id).user_share + 0.002, 0.4) *
+                     (topology_.as(id).eyeball ? 1.0 : 0.45);
+          candidates.push_back(id);
+          weights.push_back(w);
+        }
+        for (topo::AsId id :
+             weighted_sample(rng, candidates, weights, target - pool.size())) {
+          in_pool[id] = 1;
+          pool.push_back(id);
+        }
+      }
+    }
+
+    // ---- Confirmed (real server) deployments per HG. ----
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      const HgProfile& p = profiles_[h];
+      auto target = static_cast<std::size_t>(std::llround(
+          anchor_value(p.offnet_ases, month) * p.anchor_calibration));
+      auto& set = in_set[h];
+      auto& list = members[h];
+
+      RegionWeights region_w =
+          lerp_weights(p.initial_region_weights, p.late_region_weights, frac);
+
+      std::vector<char> excluded_country(topo::country_table().size(), 0);
+      for (const std::string& code : p.excluded_countries) {
+        for (topo::CountryId c = 0; c < topo::country_table().size(); ++c) {
+          if (topo::country_table()[c].code == code) excluded_country[c] = 1;
+        }
+      }
+
+      auto removal_weight = [&](topo::AsId id) {
+        double cat = p.category_weights[category_of(id)];
+        double reg = p.late_region_weights[static_cast<int>(as_region[id])];
+        return 1.0 / std::max(1e-3, cat * (reg + 0.02));
+      };
+
+      // Churn: a small slice of hosts stops hosting each snapshot; the
+      // deficit below re-fills with newcomers.
+      if (!list.empty() && config_.churn_rate > 0.0) {
+        std::size_t churn = static_cast<std::size_t>(
+            std::floor(config_.churn_rate * static_cast<double>(list.size())));
+        if (churn > 0) {
+          std::vector<double> w(list.size());
+          for (std::size_t i = 0; i < list.size(); ++i) w[i] = 1.0;
+          for (topo::AsId id : weighted_sample(rng, list, w, churn)) {
+            set[id] = 0;
+          }
+          std::erase_if(list, [&](topo::AsId id) { return !set[id]; });
+        }
+      }
+
+      if (list.size() > target) {
+        // Shrink event (Akamai): drop the least-preferred hosts first.
+        std::size_t drop = list.size() - target;
+        std::vector<double> w(list.size());
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          w[i] = removal_weight(list[i]);
+        }
+        for (topo::AsId id : weighted_sample(rng, list, w, drop)) set[id] = 0;
+        std::erase_if(list, [&](topo::AsId id) { return !set[id]; });
+      } else if (list.size() < target) {
+        std::size_t want = target - list.size();
+        std::vector<topo::AsId> candidates;
+        std::vector<double> weights;
+        candidates.reserve(pool.size());
+        for (topo::AsId id : pool) {
+          if (set[id] || !alive[id]) continue;
+          auto country = topology_.as(id).country;
+          if (country != topo::kNoCountry && excluded_country[country]) {
+            continue;
+          }
+          double d = stratum[id] - p.pool_stratum_home;
+          double w = p.category_weights[category_of(id)] *
+                     (region_w[static_cast<int>(as_region[id])] + 0.01) *
+                     std::pow(topology_.as(id).user_share + 0.001,
+                              p.popularity_bias) *
+                     (0.08 + std::exp(-(d * d) / (2 * 0.30 * 0.30)));
+          candidates.push_back(id);
+          weights.push_back(w);
+        }
+        for (topo::AsId id : weighted_sample(rng, candidates, weights, want)) {
+          set[id] = 1;
+          list.push_back(id);
+        }
+      }
+    }
+
+    // ---- Service-present (cert-only) placements per HG. ----
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      const HgProfile& p = profiles_[h];
+      auto confirmed_n = static_cast<long long>(members[h].size());
+      auto service_n = static_cast<long long>(std::llround(
+          anchor_value(p.certonly_ases, month) * p.anchor_calibration));
+      auto target =
+          static_cast<std::size_t>(std::max(0ll, service_n - confirmed_n));
+      auto& set = in_certonly[h];
+      auto& list = certonly_members[h];
+
+      // Hosts may have gained a confirmed deployment; cert-only is
+      // disjoint from confirmed.
+      std::erase_if(list, [&](topo::AsId id) {
+        if (in_set[h][id]) {
+          set[id] = 0;
+          return true;
+        }
+        return false;
+      });
+
+      if (list.size() > target) {
+        std::size_t drop = list.size() - target;
+        std::vector<double> w(list.size(), 1.0);
+        for (topo::AsId id : weighted_sample(rng, list, w, drop)) set[id] = 0;
+        std::erase_if(list, [&](topo::AsId id) { return !set[id]; });
+      } else if (list.size() < target) {
+        std::size_t want = target - list.size();
+        std::vector<topo::AsId> candidates;
+        std::vector<double> weights;
+        if (p.third_party_served && akamai_idx >= 0) {
+          // Service rides a third-party CDN: place inside that CDN's
+          // hosting ASes (this is what makes Akamai edges answer for
+          // Apple/LinkedIn/Disney domains, §5).
+          for (topo::AsId id : members[akamai_idx]) {
+            if (set[id] || in_set[h][id]) continue;
+            candidates.push_back(id);
+            weights.push_back(1.0);
+          }
+        } else {
+          // Cloud-hosted frontends / management interfaces: mostly pool
+          // networks plus some arbitrary hosting ASes.
+          for (topo::AsId id : pool) {
+            if (set[id] || in_set[h][id] || !alive[id]) continue;
+            candidates.push_back(id);
+            weights.push_back(
+                1.0 + 2.0 * (category_of(id) >= 2 /* Medium+ */ ? 1.0 : 0.0));
+          }
+        }
+        for (topo::AsId id : weighted_sample(rng, candidates, weights, want)) {
+          set[id] = 1;
+          list.push_back(id);
+        }
+      }
+    }
+
+    // ---- Record the snapshot. ----
+    auto& snap = result[t];
+    snap.resize(n_hg);
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      snap[h].confirmed = members[h];
+      std::sort(snap[h].confirmed.begin(), snap[h].confirmed.end());
+      snap[h].cert_only = certonly_members[h];
+      std::sort(snap[h].cert_only.begin(), snap[h].cert_only.end());
+    }
+  }
+
+  return DeploymentPlan(std::move(result), n_as);
+}
+
+}  // namespace offnet::hg

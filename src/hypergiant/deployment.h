@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergiant/profile.h"
+#include "topology/topology.h"
+
+namespace offnet::hg {
+
+/// Planner knobs. The hosting-pool series calibrates the co-hosting
+/// behaviour of Fig. 10: networks willing to host one Hypergiant tend to
+/// host more, so all HGs draw hosts from a shared, slowly growing pool.
+struct DeploymentConfig {
+  std::uint64_t seed = 20210823;
+
+  /// Target size of the hosting pool over time (#ASes ever available to
+  /// host HG servers at that point). Slightly above the paper's union of
+  /// ASes hosting >=1 top-4 HG (Fig. 10b).
+  Anchors pool_size = {
+      {net::YearMonth(2013, 10), 3000}, {net::YearMonth(2014, 10), 3250},
+      {net::YearMonth(2015, 10), 3500}, {net::YearMonth(2016, 10), 3700},
+      {net::YearMonth(2017, 10), 3900}, {net::YearMonth(2018, 10), 4100},
+      {net::YearMonth(2019, 10), 4350}, {net::YearMonth(2020, 10), 4600},
+      {net::YearMonth(2021, 4), 4800},
+  };
+
+  /// Pool-admission category weights (per member, on top of
+  /// availability), tuned so pool demographics match Fig. 5.
+  CategoryWeights pool_category_weights = {1.0, 10.0, 24.0, 36.0, 50.0};
+
+  /// Pool-admission region weights (Africa, Asia, Europe, NorthAmerica,
+  /// Oceania, SouthAmerica): hosting willingness skews toward the regions
+  /// where HGs actually expanded — most dramatically South America
+  /// (Fig. 6c's exponential growth needs the hosts to exist in the pool).
+  RegionWeights pool_region_weights = {1.0, 1.1, 0.9, 0.7, 0.7, 2.3};
+
+  /// Ground-truth inflation of the pool series (the measured union of
+  /// host ASes sits below the true one, like per-HG footprints).
+  double pool_calibration = 1.08;
+
+  /// Per-snapshot fraction of each HG's hosts replaced (host churn keeps
+  /// ~5% newcomers per snapshot, Appendix A.8).
+  double churn_rate = 0.012;
+};
+
+/// One Hypergiant's host ASes at one snapshot.
+struct HgDeployment {
+  /// ASes with real HG server installations (certificates AND headers
+  /// will confirm). Sorted.
+  std::vector<topo::AsId> confirmed;
+  /// ASes where only the service is present (HG certificate on third-
+  /// party hardware; header confirmation will fail). Sorted, disjoint
+  /// from `confirmed`.
+  std::vector<topo::AsId> cert_only;
+};
+
+/// Ground-truth deployments for every HG at every study snapshot.
+class DeploymentPlan {
+ public:
+  DeploymentPlan(std::vector<std::vector<HgDeployment>> per_snapshot,
+                 std::size_t as_count);
+
+  const HgDeployment& at(std::size_t snapshot, int hg) const {
+    return per_snapshot_[snapshot][hg];
+  }
+  std::size_t snapshot_count() const { return per_snapshot_.size(); }
+  std::size_t hg_count() const {
+    return per_snapshot_.empty() ? 0 : per_snapshot_[0].size();
+  }
+
+  /// Mask of ASes hosting a confirmed deployment of `hg` at `snapshot`.
+  std::vector<char> confirmed_mask(std::size_t snapshot, int hg) const;
+
+ private:
+  std::vector<std::vector<HgDeployment>> per_snapshot_;
+  std::size_t as_count_;
+};
+
+/// Evolves every Hypergiant's footprint across the study period against
+/// the calibrated anchor curves: shared hosting pool, per-HG region and
+/// category preferences, eyeball chasing, shrink events (Akamai), churn,
+/// and third-party service placement.
+class DeploymentPlanner {
+ public:
+  DeploymentPlanner(const topo::Topology& topology,
+                    std::span<const HgProfile> profiles,
+                    DeploymentConfig config);
+
+  DeploymentPlan plan() const;
+
+ private:
+  const topo::Topology& topology_;
+  std::span<const HgProfile> profiles_;
+  DeploymentConfig config_;
+};
+
+}  // namespace offnet::hg

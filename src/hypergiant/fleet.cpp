@@ -1,0 +1,582 @@
+#include "hypergiant/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rng.h"
+#include "net/table.h"
+
+namespace offnet::hg {
+
+namespace {
+
+constexpr net::YearMonth kNetflixEpisodeStart{2017, 4};
+constexpr net::YearMonth kNetflixEpisodeEnd{2019, 10};  // exclusive
+
+// Free Cloudflare customer certificates scattered around the Internet;
+// the dNSName-containment rule (§4.3) must filter all of them.
+constexpr int kFreeCloudflareCustomers = 400;
+
+// Dedicated-IP Cloudflare customers; their certificates appear as default
+// certs on Cloudflare's own edge IPs too (two edge IPs each), which is
+// what lets backend copies slip past the containment rule (§6.1, §7).
+constexpr int kDedicatedCloudflareSlots = 150;
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b + 0x632be59bd9b4e019ull + (h << 6) + (h >> 2);
+  h ^= c + 0xd6e8feb86659fd93ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+FleetBuilder::FleetBuilder(const topo::Topology& topology,
+                           std::span<const HgProfile> profiles,
+                           const DeploymentPlan& plan,
+                           tls::CertificateStore& certs,
+                           tls::RootStore& roots,
+                           http::HeaderCatalog& catalog, std::uint64_t seed,
+                           Countermeasures countermeasures)
+    : topology_(topology),
+      profiles_(profiles),
+      plan_(plan),
+      certs_(certs),
+      catalog_(catalog),
+      ca_(certs, roots),
+      seed_(seed),
+      countermeasures_(countermeasures) {
+  // Public CAs the HGs buy from.
+  tls::CertId root1 = ca_.create_root("GlobalTrust Services");
+  tls::CertId root2 = ca_.create_root("WebSecure Authority");
+  issuers_.push_back(ca_.create_intermediate(root1, "GlobalTrust RSA CA 1"));
+  issuers_.push_back(ca_.create_intermediate(root1, "GlobalTrust ECC CA 2"));
+  issuers_.push_back(ca_.create_intermediate(root2, "WebSecure DV CA"));
+  issuers_.push_back(ca_.create_intermediate(root2, "WebSecure OV CA"));
+
+  own_ases_.resize(profiles_.size());
+  for (std::size_t h = 0; h < profiles_.size(); ++h) {
+    if (auto org = topology_.orgs().find_exact(profiles_[h].org_name)) {
+      auto span = topology_.orgs().ases_of(*org);
+      own_ases_[h].assign(span.begin(), span.end());
+    }
+  }
+
+  akamai_idx_ = profile_index(profiles_, "Akamai");
+  cloudflare_idx_ = profile_index(profiles_, "Cloudflare");
+  for (std::string_view customer :
+       {"Akamai", "Apple", "Twitter", "Microsoft", "Disney"}) {
+    int idx = profile_index(profiles_, customer);
+    if (idx >= 0) akamai_service_mask_ |= 1u << idx;
+  }
+
+  build_header_sets();
+}
+
+bool FleetBuilder::in_netflix_episode(net::YearMonth month) {
+  return month >= kNetflixEpisodeStart && month < kNetflixEpisodeEnd;
+}
+
+net::DayTime FleetBuilder::scan_time(std::size_t snapshot) {
+  return net::DayTime::from(net::study_snapshots()[snapshot], 15);
+}
+
+void FleetBuilder::build_header_sets() {
+  auto standard = [](http::HeaderMap& m) {
+    m.add("Content-Type", "text/html");
+    m.add("Cache-Control", "max-age=3600");
+    m.add("Content-Length", "5120");
+  };
+  auto debug_headers = [](const HgProfile& p, http::HeaderMap& m) {
+    for (const std::string& line : p.server_headers) {
+      auto fp = http::HeaderFingerprint::parse(line);
+      std::string name = fp.name + (fp.name_is_prefix ? ".trace-id" : "");
+      std::string value = fp.value.empty()
+                              ? "f3a9c1d2e4"
+                              : fp.value + (fp.value_is_prefix ? "/2.1" : "");
+      m.add(std::move(name), std::move(value));
+    }
+  };
+
+  http::HeaderMap nginx;
+  standard(nginx);
+  nginx.add("Server", "nginx");
+  nginx_headers_ = catalog_.add(std::move(nginx));
+
+  http::HeaderMap apache;
+  standard(apache);
+  apache.add("Server", "Apache/2.4.41 (Unix)");
+  apache_headers_ = catalog_.add(std::move(apache));
+
+  header_sets_.resize(profiles_.size());
+  conflict_headers_.resize(profiles_.size(), http::kNoHeaders);
+  for (std::size_t h = 0; h < profiles_.size(); ++h) {
+    const HgProfile& p = profiles_[h];
+
+    http::HeaderMap onnet;
+    standard(onnet);
+    http::HeaderMap offnet;
+    standard(offnet);
+    if (p.login_only_headers) {
+      // Debug headers only reach logged-in users; banner scans see the
+      // bare server software (§7 "Missing Headers").
+      if (p.nginx_default_offnets) {
+        onnet.add("Server", "nginx");
+        offnet.add("Server", "nginx");
+      }
+    } else {
+      debug_headers(p, onnet);
+      debug_headers(p, offnet);
+    }
+    header_sets_[h].onnet = catalog_.add(std::move(onnet));
+    header_sets_[h].offnet = catalog_.add(std::move(offnet));
+
+    // Reverse-proxy conflict responses: third-party edge (Akamai) headers
+    // together with the origin HG's debug headers (§7).
+    if (akamai_idx_ >= 0 && !p.login_only_headers) {
+      http::HeaderMap conflict;
+      standard(conflict);
+      debug_headers(profiles_[akamai_idx_], conflict);
+      debug_headers(p, conflict);
+      conflict_headers_[h] = catalog_.add(std::move(conflict));
+    }
+  }
+}
+
+int FleetBuilder::cert_slot_count(int hg, std::size_t snapshot) const {
+  const HgProfile& p = profiles_[hg];
+  double frac = snapshot /
+                std::max<double>(1.0, double(net::snapshot_count() - 1));
+  double n = p.cert_count_start +
+             (p.cert_count_end - p.cert_count_start) * frac;
+  return std::max(1, static_cast<int>(n));
+}
+
+int FleetBuilder::pick_cert_slot(int hg, std::size_t snapshot,
+                                 net::Rng& rng) const {
+  const HgProfile& p = profiles_[hg];
+  double frac = snapshot /
+                std::max<double>(1.0, double(net::snapshot_count() - 1));
+  double s = p.cert_zipf_start + (p.cert_zipf_end - p.cert_zipf_start) * frac;
+  int slots = cert_slot_count(hg, snapshot);
+  // Inverse-CDF draw on the (truncated) Zipf distribution.
+  double total = 0.0;
+  for (int i = 0; i < slots; ++i) total += std::pow(i + 1.0, -s);
+  double target = rng.uniform_real(0.0, total);
+  double cumulative = 0.0;
+  for (int i = 0; i < slots; ++i) {
+    cumulative += std::pow(i + 1.0, -s);
+    if (target < cumulative) return i;
+  }
+  return slots - 1;
+}
+
+tls::CertId FleetBuilder::cert_for(int hg, int slot,
+                                   std::size_t snapshot) const {
+  const HgProfile& p = profiles_[hg];
+  net::DayTime at = scan_time(snapshot);
+  std::int64_t generation = at.days() / std::max(1, p.cert_validity_days);
+  std::uint64_t key = mix3(static_cast<std::uint64_t>(hg) + 1,
+                           static_cast<std::uint64_t>(slot) + 1,
+                           static_cast<std::uint64_t>(generation) + 1);
+  auto it = cert_cache_.find(key);
+  if (it != cert_cache_.end()) return it->second;
+
+  net::Rng rng = net::Rng(seed_).fork(
+      mix3(net::Rng::hash(p.name), static_cast<std::uint64_t>(slot), 17));
+  // SANs are a stable per-slot subset of the HG's domain universe; the
+  // lowest slots carry the high-volume serving domains.
+  std::vector<std::string> sans;
+  std::size_t n_domains = 1 + rng.index(3);
+  for (std::size_t d = 0; d < n_domains && d < p.domains.size(); ++d) {
+    std::size_t pick =
+        slot < 3 ? (slot + d) % p.domains.size() : rng.index(p.domains.size());
+    std::string wildcard = "*." + p.domains[pick];
+    if (std::find(sans.begin(), sans.end(), wildcard) == sans.end()) {
+      sans.push_back(std::move(wildcard));
+    }
+  }
+
+  tls::DistinguishedName subject;
+  subject.organization = p.org_name;
+  subject.common_name = sans.front();
+  tls::CertId issuer = issuers_[net::Rng::hash(p.name) % issuers_.size()];
+  net::DayTime not_before(generation * std::max(1, p.cert_validity_days));
+  tls::CertId id = ca_.issue(issuer, std::move(subject), std::move(sans),
+                             not_before, p.cert_validity_days + 10);
+  cert_cache_.emplace(key, id);
+  return id;
+}
+
+tls::CertId FleetBuilder::sni_response(const ServerRecord& server,
+                                       std::string_view hostname,
+                                       std::size_t snapshot) const {
+  for (std::size_t g = 0; g < profiles_.size(); ++g) {
+    if (!(server.serves_hgs & (1u << g))) continue;
+    const HgProfile& p = profiles_[g];
+    for (std::size_t d = 0; d < p.domains.size(); ++d) {
+      if (!tls::dns_name_matches("*." + p.domains[d], hostname) &&
+          p.domains[d] != hostname) {
+        continue;
+      }
+      // A dedicated certificate covering exactly this domain (cached per
+      // (hg, domain, generation) like every other cert).
+      std::uint64_t key = mix3(0x5A1, g * 1000 + d,
+                               static_cast<std::uint64_t>(
+                                   scan_time(snapshot).days() /
+                                   std::max(1, p.cert_validity_days)));
+      auto it = cert_cache_.find(key);
+      if (it != cert_cache_.end()) return it->second;
+      tls::DistinguishedName subject;
+      subject.organization =
+          countermeasures_.strip_organization &&
+                  server.role == ServerRole::kOffNet
+              ? std::string{}
+              : p.org_name;
+      subject.common_name = "*." + p.domains[d];
+      net::DayTime at = scan_time(snapshot);
+      std::int64_t generation =
+          at.days() / std::max(1, p.cert_validity_days);
+      net::DayTime not_before(generation *
+                              std::max(1, p.cert_validity_days));
+      tls::CertId id = ca_.issue(
+          issuers_[net::Rng::hash(p.name) % issuers_.size()],
+          std::move(subject), {"*." + p.domains[d]}, not_before,
+          p.cert_validity_days + 10);
+      cert_cache_.emplace(key, id);
+      return id;
+    }
+  }
+  return tls::kNoCert;
+}
+
+tls::CertId FleetBuilder::anonymous_cert_for(int hg, int slot,
+                                             std::size_t snapshot) const {
+  // Countermeasure (3): same SANs and validity, but no Organization
+  // entry — the keyword search has nothing to match.
+  tls::CertId base = cert_for(hg, slot, snapshot);
+  std::uint64_t key = mix3(0xa0a0, base, 0x99);
+  auto it = cert_cache_.find(key);
+  if (it != cert_cache_.end()) return it->second;
+  const tls::Certificate& original = certs_.get(base);
+  tls::DistinguishedName subject;
+  subject.common_name = original.subject.common_name;
+  tls::CertId id =
+      ca_.issue(original.issuer, std::move(subject), original.dns_names,
+                original.not_before,
+                static_cast<int>(original.not_after.days() -
+                                 original.not_before.days()));
+  cert_cache_.emplace(key, id);
+  return id;
+}
+
+tls::CertId FleetBuilder::expired_cert_for(int hg,
+                                           std::size_t snapshot) const {
+  (void)snapshot;
+  // The long-lived Open Connect default certificate that expired in
+  // April 2017 and was only replaced in October 2019.
+  std::uint64_t key = mix3(static_cast<std::uint64_t>(hg) + 1, 0xdead, 0xbeef);
+  auto it = cert_cache_.find(key);
+  if (it != cert_cache_.end()) return it->second;
+
+  const HgProfile& p = profiles_[hg];
+  tls::DistinguishedName subject;
+  subject.organization = p.org_name;
+  subject.common_name = "*." + p.domains.front();
+  std::vector<std::string> sans = {"*." + p.domains.front()};
+  if (p.domains.size() > 1) sans.push_back("*." + p.domains[1]);
+  // Issued before the study starts, expiring at the episode boundary:
+  // valid throughout 2013..2017-04, expired afterwards (§6.2).
+  net::DayTime not_before = net::DayTime::from(net::YearMonth(2012, 6));
+  net::DayTime expiry = net::DayTime::from(kNetflixEpisodeStart, 5);
+  int validity = static_cast<int>(expiry.days() - not_before.days());
+  tls::CertId id = ca_.issue(issuers_.front(), std::move(subject),
+                             std::move(sans), not_before, validity);
+  cert_cache_.emplace(key, id);
+  return id;
+}
+
+tls::CertId FleetBuilder::cloudflare_customer_cert(int index,
+                                                   bool dedicated) const {
+  std::uint64_t key = mix3(0xcf, static_cast<std::uint64_t>(index) + 1,
+                           dedicated ? 2 : 3);
+  auto it = cert_cache_.find(key);
+  if (it != cert_cache_.end()) return it->second;
+
+  tls::DistinguishedName subject;
+  subject.organization = profiles_[cloudflare_idx_].org_name;
+  std::string sni_name = "sni" + std::to_string(10000 + index) +
+                         ".cloudflaressl.com";
+  subject.common_name = sni_name;
+  std::vector<std::string> sans = {sni_name};
+  if (!dedicated) {
+    // Free universal-SSL certs also name the customer's domain, which
+    // never appears on Cloudflare's default on-net certs — the
+    // containment rule (§4.3) filters these.
+    sans.push_back("www.customer-" + std::to_string(index) + ".example");
+  }
+  net::DayTime not_before = net::DayTime::from(net::YearMonth(2013, 6));
+  tls::CertId id = ca_.issue(issuers_.back(), std::move(subject),
+                             std::move(sans), not_before, 360 * 9);
+  cert_cache_.emplace(key, id);
+  return id;
+}
+
+namespace {
+
+net::IPv4 stable_ip(const topo::AsRecord& rec, std::uint64_t tag) {
+  const auto& prefixes = rec.prefixes;
+  const net::Prefix& prefix = prefixes[tag % prefixes.size()];
+  std::uint64_t span = prefix.size() > 2 ? prefix.size() - 2 : 1;
+  std::uint32_t offset = static_cast<std::uint32_t>(
+      1 + (mix3(tag, prefix.base().value(), 0x51) % span));
+  return prefix.base() + offset;
+}
+
+}  // namespace
+
+void FleetBuilder::emit_onnet(std::vector<ServerRecord>& out, int hg,
+                              std::size_t snapshot) const {
+  const HgProfile& p = profiles_[hg];
+  const auto& own = own_ases_[hg];
+  if (own.empty()) return;
+  int slots = cert_slot_count(hg, snapshot);
+  // On-net capacity grows with the study like the rest of the fleet, but
+  // never below what is needed to expose every serving certificate on
+  // the HG's own address space (the §4.2 learning input).
+  const double growth =
+      0.40 + 0.60 * (static_cast<double>(snapshot) /
+                   std::max<double>(1.0, double(net::snapshot_count() - 1)));
+  int floor_count = slots;
+  if (hg == cloudflare_idx_) {
+    floor_count = std::max(floor_count, 2 * kDedicatedCloudflareSlots);
+  }
+  int count = std::max(static_cast<int>(p.onnet_servers * growth),
+                       std::min(p.onnet_servers, floor_count));
+  for (int i = 0; i < count; ++i) {
+    topo::AsId as = own[i % own.size()];
+    ServerRecord rec;
+    rec.ip = stable_ip(topology_.as(as),
+                       mix3(net::Rng::hash(p.name), 0x0, i));
+    rec.as = as;
+    rec.hg = static_cast<std::int16_t>(hg);
+    rec.role = ServerRole::kOnNet;
+    if (hg == cloudflare_idx_ && i < 2 * kDedicatedCloudflareSlots) {
+      // Dedicated-IP edges: the customer's certificate IS the default.
+      rec.https_cert =
+          cloudflare_customer_cert(i % kDedicatedCloudflareSlots, true);
+    } else {
+      // Round-robin over slots so every serving certificate appears on
+      // the HG's own address space (the fingerprint-learning input).
+      rec.https_cert = cert_for(hg, i % slots, snapshot);
+    }
+    rec.https_headers = header_sets_[hg].onnet;
+    rec.http_headers = header_sets_[hg].onnet;
+    rec.serves_hgs = 1u << hg;
+    if (p.serves_other_hgs) rec.serves_hgs |= akamai_service_mask_;
+    out.push_back(rec);
+  }
+}
+
+void FleetBuilder::emit_offnet(std::vector<ServerRecord>& out, int hg,
+                               std::size_t snapshot) const {
+  const HgProfile& p = profiles_[hg];
+  const net::YearMonth month = net::study_snapshots()[snapshot];
+
+  // Anycast HGs (§7): one production IP announced from the HG's own AS
+  // answers everywhere; scans see a single on-net instance. Off-net
+  // sites below are their unicast debug addresses in the hosting AS.
+  if (p.anycast_serving && !own_ases_[hg].empty()) {
+    topo::AsId own = own_ases_[hg].front();
+    ServerRecord anycast;
+    anycast.ip = stable_ip(topology_.as(own),
+                           mix3(net::Rng::hash(p.name), 0xA11, 0));
+    anycast.as = own;
+    anycast.hg = static_cast<std::int16_t>(hg);
+    anycast.role = ServerRole::kOnNet;
+    anycast.https_cert = cert_for(hg, 0, snapshot);
+    anycast.https_headers = header_sets_[hg].offnet;
+    anycast.http_headers = header_sets_[hg].offnet;
+    anycast.serves_hgs = 1u << hg;
+    out.push_back(anycast);
+  }
+  const bool episode = p.netflix_cert_episode && in_netflix_episode(month);
+  const bool pre_replacement =
+      p.netflix_cert_episode && month < kNetflixEpisodeEnd;
+
+  // Per-AS server counts grow over the study: HGs keep adding capacity to
+  // existing sites (Fig. 2's HG-IP share rises even as the corpus grows).
+  const double site_growth =
+      0.30 + 0.70 * (static_cast<double>(snapshot) /
+                     std::max<double>(1.0, double(net::snapshot_count() - 1)));
+
+  for (topo::AsId as : plan_.at(snapshot, hg).confirmed) {
+    const topo::AsRecord& rec_as = topology_.as(as);
+    std::uint64_t as_tag = mix3(net::Rng::hash(p.name), rec_as.asn, 0x10);
+    net::Rng rng = net::Rng(seed_).fork(as_tag);
+    // Even a fresh site exposes a handful of front-end IPs; without the
+    // floor, early single-IP sites vanish behind per-IP scan losses and
+    // the early footprints undershoot their calibration anchors.
+    int count = std::max(
+        4, static_cast<int>(p.ips_per_offnet_as * site_growth *
+                            std::exp(rng.uniform_real(-0.9, 0.9))));
+
+    // Netflix episode buckets are stable per AS: ~50% keep valid certs,
+    // ~25% sit behind the expired default cert, ~25% fall back to HTTP.
+    int bucket = static_cast<int>(mix3(rec_as.asn, 0x77, 3) % 100);
+    bool expired_bucket = pre_replacement && bucket >= 50 && bucket < 75;
+    bool http_only_bucket = episode && bucket >= 75;
+
+    for (int i = 0; i < count; ++i) {
+      ServerRecord rec;
+      rec.ip = stable_ip(rec_as, mix3(as_tag, 0x20, i));
+      rec.as = as;
+      rec.hg = static_cast<std::int16_t>(hg);
+      rec.role = ServerRole::kOffNet;
+      rec.https_headers = header_sets_[hg].offnet;
+      rec.http_headers = header_sets_[hg].offnet;
+      rec.serves_hgs = 1u << hg;
+      if (p.serves_other_hgs) rec.serves_hgs |= akamai_service_mask_;
+
+      if (http_only_bucket) {
+        rec.https_enabled = false;  // stopped answering on :443
+      } else if (expired_bucket) {
+        rec.https_cert = expired_cert_for(hg, snapshot);
+      } else {
+        int slot = pick_cert_slot(hg, snapshot, rng);
+        rec.https_cert = countermeasures_.strip_organization
+                             ? anonymous_cert_for(hg, slot, snapshot)
+                             : cert_for(hg, slot, snapshot);
+      }
+      // §8 countermeasures applied to off-net servers.
+      if (countermeasures_.null_default_certs) {
+        rec.https_cert = tls::kNoCert;  // SNI-only: no default banner
+      }
+      if (countermeasures_.anonymize_headers) {
+        rec.https_headers = nginx_headers_;
+        rec.http_headers = nginx_headers_;
+      }
+      out.push_back(rec);
+    }
+  }
+}
+
+void FleetBuilder::emit_certonly(std::vector<ServerRecord>& out, int hg,
+                                 std::size_t snapshot) const {
+  const HgProfile& p = profiles_[hg];
+  for (topo::AsId as : plan_.at(snapshot, hg).cert_only) {
+    const topo::AsRecord& rec_as = topology_.as(as);
+    std::uint64_t as_tag = mix3(net::Rng::hash(p.name), rec_as.asn, 0x30);
+    net::Rng rng = net::Rng(seed_).fork(as_tag);
+    int count = 1 + static_cast<int>(rng.index(3));
+    for (int i = 0; i < count; ++i) {
+      ServerRecord rec;
+      rec.ip = stable_ip(rec_as, mix3(as_tag, 0x40, i));
+      rec.as = as;
+      rec.hg = static_cast<std::int16_t>(hg);
+      rec.role = ServerRole::kThirdPartyService;
+      rec.https_cert = cert_for(hg, static_cast<int>(rng.index(2)), snapshot);
+      rec.serves_hgs = 1u << hg;
+
+      // The hosting platform's software answers, not the HG's.
+      if (p.third_party_served && akamai_idx_ >= 0) {
+        bool conflict = rng.bernoulli(0.25) &&
+                        conflict_headers_[hg] != http::kNoHeaders;
+        rec.https_headers = conflict ? conflict_headers_[hg]
+                                     : header_sets_[akamai_idx_].offnet;
+        rec.serves_hgs |= akamai_service_mask_;
+      } else if (p.nginx_default_offnets) {
+        // Netflix-style frontends ride clouds (AWS ELB / Apache), never
+        // the bare-nginx appliance banner — otherwise the §4.4 nginx
+        // special case would wrongly confirm them.
+        rec.https_headers =
+            rng.bernoulli(0.6) ? apache_headers_
+                               : (akamai_idx_ >= 0
+                                      ? header_sets_[akamai_idx_].offnet
+                                      : apache_headers_);
+      } else {
+        rec.https_headers =
+            rng.bernoulli(0.6) ? nginx_headers_ : apache_headers_;
+      }
+      rec.http_headers = rec.https_headers;
+      out.push_back(rec);
+    }
+  }
+}
+
+void FleetBuilder::emit_cloudflare_customers(std::vector<ServerRecord>& out,
+                                             int hg,
+                                             std::size_t snapshot) const {
+  const auto& deployment = plan_.at(snapshot, hg);
+
+  // Customers whose proxied responses carry Cloudflare headers: these are
+  // the ones the methodology misidentifies as off-nets (§6.1). Each runs
+  // a couple of backends.
+  int index = 0;
+  for (topo::AsId as : deployment.confirmed) {
+    for (int i = 0; i < 2; ++i) {
+      ServerRecord rec;
+      rec.ip = stable_ip(topology_.as(as),
+                         mix3(0xcf01, topology_.as(as).asn, 1 + i));
+      rec.as = as;
+      rec.hg = static_cast<std::int16_t>(hg);
+      rec.role = ServerRole::kCloudflareCustomer;
+      rec.https_cert =
+          cloudflare_customer_cert(index % kDedicatedCloudflareSlots, true);
+      rec.https_headers = header_sets_[hg].offnet;  // proxied CF headers
+      rec.http_headers = rec.https_headers;
+      out.push_back(rec);
+    }
+    ++index;
+  }
+  // Customers with origin software showing through: certificate-only.
+  for (topo::AsId as : deployment.cert_only) {
+    ServerRecord rec;
+    rec.ip = stable_ip(topology_.as(as), mix3(0xcf02, topology_.as(as).asn, 2));
+    rec.as = as;
+    rec.hg = static_cast<std::int16_t>(hg);
+    rec.role = ServerRole::kCloudflareCustomer;
+    rec.https_cert =
+        cloudflare_customer_cert(index % kDedicatedCloudflareSlots, true);
+    rec.https_headers = nginx_headers_;
+    rec.http_headers = nginx_headers_;
+    out.push_back(rec);
+    ++index;
+  }
+
+  // Free universal-SSL customers all over the Internet; the containment
+  // rule must filter every one of them.
+  net::Rng rng = net::Rng(seed_).fork("cloudflare-free");
+  const auto& alive = topology_.alive_mask(snapshot);
+  for (int k = 0; k < kFreeCloudflareCustomers; ++k) {
+    auto as = static_cast<topo::AsId>(
+        mix3(0xcf03, k, 5) % topology_.as_count());
+    if (!alive[as] || topology_.as(as).prefixes.empty()) continue;
+    ServerRecord rec;
+    rec.ip = stable_ip(topology_.as(as), mix3(0xcf04, k, 6));
+    rec.as = as;
+    rec.hg = static_cast<std::int16_t>(hg);
+    rec.role = ServerRole::kCloudflareCustomer;
+    rec.https_cert = cloudflare_customer_cert(k, /*dedicated=*/false);
+    rec.https_headers = rng.bernoulli(0.5) ? nginx_headers_ : apache_headers_;
+    rec.http_headers = rec.https_headers;
+    out.push_back(rec);
+  }
+}
+
+std::vector<ServerRecord> FleetBuilder::snapshot_fleet(
+    std::size_t snapshot) const {
+  std::vector<ServerRecord> out;
+  for (std::size_t h = 0; h < profiles_.size(); ++h) {
+    emit_onnet(out, static_cast<int>(h), snapshot);
+    if (profiles_[h].is_cert_issuer) {
+      emit_cloudflare_customers(out, static_cast<int>(h), snapshot);
+    } else {
+      emit_offnet(out, static_cast<int>(h), snapshot);
+      emit_certonly(out, static_cast<int>(h), snapshot);
+    }
+  }
+  return out;
+}
+
+}  // namespace offnet::hg

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "http/catalog.h"
+#include "http/fingerprint.h"
+#include "hypergiant/deployment.h"
+#include "hypergiant/profile.h"
+#include "net/ipv4.h"
+#include "net/rng.h"
+#include "tls/ca.h"
+#include "topology/topology.h"
+
+namespace offnet::hg {
+
+/// §8 "Hide-and-Seek": countermeasures a Hypergiant could take to hide
+/// its off-net footprint from the methodology. Applied to off-net
+/// servers only (on-nets must keep working for real clients).
+struct Countermeasures {
+  /// (1) Serve no default certificate — answer only TLS-SNI requests for
+  /// first-party domains. Off-nets vanish from default-cert scans.
+  bool null_default_certs = false;
+  /// (3) Strip the Organization entry from end-entity certificates. The
+  /// keyword search finds nothing.
+  bool strip_organization = false;
+  /// (4) Anonymize response headers. Candidates survive (certificates
+  /// still match) but header confirmation fails.
+  bool anonymize_headers = false;
+
+  bool any() const {
+    return null_default_certs || strip_organization || anonymize_headers;
+  }
+};
+
+/// What a server is, in ground truth.
+enum class ServerRole : std::uint8_t {
+  kOnNet,               // inside the HG's own AS
+  kOffNet,              // real HG hardware inside a hosting AS
+  kThirdPartyService,   // HG certificate on third-party hardware
+  kCloudflareCustomer,  // customer backend holding a CF-issued cert
+};
+
+/// One HG-related server as scans would see it. `serves_hgs` is the
+/// ground-truth bitmask of profile indices whose domains the server will
+/// validly answer for (used by the active-measurement validation, §5).
+struct ServerRecord {
+  net::IPv4 ip;
+  topo::AsId as = topo::kNoAs;
+  std::int16_t hg = -1;  // branded HG (profile index)
+  ServerRole role = ServerRole::kOnNet;
+  bool https_enabled = true;
+  bool http_enabled = true;
+  tls::CertId https_cert = tls::kNoCert;  // default cert on :443
+  http::HeaderSetId https_headers = http::kNoHeaders;
+  http::HeaderSetId http_headers = http::kNoHeaders;
+  std::uint32_t serves_hgs = 0;
+};
+
+/// Builds the per-snapshot Hypergiant server fleet from the deployment
+/// plan: assigns stable server IPs inside hosting ASes, issues and rolls
+/// certificates per each HG's policy (validity, aggregation), attaches
+/// header sets, and implements the deployment quirks (Netflix's
+/// expired-cert and HTTP-only episodes, Cloudflare customer certificates,
+/// third-party CDN serving, Alibaba's regional hardware strategy).
+class FleetBuilder {
+ public:
+  FleetBuilder(const topo::Topology& topology,
+               std::span<const HgProfile> profiles,
+               const DeploymentPlan& plan, tls::CertificateStore& certs,
+               tls::RootStore& roots, http::HeaderCatalog& catalog,
+               std::uint64_t seed, Countermeasures countermeasures = {});
+
+  /// All HG-related servers active at a study snapshot.
+  std::vector<ServerRecord> snapshot_fleet(std::size_t snapshot) const;
+
+  /// The date at which snapshot scans are taken (mid-month).
+  static net::DayTime scan_time(std::size_t snapshot);
+
+  const topo::Topology& topology() const { return topology_; }
+  std::span<const HgProfile> profiles() const { return profiles_; }
+  const DeploymentPlan& plan() const { return plan_; }
+
+  /// The Netflix episode window (2017-04 .. 2019-10): expired default
+  /// certificates and HTTP-only servers (§6.2).
+  static bool in_netflix_episode(net::YearMonth month);
+
+  /// What a server answers to a TLS ClientHello carrying SNI `hostname`:
+  /// the covering certificate of one of the HGs it serves, or kNoCert
+  /// (handshake fails / default behaviour). Powers the §8 SNI-scan
+  /// counter-countermeasure and the ZGrab-style validation.
+  tls::CertId sni_response(const ServerRecord& server,
+                           std::string_view hostname,
+                           std::size_t snapshot) const;
+
+ private:
+  struct HgHeaderSets {
+    http::HeaderSetId onnet = http::kNoHeaders;
+    http::HeaderSetId offnet = http::kNoHeaders;
+  };
+
+  /// Lazily mints the certificate for (hg, slot, generation); a
+  /// generation spans the cert's validity period, so certificates roll
+  /// like real reissues.
+  tls::CertId cert_for(int hg, int slot, std::size_t snapshot) const;
+  tls::CertId anonymous_cert_for(int hg, int slot,
+                                 std::size_t snapshot) const;
+  tls::CertId expired_cert_for(int hg, std::size_t snapshot) const;
+  tls::CertId cloudflare_customer_cert(int index, bool dedicated) const;
+
+  int cert_slot_count(int hg, std::size_t snapshot) const;
+  /// Zipf-distributed slot choice implementing each HG's aggregation
+  /// profile (Fig. 11).
+  int pick_cert_slot(int hg, std::size_t snapshot, net::Rng& rng) const;
+
+  void build_header_sets();
+  void emit_onnet(std::vector<ServerRecord>& out, int hg,
+                  std::size_t snapshot) const;
+  void emit_offnet(std::vector<ServerRecord>& out, int hg,
+                   std::size_t snapshot) const;
+  void emit_certonly(std::vector<ServerRecord>& out, int hg,
+                     std::size_t snapshot) const;
+  void emit_cloudflare_customers(std::vector<ServerRecord>& out, int hg,
+                                 std::size_t snapshot) const;
+
+  const topo::Topology& topology_;
+  std::span<const HgProfile> profiles_;
+  const DeploymentPlan& plan_;
+  tls::CertificateStore& certs_;
+  http::HeaderCatalog& catalog_;
+  // Certificates are minted lazily from const accessors (reissues roll on
+  // demand), hence mutable.
+  mutable tls::CaService ca_;
+  std::uint64_t seed_;
+  Countermeasures countermeasures_;
+
+  std::vector<std::vector<topo::AsId>> own_ases_;  // per HG
+  std::vector<HgHeaderSets> header_sets_;
+  http::HeaderSetId nginx_headers_ = http::kNoHeaders;
+  http::HeaderSetId apache_headers_ = http::kNoHeaders;
+  std::vector<http::HeaderSetId> conflict_headers_;  // per HG: edge+origin
+  std::vector<tls::CertId> issuers_;
+  std::uint32_t akamai_service_mask_ = 0;
+  int akamai_idx_ = -1;
+  int cloudflare_idx_ = -1;
+
+  mutable std::map<std::uint64_t, tls::CertId> cert_cache_;
+};
+
+}  // namespace offnet::hg

@@ -1,0 +1,451 @@
+#include "hypergiant/profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace offnet::hg {
+
+double anchor_value(std::span<const std::pair<net::YearMonth, double>> anchors,
+                    net::YearMonth when) {
+  assert(!anchors.empty());
+  if (when <= anchors.front().first) return anchors.front().second;
+  if (when >= anchors.back().first) return anchors.back().second;
+  for (std::size_t i = 1; i < anchors.size(); ++i) {
+    if (when <= anchors[i].first) {
+      const auto& [t0, v0] = anchors[i - 1];
+      const auto& [t1, v1] = anchors[i];
+      double span = static_cast<double>(t0.months_until(t1));
+      double pos = static_cast<double>(t0.months_until(when));
+      return v0 + (v1 - v0) * (span > 0 ? pos / span : 0.0);
+    }
+  }
+  return anchors.back().second;
+}
+
+namespace {
+
+using net::YearMonth;
+
+// Region weight order: Africa, Asia, Europe, NorthAmerica, Oceania,
+// SouthAmerica (matches topo::Region).
+constexpr RegionWeights kGenericRegions = {0.06, 0.24, 0.30, 0.22, 0.03,
+                                           0.15};
+
+// Category weight order: Stub, Small, Medium, Large, XLarge. These are
+// per-member preference multipliers on top of pool availability,
+// calibrated so the measured footprint demographics land near Fig. 5
+// (Stub 27-31%, Small 41-44%, Medium 22-24%, Large+XLarge ~5%).
+constexpr CategoryWeights kEyeballCdnCategories = {1.0, 1.0, 1.3, 2.2, 3.0};
+constexpr CategoryWeights kAkamaiCategories = {0.6, 0.9, 1.6, 9.0, 14.0};
+
+HgProfile google() {
+  HgProfile p;
+  p.name = "Google";
+  p.keyword = "google";
+  p.org_name = "Google LLC";
+  p.country_code = "US";
+  p.own_as_count = 2;
+  p.onnet_prefixes_per_as = 14;
+  p.onnet_servers = 600;
+  p.domains = {"google.com",     "googlevideo.com", "gstatic.com",
+               "youtube.com",    "ggpht.com",       "googleapis.com",
+               "google.com.br",  "googleusercontent.com",
+               "android.com",    "gvt1.com"};
+  p.server_headers = {"Server:gws*", "Server:gvs*",
+                      "X-Google-Security-Signals:on"};
+  p.offnet_ases = {{YearMonth(2013, 10), 1044}, {YearMonth(2014, 10), 1380},
+                   {YearMonth(2015, 10), 1700}, {YearMonth(2016, 4), 1860},
+                   {YearMonth(2017, 4), 2230},  {YearMonth(2017, 10), 2500},
+                   {YearMonth(2018, 10), 2900}, {YearMonth(2019, 10), 3140},
+                   {YearMonth(2020, 4), 3300},  {YearMonth(2020, 10), 3560},
+                   {YearMonth(2021, 4), 3810}};
+  p.certonly_ases = {{YearMonth(2013, 10), 1105}, {YearMonth(2016, 4), 1900},
+                     {YearMonth(2019, 10), 3170}, {YearMonth(2021, 4), 3835}};
+  p.initial_region_weights = {0.07, 0.20, 0.33, 0.24, 0.03, 0.13};
+  p.late_region_weights = {0.07, 0.24, 0.17, 0.08, 0.02, 0.42};
+  p.category_weights = kEyeballCdnCategories;
+  p.popularity_bias = 0.72;
+  p.ips_per_offnet_as = 9.0;
+  p.cert_validity_days = 90;
+  p.cert_count_start = 30;
+  p.cert_count_end = 300;
+  p.cert_zipf_start = 1.95;  // top group (*.googlevideo.com) > 50% of IPs
+  p.cert_zipf_end = 1.90;
+  p.anchor_calibration = 1.075;
+  p.pool_stratum_home = 0.15;
+  return p;
+}
+
+HgProfile netflix() {
+  HgProfile p;
+  p.name = "Netflix";
+  p.keyword = "netflix";
+  p.org_name = "Netflix, Inc.";
+  p.country_code = "US";
+  p.own_as_count = 2;  // backbone + Open Connect AS
+  p.onnet_prefixes_per_as = 8;
+  p.onnet_servers = 250;
+  p.domains = {"netflix.com", "nflxvideo.net", "nflximg.net",
+               "nflxext.com", "nflxso.net"};
+  // Netflix debug headers exist but only for logged-in users; scans see
+  // the bare nginx banner on Open Connect appliances (§4.4).
+  p.server_headers = {"X-Netflix.*:", "X-TCP-Info:"};
+  p.login_only_headers = true;
+  p.nginx_default_offnets = true;
+  p.netflix_cert_episode = true;
+  // True (envelope) footprint; the expired-cert and HTTP-only episodes
+  // between 2017-04 and 2019-10 are applied by the fleet builder.
+  p.offnet_ases = {{YearMonth(2013, 10), 47},  {YearMonth(2014, 10), 260},
+                   {YearMonth(2015, 10), 500}, {YearMonth(2016, 10), 660},
+                   {YearMonth(2017, 4), 769},  {YearMonth(2018, 4), 1120},
+                   {YearMonth(2019, 4), 1450}, {YearMonth(2019, 10), 1760},
+                   {YearMonth(2020, 10), 2000}, {YearMonth(2021, 4), 2115}};
+  p.certonly_ases = {{YearMonth(2013, 10), 143}, {YearMonth(2017, 4), 880},
+                     {YearMonth(2019, 10), 1890}, {YearMonth(2021, 4), 2288}};
+  p.initial_region_weights = {0.01, 0.08, 0.30, 0.38, 0.08, 0.15};
+  p.late_region_weights = {0.01, 0.16, 0.26, 0.13, 0.04, 0.40};
+  p.category_weights = kEyeballCdnCategories;
+  p.popularity_bias = 0.5;
+  p.excluded_countries = {"CN"};  // no Netflix service in China
+  p.ips_per_offnet_as = 9.0;
+  p.cert_validity_days = 540;  // median oscillates, drops to 35d in 2019
+  p.cert_count_start = 6;
+  p.cert_count_end = 60;
+  p.anchor_calibration = 1.03;
+  p.pool_stratum_home = 0.4;
+  return p;
+}
+
+HgProfile facebook() {
+  HgProfile p;
+  p.name = "Facebook";
+  p.keyword = "facebook";
+  p.org_name = "Facebook, Inc.";
+  p.country_code = "US";
+  p.own_as_count = 2;
+  p.onnet_prefixes_per_as = 10;
+  p.onnet_servers = 400;
+  p.domains = {"facebook.com", "fbcdn.net",   "instagram.com",
+               "cdninstagram.com", "whatsapp.net", "fb.com"};
+  p.server_headers = {"Server:proxygen*", "X-FB-Debug:", "X-FB-TRIP-ID:"};
+  // FNA (Facebook Network Appliance) launched summer 2016.
+  p.offnet_ases = {{YearMonth(2013, 10), 0},   {YearMonth(2016, 4), 0},
+                   {YearMonth(2016, 7), 40},   {YearMonth(2017, 4), 620},
+                   {YearMonth(2017, 10), 1000}, {YearMonth(2018, 4), 1250},
+                   {YearMonth(2018, 10), 1430}, {YearMonth(2019, 10), 1737},
+                   {YearMonth(2020, 4), 1880},  {YearMonth(2020, 10), 2060},
+                   {YearMonth(2021, 4), 2214}};
+  p.certonly_ases = {{YearMonth(2013, 10), 8},   {YearMonth(2016, 4), 25},
+                     {YearMonth(2019, 10), 1760}, {YearMonth(2021, 4), 2229}};
+  p.initial_region_weights = {0.07, 0.22, 0.25, 0.18, 0.02, 0.26};
+  p.late_region_weights = {0.07, 0.25, 0.14, 0.10, 0.02, 0.42};
+  p.category_weights = kEyeballCdnCategories;
+  p.popularity_bias = 0.68;
+  p.ips_per_offnet_as = 20.0;
+  p.cert_validity_days = 180;
+  p.cert_count_start = 8;
+  p.cert_count_end = 400;
+  p.cert_zipf_start = 1.8;  // heavy aggregation in 2014 ...
+  p.cert_zipf_end = 0.35;   // ... disaggregated by 2021 (Fig. 11b)
+  p.anchor_calibration = 1.04;
+  p.pool_stratum_home = 0.6;
+  return p;
+}
+
+HgProfile akamai() {
+  HgProfile p;
+  p.name = "Akamai";
+  p.keyword = "akamai";
+  p.org_name = "Akamai Technologies, Inc.";
+  p.country_code = "US";
+  p.own_as_count = 3;
+  p.onnet_prefixes_per_as = 10;
+  p.onnet_servers = 500;
+  p.domains = {"akamai.com",      "akamaiedge.net", "akamaihd.net",
+               "edgekey.net",     "edgesuite.net",  "akamaized.net",
+               "akamaitechnologies.com"};
+  p.server_headers = {"Server:AkamaiGHost", "Server:AkamaiNetStorage"};
+  p.serves_other_hgs = true;  // delivers LinkedIn/Disney/Apple/... content
+  p.offnet_ases = {{YearMonth(2013, 10), 978},  {YearMonth(2014, 10), 1160},
+                   {YearMonth(2015, 10), 1290}, {YearMonth(2016, 10), 1390},
+                   {YearMonth(2017, 10), 1445}, {YearMonth(2018, 4), 1463},
+                   {YearMonth(2019, 4), 1320},  {YearMonth(2019, 10), 1235},
+                   {YearMonth(2020, 10), 1130}, {YearMonth(2021, 4), 1094}};
+  p.certonly_ases = {{YearMonth(2013, 10), 1013}, {YearMonth(2018, 4), 1490},
+                     {YearMonth(2021, 4), 1107}};
+  p.initial_region_weights = {0.03, 0.28, 0.28, 0.31, 0.04, 0.06};
+  p.late_region_weights = {0.03, 0.46, 0.24, 0.11, 0.03, 0.13};
+  p.category_weights = kAkamaiCategories;
+  p.popularity_bias = 0.95;
+  p.ips_per_offnet_as = 95.0;
+  p.cert_validity_days = 365;
+  p.cert_count_start = 40;
+  p.cert_count_end = 200;
+  p.anchor_calibration = 1.02;
+  p.pool_stratum_home = 0.88;
+  return p;
+}
+
+HgProfile alibaba() {
+  HgProfile p;
+  p.name = "Alibaba";
+  p.keyword = "alibaba";
+  p.org_name = "Alibaba Cloud LLC";
+  p.country_code = "CN";
+  p.onnet_servers = 150;
+  p.domains = {"alibaba.com", "aliyun.com", "alicdn.com", "taobao.com",
+               "alibabacloud.com"};
+  p.server_headers = {"Server:tengine*", "Eagleid:", "Server:AliyunOSS*"};
+  p.asia_only_hardware = true;
+  p.offnet_ases = {{YearMonth(2013, 10), 0},  {YearMonth(2014, 10), 6},
+                   {YearMonth(2015, 10), 45}, {YearMonth(2016, 10), 95},
+                   {YearMonth(2017, 10), 165}, {YearMonth(2018, 1), 184},
+                   {YearMonth(2019, 4), 168},  {YearMonth(2020, 4), 150},
+                   {YearMonth(2021, 4), 136}};
+  p.certonly_ases = {{YearMonth(2013, 10), 0}, {YearMonth(2018, 1), 240},
+                     {YearMonth(2021, 4), 301}};
+  p.initial_region_weights = {0.01, 0.88, 0.04, 0.04, 0.01, 0.02};
+  p.late_region_weights = {0.01, 0.85, 0.05, 0.05, 0.01, 0.03};
+  p.category_weights = kEyeballCdnCategories;
+  p.ips_per_offnet_as = 6.0;
+  return p;
+}
+
+HgProfile cloudflare() {
+  HgProfile p;
+  p.name = "Cloudflare";
+  p.keyword = "cloudflare";
+  p.org_name = "Cloudflare, Inc.";
+  p.country_code = "US";
+  p.onnet_servers = 400;
+  p.domains = {"cloudflare.com", "cloudflaressl.com", "cloudflare-dns.com"};
+  p.server_headers = {"Server:Cloudflare", "cf-cache-status:", "cf-ray:",
+                      "cf-request-id:"};
+  p.anycast_serving = true;
+  p.is_cert_issuer = true;  // universal SSL: customer certs everywhere
+  // These "off-nets" are customer servers misidentified because they host
+  // Cloudflare-issued certificates and proxied responses (§6.1, §7).
+  p.offnet_ases = {{YearMonth(2013, 10), 0},  {YearMonth(2015, 10), 12},
+                   {YearMonth(2017, 10), 45}, {YearMonth(2019, 10), 85},
+                   {YearMonth(2021, 1), 110}, {YearMonth(2021, 4), 110}};
+  p.certonly_ases = {{YearMonth(2013, 10), 2}, {YearMonth(2017, 10), 60},
+                     {YearMonth(2021, 4), 137}};
+  p.anchor_calibration = 1.15;  // single-IP customers suffer the most loss
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  p.ips_per_offnet_as = 2.0;
+  p.cert_validity_days = 365;
+  p.cert_count_start = 50;
+  p.cert_count_end = 400;
+  return p;
+}
+
+HgProfile amazon() {
+  HgProfile p;
+  p.name = "Amazon";
+  p.keyword = "amazon";
+  p.org_name = "Amazon.com, Inc.";
+  p.country_code = "US";
+  p.own_as_count = 2;
+  p.onnet_prefixes_per_as = 14;
+  p.onnet_servers = 500;
+  p.domains = {"amazon.com", "amazonaws.com", "cloudfront.net",
+               "media-amazon.com", "primevideo.com"};
+  p.server_headers = {"Server:AmazonS3", "x-amz-request-id:",
+                      "X-Amz-Cf-Id:", "Server:awselb*"};
+  p.offnet_ases = {{YearMonth(2013, 10), 0},  {YearMonth(2014, 10), 22},
+                   {YearMonth(2016, 4), 80},  {YearMonth(2017, 7), 112},
+                   {YearMonth(2018, 10), 92}, {YearMonth(2019, 10), 74},
+                   {YearMonth(2021, 4), 62}};
+  p.certonly_ases = {{YearMonth(2013, 10), 147}, {YearMonth(2017, 7), 240},
+                     {YearMonth(2021, 4), 218}};
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  p.ips_per_offnet_as = 5.0;
+  return p;
+}
+
+HgProfile cdnetworks() {
+  HgProfile p;
+  p.name = "Cdnetworks";
+  p.keyword = "cdnetworks";
+  p.org_name = "CDNetworks Inc.";
+  p.country_code = "KR";
+  p.onnet_servers = 120;
+  p.domains = {"cdnetworks.com", "cdngc.net", "panthercdn.com"};
+  p.server_headers = {"Server:PWS/*"};
+  p.offnet_ases = {{YearMonth(2013, 10), 0},  {YearMonth(2015, 10), 12},
+                   {YearMonth(2017, 10), 32}, {YearMonth(2019, 1), 51},
+                   {YearMonth(2020, 4), 24},  {YearMonth(2021, 4), 11}};
+  p.certonly_ases = {{YearMonth(2013, 10), 4}, {YearMonth(2019, 1), 62},
+                     {YearMonth(2021, 4), 31}};
+  p.initial_region_weights = {0.02, 0.60, 0.18, 0.14, 0.02, 0.04};
+  p.late_region_weights = {0.02, 0.60, 0.18, 0.14, 0.02, 0.04};
+  p.ips_per_offnet_as = 4.0;
+  return p;
+}
+
+HgProfile limelight() {
+  HgProfile p;
+  p.name = "Limelight";
+  p.keyword = "limelight";
+  p.org_name = "Limelight Networks, Inc.";
+  p.country_code = "US";
+  p.onnet_servers = 150;
+  p.domains = {"limelight.com", "llnwd.net", "llnwi.net"};
+  p.server_headers = {"Server:EdgePrism*", "X-LLID:"};
+  p.anycast_serving = true;
+  p.offnet_ases = {{YearMonth(2013, 10), 0},  {YearMonth(2015, 10), 6},
+                   {YearMonth(2017, 10), 16}, {YearMonth(2019, 4), 30},
+                   {YearMonth(2020, 4), 42},  {YearMonth(2021, 4), 32}};
+  p.certonly_ases = {{YearMonth(2013, 10), 1}, {YearMonth(2020, 4), 45},
+                     {YearMonth(2021, 4), 32}};
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  p.ips_per_offnet_as = 6.0;
+  return p;
+}
+
+HgProfile apple() {
+  HgProfile p;
+  p.name = "Apple";
+  p.keyword = "apple";
+  p.org_name = "Apple Inc.";
+  p.country_code = "US";
+  p.onnet_servers = 250;
+  p.domains = {"apple.com", "icloud.com", "mzstatic.com", "cdn-apple.com",
+               "apple-cloudkit.com"};
+  p.server_headers = {"CDNUUID:"};
+  p.third_party_served = true;  // rides Akamai/other CDNs for reach
+  p.offnet_ases = {{YearMonth(2013, 10), 0}, {YearMonth(2017, 10), 2},
+                   {YearMonth(2020, 4), 6},  {YearMonth(2021, 4), 0}};
+  p.certonly_ases = {{YearMonth(2013, 10), 113}, {YearMonth(2017, 10), 190},
+                     {YearMonth(2020, 4), 280},  {YearMonth(2021, 4), 267}};
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  p.ips_per_offnet_as = 3.0;
+  return p;
+}
+
+HgProfile twitter() {
+  HgProfile p;
+  p.name = "Twitter";
+  p.keyword = "twitter";
+  p.org_name = "Twitter, Inc.";
+  p.country_code = "US";
+  p.onnet_servers = 200;
+  p.domains = {"twitter.com", "twimg.com", "t.co"};
+  p.server_headers = {"Server:tsa_a"};
+  p.third_party_served = true;  // images via Akamai and Verizon
+  p.offnet_ases = {{YearMonth(2013, 10), 0}, {YearMonth(2017, 10), 2},
+                   {YearMonth(2020, 4), 4},  {YearMonth(2021, 4), 4}};
+  p.certonly_ases = {{YearMonth(2013, 10), 101}, {YearMonth(2017, 10), 140},
+                     {YearMonth(2021, 4), 180}};
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  p.ips_per_offnet_as = 3.0;
+  return p;
+}
+
+// ---- Hypergiants for which the methodology inferred no off-net
+// footprint during the study (§6.1). They still run on-nets, hold
+// certificates, and may appear as service-present on third-party
+// platforms.
+
+HgProfile no_offnet(std::string name, std::string keyword,
+                    std::string org_name, std::string country,
+                    std::vector<std::string> domains,
+                    std::vector<std::string> headers,
+                    double certonly_end = 0.0) {
+  HgProfile p;
+  p.name = std::move(name);
+  p.keyword = std::move(keyword);
+  p.org_name = std::move(org_name);
+  p.country_code = std::move(country);
+  p.onnet_servers = 150;
+  p.domains = std::move(domains);
+  p.server_headers = std::move(headers);
+  p.headers_identifiable = !p.server_headers.empty();
+  p.offnet_ases = {{YearMonth(2013, 10), 0}, {YearMonth(2021, 4), 0}};
+  p.certonly_ases = {{YearMonth(2013, 10), 0},
+                     {YearMonth(2021, 4), certonly_end}};
+  p.initial_region_weights = kGenericRegions;
+  p.late_region_weights = kGenericRegions;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<HgProfile>& standard_profiles() {
+  static const std::vector<HgProfile> kProfiles = [] {
+    std::vector<HgProfile> v;
+    v.push_back(google());
+    v.push_back(facebook());
+    v.push_back(netflix());
+    v.push_back(akamai());
+    v.push_back(alibaba());
+    v.push_back(cloudflare());
+    v.push_back(amazon());
+    v.push_back(cdnetworks());
+    v.push_back(limelight());
+    v.push_back(apple());
+    v.push_back(twitter());
+    v.push_back(no_offnet("Microsoft", "microsoft", "Microsoft Corporation",
+                          "US",
+                          {"microsoft.com", "azureedge.net", "linkedin.com",
+                           "msedge.net", "azure.com"},
+                          {"X-MSEdge-Ref:"}, 120));
+    v.push_back(no_offnet("Hulu", "hulu", "Hulu, LLC", "US",
+                          {"hulu.com", "hulustream.com"},
+                          {"X-Hulu-Request-Id:", "X-HULU-NGINX:"}, 10));
+    auto& hulu = v.back();
+    hulu.login_only_headers = true;  // headers only when logged in (§7)
+    v.push_back(no_offnet("Disney", "disney", "Disney Streaming Services",
+                          "US", {"disney.com", "disneyplus.com", "bamgrid.com"},
+                          {}, 40));
+    v.back().third_party_served = true;
+    v.push_back(no_offnet("Yahoo", "yahoo", "Yahoo Holdings, Inc.", "US",
+                          {"yahoo.com", "yimg.com", "yahooapis.com"}, {}, 15));
+    v.push_back(no_offnet("Chinacache", "chinacache", "ChinaCache Networks",
+                          "CN", {"chinacache.com", "ccgslb.com"}, {}, 8));
+    v.push_back(no_offnet("Fastly", "fastly", "Fastly, Inc.", "US",
+                          {"fastly.com", "fastly.net", "fastlylb.net"},
+                          {"X-Served-By:cache-*"}, 20));
+    v.push_back(no_offnet("Cachefly", "cachefly", "CacheFly Networks, Inc.",
+                          "US", {"cachefly.com", "cachefly.net"}, {}, 5));
+    v.push_back(no_offnet("Verizon", "verizon", "Verizon Digital Media", "US",
+                          {"verizondigitalmedia.com", "vdms.io",
+                           "edgecastcdn.net"},
+                          {"Server:ECacc*"}, 25));
+    v.push_back(no_offnet("Incapsula", "incapsula", "Incapsula Inc.", "US",
+                          {"incapsula.com", "incapdns.net"},
+                          {"X-CDN:Incapsula"}, 12));
+    v.push_back(no_offnet("CDN77", "cdn77", "CDN77 Ltd.", "GB",
+                          {"cdn77.com", "cdn77.org"}, {}, 6));
+    v.push_back(no_offnet("Bamtech", "bamtech", "BAMTech Media", "US",
+                          {"bamtech.com", "bamgrid.net"}, {}, 4));
+    v.push_back(no_offnet("Highwinds", "highwinds", "Highwinds Network Group",
+                          "US", {"highwinds.com", "hwcdn.net"}, {}, 5));
+    return v;
+  }();
+  return kProfiles;
+}
+
+int profile_index(std::span<const HgProfile> profiles,
+                  std::string_view name) {
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> top4_indices(std::span<const HgProfile> profiles) {
+  std::vector<int> out;
+  for (std::string_view name : {"Google", "Netflix", "Facebook", "Akamai"}) {
+    int idx = profile_index(profiles, name);
+    if (idx >= 0) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace offnet::hg

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/date.h"
+#include "topology/region.h"
+
+namespace offnet::hg {
+
+/// Piecewise-linear time series anchored at (month, value) points; the
+/// calibration curves digitized from the paper's tables and figures.
+using Anchors = std::vector<std::pair<net::YearMonth, double>>;
+
+/// Interpolated value at `when` (clamped before the first and after the
+/// last anchor).
+double anchor_value(std::span<const std::pair<net::YearMonth, double>> anchors,
+                    net::YearMonth when);
+
+/// Region weight vectors used when choosing where a HG expands.
+using RegionWeights = std::array<double, topo::kRegionCount>;
+
+/// Per-category deployment preference multipliers, indexed by
+/// topo::SizeCategory (Stub, Small, Medium, Large, XLarge).
+using CategoryWeights = std::array<double, 5>;
+
+/// How a Hypergiant's deployment looks to scans; drives the simulator,
+/// never read by the inference pipeline.
+struct HgProfile {
+  std::string name;          // "Google"
+  std::string keyword;       // Organization search key, lower case
+  std::string org_name;      // "Google LLC" (CAIDA-style org entry)
+  std::string country_code;  // HQ country
+  int own_as_count = 1;      // on-net ASes
+  int onnet_prefixes_per_as = 8;
+  int onnet_servers = 200;   // on-net server IPs
+
+  /// Domains this HG serves (dNSName universe of its certificates).
+  std::vector<std::string> domains;
+
+  /// Header lines (paper Table 4 notation) its web servers emit; first
+  /// entries are the most characteristic.
+  std::vector<std::string> server_headers;
+  bool headers_identifiable = true;  // false: no unique header fingerprint
+  bool login_only_headers = false;   // Netflix/Hulu: headers need login
+  bool nginx_default_offnets = false; // Netflix: off-nets show bare nginx
+
+  /// Confirmed off-net footprint (certificates AND headers), #ASes — the
+  /// values the paper *measured* (Table 3, Fig. 3).
+  Anchors offnet_ases;
+  /// Service-present footprint (certificates only), #ASes (>= confirmed).
+  Anchors certonly_ases;
+  /// Ground-truth inflation over the measured anchors: real deployments
+  /// exceed what scans uncover (the §5 survey found 5-11% of host ASes
+  /// missed). The planner deploys anchors * calibration; the pipeline's
+  /// losses bring measurements back down to the anchor values.
+  double anchor_calibration = 1.05;
+
+  RegionWeights initial_region_weights{};  // composition at first nonzero
+  RegionWeights late_region_weights{};     // weights of late additions
+  CategoryWeights category_weights{1, 1, 1, 1, 1};
+  /// Exponent on (user_share + eps) when picking host ASes; higher means
+  /// the HG chases eyeballs harder.
+  double popularity_bias = 0.5;
+
+  /// Countries the HG does not deploy in (market restrictions — e.g.
+  /// Netflix does not operate in China, which caps its user coverage in
+  /// Fig. 7b despite a large AS footprint).
+  std::vector<std::string> excluded_countries;
+
+  /// Business-relationship stratum in [0,1]: HGs with distant homes drew
+  /// from largely disjoint host populations early on (in 2013 Google's
+  /// and Akamai's hosts barely overlapped, Fig. 10b), converging only as
+  /// footprints grew into the whole pool.
+  double pool_stratum_home = 0.5;
+
+  /// Mean off-net server IPs per hosting AS (heavy-tailed draw).
+  double ips_per_offnet_as = 8.0;
+
+  /// Certificate policy (Appendix A.3).
+  int cert_validity_days = 365;
+  int cert_count_start = 4;    // distinct serving certs at study start
+  int cert_count_end = 40;     // ... at study end
+  /// Zipf exponent of the cert->IP assignment at start/end; higher is
+  /// more aggregated (Fig. 11: Google stays aggregated, Facebook
+  /// disaggregates).
+  double cert_zipf_start = 1.2;
+  double cert_zipf_end = 1.2;
+
+  // ---- quirks ----
+  /// Serves production traffic over one anycast IP announced from the
+  /// HG's AS (§7): the user-facing address looks on-net everywhere, but
+  /// each off-net also exposes a unicast debug address of the hosting AS
+  /// that answers identically — which is what the methodology finds.
+  bool anycast_serving = false;
+  bool is_cert_issuer = false;       // Cloudflare universal SSL
+  bool serves_other_hgs = false;     // Akamai: delivers other HGs' content
+  bool third_party_served = false;   // Apple/Twitter/...: rides other CDNs
+  bool netflix_cert_episode = false; // expired-cert + HTTP-only window
+  bool asia_only_hardware = false;   // Alibaba: own servers only in Asia
+};
+
+/// The paper's 23 examined Hypergiants with calibrated curves.
+const std::vector<HgProfile>& standard_profiles();
+
+/// Index of a profile by name, or -1.
+int profile_index(std::span<const HgProfile> profiles, std::string_view name);
+
+/// The four Hypergiants with the largest footprints (Google, Netflix,
+/// Facebook, Akamai), as profile indices.
+std::vector<int> top4_indices(std::span<const HgProfile> profiles);
+
+}  // namespace offnet::hg

@@ -1,0 +1,121 @@
+#include "io/exporter.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace offnet::io {
+
+namespace {
+
+/// Flattens a chain verdict into the loader's trust field (validity
+/// windows are preserved separately, so "trusted but expired" survives a
+/// round trip).
+const char* trust_of(const tls::CertificateStore& store,
+                     const tls::RootStore& roots, tls::CertId id) {
+  const tls::Certificate& cert = store.get(id);
+  if (cert.self_signed()) return "self-signed";
+  for (tls::CertId link = cert.issuer; link != tls::kNoCert;
+       link = store.get(link).issuer) {
+    if (roots.is_trusted(link)) return "trusted";
+  }
+  return "untrusted";
+}
+
+}  // namespace
+
+void export_dataset(const scan::World& world,
+                    const scan::ScanSnapshot& snapshot, ExportStreams out) {
+  const topo::Topology& topology = world.topology();
+
+  // ---- AS relationships (CAIDA serial-1). Peer links are symmetric in
+  // the graph; emit each once. ----
+  out.relationships << "# offnet export | serial-1\n";
+  for (topo::AsId id = 0; id < topology.as_count(); ++id) {
+    for (topo::AsId customer : topology.graph().customers(id)) {
+      out.relationships << topology.as(id).asn << '|'
+                        << topology.as(customer).asn << "|-1\n";
+    }
+    for (topo::AsId peer : topology.graph().peers(id)) {
+      if (peer > id) {
+        out.relationships << topology.as(id).asn << '|'
+                          << topology.as(peer).asn << "|0\n";
+      }
+    }
+  }
+
+  // ---- Organizations. ----
+  out.organizations << "# offnet export | org_id|name then asn|org_id\n";
+  for (topo::OrgId org = 0; org < topology.orgs().org_count(); ++org) {
+    out.organizations << "O" << org << '|' << topology.orgs().name(org)
+                      << '\n';
+  }
+  for (topo::AsId id = 0; id < topology.as_count(); ++id) {
+    if (topology.as(id).org != topo::kNoOrg) {
+      out.organizations << topology.as(id).asn << "|O" << topology.as(id).org
+                        << '\n';
+    }
+  }
+
+  // ---- prefix2as for this snapshot. ----
+  out.prefix2as << "# offnet export | base\\tlen\\torigins\n";
+  world.ip2as().at(snapshot.snapshot_index())
+      .for_each([&](const net::Prefix& prefix, const bgp::OriginSet& origins) {
+        out.prefix2as << prefix.base().to_string() << '\t'
+                      << static_cast<int>(prefix.length()) << '\t';
+        bool first = true;
+        for (net::Asn asn : origins.origins()) {
+          if (!first) out.prefix2as << '_';
+          out.prefix2as << asn;
+          first = false;
+        }
+        out.prefix2as << '\n';
+      });
+
+  // ---- Certificates referenced by the snapshot, then hosts. ----
+  std::unordered_set<tls::CertId> referenced;
+  for (const scan::CertScanRecord& rec : snapshot.certs()) {
+    referenced.insert(rec.cert);
+  }
+  out.certificates
+      << "# offnet export | id\\torg\\tnot_before\\tnot_after\\ttrust"
+         "\\tsans\n";
+  for (tls::CertId id : referenced) {
+    const tls::Certificate& cert = world.certs().get(id);
+    out.certificates << "c" << id << '\t' << cert.subject.organization
+                     << '\t' << cert.not_before.to_string() << '\t'
+                     << cert.not_after.to_string() << '\t'
+                     << trust_of(world.certs(), world.roots(), id) << '\t';
+    bool first = true;
+    for (const std::string& san : cert.dns_names) {
+      if (!first) out.certificates << ',';
+      out.certificates << san;
+      first = false;
+    }
+    out.certificates << '\n';
+  }
+  out.hosts << "# offnet export | ip\\tcert_id\n";
+  for (const scan::CertScanRecord& rec : snapshot.certs()) {
+    out.hosts << rec.ip.to_string() << "\tc" << rec.cert << '\n';
+  }
+
+  // ---- Headers. ----
+  out.headers << "# offnet export | ip\\tport\\tName: value|...\n";
+  auto emit = [&](bool https) {
+    snapshot.for_each_headers(https, [&](net::IPv4 ip,
+                                         const http::HeaderMap& headers) {
+      if (headers.empty()) return;
+      out.headers << ip.to_string() << '\t' << (https ? "443" : "80") << '\t';
+      bool first = true;
+      for (const http::Header& h : headers.all()) {
+        if (!first) out.headers << '|';
+        out.headers << h.name << ": " << h.value;
+        first = false;
+      }
+      out.headers << '\n';
+    });
+  };
+  if (snapshot.has_https_headers()) emit(true);
+  if (snapshot.has_http_headers()) emit(false);
+}
+
+}  // namespace offnet::io

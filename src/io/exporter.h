@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+
+#include "scan/record.h"
+#include "scan/world.h"
+
+namespace offnet::io {
+
+/// Writes a simulated snapshot in the on-disk formats `loaders.h` reads —
+/// useful for interoperability testing and for handing simulated corpuses
+/// to external tools. export + load round-trips to an equivalent
+/// pipeline input.
+struct ExportStreams {
+  std::ostream& relationships;
+  std::ostream& organizations;
+  std::ostream& prefix2as;
+  std::ostream& certificates;
+  std::ostream& hosts;
+  std::ostream& headers;
+};
+
+void export_dataset(const scan::World& world,
+                    const scan::ScanSnapshot& snapshot, ExportStreams out);
+
+}  // namespace offnet::io

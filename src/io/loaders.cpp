@@ -1,0 +1,295 @@
+#include "io/loaders.h"
+
+#include <charconv>
+#include <unordered_map>
+
+#include "tls/ca.h"
+
+namespace offnet::io {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t line) {
+  throw LoadError(std::string(what) + " at line " + std::to_string(line));
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint64_t parse_number(std::string_view text, std::size_t line) {
+  std::uint64_t value = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                 value);
+  if (ec != std::errc{} || p != text.data() + text.size()) {
+    fail("malformed number '" + std::string(text) + "'", line);
+  }
+  return value;
+}
+
+/// "YYYY-MM-DD" -> DayTime.
+net::DayTime parse_date(std::string_view text, std::size_t line) {
+  auto parts = split(text, '-');
+  if (parts.size() != 3) fail("malformed date", line);
+  int year = static_cast<int>(parse_number(parts[0], line));
+  int month = static_cast<int>(parse_number(parts[1], line));
+  int day = static_cast<int>(parse_number(parts[2], line));
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    fail("date out of range", line);
+  }
+  return net::DayTime::from(net::YearMonth(year, month), day);
+}
+
+bool is_comment_or_blank(std::string_view line) {
+  return line.empty() || line[0] == '#';
+}
+
+}  // namespace
+
+RelationshipData load_as_relationships(std::istream& in) {
+  RelationshipData data;
+  std::unordered_map<net::Asn, topo::AsId> ids;
+  auto intern = [&](net::Asn asn) {
+    auto it = ids.find(asn);
+    if (it != ids.end()) return it->second;
+    topo::AsId id = data.graph.add_as(asn);
+    data.asns.push_back(asn);
+    ids.emplace(asn, id);
+    return id;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '|');
+    if (fields.size() < 3) fail("expected as1|as2|rel", line_no);
+    auto a = static_cast<net::Asn>(parse_number(fields[0], line_no));
+    auto b = static_cast<net::Asn>(parse_number(fields[1], line_no));
+    if (a == b) fail("self link", line_no);
+    topo::AsId id_a = intern(a);
+    topo::AsId id_b = intern(b);
+    if (fields[2] == "-1") {
+      data.graph.add_customer_link(id_a, id_b);  // a provider of b
+    } else if (fields[2] == "0") {
+      data.graph.add_peer_link(id_a, id_b);
+    } else {
+      fail("unknown relationship '" + std::string(fields[2]) + "'", line_no);
+    }
+  }
+  return data;
+}
+
+topo::Topology load_topology(std::istream& relationships,
+                             std::istream& organizations) {
+  RelationshipData rel = load_as_relationships(relationships);
+
+  std::vector<topo::AsRecord> records(rel.asns.size());
+  for (topo::AsId id = 0; id < rel.asns.size(); ++id) {
+    records[id].asn = rel.asns[id];
+  }
+
+  // Organizations file: "org_id|name" and "asn|org_id" lines. Org-id
+  // tokens are non-numeric (CAIDA uses opaque ids), so the two line
+  // kinds are distinguished by whether the first field parses as an ASN.
+  topo::OrgDb orgs;
+  std::unordered_map<std::string, topo::OrgId> org_ids;
+  std::unordered_map<net::Asn, topo::AsId> asn_to_id;
+  for (topo::AsId id = 0; id < rel.asns.size(); ++id) {
+    asn_to_id.emplace(rel.asns[id], id);
+  }
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<std::pair<net::Asn, std::string>> assignments;
+  while (std::getline(organizations, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '|');
+    if (fields.size() < 2) fail("expected two '|' fields", line_no);
+    net::Asn asn = 0;
+    auto [p, ec] = std::from_chars(
+        fields[0].data(), fields[0].data() + fields[0].size(), asn);
+    bool numeric = ec == std::errc{} &&
+                   p == fields[0].data() + fields[0].size();
+    if (numeric) {
+      assignments.emplace_back(asn, std::string(fields[1]));
+    } else {
+      org_ids.emplace(std::string(fields[0]),
+                      orgs.add_org(std::string(fields[1]), topo::kNoCountry));
+    }
+  }
+  for (const auto& [asn, org_token] : assignments) {
+    auto as_it = asn_to_id.find(asn);
+    auto org_it = org_ids.find(org_token);
+    if (as_it == asn_to_id.end()) continue;  // org data beyond the graph
+    if (org_it == org_ids.end()) {
+      throw LoadError("assignment references unknown org '" + org_token +
+                      "'");
+    }
+    orgs.assign(org_it->second, as_it->second);
+    records[as_it->second].org = org_it->second;
+  }
+
+  return topo::Topology(std::move(rel.graph), std::move(records),
+                        std::move(orgs));
+}
+
+bgp::Ip2AsMap load_prefix2as(std::istream& in) {
+  bgp::Ip2AsMap map;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '\t');
+    if (fields.size() != 3) fail("expected base<TAB>len<TAB>asns", line_no);
+    auto base = net::IPv4::parse(fields[0]);
+    if (!base) fail("malformed prefix base", line_no);
+    auto length = parse_number(fields[1], line_no);
+    if (length > 32) fail("prefix length out of range", line_no);
+    bgp::OriginSet origins;
+    for (std::string_view token : split(fields[2], '_')) {
+      origins.add(static_cast<net::Asn>(parse_number(token, line_no)));
+    }
+    map.insert(net::Prefix(*base, static_cast<std::uint8_t>(length)),
+               origins);
+  }
+  return map;
+}
+
+namespace {
+
+void load_certificates(std::istream& in, tls::CertificateStore& store,
+                       tls::RootStore& roots,
+                       std::unordered_map<std::string, tls::CertId>& by_id) {
+  // One shared trusted root / untrusted root pair models the flattened
+  // chain-verification verdict in the input.
+  tls::CaService ca(store, roots);
+  tls::CertId trusted_root = ca.create_root("Imported WebPKI");
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '\t');
+    if (fields.size() != 6) {
+      fail("expected 6 tab-separated certificate fields", line_no);
+    }
+    tls::DistinguishedName subject;
+    subject.organization = std::string(fields[1]);
+    std::vector<std::string> sans;
+    if (!fields[5].empty()) {
+      for (std::string_view san : split(fields[5], ',')) {
+        sans.emplace_back(san);
+      }
+    }
+    net::DayTime not_before = parse_date(fields[2], line_no);
+    net::DayTime not_after = parse_date(fields[3], line_no);
+    if (not_after < not_before) fail("not_after precedes not_before", line_no);
+    auto days = static_cast<int>(not_after.days() - not_before.days());
+
+    tls::CertId id = tls::kNoCert;
+    if (fields[4] == "trusted") {
+      id = ca.issue(trusted_root, std::move(subject), std::move(sans),
+                    not_before, days);
+    } else if (fields[4] == "self-signed") {
+      id = ca.issue_self_signed(std::move(subject), std::move(sans),
+                                not_before, days);
+    } else if (fields[4] == "untrusted") {
+      id = ca.issue_untrusted(std::move(subject), std::move(sans),
+                              not_before, days);
+    } else {
+      fail("unknown trust '" + std::string(fields[4]) + "'", line_no);
+    }
+    if (!by_id.emplace(std::string(fields[0]), id).second) {
+      fail("duplicate certificate id", line_no);
+    }
+  }
+}
+
+}  // namespace
+
+void Dataset::add_headers(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '\t');
+    if (fields.size() != 3) fail("expected ip<TAB>port<TAB>headers", line_no);
+    auto ip = net::IPv4::parse(fields[0]);
+    if (!ip) fail("malformed IP", line_no);
+    http::HeaderMap headers;
+    for (std::string_view pair : split(fields[2], '|')) {
+      auto colon = pair.find(':');
+      if (colon == std::string_view::npos) fail("malformed header", line_no);
+      std::string_view value = pair.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      headers.add(std::string(pair.substr(0, colon)), std::string(value));
+    }
+    http::HeaderSetId set = catalog_->add(std::move(headers));
+    if (fields[1] == "443") {
+      snapshot_->add_https_headers(*ip, set);
+      snapshot_->set_header_availability(true, snapshot_->has_http_headers());
+    } else if (fields[1] == "80") {
+      snapshot_->add_http_headers(*ip, set);
+      snapshot_->set_header_availability(snapshot_->has_https_headers(), true);
+    } else {
+      fail("unknown port", line_no);
+    }
+  }
+}
+
+Dataset load_dataset(std::istream& relationships, std::istream& organizations,
+                     std::istream& prefix2as, std::istream& certificates,
+                     std::istream& hosts, net::YearMonth scan_month) {
+  Dataset dataset;
+  dataset.topology_ = std::make_unique<topo::Topology>(
+      load_topology(relationships, organizations));
+  dataset.ip2as_ =
+      std::make_unique<bgp::FixedIp2As>(load_prefix2as(prefix2as));
+
+  std::unordered_map<std::string, tls::CertId> cert_ids;
+  load_certificates(certificates, dataset.certs_, dataset.roots_, cert_ids);
+
+  dataset.catalog_ = std::make_unique<http::HeaderCatalog>();
+  auto snapshot_idx = net::snapshot_index(scan_month);
+  dataset.snapshot_ = std::make_unique<scan::ScanSnapshot>(
+      scan::ScannerKind::kRapid7, snapshot_idx.value_or(0),
+      net::DayTime::from(scan_month, 15), *dataset.catalog_);
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(hosts, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    auto fields = split(line, '\t');
+    if (fields.size() != 2) fail("expected ip<TAB>cert_id", line_no);
+    auto ip = net::IPv4::parse(fields[0]);
+    if (!ip) fail("malformed IP", line_no);
+    auto it = cert_ids.find(std::string(fields[1]));
+    if (it == cert_ids.end()) {
+      fail("host references unknown certificate '" + std::string(fields[1]) +
+               "'",
+           line_no);
+    }
+    dataset.snapshot_->certs().push_back(
+        scan::CertScanRecord{*ip, it->second});
+  }
+  return dataset;
+}
+
+}  // namespace offnet::io

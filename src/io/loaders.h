@@ -1,0 +1,85 @@
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "bgp/ip2as.h"
+#include "http/catalog.h"
+#include "scan/record.h"
+#include "tls/validator.h"
+#include "topology/topology.h"
+
+/// Loaders for on-disk dataset formats, so the pipeline can run against
+/// real exports instead of the simulator. Formats mirror the public
+/// datasets the paper uses:
+///
+///  - AS relationships: CAIDA serial-1 ("as1|as2|rel", rel -1 =
+///    provider-customer, 0 = peer; '#' comments).
+///  - AS organizations: CAIDA as-org2info subset. Two kinds of lines:
+///    "org_id|name" and "asn|org_id".
+///  - prefix2as: CAIDA Routeviews pfx2as ("base<TAB>len<TAB>asn" with
+///    MOAS origins separated by '_').
+///  - certificates: TSV "id<TAB>organization<TAB>not_before<TAB>
+///    not_after<TAB>trust<TAB>san1,san2" where dates are YYYY-MM-DD and
+///    trust is one of trusted / self-signed / untrusted (the flattened
+///    result of chain verification, as in processed Rapid7 exports).
+///  - hosts: TSV "ip<TAB>cert_id" (the default certificate served).
+///  - headers: TSV "ip<TAB>port<TAB>Name: value|Name: value" with port
+///    443 or 80.
+namespace offnet::io {
+
+class LoadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// AS graph + per-id ASNs parsed from CAIDA serial-1 relationships.
+struct RelationshipData {
+  topo::AsGraph graph;
+  std::vector<net::Asn> asns;
+};
+RelationshipData load_as_relationships(std::istream& in);
+
+/// A Topology assembled from relationships + organizations. Country,
+/// prefix, and population fields stay empty — the pipeline itself only
+/// needs the graph, the ASN index, and the org database.
+topo::Topology load_topology(std::istream& relationships,
+                             std::istream& organizations);
+
+/// Longest-prefix-match map from a pfx2as file.
+bgp::Ip2AsMap load_prefix2as(std::istream& in);
+
+/// Everything needed to run OffnetPipeline on loaded data. Members are
+/// held by pointer so the snapshot's internal references stay valid.
+class Dataset {
+ public:
+  const topo::Topology& topology() const { return *topology_; }
+  const bgp::Ip2AsOracle& ip2as() const { return *ip2as_; }
+  const tls::CertificateStore& certs() const { return certs_; }
+  const tls::RootStore& roots() const { return roots_; }
+  const scan::ScanSnapshot& snapshot() const { return *snapshot_; }
+
+  /// Adds a header corpus (port 443/80) to the snapshot.
+  void add_headers(std::istream& in);
+
+ private:
+  friend Dataset load_dataset(std::istream&, std::istream&, std::istream&,
+                              std::istream&, std::istream&, net::YearMonth);
+
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<bgp::FixedIp2As> ip2as_;
+  tls::CertificateStore certs_;
+  tls::RootStore roots_;
+  std::unique_ptr<http::HeaderCatalog> catalog_;
+  std::unique_ptr<scan::ScanSnapshot> snapshot_;
+};
+
+/// Loads a complete dataset. `scan_month` anchors certificate-validity
+/// checks (must be a study snapshot month for longitudinal analyses).
+Dataset load_dataset(std::istream& relationships, std::istream& organizations,
+                     std::istream& prefix2as, std::istream& certificates,
+                     std::istream& hosts, net::YearMonth scan_month);
+
+}  // namespace offnet::io

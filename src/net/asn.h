@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+
+namespace offnet::net {
+
+/// An Autonomous System number. Plain integer alias: ASNs are used as keys
+/// everywhere and a strong type buys little here.
+using Asn = std::uint32_t;
+
+/// Sentinel for "no AS" (AS0 is reserved and never assigned).
+constexpr Asn kNoAsn = 0;
+
+}  // namespace offnet::net

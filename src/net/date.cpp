@@ -1,0 +1,61 @@
+#include "net/date.h"
+
+#include <charconv>
+
+namespace offnet::net {
+
+std::optional<YearMonth> YearMonth::parse(std::string_view text) {
+  auto dash = text.find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  int year = 0;
+  int month = 0;
+  auto ytext = text.substr(0, dash);
+  auto mtext = text.substr(dash + 1);
+  auto [yp, yec] = std::from_chars(ytext.data(), ytext.data() + ytext.size(),
+                                   year);
+  auto [mp, mec] = std::from_chars(mtext.data(), mtext.data() + mtext.size(),
+                                   month);
+  if (yec != std::errc{} || mec != std::errc{} ||
+      yp != ytext.data() + ytext.size() ||
+      mp != mtext.data() + mtext.size() || month < 1 || month > 12) {
+    return std::nullopt;
+  }
+  return YearMonth(year, month);
+}
+
+std::string YearMonth::to_string() const {
+  std::string out = std::to_string(year());
+  out.push_back('-');
+  if (month() < 10) out.push_back('0');
+  out += std::to_string(month());
+  return out;
+}
+
+std::string DayTime::to_string() const {
+  auto pad2 = [](int v) {
+    std::string out = std::to_string(v);
+    return v < 10 ? "0" + out : out;
+  };
+  return std::to_string(year()) + "-" + pad2(month()) + "-" +
+         pad2(day_of_month());
+}
+
+std::vector<YearMonth> study_snapshots() {
+  std::vector<YearMonth> out;
+  for (YearMonth ym = kStudyStart; ym <= kStudyEnd; ym = ym.plus_months(3)) {
+    out.push_back(ym);
+  }
+  return out;
+}
+
+std::optional<std::size_t> snapshot_index(YearMonth when) {
+  int months = kStudyStart.months_until(when);
+  if (months < 0 || months % 3 != 0 || when > kStudyEnd) return std::nullopt;
+  return static_cast<std::size_t>(months / 3);
+}
+
+std::size_t snapshot_count() {
+  return static_cast<std::size_t>(kStudyStart.months_until(kStudyEnd) / 3) + 1;
+}
+
+}  // namespace offnet::net

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace offnet::net {
+
+/// A calendar month (year, month). This is the time resolution of the
+/// study: Rapid7/Censys snapshots are quarterly, BGP/population data are
+/// aggregated monthly.
+class YearMonth {
+ public:
+  constexpr YearMonth() = default;
+  constexpr YearMonth(int year, int month) : index_(year * 12 + (month - 1)) {}
+
+  /// Parses "YYYY-MM". Returns nullopt on malformed input.
+  static std::optional<YearMonth> parse(std::string_view text);
+
+  constexpr int year() const { return index_ / 12; }
+  constexpr int month() const { return index_ % 12 + 1; }
+
+  /// Month-granularity arithmetic.
+  constexpr YearMonth plus_months(int n) const {
+    YearMonth out;
+    out.index_ = index_ + n;
+    return out;
+  }
+  constexpr int months_until(YearMonth later) const {
+    return later.index_ - index_;
+  }
+
+  /// "YYYY-MM", the label format used on the paper's time axes.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(YearMonth, YearMonth) = default;
+
+ private:
+  int index_ = 0;  // months since year 0
+};
+
+/// Start of the study period: first Rapid7 snapshot used (Oct. 2013).
+constexpr YearMonth kStudyStart{2013, 10};
+/// End of the study period: last snapshot used (Apr. 2021).
+constexpr YearMonth kStudyEnd{2021, 4};
+
+/// The 31 quarterly certificate-scan snapshots from 2013-10 through
+/// 2021-04 ("datasets from once every three months", §4.6).
+std::vector<YearMonth> study_snapshots();
+
+/// Index of `when` in study_snapshots(), or nullopt when it is not a
+/// snapshot month.
+std::optional<std::size_t> snapshot_index(YearMonth when);
+
+/// Number of quarterly snapshots in the study (31).
+std::size_t snapshot_count();
+
+/// A simple day-resolution timestamp used for certificate validity
+/// windows. Days are counted uniformly (30-day months) — fine-grained
+/// calendar accuracy is irrelevant to the methodology; only ordering and
+/// rough durations matter.
+class DayTime {
+ public:
+  constexpr DayTime() = default;
+  constexpr explicit DayTime(std::int64_t days) : days_(days) {}
+  constexpr static DayTime from(YearMonth ym, int day_of_month = 1) {
+    return DayTime(static_cast<std::int64_t>(ym.year()) * 360 +
+                   (ym.month() - 1) * 30 + (day_of_month - 1));
+  }
+
+  constexpr std::int64_t days() const { return days_; }
+  constexpr DayTime plus_days(std::int64_t n) const {
+    return DayTime(days_ + n);
+  }
+
+  constexpr int year() const { return static_cast<int>(days_ / 360); }
+  constexpr int month() const {
+    return static_cast<int>(days_ % 360 / 30) + 1;
+  }
+  constexpr int day_of_month() const {
+    return static_cast<int>(days_ % 30) + 1;
+  }
+
+  /// "YYYY-MM-DD" in the uniform 30-day calendar.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(DayTime, DayTime) = default;
+
+ private:
+  std::int64_t days_ = 0;
+};
+
+}  // namespace offnet::net

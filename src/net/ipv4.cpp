@@ -1,0 +1,36 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace offnet::net {
+
+std::optional<IPv4> IPv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IPv4(value);
+}
+
+std::string IPv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(static_cast<unsigned>(octet(i)));
+  }
+  return out;
+}
+
+}  // namespace offnet::net

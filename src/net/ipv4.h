@@ -1,0 +1,53 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace offnet::net {
+
+/// An IPv4 address held in host byte order. Regular value type, totally
+/// ordered by numeric address value.
+class IPv4 {
+ public:
+  constexpr IPv4() = default;
+  constexpr explicit IPv4(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  constexpr static IPv4 from_octets(std::uint8_t a, std::uint8_t b,
+                                    std::uint8_t c, std::uint8_t d) {
+    return IPv4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation. Returns nullopt on any syntax error
+  /// (missing octets, out-of-range values, trailing junk).
+  static std::optional<IPv4> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4, IPv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+constexpr IPv4 operator+(IPv4 ip, std::uint32_t delta) {
+  return IPv4(ip.value() + delta);
+}
+
+}  // namespace offnet::net
+
+template <>
+struct std::hash<offnet::net::IPv4> {
+  std::size_t operator()(offnet::net::IPv4 ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,166 @@
+#include "net/ipv6.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "net/ipv4.h"
+
+namespace offnet::net {
+
+namespace {
+
+std::optional<std::uint16_t> parse_group(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                 value, 16);
+  if (ec != std::errc{} || p != text.data() + text.size() || value > 0xffff) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::vector<std::string_view> split_colons(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(':', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::optional<IPv6> IPv6::parse(std::string_view text) {
+  // Split on "::" (at most once).
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  auto expand_side = [](std::string_view side, bool allow_v4_tail)
+      -> std::optional<std::vector<std::uint16_t>> {
+    std::vector<std::uint16_t> groups;
+    if (side.empty()) return groups;
+    auto parts = split_colons(side);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (allow_v4_tail && i + 1 == parts.size() &&
+          parts[i].find('.') != std::string_view::npos) {
+        auto v4 = IPv4::parse(parts[i]);
+        if (!v4) return std::nullopt;
+        groups.push_back(static_cast<std::uint16_t>(v4->value() >> 16));
+        groups.push_back(static_cast<std::uint16_t>(v4->value() & 0xffff));
+        continue;
+      }
+      auto group = parse_group(parts[i]);
+      if (!group) return std::nullopt;
+      groups.push_back(*group);
+    }
+    return groups;
+  };
+
+  std::vector<std::uint16_t> groups;
+  if (gap == std::string_view::npos) {
+    auto full = expand_side(text, true);
+    if (!full || full->size() != 8) return std::nullopt;
+    groups = std::move(*full);
+  } else {
+    auto left = expand_side(text.substr(0, gap), false);
+    auto right = expand_side(text.substr(gap + 2), true);
+    if (!left || !right || left->size() + right->size() > 7) {
+      return std::nullopt;
+    }
+    groups = std::move(*left);
+    groups.resize(8 - right->size(), 0);
+    groups.insert(groups.end(), right->begin(), right->end());
+  }
+
+  std::array<std::uint16_t, 8> g{};
+  std::copy(groups.begin(), groups.end(), g.begin());
+  return IPv6::from_groups(g);
+}
+
+std::string IPv6::to_string() const {
+  // RFC 5952: compress the longest run (>= 2) of zero groups.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  auto hex = [](std::uint16_t v) {
+    char buffer[5];
+    std::snprintf(buffer, sizeof(buffer), "%x", v);
+    return std::string(buffer);
+  };
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ":";
+    out += hex(group(i));
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Prefix6::Prefix6(IPv6 base, std::uint8_t length) : length_(length) {
+  std::uint64_t high_mask =
+      length >= 64 ? ~std::uint64_t{0}
+                   : (length == 0 ? 0 : ~std::uint64_t{0} << (64 - length));
+  std::uint64_t low_mask =
+      length <= 64 ? 0
+                   : (length >= 128 ? ~std::uint64_t{0}
+                                    : ~std::uint64_t{0} << (128 - length));
+  base_ = IPv6(base.high() & high_mask, base.low() & low_mask);
+}
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = IPv6::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [p, ec] = std::from_chars(len_text.data(),
+                                 len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || p != len_text.data() + len_text.size() ||
+      length > 128) {
+    return std::nullopt;
+  }
+  return Prefix6(*ip, static_cast<std::uint8_t>(length));
+}
+
+bool Prefix6::contains(IPv6 ip) const {
+  Prefix6 masked(ip, length_);
+  return masked.base() == base_;
+}
+
+std::string Prefix6::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace offnet::net

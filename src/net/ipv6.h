@@ -1,0 +1,128 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace offnet::net {
+
+/// An IPv6 address (128 bits, network order abstracted away). Groundwork
+/// for the paper's stated future work (§7): the inference approach is IP
+/// protocol-agnostic, but longitudinal IPv6 certificate corpuses do not
+/// exist yet.
+class IPv6 {
+ public:
+  constexpr IPv6() = default;
+  constexpr IPv6(std::uint64_t high, std::uint64_t low)
+      : high_(high), low_(low) {}
+
+  /// Builds from eight 16-bit groups.
+  constexpr static IPv6 from_groups(const std::array<std::uint16_t, 8>& g) {
+    std::uint64_t high = 0;
+    std::uint64_t low = 0;
+    for (int i = 0; i < 4; ++i) high = (high << 16) | g[i];
+    for (int i = 4; i < 8; ++i) low = (low << 16) | g[i];
+    return IPv6(high, low);
+  }
+
+  /// Parses RFC 4291 text form, including "::" compression and embedded
+  /// IPv4 tails ("::ffff:192.0.2.1"). Returns nullopt on syntax errors.
+  static std::optional<IPv6> parse(std::string_view text);
+
+  constexpr std::uint64_t high() const { return high_; }
+  constexpr std::uint64_t low() const { return low_; }
+
+  constexpr std::uint16_t group(int i) const {
+    return static_cast<std::uint16_t>(
+        (i < 4 ? high_ >> (16 * (3 - i)) : low_ >> (16 * (7 - i))) & 0xffff);
+  }
+
+  /// Bit `i` counted from the most significant (bit 0 of group 0).
+  constexpr bool bit(int i) const {
+    return i < 64 ? (high_ >> (63 - i)) & 1 : (low_ >> (127 - i)) & 1;
+  }
+
+  /// RFC 5952 canonical text form (lowercase, longest zero run
+  /// compressed).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv6, IPv6) = default;
+
+ private:
+  std::uint64_t high_ = 0;
+  std::uint64_t low_ = 0;
+};
+
+/// An IPv6 CIDR prefix with the base masked to the prefix length.
+class Prefix6 {
+ public:
+  constexpr Prefix6() = default;
+  Prefix6(IPv6 base, std::uint8_t length);
+
+  static std::optional<Prefix6> parse(std::string_view text);
+
+  IPv6 base() const { return base_; }
+  std::uint8_t length() const { return length_; }
+  bool contains(IPv6 ip) const;
+  bool contains(const Prefix6& other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix6&, const Prefix6&) = default;
+
+ private:
+  IPv6 base_;
+  std::uint8_t length_ = 0;
+};
+
+/// Longest-prefix-match table for IPv6 (sorted-vector based: IPv6 tables
+/// are tiny compared to IPv4 scan corpuses, so a trie is unnecessary).
+template <class T>
+class Ipv6Table {
+ public:
+  void insert(const Prefix6& prefix, T value) {
+    entries_.push_back(Entry{prefix, std::move(value)});
+    sorted_ = false;
+  }
+
+  const T* longest_match(IPv6 ip) const {
+    ensure_sorted();
+    const T* best = nullptr;
+    int best_len = -1;
+    // Entries sorted by base; scan the candidates that could cover ip.
+    for (const Entry& e : entries_) {
+      if (e.prefix.base() > ip) break;
+      if (e.prefix.contains(ip) && e.prefix.length() > best_len) {
+        best = &e.value;
+        best_len = e.prefix.length();
+      }
+    }
+    return best;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Prefix6 prefix;
+    T value;
+  };
+  void ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.prefix < b.prefix;
+              });
+    sorted_ = true;
+  }
+  mutable std::vector<Entry> entries_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace offnet::net

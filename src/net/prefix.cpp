@@ -1,0 +1,84 @@
+#include "net/prefix.h"
+
+#include <array>
+#include <charconv>
+
+namespace offnet::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = IPv4::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*ip, static_cast<std::uint8_t>(length));
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+namespace {
+
+constexpr Prefix make(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d, std::uint8_t len) {
+  return Prefix(IPv4::from_octets(a, b, c, d), len);
+}
+
+// IANA IPv4 Special-Purpose Address Registry, condensed.
+constexpr std::array kBogons = {
+    make(0, 0, 0, 0, 8),        // "this network"
+    make(10, 0, 0, 0, 8),       // private use
+    make(100, 64, 0, 0, 10),    // shared address space (CGN)
+    make(127, 0, 0, 0, 8),      // loopback
+    make(169, 254, 0, 0, 16),   // link local
+    make(172, 16, 0, 0, 12),    // private use
+    make(192, 0, 0, 0, 24),     // IETF protocol assignments
+    make(192, 0, 2, 0, 24),     // TEST-NET-1
+    make(192, 88, 99, 0, 24),   // 6to4 relay anycast (deprecated)
+    make(192, 168, 0, 0, 16),   // private use
+    make(198, 18, 0, 0, 15),    // benchmarking
+    make(198, 51, 100, 0, 24),  // TEST-NET-2
+    make(203, 0, 113, 0, 24),   // TEST-NET-3
+    make(224, 0, 0, 0, 4),      // multicast
+    make(240, 0, 0, 0, 4),      // reserved (includes 255.255.255.255)
+};
+
+}  // namespace
+
+std::span<const Prefix> bogon_prefixes() { return kBogons; }
+
+bool is_bogon(IPv4 ip) {
+  for (const Prefix& p : kBogons) {
+    if (p.contains(ip)) return true;
+  }
+  return false;
+}
+
+bool is_bogon(const Prefix& prefix) {
+  for (const Prefix& p : kBogons) {
+    if (p.overlaps(prefix)) return true;
+  }
+  return false;
+}
+
+bool is_reserved_asn(std::uint32_t asn) {
+  // IANA Special-Purpose AS Numbers registry.
+  if (asn == 0 || asn == 23456) return true;                 // AS0, AS_TRANS
+  if (asn >= 64496 && asn <= 64511) return true;             // documentation
+  if (asn >= 64512 && asn <= 65534) return true;             // private use
+  if (asn == 65535) return true;                             // reserved
+  if (asn >= 65536 && asn <= 65551) return true;             // documentation
+  if (asn >= 4200000000u) return true;  // private use + last ASN
+  return false;
+}
+
+}  // namespace offnet::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace offnet::net {
+
+/// A CIDR IPv4 prefix. The base address is always stored masked to the
+/// prefix length, so equal prefixes compare equal regardless of how they
+/// were constructed.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Builds a prefix, masking `base` down to `length` bits.
+  /// `length` must be in [0, 32].
+  constexpr Prefix(IPv4 base, std::uint8_t length)
+      : base_(IPv4(base.value() & netmask_for(length))), length_(length) {}
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax error or len > 32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr IPv4 base() const { return base_; }
+  constexpr std::uint8_t length() const { return length_; }
+  constexpr std::uint32_t netmask() const { return netmask_for(length_); }
+
+  /// Number of addresses covered (2^(32-length)); 2^32 reported as such in
+  /// a 64-bit result.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr IPv4 first_address() const { return base_; }
+  constexpr IPv4 last_address() const {
+    return IPv4(base_.value() | ~netmask());
+  }
+
+  constexpr bool contains(IPv4 ip) const {
+    return (ip.value() & netmask()) == base_.value();
+  }
+
+  /// True if `other` is fully covered by this prefix (this is equal or
+  /// less specific).
+  constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  constexpr bool overlaps(const Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  constexpr static std::uint32_t netmask_for(std::uint8_t length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  IPv4 base_;
+  std::uint8_t length_ = 0;
+};
+
+/// IANA special-purpose ("bogon") IPv4 blocks that must never appear in a
+/// routing table or scan corpus (RFC 6890 and friends).
+std::span<const Prefix> bogon_prefixes();
+
+/// True if `ip` falls in any special-purpose block.
+bool is_bogon(IPv4 ip);
+
+/// True if `prefix` overlaps any special-purpose block.
+bool is_bogon(const Prefix& prefix);
+
+/// True for IANA special-purpose / reserved AS numbers (AS0, AS23456,
+/// documentation and private-use ranges, AS_TRANS, last ASNs).
+bool is_reserved_asn(std::uint32_t asn);
+
+}  // namespace offnet::net
+
+template <>
+struct std::hash<offnet::net::Prefix> {
+  std::size_t operator()(const offnet::net::Prefix& p) const noexcept {
+    std::uint64_t key =
+        (std::uint64_t{p.base().value()} << 8) | p.length();
+    return std::hash<std::uint64_t>{}(key);
+  }
+};

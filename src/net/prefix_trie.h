@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace offnet::net {
+
+/// A binary trie mapping CIDR prefixes to values, supporting exact lookup
+/// and longest-prefix match — the standard structure behind IP-to-AS
+/// mapping. Nodes live in a contiguous pool; the trie owns its values.
+///
+/// Inserting the same prefix twice overwrites the previous value.
+template <class T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts or overwrites the value at `prefix`.
+  void insert(const Prefix& prefix, T value) {
+    std::int32_t node = descend_or_create(prefix);
+    if (!nodes_[node].value.has_value()) ++size_;
+    nodes_[node].value = std::move(value);
+  }
+
+  /// Exact-match lookup: the value stored at precisely this prefix.
+  const T* find(const Prefix& prefix) const {
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = child(node, bit(prefix.base(), depth));
+      if (node < 0) return nullptr;
+    }
+    return value_ptr(node);
+  }
+
+  T* find(const Prefix& prefix) {
+    return const_cast<T*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix match for a single address, or nullptr when no stored
+  /// prefix covers it.
+  const T* longest_match(IPv4 ip) const {
+    const T* best = nullptr;
+    std::int32_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (const T* v = value_ptr(node)) best = v;
+      if (depth == 32) break;
+      node = child(node, bit(ip, depth));
+      if (node < 0) break;
+    }
+    return best;
+  }
+
+  /// Longest-prefix match that also reports the matching prefix.
+  struct Match {
+    Prefix prefix;
+    const T* value = nullptr;
+  };
+  std::optional<Match> longest_match_entry(IPv4 ip) const {
+    std::optional<Match> best;
+    std::int32_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (const T* v = value_ptr(node)) {
+        best = Match{Prefix(ip, static_cast<std::uint8_t>(depth)), v};
+      }
+      if (depth == 32) break;
+      node = child(node, bit(ip, depth));
+      if (node < 0) break;
+    }
+    return best;
+  }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    walk(0, Prefix(IPv4(0), 0), fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    nodes_.clear();
+    nodes_.push_back(Node{});
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::int32_t children[2] = {-1, -1};
+    std::optional<T> value;
+  };
+
+  static bool bit(IPv4 ip, int depth) {
+    return (ip.value() >> (31 - depth)) & 1u;
+  }
+
+  std::int32_t child(std::int32_t node, bool b) const {
+    return nodes_[node].children[b];
+  }
+
+  const T* value_ptr(std::int32_t node) const {
+    const auto& v = nodes_[node].value;
+    return v.has_value() ? &*v : nullptr;
+  }
+
+  std::int32_t descend_or_create(const Prefix& prefix) {
+    std::int32_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      bool b = bit(prefix.base(), depth);
+      std::int32_t next = nodes_[node].children[b];
+      if (next < 0) {
+        next = static_cast<std::int32_t>(nodes_.size());
+        nodes_[node].children[b] = next;
+        nodes_.push_back(Node{});
+      }
+      node = next;
+    }
+    return node;
+  }
+
+  template <class Fn>
+  void walk(std::int32_t node, Prefix here, Fn& fn) const {
+    if (const T* v = value_ptr(node)) fn(here, *v);
+    if (here.length() == 32) return;
+    auto next_len = static_cast<std::uint8_t>(here.length() + 1);
+    if (std::int32_t left = nodes_[node].children[0]; left >= 0) {
+      walk(left, Prefix(here.base(), next_len), fn);
+    }
+    if (std::int32_t right = nodes_[node].children[1]; right >= 0) {
+      IPv4 base(here.base().value() | (1u << (31 - here.length())));
+      walk(right, Prefix(base, next_len), fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace offnet::net

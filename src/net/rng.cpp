@@ -1,0 +1,49 @@
+#include "net/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace offnet::net {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  k = std::min(k, n);
+  if (k == 0) return {};
+  // For dense samples, a partial Fisher-Yates over an index vector; for
+  // sparse ones, rejection sampling.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t candidate = index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = uniform_real(0.0, total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace offnet::net

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace offnet::net {
+
+/// Deterministic random source. Every simulation component receives an Rng
+/// forked from the single SimConfig seed, so runs are reproducible and
+/// components' streams are independent of each other's consumption order.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : engine_(mix(seed)), seed_material_(seed) {}
+
+  /// Derives an independent child stream. `stream` should be a stable
+  /// per-component tag (e.g. hash of the module name + snapshot index).
+  Rng fork(std::uint64_t stream) const {
+    return Rng(mix(seed_material_ + 0x632be59bd9b4e019ull) ^ mix(stream));
+  }
+  Rng fork(std::string_view tag) const { return fork(hash(tag)); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  std::size_t index(std::size_t size) {
+    assert(size > 0);
+    return static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson draw, used for per-AS server counts.
+  int poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Heavy-tailed integer >= 1 with roughly the given mean (Pareto with
+  /// alpha = 2, tail clamped so one draw cannot dominate a corpus).
+  int heavy_tail(double mean) {
+    assert(mean >= 1.0);
+    double u = uniform_real(1e-12, 1.0);
+    double x = 1.0 / std::sqrt(u);  // mean 2 for alpha = 2
+    double scaled = x * mean / 2.0;
+    return static_cast<int>(std::min(scaled, mean * 50.0)) + 1;
+  }
+
+  template <class T>
+  const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+  template <class T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Samples `k` distinct indices out of [0, n) (k clamped to n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Picks an index according to non-negative weights. Weights need not be
+  /// normalized; at least one must be positive.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// FNV-1a string hash; stable across runs and platforms.
+  static std::uint64_t hash(std::string_view text) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  // splitmix64 finalizer: decorrelates nearby seeds.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_material_ = 0;
+};
+
+}  // namespace offnet::net

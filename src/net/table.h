@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace offnet::net {
+
+/// Plain-text table renderer used by the benchmark harnesses to print the
+/// paper's tables and figure series in aligned columns.
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> header);
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_cell().
+  template <class... Cells>
+  void add(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::string to_string() const;
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  template <class T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(value), 1);
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  static std::string format_double(double value, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%" with one decimal.
+std::string percent(double fraction);
+
+/// Thousands-separated integer ("1,234,567") as used in the paper's tables.
+std::string with_commas(long long value);
+
+/// Case-insensitive substring search (the paper's Organization matching is
+/// case-insensitive, §4.2).
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+}  // namespace offnet::net

@@ -1,0 +1,223 @@
+#include "scan/background.h"
+
+#include <cmath>
+
+#include "net/date.h"
+#include "net/rng.h"
+
+namespace offnet::scan {
+
+namespace {
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b + 0x632be59bd9b4e019ull + (h << 6) + (h >> 2);
+  h ^= c + 0xd6e8feb86659fd93ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h % 0xffffffu) / double(0xffffffu);
+}
+
+net::IPv4 stable_ip(const topo::AsRecord& rec, std::uint64_t tag) {
+  const net::Prefix& prefix = rec.prefixes[tag % rec.prefixes.size()];
+  std::uint64_t span = prefix.size() > 2 ? prefix.size() - 2 : 1;
+  auto offset = static_cast<std::uint32_t>(
+      1 + (mix3(tag, prefix.base().value(), 0xB6) % span));
+  return prefix.base() + offset;
+}
+
+constexpr net::DayTime kLongBefore = net::DayTime::from(net::YearMonth(2010, 1));
+
+}  // namespace
+
+BackgroundGenerator::BackgroundGenerator(
+    const topo::Topology& topology, std::span<const hg::HgProfile> profiles,
+    tls::CertificateStore& certs, tls::RootStore& roots,
+    BackgroundConfig config)
+    : topology_(topology),
+      config_(std::move(config)),
+      certs_(certs),
+      ca_(certs, roots) {
+  mint_pools(profiles, roots);
+
+  as_weight_.resize(topology_.as_count(), 0.0);
+  as_has_web_.resize(topology_.as_count(), 0);
+  for (topo::AsId id = 0; id < topology_.as_count(); ++id) {
+    const auto& rec = topology_.as(id);
+    if (rec.prefixes.empty() || rec.ipv6_only) continue;
+    std::uint64_t h = mix3(rec.asn, 0xAA, 1);
+    if (unit(h) < config_.no_web_as_fraction) continue;
+    as_has_web_[id] = 1;
+    double addresses = 0;
+    for (const auto& p : rec.prefixes) {
+      addresses += static_cast<double>(p.size());
+    }
+    double lognormal = std::exp(2.0 * (unit(mix3(rec.asn, 0xAB, 2)) - 0.5));
+    as_weight_[id] = std::sqrt(addresses) * lognormal;
+  }
+}
+
+void BackgroundGenerator::mint_pools(std::span<const hg::HgProfile> profiles,
+                                     tls::RootStore& roots) {
+  (void)roots;
+  tls::CertId bg_root = ca_.create_root("Community Trust CA");
+  tls::CertId bg_inter = ca_.create_intermediate(bg_root, "Community DV CA");
+  constexpr int kLongValidity = 360 * 20;
+
+  auto site = [](std::string_view prefix, int k) {
+    return std::string(prefix) + "-" + std::to_string(k) + ".example";
+  };
+
+  for (int k = 0; k < config_.valid_pool; ++k) {
+    tls::DistinguishedName dn;
+    dn.organization = "Org " + std::to_string(k) + " Web Services";
+    dn.common_name = site("www.site", k);
+    valid_pool_.push_back(ca_.issue(bg_inter, std::move(dn),
+                                    {site("www.site", k), site("site", k)},
+                                    kLongBefore, kLongValidity));
+  }
+  for (int k = 0; k < config_.self_signed_pool; ++k) {
+    tls::DistinguishedName dn;
+    dn.organization = "Self Hosted " + std::to_string(k);
+    dn.common_name = site("self", k);
+    self_signed_pool_.push_back(ca_.issue_self_signed(
+        std::move(dn), {site("self", k)}, kLongBefore, kLongValidity));
+  }
+  for (int k = 0; k < config_.expired_pool; ++k) {
+    tls::DistinguishedName dn;
+    dn.organization = "Lapsed Org " + std::to_string(k);
+    dn.common_name = site("old", k);
+    // Issued 2010, two-year validity: expired before the study starts.
+    expired_pool_.push_back(ca_.issue(bg_inter, std::move(dn),
+                                      {site("old", k)}, kLongBefore,
+                                      360 * 2));
+  }
+  for (int k = 0; k < config_.untrusted_pool; ++k) {
+    tls::DistinguishedName dn;
+    dn.organization = "Enterprise " + std::to_string(k);
+    dn.common_name = site("intranet", k);
+    untrusted_pool_.push_back(ca_.issue_untrusted(
+        std::move(dn), {site("intranet", k)}, kLongBefore, kLongValidity));
+  }
+  {
+    // Missing critical information: fails X.509 translation (§4.6).
+    tls::Certificate broken;
+    broken.not_before = kLongBefore;
+    broken.not_after = kLongBefore.plus_days(kLongValidity);
+    malformed_pool_.push_back(certs_.add(std::move(broken)));
+  }
+
+  // Mimics: valid DV certs whose unvalidated Organization field names a
+  // Hypergiant, but certifying unrelated domains.
+  for (const auto& p : profiles) {
+    for (int k = 0; k < config_.mimic_pool_per_hg; ++k) {
+      tls::DistinguishedName dn;
+      dn.organization = p.org_name;
+      dn.common_name = site("definitely-" + p.keyword, k);
+      mimic_pool_.push_back(ca_.issue(
+          bg_inter, std::move(dn),
+          {site("definitely-" + p.keyword, k)}, kLongBefore, kLongValidity));
+    }
+    // Shared certificates: a HG domain plus a partner's domain on one
+    // cert — the containment rule must reject them.
+    for (int k = 0; k < config_.shared_pool_per_hg && !p.domains.empty();
+         ++k) {
+      tls::DistinguishedName dn;
+      dn.organization = p.org_name;
+      dn.common_name = "*." + p.domains.front();
+      shared_pool_.push_back(ca_.issue(
+          bg_inter, std::move(dn),
+          {"*." + p.domains.front(), site("partner", k)}, kLongBefore,
+          kLongValidity));
+    }
+  }
+
+  // Customer origins of CDN-hosted sites: their own certificate, but they
+  // answer for domains that CDN HGs also serve.
+  for (std::size_t h = 0; h < profiles.size(); ++h) {
+    if (!profiles[h].serves_other_hgs && !profiles[h].is_cert_issuer) {
+      continue;
+    }
+    for (int k = 0; k < 20; ++k) {
+      tls::DistinguishedName dn;
+      dn.organization = "Origin Customer " + std::to_string(k);
+      dn.common_name = site("origin", k);
+      tls::CertId id = ca_.issue(bg_inter, std::move(dn), {site("origin", k)},
+                                 kLongBefore, kLongValidity);
+      origin_pool_.emplace_back(id, 1u << h);
+    }
+  }
+}
+
+tls::CertId BackgroundGenerator::cert_for_slot(std::uint64_t tag,
+                                               std::uint32_t* serves) const {
+  *serves = 0;
+  double r = unit(mix3(tag, 0xC0, 1));
+  double edge = config_.self_signed_rate;
+  if (r < edge) {
+    return self_signed_pool_[tag % self_signed_pool_.size()];
+  }
+  edge += config_.expired_rate;
+  if (r < edge) return expired_pool_[tag % expired_pool_.size()];
+  edge += config_.untrusted_rate;
+  if (r < edge) return untrusted_pool_[tag % untrusted_pool_.size()];
+  edge += config_.malformed_rate;
+  if (r < edge) return malformed_pool_[tag % malformed_pool_.size()];
+  edge += config_.mimic_rate;
+  if (r < edge && !mimic_pool_.empty()) {
+    return mimic_pool_[tag % mimic_pool_.size()];
+  }
+  edge += config_.shared_cert_rate;
+  if (r < edge && !shared_pool_.empty()) {
+    return shared_pool_[tag % shared_pool_.size()];
+  }
+  edge += config_.origin_rate;
+  if (r < edge && !origin_pool_.empty()) {
+    const auto& [cert, bits] = origin_pool_[tag % origin_pool_.size()];
+    *serves = bits;
+    return cert;
+  }
+  return valid_pool_[tag % valid_pool_.size()];
+}
+
+std::size_t BackgroundGenerator::expected_count(std::size_t snapshot) const {
+  net::YearMonth month = net::study_snapshots()[snapshot];
+  return static_cast<std::size_t>(
+      hg::anchor_value(config_.total_ips, month) * config_.scale);
+}
+
+void BackgroundGenerator::for_each(
+    std::size_t snapshot,
+    const std::function<void(const BgServer&)>& fn) const {
+  const auto& alive = topology_.alive_mask(snapshot);
+  double total_weight = 0.0;
+  for (topo::AsId id = 0; id < topology_.as_count(); ++id) {
+    if (alive[id] && as_has_web_[id]) total_weight += as_weight_[id];
+  }
+  if (total_weight <= 0.0) return;
+  const double budget = static_cast<double>(expected_count(snapshot));
+
+  for (topo::AsId id = 0; id < topology_.as_count(); ++id) {
+    if (!alive[id] || !as_has_web_[id]) continue;
+    const auto& rec = topology_.as(id);
+    double exact = budget * as_weight_[id] / total_weight;
+    auto count = static_cast<std::size_t>(exact);
+    // Deterministic fractional rounding, stable per AS.
+    if (unit(mix3(rec.asn, 0xAD, snapshot * 0 + 3)) < exact - double(count)) {
+      ++count;
+    }
+    if (count == 0) count = 1;  // every web AS shows at least one cert IP
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t tag = mix3(rec.asn, 0xAE, i);
+      BgServer server;
+      server.as = id;
+      server.ip = stable_ip(rec, tag);
+      server.cert = cert_for_slot(tag, &server.serves_hgs);
+      fn(server);
+    }
+  }
+}
+
+}  // namespace offnet::scan

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "http/catalog.h"
+#include "hypergiant/profile.h"
+#include "net/ipv4.h"
+#include "tls/ca.h"
+#include "topology/topology.h"
+
+namespace offnet::scan {
+
+/// Parameters for the non-Hypergiant Internet: the tens of millions of
+/// IPs that answer on port 443 with certificates of every quality level.
+struct BackgroundConfig {
+  std::uint64_t seed = 20210823;
+
+  /// Down-scaling of background IP counts relative to the paper's raw
+  /// numbers (AS-level structure is unscaled; see DESIGN.md).
+  double scale = 0.01;
+
+  /// Raw (unscaled) IPs with certificates over time, calibrated to
+  /// Fig. 2's left axis.
+  hg::Anchors total_ips = {
+      {net::YearMonth(2013, 10), 10.5e6}, {net::YearMonth(2015, 10), 19e6},
+      {net::YearMonth(2017, 10), 27e6},   {net::YearMonth(2019, 10), 35e6},
+      {net::YearMonth(2020, 10), 38.5e6}, {net::YearMonth(2021, 4), 41e6},
+  };
+
+  /// Fraction of ASes hosting no web servers at all.
+  double no_web_as_fraction = 0.13;
+
+  /// Certificate-quality mix ("more than one third of the hosts returned
+  /// invalid certificates", §4.1).
+  double self_signed_rate = 0.15;
+  double expired_rate = 0.12;
+  double untrusted_rate = 0.07;
+  double malformed_rate = 0.03;
+
+  /// Of the valid remainder: DV certificates whose Organization mimics a
+  /// Hypergiant name (§4.2 — the reason Organization alone is not a
+  /// fingerprint), and certificates shared between a HG and another
+  /// organization (§4.3 filter).
+  double mimic_rate = 0.004;
+  double shared_cert_rate = 0.0015;
+
+  /// Customer origins of CDN-hosted sites: rare background servers that
+  /// validly answer for domains a CDN Hypergiant serves (the 2% residue
+  /// in the §5 reverse test).
+  double origin_rate = 0.0003;
+
+  /// Pool sizes (distinct certificates minted once and reused).
+  int valid_pool = 24000;
+  int self_signed_pool = 6000;
+  int expired_pool = 5000;
+  int untrusted_pool = 3000;
+  int mimic_pool_per_hg = 40;
+  int shared_pool_per_hg = 12;
+};
+
+/// A background server at one snapshot (before scanner artifacts).
+struct BgServer {
+  net::IPv4 ip;
+  topo::AsId as = topo::kNoAs;
+  tls::CertId cert = tls::kNoCert;
+  std::uint32_t serves_hgs = 0;  // customer-origin validation bits
+};
+
+/// Deterministically generates the background Internet per snapshot:
+/// per-AS server counts grow with the study-long total, server IPs and
+/// certificates are stable across snapshots.
+class BackgroundGenerator {
+ public:
+  BackgroundGenerator(const topo::Topology& topology,
+                      std::span<const hg::HgProfile> profiles,
+                      tls::CertificateStore& certs, tls::RootStore& roots,
+                      BackgroundConfig config);
+
+  /// Streams every background server alive at `snapshot`.
+  void for_each(std::size_t snapshot,
+                const std::function<void(const BgServer&)>& fn) const;
+
+  std::size_t expected_count(std::size_t snapshot) const;
+
+  double scale() const { return config_.scale; }
+
+ private:
+  void mint_pools(std::span<const hg::HgProfile> profiles,
+                  tls::RootStore& roots);
+  tls::CertId cert_for_slot(std::uint64_t tag, std::uint32_t* serves) const;
+
+  const topo::Topology& topology_;
+  BackgroundConfig config_;
+  tls::CertificateStore& certs_;
+  tls::CaService ca_;
+
+  std::vector<tls::CertId> valid_pool_;
+  std::vector<tls::CertId> self_signed_pool_;
+  std::vector<tls::CertId> expired_pool_;
+  std::vector<tls::CertId> untrusted_pool_;
+  std::vector<tls::CertId> malformed_pool_;
+  std::vector<tls::CertId> mimic_pool_;
+  std::vector<tls::CertId> shared_pool_;
+  std::vector<std::pair<tls::CertId, std::uint32_t>> origin_pool_;
+
+  std::vector<double> as_weight_;   // stable per-AS server mass
+  std::vector<char> as_has_web_;
+};
+
+}  // namespace offnet::scan

@@ -1,0 +1,25 @@
+#include "scan/record.h"
+
+namespace offnet::scan {
+
+const http::HeaderMap* ScanSnapshot::https_headers(net::IPv4 ip) const {
+  if (!has_https_headers_) return nullptr;
+  auto it = https_headers_.find(ip.value());
+  return it == https_headers_.end() ? nullptr : &catalog_->get(it->second);
+}
+
+const http::HeaderMap* ScanSnapshot::http_headers(net::IPv4 ip) const {
+  if (!has_http_headers_) return nullptr;
+  auto it = http_headers_.find(ip.value());
+  return it == http_headers_.end() ? nullptr : &catalog_->get(it->second);
+}
+
+std::size_t ScanSnapshot::http_only_count() const {
+  std::size_t count = 0;
+  for (const auto& [ip, id] : http_headers_) {
+    if (!https_headers_.contains(ip)) ++count;
+  }
+  return count;
+}
+
+}  // namespace offnet::scan

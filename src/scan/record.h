@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "http/catalog.h"
+#include "net/date.h"
+#include "net/ipv4.h"
+#include "tls/certificate.h"
+
+namespace offnet::scan {
+
+/// The three certificate-scan sources compared in Table 2.
+enum class ScannerKind : std::uint8_t {
+  kRapid7,   // Project Sonar; the longitudinal backbone (2013-10 ..)
+  kCensys,   // available 2019-10 ..
+  kCertigo,  // the authors' own active scan, Nov 2019 only
+};
+
+constexpr std::string_view scanner_name(ScannerKind kind) {
+  switch (kind) {
+    case ScannerKind::kRapid7: return "Rapid7";
+    case ScannerKind::kCensys: return "Censys";
+    case ScannerKind::kCertigo: return "Certigo";
+  }
+  return "?";
+}
+
+constexpr std::string_view scanner_abbrev(ScannerKind kind) {
+  switch (kind) {
+    case ScannerKind::kRapid7: return "R7";
+    case ScannerKind::kCensys: return "CS";
+    case ScannerKind::kCertigo: return "AC";
+  }
+  return "?";
+}
+
+/// One port-443 banner observation: the default certificate presented by
+/// an IP address when no SNI is sent (the Rapid7 data shape, §7).
+struct CertScanRecord {
+  net::IPv4 ip;
+  tls::CertId cert = tls::kNoCert;
+};
+
+/// One scanner's view of the Internet at one study snapshot: the
+/// certificate corpus plus the HTTP(S) header corpuses (header corpuses
+/// appear later in the study than certificates — HTTPS headers exist from
+/// mid-2016 for Rapid7, and Censys data starts in late 2019).
+class ScanSnapshot {
+ public:
+  ScanSnapshot(ScannerKind scanner, std::size_t snapshot, net::DayTime time,
+               const http::HeaderCatalog& catalog)
+      : scanner_(scanner), snapshot_(snapshot), time_(time),
+        catalog_(&catalog) {}
+
+  ScannerKind scanner() const { return scanner_; }
+  std::size_t snapshot_index() const { return snapshot_; }
+  net::DayTime time() const { return time_; }
+
+  std::vector<CertScanRecord>& certs() { return certs_; }
+  const std::vector<CertScanRecord>& certs() const { return certs_; }
+
+  void set_header_availability(bool https, bool http) {
+    has_https_headers_ = https;
+    has_http_headers_ = http;
+  }
+  bool has_https_headers() const { return has_https_headers_; }
+  bool has_http_headers() const { return has_http_headers_; }
+
+  void add_https_headers(net::IPv4 ip, http::HeaderSetId id) {
+    https_headers_.emplace(ip.value(), id);
+  }
+  void add_http_headers(net::IPv4 ip, http::HeaderSetId id) {
+    http_headers_.emplace(ip.value(), id);
+  }
+
+  /// Headers captured on port 443 / port 80 for `ip`, or nullptr.
+  const http::HeaderMap* https_headers(net::IPv4 ip) const;
+  const http::HeaderMap* http_headers(net::IPv4 ip) const;
+
+  /// Visits every (ip, header set) pair of one port's corpus.
+  template <class Fn>
+  void for_each_headers(bool https, Fn&& fn) const {
+    for (const auto& [ip, set] : https ? https_headers_ : http_headers_) {
+      fn(net::IPv4(ip), catalog_->get(set));
+    }
+  }
+
+  std::size_t http_only_count() const;
+
+  const http::HeaderCatalog& catalog() const { return *catalog_; }
+
+ private:
+  ScannerKind scanner_;
+  std::size_t snapshot_;
+  net::DayTime time_;
+  const http::HeaderCatalog* catalog_;
+  std::vector<CertScanRecord> certs_;
+  bool has_https_headers_ = false;
+  bool has_http_headers_ = false;
+  std::unordered_map<std::uint32_t, http::HeaderSetId> https_headers_;
+  std::unordered_map<std::uint32_t, http::HeaderSetId> http_headers_;
+};
+
+}  // namespace offnet::scan

@@ -1,0 +1,165 @@
+#include "scan/scanner.h"
+
+#include "net/date.h"
+#include "net/rng.h"
+
+namespace offnet::scan {
+
+namespace {
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b + 0x632be59bd9b4e019ull + (h << 6) + (h >> 2);
+  h ^= c + 0xd6e8feb86659fd93ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h % 0xffffffu) / double(0xffffffu);
+}
+
+std::size_t snapshot_of(net::YearMonth ym) {
+  return net::snapshot_index(ym).value_or(0);
+}
+
+}  // namespace
+
+std::size_t first_https_header_snapshot() {
+  return snapshot_of(net::YearMonth(2016, 7));
+}
+
+std::size_t first_censys_snapshot() {
+  return snapshot_of(net::YearMonth(2019, 10));
+}
+
+std::size_t certigo_snapshot() {
+  return snapshot_of(net::YearMonth(2019, 10));
+}
+
+Scanner::Scanner(const hg::FleetBuilder& fleet,
+                 const BackgroundGenerator& background,
+                 const topo::Topology& topology,
+                 const http::HeaderCatalog& catalog, ArtifactsConfig config)
+    : fleet_(fleet),
+      background_(background),
+      topology_(topology),
+      catalog_(catalog),
+      config_(std::move(config)) {
+  google_idx_ = hg::profile_index(fleet_.profiles(), "Google");
+}
+
+bool Scanner::available(std::size_t snapshot, ScannerKind kind) const {
+  switch (kind) {
+    case ScannerKind::kRapid7: return true;
+    case ScannerKind::kCensys: return snapshot >= first_censys_snapshot();
+    case ScannerKind::kCertigo: return snapshot == certigo_snapshot();
+  }
+  return false;
+}
+
+bool Scanner::as_visible(net::Asn asn, std::size_t snapshot,
+                         ScannerKind kind) const {
+  // Scanner-exclusive visibility classes.
+  int bucket = static_cast<int>(mix3(asn, 0xE1, 7) % 10000);
+  int r7_edge = config_.rapid7_only_buckets;
+  int cs_edge = r7_edge + config_.censys_only_buckets;
+  int ac_edge = cs_edge + config_.certigo_only_buckets;
+  if (bucket < r7_edge) return kind == ScannerKind::kRapid7;
+  if (bucket < cs_edge) return kind == ScannerKind::kCensys;
+  if (bucket < ac_edge) return kind == ScannerKind::kCertigo;
+
+  // Blocklist-style exclusions growing over the study.
+  double frac = static_cast<double>(snapshot) /
+                std::max<double>(1.0, double(net::snapshot_count() - 1));
+  double rate = 0.0;
+  std::uint64_t stream = 0;
+  switch (kind) {
+    case ScannerKind::kRapid7:
+      rate = config_.rapid7_as_exclusion_start +
+             (config_.rapid7_as_exclusion_end -
+              config_.rapid7_as_exclusion_start) * frac;
+      stream = 0xE2;
+      break;
+    case ScannerKind::kCensys:
+      rate = config_.censys_as_exclusion_start +
+             (config_.censys_as_exclusion_end -
+              config_.censys_as_exclusion_start) * frac;
+      stream = 0xE3;
+      break;
+    case ScannerKind::kCertigo:
+      return true;
+  }
+  // Opt-outs accumulate: an AS excluded at rate r is the set with
+  // hash-value below r, so earlier exclusions stay excluded.
+  return unit(mix3(asn, stream, 11)) >= rate;
+}
+
+bool Scanner::ip_kept(net::IPv4 ip, std::size_t snapshot,
+                      ScannerKind kind) const {
+  double loss = 0.0;
+  switch (kind) {
+    case ScannerKind::kRapid7: loss = config_.rapid7_ip_loss; break;
+    case ScannerKind::kCensys: loss = config_.censys_ip_loss; break;
+    case ScannerKind::kCertigo: loss = config_.certigo_ip_loss; break;
+  }
+  return unit(mix3(ip.value(), static_cast<std::uint64_t>(kind) + 0xF0,
+                   snapshot)) >= loss;
+}
+
+ScanSnapshot Scanner::scan(std::size_t snapshot, ScannerKind kind) const {
+  ScanSnapshot out(kind, snapshot, hg::FleetBuilder::scan_time(snapshot),
+                   catalog_);
+  bool https_headers =
+      (kind == ScannerKind::kRapid7 &&
+       snapshot >= first_https_header_snapshot()) ||
+      (kind == ScannerKind::kCensys && snapshot >= first_censys_snapshot()) ||
+      kind == ScannerKind::kCertigo;
+  bool http_headers = kind != ScannerKind::kCensys ||
+                      snapshot >= first_censys_snapshot();
+  out.set_header_availability(https_headers, http_headers);
+
+  // ---- Hypergiant-related servers ----
+  for (const hg::ServerRecord& server : fleet_.snapshot_fleet(snapshot)) {
+    const net::Asn asn = topology_.as(server.as).asn;
+    // IPv6-only operators have no IPv4 presence for the scan to find.
+    if (topology_.as(server.as).ipv6_only) continue;
+    if (!as_visible(asn, snapshot, kind)) continue;
+
+    // Google off-nets behind null default certificates: invisible to
+    // default-cert scans, uncovered only by Censys.
+    if (server.hg == google_idx_ &&
+        server.role == hg::ServerRole::kOffNet &&
+        unit(mix3(asn, 0xE7, 13)) < config_.google_null_cert_fraction &&
+        kind != ScannerKind::kCensys) {
+      continue;
+    }
+
+    if (!ip_kept(server.ip, snapshot, kind)) continue;
+
+    if (server.https_enabled && server.https_cert != tls::kNoCert) {
+      out.certs().push_back(CertScanRecord{server.ip, server.https_cert});
+      if (server.https_headers != http::kNoHeaders &&
+          unit(mix3(server.ip.value(), 0xF8, snapshot)) >=
+              config_.https_header_loss) {
+        out.add_https_headers(server.ip, server.https_headers);
+      }
+    }
+    if (server.http_enabled && server.http_headers != http::kNoHeaders &&
+        unit(mix3(server.ip.value(), 0xF9, snapshot)) >=
+            config_.http_header_loss) {
+      out.add_http_headers(server.ip, server.http_headers);
+    }
+  }
+
+  // ---- Background Internet ----
+  background_.for_each(snapshot, [&](const BgServer& server) {
+    const net::Asn asn = topology_.as(server.as).asn;
+    if (!as_visible(asn, snapshot, kind)) return;
+    if (!ip_kept(server.ip, snapshot, kind)) return;
+    out.certs().push_back(CertScanRecord{server.ip, server.cert});
+  });
+
+  return out;
+}
+
+}  // namespace offnet::scan

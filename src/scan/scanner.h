@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hypergiant/fleet.h"
+#include "scan/background.h"
+#include "scan/record.h"
+
+namespace offnet::scan {
+
+/// Per-scanner measurement artifacts (§5): blocklists that remove whole
+/// ASes and grow over the years, per-IP rate-limit losses, scanner-
+/// exclusive visibility, and Censys' better SNI handling.
+struct ArtifactsConfig {
+  std::uint64_t seed = 20210823;
+
+  /// AS-level exclusion (opt-outs/complaints), interpolated over the
+  /// study: {start fraction, end fraction}.
+  double rapid7_as_exclusion_start = 0.005;
+  double rapid7_as_exclusion_end = 0.020;
+  double censys_as_exclusion_start = 0.004;
+  double censys_as_exclusion_end = 0.015;
+
+  /// Per-IP response loss (rate limiting; the certigo scan ran slowly
+  /// over four days and lost almost nothing).
+  double rapid7_ip_loss = 0.13;
+  double censys_ip_loss = 0.155;
+  double certigo_ip_loss = 0.02;
+
+  /// Independent loss of the port-80 header measurement for an IP (the
+  /// HTTP corpus never covers exactly the HTTPS corpus, which is why the
+  /// paper's "certs & (HTTP and HTTPS)" line sits below the OR line).
+  double http_header_loss = 0.10;
+  double https_header_loss = 0.03;
+
+  /// Scanner-exclusive AS visibility (per-10000 hash buckets), producing
+  /// Table 2's "unique ASes" column.
+  int rapid7_only_buckets = 14;
+  int censys_only_buckets = 36;
+  int certigo_only_buckets = 90;
+
+  /// Fraction of Google off-net ASes serving a null default certificate
+  /// that only Censys' SNI-aware scanning uncovers (§6.2: "using the
+  /// Censys dataset we are able to identify more ASes").
+  double google_null_cert_fraction = 0.05;
+};
+
+/// First snapshot with Rapid7 HTTPS header data (Summer 2016).
+std::size_t first_https_header_snapshot();
+/// First snapshot with any Censys data (late 2019).
+std::size_t first_censys_snapshot();
+/// The snapshot of the authors' one-off certigo active scan (Nov 2019).
+std::size_t certigo_snapshot();
+
+/// Produces one scanner's corpus for one snapshot from the HG fleet and
+/// the background Internet, applying the scanner's artifacts.
+class Scanner {
+ public:
+  Scanner(const hg::FleetBuilder& fleet, const BackgroundGenerator& background,
+          const topo::Topology& topology, const http::HeaderCatalog& catalog,
+          ArtifactsConfig config);
+
+  /// Whether this scanner has data at this snapshot at all.
+  bool available(std::size_t snapshot, ScannerKind kind) const;
+
+  ScanSnapshot scan(std::size_t snapshot, ScannerKind kind) const;
+
+ private:
+  bool as_visible(net::Asn asn, std::size_t snapshot, ScannerKind kind) const;
+  bool ip_kept(net::IPv4 ip, std::size_t snapshot, ScannerKind kind) const;
+
+  const hg::FleetBuilder& fleet_;
+  const BackgroundGenerator& background_;
+  const topo::Topology& topology_;
+  const http::HeaderCatalog& catalog_;
+  ArtifactsConfig config_;
+  int google_idx_ = -1;
+};
+
+}  // namespace offnet::scan

@@ -1,0 +1,57 @@
+#include "scan/sni.h"
+
+#include <unordered_set>
+
+namespace offnet::scan {
+
+SniScanner::SniScanner(const hg::FleetBuilder& fleet,
+                       const topo::Topology& topology,
+                       ArtifactsConfig artifacts)
+    : fleet_(fleet), topology_(topology), artifacts_(std::move(artifacts)) {}
+
+std::vector<CertScanRecord> SniScanner::scan_sni(
+    std::size_t snapshot, std::string_view hostname) const {
+  std::vector<CertScanRecord> out;
+  for (const hg::ServerRecord& server : fleet_.snapshot_fleet(snapshot)) {
+    // SNI scans reach servers even when they present no default
+    // certificate; only servers with TLS disabled entirely stay dark.
+    if (!server.https_enabled) continue;
+    tls::CertId cert = fleet_.sni_response(server, hostname, snapshot);
+    if (cert != tls::kNoCert) {
+      out.push_back(CertScanRecord{server.ip, cert});
+    }
+  }
+  return out;
+}
+
+std::size_t SniScanner::augment(
+    ScanSnapshot& snapshot, std::span<const std::string> hostnames) const {
+  std::unordered_set<std::uint32_t> present;
+  present.reserve(snapshot.certs().size() * 2);
+  for (const CertScanRecord& rec : snapshot.certs()) {
+    present.insert(rec.ip.value());
+  }
+  std::size_t added = 0;
+  for (const std::string& hostname : hostnames) {
+    for (const CertScanRecord& rec :
+         scan_sni(snapshot.snapshot_index(), hostname)) {
+      if (!present.insert(rec.ip.value()).second) continue;
+      snapshot.certs().push_back(rec);
+      ++added;
+    }
+  }
+  return added;
+}
+
+std::vector<std::string> sni_probe_hostnames(
+    std::span<const hg::HgProfile> profiles) {
+  std::vector<std::string> out;
+  for (const hg::HgProfile& p : profiles) {
+    for (const std::string& domain : p.domains) {
+      out.push_back("www." + domain);
+    }
+  }
+  return out;
+}
+
+}  // namespace offnet::scan

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergiant/fleet.h"
+#include "scan/record.h"
+#include "scan/scanner.h"
+
+namespace offnet::scan {
+
+/// §8 counter-countermeasure: a global TLS scan that includes a specific
+/// SNI hostname in every ClientHello instead of relying on default
+/// certificates. "These changes would make existing datasets less
+/// suitable to our methodology, but they are surmountable at the cost of
+/// increased measurement overhead with global scans for fully qualified
+/// SNI domains."
+class SniScanner {
+ public:
+  SniScanner(const hg::FleetBuilder& fleet, const topo::Topology& topology,
+             ArtifactsConfig artifacts = {});
+
+  /// Sends SNI `hostname` to every HG-related server; returns the
+  /// certificates presented by servers that cover the name.
+  std::vector<CertScanRecord> scan_sni(std::size_t snapshot,
+                                       std::string_view hostname) const;
+
+  /// Runs scan_sni for every hostname and appends the responses to an
+  /// existing default-cert snapshot (IPs already present keep their
+  /// default-cert record). Returns the number of records added.
+  std::size_t augment(ScanSnapshot& snapshot,
+                      std::span<const std::string> hostnames) const;
+
+ private:
+  const hg::FleetBuilder& fleet_;
+  const topo::Topology& topology_;
+  ArtifactsConfig artifacts_;
+};
+
+/// One probe hostname per domain of every examined HG ("www.<domain>"),
+/// the natural input list for SNI sweeps.
+std::vector<std::string> sni_probe_hostnames(
+    std::span<const hg::HgProfile> profiles);
+
+}  // namespace offnet::scan

@@ -1,0 +1,69 @@
+#include "scan/world.h"
+
+namespace offnet::scan {
+
+World::World(WorldConfig config) : config_(std::move(config)) {
+  profiles_ = hg::standard_profiles();
+
+  // Propagate the world-level knobs into the component configs.
+  config_.topology.seed = config_.seed;
+  config_.topology.scale = config_.topology_scale;
+  config_.bgp.seed = config_.seed;
+  config_.deployment.seed = config_.seed;
+  config_.background.seed = config_.seed;
+  config_.background.scale = config_.background_scale;
+  config_.artifacts.seed = config_.seed;
+
+  // Scale the deployment targets alongside a scaled topology so small
+  // test worlds remain internally consistent.
+  if (config_.topology_scale < 1.0) {
+    for (hg::HgProfile& p : profiles_) {
+      for (auto& [when, value] : p.offnet_ases) {
+        value *= config_.topology_scale;
+      }
+      for (auto& [when, value] : p.certonly_ases) {
+        value *= config_.topology_scale;
+      }
+      p.onnet_servers = std::max(
+          8, static_cast<int>(p.onnet_servers * config_.topology_scale * 4));
+      p.cert_count_start =
+          std::max(1, static_cast<int>(p.cert_count_start *
+                                       config_.topology_scale * 4));
+      p.cert_count_end = std::max(
+          2, static_cast<int>(p.cert_count_end * config_.topology_scale * 4));
+    }
+    for (auto& [when, value] : config_.deployment.pool_size) {
+      value *= config_.topology_scale;
+    }
+  }
+
+  config_.topology.org_seeds.clear();
+  for (const hg::HgProfile& p : profiles_) {
+    topo::OrgSeed seed;
+    seed.org_name = p.org_name;
+    seed.country_code = p.country_code;
+    seed.as_count = p.own_as_count;
+    seed.prefixes_per_as = p.onnet_prefixes_per_as;
+    seed.prefix_length = 20;
+    config_.topology.org_seeds.push_back(std::move(seed));
+  }
+
+  topology_ = std::make_unique<topo::Topology>(
+      topo::TopologyGenerator(config_.topology).generate());
+  population_ = std::make_unique<topo::PopulationView>(*topology_);
+  ip2as_ = std::make_unique<bgp::Ip2AsSeries>(*topology_, config_.bgp);
+
+  plan_ = std::make_unique<hg::DeploymentPlan>(
+      hg::DeploymentPlanner(*topology_, profiles_, config_.deployment)
+          .plan());
+  fleet_ = std::make_unique<hg::FleetBuilder>(*topology_, profiles_, *plan_,
+                                              certs_, roots_, catalog_,
+                                              config_.seed,
+                                              config_.countermeasures);
+  background_ = std::make_unique<BackgroundGenerator>(
+      *topology_, profiles_, certs_, roots_, config_.background);
+  scanner_ = std::make_unique<Scanner>(*fleet_, *background_, *topology_,
+                                       catalog_, config_.artifacts);
+}
+
+}  // namespace offnet::scan

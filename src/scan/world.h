@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "bgp/feed.h"
+#include "http/catalog.h"
+#include "hypergiant/deployment.h"
+#include "hypergiant/fleet.h"
+#include "hypergiant/profile.h"
+#include "scan/background.h"
+#include "scan/record.h"
+#include "scan/scanner.h"
+#include "tls/validator.h"
+#include "topology/generator.h"
+#include "topology/population.h"
+#include "topology/topology.h"
+
+namespace offnet::scan {
+
+/// Everything needed to simulate the Internet of 2013-2021 as the paper's
+/// datasets saw it, derived deterministically from one seed.
+struct WorldConfig {
+  std::uint64_t seed = 20210823;
+
+  /// Uniform multiplier on AS counts; 1.0 reproduces the paper's scale
+  /// (45k -> 71k ASes), small values make fast test worlds.
+  double topology_scale = 1.0;
+
+  /// Background IP scale relative to the paper's raw counts (AS-level
+  /// quantities stay unscaled; see DESIGN.md §2).
+  double background_scale = 0.01;
+
+  topo::GeneratorConfig topology;   // org_seeds filled from the profiles
+  bgp::FeedConfig bgp;
+  hg::DeploymentConfig deployment;
+  BackgroundConfig background;
+  ArtifactsConfig artifacts;
+
+  /// §8 "Hide-and-Seek" countermeasures applied by the HGs' off-nets
+  /// (default: none — the world of the paper's study period).
+  hg::Countermeasures countermeasures;
+};
+
+/// Owns the full simulation stack: topology, BGP-derived IP-to-AS series,
+/// PKI, HG deployments and fleet, background Internet, and scanners. The
+/// inference pipeline consumes only what the paper had: scan corpuses,
+/// BGP-derived maps, the org database, and the root store.
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+
+  const WorldConfig& config() const { return config_; }
+
+  const topo::Topology& topology() const { return *topology_; }
+  const topo::PopulationView& population() const { return *population_; }
+  const bgp::Ip2AsSeries& ip2as() const { return *ip2as_; }
+  const tls::CertificateStore& certs() const { return certs_; }
+  const tls::RootStore& roots() const { return roots_; }
+  const http::HeaderCatalog& catalog() const { return catalog_; }
+
+  std::span<const hg::HgProfile> profiles() const { return profiles_; }
+  const hg::DeploymentPlan& plan() const { return *plan_; }
+  const hg::FleetBuilder& fleet() const { return *fleet_; }
+  const BackgroundGenerator& background() const { return *background_; }
+
+  bool scanner_available(std::size_t snapshot, ScannerKind kind) const {
+    return scanner_->available(snapshot, kind);
+  }
+  ScanSnapshot scan(std::size_t snapshot, ScannerKind kind) const {
+    return scanner_->scan(snapshot, kind);
+  }
+
+  /// Multiplier to convert simulated background IP counts back to the
+  /// paper's raw scale for reporting.
+  double report_scale() const { return 1.0 / config_.background_scale; }
+
+ private:
+  WorldConfig config_;
+  std::vector<hg::HgProfile> profiles_;
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<topo::PopulationView> population_;
+  std::unique_ptr<bgp::Ip2AsSeries> ip2as_;
+  tls::CertificateStore certs_;
+  tls::RootStore roots_;
+  http::HeaderCatalog catalog_;
+  std::unique_ptr<hg::DeploymentPlan> plan_;
+  std::unique_ptr<hg::FleetBuilder> fleet_;
+  std::unique_ptr<BackgroundGenerator> background_;
+  std::unique_ptr<Scanner> scanner_;
+};
+
+}  // namespace offnet::scan

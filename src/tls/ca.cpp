@@ -1,0 +1,81 @@
+#include "tls/ca.h"
+
+namespace offnet::tls {
+
+namespace {
+
+// The simulated PKI spans the whole study period with slack on each side.
+constexpr net::DayTime kPkiBirth = net::DayTime::from(net::YearMonth(2010, 1));
+constexpr int kCaValidityDays = 360 * 25;
+
+}  // namespace
+
+CertId CaService::create_root(std::string name) {
+  Certificate root;
+  root.subject.organization = std::move(name);
+  root.subject.common_name = root.subject.organization + " Root CA";
+  root.not_before = kPkiBirth;
+  root.not_after = kPkiBirth.plus_days(kCaValidityDays);
+  root.is_ca = true;
+  CertId id = store_.add(std::move(root));
+  roots_.trust(id);
+  return id;
+}
+
+CertId CaService::create_intermediate(CertId root, std::string name) {
+  Certificate inter;
+  inter.subject.organization = std::move(name);
+  inter.subject.common_name = inter.subject.organization + " CA";
+  inter.not_before = kPkiBirth;
+  inter.not_after = kPkiBirth.plus_days(kCaValidityDays);
+  inter.issuer = root;
+  inter.is_ca = true;
+  CertId id = store_.add(std::move(inter));
+  roots_.trust(id);
+  return id;
+}
+
+CertId CaService::issue(CertId issuer, DistinguishedName subject,
+                        std::vector<std::string> dns_names,
+                        net::DayTime not_before, int validity_days) {
+  Certificate cert;
+  cert.subject = std::move(subject);
+  cert.dns_names = std::move(dns_names);
+  cert.not_before = not_before;
+  cert.not_after = not_before.plus_days(validity_days);
+  cert.issuer = issuer;
+  return store_.add(std::move(cert));
+}
+
+CertId CaService::issue_self_signed(DistinguishedName subject,
+                                    std::vector<std::string> dns_names,
+                                    net::DayTime not_before,
+                                    int validity_days) {
+  Certificate cert;
+  cert.subject = std::move(subject);
+  cert.dns_names = std::move(dns_names);
+  cert.not_before = not_before;
+  cert.not_after = not_before.plus_days(validity_days);
+  cert.issuer = kNoCert;
+  return store_.add(std::move(cert));
+}
+
+CertId CaService::issue_untrusted(DistinguishedName subject,
+                                  std::vector<std::string> dns_names,
+                                  net::DayTime not_before,
+                                  int validity_days) {
+  if (untrusted_root_ == kNoCert) {
+    Certificate root;
+    root.subject.organization = "Private Enterprise CA";
+    root.subject.common_name = "Private Enterprise Root";
+    root.not_before = kPkiBirth;
+    root.not_after = kPkiBirth.plus_days(kCaValidityDays);
+    root.is_ca = true;
+    untrusted_root_ = store_.add(std::move(root));
+    // Deliberately NOT added to the root store.
+  }
+  return issue(untrusted_root_, std::move(subject), std::move(dns_names),
+               not_before, validity_days);
+}
+
+}  // namespace offnet::tls

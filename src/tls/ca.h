@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tls/certificate.h"
+#include "tls/validator.h"
+
+namespace offnet::tls {
+
+/// Simulation-side certificate authority service: mints the WebPKI
+/// (trusted roots and intermediates) and issues end-entity certificates.
+/// The inference pipeline never uses this class — it only sees the
+/// resulting CertificateStore and RootStore, like the paper sees scan
+/// corpuses and the CCADB.
+class CaService {
+ public:
+  CaService(CertificateStore& store, RootStore& roots)
+      : store_(store), roots_(roots) {}
+
+  /// A trusted root CA certificate (long-lived, added to the root store).
+  CertId create_root(std::string name);
+
+  /// A trusted intermediate under `root` (also in the CCADB set).
+  CertId create_intermediate(CertId root, std::string name);
+
+  /// An end-entity certificate signed by `issuer`.
+  CertId issue(CertId issuer, DistinguishedName subject,
+               std::vector<std::string> dns_names, net::DayTime not_before,
+               int validity_days);
+
+  /// A self-signed end-entity certificate (anyone can mint these; the
+  /// §4.1 rules discard them).
+  CertId issue_self_signed(DistinguishedName subject,
+                           std::vector<std::string> dns_names,
+                           net::DayTime not_before, int validity_days);
+
+  /// An end-entity certificate chaining to a root that is NOT in the
+  /// trusted set (enterprise/private PKI).
+  CertId issue_untrusted(DistinguishedName subject,
+                         std::vector<std::string> dns_names,
+                         net::DayTime not_before, int validity_days);
+
+  CertificateStore& store() { return store_; }
+
+ private:
+  CertificateStore& store_;
+  RootStore& roots_;
+  CertId untrusted_root_ = kNoCert;
+};
+
+}  // namespace offnet::tls

@@ -1,0 +1,55 @@
+#include "tls/certificate.h"
+
+#include <cassert>
+
+#include "net/table.h"
+
+namespace offnet::tls {
+
+CertId CertificateStore::add(Certificate cert) {
+  assert(cert.issuer == kNoCert || cert.issuer < certs_.size());
+  CertId id = static_cast<CertId>(certs_.size());
+  certs_.push_back(std::move(cert));
+  return id;
+}
+
+std::vector<CertId> CertificateStore::chain(CertId ee) const {
+  std::vector<CertId> out;
+  CertId current = ee;
+  while (current != kNoCert) {
+    out.push_back(current);
+    current = certs_[current].issuer;
+  }
+  return out;
+}
+
+bool dns_name_matches(std::string_view pattern, std::string_view host) {
+  auto ieq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] - 'A' + 'a') : a[i];
+      char cb = b[i] >= 'A' && b[i] <= 'Z' ? char(b[i] - 'A' + 'a') : b[i];
+      if (ca != cb) return false;
+    }
+    return true;
+  };
+  if (pattern.substr(0, 2) == "*.") {
+    std::string_view suffix = pattern.substr(1);  // ".google.com"
+    if (host.size() <= suffix.size()) return false;
+    if (!ieq(host.substr(host.size() - suffix.size()), suffix)) return false;
+    // The wildcard must cover exactly one label.
+    std::string_view label = host.substr(0, host.size() - suffix.size());
+    return label.find('.') == std::string_view::npos && !label.empty();
+  }
+  return ieq(pattern, host);
+}
+
+bool any_dns_name_matches(std::span<const std::string> patterns,
+                          std::string_view host) {
+  for (const std::string& p : patterns) {
+    if (dns_name_matches(p, host)) return true;
+  }
+  return false;
+}
+
+}  // namespace offnet::tls

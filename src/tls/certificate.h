@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/date.h"
+
+namespace offnet::tls {
+
+using CertId = std::uint32_t;
+constexpr CertId kNoCert = 0xffffffffu;
+
+/// Subject (or issuer) identity fields of an X.509 certificate. Only the
+/// fields the methodology reads are modeled (§2): the Organization entry
+/// of the Subject Name is the paper's per-Hypergiant search key. It is
+/// NOT authenticated — anyone can request a DV certificate with an
+/// arbitrary Organization — which is exactly why the methodology also
+/// requires dNSName containment.
+struct DistinguishedName {
+  std::string organization;
+  std::string common_name;
+};
+
+/// An X.509-like certificate. dns_names models the subjectAltName
+/// dNSName extension (authenticated by the CA); validity uses the
+/// NotBefore/NotAfter pair.
+struct Certificate {
+  DistinguishedName subject;
+  std::vector<std::string> dns_names;
+  net::DayTime not_before;
+  net::DayTime not_after;
+  CertId issuer = kNoCert;  // kNoCert == self-signed
+  bool is_ca = false;
+
+  bool self_signed() const { return issuer == kNoCert; }
+  bool within_validity(net::DayTime at) const {
+    return not_before <= at && at <= not_after;
+  }
+};
+
+/// Flat owning store of all certificates in the simulated PKI. Scan
+/// records reference certificates by id; chains follow issuer links.
+class CertificateStore {
+ public:
+  CertId add(Certificate cert);
+
+  const Certificate& get(CertId id) const { return certs_[id]; }
+  std::size_t size() const { return certs_.size(); }
+
+  /// The chain from an end-entity certificate up to (and including) its
+  /// root, EE first. Cycles are impossible: issuers must pre-exist.
+  std::vector<CertId> chain(CertId ee) const;
+
+ private:
+  std::vector<Certificate> certs_;
+};
+
+/// True when a SAN pattern covers `host`. Supports a single leading
+/// wildcard label ("*.google.com" covers "www.google.com" but neither
+/// "google.com" nor "a.b.google.com"), per RFC 6125 matching.
+bool dns_name_matches(std::string_view pattern, std::string_view host);
+
+/// True when any of `patterns` covers `host`.
+bool any_dns_name_matches(std::span<const std::string> patterns,
+                          std::string_view host);
+
+}  // namespace offnet::tls

@@ -1,0 +1,42 @@
+#include "tls/validator.h"
+
+namespace offnet::tls {
+
+std::string_view cert_status_name(CertStatus status) {
+  switch (status) {
+    case CertStatus::kValid: return "valid";
+    case CertStatus::kExpired: return "expired";
+    case CertStatus::kNotYetValid: return "not-yet-valid";
+    case CertStatus::kSelfSigned: return "self-signed";
+    case CertStatus::kUntrustedChain: return "untrusted-chain";
+    case CertStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+CertStatus CertValidator::validate(CertId ee, net::DayTime at) const {
+  if (ee == kNoCert) return CertStatus::kMalformed;
+  const Certificate& cert = store_.get(ee);
+  if (cert.subject.organization.empty() && cert.dns_names.empty()) {
+    return CertStatus::kMalformed;
+  }
+  if (at < cert.not_before) return CertStatus::kNotYetValid;
+  if (cert.not_after < at) return CertStatus::kExpired;
+  if (cert.self_signed() && !cert.is_ca) return CertStatus::kSelfSigned;
+
+  // Walk the chain: every certificate must be within validity, and the
+  // chain must pass through a trusted anchor (root or intermediate, as
+  // with the CCADB-derived set).
+  CertId current = cert.issuer;
+  while (current != kNoCert) {
+    const Certificate& link = store_.get(current);
+    if (at < link.not_before || link.not_after < at) {
+      return CertStatus::kUntrustedChain;
+    }
+    if (roots_.is_trusted(current)) return CertStatus::kValid;
+    current = link.issuer;
+  }
+  return CertStatus::kUntrustedChain;
+}
+
+}  // namespace offnet::tls

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+#include "tls/certificate.h"
+
+namespace offnet::tls {
+
+/// The trusted WebPKI anchor set, standing in for the roots and
+/// intermediates extracted from Mozilla's Common CA Database (§4.1).
+class RootStore {
+ public:
+  void trust(CertId cert) { trusted_.insert(cert); }
+  bool is_trusted(CertId cert) const { return trusted_.contains(cert); }
+  std::size_t size() const { return trusted_.size(); }
+
+ private:
+  std::unordered_set<CertId> trusted_;
+};
+
+/// Why a certificate was accepted or rejected by the §4.1 validation
+/// rules.
+enum class CertStatus {
+  kValid,
+  kExpired,        // NotAfter in the past at scan time
+  kNotYetValid,    // NotBefore in the future at scan time
+  kSelfSigned,     // self-signed end-entity (anyone can mint these)
+  kUntrustedChain, // chain does not reach a trusted root/intermediate
+  kMalformed,      // missing critical information
+};
+
+std::string_view cert_status_name(CertStatus status);
+
+/// Implements the paper's certificate validation (§4.1): discard expired
+/// certificates (by scan-time NotBefore/NotAfter), self-signed end-entity
+/// certificates, and chains that do not verify against the trusted
+/// WebPKI set.
+class CertValidator {
+ public:
+  CertValidator(const CertificateStore& store, const RootStore& roots)
+      : store_(store), roots_(roots) {}
+
+  CertStatus validate(CertId ee, net::DayTime at) const;
+
+  bool is_valid(CertId ee, net::DayTime at) const {
+    return validate(ee, at) == CertStatus::kValid;
+  }
+
+ private:
+  const CertificateStore& store_;
+  const RootStore& roots_;
+};
+
+}  // namespace offnet::tls

@@ -1,0 +1,141 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace offnet::topo {
+
+namespace {
+
+/// Cones larger than this are counted by explicit BFS instead of set
+/// unions. 2048 comfortably exceeds the Large/XLarge boundary (1000), so
+/// every category decision below the cap is exact.
+constexpr std::size_t kExactCap = 2048;
+
+void merge_into(std::vector<AsId>& dst, std::span<const AsId> src) {
+  std::vector<AsId> merged;
+  merged.reserve(dst.size() + src.size());
+  std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  dst = std::move(merged);
+}
+
+}  // namespace
+
+AsId AsGraph::add_as(net::Asn asn) {
+  AsId id = static_cast<AsId>(asns_.size());
+  asns_.push_back(asn);
+  links_.emplace_back();
+  return id;
+}
+
+void AsGraph::add_customer_link(AsId provider, AsId customer) {
+  assert(provider < asns_.size() && customer < asns_.size());
+  assert(provider != customer);
+  links_[provider].customers.push_back(customer);
+  links_[customer].providers.push_back(provider);
+}
+
+void AsGraph::add_peer_link(AsId a, AsId b) {
+  assert(a < asns_.size() && b < asns_.size());
+  assert(a != b);
+  links_[a].peers.push_back(b);
+  links_[b].peers.push_back(a);
+}
+
+std::vector<std::uint32_t> AsGraph::customer_cone_sizes(
+    std::span<const char> alive) const {
+  const std::size_t n = asns_.size();
+  std::vector<std::uint32_t> sizes(n, 0);
+
+  // Reverse-topological order over customer edges: every AS after all of
+  // its (alive) customers. Kahn's algorithm on provider->customer edges.
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<AsId> order;
+  order.reserve(n);
+  for (AsId id = 0; id < n; ++id) {
+    if (!is_alive(alive, id)) continue;
+    std::uint32_t alive_customers = 0;
+    for (AsId c : links_[id].customers) {
+      if (is_alive(alive, c)) ++alive_customers;
+    }
+    pending[id] = alive_customers;
+    if (alive_customers == 0) order.push_back(id);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    AsId id = order[head];
+    for (AsId p : links_[id].providers) {
+      if (!is_alive(alive, p)) continue;
+      if (--pending[p] == 0) order.push_back(p);
+    }
+  }
+  // Customer links form a DAG by construction, so every alive AS appears.
+
+  std::vector<std::vector<AsId>> cones(n);
+  std::vector<char> overflow(n, 0);
+  for (AsId id : order) {
+    std::vector<AsId>& cone = cones[id];
+    cone.push_back(id);
+    bool over = false;
+    for (AsId c : links_[id].customers) {
+      if (!is_alive(alive, c)) continue;
+      if (overflow[c]) {
+        over = true;
+        break;
+      }
+      merge_into(cone, cones[c]);
+      if (cone.size() > kExactCap) {
+        over = true;
+        break;
+      }
+    }
+    if (over) {
+      overflow[id] = 1;
+      cone.clear();
+      cone.shrink_to_fit();
+      // Exact count by downward BFS; only the handful of huge cones take
+      // this path.
+      std::vector<char> seen(n, 0);
+      std::vector<AsId> queue{id};
+      seen[id] = 1;
+      std::uint32_t count = 0;
+      while (!queue.empty()) {
+        AsId here = queue.back();
+        queue.pop_back();
+        ++count;
+        for (AsId c : links_[here].customers) {
+          if (!is_alive(alive, c) || seen[c]) continue;
+          seen[c] = 1;
+          queue.push_back(c);
+        }
+      }
+      sizes[id] = count;
+    } else {
+      sizes[id] = static_cast<std::uint32_t>(cone.size());
+    }
+  }
+  return sizes;
+}
+
+std::vector<char> AsGraph::cone_union(std::span<const AsId> roots,
+                                      std::span<const char> alive) const {
+  std::vector<char> in_cone(asns_.size(), 0);
+  std::vector<AsId> queue;
+  for (AsId root : roots) {
+    if (!is_alive(alive, root) || in_cone[root]) continue;
+    in_cone[root] = 1;
+    queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    AsId here = queue.back();
+    queue.pop_back();
+    for (AsId c : links_[here].customers) {
+      if (!is_alive(alive, c) || in_cone[c]) continue;
+      in_cone[c] = 1;
+      queue.push_back(c);
+    }
+  }
+  return in_cone;
+}
+
+}  // namespace offnet::topo

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/asn.h"
+
+namespace offnet::topo {
+
+/// Dense AS index within an AsGraph. Separate from the (sparse) ASN.
+using AsId = std::uint32_t;
+
+constexpr AsId kNoAs = 0xffffffffu;
+
+/// The AS-level business-relationship graph (customer-provider and
+/// peer-peer links), standing in for the CAIDA AS Relationships dataset.
+/// Customer links must form a DAG (providers above customers); the
+/// generator guarantees this by only linking younger ASes under older
+/// tiers.
+class AsGraph {
+ public:
+  /// Adds an AS and returns its dense id.
+  AsId add_as(net::Asn asn);
+
+  /// Records `customer` as a customer of `provider`.
+  void add_customer_link(AsId provider, AsId customer);
+
+  /// Records a settlement-free peering link.
+  void add_peer_link(AsId a, AsId b);
+
+  std::size_t as_count() const { return asns_.size(); }
+  net::Asn asn(AsId id) const { return asns_[id]; }
+
+  std::span<const AsId> customers(AsId id) const { return links_[id].customers; }
+  std::span<const AsId> providers(AsId id) const { return links_[id].providers; }
+  std::span<const AsId> peers(AsId id) const { return links_[id].peers; }
+
+  /// Computes provider-peer customer-cone sizes (|cone|, including the AS
+  /// itself) for the subgraph induced by ASes with `alive[id] == true`.
+  /// Customer links into dead ASes are ignored. `alive` may be empty to
+  /// mean "all alive".
+  std::vector<std::uint32_t> customer_cone_sizes(
+      std::span<const char> alive = {}) const;
+
+  /// All ASes within the customer cones of `roots` (including the roots),
+  /// restricted to alive ASes. Used for the "serve the customer cone"
+  /// coverage analysis (Fig. 8 / Fig. 12).
+  std::vector<char> cone_union(std::span<const AsId> roots,
+                               std::span<const char> alive = {}) const;
+
+ private:
+  struct Links {
+    std::vector<AsId> providers;
+    std::vector<AsId> customers;
+    std::vector<AsId> peers;
+  };
+
+  bool is_alive(std::span<const char> alive, AsId id) const {
+    return alive.empty() || alive[id];
+  }
+
+  std::vector<net::Asn> asns_;
+  std::vector<Links> links_;
+};
+
+}  // namespace offnet::topo

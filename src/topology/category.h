@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace offnet::topo {
+
+/// AS size categories by provider-peer customer-cone size, the paper's
+/// "demographics" buckets (§6.3): Stub (cone = 1), Small (<= 10),
+/// Medium (<= 100), Large (<= 1000), XLarge (> 1000).
+enum class SizeCategory : std::uint8_t {
+  kStub,
+  kSmall,
+  kMedium,
+  kLarge,
+  kXLarge,
+};
+
+constexpr std::size_t kCategoryCount = 5;
+
+constexpr SizeCategory categorize(std::uint32_t cone_size) {
+  if (cone_size <= 1) return SizeCategory::kStub;
+  if (cone_size <= 10) return SizeCategory::kSmall;
+  if (cone_size <= 100) return SizeCategory::kMedium;
+  if (cone_size <= 1000) return SizeCategory::kLarge;
+  return SizeCategory::kXLarge;
+}
+
+constexpr std::string_view category_name(SizeCategory c) {
+  switch (c) {
+    case SizeCategory::kStub: return "Stub";
+    case SizeCategory::kSmall: return "Small";
+    case SizeCategory::kMedium: return "Medium";
+    case SizeCategory::kLarge: return "Large";
+    case SizeCategory::kXLarge: return "XLarge";
+  }
+  return "?";
+}
+
+inline std::span<const SizeCategory> all_categories() {
+  static constexpr std::array kAll = {
+      SizeCategory::kStub, SizeCategory::kSmall, SizeCategory::kMedium,
+      SizeCategory::kLarge, SizeCategory::kXLarge,
+  };
+  return kAll;
+}
+
+}  // namespace offnet::topo

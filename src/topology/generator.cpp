@@ -1,0 +1,429 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/date.h"
+#include "net/rng.h"
+
+namespace offnet::topo {
+
+namespace {
+
+/// Sequentially carves prefixes out of the unicast IPv4 space, skipping
+/// IANA special-purpose blocks. Mirrors how RIR allocations tile the
+/// address space.
+class AddressAllocator {
+ public:
+  net::Prefix allocate(std::uint8_t length) {
+    for (;;) {
+      // Align the cursor to the prefix size.
+      std::uint64_t size = std::uint64_t{1} << (32 - length);
+      cursor_ = (cursor_ + size - 1) & ~(size - 1);
+      if (cursor_ + size > (std::uint64_t{1} << 32)) {
+        throw std::runtime_error("IPv4 space exhausted by generator");
+      }
+      net::Prefix candidate(net::IPv4(static_cast<std::uint32_t>(cursor_)),
+                            length);
+      if (net::is_bogon(candidate)) {
+        cursor_ += size;
+        continue;
+      }
+      cursor_ += size;
+      return candidate;
+    }
+  }
+
+ private:
+  std::uint64_t cursor_ = std::uint64_t{1} << 24;  // start at 1.0.0.0
+};
+
+struct TierPlan {
+  SizeCategory tier;
+  std::uint32_t cone_target = 1;   // desired cone size
+  std::uint32_t cone_ceiling = 1;  // never exceed (keeps category intact)
+};
+
+std::size_t scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(n * scale));
+}
+
+CountryId find_country(std::string_view code) {
+  auto table = country_table();
+  for (CountryId i = 0; i < table.size(); ++i) {
+    if (table[i].code == code) return i;
+  }
+  return kNoCountry;
+}
+
+}  // namespace
+
+Topology TopologyGenerator::generate() const {
+  const GeneratorConfig& cfg = config_;
+  net::Rng rng = net::Rng(cfg.seed).fork("topology");
+
+  const std::size_t total = scaled(cfg.ases_at_end, cfg.scale);
+  const std::size_t at_start =
+      std::min(total, scaled(cfg.ases_at_start, cfg.scale));
+  const std::size_t n_xlarge = scaled(cfg.xlarge_count, cfg.scale);
+  const std::size_t n_large = scaled(cfg.large_count, cfg.scale);
+  const std::size_t n_medium = scaled(cfg.medium_count, cfg.scale);
+  const std::size_t n_small = scaled(cfg.small_count, cfg.scale);
+  const std::size_t n_seed_as = [&] {
+    std::size_t n = 0;
+    for (const auto& seed : cfg.org_seeds) n += seed.as_count;
+    return n;
+  }();
+  const std::size_t n_providers = n_xlarge + n_large + n_medium + n_small;
+  if (n_providers + n_seed_as >= total) {
+    throw std::invalid_argument("tier counts exceed total AS count");
+  }
+  const std::size_t n_stub = total - n_providers - n_seed_as;
+
+  // ---- ASN assignment -----------------------------------------------
+  std::vector<net::Asn> asn_pool;
+  asn_pool.reserve(total + 1024);
+  for (net::Asn a = 1; a < 64496 && asn_pool.size() < total + 512; ++a) {
+    if (!net::is_reserved_asn(a)) asn_pool.push_back(a);
+  }
+  for (net::Asn a = 131072; asn_pool.size() < total + 512; ++a) {
+    asn_pool.push_back(a);
+  }
+  rng.shuffle(asn_pool);
+
+  // ---- Country assignment weights -------------------------------------
+  auto countries = country_table();
+  std::vector<double> region_weight(kRegionCount, 0.0);
+  region_weight[static_cast<int>(Region::kNorthAmerica)] = 0.20;
+  region_weight[static_cast<int>(Region::kEurope)] = 0.30;
+  region_weight[static_cast<int>(Region::kAsia)] = 0.22;
+  region_weight[static_cast<int>(Region::kSouthAmerica)] = 0.15;
+  region_weight[static_cast<int>(Region::kAfrica)] = 0.08;
+  region_weight[static_cast<int>(Region::kOceania)] = 0.05;
+  std::vector<double> country_weight(countries.size(), 0.0);
+  {
+    std::vector<double> region_user_sqrt(kRegionCount, 0.0);
+    for (const auto& c : countries) {
+      region_user_sqrt[static_cast<int>(c.region)] +=
+          std::sqrt(c.internet_users_m + 1.0);
+    }
+    for (CountryId i = 0; i < countries.size(); ++i) {
+      const auto& c = countries[i];
+      country_weight[i] = region_weight[static_cast<int>(c.region)] *
+                          std::sqrt(c.internet_users_m + 1.0) /
+                          region_user_sqrt[static_cast<int>(c.region)];
+    }
+  }
+  auto pick_country = [&rng, &country_weight]() -> CountryId {
+    return static_cast<CountryId>(rng.weighted_index(country_weight));
+  };
+
+  // ---- Create ASes tier by tier ---------------------------------------
+  AsGraph graph;
+  std::vector<AsRecord> records;
+  std::vector<TierPlan> plans;
+  records.reserve(total);
+  plans.reserve(total);
+  std::size_t next_asn = 0;
+
+  auto add_as = [&](SizeCategory tier, std::uint32_t cone_target,
+                    std::uint32_t cone_ceiling,
+                    CountryId country) -> AsId {
+    AsId id = graph.add_as(asn_pool[next_asn++]);
+    AsRecord rec;
+    rec.asn = graph.asn(id);
+    rec.country = country;
+    rec.planned_tier = tier;
+    records.push_back(std::move(rec));
+    plans.push_back(TierPlan{tier, cone_target, cone_ceiling});
+    return id;
+  };
+
+  std::vector<AsId> xlarge, large, medium, small, stubs, seed_ases;
+  for (std::size_t i = 0; i < n_xlarge; ++i) {
+    auto target = static_cast<std::uint32_t>(
+        1000.0 * std::pow(20.0, rng.uniform_real(0.05, 1.0)));
+    xlarge.push_back(add_as(SizeCategory::kXLarge, target, 0xffffffffu,
+                            pick_country()));
+  }
+  for (std::size_t i = 0; i < n_large; ++i) {
+    auto target = static_cast<std::uint32_t>(
+        100.0 * std::pow(10.0, rng.uniform_real(0.05, 0.95)));
+    large.push_back(
+        add_as(SizeCategory::kLarge, target, 1000, pick_country()));
+  }
+  for (std::size_t i = 0; i < n_medium; ++i) {
+    auto target = static_cast<std::uint32_t>(
+        10.0 * std::pow(10.0, rng.uniform_real(0.08, 0.92)));
+    medium.push_back(
+        add_as(SizeCategory::kMedium, target, 100, pick_country()));
+  }
+  for (std::size_t i = 0; i < n_small; ++i) {
+    auto target = static_cast<std::uint32_t>(rng.uniform(2, 9));
+    small.push_back(
+        add_as(SizeCategory::kSmall, target, 10, pick_country()));
+  }
+  // Hypergiant / reserved-organization ASes behave like Medium networks
+  // with little transit.
+  for (const auto& seed : cfg.org_seeds) {
+    for (int i = 0; i < seed.as_count; ++i) {
+      AsId id = add_as(SizeCategory::kMedium,
+                       static_cast<std::uint32_t>(rng.uniform(2, 20)), 100,
+                       find_country(seed.country_code));
+      records[id].always_routed = true;
+      seed_ases.push_back(id);
+    }
+  }
+  for (std::size_t i = 0; i < n_stub; ++i) {
+    stubs.push_back(add_as(SizeCategory::kStub, 1, 1, pick_country()));
+  }
+
+  // ---- Birth snapshots -------------------------------------------------
+  // Growth from 45k to 71k active ASes is roughly linear over the study,
+  // and the paper observes stable category shares throughout (§6.3), so
+  // newly registered ASes are spread proportionally across every tier.
+  const std::size_t snapshots = net::snapshot_count();
+  {
+    const double late_fraction =
+        total > 0 ? static_cast<double>(total - at_start) /
+                        static_cast<double>(total)
+                  : 0.0;
+    auto assign_births = [&](const std::vector<AsId>& tier) {
+      auto born_later = static_cast<std::size_t>(
+          static_cast<double>(tier.size()) * late_fraction);
+      if (born_later == 0) return;
+      std::size_t base = tier.size() - born_later;
+      for (std::size_t i = 0; i < born_later; ++i) {
+        std::size_t snap = 1 + (i * (snapshots - 1)) / born_later;
+        records[tier[base + i]].birth_snapshot =
+            std::min(snap, snapshots - 1);
+      }
+    };
+    assign_births(stubs);
+    assign_births(small);
+    assign_births(medium);
+    assign_births(large);
+    assign_births(xlarge);
+  }
+
+  // ---- Customer adoption (forest stage) --------------------------------
+  // Children are adopted bottom-up so each provider can meet its cone
+  // target exactly; at this stage cones are disjoint, so the running sum
+  // equals the true cone size.
+  std::vector<std::uint32_t> cone(records.size(), 1);
+  std::vector<char> adopted(records.size(), 0);
+
+  auto adopt_children = [&](std::span<const AsId> parents,
+                            std::vector<std::vector<AsId>*> child_pools) {
+    // Round-robin over parents, each taking children until its target is
+    // met, drawing from the pools in order (prefer bigger children first).
+    std::vector<std::size_t> pool_cursor(child_pools.size(), 0);
+    for (AsId parent : parents) {
+      const TierPlan& plan = plans[parent];
+      for (std::size_t p = 0; p < child_pools.size(); ++p) {
+        auto& pool = *child_pools[p];
+        auto& cursor = pool_cursor[p];
+        while (cone[parent] < plan.cone_target && cursor < pool.size()) {
+          AsId child = pool[cursor];
+          if (adopted[child] || child == parent) {
+            ++cursor;
+            continue;
+          }
+          if (cone[parent] + cone[child] > plan.cone_ceiling) break;
+          graph.add_customer_link(parent, child);
+          adopted[child] = 1;
+          cone[parent] += cone[child];
+          ++cursor;
+        }
+      }
+    }
+  };
+
+  // Shuffle pools so adoption does not correlate with creation order.
+  rng.shuffle(stubs);
+  adopt_children(small, {&stubs});
+  // Seed (HG) ASes pick up a couple of stub customers.
+  adopt_children(seed_ases, {&stubs});
+  rng.shuffle(small);
+  adopt_children(medium, {&small, &stubs});
+  rng.shuffle(medium);
+  adopt_children(large, {&medium, &small, &stubs});
+  rng.shuffle(large);
+  adopt_children(xlarge, {&large, &medium, &small, &stubs});
+
+  // Any AS without a provider joins a random xlarge transit so the graph
+  // is connected from the top. (Does not change anyone's category: the
+  // xlarge ceiling is unbounded.)
+  for (AsId id = 0; id < records.size(); ++id) {
+    if (adopted[id] || plans[id].tier == SizeCategory::kXLarge) continue;
+    AsId transit = xlarge[rng.index(xlarge.size())];
+    graph.add_customer_link(transit, id);
+    adopted[id] = 1;
+    cone[transit] += cone[id];
+  }
+
+  // ---- Multihoming (secondary providers) -------------------------------
+  // Extra providers at least one tier above the child's own tier; the
+  // provider's ceiling is respected so categories stay calibrated.
+  auto secondary_pool = [&](SizeCategory tier) -> const std::vector<AsId>* {
+    switch (tier) {
+      case SizeCategory::kStub: return &medium;
+      case SizeCategory::kSmall: return &large;
+      case SizeCategory::kMedium: return &xlarge;
+      case SizeCategory::kLarge: return &xlarge;
+      default: return nullptr;
+    }
+  };
+  for (AsId id = 0; id < records.size(); ++id) {
+    if (!rng.bernoulli(cfg.multihome_rate)) continue;
+    const std::vector<AsId>* pool = secondary_pool(plans[id].tier);
+    if (pool == nullptr || pool->empty()) continue;
+    AsId provider = (*pool)[rng.index(pool->size())];
+    if (provider == id) continue;
+    if (cone[provider] + cone[id] > plans[provider].cone_ceiling) continue;
+    graph.add_customer_link(provider, id);
+    cone[provider] += cone[id];
+  }
+
+  // ---- Peering ----------------------------------------------------------
+  // Tier-1 mesh plus regional peering; cones are unaffected.
+  for (std::size_t i = 0; i < xlarge.size(); ++i) {
+    for (std::size_t j = i + 1; j < xlarge.size(); ++j) {
+      if (rng.bernoulli(0.8)) graph.add_peer_link(xlarge[i], xlarge[j]);
+    }
+  }
+  auto sprinkle_peers = [&](const std::vector<AsId>& pool, double mean) {
+    if (pool.size() < 2) return;
+    for (AsId a : pool) {
+      int n = rng.poisson(mean);
+      for (int k = 0; k < n; ++k) {
+        AsId b = pool[rng.index(pool.size())];
+        if (b != a) graph.add_peer_link(a, b);
+      }
+    }
+  };
+  sprinkle_peers(large, 2.0);
+  sprinkle_peers(medium, 1.0);
+
+  // ---- Organizations -----------------------------------------------------
+  OrgDb orgs;
+  {
+    std::size_t seed_cursor = 0;
+    for (const auto& seed : cfg.org_seeds) {
+      OrgId org = orgs.add_org(seed.org_name, find_country(seed.country_code));
+      for (int i = 0; i < seed.as_count; ++i) {
+        AsId id = seed_ases[seed_cursor++];
+        orgs.assign(org, id);
+        records[id].org = org;
+      }
+    }
+    // Everyone else: one org per AS, with occasional multi-AS siblings.
+    for (AsId id = 0; id < records.size(); ++id) {
+      if (records[id].org != kNoOrg) continue;
+      std::string name = "AS" + std::to_string(records[id].asn) + " " +
+                         std::string(countries[records[id].country].code) +
+                         " Network Services";
+      OrgId org = orgs.add_org(std::move(name), records[id].country);
+      orgs.assign(org, id);
+      records[id].org = org;
+      // ~3% of orgs operate a sibling AS (acquisitions, regional units).
+      if (rng.bernoulli(0.03) && id + 1 < records.size() &&
+          records[id + 1].org == kNoOrg) {
+        orgs.assign(org, id + 1);
+        records[id + 1].org = org;
+      }
+    }
+  }
+
+  // ---- Address space ------------------------------------------------------
+  AddressAllocator allocator;
+  {
+    std::size_t seed_cursor = 0;
+    for (const auto& seed : cfg.org_seeds) {
+      for (int i = 0; i < seed.as_count; ++i) {
+        AsId id = seed_ases[seed_cursor++];
+        for (int p = 0; p < seed.prefixes_per_as; ++p) {
+          records[id].prefixes.push_back(
+              allocator.allocate(seed.prefix_length));
+        }
+      }
+    }
+    auto allocate_for = [&](AsId id, int min_count, int max_count,
+                            int min_len, int max_len) {
+      int count = static_cast<int>(rng.uniform(min_count, max_count));
+      for (int p = 0; p < count; ++p) {
+        auto len = static_cast<std::uint8_t>(rng.uniform(min_len, max_len));
+        records[id].prefixes.push_back(allocator.allocate(len));
+      }
+    };
+    for (AsId id = 0; id < records.size(); ++id) {
+      if (!records[id].prefixes.empty()) continue;  // seed ASes done
+      switch (plans[id].tier) {
+        case SizeCategory::kStub: allocate_for(id, 1, 3, 22, 24); break;
+        case SizeCategory::kSmall: allocate_for(id, 2, 5, 21, 24); break;
+        case SizeCategory::kMedium: allocate_for(id, 4, 12, 19, 23); break;
+        case SizeCategory::kLarge: allocate_for(id, 10, 40, 16, 22); break;
+        case SizeCategory::kXLarge: allocate_for(id, 30, 100, 14, 20); break;
+      }
+    }
+  }
+
+  // ---- User population (APNIC stand-in) -----------------------------------
+  {
+    // Per country: eyeball ASes get Zipf-ish market shares weighted by
+    // their size, normalized to `country_coverage_total`.
+    std::vector<std::vector<AsId>> by_country(countries.size());
+    for (AsId id = 0; id < records.size(); ++id) {
+      if (records[id].country != kNoCountry) {
+        by_country[records[id].country].push_back(id);
+      }
+    }
+    for (CountryId c = 0; c < countries.size(); ++c) {
+      auto& members = by_country[c];
+      std::vector<AsId> eyeballs;
+      std::vector<double> weights;
+      for (AsId id : members) {
+        double p = cfg.eyeball_fraction;
+        // Bigger networks are more likely to serve end users.
+        if (plans[id].tier == SizeCategory::kLarge ||
+            plans[id].tier == SizeCategory::kXLarge) {
+          p = std::min(1.0, p + 0.25);
+        }
+        if (!rng.bernoulli(p)) continue;
+        records[id].eyeball = true;
+        // A handful of mobile operators are IPv6-only (§7).
+        if (plans[id].tier <= SizeCategory::kSmall &&
+            rng.bernoulli(cfg.ipv6_only_fraction)) {
+          records[id].ipv6_only = true;
+        }
+        eyeballs.push_back(id);
+        double w = std::pow(static_cast<double>(cone[id]), 1.05) *
+                   std::exp(rng.uniform_real(-0.7, 0.7));
+        weights.push_back(w);
+      }
+      double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+      if (sum <= 0.0) continue;
+      for (std::size_t i = 0; i < eyeballs.size(); ++i) {
+        AsId id = eyeballs[i];
+        records[id].user_share =
+            cfg.country_coverage_total * weights[i] / sum;
+        // Small eyeballs are likelier to flicker in and out of the APNIC
+        // measurement and fail the presence filter.
+        double flaky = cfg.population_flaky_rate;
+        if (plans[id].tier == SizeCategory::kStub) flaky *= 1.3;
+        if (plans[id].tier == SizeCategory::kLarge ||
+            plans[id].tier == SizeCategory::kXLarge) {
+          flaky *= 0.2;
+        }
+        records[id].population_flaky = rng.bernoulli(std::min(flaky, 1.0));
+      }
+    }
+  }
+
+  return Topology(std::move(graph), std::move(records), std::move(orgs));
+}
+
+}  // namespace offnet::topo

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace offnet::topo {
+
+/// A reserved organization (used for Hypergiants) that must exist in the
+/// generated topology with its own ASes and address space.
+struct OrgSeed {
+  std::string org_name;        // e.g. "Google LLC"
+  std::string country_code;    // e.g. "US"
+  int as_count = 1;
+  int prefixes_per_as = 8;
+  std::uint8_t prefix_length = 20;
+};
+
+/// Knobs for the synthetic Internet. Defaults are calibrated to the
+/// paper's reported demographics (§6.3): 45k active ASes in 2013 growing
+/// to 71k in 2021; category shares ~85% Stub, ~12% Small, ~2.6% Medium,
+/// <0.5% Large, <0.1% XLarge, stable over time.
+struct GeneratorConfig {
+  std::uint64_t seed = 20210823;
+
+  std::size_t ases_at_start = 45000;
+  std::size_t ases_at_end = 71000;
+
+  // End-state provider-tier counts; stubs absorb the remainder.
+  std::size_t xlarge_count = 55;
+  std::size_t large_count = 320;
+  std::size_t medium_count = 1850;
+  std::size_t small_count = 8600;
+
+  /// Probability that a non-provider AS acquires an extra (secondary)
+  /// provider one or more tiers up.
+  double multihome_rate = 0.35;
+
+  /// Fraction of ASes that host end users at all.
+  double eyeball_fraction = 0.65;
+
+  /// Fraction of eyeball ASes that fail the APNIC >=25%-of-month presence
+  /// filter (the paper's filtering drops coverage to <80% of ASes).
+  double population_flaky_rate = 0.35;
+
+  /// Total fraction of a country's users attributed to its measured ASes.
+  double country_coverage_total = 0.97;
+
+  /// Fraction of eyeball ASes that are IPv6-only mobile operators ("a
+  /// very small number", §7) — unreachable by IPv4 scans.
+  double ipv6_only_fraction = 0.004;
+
+  /// Uniform multiplier on every AS count, for building small test worlds.
+  double scale = 1.0;
+
+  std::vector<OrgSeed> org_seeds;
+};
+
+/// Builds the immutable topology: tiered AS hierarchy with calibrated
+/// customer-cone demographics, regional placement, organizations, address
+/// space, and user-population shares.
+class TopologyGenerator {
+ public:
+  explicit TopologyGenerator(GeneratorConfig config)
+      : config_(std::move(config)) {}
+
+  Topology generate() const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace offnet::topo

@@ -1,0 +1,34 @@
+#include "topology/org_db.h"
+
+#include "net/table.h"
+
+namespace offnet::topo {
+
+OrgId OrgDb::add_org(std::string name, CountryId country) {
+  OrgId id = static_cast<OrgId>(orgs_.size());
+  orgs_.push_back(OrgRecord{std::move(name), country, {}});
+  return id;
+}
+
+void OrgDb::assign(OrgId org, AsId as) {
+  orgs_[org].ases.push_back(as);
+  if (as >= as_to_org_.size()) as_to_org_.resize(as + 1, kNoOrg);
+  as_to_org_[as] = org;
+}
+
+std::vector<OrgId> OrgDb::find_by_keyword(std::string_view keyword) const {
+  std::vector<OrgId> out;
+  for (OrgId id = 0; id < orgs_.size(); ++id) {
+    if (net::icontains(orgs_[id].name, keyword)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<OrgId> OrgDb::find_exact(std::string_view name) const {
+  for (OrgId id = 0; id < orgs_.size(); ++id) {
+    if (orgs_[id].name == name) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace offnet::topo

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "topology/region.h"
+
+namespace offnet::topo {
+
+using OrgId = std::uint32_t;
+constexpr OrgId kNoOrg = 0xffffffffu;
+
+/// Organization database: the stand-in for the CAIDA AS Organizations
+/// dataset (Appendix A.2). Maps ASes to the organizational entities that
+/// operate them, and supports the reverse organization-name search the
+/// paper uses to find each Hypergiant's own (on-net) ASes.
+class OrgDb {
+ public:
+  OrgId add_org(std::string name, CountryId country);
+
+  /// Assigns an AS to an organization. An AS belongs to exactly one org.
+  void assign(OrgId org, AsId as);
+
+  std::size_t org_count() const { return orgs_.size(); }
+  std::string_view name(OrgId org) const { return orgs_[org].name; }
+  CountryId country(OrgId org) const { return orgs_[org].country; }
+  std::span<const AsId> ases_of(OrgId org) const { return orgs_[org].ases; }
+
+  OrgId org_of(AsId as) const {
+    return as < as_to_org_.size() ? as_to_org_[as] : kNoOrg;
+  }
+
+  /// Case-insensitive substring search over organization names, as used to
+  /// locate a Hypergiant's organization(s) from its keyword.
+  std::vector<OrgId> find_by_keyword(std::string_view keyword) const;
+
+  /// Exact (case-sensitive) lookup.
+  std::optional<OrgId> find_exact(std::string_view name) const;
+
+ private:
+  struct OrgRecord {
+    std::string name;
+    CountryId country = kNoCountry;
+    std::vector<AsId> ases;
+  };
+
+  std::vector<OrgRecord> orgs_;
+  std::vector<OrgId> as_to_org_;
+};
+
+}  // namespace offnet::topo

@@ -1,0 +1,71 @@
+#include "topology/population.h"
+
+#include "net/date.h"
+
+namespace offnet::topo {
+
+PopulationView::PopulationView(const Topology& topology)
+    : topology_(topology) {
+  for (AsId id = 0; id < topology_.as_count(); ++id) {
+    const AsRecord& rec = topology_.as(id);
+    if (rec.eyeball && !rec.population_flaky && rec.user_share > 0.0) {
+      ++measured_count_;
+    }
+  }
+}
+
+std::size_t PopulationView::first_available_snapshot() {
+  auto idx = net::snapshot_index(net::YearMonth(2017, 10));
+  return idx.value_or(0);
+}
+
+double PopulationView::share(AsId as) const {
+  const AsRecord& rec = topology_.as(as);
+  if (!rec.eyeball || rec.population_flaky) return 0.0;
+  return rec.user_share;
+}
+
+double PopulationView::country_users(CountryId country) const {
+  return topology_.country(country).internet_users_m;
+}
+
+double PopulationView::country_coverage(CountryId country,
+                                        std::span<const char> hosting,
+                                        std::size_t snapshot) const {
+  const auto& alive = topology_.alive_mask(snapshot);
+  double covered = 0.0;
+  for (AsId id = 0; id < topology_.as_count(); ++id) {
+    if (!alive[id] || !hosting[id]) continue;
+    if (topology_.as(id).country != country) continue;
+    covered += share(id);
+  }
+  return std::min(covered, 1.0);
+}
+
+double PopulationView::world_coverage(std::span<const char> hosting,
+                                      std::size_t snapshot) const {
+  double users = 0.0;
+  double covered = 0.0;
+  for (CountryId c = 0; c < topology_.country_count(); ++c) {
+    double u = country_users(c);
+    users += u;
+    covered += u * country_coverage(c, hosting, snapshot);
+  }
+  return users > 0.0 ? covered / users : 0.0;
+}
+
+double PopulationView::region_coverage(Region region,
+                                       std::span<const char> hosting,
+                                       std::size_t snapshot) const {
+  double users = 0.0;
+  double covered = 0.0;
+  for (CountryId c = 0; c < topology_.country_count(); ++c) {
+    if (topology_.country(c).region != region) continue;
+    double u = country_users(c);
+    users += u;
+    covered += u * country_coverage(c, hosting, snapshot);
+  }
+  return users > 0.0 ? covered / users : 0.0;
+}
+
+}  // namespace offnet::topo

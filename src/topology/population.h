@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace offnet::topo {
+
+/// View over the topology's user-population data, applying the paper's
+/// APNIC filtering rules (§6.5): ASes that fail the >=25%-of-month
+/// presence filter are treated as absent from the dataset, making all
+/// coverage numbers lower bounds. Population data is only available from
+/// Oct. 2017 onwards (the paper stores monthly snapshots since then).
+class PopulationView {
+ public:
+  explicit PopulationView(const Topology& topology);
+
+  /// First study snapshot with population data (2017-10).
+  static std::size_t first_available_snapshot();
+
+  /// Share of its country's users served by `as` (0 when filtered out).
+  double share(AsId as) const;
+
+  /// Internet users (millions) of a country.
+  double country_users(CountryId country) const;
+
+  /// Fraction of `country`'s users inside ASes with hosting_mask set,
+  /// restricted to ASes alive at `snapshot`.
+  double country_coverage(CountryId country, std::span<const char> hosting,
+                          std::size_t snapshot) const;
+
+  /// User-weighted worldwide coverage.
+  double world_coverage(std::span<const char> hosting,
+                        std::size_t snapshot) const;
+
+  /// User-weighted coverage over one region.
+  double region_coverage(Region region, std::span<const char> hosting,
+                         std::size_t snapshot) const;
+
+  /// Number of ASes that survive the presence filter.
+  std::size_t measured_as_count() const { return measured_count_; }
+
+ private:
+  const Topology& topology_;
+  std::size_t measured_count_ = 0;
+};
+
+}  // namespace offnet::topo

@@ -1,0 +1,133 @@
+#include "topology/region.h"
+
+namespace offnet::topo {
+
+std::string_view region_name(Region region) {
+  switch (region) {
+    case Region::kAfrica: return "Africa";
+    case Region::kAsia: return "Asia";
+    case Region::kEurope: return "Europe";
+    case Region::kNorthAmerica: return "North America";
+    case Region::kOceania: return "Oceania";
+    case Region::kSouthAmerica: return "South America";
+  }
+  return "?";
+}
+
+std::span<const Region> all_regions() {
+  static constexpr std::array kAll = {
+      Region::kAfrica,        Region::kAsia,    Region::kEurope,
+      Region::kNorthAmerica,  Region::kOceania, Region::kSouthAmerica,
+  };
+  return kAll;
+}
+
+namespace {
+
+using R = Region;
+
+// Internet-user estimates (millions, ca. 2021). Values are approximate;
+// only relative magnitudes matter for the coverage analysis.
+constexpr Country kCountries[] = {
+    // Asia
+    {"CN", "China", R::kAsia, 989},
+    {"IN", "India", R::kAsia, 624},
+    {"ID", "Indonesia", R::kAsia, 202},
+    {"JP", "Japan", R::kAsia, 117},
+    {"PK", "Pakistan", R::kAsia, 100},
+    {"BD", "Bangladesh", R::kAsia, 66},
+    {"PH", "Philippines", R::kAsia, 74},
+    {"VN", "Vietnam", R::kAsia, 69},
+    {"TR", "Turkey", R::kAsia, 66},
+    {"IR", "Iran", R::kAsia, 67},
+    {"TH", "Thailand", R::kAsia, 49},
+    {"KR", "South Korea", R::kAsia, 50},
+    {"MY", "Malaysia", R::kAsia, 28},
+    {"SA", "Saudi Arabia", R::kAsia, 34},
+    {"TW", "Taiwan", R::kAsia, 21},
+    {"KZ", "Kazakhstan", R::kAsia, 15},
+    {"HK", "Hong Kong", R::kAsia, 7},
+    {"SG", "Singapore", R::kAsia, 5},
+    {"LK", "Sri Lanka", R::kAsia, 11},
+    {"NP", "Nepal", R::kAsia, 11},
+    {"IQ", "Iraq", R::kAsia, 30},
+    {"IL", "Israel", R::kAsia, 8},
+    {"AE", "UAE", R::kAsia, 9},
+    {"MM", "Myanmar", R::kAsia, 23},
+    {"UZ", "Uzbekistan", R::kAsia, 19},
+    // Europe
+    {"RU", "Russia", R::kEurope, 124},
+    {"DE", "Germany", R::kEurope, 78},
+    {"GB", "United Kingdom", R::kEurope, 65},
+    {"FR", "France", R::kEurope, 60},
+    {"IT", "Italy", R::kEurope, 51},
+    {"ES", "Spain", R::kEurope, 43},
+    {"PL", "Poland", R::kEurope, 32},
+    {"UA", "Ukraine", R::kEurope, 31},
+    {"NL", "Netherlands", R::kEurope, 16},
+    {"RO", "Romania", R::kEurope, 16},
+    {"BE", "Belgium", R::kEurope, 10},
+    {"CZ", "Czechia", R::kEurope, 9},
+    {"SE", "Sweden", R::kEurope, 10},
+    {"GR", "Greece", R::kEurope, 8},
+    {"PT", "Portugal", R::kEurope, 8},
+    {"HU", "Hungary", R::kEurope, 8},
+    {"CH", "Switzerland", R::kEurope, 8},
+    {"AT", "Austria", R::kEurope, 8},
+    {"BG", "Bulgaria", R::kEurope, 5},
+    {"DK", "Denmark", R::kEurope, 6},
+    {"FI", "Finland", R::kEurope, 5},
+    {"NO", "Norway", R::kEurope, 5},
+    {"IE", "Ireland", R::kEurope, 4},
+    {"RS", "Serbia", R::kEurope, 6},
+    {"SK", "Slovakia", R::kEurope, 4},
+    // North America (incl. Central America & Caribbean)
+    {"US", "United States", R::kNorthAmerica, 298},
+    {"MX", "Mexico", R::kNorthAmerica, 92},
+    {"CA", "Canada", R::kNorthAmerica, 35},
+    {"GT", "Guatemala", R::kNorthAmerica, 7},
+    {"CU", "Cuba", R::kNorthAmerica, 7},
+    {"DO", "Dominican Rep.", R::kNorthAmerica, 8},
+    {"HN", "Honduras", R::kNorthAmerica, 4},
+    {"CR", "Costa Rica", R::kNorthAmerica, 4},
+    {"PA", "Panama", R::kNorthAmerica, 3},
+    {"SV", "El Salvador", R::kNorthAmerica, 4},
+    // South America
+    {"BR", "Brazil", R::kSouthAmerica, 160},
+    {"AR", "Argentina", R::kSouthAmerica, 36},
+    {"CO", "Colombia", R::kSouthAmerica, 35},
+    {"VE", "Venezuela", R::kSouthAmerica, 21},
+    {"PE", "Peru", R::kSouthAmerica, 24},
+    {"CL", "Chile", R::kSouthAmerica, 16},
+    {"EC", "Ecuador", R::kSouthAmerica, 10},
+    {"BO", "Bolivia", R::kSouthAmerica, 6},
+    {"PY", "Paraguay", R::kSouthAmerica, 4},
+    {"UY", "Uruguay", R::kSouthAmerica, 3},
+    // Africa
+    {"NG", "Nigeria", R::kAfrica, 104},
+    {"EG", "Egypt", R::kAfrica, 59},
+    {"ZA", "South Africa", R::kAfrica, 38},
+    {"KE", "Kenya", R::kAfrica, 21},
+    {"MA", "Morocco", R::kAfrica, 27},
+    {"DZ", "Algeria", R::kAfrica, 26},
+    {"ET", "Ethiopia", R::kAfrica, 24},
+    {"GH", "Ghana", R::kAfrica, 15},
+    {"TZ", "Tanzania", R::kAfrica, 15},
+    {"TN", "Tunisia", R::kAfrica, 8},
+    {"UG", "Uganda", R::kAfrica, 12},
+    {"SN", "Senegal", R::kAfrica, 8},
+    {"CI", "Ivory Coast", R::kAfrica, 12},
+    {"CM", "Cameroon", R::kAfrica, 8},
+    {"ZW", "Zimbabwe", R::kAfrica, 5},
+    // Oceania
+    {"AU", "Australia", R::kOceania, 23},
+    {"NZ", "New Zealand", R::kOceania, 4},
+    {"FJ", "Fiji", R::kOceania, 1},
+    {"PG", "Papua New Guinea", R::kOceania, 1},
+};
+
+}  // namespace
+
+std::span<const Country> country_table() { return kCountries; }
+
+}  // namespace offnet::topo

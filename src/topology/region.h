@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace offnet::topo {
+
+/// Continents, the paper's regional-growth granularity (Fig. 6).
+enum class Region : std::uint8_t {
+  kAfrica,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kOceania,
+  kSouthAmerica,
+};
+
+constexpr std::size_t kRegionCount = 6;
+
+std::string_view region_name(Region region);
+std::span<const Region> all_regions();
+
+/// A country with its estimated Internet-user population. Countries are
+/// the unit of the paper's user-population coverage analysis (§6.5); each
+/// AS is assigned to exactly one country (95% of ASes operate in a single
+/// country per the APNIC dataset).
+struct Country {
+  std::string_view code;        // ISO-3166-ish two-letter code
+  std::string_view name;
+  Region region;
+  double internet_users_m;      // Internet users, millions (ca. 2021)
+};
+
+/// Built-in country table: the world's major Internet markets plus
+/// regional aggregates, standing in for the APNIC per-economy dataset.
+std::span<const Country> country_table();
+
+using CountryId = std::uint16_t;
+
+constexpr CountryId kNoCountry = 0xffff;
+
+}  // namespace offnet::topo

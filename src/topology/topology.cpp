@@ -1,0 +1,55 @@
+#include "topology/topology.h"
+
+#include "net/date.h"
+
+namespace offnet::topo {
+
+Topology::Topology(AsGraph graph, std::vector<AsRecord> ases, OrgDb orgs)
+    : graph_(std::move(graph)), ases_(std::move(ases)), orgs_(std::move(orgs)) {
+  asn_index_.reserve(ases_.size());
+  for (AsId id = 0; id < ases_.size(); ++id) {
+    asn_index_.emplace(ases_[id].asn, id);
+  }
+  std::size_t snapshots = net::snapshot_count();
+  alive_cache_.resize(snapshots);
+  alive_count_cache_.assign(snapshots, 0);
+  cone_cache_.resize(snapshots);
+}
+
+std::optional<AsId> Topology::find_asn(net::Asn asn) const {
+  auto it = asn_index_.find(asn);
+  if (it == asn_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<char>& Topology::alive_mask(std::size_t snapshot) const {
+  auto& mask = alive_cache_.at(snapshot);
+  if (mask.empty()) {
+    mask.resize(ases_.size(), 0);
+    std::size_t count = 0;
+    for (AsId id = 0; id < ases_.size(); ++id) {
+      if (ases_[id].birth_snapshot <= snapshot) {
+        mask[id] = 1;
+        ++count;
+      }
+    }
+    alive_count_cache_[snapshot] = count;
+  }
+  return mask;
+}
+
+std::size_t Topology::alive_count(std::size_t snapshot) const {
+  alive_mask(snapshot);
+  return alive_count_cache_.at(snapshot);
+}
+
+const std::vector<std::uint32_t>& Topology::cone_sizes(
+    std::size_t snapshot) const {
+  auto& cones = cone_cache_.at(snapshot);
+  if (cones.empty() && !ases_.empty()) {
+    cones = graph_.customer_cone_sizes(alive_mask(snapshot));
+  }
+  return cones;
+}
+
+}  // namespace offnet::topo

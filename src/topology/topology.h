@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/prefix.h"
+#include "topology/as_graph.h"
+#include "topology/category.h"
+#include "topology/org_db.h"
+#include "topology/region.h"
+
+namespace offnet::topo {
+
+/// Everything the simulation knows about one AS. `planned_tier` is
+/// generator intent and must never be consulted by the inference pipeline
+/// (it uses measured cone sizes, like the paper).
+struct AsRecord {
+  net::Asn asn = net::kNoAsn;
+  std::size_t birth_snapshot = 0;  // first study snapshot the AS is active
+  CountryId country = kNoCountry;
+  OrgId org = kNoOrg;
+  std::vector<net::Prefix> prefixes;
+  double user_share = 0.0;       // share of the country's Internet users
+  bool population_flaky = false; // fails the APNIC >=25% presence filter
+  bool eyeball = false;          // hosts end users at all
+  /// Core infrastructure (Hypergiant orgs): announces all of its address
+  /// space, always.
+  bool always_routed = false;
+  /// IPv6-only mobile operator (§7): invisible to IPv4-wide scans, so
+  /// any HG deployment inside it cannot be uncovered by the methodology.
+  bool ipv6_only = false;
+  SizeCategory planned_tier = SizeCategory::kStub;
+};
+
+/// The synthetic Internet topology: AS graph, per-AS metadata, countries,
+/// and organizations. Immutable after generation; per-snapshot views are
+/// derived via alive masks (new ASes appear over the study period).
+class Topology {
+ public:
+  Topology(AsGraph graph, std::vector<AsRecord> ases, OrgDb orgs);
+
+  const AsGraph& graph() const { return graph_; }
+  const OrgDb& orgs() const { return orgs_; }
+
+  std::size_t as_count() const { return ases_.size(); }
+  const AsRecord& as(AsId id) const { return ases_[id]; }
+  std::span<const AsRecord> ases() const { return ases_; }
+
+  std::optional<AsId> find_asn(net::Asn asn) const;
+
+  const Country& country(CountryId id) const { return country_table()[id]; }
+  std::size_t country_count() const { return country_table().size(); }
+
+  /// true for each AS already active at study snapshot `snapshot`.
+  const std::vector<char>& alive_mask(std::size_t snapshot) const;
+  std::size_t alive_count(std::size_t snapshot) const;
+
+  /// Customer-cone sizes for the snapshot's induced subgraph, lazily
+  /// computed and cached (the CAIDA per-snapshot dataset equivalent).
+  const std::vector<std::uint32_t>& cone_sizes(std::size_t snapshot) const;
+
+  SizeCategory category(AsId id, std::size_t snapshot) const {
+    return categorize(cone_sizes(snapshot)[id]);
+  }
+
+ private:
+  AsGraph graph_;
+  std::vector<AsRecord> ases_;
+  OrgDb orgs_;
+  std::unordered_map<net::Asn, AsId> asn_index_;
+
+  // Lazily filled per-snapshot caches.
+  mutable std::vector<std::vector<char>> alive_cache_;
+  mutable std::vector<std::size_t> alive_count_cache_;
+  mutable std::vector<std::vector<std::uint32_t>> cone_cache_;
+};
+
+}  // namespace offnet::topo

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/certgroups.h"
+#include "analysis/cohosting.h"
+#include "analysis/coverage.h"
+#include "analysis/demographics.h"
+#include "analysis/regional.h"
+#include "analysis/validation.h"
+#include "core/longitudinal.h"
+#include "test_world.h"
+
+namespace offnet::analysis {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  const scan::World& world() { return testing::small_world(); }
+
+  static std::size_t last_snapshot() { return net::snapshot_count() - 1; }
+
+  const core::SnapshotResult& last_result() {
+    static const core::SnapshotResult result = [this] {
+      core::LongitudinalRunner runner(world());
+      return runner.run_one(last_snapshot());
+    }();
+    return result;
+  }
+};
+
+TEST_F(AnalysisTest, DemographicsSharesSumToOne) {
+  const auto& result = last_result();
+  const auto& google = result.find("Google")->confirmed_or_ases;
+  auto counts = categorize_set(world().topology(), google, last_snapshot());
+  auto s = shares(counts);
+  double total = std::accumulate(s.begin(), s.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  std::size_t count_total = std::accumulate(counts.begin(), counts.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(count_total, google.size());
+}
+
+TEST_F(AnalysisTest, FootprintDemographicsSkewLargerThanInternet) {
+  // §6.3: HG hosts are far less stub-heavy than the Internet baseline.
+  const auto& result = last_result();
+  const auto& google = result.find("Google")->confirmed_or_ases;
+  auto host_shares = shares(
+      categorize_set(world().topology(), google, last_snapshot()));
+  auto internet_shares = shares(
+      internet_demographics(world().topology(), last_snapshot()));
+  EXPECT_LT(host_shares[0], 0.55);           // stubs well below 85%
+  EXPECT_GT(internet_shares[0], 0.80);
+  EXPECT_GT(host_shares[2], internet_shares[2] * 3);  // medium over-represented
+}
+
+TEST_F(AnalysisTest, RegionalizePartitionsSet) {
+  const auto& result = last_result();
+  const auto& ases = result.find("Facebook")->confirmed_or_ases;
+  auto counts = regionalize_set(world().topology(), ases);
+  std::size_t total = std::accumulate(counts.begin(), counts.end(),
+                                      std::size_t{0});
+  EXPECT_EQ(total, ases.size());
+  std::size_t via_filters = 0;
+  for (topo::Region r : topo::all_regions()) {
+    via_filters += filter_region(world().topology(), ases, r).size();
+  }
+  EXPECT_EQ(via_filters, ases.size());
+}
+
+TEST_F(AnalysisTest, CoverageBounds) {
+  const auto& result = last_result();
+  CoverageAnalysis coverage(world().topology(), world().population());
+  const auto& hosts = result.find("Google")->confirmed_or_ases;
+  for (const auto& cc : coverage.per_country(hosts, last_snapshot())) {
+    EXPECT_GE(cc.fraction, 0.0);
+    EXPECT_LE(cc.fraction, 1.0);
+  }
+  double world_cov = coverage.worldwide(hosts, last_snapshot());
+  EXPECT_GT(world_cov, 0.0);
+  EXPECT_LE(world_cov, 1.0);
+}
+
+TEST_F(AnalysisTest, ConeCoverageDominatesDirect) {
+  // Fig. 8 vs Fig. 7: serving customer cones can only increase coverage.
+  const auto& result = last_result();
+  CoverageAnalysis coverage(world().topology(), world().population());
+  const auto& hosts = result.find("Google")->confirmed_or_ases;
+  double direct = coverage.worldwide(hosts, last_snapshot(), false);
+  double cones = coverage.worldwide(hosts, last_snapshot(), true);
+  EXPECT_GE(cones, direct);
+  auto direct_countries = coverage.per_country(hosts, last_snapshot());
+  auto cone_countries = coverage.per_country_with_cones(hosts,
+                                                        last_snapshot());
+  for (std::size_t i = 0; i < direct_countries.size(); ++i) {
+    EXPECT_GE(cone_countries[i].fraction + 1e-12,
+              direct_countries[i].fraction);
+  }
+}
+
+TEST_F(AnalysisTest, CoverageMonotoneInHosts) {
+  const auto& result = last_result();
+  CoverageAnalysis coverage(world().topology(), world().population());
+  const auto& all_hosts = result.find("Google")->confirmed_or_ases;
+  std::vector<topo::AsId> half(all_hosts.begin(),
+                               all_hosts.begin() + all_hosts.size() / 2);
+  EXPECT_LE(coverage.worldwide(half, last_snapshot()),
+            coverage.worldwide(all_hosts, last_snapshot()) + 1e-12);
+}
+
+TEST_F(AnalysisTest, WhatIfAdditionsImproveCoverage) {
+  const auto& result = last_result();
+  CoverageAnalysis coverage(world().topology(), world().population());
+  const auto& hosts = result.find("Facebook")->confirmed_or_ases;
+  // Use the US (always in the table).
+  topo::CountryId us = 0;
+  for (topo::CountryId c = 0; c < world().topology().country_count(); ++c) {
+    if (world().topology().country(c).code == std::string_view("US")) us = c;
+  }
+  double before = 0.0;
+  {
+    std::vector<char> mask(world().topology().as_count(), 0);
+    for (topo::AsId id : hosts) mask[id] = 1;
+    before = world().population().country_coverage(us, mask, last_snapshot());
+  }
+  auto picks = coverage.best_additions(hosts, us, last_snapshot(), 5);
+  ASSERT_FALSE(picks.empty());
+  double previous = before;
+  for (const auto& pick : picks) {
+    EXPECT_GE(pick.coverage_after + 1e-12, previous);
+    previous = pick.coverage_after;
+  }
+  EXPECT_GT(previous, before);
+}
+
+TEST_F(AnalysisTest, CertGroupsShares) {
+  const auto& result = last_result();
+  const auto& ip_certs = result.find("Google")->candidate_ip_certs;
+  auto breakdown = cert_groups(ip_certs, 10);
+  EXPECT_EQ(breakdown.total_ips, ip_certs.size());
+  EXPECT_GT(breakdown.distinct_certs, 1u);
+  // Shares descending, bounded, cumulative <= 1.
+  for (std::size_t i = 1; i < breakdown.top_shares.size(); ++i) {
+    EXPECT_LE(breakdown.top_shares[i], breakdown.top_shares[i - 1]);
+  }
+  EXPECT_LE(breakdown.cumulative_top(10), 1.0 + 1e-9);
+  EXPECT_GT(breakdown.cumulative_top(10), 0.3);
+  EXPECT_EQ(cert_groups({}, 10).total_ips, 0u);
+}
+
+TEST_F(AnalysisTest, GroundTruthComparison) {
+  auto acc = compare_to_ground_truth(world(), last_result(), "Google");
+  EXPECT_GT(acc.measured, 0u);
+  EXPECT_GT(acc.truth, 0u);
+  EXPECT_LE(acc.overlap, std::min(acc.measured, acc.truth));
+  // §5 validation band: precision high, recall ~89-95%.
+  EXPECT_GT(acc.precision(), 0.9);
+  EXPECT_GT(acc.recall(), 0.8);
+  EXPECT_LE(acc.recall(), 1.0);
+}
+
+TEST_F(AnalysisTest, CrossDomainValidation) {
+  auto cross = cross_domain_validation(world(), last_result());
+  EXPECT_GT(cross.probes, 1000u);
+  // §5: ~89.7% of probes fail (correct); of the validating ones, almost
+  // all are Akamai edges serving other HGs' content.
+  EXPECT_GT(cross.failing_share(), 0.75);
+  EXPECT_LT(cross.failing_share(), 0.995);
+  EXPECT_GT(cross.akamai_share_of_validated(), 0.85);
+}
+
+TEST_F(AnalysisTest, ReverseValidation) {
+  auto snap = world().scan(last_snapshot(), scan::ScannerKind::kRapid7);
+  auto reverse = reverse_validation(world(), last_result(), snap, 0.25);
+  EXPECT_GT(reverse.sampled_ips, 1000u);
+  EXPECT_LE(reverse.sampled_offnet_ips, reverse.sampled_ips);
+  EXPECT_LE(reverse.valid_inferred_offnets, reverse.valid_ips);
+  // §5: only ~0.1% of sampled IPs validate (after rescaling the
+  // background to the paper's corpus size); of those, ~98% are inferred
+  // off-nets.
+  double upscale = 1.0 / world().config().background_scale;
+  EXPECT_LT(reverse.scale_corrected_valid_share(upscale), 0.01);
+  if (reverse.valid_ips > 20) {
+    EXPECT_GT(reverse.inferred_share_of_valid(), 0.7);
+  }
+}
+
+TEST_F(AnalysisTest, EarlierComparison) {
+  auto cmp = compare_to_earlier(world(), last_result(), "ECS study",
+                                "Google", 0.9);
+  EXPECT_GT(cmp.earlier_ases, 0u);
+  EXPECT_GT(cmp.uncovered_share(), 0.85);  // paper: 98%
+  EXPECT_GT(cmp.additional, 0u);           // paper: +283 ASes
+}
+
+TEST_F(AnalysisTest, EffectiveFootprintPicksEnvelope) {
+  core::HgFootprint fp;
+  fp.confirmed_or_ases = {1, 2};
+  EXPECT_EQ(effective_footprint(fp), fp.confirmed_or_ases);
+  fp.confirmed_expired_http_ases = {1, 2, 3};
+  EXPECT_EQ(effective_footprint(fp), fp.confirmed_expired_http_ases);
+}
+
+TEST_F(AnalysisTest, CohostingDistributions) {
+  core::LongitudinalRunner runner(world());
+  auto results = runner.run(last_snapshot() - 2, last_snapshot());
+  CohostingAnalysis cohosting(world().topology(), results);
+  ASSERT_EQ(cohosting.snapshots(), 3u);
+
+  auto dist = cohosting.snapshot_distribution(2);
+  std::size_t sum = dist.hosted_n[1] + dist.hosted_n[2] + dist.hosted_n[3] +
+                    dist.hosted_n[4];
+  EXPECT_EQ(sum, dist.total_top4);
+  EXPECT_GE(dist.total_any_hg, dist.total_top4);
+  // §6.6: the overwhelming majority of HG hosts host a top-4 HG.
+  EXPECT_GT(dist.top4_share, 0.9);
+  // By 2021, most hosts run 2+ of the top-4.
+  EXPECT_GT(dist.hosted_n[2] + dist.hosted_n[3] + dist.hosted_n[4],
+            dist.hosted_n[1]);
+
+  std::size_t always = 0;
+  auto always_dists = cohosting.always_host_distributions(&always);
+  EXPECT_EQ(always_dists.size(), 3u);
+  EXPECT_GT(always, 0u);
+  for (const auto& d : always_dists) {
+    EXPECT_LE(d.total_top4, always);
+  }
+
+  auto persistent = cohosting.persistent_distributions(0.5);
+  EXPECT_EQ(persistent.size(), 3u);
+  EXPECT_GE(persistent[2].total_any_hg, persistent[2].total_top4);
+
+  EXPECT_GE(cohosting.average_newcomer_share(), 0.0);
+  EXPECT_LT(cohosting.average_newcomer_share(), 0.5);
+}
+
+}  // namespace
+}  // namespace offnet::analysis

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "bgp/feed.h"
+#include "bgp/ip2as.h"
+#include "topology/generator.h"
+
+namespace offnet::bgp {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(OriginSetTest, AddAndQuery) {
+  OriginSet set;
+  EXPECT_TRUE(set.add(100));
+  EXPECT_FALSE(set.add(100));  // duplicate
+  EXPECT_TRUE(set.add(200));
+  EXPECT_TRUE(set.moas());
+  EXPECT_TRUE(set.contains(100));
+  EXPECT_TRUE(set.contains(200));
+  EXPECT_FALSE(set.contains(300));
+  EXPECT_EQ(set.primary(), 100u);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(OriginSetTest, CapacityBound) {
+  OriginSet set;
+  for (net::Asn a = 1; a <= OriginSet::kMaxOrigins; ++a) {
+    EXPECT_TRUE(set.add(a));
+  }
+  EXPECT_FALSE(set.add(99));
+  EXPECT_EQ(set.size(), OriginSet::kMaxOrigins);
+}
+
+TEST(Ip2AsBuilderTest, PersistenceFilter) {
+  Ip2AsBuilder builder;
+  builder.add({P("1.0.0.0/24"), 100, Collector::kRipeRis, 0.9});
+  builder.add({P("1.0.1.0/24"), 200, Collector::kRipeRis, 0.2});   // dropped
+  builder.add({P("1.0.2.0/24"), 300, Collector::kRipeRis, 0.25});  // boundary
+  Ip2AsMap map = builder.build();
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.0.5")), 100u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.1.5")), net::kNoAsn);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.2.5")), net::kNoAsn);
+  EXPECT_EQ(builder.stats().below_persistence, 2u);
+  EXPECT_EQ(builder.stats().accepted, 1u);
+}
+
+TEST(Ip2AsBuilderTest, BogonAndReservedFilters) {
+  Ip2AsBuilder builder;
+  builder.add({P("10.0.0.0/8"), 100, Collector::kRipeRis, 0.9});
+  builder.add({P("1.0.0.0/24"), 64512, Collector::kRipeRis, 0.9});
+  builder.add({P("1.0.0.0/24"), 0, Collector::kRouteViews, 0.9});
+  Ip2AsMap map = builder.build();
+  EXPECT_EQ(map.prefix_count(), 0u);
+  EXPECT_EQ(builder.stats().bogon_prefix, 1u);
+  EXPECT_EQ(builder.stats().reserved_origin, 2u);
+}
+
+TEST(Ip2AsBuilderTest, CollectorMergeAndMoas) {
+  Ip2AsBuilder builder;
+  builder.add({P("1.0.0.0/24"), 100, Collector::kRipeRis, 0.9});
+  builder.add({P("1.0.0.0/24"), 100, Collector::kRouteViews, 0.8});
+  builder.add({P("1.0.0.0/24"), 200, Collector::kRouteViews, 0.6});
+  Ip2AsMap map = builder.build();
+  auto origins = map.lookup(*net::IPv4::parse("1.0.0.1"));
+  ASSERT_EQ(origins.size(), 2u);  // merged, deduplicated, MOAS
+  EXPECT_EQ(builder.stats().moas_prefixes, 1u);
+}
+
+TEST(Ip2AsMapTest, LongestPrefixWins) {
+  Ip2AsBuilder builder;
+  builder.add({P("1.0.0.0/16"), 100, Collector::kRipeRis, 0.9});
+  builder.add({P("1.0.128.0/20"), 200, Collector::kRipeRis, 0.9});
+  Ip2AsMap map = builder.build();
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.128.1")), 200u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.0.1")), 100u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("2.0.0.1")), net::kNoAsn);
+}
+
+TEST(Ip2AsMapTest, Coverage) {
+  Ip2AsBuilder builder;
+  builder.add({P("1.0.0.0/8"), 100, Collector::kRipeRis, 0.9});
+  Ip2AsMap map = builder.build();
+  std::vector<net::IPv4> probes = {*net::IPv4::parse("1.2.3.4"),
+                                   *net::IPv4::parse("2.2.3.4"),
+                                   *net::IPv4::parse("1.9.9.9"),
+                                   *net::IPv4::parse("9.9.9.9")};
+  EXPECT_DOUBLE_EQ(map.coverage(probes), 0.5);
+  EXPECT_DOUBLE_EQ(map.coverage({}), 0.0);
+}
+
+class FeedTest : public ::testing::Test {
+ protected:
+  static const topo::Topology& topology() {
+    static const topo::Topology topo = [] {
+      topo::GeneratorConfig config;
+      config.scale = 0.05;
+      config.org_seeds.push_back({"Google LLC", "US", 2, 8, 20});
+      return topo::TopologyGenerator(config).generate();
+    }();
+    return topo;
+  }
+};
+
+TEST_F(FeedTest, FeedCoversMostAliveAsPrefixes) {
+  FeedSimulator sim(topology(), FeedConfig{});
+  auto feed = sim.monthly_feed(0, Collector::kRipeRis);
+  std::size_t total_prefixes = 0;
+  const auto& alive = topology().alive_mask(0);
+  for (topo::AsId id = 0; id < topology().as_count(); ++id) {
+    if (alive[id]) total_prefixes += topology().as(id).prefixes.size();
+  }
+  EXPECT_GT(feed.size(), total_prefixes * 0.8);
+  EXPECT_LT(feed.size(), total_prefixes * 1.3);
+}
+
+TEST_F(FeedTest, FeedIsDeterministic) {
+  FeedSimulator sim(topology(), FeedConfig{});
+  auto a = sim.monthly_feed(3, Collector::kRouteViews);
+  auto b = sim.monthly_feed(3, Collector::kRouteViews);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix, b[i].prefix);
+    EXPECT_EQ(a[i].origin, b[i].origin);
+    EXPECT_EQ(a[i].fraction_of_month, b[i].fraction_of_month);
+  }
+}
+
+TEST_F(FeedTest, HypergiantSpaceAlwaysAnnounced) {
+  FeedSimulator sim(topology(), FeedConfig{});
+  auto google = topology().orgs().find_exact("Google LLC");
+  ASSERT_TRUE(google.has_value());
+  for (std::size_t t : {std::size_t{0}, std::size_t{15}}) {
+    auto feed = sim.monthly_feed(t, Collector::kRipeRis);
+    for (topo::AsId id : topology().orgs().ases_of(*google)) {
+      for (const net::Prefix& prefix : topology().as(id).prefixes) {
+        bool announced = false;
+        for (const auto& obs : feed) {
+          if (obs.prefix == prefix &&
+              obs.origin == topology().as(id).asn) {
+            announced = true;
+          }
+        }
+        EXPECT_TRUE(announced) << prefix.to_string();
+      }
+    }
+  }
+}
+
+TEST_F(FeedTest, HijacksMostlyFiltered) {
+  // Count mappings whose origin is not the owner: the 25% persistence
+  // rule must keep wrong-origin mappings rare.
+  Ip2AsSeries series(topology(), FeedConfig{});
+  const Ip2AsMap& map = series.at(0);
+  std::size_t wrong = 0;
+  std::size_t total = 0;
+  for (topo::AsId id = 0; id < topology().as_count(); ++id) {
+    const auto& rec = topology().as(id);
+    if (rec.birth_snapshot > 0) continue;
+    for (const net::Prefix& prefix : rec.prefixes) {
+      auto origins = map.lookup(prefix.first_address());
+      if (origins.empty()) continue;
+      ++total;
+      bool owner_ok = false;
+      for (net::Asn origin : origins) {
+        if (origin == rec.asn) owner_ok = true;
+        // Sibling-org MOAS is legitimate.
+        if (auto sibling = topology().find_asn(origin)) {
+          if (topology().as(*sibling).org == rec.org) owner_ok = true;
+        }
+      }
+      if (!owner_ok) ++wrong;
+    }
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_LT(static_cast<double>(wrong) / total, 0.01);
+}
+
+TEST_F(FeedTest, SeriesCachesAndRecomputes) {
+  Ip2AsSeries series(topology(), FeedConfig{}, 1);
+  net::IPv4 probe = topology().as(0).prefixes[0].first_address();
+  net::Asn first = series.at(0).primary(probe);
+  series.at(5);  // evicts snapshot 0 (capacity 1)
+  EXPECT_EQ(series.at(0).primary(probe), first);
+  auto stats = series.stats_at(0);
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST_F(FeedTest, CoverageInRealisticBand) {
+  Ip2AsSeries series(topology(), FeedConfig{});
+  const Ip2AsMap& map = series.at(0);
+  std::vector<net::IPv4> probes;
+  const auto& alive = topology().alive_mask(0);
+  for (topo::AsId id = 0; id < topology().as_count(); ++id) {
+    if (!alive[id]) continue;
+    for (const net::Prefix& prefix : topology().as(id).prefixes) {
+      probes.push_back(prefix.first_address() + 1);
+    }
+  }
+  double coverage = map.coverage(probes);
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.99);
+}
+
+}  // namespace
+}  // namespace offnet::bgp

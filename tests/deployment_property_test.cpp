@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hypergiant/deployment.h"
+#include "net/date.h"
+#include "topology/generator.h"
+
+namespace offnet::hg {
+namespace {
+
+const topo::Topology& shared_topology() {
+  static const topo::Topology topology = [] {
+    topo::GeneratorConfig config;
+    config.scale = 0.05;
+    for (const HgProfile& p : standard_profiles()) {
+      config.org_seeds.push_back(
+          {p.org_name, p.country_code, p.own_as_count, 4, 20});
+    }
+    return topo::TopologyGenerator(config).generate();
+  }();
+  return topology;
+}
+
+/// Scaled-down profiles matching the shared topology.
+std::vector<HgProfile> scaled_profiles() {
+  std::vector<HgProfile> profiles = standard_profiles();
+  for (HgProfile& p : profiles) {
+    for (auto& [when, value] : p.offnet_ases) value *= 0.05;
+    for (auto& [when, value] : p.certonly_ases) value *= 0.05;
+  }
+  return profiles;
+}
+
+class PlannerSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerSeedTest, InvariantsHoldForAnySeed) {
+  const topo::Topology& topology = shared_topology();
+  auto profiles = scaled_profiles();
+  DeploymentConfig config;
+  config.seed = GetParam();
+  for (auto& [when, value] : config.pool_size) value *= 0.05;
+  DeploymentPlan plan = DeploymentPlanner(topology, profiles, config).plan();
+
+  ASSERT_EQ(plan.snapshot_count(), net::snapshot_count());
+  ASSERT_EQ(plan.hg_count(), profiles.size());
+
+  const auto snaps = net::study_snapshots();
+  for (std::size_t t : {std::size_t{0}, std::size_t{12}, std::size_t{30}}) {
+    const auto& alive = topology.alive_mask(t);
+    for (std::size_t h = 0; h < plan.hg_count(); ++h) {
+      const HgDeployment& d = plan.at(t, h);
+      // Sorted, unique, alive hosts.
+      EXPECT_TRUE(std::is_sorted(d.confirmed.begin(), d.confirmed.end()));
+      std::unordered_set<topo::AsId> seen(d.confirmed.begin(),
+                                          d.confirmed.end());
+      EXPECT_EQ(seen.size(), d.confirmed.size());
+      for (topo::AsId id : d.confirmed) EXPECT_TRUE(alive[id]);
+      for (topo::AsId id : d.cert_only) {
+        EXPECT_FALSE(seen.contains(id));
+        EXPECT_TRUE(alive[id]);
+      }
+      // Tracks the calibrated anchor.
+      double target = anchor_value(profiles[h].offnet_ases, snaps[t]) *
+                      profiles[h].anchor_calibration;
+      EXPECT_NEAR(static_cast<double>(d.confirmed.size()), target,
+                  std::max(4.0, target * 0.06))
+          << profiles[h].name << " @ " << snaps[t].to_string();
+      // Excluded countries stay excluded.
+      for (const std::string& code : profiles[h].excluded_countries) {
+        for (topo::AsId id : d.confirmed) {
+          auto c = topology.as(id).country;
+          if (c != topo::kNoCountry) {
+            EXPECT_NE(topology.country(c).code, code);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PlannerSeedTest, DifferentSeedsDifferentHosts) {
+  const topo::Topology& topology = shared_topology();
+  auto profiles = scaled_profiles();
+  DeploymentConfig a_config;
+  a_config.seed = GetParam();
+  for (auto& [when, value] : a_config.pool_size) value *= 0.05;
+  DeploymentConfig b_config = a_config;
+  b_config.seed = GetParam() + 1;
+  auto a = DeploymentPlanner(topology, profiles, a_config).plan();
+  auto b = DeploymentPlanner(topology, profiles, b_config).plan();
+  int g = profile_index(profiles, "Google");
+  EXPECT_NE(a.at(30, g).confirmed, b.at(30, g).confirmed);
+  // Same seed reproduces exactly.
+  auto a2 = DeploymentPlanner(topology, profiles, a_config).plan();
+  EXPECT_EQ(a.at(30, g).confirmed, a2.at(30, g).confirmed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerSeedTest,
+                         ::testing::Values(11, 222, 3333));
+
+}  // namespace
+}  // namespace offnet::hg

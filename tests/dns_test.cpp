@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/cohosting.h"
+#include "core/longitudinal.h"
+#include "dns/baselines.h"
+#include "test_world.h"
+
+namespace offnet::dns {
+namespace {
+
+class DnsTest : public ::testing::Test {
+ protected:
+  const scan::World& world() { return testing::small_world(); }
+  int idx(std::string_view name) {
+    return hg::profile_index(world().profiles(), name);
+  }
+};
+
+TEST_F(DnsTest, EcsRedirectsToHostingAs) {
+  int g = idx("Google");
+  HgAuthority authority(world(), g);
+  std::size_t t = 5;  // well before the ECS cutoff
+  ASSERT_TRUE(authority.ecs_usable(t));
+
+  const auto& hosts = world().plan().at(t, g).confirmed;
+  ASSERT_FALSE(hosts.empty());
+  // A client inside a hosting AS gets an address inside that AS.
+  std::size_t redirected = 0;
+  std::size_t checked = 0;
+  for (topo::AsId as : hosts) {
+    const auto& prefixes = world().topology().as(as).prefixes;
+    if (prefixes.empty()) continue;
+    if (++checked > 30) break;
+    auto response = authority.resolve_ecs("www.google.com", prefixes[0], t);
+    ASSERT_FALSE(response.addresses.empty());
+    for (const net::Prefix& p : prefixes) {
+      if (p.contains(response.addresses[0])) ++redirected;
+    }
+  }
+  EXPECT_GT(redirected, checked / 2);
+}
+
+TEST_F(DnsTest, EcsCutoffHidesGoogleOffnets) {
+  int g = idx("Google");
+  HgAuthority authority(world(), g);
+  auto after = net::snapshot_index(net::YearMonth(2017, 4)).value();
+  EXPECT_FALSE(authority.ecs_usable(after));
+  // Post-cutoff queries see on-nets only.
+  const auto& hosts = world().plan().at(after, g).confirmed;
+  const auto& prefixes = world().topology().as(hosts[0]).prefixes;
+  auto response = authority.resolve_ecs("www.google.com", prefixes[0], after);
+  ASSERT_FALSE(response.addresses.empty());
+  bool in_host_as = false;
+  for (const net::Prefix& p : prefixes) {
+    if (p.contains(response.addresses[0])) in_host_as = true;
+  }
+  EXPECT_FALSE(in_host_as);
+}
+
+TEST_F(DnsTest, UnsupportedHgRefusesEcs) {
+  HgAuthority authority(world(), idx("Facebook"));
+  EXPECT_FALSE(authority.ecs_usable(5));
+  auto prefix = world().topology().as(0).prefixes.empty()
+                    ? net::Prefix(net::IPv4(0x01000000), 24)
+                    : world().topology().as(0).prefixes[0];
+  auto response = authority.resolve_ecs("www.facebook.com", prefix, 30);
+  EXPECT_TRUE(response.refused);
+}
+
+TEST_F(DnsTest, NxdomainForForeignNames) {
+  HgAuthority authority(world(), idx("Google"));
+  EXPECT_TRUE(authority.resolve_ecs("www.example.org",
+                                    net::Prefix(net::IPv4(0x01000000), 24), 5)
+                  .addresses.empty());
+  EXPECT_TRUE(
+      authority.resolve_name("zz9-1.fna.fbcdn.net", 30).addresses.empty());
+}
+
+TEST_F(DnsTest, FnaHostnamesResolveToTheirServers) {
+  int fb = idx("Facebook");
+  HgAuthority authority(world(), fb);
+  std::size_t t = net::snapshot_count() - 1;
+  std::size_t resolved = 0;
+  std::size_t named = 0;
+  for (const hg::ServerRecord& rec : world().fleet().snapshot_fleet(t)) {
+    if (rec.hg != fb || rec.role != hg::ServerRole::kOffNet) continue;
+    std::string hostname = authority.server_hostname(rec, t);
+    if (hostname.empty()) continue;
+    if (++named > 50) break;
+    auto response = authority.resolve_name(hostname, t);
+    ASSERT_FALSE(response.addresses.empty()) << hostname;
+    // The response addresses live in the server's AS.
+    bool same_as = false;
+    for (const net::Prefix& p : world().topology().as(rec.as).prefixes) {
+      for (net::IPv4 ip : response.addresses) {
+        if (p.contains(ip)) same_as = true;
+      }
+    }
+    EXPECT_TRUE(same_as) << hostname;
+    ++resolved;
+  }
+  EXPECT_GT(resolved, 20u);
+}
+
+TEST_F(DnsTest, EcsMapperRecoversMostOfGooglePreCutoff) {
+  int g = idx("Google");
+  std::size_t t = net::snapshot_index(net::YearMonth(2016, 4)).value();
+  EcsMapper mapper(world(), g);
+  auto baseline = mapper.map_footprint(t);
+  const auto& truth = world().plan().at(t, g).confirmed;
+  ASSERT_FALSE(baseline.empty());
+  auto cmp = compare_footprints(baseline, truth);
+  // The ECS sweep sees most of the real footprint but not all of it
+  // (IP-to-AS gaps), and nothing it finds is spurious.
+  EXPECT_GT(cmp.covered_share(), 0.85);
+  std::unordered_set<topo::AsId> truth_set(truth.begin(), truth.end());
+  std::size_t wrong = 0;
+  for (topo::AsId id : baseline) {
+    if (!truth_set.contains(id)) ++wrong;
+  }
+  EXPECT_LT(static_cast<double>(wrong) / baseline.size(), 0.35);
+  // Post-cutoff, the technique collapses (§1).
+  EXPECT_TRUE(mapper.map_footprint(net::snapshot_count() - 1).empty());
+}
+
+TEST_F(DnsTest, PatternEnumeratorFindsStandardDeployments) {
+  int fb = idx("Facebook");
+  std::size_t t = net::snapshot_count() - 1;
+  PatternEnumerator enumerator(world(), fb);
+  auto baseline = enumerator.map_footprint(t);
+  const auto& truth = world().plan().at(t, fb).confirmed;
+  ASSERT_FALSE(baseline.empty());
+  auto cmp = compare_footprints(baseline, truth);
+  // Finds most deployments but misses the non-standard names (~5%).
+  EXPECT_GT(cmp.covered_share(), 0.80);
+  EXPECT_LT(baseline.size(), truth.size());
+  // No naming convention -> no baseline (Google, §1).
+  PatternEnumerator google(world(), idx("Google"));
+  EXPECT_TRUE(google.map_footprint(t).empty());
+}
+
+TEST_F(DnsTest, PipelineCoversBaselines) {
+  // The §5 headline: the certificate technique uncovers 94-98% of what
+  // the earlier techniques found, plus more.
+  core::LongitudinalRunner runner(world());
+  std::size_t t = net::snapshot_count() - 1;
+  auto result = runner.run_one(t);
+  int fb = idx("Facebook");
+  PatternEnumerator enumerator(world(), fb);
+  auto baseline = enumerator.map_footprint(t);
+  auto cmp = compare_footprints(
+      baseline, analysis::effective_footprint(*result.find("Facebook")));
+  EXPECT_GT(cmp.covered_share(), 0.85);
+  EXPECT_GT(cmp.pipeline_extra(), 0u);
+}
+
+}  // namespace
+}  // namespace offnet::dns

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/known_headers.h"
+#include "hypergiant/fleet.h"
+#include "test_world.h"
+#include "tls/validator.h"
+
+namespace offnet::hg {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  const scan::World& world() { return testing::small_world(); }
+
+  int idx(std::string_view name) {
+    return profile_index(world().profiles(), name);
+  }
+
+  static std::size_t last_snapshot() { return net::snapshot_count() - 1; }
+};
+
+TEST_F(FleetTest, EveryHgRunsOnnets) {
+  auto fleet = world().fleet().snapshot_fleet(0);
+  std::vector<std::size_t> onnet_counts(world().profiles().size(), 0);
+  for (const ServerRecord& rec : fleet) {
+    if (rec.role == ServerRole::kOnNet) ++onnet_counts[rec.hg];
+  }
+  for (std::size_t h = 0; h < world().profiles().size(); ++h) {
+    EXPECT_GT(onnet_counts[h], 0u) << world().profiles()[h].name;
+  }
+}
+
+TEST_F(FleetTest, OnnetServersLiveInOwnAs) {
+  auto fleet = world().fleet().snapshot_fleet(last_snapshot());
+  const auto& orgs = world().topology().orgs();
+  for (const ServerRecord& rec : fleet) {
+    if (rec.role != ServerRole::kOnNet) continue;
+    const auto& profile = world().profiles()[rec.hg];
+    auto org = orgs.find_exact(profile.org_name);
+    ASSERT_TRUE(org.has_value());
+    auto own = orgs.ases_of(*org);
+    EXPECT_NE(std::find(own.begin(), own.end(), rec.as), own.end());
+  }
+}
+
+TEST_F(FleetTest, OffnetServersMatchPlan) {
+  std::size_t t = last_snapshot();
+  auto fleet = world().fleet().snapshot_fleet(t);
+  int g = idx("Google");
+  std::unordered_set<topo::AsId> planned(
+      world().plan().at(t, g).confirmed.begin(),
+      world().plan().at(t, g).confirmed.end());
+  std::unordered_set<topo::AsId> seen;
+  for (const ServerRecord& rec : fleet) {
+    if (rec.hg != g || rec.role != ServerRole::kOffNet) continue;
+    EXPECT_TRUE(planned.contains(rec.as));
+    seen.insert(rec.as);
+  }
+  EXPECT_EQ(seen.size(), planned.size());
+}
+
+TEST_F(FleetTest, OffnetIpsInsideHostPrefixes) {
+  auto fleet = world().fleet().snapshot_fleet(10);
+  for (const ServerRecord& rec : fleet) {
+    bool inside = false;
+    for (const net::Prefix& p : world().topology().as(rec.as).prefixes) {
+      if (p.contains(rec.ip)) inside = true;
+    }
+    EXPECT_TRUE(inside) << rec.ip.to_string();
+  }
+}
+
+TEST_F(FleetTest, StableIpsAcrossSnapshots) {
+  // An AS hosting Google in consecutive snapshots keeps its server IPs.
+  int g = idx("Google");
+  auto fleet_a = world().fleet().snapshot_fleet(20);
+  auto fleet_b = world().fleet().snapshot_fleet(21);
+  auto collect = [&](const std::vector<ServerRecord>& fleet) {
+    std::unordered_map<topo::AsId, std::vector<std::uint32_t>> by_as;
+    for (const ServerRecord& rec : fleet) {
+      if (rec.hg == g && rec.role == ServerRole::kOffNet) {
+        by_as[rec.as].push_back(rec.ip.value());
+      }
+    }
+    for (auto& [as, ips] : by_as) std::sort(ips.begin(), ips.end());
+    return by_as;
+  };
+  auto a = collect(fleet_a);
+  auto b = collect(fleet_b);
+  std::size_t shared_ases = 0;
+  for (const auto& [as, ips] : a) {
+    auto it = b.find(as);
+    if (it == b.end()) continue;
+    ++shared_ases;
+    // Site capacity grows over time, so the earlier snapshot's IPs are a
+    // subset of the later one's.
+    EXPECT_TRUE(std::includes(it->second.begin(), it->second.end(),
+                              ips.begin(), ips.end()))
+        << as;
+  }
+  EXPECT_GT(shared_ases, 10u);
+}
+
+TEST_F(FleetTest, OffnetCertSansCoveredByOnnetSans) {
+  // The §4.3 containment property: every off-net certificate's dNSNames
+  // must appear on some on-net-served certificate of the same HG.
+  std::size_t t = 12;
+  auto fleet = world().fleet().snapshot_fleet(t);
+  std::vector<std::unordered_set<std::string>> onnet_names(
+      world().profiles().size());
+  for (const ServerRecord& rec : fleet) {
+    if (rec.role != ServerRole::kOnNet || rec.https_cert == tls::kNoCert) {
+      continue;
+    }
+    for (const auto& name : world().certs().get(rec.https_cert).dns_names) {
+      onnet_names[rec.hg].insert(name);
+    }
+  }
+  for (const ServerRecord& rec : fleet) {
+    if (rec.role != ServerRole::kOffNet || !rec.https_enabled) continue;
+    for (const auto& name : world().certs().get(rec.https_cert).dns_names) {
+      EXPECT_TRUE(onnet_names[rec.hg].contains(name))
+          << world().profiles()[rec.hg].name << " " << name;
+    }
+  }
+}
+
+TEST_F(FleetTest, NetflixEpisodeWindow) {
+  int nf = idx("Netflix");
+  auto episode_t = net::snapshot_index(net::YearMonth(2018, 4)).value();
+  auto before_t = net::snapshot_index(net::YearMonth(2016, 4)).value();
+  auto after_t = net::snapshot_index(net::YearMonth(2020, 4)).value();
+
+  EXPECT_FALSE(FleetBuilder::in_netflix_episode(net::YearMonth(2017, 1)));
+  EXPECT_TRUE(FleetBuilder::in_netflix_episode(net::YearMonth(2017, 4)));
+  EXPECT_TRUE(FleetBuilder::in_netflix_episode(net::YearMonth(2019, 7)));
+  EXPECT_FALSE(FleetBuilder::in_netflix_episode(net::YearMonth(2019, 10)));
+
+  tls::CertValidator validator(world().certs(), world().roots());
+  auto stats = [&](std::size_t t) {
+    std::size_t expired = 0;
+    std::size_t http_only = 0;
+    std::size_t valid = 0;
+    auto at = FleetBuilder::scan_time(t);
+    for (const ServerRecord& rec : world().fleet().snapshot_fleet(t)) {
+      if (rec.hg != nf || rec.role != ServerRole::kOffNet) continue;
+      if (!rec.https_enabled) {
+        ++http_only;
+      } else if (validator.validate(rec.https_cert, at) ==
+                 tls::CertStatus::kExpired) {
+        ++expired;
+      } else if (validator.validate(rec.https_cert, at) ==
+                 tls::CertStatus::kValid) {
+        ++valid;
+      }
+    }
+    return std::array<std::size_t, 3>{valid, expired, http_only};
+  };
+
+  auto during = stats(episode_t);
+  EXPECT_GT(during[1], 0u);  // expired certs present
+  EXPECT_GT(during[2], 0u);  // HTTP-only servers present
+  EXPECT_GT(during[0], 0u);  // and a valid share remains
+
+  auto before = stats(before_t);
+  EXPECT_EQ(before[2], 0u);  // nobody on HTTP-only before the episode
+  auto after = stats(after_t);
+  EXPECT_EQ(after[1], 0u);  // certificate replaced in Oct 2019
+  EXPECT_EQ(after[2], 0u);
+}
+
+TEST_F(FleetTest, CloudflareCustomers) {
+  std::size_t t = last_snapshot();
+  int cf = idx("Cloudflare");
+  std::size_t dedicated = 0;
+  std::size_t free_certs = 0;
+  for (const ServerRecord& rec : world().fleet().snapshot_fleet(t)) {
+    if (rec.role != ServerRole::kCloudflareCustomer) continue;
+    EXPECT_EQ(rec.hg, cf);
+    const auto& cert = world().certs().get(rec.https_cert);
+    ASSERT_FALSE(cert.dns_names.empty());
+    EXPECT_TRUE(cert.dns_names.front().find("cloudflaressl.com") !=
+                std::string::npos);
+    if (cert.dns_names.size() == 1) {
+      ++dedicated;
+    } else {
+      ++free_certs;  // carries the customer's own domain too
+    }
+  }
+  EXPECT_GT(dedicated, 0u);
+  EXPECT_GT(free_certs, 100u);
+}
+
+TEST_F(FleetTest, ThirdPartyServiceUsesForeignHeaders) {
+  std::size_t t = last_snapshot();
+  int apple = idx("Apple");
+  const auto& catalog = world().catalog();
+  auto apple_known = core::known_fingerprints("Apple");
+  std::size_t service_servers = 0;
+  std::size_t apple_confirmable = 0;
+  for (const ServerRecord& rec : world().fleet().snapshot_fleet(t)) {
+    if (rec.hg != apple || rec.role != ServerRole::kThirdPartyService) {
+      continue;
+    }
+    ++service_servers;
+    const auto& headers = catalog.get_or_empty(rec.https_headers);
+    bool matches_apple = false;
+    for (const auto& fp : apple_known) {
+      if (fp.matches(headers)) matches_apple = true;
+    }
+    // Conflict responses may carry Apple debug headers, but then they
+    // carry the Akamai edge headers too.
+    if (matches_apple) {
+      ++apple_confirmable;
+      bool akamai_edge = false;
+      for (const auto& fp : core::known_fingerprints("Akamai")) {
+        if (fp.matches(headers)) akamai_edge = true;
+      }
+      EXPECT_TRUE(akamai_edge);
+    }
+  }
+  EXPECT_GT(service_servers, 0u);
+}
+
+TEST_F(FleetTest, ServesMaskConsistent) {
+  int ak = idx("Akamai");
+  int apple = idx("Apple");
+  for (const ServerRecord& rec : world().fleet().snapshot_fleet(25)) {
+    if (rec.hg == ak && rec.role == ServerRole::kOffNet) {
+      // Akamai boxes answer for their third-party customers (§5).
+      EXPECT_TRUE(rec.serves_hgs & (1u << ak));
+      EXPECT_TRUE(rec.serves_hgs & (1u << apple));
+    }
+    if (rec.hg == apple && rec.role == ServerRole::kOffNet) {
+      EXPECT_TRUE(rec.serves_hgs & (1u << apple));
+    }
+  }
+}
+
+TEST_F(FleetTest, DeterministicFleet) {
+  auto a = world().fleet().snapshot_fleet(7);
+  auto b = world().fleet().snapshot_fleet(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ip, b[i].ip);
+    EXPECT_EQ(a[i].https_cert, b[i].https_cert);
+    EXPECT_EQ(a[i].https_headers, b[i].https_headers);
+  }
+}
+
+}  // namespace
+}  // namespace offnet::hg

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/rng.h"
+#include "topology/as_graph.h"
+
+namespace offnet::topo {
+namespace {
+
+/// Brute-force reference: cone of `root` by DFS over customer links.
+std::size_t naive_cone(const AsGraph& graph, AsId root,
+                       const std::vector<char>& alive) {
+  std::unordered_set<AsId> seen;
+  std::vector<AsId> stack{root};
+  seen.insert(root);
+  while (!stack.empty()) {
+    AsId here = stack.back();
+    stack.pop_back();
+    for (AsId c : graph.customers(here)) {
+      if (!alive.empty() && !alive[c]) continue;
+      if (seen.insert(c).second) stack.push_back(c);
+    }
+  }
+  return seen.size();
+}
+
+/// Random layered DAGs: links only go from higher layers to lower ones,
+/// guaranteeing acyclicity like the generator does.
+class ConePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConePropertyTest, MatchesNaiveReference) {
+  net::Rng rng(GetParam());
+  AsGraph graph;
+  constexpr int kLayers = 5;
+  constexpr int kPerLayer = 40;
+  std::vector<std::vector<AsId>> layers(kLayers);
+  net::Asn next_asn = 100;
+  for (int layer = 0; layer < kLayers; ++layer) {
+    for (int i = 0; i < kPerLayer; ++i) {
+      layers[layer].push_back(graph.add_as(next_asn++));
+    }
+  }
+  // Each AS below the top layer gets 1-3 providers from any higher layer.
+  for (int layer = 1; layer < kLayers; ++layer) {
+    for (AsId id : layers[layer]) {
+      int providers = 1 + static_cast<int>(rng.index(3));
+      for (int k = 0; k < providers; ++k) {
+        int up = static_cast<int>(rng.index(layer));
+        AsId provider = layers[up][rng.index(layers[up].size())];
+        graph.add_customer_link(provider, id);
+      }
+    }
+  }
+  // Random peers (must not affect cones).
+  for (int k = 0; k < 60; ++k) {
+    AsId a = static_cast<AsId>(rng.index(graph.as_count()));
+    AsId b = static_cast<AsId>(rng.index(graph.as_count()));
+    if (a != b) graph.add_peer_link(a, b);
+  }
+
+  // Random alive mask (80% alive).
+  std::vector<char> alive(graph.as_count(), 1);
+  for (auto& a : alive) a = rng.bernoulli(0.8) ? 1 : 0;
+
+  auto cones_all = graph.customer_cone_sizes();
+  auto cones_masked = graph.customer_cone_sizes(alive);
+  for (AsId id = 0; id < graph.as_count(); ++id) {
+    EXPECT_EQ(cones_all[id], naive_cone(graph, id, {})) << id;
+    if (alive[id]) {
+      EXPECT_EQ(cones_masked[id], naive_cone(graph, id, alive)) << id;
+    }
+  }
+
+  // cone_union(root) size equals the root's cone size.
+  for (int k = 0; k < 10; ++k) {
+    AsId root = static_cast<AsId>(rng.index(graph.as_count()));
+    std::vector<AsId> roots{root};
+    auto mask = graph.cone_union(roots);
+    auto count = static_cast<std::size_t>(
+        std::count(mask.begin(), mask.end(), char(1)));
+    EXPECT_EQ(count, cones_all[root]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConePropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 20210823));
+
+/// Union of cones is monotone and bounded by the sum.
+TEST(ConeUnionTest, UnionProperties) {
+  net::Rng rng(5);
+  AsGraph graph;
+  for (net::Asn a = 1; a <= 200; ++a) graph.add_as(a);
+  for (AsId id = 20; id < 200; ++id) {
+    graph.add_customer_link(static_cast<AsId>(rng.index(20)), id);
+  }
+  auto cones = graph.customer_cone_sizes();
+  std::vector<AsId> one{0};
+  std::vector<AsId> two{0, 1};
+  auto count = [](const std::vector<char>& mask) {
+    return static_cast<std::size_t>(
+        std::count(mask.begin(), mask.end(), char(1)));
+  };
+  auto u1 = count(graph.cone_union(one));
+  auto u2 = count(graph.cone_union(two));
+  EXPECT_GE(u2, u1);
+  EXPECT_LE(u2, cones[0] + cones[1]);
+  EXPECT_GE(u2, std::max<std::size_t>(cones[0], cones[1]));
+}
+
+}  // namespace
+}  // namespace offnet::topo

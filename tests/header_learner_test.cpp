@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/header_learner.h"
+
+namespace offnet::core {
+namespace {
+
+http::HeaderMap gws_response() {
+  http::HeaderMap m;
+  m.add("Content-Type", "text/html");
+  m.add("Cache-Control", "max-age=3600");
+  m.add("Server", "gws");
+  return m;
+}
+
+http::HeaderMap fb_response() {
+  http::HeaderMap m;
+  m.add("Content-Type", "text/html");
+  m.add("Server", "proxygen-bolt");
+  m.add("X-FB-Debug", "a1b2c3");
+  return m;
+}
+
+TEST(HeaderLearnerTest, LearnsDocumentedValuePattern) {
+  HeaderFingerprintLearner learner("Google", "google");
+  for (int i = 0; i < 20; ++i) learner.observe(gws_response());
+  auto fp = learner.learn();
+  ASSERT_FALSE(fp.empty());
+  http::HeaderMap probe;
+  probe.add("Server", "gws");
+  EXPECT_TRUE(fp.matches(probe));
+  http::HeaderMap nginx;
+  nginx.add("Server", "nginx");
+  EXPECT_FALSE(fp.matches(nginx));
+}
+
+TEST(HeaderLearnerTest, LearnsNameOnlyDebugHeader) {
+  HeaderFingerprintLearner learner("Facebook", "facebook");
+  for (int i = 0; i < 20; ++i) learner.observe(fb_response());
+  auto fp = learner.learn();
+  http::HeaderMap probe;
+  probe.add("X-FB-Debug", "completely-different-value");
+  EXPECT_TRUE(fp.matches(probe));  // documented name-only pattern
+}
+
+TEST(HeaderLearnerTest, KeywordInNameSufficesWithoutDocumentation) {
+  HeaderFingerprintLearner learner("Examplecdn", "examplecdn");
+  http::HeaderMap m;
+  m.add("X-Examplecdn-Trace", "t-123");
+  for (int i = 0; i < 5; ++i) learner.observe(m);
+  auto fp = learner.learn();
+  // Both the name-value pair and the name-only candidate qualify.
+  ASSERT_FALSE(fp.patterns.empty());
+  ASSERT_LE(fp.patterns.size(), 2u);
+  for (const auto& pattern : fp.patterns) {
+    EXPECT_EQ(pattern.name, "X-Examplecdn-Trace");
+  }
+}
+
+TEST(HeaderLearnerTest, StandardHeadersNeverBecomeFingerprints) {
+  HeaderFingerprintLearner learner("Google", "google");
+  http::HeaderMap m;
+  m.add("Cache-Control", "google-cache");  // keyword in a standard header
+  m.add("Content-Length", "google");
+  for (int i = 0; i < 50; ++i) learner.observe(m);
+  EXPECT_TRUE(learner.learn().empty());
+}
+
+TEST(HeaderLearnerTest, UnrelatedServersYieldNothing) {
+  HeaderFingerprintLearner learner("Netflix", "netflix");
+  http::HeaderMap nginx;
+  nginx.add("Server", "nginx");
+  nginx.add("Content-Type", "text/html");
+  for (int i = 0; i < 100; ++i) learner.observe(nginx);
+  // The bare nginx banner is not Netflix-identifying; the pipeline's
+  // special rule handles Netflix separately.
+  EXPECT_TRUE(learner.learn().empty());
+  EXPECT_EQ(learner.sample_count(), 100u);
+}
+
+TEST(HeaderLearnerTest, CandidatesRankedByFrequency) {
+  HeaderFingerprintLearner learner("Google", "google");
+  for (int i = 0; i < 10; ++i) learner.observe(gws_response());
+  http::HeaderMap rare;
+  rare.add("Server", "gvs 1.0");
+  learner.observe(rare);
+  auto candidates = learner.candidates();
+  ASSERT_GT(candidates.size(), 1u);
+  EXPECT_GE(candidates[0].count, candidates[1].count);
+  // The rare pair is present but ranked below the frequent ones.
+  bool found_rare = false;
+  for (const auto& c : candidates) {
+    if (c.value == "gvs 1.0") found_rare = true;
+  }
+  EXPECT_TRUE(found_rare);
+}
+
+TEST(HeaderLearnerTest, TopNLimitsCandidates) {
+  HeaderFingerprintLearner learner("Google", "google");
+  for (int i = 0; i < 100; ++i) {
+    http::HeaderMap m;
+    m.add("X-Random-" + std::to_string(i), "v");
+    learner.observe(m);
+  }
+  EXPECT_LE(learner.candidates(10).size(), 20u);  // 10 pairs + 10 names
+}
+
+TEST(HeaderLearnerTest, MixedFleetStillLearns) {
+  // 30% of responses are from a different stack; the frequent Google
+  // pattern must still surface.
+  HeaderFingerprintLearner learner("Google", "google");
+  http::HeaderMap other;
+  other.add("Server", "Apache/2.4");
+  for (int i = 0; i < 70; ++i) learner.observe(gws_response());
+  for (int i = 0; i < 30; ++i) learner.observe(other);
+  auto fp = learner.learn();
+  http::HeaderMap probe;
+  probe.add("Server", "gws");
+  EXPECT_TRUE(fp.matches(probe));
+  // The Apache banner is not classified for Google.
+  http::HeaderMap apache;
+  apache.add("Server", "Apache/2.4");
+  EXPECT_FALSE(fp.matches(apache));
+}
+
+}  // namespace
+}  // namespace offnet::core

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/known_headers.h"
+#include "http/catalog.h"
+#include "http/fingerprint.h"
+#include "http/headers.h"
+
+namespace offnet::http {
+namespace {
+
+TEST(HeaderMapTest, CaseInsensitiveFind) {
+  HeaderMap m;
+  m.add("Content-Type", "text/html");
+  m.add("X-FB-Debug", "abc");
+  ASSERT_NE(m.find("content-type"), nullptr);
+  EXPECT_EQ(*m.find("CONTENT-TYPE"), "text/html");
+  EXPECT_TRUE(m.has("x-fb-debug"));
+  EXPECT_EQ(m.find("X-Missing"), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(HeaderMapTest, FirstValueWins) {
+  HeaderMap m;
+  m.add("Server", "nginx");
+  m.add("Server", "gws");
+  EXPECT_EQ(*m.find("server"), "nginx");
+}
+
+TEST(StandardHeadersTest, Classification) {
+  EXPECT_TRUE(is_standard_header("Cache-Control"));
+  EXPECT_TRUE(is_standard_header("content-length"));
+  EXPECT_TRUE(is_standard_header("Set-Cookie"));
+  EXPECT_FALSE(is_standard_header("Server"));
+  EXPECT_FALSE(is_standard_header("X-FB-Debug"));
+  EXPECT_FALSE(is_standard_header("cf-ray"));
+}
+
+struct FpCase {
+  const char* pattern;
+  const char* name;
+  const char* value;
+  bool matches;
+};
+
+class FingerprintMatchTest : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(FingerprintMatchTest, PaperNotation) {
+  const auto& c = GetParam();
+  auto fp = HeaderFingerprint::parse(c.pattern);
+  HeaderMap m;
+  m.add(c.name, c.value);
+  EXPECT_EQ(fp.matches(m), c.matches)
+      << c.pattern << " vs " << c.name << ":" << c.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, FingerprintMatchTest,
+    ::testing::Values(
+        // Exact name+value ("Server:AkamaiGHost").
+        FpCase{"Server:AkamaiGHost", "Server", "AkamaiGHost", true},
+        FpCase{"Server:AkamaiGHost", "server", "AkamaiGHost", true},
+        FpCase{"Server:AkamaiGHost", "Server", "AkamaiGHostX", false},
+        FpCase{"Server:AkamaiGHost", "Server", "nginx", false},
+        // Name-only ("CF-Request-Id:").
+        FpCase{"CF-Request-Id:", "CF-Request-Id", "0441939", true},
+        FpCase{"CF-Request-Id:", "cf-request-id", "", true},
+        FpCase{"CF-Request-Id:", "CF-Ray", "0441939", false},
+        // Value prefix ("Server:gws*").
+        FpCase{"Server:gws*", "Server", "gws", true},
+        FpCase{"Server:gws*", "Server", "gws/2.1", true},
+        FpCase{"Server:gws*", "Server", "agws", false},
+        FpCase{"Server:tengine*", "Server", "tengine/2.3.2", true},
+        // Name prefix ("X-Netflix.*:").
+        FpCase{"X-Netflix.*:", "X-Netflix.request-id", "abc", true},
+        FpCase{"X-Netflix.*:", "x-netflix.esn", "", true},
+        FpCase{"X-Netflix.*:", "X-Net", "abc", false},
+        FpCase{"X-Served-By:cache-*", "X-Served-By", "cache-lhr123", true},
+        FpCase{"X-Served-By:cache-*", "X-Served-By", "pop-lhr123", false}));
+
+TEST(FingerprintTest, ParseRoundTrip) {
+  for (const char* pattern :
+       {"Server:AkamaiGHost", "CF-Request-Id:", "Server:gws*",
+        "X-Netflix.*:", "X-Served-By:cache-*"}) {
+    auto fp = HeaderFingerprint::parse(pattern);
+    EXPECT_EQ(fp.to_string(), pattern);
+  }
+}
+
+TEST(FingerprintSetTest, AnyPatternMatches) {
+  HeaderFingerprintSet set;
+  set.patterns.push_back(HeaderFingerprint::parse("Server:proxygen*"));
+  set.patterns.push_back(HeaderFingerprint::parse("X-FB-Debug:"));
+  HeaderMap proxygen;
+  proxygen.add("Server", "proxygen-bolt");
+  HeaderMap debug;
+  debug.add("X-FB-Debug", "deadbeef");
+  HeaderMap neither;
+  neither.add("Server", "nginx");
+  EXPECT_TRUE(set.matches(proxygen));
+  EXPECT_TRUE(set.matches(debug));
+  EXPECT_FALSE(set.matches(neither));
+  EXPECT_FALSE(HeaderFingerprintSet{}.matches(proxygen));
+}
+
+TEST(CatalogTest, InterningRoundTrip) {
+  HeaderCatalog catalog;
+  HeaderMap m;
+  m.add("Server", "gws");
+  HeaderSetId id = catalog.add(std::move(m));
+  EXPECT_EQ(*catalog.get(id).find("Server"), "gws");
+  EXPECT_TRUE(catalog.get_or_empty(kNoHeaders).empty());
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(KnownHeadersTest, TableCoversPaperExamples) {
+  // Table 1 rows must be present.
+  auto akamai = core::known_fingerprints("Akamai");
+  ASSERT_FALSE(akamai.empty());
+  HeaderMap ghost;
+  ghost.add("Server", "AkamaiGHost");
+  EXPECT_TRUE(HeaderFingerprintSet{akamai}.matches(ghost));
+
+  auto google = core::known_fingerprints("Google");
+  HeaderMap gws;
+  gws.add("Server", "gws");
+  EXPECT_TRUE(HeaderFingerprintSet{google}.matches(gws));
+
+  EXPECT_TRUE(core::known_fingerprints("Verizon").empty());
+  EXPECT_FALSE(core::known_fingerprints("Cloudflare").empty());
+}
+
+TEST(KnownHeadersTest, NginxRule) {
+  EXPECT_TRUE(core::nginx_default_rule_applies("Netflix"));
+  EXPECT_FALSE(core::nginx_default_rule_applies("Google"));
+  HeaderMap nginx;
+  nginx.add("Content-Type", "text/html");
+  nginx.add("Server", "nginx");
+  EXPECT_TRUE(core::is_default_nginx(nginx));
+  HeaderMap versioned;
+  versioned.add("Server", "nginx/1.18.0");
+  EXPECT_FALSE(core::is_default_nginx(versioned));
+  EXPECT_FALSE(core::is_default_nginx(HeaderMap{}));
+}
+
+}  // namespace
+}  // namespace offnet::http

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "hypergiant/deployment.h"
+#include "net/table.h"
+#include "hypergiant/profile.h"
+#include "test_world.h"
+#include "topology/category.h"
+
+namespace offnet::hg {
+namespace {
+
+using net::YearMonth;
+
+TEST(ProfileTest, TwentyThreeHypergiants) {
+  const auto& profiles = standard_profiles();
+  EXPECT_EQ(profiles.size(), 23u);
+  std::unordered_set<std::string> names;
+  for (const auto& p : profiles) {
+    EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    EXPECT_FALSE(p.keyword.empty());
+    EXPECT_FALSE(p.org_name.empty());
+    EXPECT_FALSE(p.domains.empty()) << p.name;
+    EXPECT_FALSE(p.offnet_ases.empty());
+    EXPECT_FALSE(p.certonly_ases.empty());
+    EXPECT_GE(p.anchor_calibration, 1.0);
+    // The Organization name must contain the search keyword (that is how
+    // the methodology finds the HG).
+    EXPECT_TRUE(net::icontains(p.org_name, p.keyword)) << p.name;
+  }
+}
+
+TEST(ProfileTest, RegionWeightsNormalized) {
+  for (const auto& p : standard_profiles()) {
+    double initial = std::accumulate(p.initial_region_weights.begin(),
+                                     p.initial_region_weights.end(), 0.0);
+    double late = std::accumulate(p.late_region_weights.begin(),
+                                  p.late_region_weights.end(), 0.0);
+    EXPECT_NEAR(initial, 1.0, 0.05) << p.name;
+    EXPECT_NEAR(late, 1.0, 0.05) << p.name;
+  }
+}
+
+TEST(ProfileTest, Table3Anchors) {
+  const auto& profiles = standard_profiles();
+  auto anchor_at = [&](std::string_view name, YearMonth when) {
+    int idx = profile_index(profiles, name);
+    EXPECT_GE(idx, 0) << name;
+    return anchor_value(profiles[idx].offnet_ases, when);
+  };
+  // Table 3 endpoints.
+  EXPECT_EQ(anchor_at("Google", YearMonth(2013, 10)), 1044);
+  EXPECT_EQ(anchor_at("Google", YearMonth(2021, 4)), 3810);
+  EXPECT_EQ(anchor_at("Facebook", YearMonth(2013, 10)), 0);
+  EXPECT_EQ(anchor_at("Facebook", YearMonth(2021, 4)), 2214);
+  EXPECT_EQ(anchor_at("Netflix", YearMonth(2021, 4)), 2115);
+  EXPECT_EQ(anchor_at("Akamai", YearMonth(2013, 10)), 978);
+  EXPECT_EQ(anchor_at("Akamai", YearMonth(2018, 4)), 1463);  // the max
+  EXPECT_EQ(anchor_at("Akamai", YearMonth(2021, 4)), 1094);
+  EXPECT_EQ(anchor_at("Apple", YearMonth(2021, 4)), 0);
+  EXPECT_EQ(anchor_at("Twitter", YearMonth(2021, 4)), 4);
+  EXPECT_EQ(anchor_at("Microsoft", YearMonth(2021, 4)), 0);
+}
+
+TEST(ProfileTest, AnchorInterpolation) {
+  Anchors anchors = {{YearMonth(2014, 1), 100.0}, {YearMonth(2014, 7), 400.0}};
+  EXPECT_EQ(anchor_value(anchors, YearMonth(2013, 1)), 100.0);  // clamp left
+  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 1)), 100.0);
+  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 4)), 250.0);  // midpoint
+  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 7)), 400.0);
+  EXPECT_EQ(anchor_value(anchors, YearMonth(2020, 1)), 400.0);  // clamp right
+}
+
+TEST(ProfileTest, Top4Indices) {
+  const auto& profiles = standard_profiles();
+  auto top4 = top4_indices(profiles);
+  ASSERT_EQ(top4.size(), 4u);
+  EXPECT_EQ(profiles[top4[0]].name, "Google");
+  EXPECT_EQ(profiles[top4[1]].name, "Netflix");
+  EXPECT_EQ(profiles[top4[2]].name, "Facebook");
+  EXPECT_EQ(profiles[top4[3]].name, "Akamai");
+}
+
+TEST(ProfileTest, QuirkFlags) {
+  const auto& profiles = standard_profiles();
+  EXPECT_TRUE(profiles[profile_index(profiles, "Cloudflare")].is_cert_issuer);
+  EXPECT_TRUE(profiles[profile_index(profiles, "Akamai")].serves_other_hgs);
+  EXPECT_TRUE(profiles[profile_index(profiles, "Apple")].third_party_served);
+  EXPECT_TRUE(
+      profiles[profile_index(profiles, "Netflix")].netflix_cert_episode);
+  EXPECT_TRUE(
+      profiles[profile_index(profiles, "Netflix")].nginx_default_offnets);
+  EXPECT_TRUE(profiles[profile_index(profiles, "Hulu")].login_only_headers);
+  EXPECT_TRUE(profiles[profile_index(profiles, "Alibaba")].asia_only_hardware);
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  const scan::World& world() { return testing::small_world(); }
+};
+
+TEST_F(PlanTest, FootprintsTrackAnchors) {
+  const auto& world = this->world();
+  const auto& plan = world.plan();
+  const double scale = world.config().topology_scale;
+  auto snaps = net::study_snapshots();
+  for (std::size_t h = 0; h < world.profiles().size(); ++h) {
+    const HgProfile& p = world.profiles()[h];
+    for (std::size_t t : {std::size_t{0}, snaps.size() / 2, snaps.size() - 1}) {
+      double target = anchor_value(p.offnet_ases, snaps[t]) *
+                      p.anchor_calibration;
+      double got = static_cast<double>(plan.at(t, h).confirmed.size());
+      // Note: World pre-scales profile anchors, so `p` is already scaled.
+      (void)scale;
+      EXPECT_NEAR(got, target, std::max(3.0, target * 0.05))
+          << p.name << " @ " << snaps[t].to_string();
+    }
+  }
+}
+
+TEST_F(PlanTest, ConfirmedAndCertOnlyDisjoint) {
+  const auto& world = this->world();
+  const auto& plan = world.plan();
+  for (std::size_t t : {std::size_t{0}, std::size_t{15}, std::size_t{30}}) {
+    for (std::size_t h = 0; h < plan.hg_count(); ++h) {
+      const HgDeployment& d = plan.at(t, h);
+      std::unordered_set<topo::AsId> confirmed(d.confirmed.begin(),
+                                               d.confirmed.end());
+      EXPECT_EQ(confirmed.size(), d.confirmed.size());  // no duplicates
+      for (topo::AsId id : d.cert_only) {
+        EXPECT_FALSE(confirmed.contains(id));
+      }
+      EXPECT_TRUE(std::is_sorted(d.confirmed.begin(), d.confirmed.end()));
+      EXPECT_TRUE(std::is_sorted(d.cert_only.begin(), d.cert_only.end()));
+    }
+  }
+}
+
+TEST_F(PlanTest, NoHypergiantHostsAnother) {
+  const auto& world = this->world();
+  const auto& plan = world.plan();
+  std::unordered_set<topo::AsId> hg_owned;
+  for (const HgProfile& p : world.profiles()) {
+    if (auto org = world.topology().orgs().find_exact(p.org_name)) {
+      for (topo::AsId id : world.topology().orgs().ases_of(*org)) {
+        hg_owned.insert(id);
+      }
+    }
+  }
+  ASSERT_FALSE(hg_owned.empty());
+  for (std::size_t h = 0; h < plan.hg_count(); ++h) {
+    for (topo::AsId id : plan.at(plan.snapshot_count() - 1, h).confirmed) {
+      EXPECT_FALSE(hg_owned.contains(id));
+    }
+  }
+}
+
+TEST_F(PlanTest, HostsAreAlive) {
+  const auto& world = this->world();
+  const auto& plan = world.plan();
+  for (std::size_t t : {std::size_t{0}, std::size_t{10}}) {
+    const auto& alive = world.topology().alive_mask(t);
+    for (std::size_t h = 0; h < plan.hg_count(); ++h) {
+      for (topo::AsId id : plan.at(t, h).confirmed) {
+        EXPECT_TRUE(alive[id]);
+      }
+    }
+  }
+}
+
+TEST_F(PlanTest, AkamaiShrinksAfterPeak) {
+  const auto& world = this->world();
+  int ak = profile_index(world.profiles(), "Akamai");
+  ASSERT_GE(ak, 0);
+  auto peak_idx = net::snapshot_index(YearMonth(2018, 4)).value();
+  std::size_t peak = world.plan().at(peak_idx, ak).confirmed.size();
+  std::size_t start = world.plan().at(0, ak).confirmed.size();
+  std::size_t end =
+      world.plan().at(net::snapshot_count() - 1, ak).confirmed.size();
+  EXPECT_GT(peak, start);
+  EXPECT_GT(peak, end);
+}
+
+TEST_F(PlanTest, FootprintMostlySticky) {
+  // Hosts rarely disappear snapshot-over-snapshot (small churn only).
+  const auto& world = this->world();
+  int g = profile_index(world.profiles(), "Google");
+  for (std::size_t t = 1; t < 10; ++t) {
+    const auto& prev = world.plan().at(t - 1, g).confirmed;
+    const auto& next = world.plan().at(t, g).confirmed;
+    std::vector<topo::AsId> kept;
+    std::set_intersection(prev.begin(), prev.end(), next.begin(), next.end(),
+                          std::back_inserter(kept));
+    EXPECT_GT(kept.size(), prev.size() * 0.95);
+  }
+}
+
+TEST_F(PlanTest, ThirdPartyServiceRidesAkamai) {
+  const auto& world = this->world();
+  int apple = profile_index(world.profiles(), "Apple");
+  int ak = profile_index(world.profiles(), "Akamai");
+  std::size_t t = net::snapshot_count() - 1;
+  const auto& apple_service = world.plan().at(t, apple).cert_only;
+  const auto& akamai_hosts = world.plan().at(t, ak).confirmed;
+  ASSERT_FALSE(apple_service.empty());
+  std::vector<topo::AsId> inside;
+  std::set_intersection(apple_service.begin(), apple_service.end(),
+                        akamai_hosts.begin(), akamai_hosts.end(),
+                        std::back_inserter(inside));
+  // Mostly inside the CDN's host set (placements persist even after the
+  // CDN later leaves an AS, so this is not exact; random placement would
+  // land <2% inside).
+  EXPECT_GT(inside.size(), apple_service.size() * 0.4);
+  EXPECT_GE(inside.size(), 1u);
+}
+
+TEST_F(PlanTest, ConfirmedMaskMatchesList) {
+  const auto& world = this->world();
+  int g = profile_index(world.profiles(), "Google");
+  auto mask = world.plan().confirmed_mask(5, g);
+  const auto& list = world.plan().at(5, g).confirmed;
+  std::size_t set_bits = std::count(mask.begin(), mask.end(), char(1));
+  EXPECT_EQ(set_bits, list.size());
+  for (topo::AsId id : list) EXPECT_TRUE(mask[id]);
+}
+
+}  // namespace
+}  // namespace offnet::hg

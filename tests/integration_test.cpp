@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cohosting.h"
+#include "core/longitudinal.h"
+#include "test_world.h"
+
+namespace offnet {
+namespace {
+
+/// Full longitudinal run over the shared small world; shapes of the
+/// paper's headline results must hold end to end.
+class LongitudinalIntegrationTest : public ::testing::Test {
+ protected:
+  static const std::vector<core::SnapshotResult>& results() {
+    static const std::vector<core::SnapshotResult> all = [] {
+      core::LongitudinalRunner runner(testing::small_world());
+      return runner.run();
+    }();
+    return all;
+  }
+
+  static std::vector<std::size_t> series(std::string_view hg,
+                                         bool envelope = false) {
+    std::vector<std::size_t> out;
+    for (const auto& result : results()) {
+      const core::HgFootprint* fp = result.find(hg);
+      out.push_back(envelope
+                        ? analysis::effective_footprint(*fp).size()
+                        : fp->confirmed_or_ases.size());
+    }
+    return out;
+  }
+};
+
+TEST_F(LongitudinalIntegrationTest, AllSnapshotsPresent) {
+  EXPECT_EQ(results().size(), net::snapshot_count());
+  for (std::size_t t = 0; t < results().size(); ++t) {
+    EXPECT_EQ(results()[t].snapshot, t);
+  }
+}
+
+TEST_F(LongitudinalIntegrationTest, GoogleGrowsMonotonically) {
+  auto google = series("Google");
+  // Headline: the footprint roughly triples over the study.
+  EXPECT_GT(google.back(), google.front() * 2.5);
+  // Mostly monotone growth (tolerate small measurement jitter).
+  std::size_t drops = 0;
+  for (std::size_t t = 1; t < google.size(); ++t) {
+    if (google[t] + google[t - 1] / 20 < google[t - 1]) ++drops;
+  }
+  EXPECT_LE(drops, 2u);
+}
+
+TEST_F(LongitudinalIntegrationTest, FacebookLaunchesSummer2016) {
+  auto facebook = series("Facebook");
+  auto launch = net::snapshot_index(net::YearMonth(2016, 7)).value();
+  for (std::size_t t = 0; t < launch; ++t) {
+    EXPECT_EQ(facebook[t], 0u) << t;
+  }
+  EXPECT_GT(facebook.back(), 0u);
+  EXPECT_GT(facebook.back(), facebook[launch + 2] * 2);
+}
+
+TEST_F(LongitudinalIntegrationTest, AkamaiPeaksThenShrinks) {
+  auto akamai = series("Akamai");
+  auto peak_t = net::snapshot_index(net::YearMonth(2018, 4)).value();
+  std::size_t peak = *std::max_element(akamai.begin(), akamai.end());
+  std::size_t peak_at = std::max_element(akamai.begin(), akamai.end()) -
+                        akamai.begin();
+  EXPECT_NEAR(static_cast<double>(peak_at), static_cast<double>(peak_t), 4.0);
+  EXPECT_LT(akamai.back(), peak * 0.85);
+  EXPECT_GT(akamai.back(), akamai.front());
+}
+
+TEST_F(LongitudinalIntegrationTest, NetflixEpisodeDipAndRecovery) {
+  auto initial = series("Netflix");
+  auto envelope = series("Netflix", /*envelope=*/true);
+  auto start = net::snapshot_index(net::YearMonth(2017, 4)).value();
+  auto end = net::snapshot_index(net::YearMonth(2019, 10)).value();
+  // During the episode, the plain measurement dips well below the
+  // envelope; outside it they coincide.
+  for (std::size_t t = start; t < end; ++t) {
+    EXPECT_LT(initial[t], envelope[t] * 0.75) << t;
+  }
+  for (std::size_t t = 0; t < start; ++t) {
+    EXPECT_EQ(initial[t], envelope[t]) << t;
+  }
+  // Post-recovery jump.
+  EXPECT_GT(initial[end], initial[end - 1] * 1.4);
+  // The envelope keeps growing through the episode.
+  EXPECT_GT(envelope[end - 1], envelope[start] * 1.2);
+}
+
+TEST_F(LongitudinalIntegrationTest, UnionTriples) {
+  // Abstract headline: #ASes hosting HG off-nets has tripled.
+  analysis::CohostingAnalysis cohosting(testing::small_world().topology(),
+                                        results());
+  auto first = cohosting.snapshot_distribution(0);
+  auto last = cohosting.snapshot_distribution(results().size() - 1);
+  EXPECT_GT(last.total_top4, first.total_top4 * 2.4);
+  // Co-hosting rises: in 2013 <40% of hosts run 2+, by 2021 >55%.
+  double early_multi =
+      1.0 - static_cast<double>(first.hosted_n[1]) / first.total_top4;
+  double late_multi =
+      1.0 - static_cast<double>(last.hosted_n[1]) / last.total_top4;
+  EXPECT_LT(early_multi, 0.45);
+  EXPECT_GT(late_multi, 0.55);
+  EXPECT_GT(last.top4_share, 0.93);
+}
+
+TEST_F(LongitudinalIntegrationTest, CandidatesAlwaysCoverConfirmed) {
+  for (const auto& result : results()) {
+    for (const auto& fp : result.per_hg) {
+      EXPECT_GE(fp.candidate_ases.size(), fp.confirmed_or_ases.size());
+    }
+  }
+}
+
+TEST_F(LongitudinalIntegrationTest, CorpusStatsTrackFigure2) {
+  const auto& first = results().front().stats;
+  const auto& last = results().back().stats;
+  EXPECT_GT(last.total_records, first.total_records * 2);
+  // The share of HG-related IPs stays small but grows.
+  double share_first =
+      static_cast<double>(first.hg_cert_ips_onnet +
+                          first.hg_cert_ips_offnet) /
+      first.total_records;
+  double share_last =
+      static_cast<double>(last.hg_cert_ips_onnet + last.hg_cert_ips_offnet) /
+      last.total_records;
+  EXPECT_LT(share_last, 0.6);
+  EXPECT_GT(share_last, share_first);
+}
+
+TEST(DeterminismTest, SameSeedSameResults) {
+  scan::WorldConfig config;
+  config.topology_scale = 0.02;
+  config.background_scale = 0.0005;
+  scan::World a(config);
+  scan::World b(config);
+  core::LongitudinalRunner ra(a);
+  core::LongitudinalRunner rb(b);
+  auto res_a = ra.run_one(20);
+  auto res_b = rb.run_one(20);
+  ASSERT_EQ(res_a.per_hg.size(), res_b.per_hg.size());
+  for (std::size_t h = 0; h < res_a.per_hg.size(); ++h) {
+    EXPECT_EQ(res_a.per_hg[h].confirmed_or_ases,
+              res_b.per_hg[h].confirmed_or_ases);
+  }
+  EXPECT_EQ(res_a.stats.total_records, res_b.stats.total_records);
+}
+
+TEST(DeterminismTest, DifferentSeedDifferentWorld) {
+  scan::WorldConfig config;
+  config.topology_scale = 0.02;
+  config.background_scale = 0.0005;
+  scan::World a(config);
+  config.seed = 424242;
+  scan::World b(config);
+  core::LongitudinalRunner ra(a);
+  core::LongitudinalRunner rb(b);
+  auto res_a = ra.run_one(20);
+  auto res_b = rb.run_one(20);
+  EXPECT_NE(res_a.stats.total_records, res_b.stats.total_records);
+}
+
+}  // namespace
+}  // namespace offnet

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "test_world.h"
+
+namespace offnet::io {
+namespace {
+
+/// Export a simulated snapshot to the on-disk formats, load it back, and
+/// verify the pipeline produces the same footprints either way.
+TEST(IoRoundTripTest, PipelineEquivalence) {
+  const scan::World& world = testing::tiny_world();
+  std::size_t t = net::snapshot_count() - 1;
+  scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+
+  std::ostringstream rel, org, pfx, certs, hosts, headers;
+  export_dataset(world, snapshot,
+                 ExportStreams{rel, org, pfx, certs, hosts, headers});
+
+  std::istringstream rel_in(rel.str());
+  std::istringstream org_in(org.str());
+  std::istringstream pfx_in(pfx.str());
+  std::istringstream certs_in(certs.str());
+  std::istringstream hosts_in(hosts.str());
+  Dataset dataset = load_dataset(rel_in, org_in, pfx_in, certs_in, hosts_in,
+                                 net::study_snapshots()[t]);
+  std::istringstream headers_in(headers.str());
+  dataset.add_headers(headers_in);
+
+  EXPECT_EQ(dataset.snapshot().certs().size(), snapshot.certs().size());
+
+  core::OffnetPipeline direct(world.topology(), world.ip2as(), world.certs(),
+                              world.roots());
+  core::OffnetPipeline loaded(dataset.topology(), dataset.ip2as(),
+                              dataset.certs(), dataset.roots());
+  auto direct_result = direct.run(snapshot);
+  auto loaded_result = loaded.run(dataset.snapshot());
+
+  ASSERT_EQ(direct_result.per_hg.size(), loaded_result.per_hg.size());
+  for (std::size_t h = 0; h < direct_result.per_hg.size(); ++h) {
+    const auto& a = direct_result.per_hg[h];
+    const auto& b = loaded_result.per_hg[h];
+    SCOPED_TRACE(a.name);
+    EXPECT_EQ(a.onnet_ips, b.onnet_ips);
+    EXPECT_EQ(a.candidate_ips, b.candidate_ips);
+    EXPECT_EQ(a.confirmed_ips, b.confirmed_ips);
+    // AsIds differ between the two topologies; compare ASNs.
+    auto asns = [](const topo::Topology& topology,
+                   const std::vector<topo::AsId>& ids) {
+      std::vector<net::Asn> out;
+      for (topo::AsId id : ids) out.push_back(topology.as(id).asn);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(asns(world.topology(), a.candidate_ases),
+              asns(dataset.topology(), b.candidate_ases));
+    EXPECT_EQ(asns(world.topology(), a.confirmed_or_ases),
+              asns(dataset.topology(), b.confirmed_or_ases));
+  }
+  EXPECT_EQ(direct_result.stats.valid_cert_ips,
+            loaded_result.stats.valid_cert_ips);
+  EXPECT_EQ(direct_result.stats.invalid_cert_ips,
+            loaded_result.stats.invalid_cert_ips);
+}
+
+TEST(IoRoundTripTest, ExportFormatsParse) {
+  const scan::World& world = testing::tiny_world();
+  scan::ScanSnapshot snapshot = world.scan(5, scan::ScannerKind::kRapid7);
+  std::ostringstream rel, org, pfx, certs, hosts, headers;
+  export_dataset(world, snapshot,
+                 ExportStreams{rel, org, pfx, certs, hosts, headers});
+
+  std::istringstream rel_in(rel.str());
+  auto graph = load_as_relationships(rel_in);
+  EXPECT_EQ(graph.graph.as_count(), world.topology().as_count());
+
+  std::istringstream pfx_in(pfx.str());
+  auto map = load_prefix2as(pfx_in);
+  EXPECT_EQ(map.prefix_count(), world.ip2as().at(5).prefix_count());
+}
+
+}  // namespace
+}  // namespace offnet::io

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "io/loaders.h"
+
+namespace offnet::io {
+namespace {
+
+constexpr const char* kRelationships = R"(# CAIDA serial-1
+# provider|customer|-1  peer|peer|0
+100|200|-1
+100|300|-1
+200|400|-1
+200|500|-1
+300|500|-1
+100|101|0
+101|600|-1
+)";
+
+constexpr const char* kOrganizations = R"(# org_id|name then asn|org_id
+ORG-G|Google LLC
+ORG-T|Tier One Transit
+ORG-I|Island ISP
+100|ORG-T
+101|ORG-T
+200|ORG-I
+300|ORG-I
+400|ORG-I
+500|ORG-I
+600|ORG-G
+)";
+
+constexpr const char* kPrefix2As =
+    "1.0.0.0\t20\t200\n"
+    "1.0.16.0\t20\t400\n"
+    "1.0.32.0\t20\t500\n"
+    "1.0.48.0\t20\t600\n"
+    "1.0.64.0\t20\t200_300\n";
+
+constexpr const char* kCertificates =
+    "c-google\tGoogle LLC\t2019-01-01\t2022-01-01\ttrusted\t"
+    "*.google.com,*.googlevideo.com\n"
+    "c-mimic\tGoogle LLC\t2019-01-01\t2022-01-01\ttrusted\twww.mimic.example\n"
+    "c-self\tSelf Org\t2019-01-01\t2022-01-01\tself-signed\tself.example\n"
+    "c-expired\tOld Org\t2012-01-01\t2014-01-01\ttrusted\told.example\n"
+    "c-other\tIsland ISP\t2019-01-01\t2022-01-01\ttrusted\twww.island.example\n";
+
+constexpr const char* kHosts =
+    "1.0.48.10\tc-google\n"   // on-net (AS600 = Google LLC)
+    "1.0.0.10\tc-google\n"    // off-net candidate in AS200
+    "1.0.16.10\tc-mimic\n"    // mimic: filtered by containment rule
+    "1.0.32.10\tc-self\n"     // invalid
+    "1.0.32.11\tc-expired\n"  // invalid
+    "1.0.64.10\tc-other\n";   // unrelated
+
+constexpr const char* kHeaders =
+    "1.0.48.10\t443\tServer: gws|Content-Type: text/html\n"
+    "1.0.0.10\t443\tServer: gws|Cache-Control: max-age=60\n"
+    "1.0.16.10\t443\tServer: nginx\n";
+
+Dataset load_all() {
+  std::istringstream rel(kRelationships);
+  std::istringstream org(kOrganizations);
+  std::istringstream pfx(kPrefix2As);
+  std::istringstream certs(kCertificates);
+  std::istringstream hosts(kHosts);
+  Dataset dataset = load_dataset(rel, org, pfx, certs, hosts,
+                                 net::YearMonth(2019, 10));
+  std::istringstream headers(kHeaders);
+  dataset.add_headers(headers);
+  return dataset;
+}
+
+TEST(IoTest, LoadsRelationships) {
+  std::istringstream in(kRelationships);
+  RelationshipData data = load_as_relationships(in);
+  EXPECT_EQ(data.graph.as_count(), 7u);
+  auto cones = data.graph.customer_cone_sizes();
+  // AS100's cone: itself + 200,300,400,500 (peer 101 excluded).
+  topo::AsId id_100 = 0;  // first interned
+  EXPECT_EQ(data.asns[id_100], 100u);
+  EXPECT_EQ(cones[id_100], 5u);
+}
+
+TEST(IoTest, RejectsMalformedRelationships) {
+  std::istringstream bad1("100|200|7\n");
+  EXPECT_THROW(load_as_relationships(bad1), LoadError);
+  std::istringstream bad2("100|100|-1\n");
+  EXPECT_THROW(load_as_relationships(bad2), LoadError);
+  std::istringstream bad3("abc|200|-1\n");
+  EXPECT_THROW(load_as_relationships(bad3), LoadError);
+  std::istringstream bad4("100|200\n");
+  EXPECT_THROW(load_as_relationships(bad4), LoadError);
+}
+
+TEST(IoTest, LoadsTopologyWithOrgs) {
+  std::istringstream rel(kRelationships);
+  std::istringstream org(kOrganizations);
+  topo::Topology topology = load_topology(rel, org);
+  auto google = topology.orgs().find_exact("Google LLC");
+  ASSERT_TRUE(google.has_value());
+  auto google_ases = topology.orgs().ases_of(*google);
+  ASSERT_EQ(google_ases.size(), 1u);
+  EXPECT_EQ(topology.as(google_ases[0]).asn, 600u);
+  EXPECT_TRUE(topology.find_asn(500).has_value());
+}
+
+TEST(IoTest, RejectsUnknownOrgAssignment) {
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org("100|ORG-MISSING\n");
+  EXPECT_THROW(load_topology(rel, org), LoadError);
+}
+
+TEST(IoTest, LoadsPrefix2AsWithMoas) {
+  std::istringstream in(kPrefix2As);
+  bgp::Ip2AsMap map = load_prefix2as(in);
+  EXPECT_EQ(map.prefix_count(), 5u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.16.5")), 400u);
+  auto moas = map.lookup(*net::IPv4::parse("1.0.64.9"));
+  ASSERT_EQ(moas.size(), 2u);
+  EXPECT_EQ(map.lookup(*net::IPv4::parse("9.9.9.9")).size(), 0u);
+}
+
+TEST(IoTest, RejectsMalformedPrefix2As) {
+  std::istringstream bad1("1.0.0.0\t40\t100\n");
+  EXPECT_THROW(load_prefix2as(bad1), LoadError);
+  std::istringstream bad2("1.0.0\t20\t100\n");
+  EXPECT_THROW(load_prefix2as(bad2), LoadError);
+  std::istringstream bad3("1.0.0.0 20 100\n");
+  EXPECT_THROW(load_prefix2as(bad3), LoadError);
+}
+
+TEST(IoTest, RejectsBadCertificates) {
+  auto try_load = [](const char* certs_text) {
+    std::istringstream rel("100|200|-1\n");
+    std::istringstream org("ORG-X|X\n100|ORG-X\n");
+    std::istringstream pfx("1.0.0.0\t20\t100\n");
+    std::istringstream certs(certs_text);
+    std::istringstream hosts("");
+    return load_dataset(rel, org, pfx, certs, hosts,
+                        net::YearMonth(2019, 10));
+  };
+  EXPECT_THROW(
+      try_load("c1\tOrg\t2019-01-01\t2018-01-01\ttrusted\ta.example\n"),
+      LoadError);
+  EXPECT_THROW(
+      try_load("c1\tOrg\t2019-01-01\t2020-01-01\tbogus\ta.example\n"),
+      LoadError);
+  EXPECT_THROW(
+      try_load("c1\tOrg\t2019-13-01\t2020-01-01\ttrusted\ta.example\n"),
+      LoadError);
+  EXPECT_THROW(try_load("c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\ta\n"
+                        "c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\tb\n"),
+               LoadError);
+}
+
+TEST(IoTest, RejectsHostWithUnknownCert) {
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org("ORG-X|X\n100|ORG-X\n");
+  std::istringstream pfx("1.0.0.0\t20\t100\n");
+  std::istringstream certs("");
+  std::istringstream hosts("1.0.0.1\tmissing\n");
+  EXPECT_THROW(load_dataset(rel, org, pfx, certs, hosts,
+                            net::YearMonth(2019, 10)),
+               LoadError);
+}
+
+TEST(IoTest, EndToEndPipelineOnLoadedData) {
+  Dataset dataset = load_all();
+  EXPECT_EQ(dataset.snapshot().certs().size(), 6u);
+  EXPECT_TRUE(dataset.snapshot().has_https_headers());
+
+  core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                                dataset.certs(), dataset.roots());
+  auto result = pipeline.run(dataset.snapshot());
+
+  const core::HgFootprint* google = result.find("Google");
+  ASSERT_NE(google, nullptr);
+  // One on-net IP learned the fingerprint; the AS200 copy is the only
+  // candidate (the mimic's SAN is not in the on-net set); headers (gws)
+  // confirm it.
+  EXPECT_EQ(google->onnet_ips, 1u);
+  EXPECT_EQ(google->candidate_ips, 1u);
+  ASSERT_EQ(google->candidate_ases.size(), 1u);
+  EXPECT_EQ(dataset.topology().as(google->candidate_ases[0]).asn, 200u);
+  EXPECT_EQ(google->confirmed_or_ases.size(), 1u);
+  // Invalid certificates counted.
+  EXPECT_EQ(result.stats.invalid_cert_ips, 2u);
+}
+
+}  // namespace
+}  // namespace offnet::io

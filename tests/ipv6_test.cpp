@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv6.h"
+#include "scan/world.h"
+#include "test_world.h"
+
+namespace offnet::net {
+namespace {
+
+struct V6ParseCase {
+  const char* text;
+  bool ok;
+  const char* canonical;  // expected to_string round trip
+};
+
+class Ipv6ParseTest : public ::testing::TestWithParam<V6ParseCase> {};
+
+TEST_P(Ipv6ParseTest, Parse) {
+  const auto& c = GetParam();
+  auto parsed = IPv6::parse(c.text);
+  ASSERT_EQ(parsed.has_value(), c.ok) << c.text;
+  if (c.ok) {
+    EXPECT_EQ(parsed->to_string(), c.canonical) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ipv6ParseTest,
+    ::testing::Values(
+        V6ParseCase{"::", true, "::"},
+        V6ParseCase{"::1", true, "::1"},
+        V6ParseCase{"2001:db8::1", true, "2001:db8::1"},
+        V6ParseCase{"2001:0db8:0000:0000:0000:0000:0000:0001", true,
+                    "2001:db8::1"},
+        V6ParseCase{"fe80::", true, "fe80::"},
+        V6ParseCase{"2001:db8:1:2:3:4:5:6", true, "2001:db8:1:2:3:4:5:6"},
+        V6ParseCase{"::ffff:192.0.2.1", true, "::ffff:c000:201"},
+        V6ParseCase{"2001:db8::0:0:1", true, "2001:db8::1"},
+        V6ParseCase{"1:2:3:4:5:6:7:8:9", false, ""},
+        V6ParseCase{"2001:db8:::1", false, ""},
+        V6ParseCase{"2001::db8::1", false, ""},
+        V6ParseCase{"12345::", false, ""},
+        V6ParseCase{"gggg::", false, ""},
+        V6ParseCase{"1:2:3:4:5:6:7", false, ""}));
+
+TEST(Ipv6Test, GroupsAndBits) {
+  auto ip = *IPv6::parse("2001:db8::1");
+  EXPECT_EQ(ip.group(0), 0x2001);
+  EXPECT_EQ(ip.group(1), 0x0db8);
+  EXPECT_EQ(ip.group(7), 0x0001);
+  EXPECT_TRUE(ip.bit(2));    // 0x2001 = 0010 0000 ...
+  EXPECT_FALSE(ip.bit(0));
+  EXPECT_TRUE(ip.bit(127));  // final ...0001
+}
+
+TEST(Ipv6Test, Ordering) {
+  EXPECT_LT(*IPv6::parse("::1"), *IPv6::parse("::2"));
+  EXPECT_LT(*IPv6::parse("::ffff"), *IPv6::parse("1::"));
+  EXPECT_EQ(*IPv6::parse("2001:db8::"), *IPv6::parse("2001:0DB8::"));
+}
+
+TEST(Prefix6Test, MaskingAndContains) {
+  auto p = *Prefix6::parse("2001:db8:abcd::/48");
+  EXPECT_EQ(p.to_string(), "2001:db8:abcd::/48");
+  EXPECT_TRUE(p.contains(*IPv6::parse("2001:db8:abcd:1::5")));
+  EXPECT_FALSE(p.contains(*IPv6::parse("2001:db8:abce::5")));
+  // Base is masked.
+  Prefix6 masked(*IPv6::parse("2001:db8:abcd:ffff::1"), 48);
+  EXPECT_EQ(masked, p);
+  // Lengths beyond 64 bits.
+  auto deep = *Prefix6::parse("2001:db8::ff00:0/120");
+  EXPECT_TRUE(deep.contains(*IPv6::parse("2001:db8::ff00:7f")));
+  EXPECT_FALSE(deep.contains(*IPv6::parse("2001:db8::ff01:0")));
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/129").has_value());
+}
+
+TEST(Ipv6TableTest, LongestMatch) {
+  Ipv6Table<int> table;
+  table.insert(*Prefix6::parse("2001:db8::/32"), 1);
+  table.insert(*Prefix6::parse("2001:db8:aaaa::/48"), 2);
+  table.insert(*Prefix6::parse("2400::/12"), 3);
+  EXPECT_EQ(*table.longest_match(*IPv6::parse("2001:db8:aaaa::1")), 2);
+  EXPECT_EQ(*table.longest_match(*IPv6::parse("2001:db8:bbbb::1")), 1);
+  EXPECT_EQ(*table.longest_match(*IPv6::parse("2400:cb00::1")), 3);
+  EXPECT_EQ(table.longest_match(*IPv6::parse("fe80::1")), nullptr);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(Ipv6OnlyOperatorsTest, InvisibleToIpv4Scans) {
+  const scan::World& world = testing::small_world();
+  std::size_t ipv6_only = 0;
+  for (topo::AsId id = 0; id < world.topology().as_count(); ++id) {
+    if (world.topology().as(id).ipv6_only) ++ipv6_only;
+  }
+  EXPECT_GT(ipv6_only, 0u);
+  // None of their servers show up in any scan.
+  auto snap = world.scan(net::snapshot_count() - 1,
+                         scan::ScannerKind::kRapid7);
+  const auto& map = world.ip2as().at(net::snapshot_count() - 1);
+  for (const auto& rec : snap.certs()) {
+    for (net::Asn asn : map.lookup(rec.ip)) {
+      if (auto id = world.topology().find_asn(asn)) {
+        EXPECT_FALSE(world.topology().as(*id).ipv6_only);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace offnet::net

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace offnet::net {
+namespace {
+
+TEST(IPv4Test, FromOctets) {
+  IPv4 ip = IPv4::from_octets(192, 168, 1, 200);
+  EXPECT_EQ(ip.value(), 0xc0a801c8u);
+  EXPECT_EQ(ip.octet(0), 192);
+  EXPECT_EQ(ip.octet(1), 168);
+  EXPECT_EQ(ip.octet(2), 1);
+  EXPECT_EQ(ip.octet(3), 200);
+}
+
+TEST(IPv4Test, Ordering) {
+  EXPECT_LT(IPv4::from_octets(1, 2, 3, 4), IPv4::from_octets(1, 2, 3, 5));
+  EXPECT_LT(IPv4::from_octets(9, 255, 255, 255), IPv4::from_octets(10, 0, 0, 0));
+  EXPECT_EQ(IPv4(42), IPv4(42));
+}
+
+TEST(IPv4Test, Arithmetic) {
+  EXPECT_EQ(IPv4::from_octets(10, 0, 0, 0) + 257,
+            IPv4::from_octets(10, 0, 1, 1));
+}
+
+struct ParseCase {
+  const char* text;
+  bool ok;
+  std::uint32_t value;
+};
+
+class IPv4ParseTest : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(IPv4ParseTest, Parse) {
+  const ParseCase& c = GetParam();
+  auto parsed = IPv4::parse(c.text);
+  EXPECT_EQ(parsed.has_value(), c.ok) << c.text;
+  if (c.ok && parsed) {
+    EXPECT_EQ(parsed->value(), c.value) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IPv4ParseTest,
+    ::testing::Values(
+        ParseCase{"0.0.0.0", true, 0},
+        ParseCase{"255.255.255.255", true, 0xffffffffu},
+        ParseCase{"1.2.3.4", true, 0x01020304u},
+        ParseCase{"192.168.0.1", true, 0xc0a80001u},
+        ParseCase{"10.0.0.255", true, 0x0a0000ffu},
+        ParseCase{"256.0.0.1", false, 0},
+        ParseCase{"1.2.3", false, 0},
+        ParseCase{"1.2.3.4.5", false, 0},
+        ParseCase{"1.2.3.4 ", false, 0},
+        ParseCase{" 1.2.3.4", false, 0},
+        ParseCase{"1..3.4", false, 0},
+        ParseCase{"a.b.c.d", false, 0},
+        ParseCase{"", false, 0},
+        ParseCase{"1.2.3.-4", false, 0}));
+
+TEST(IPv4Test, ToStringRoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 0x01020304u, 0xc0a80001u, 0xffffffffu,
+                          0x7f000001u, 0x08080808u}) {
+    IPv4 ip(v);
+    auto parsed = IPv4::parse(ip.to_string());
+    ASSERT_TRUE(parsed.has_value()) << ip.to_string();
+    EXPECT_EQ(parsed->value(), v);
+  }
+}
+
+TEST(PrefixTest, MasksBase) {
+  Prefix p(IPv4::from_octets(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.base(), IPv4::from_octets(10, 0, 0, 0));
+  EXPECT_EQ(p.length(), 8);
+  EXPECT_EQ(p.size(), 1u << 24);
+  EXPECT_EQ(p, Prefix(IPv4::from_octets(10, 200, 0, 77), 8));
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  Prefix p(IPv4::from_octets(192, 168, 4, 0), 22);
+  EXPECT_TRUE(p.contains(IPv4::from_octets(192, 168, 4, 0)));
+  EXPECT_TRUE(p.contains(IPv4::from_octets(192, 168, 7, 255)));
+  EXPECT_FALSE(p.contains(IPv4::from_octets(192, 168, 8, 0)));
+  EXPECT_FALSE(p.contains(IPv4::from_octets(192, 168, 3, 255)));
+  EXPECT_EQ(p.first_address(), IPv4::from_octets(192, 168, 4, 0));
+  EXPECT_EQ(p.last_address(), IPv4::from_octets(192, 168, 7, 255));
+}
+
+TEST(PrefixTest, ContainsPrefixAndOverlap) {
+  Prefix big(IPv4::from_octets(10, 0, 0, 0), 8);
+  Prefix mid(IPv4::from_octets(10, 64, 0, 0), 10);
+  Prefix other(IPv4::from_octets(11, 0, 0, 0), 8);
+  EXPECT_TRUE(big.contains(mid));
+  EXPECT_FALSE(mid.contains(big));
+  EXPECT_TRUE(big.overlaps(mid));
+  EXPECT_TRUE(mid.overlaps(big));
+  EXPECT_FALSE(big.overlaps(other));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(PrefixTest, ZeroLengthCoversEverything) {
+  Prefix all(IPv4(12345), 0);
+  EXPECT_EQ(all.base(), IPv4(0));
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(all.contains(IPv4(0xffffffffu)));
+}
+
+TEST(PrefixTest, Parse) {
+  auto p = Prefix::parse("10.2.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->base(), IPv4::from_octets(10, 2, 0, 0));
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_FALSE(Prefix::parse("10.2.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.2.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.2.0/16").has_value());
+  EXPECT_EQ(Prefix::parse("10.2.0.0/16")->to_string(), "10.2.0.0/16");
+}
+
+TEST(PrefixTest, BogonDetection) {
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(10, 1, 2, 3)));
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(127, 0, 0, 1)));
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(192, 168, 55, 1)));
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(224, 0, 0, 5)));
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(255, 255, 255, 255)));
+  EXPECT_TRUE(is_bogon(IPv4::from_octets(100, 64, 0, 1)));
+  EXPECT_FALSE(is_bogon(IPv4::from_octets(8, 8, 8, 8)));
+  EXPECT_FALSE(is_bogon(IPv4::from_octets(1, 1, 1, 1)));
+  EXPECT_FALSE(is_bogon(IPv4::from_octets(100, 128, 0, 1)));
+}
+
+TEST(PrefixTest, BogonPrefixOverlap) {
+  // A prefix enclosing a bogon block is itself tainted.
+  EXPECT_TRUE(is_bogon(Prefix(IPv4::from_octets(192, 0, 0, 0), 2)));
+  EXPECT_TRUE(is_bogon(Prefix(IPv4::from_octets(10, 1, 0, 0), 16)));
+  EXPECT_FALSE(is_bogon(Prefix(IPv4::from_octets(8, 0, 0, 0), 8)));
+}
+
+TEST(PrefixTest, ReservedAsns) {
+  EXPECT_TRUE(is_reserved_asn(0));
+  EXPECT_TRUE(is_reserved_asn(23456));
+  EXPECT_TRUE(is_reserved_asn(64496));
+  EXPECT_TRUE(is_reserved_asn(64512));
+  EXPECT_TRUE(is_reserved_asn(65535));
+  EXPECT_TRUE(is_reserved_asn(65551));
+  EXPECT_TRUE(is_reserved_asn(4200000000u));
+  EXPECT_TRUE(is_reserved_asn(4294967295u));
+  EXPECT_FALSE(is_reserved_asn(15169));
+  EXPECT_FALSE(is_reserved_asn(65552));
+  EXPECT_FALSE(is_reserved_asn(131072));
+}
+
+}  // namespace
+}  // namespace offnet::net

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "net/date.h"
+#include "net/rng.h"
+#include "net/table.h"
+
+namespace offnet::net {
+namespace {
+
+TEST(YearMonthTest, Arithmetic) {
+  YearMonth ym(2013, 10);
+  EXPECT_EQ(ym.plus_months(3), YearMonth(2014, 1));
+  EXPECT_EQ(ym.plus_months(12), YearMonth(2014, 10));
+  EXPECT_EQ(ym.plus_months(-10), YearMonth(2012, 12));
+  EXPECT_EQ(YearMonth(2013, 10).months_until(YearMonth(2021, 4)), 90);
+}
+
+TEST(YearMonthTest, Parse) {
+  auto ym = YearMonth::parse("2017-04");
+  ASSERT_TRUE(ym.has_value());
+  EXPECT_EQ(*ym, YearMonth(2017, 4));
+  EXPECT_FALSE(YearMonth::parse("2017-13").has_value());
+  EXPECT_FALSE(YearMonth::parse("2017").has_value());
+  EXPECT_FALSE(YearMonth::parse("2017-").has_value());
+  EXPECT_FALSE(YearMonth::parse("x-4").has_value());
+}
+
+TEST(YearMonthTest, ToStringPadsMonth) {
+  EXPECT_EQ(YearMonth(2013, 10).to_string(), "2013-10");
+  EXPECT_EQ(YearMonth(2021, 4).to_string(), "2021-04");
+}
+
+TEST(StudySnapshotsTest, ThirtyOneQuarterlySnapshots) {
+  auto snaps = study_snapshots();
+  ASSERT_EQ(snaps.size(), 31u);
+  EXPECT_EQ(snaps.front(), YearMonth(2013, 10));
+  EXPECT_EQ(snaps.back(), YearMonth(2021, 4));
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i - 1].months_until(snaps[i]), 3);
+  }
+  EXPECT_EQ(snapshot_count(), 31u);
+}
+
+TEST(StudySnapshotsTest, SnapshotIndex) {
+  EXPECT_EQ(snapshot_index(YearMonth(2013, 10)), 0u);
+  EXPECT_EQ(snapshot_index(YearMonth(2014, 1)), 1u);
+  EXPECT_EQ(snapshot_index(YearMonth(2021, 4)), 30u);
+  EXPECT_FALSE(snapshot_index(YearMonth(2013, 11)).has_value());
+  EXPECT_FALSE(snapshot_index(YearMonth(2013, 7)).has_value());
+  EXPECT_FALSE(snapshot_index(YearMonth(2021, 7)).has_value());
+}
+
+TEST(DayTimeTest, Ordering) {
+  auto a = DayTime::from(YearMonth(2017, 4));
+  auto b = DayTime::from(YearMonth(2017, 4), 15);
+  auto c = DayTime::from(YearMonth(2017, 5));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.plus_days(14), b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng base(7);
+  Rng a = base.fork("alpha");
+  // Forked streams differ from each other and are insensitive to how
+  // much the parent consumed.
+  Rng base2(7);
+  base2.uniform(0, 10);
+  Rng a2 = base2.fork("alpha");
+  EXPECT_EQ(a.uniform(0, 1 << 30), a2.uniform(0, 1 << 30));
+  bool any_diff = false;
+  Rng a3 = Rng(7).fork("alpha");
+  Rng b3 = Rng(7).fork("beta");
+  for (int i = 0; i < 32; ++i) {
+    if (a3.uniform(0, 1000) != b3.uniform(0, 1000)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(3);
+  for (std::size_t n : {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+    for (std::size_t k :
+         {std::size_t{0}, std::size_t{1}, std::size_t{5}, n / 2, n, n + 10}) {
+      auto sample = rng.sample_indices(n, k);
+      EXPECT_EQ(sample.size(), std::min(k, n));
+      std::unordered_set<std::size_t> seen(sample.begin(), sample.end());
+      EXPECT_EQ(seen.size(), sample.size());
+      for (std::size_t idx : sample) EXPECT_LT(idx, n);
+    }
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 10.0, 0.0, 1.0};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 11000; ++i) {
+    counts[rng.weighted_index(weights)]++;
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[1], counts[3] * 5);
+  EXPECT_GT(counts[3], 500);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / 20000.0, 4.0, 0.1);
+}
+
+TEST(RngTest, HashStable) {
+  EXPECT_EQ(Rng::hash("offnet"), Rng::hash("offnet"));
+  EXPECT_NE(Rng::hash("offnet"), Rng::hash("offnets"));
+  EXPECT_NE(Rng::hash(""), Rng::hash("a"));
+}
+
+TEST(TableTest, AlignsColumns) {
+  TextTable table({"name", "count"});
+  table.add("alpha", 1);
+  table.add("b", 12345);
+  std::string out = table.to_string();
+  EXPECT_NE(out.find("name   count"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      12345"), std::string::npos);
+}
+
+TEST(TableTest, Percent) {
+  EXPECT_EQ(percent(0.5), "50.0%");
+  EXPECT_EQ(percent(0.123), "12.3%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+TEST(TableTest, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(127812006), "127,812,006");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(TableTest, IContains) {
+  EXPECT_TRUE(icontains("Google LLC", "google"));
+  EXPECT_TRUE(icontains("AKAMAI Technologies", "akamai"));
+  EXPECT_TRUE(icontains("abc", ""));
+  EXPECT_FALSE(icontains("", "a"));
+  EXPECT_FALSE(icontains("Googol Hosting", "google"));
+  EXPECT_TRUE(icontains("x", "X"));
+}
+
+TEST(TableTest, ToLower) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+}  // namespace
+}  // namespace offnet::net

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+
+namespace offnet::net {
+namespace {
+
+TEST(PrefixTrieTest, EmptyTrie) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.longest_match(IPv4(123)), nullptr);
+  EXPECT_EQ(trie.find(Prefix(IPv4(0), 8)), nullptr);
+}
+
+TEST(PrefixTrieTest, InsertAndExactFind) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.size(), 3u);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.1.0.0/16")), 2);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.1.2.0/24")), 3);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.1.0.0/17")), nullptr);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.0.0.0/9")), nullptr);
+}
+
+TEST(PrefixTrieTest, OverwriteKeepsSize) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 9);
+}
+
+TEST(PrefixTrieTest, LongestMatchPrefersMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(*trie.longest_match(*IPv4::parse("10.1.2.3")), 3);
+  EXPECT_EQ(*trie.longest_match(*IPv4::parse("10.1.3.3")), 2);
+  EXPECT_EQ(*trie.longest_match(*IPv4::parse("10.9.9.9")), 1);
+  EXPECT_EQ(trie.longest_match(*IPv4::parse("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrieTest, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(IPv4(0), 0), 42);
+  EXPECT_EQ(*trie.longest_match(IPv4(0)), 42);
+  EXPECT_EQ(*trie.longest_match(IPv4(0xffffffffu)), 42);
+}
+
+TEST(PrefixTrieTest, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(*IPv4::parse("1.2.3.4"), 32), 7);
+  EXPECT_EQ(*trie.longest_match(*IPv4::parse("1.2.3.4")), 7);
+  EXPECT_EQ(trie.longest_match(*IPv4::parse("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrieTest, LongestMatchEntryReportsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  auto match = trie.longest_match_entry(*IPv4::parse("10.1.200.1"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->prefix, *Prefix::parse("10.1.0.0/16"));
+  EXPECT_EQ(*match->value, 2);
+}
+
+TEST(PrefixTrieTest, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("9.0.0.0/8"), 0);
+  trie.insert(*Prefix::parse("10.128.0.0/9"), 2);
+  std::vector<std::pair<std::string, int>> seen;
+  trie.for_each([&](const Prefix& p, int v) {
+    seen.emplace_back(p.to_string(), v);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, "9.0.0.0/8");
+  EXPECT_EQ(seen[1].first, "10.0.0.0/8");
+  EXPECT_EQ(seen[2].first, "10.128.0.0/9");
+}
+
+TEST(PrefixTrieTest, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longest_match(*IPv4::parse("10.0.0.1")), nullptr);
+}
+
+/// Property test: the trie agrees with a naive reference implementation
+/// on random prefix sets and random lookups.
+class TriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriePropertyTest, AgreesWithNaiveReference) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> reference;
+
+  for (int i = 0; i < 300; ++i) {
+    auto len = static_cast<std::uint8_t>(rng.uniform(4, 30));
+    IPv4 base(static_cast<std::uint32_t>(
+        rng.uniform(0, std::numeric_limits<std::uint32_t>::max())));
+    Prefix prefix(base, len);
+    trie.insert(prefix, i);
+    reference[prefix] = i;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  auto naive_lookup = [&](IPv4 ip) -> std::optional<int> {
+    std::optional<int> best;
+    int best_len = -1;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(ip) && prefix.length() > best_len) {
+        best = value;
+        best_len = prefix.length();
+      }
+    }
+    return best;
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    IPv4 ip(static_cast<std::uint32_t>(
+        rng.uniform(0, std::numeric_limits<std::uint32_t>::max())));
+    const int* got = trie.longest_match(ip);
+    auto want = naive_lookup(ip);
+    ASSERT_EQ(got != nullptr, want.has_value()) << ip.to_string();
+    if (want) EXPECT_EQ(*got, *want) << ip.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriePropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 20210823));
+
+}  // namespace
+}  // namespace offnet::net

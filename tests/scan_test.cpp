@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "scan/world.h"
+#include "test_world.h"
+#include "tls/validator.h"
+
+namespace offnet::scan {
+namespace {
+
+class ScanTest : public ::testing::Test {
+ protected:
+  const World& world() { return testing::small_world(); }
+};
+
+TEST_F(ScanTest, ScannerAvailabilityWindows) {
+  const World& w = world();
+  EXPECT_TRUE(w.scanner_available(0, ScannerKind::kRapid7));
+  EXPECT_TRUE(w.scanner_available(30, ScannerKind::kRapid7));
+  EXPECT_FALSE(w.scanner_available(0, ScannerKind::kCensys));
+  EXPECT_FALSE(w.scanner_available(23, ScannerKind::kCensys));
+  EXPECT_TRUE(w.scanner_available(24, ScannerKind::kCensys));  // 2019-10
+  EXPECT_TRUE(w.scanner_available(30, ScannerKind::kCensys));
+  EXPECT_FALSE(w.scanner_available(0, ScannerKind::kCertigo));
+  EXPECT_TRUE(w.scanner_available(24, ScannerKind::kCertigo));
+  EXPECT_FALSE(w.scanner_available(30, ScannerKind::kCertigo));
+}
+
+TEST_F(ScanTest, HeaderCorpusAvailability) {
+  const World& w = world();
+  // HTTP headers exist from the start; HTTPS headers only from mid-2016
+  // for Rapid7 (§6.2 / Fig. 4 note).
+  auto early = w.scan(0, ScannerKind::kRapid7);
+  EXPECT_TRUE(early.has_http_headers());
+  EXPECT_FALSE(early.has_https_headers());
+  auto summer16 = net::snapshot_index(net::YearMonth(2016, 7)).value();
+  auto mid = w.scan(summer16, ScannerKind::kRapid7);
+  EXPECT_TRUE(mid.has_https_headers());
+  auto censys = w.scan(24, ScannerKind::kCensys);
+  EXPECT_TRUE(censys.has_https_headers());
+}
+
+TEST_F(ScanTest, CorpusGrowsOverStudy) {
+  const World& w = world();
+  auto first = w.scan(0, ScannerKind::kRapid7);
+  auto last = w.scan(30, ScannerKind::kRapid7);
+  // Fig. 2: the raw corpus roughly quadruples (10M -> 40M IPs).
+  EXPECT_GT(last.certs().size(), first.certs().size() * 2.5);
+  EXPECT_LT(last.certs().size(), first.certs().size() * 6.0);
+}
+
+TEST_F(ScanTest, CertigoSeesMoreThanRapid7) {
+  const World& w = world();
+  std::size_t t = certigo_snapshot();
+  auto r7 = w.scan(t, ScannerKind::kRapid7);
+  auto ac = w.scan(t, ScannerKind::kCertigo);
+  // §5: the slow active scan found ~20% more addresses.
+  EXPECT_GT(ac.certs().size(), r7.certs().size() * 1.05);
+  EXPECT_LT(ac.certs().size(), r7.certs().size() * 1.35);
+}
+
+TEST_F(ScanTest, ScannersShareMostOfTheCorpus) {
+  const World& w = world();
+  std::size_t t = certigo_snapshot();
+  auto r7 = w.scan(t, ScannerKind::kRapid7);
+  auto cs = w.scan(t, ScannerKind::kCensys);
+  std::unordered_set<std::uint32_t> r7_ips;
+  for (const auto& rec : r7.certs()) r7_ips.insert(rec.ip.value());
+  std::size_t shared = 0;
+  for (const auto& rec : cs.certs()) {
+    if (r7_ips.contains(rec.ip.value())) ++shared;
+  }
+  EXPECT_GT(static_cast<double>(shared) / cs.certs().size(), 0.6);
+}
+
+TEST_F(ScanTest, InvalidCertificateShareAboutOneThird) {
+  const World& w = world();
+  tls::CertValidator validator(w.certs(), w.roots());
+  auto snap = w.scan(15, ScannerKind::kRapid7);
+  std::size_t invalid = 0;
+  for (const auto& rec : snap.certs()) {
+    if (validator.validate(rec.cert, snap.time()) !=
+        tls::CertStatus::kValid) {
+      ++invalid;
+    }
+  }
+  double share = static_cast<double>(invalid) / snap.certs().size();
+  // §4.1: "more than one third of the hosts returned invalid
+  // certificates".
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.45);
+}
+
+TEST_F(ScanTest, BackgroundDeterministic) {
+  const World& w = world();
+  std::vector<BgServer> a;
+  std::vector<BgServer> b;
+  w.background().for_each(9, [&](const BgServer& s) { a.push_back(s); });
+  w.background().for_each(9, [&](const BgServer& s) { b.push_back(s); });
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ip, b[i].ip);
+    EXPECT_EQ(a[i].cert, b[i].cert);
+  }
+}
+
+TEST_F(ScanTest, BackgroundServersStableAcrossSnapshots) {
+  const World& w = world();
+  std::unordered_map<std::uint32_t, tls::CertId> early;
+  w.background().for_each(0, [&](const BgServer& s) {
+    early.emplace(s.ip.value(), s.cert);
+  });
+  std::size_t shared = 0;
+  std::size_t same_cert = 0;
+  w.background().for_each(30, [&](const BgServer& s) {
+    auto it = early.find(s.ip.value());
+    if (it == early.end()) return;
+    ++shared;
+    if (it->second == s.cert) ++same_cert;
+  });
+  EXPECT_GT(shared, early.size() / 2);
+  // Same IP => same certificate, except for rare within-prefix hash
+  // collisions between server slots.
+  EXPECT_GE(static_cast<double>(same_cert), shared * 0.99);
+}
+
+TEST_F(ScanTest, HttpOnlyServersAppearDuringNetflixEpisode) {
+  const World& w = world();
+  auto t = net::snapshot_index(net::YearMonth(2018, 4)).value();
+  auto snap = w.scan(t, ScannerKind::kRapid7);
+  EXPECT_GT(snap.http_only_count(), 0u);
+}
+
+TEST_F(ScanTest, ScanSnapshotLookupApi) {
+  const World& w = world();
+  auto snap = w.scan(30, ScannerKind::kRapid7);
+  // Find some fleet IP with headers.
+  bool found = false;
+  for (const auto& rec : snap.certs()) {
+    if (const http::HeaderMap* headers = snap.https_headers(rec.ip)) {
+      EXPECT_FALSE(headers->empty());
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(snap.https_headers(net::IPv4(1)), nullptr);
+  EXPECT_EQ(snap.scanner(), ScannerKind::kRapid7);
+  EXPECT_EQ(snap.snapshot_index(), 30u);
+}
+
+TEST_F(ScanTest, ReportScale) {
+  EXPECT_DOUBLE_EQ(world().report_scale(),
+                   1.0 / world().config().background_scale);
+}
+
+}  // namespace
+}  // namespace offnet::scan

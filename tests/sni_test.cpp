@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "scan/sni.h"
+#include "test_world.h"
+
+namespace offnet::scan {
+namespace {
+
+class SniTest : public ::testing::Test {
+ protected:
+  const World& world() { return testing::small_world(); }
+  static std::size_t last() { return net::snapshot_count() - 1; }
+};
+
+TEST_F(SniTest, ProbeHostnamesCoverEveryHg) {
+  auto hostnames = sni_probe_hostnames(world().profiles());
+  EXPECT_GT(hostnames.size(), 60u);
+  bool has_google = false;
+  for (const auto& h : hostnames) {
+    if (h == "www.googlevideo.com") has_google = true;
+  }
+  EXPECT_TRUE(has_google);
+}
+
+TEST_F(SniTest, OffnetsAnswerTheirOwnDomains) {
+  SniScanner scanner(world().fleet(), world().topology());
+  auto records = scanner.scan_sni(last(), "www.google.com");
+  EXPECT_GT(records.size(), 100u);
+  // Every returned certificate covers the probed hostname.
+  for (const auto& rec : records) {
+    const tls::Certificate& cert = world().certs().get(rec.cert);
+    EXPECT_TRUE(tls::any_dns_name_matches(cert.dns_names, "www.google.com"));
+  }
+}
+
+TEST_F(SniTest, ForeignDomainsFail) {
+  SniScanner scanner(world().fleet(), world().topology());
+  auto records = scanner.scan_sni(last(), "www.unrelated-site.example");
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(SniTest, AkamaiServesItsCustomersDomains) {
+  // §5: Akamai edges validly answer for Apple/LinkedIn/Disney domains.
+  SniScanner scanner(world().fleet(), world().topology());
+  auto apple = scanner.scan_sni(last(), "www.apple.com");
+  int ak = hg::profile_index(world().profiles(), "Akamai");
+  std::size_t on_akamai = 0;
+  std::unordered_set<std::uint32_t> akamai_ips;
+  for (const auto& rec : world().fleet().snapshot_fleet(last())) {
+    if (rec.hg == ak) akamai_ips.insert(rec.ip.value());
+  }
+  for (const auto& rec : apple) {
+    if (akamai_ips.contains(rec.ip.value())) ++on_akamai;
+  }
+  EXPECT_GT(on_akamai, 100u);
+}
+
+TEST_F(SniTest, AugmentSkipsPresentIps) {
+  auto snapshot = world().scan(last(), ScannerKind::kRapid7);
+  std::size_t before = snapshot.certs().size();
+  SniScanner scanner(world().fleet(), world().topology());
+  std::vector<std::string> hostnames = {"www.google.com"};
+  std::size_t added = scanner.augment(snapshot, hostnames);
+  EXPECT_EQ(snapshot.certs().size(), before + added);
+  // Most Google servers are already in the default-cert corpus; only the
+  // scan-loss stragglers get added.
+  EXPECT_LT(added, 600u);
+}
+
+TEST_F(SniTest, SniSweepDefeatsNullCertCountermeasure) {
+  scan::WorldConfig config;
+  config.topology_scale = 0.02;
+  config.background_scale = 0.0005;
+  config.countermeasures.null_default_certs = true;
+  scan::World hidden(config);
+  std::size_t t = last();
+
+  auto snapshot = hidden.scan(t, ScannerKind::kRapid7);
+  core::OffnetPipeline pipeline(hidden.topology(), hidden.ip2as(),
+                                hidden.certs(), hidden.roots());
+  auto blinded = pipeline.run(snapshot);
+  EXPECT_EQ(blinded.find("Google")->confirmed_or_ases.size(), 0u);
+
+  SniScanner scanner(hidden.fleet(), hidden.topology());
+  auto hostnames = sni_probe_hostnames(hidden.profiles());
+  auto augmented = hidden.scan(t, ScannerKind::kRapid7);
+  EXPECT_GT(scanner.augment(augmented, hostnames), 0u);
+  auto recovered = pipeline.run(augmented);
+  int g = hg::profile_index(hidden.profiles(), "Google");
+  std::size_t truth = hidden.plan().at(t, g).confirmed.size();
+  EXPECT_GT(recovered.find("Google")->confirmed_or_ases.size(),
+            truth * 0.8);
+}
+
+}  // namespace
+}  // namespace offnet::scan

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "scan/world.h"
+
+namespace offnet::testing {
+
+/// A down-scaled world shared by all integration-style tests: ~3.5k ASes
+/// and a 1:1000 background Internet. Built once per test binary.
+inline const scan::World& small_world() {
+  static const scan::World world = [] {
+    scan::WorldConfig config;
+    config.topology_scale = 0.05;
+    config.background_scale = 0.001;
+    return scan::World(config);
+  }();
+  return world;
+}
+
+/// An even smaller world for expensive sweeps.
+inline const scan::World& tiny_world() {
+  static const scan::World world = [] {
+    scan::WorldConfig config;
+    config.topology_scale = 0.02;
+    config.background_scale = 0.0005;
+    return scan::World(config);
+  }();
+  return world;
+}
+
+}  // namespace offnet::testing

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "tls/ca.h"
+#include "tls/certificate.h"
+#include "tls/validator.h"
+
+namespace offnet::tls {
+namespace {
+
+constexpr net::DayTime kIssued = net::DayTime::from(net::YearMonth(2015, 1));
+constexpr net::DayTime kDuring = net::DayTime::from(net::YearMonth(2015, 6));
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest() : ca_(store_, roots_), validator_(store_, roots_) {
+    root_ = ca_.create_root("Test Root");
+    intermediate_ = ca_.create_intermediate(root_, "Test Intermediate");
+  }
+
+  CertId issue(int days = 360) {
+    return ca_.issue(intermediate_, {"Acme Corp", "www.acme.example"},
+                     {"www.acme.example"}, kIssued, days);
+  }
+
+  CertificateStore store_;
+  RootStore roots_;
+  CaService ca_;
+  CertValidator validator_;
+  CertId root_ = kNoCert;
+  CertId intermediate_ = kNoCert;
+};
+
+TEST_F(ValidatorTest, ValidCertificate) {
+  EXPECT_EQ(validator_.validate(issue(), kDuring), CertStatus::kValid);
+}
+
+TEST_F(ValidatorTest, ExpiredCertificate) {
+  CertId id = issue(30);
+  EXPECT_EQ(validator_.validate(id, kIssued.plus_days(31)),
+            CertStatus::kExpired);
+  EXPECT_EQ(validator_.validate(id, kIssued.plus_days(29)),
+            CertStatus::kValid);
+}
+
+TEST_F(ValidatorTest, NotYetValid) {
+  CertId id = issue();
+  EXPECT_EQ(validator_.validate(id, kIssued.plus_days(-1)),
+            CertStatus::kNotYetValid);
+}
+
+TEST_F(ValidatorTest, SelfSignedEndEntity) {
+  CertId id = ca_.issue_self_signed({"Self Org", "self.example"},
+                                    {"self.example"}, kIssued, 360);
+  EXPECT_EQ(validator_.validate(id, kDuring), CertStatus::kSelfSigned);
+}
+
+TEST_F(ValidatorTest, UntrustedChain) {
+  CertId id = ca_.issue_untrusted({"Enterprise", "intra.example"},
+                                  {"intra.example"}, kIssued, 360);
+  EXPECT_EQ(validator_.validate(id, kDuring), CertStatus::kUntrustedChain);
+}
+
+TEST_F(ValidatorTest, Malformed) {
+  Certificate broken;
+  broken.not_before = kIssued;
+  broken.not_after = kIssued.plus_days(360);
+  CertId id = store_.add(std::move(broken));
+  EXPECT_EQ(validator_.validate(id, kDuring), CertStatus::kMalformed);
+  EXPECT_EQ(validator_.validate(kNoCert, kDuring), CertStatus::kMalformed);
+}
+
+TEST_F(ValidatorTest, ChainStopsAtTrustedIntermediate) {
+  // The issuing intermediate is in the trusted set; validation succeeds
+  // without walking to the root.
+  EXPECT_TRUE(roots_.is_trusted(intermediate_));
+  EXPECT_TRUE(validator_.is_valid(issue(), kDuring));
+}
+
+TEST_F(ValidatorTest, ExpiredIntermediateBreaksChain) {
+  // Hand-build an EE under an expired intermediate.
+  Certificate inter;
+  inter.subject.organization = "Expired CA";
+  inter.not_before = kIssued.plus_days(-720);
+  inter.not_after = kIssued.plus_days(-360);
+  inter.issuer = root_;
+  inter.is_ca = true;
+  CertId expired_ca = store_.add(std::move(inter));
+  roots_.trust(expired_ca);
+
+  Certificate ee;
+  ee.subject.organization = "Acme";
+  ee.dns_names = {"a.example"};
+  ee.not_before = kIssued;
+  ee.not_after = kIssued.plus_days(360);
+  ee.issuer = expired_ca;
+  CertId id = store_.add(std::move(ee));
+  EXPECT_EQ(validator_.validate(id, kDuring), CertStatus::kUntrustedChain);
+}
+
+TEST_F(ValidatorTest, ChainWalk) {
+  CertId id = issue();
+  auto chain = store_.chain(id);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], id);
+  EXPECT_EQ(chain[1], intermediate_);
+  EXPECT_EQ(chain[2], root_);
+}
+
+TEST(CertStatusTest, Names) {
+  EXPECT_EQ(cert_status_name(CertStatus::kValid), "valid");
+  EXPECT_EQ(cert_status_name(CertStatus::kExpired), "expired");
+  EXPECT_EQ(cert_status_name(CertStatus::kSelfSigned), "self-signed");
+}
+
+struct WildcardCase {
+  const char* pattern;
+  const char* host;
+  bool matches;
+};
+
+class WildcardTest : public ::testing::TestWithParam<WildcardCase> {};
+
+TEST_P(WildcardTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(dns_name_matches(c.pattern, c.host), c.matches)
+      << c.pattern << " vs " << c.host;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WildcardTest,
+    ::testing::Values(
+        WildcardCase{"www.google.com", "www.google.com", true},
+        WildcardCase{"www.google.com", "WWW.Google.COM", true},
+        WildcardCase{"www.google.com", "mail.google.com", false},
+        WildcardCase{"*.google.com", "www.google.com", true},
+        WildcardCase{"*.google.com", "google.com", false},
+        WildcardCase{"*.google.com", "a.b.google.com", false},
+        WildcardCase{"*.google.com", ".google.com", false},
+        WildcardCase{"*.google.com", "www.googleXcom", false},
+        WildcardCase{"*.googlevideo.com", "r1.googlevideo.com", true},
+        WildcardCase{"*.com", "example.com", true}));
+
+TEST(WildcardTest, AnyOf) {
+  std::vector<std::string> patterns = {"*.netflix.com", "*.nflxvideo.net"};
+  EXPECT_TRUE(any_dns_name_matches(patterns, "api.netflix.com"));
+  EXPECT_TRUE(any_dns_name_matches(patterns, "oca1.nflxvideo.net"));
+  EXPECT_FALSE(any_dns_name_matches(patterns, "netflix.com"));
+  EXPECT_FALSE(any_dns_name_matches(patterns, "example.org"));
+}
+
+TEST(CertificateTest, WithinValidity) {
+  Certificate cert;
+  cert.not_before = net::DayTime(100);
+  cert.not_after = net::DayTime(200);
+  EXPECT_TRUE(cert.within_validity(net::DayTime(100)));
+  EXPECT_TRUE(cert.within_validity(net::DayTime(200)));
+  EXPECT_FALSE(cert.within_validity(net::DayTime(99)));
+  EXPECT_FALSE(cert.within_validity(net::DayTime(201)));
+}
+
+}  // namespace
+}  // namespace offnet::tls

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "net/date.h"
+#include "topology/as_graph.h"
+#include "topology/category.h"
+#include "topology/generator.h"
+#include "topology/population.h"
+#include "topology/region.h"
+
+namespace offnet::topo {
+namespace {
+
+TEST(CategoryTest, Thresholds) {
+  EXPECT_EQ(categorize(0), SizeCategory::kStub);
+  EXPECT_EQ(categorize(1), SizeCategory::kStub);
+  EXPECT_EQ(categorize(2), SizeCategory::kSmall);
+  EXPECT_EQ(categorize(10), SizeCategory::kSmall);
+  EXPECT_EQ(categorize(11), SizeCategory::kMedium);
+  EXPECT_EQ(categorize(100), SizeCategory::kMedium);
+  EXPECT_EQ(categorize(101), SizeCategory::kLarge);
+  EXPECT_EQ(categorize(1000), SizeCategory::kLarge);
+  EXPECT_EQ(categorize(1001), SizeCategory::kXLarge);
+}
+
+TEST(RegionTest, CountryTable) {
+  auto countries = country_table();
+  EXPECT_GT(countries.size(), 60u);
+  // Every region is populated.
+  for (Region r : all_regions()) {
+    bool found = false;
+    for (const auto& c : countries) {
+      if (c.region == r) found = true;
+    }
+    EXPECT_TRUE(found) << region_name(r);
+  }
+  // A few sanity anchors.
+  bool has_brazil = false;
+  for (const auto& c : countries) {
+    if (c.code == std::string_view("BR")) {
+      has_brazil = true;
+      EXPECT_EQ(c.region, Region::kSouthAmerica);
+      EXPECT_GT(c.internet_users_m, 100);
+    }
+  }
+  EXPECT_TRUE(has_brazil);
+}
+
+TEST(AsGraphTest, ConeOfChain) {
+  // provider -> mid -> leaf: cones 3, 2, 1.
+  AsGraph g;
+  AsId top = g.add_as(1);
+  AsId mid = g.add_as(2);
+  AsId leaf = g.add_as(3);
+  g.add_customer_link(top, mid);
+  g.add_customer_link(mid, leaf);
+  auto cones = g.customer_cone_sizes();
+  EXPECT_EQ(cones[top], 3u);
+  EXPECT_EQ(cones[mid], 2u);
+  EXPECT_EQ(cones[leaf], 1u);
+}
+
+TEST(AsGraphTest, MultihomedCustomerCountedOnce) {
+  AsGraph g;
+  AsId top = g.add_as(1);
+  AsId a = g.add_as(2);
+  AsId b = g.add_as(3);
+  AsId leaf = g.add_as(4);
+  g.add_customer_link(top, a);
+  g.add_customer_link(top, b);
+  g.add_customer_link(a, leaf);
+  g.add_customer_link(b, leaf);  // multihomed
+  auto cones = g.customer_cone_sizes();
+  EXPECT_EQ(cones[top], 4u);  // not 5: leaf counted once
+  EXPECT_EQ(cones[a], 2u);
+  EXPECT_EQ(cones[b], 2u);
+}
+
+TEST(AsGraphTest, PeersDoNotContributeToCones) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId leaf = g.add_as(3);
+  g.add_peer_link(a, b);
+  g.add_customer_link(b, leaf);
+  auto cones = g.customer_cone_sizes();
+  EXPECT_EQ(cones[a], 1u);
+  EXPECT_EQ(cones[b], 2u);
+}
+
+TEST(AsGraphTest, AliveMaskRestrictsCones) {
+  AsGraph g;
+  AsId top = g.add_as(1);
+  AsId leaf1 = g.add_as(2);
+  AsId leaf2 = g.add_as(3);
+  g.add_customer_link(top, leaf1);
+  g.add_customer_link(top, leaf2);
+  std::vector<char> alive = {1, 1, 0};
+  auto cones = g.customer_cone_sizes(alive);
+  EXPECT_EQ(cones[top], 2u);
+  EXPECT_EQ(cones[leaf2], 0u);  // dead
+}
+
+TEST(AsGraphTest, ConeUnion) {
+  AsGraph g;
+  AsId a = g.add_as(1);
+  AsId b = g.add_as(2);
+  AsId leaf = g.add_as(3);
+  AsId other = g.add_as(4);
+  g.add_customer_link(a, leaf);
+  g.add_customer_link(b, other);
+  std::vector<AsId> roots = {a};
+  auto in_cone = g.cone_union(roots);
+  EXPECT_TRUE(in_cone[a]);
+  EXPECT_TRUE(in_cone[leaf]);
+  EXPECT_FALSE(in_cone[b]);
+  EXPECT_FALSE(in_cone[other]);
+}
+
+TEST(AsGraphTest, LargeConeViaOverflowPath) {
+  // A provider with > 2048 customers exercises the BFS fallback.
+  AsGraph g;
+  AsId top = g.add_as(1);
+  for (net::Asn i = 0; i < 2500; ++i) {
+    AsId leaf = g.add_as(100 + i);
+    g.add_customer_link(top, leaf);
+  }
+  auto cones = g.customer_cone_sizes();
+  EXPECT_EQ(cones[top], 2501u);
+}
+
+class GeneratedTopologyTest : public ::testing::Test {
+ protected:
+  static const Topology& topology() {
+    static const Topology topo = [] {
+      GeneratorConfig config;
+      config.scale = 0.1;
+      config.org_seeds.push_back({"Google LLC", "US", 2, 8, 20});
+      config.org_seeds.push_back({"Netflix, Inc.", "US", 1, 8, 20});
+      return TopologyGenerator(config).generate();
+    }();
+    return topo;
+  }
+};
+
+TEST_F(GeneratedTopologyTest, PopulationGrows) {
+  const Topology& t = topology();
+  std::size_t first = t.alive_count(0);
+  std::size_t last = t.alive_count(net::snapshot_count() - 1);
+  EXPECT_EQ(last, t.as_count());
+  EXPECT_LT(first, last);
+  // Roughly 45k/71k at scale.
+  EXPECT_NEAR(static_cast<double>(first) / last, 45000.0 / 71000.0, 0.03);
+  // Monotone growth.
+  for (std::size_t s = 1; s < net::snapshot_count(); ++s) {
+    EXPECT_GE(t.alive_count(s), t.alive_count(s - 1));
+  }
+}
+
+TEST_F(GeneratedTopologyTest, DemographicsMatchPaper) {
+  const Topology& t = topology();
+  std::size_t snapshot = net::snapshot_count() - 1;
+  const auto& cones = t.cone_sizes(snapshot);
+  std::array<std::size_t, kCategoryCount> counts{};
+  for (AsId id = 0; id < t.as_count(); ++id) {
+    counts[static_cast<std::size_t>(categorize(cones[id]))]++;
+  }
+  double total = static_cast<double>(t.as_count());
+  // §6.3: ~85% Stub, ~12% Small, ~2.6% Medium, <0.5% Large, <0.1% XLarge.
+  EXPECT_NEAR(counts[0] / total, 0.85, 0.03);
+  EXPECT_NEAR(counts[1] / total, 0.12, 0.03);
+  EXPECT_NEAR(counts[2] / total, 0.026, 0.015);
+  EXPECT_LT(counts[3] / total, 0.008);
+  EXPECT_LT(counts[4] / total, 0.002);
+  EXPECT_GT(counts[3], 0u);
+  EXPECT_GT(counts[4], 0u);
+}
+
+TEST_F(GeneratedTopologyTest, DemographicsStableOverTime) {
+  const Topology& t = topology();
+  for (std::size_t snapshot : {std::size_t{0}, net::snapshot_count() / 2}) {
+    const auto& cones = t.cone_sizes(snapshot);
+    const auto& alive = t.alive_mask(snapshot);
+    std::size_t stubs = 0;
+    std::size_t total = 0;
+    for (AsId id = 0; id < t.as_count(); ++id) {
+      if (!alive[id]) continue;
+      ++total;
+      if (categorize(cones[id]) == SizeCategory::kStub) ++stubs;
+    }
+    EXPECT_NEAR(static_cast<double>(stubs) / total, 0.85, 0.04);
+  }
+}
+
+TEST_F(GeneratedTopologyTest, OrgSeedsPresent) {
+  const Topology& t = topology();
+  auto google = t.orgs().find_exact("Google LLC");
+  ASSERT_TRUE(google.has_value());
+  EXPECT_EQ(t.orgs().ases_of(*google).size(), 2u);
+  auto by_keyword = t.orgs().find_by_keyword("google");
+  ASSERT_EQ(by_keyword.size(), 1u);
+  EXPECT_EQ(*google, by_keyword[0]);
+  // Seed ASes are flagged always_routed and carry prefixes.
+  for (AsId id : t.orgs().ases_of(*google)) {
+    EXPECT_TRUE(t.as(id).always_routed);
+    EXPECT_EQ(t.as(id).prefixes.size(), 8u);
+    EXPECT_EQ(t.as(id).birth_snapshot, 0u);
+  }
+}
+
+TEST_F(GeneratedTopologyTest, PrefixesAreDisjointAndClean) {
+  const Topology& t = topology();
+  std::vector<net::Prefix> all;
+  for (AsId id = 0; id < t.as_count(); ++id) {
+    for (const auto& p : t.as(id).prefixes) {
+      EXPECT_FALSE(net::is_bogon(p)) << p.to_string();
+      all.push_back(p);
+    }
+    EXPECT_FALSE(t.as(id).prefixes.empty());
+    EXPECT_FALSE(net::is_reserved_asn(t.as(id).asn));
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i - 1].overlaps(all[i]))
+        << all[i - 1].to_string() << " overlaps " << all[i].to_string();
+  }
+}
+
+TEST_F(GeneratedTopologyTest, UniqueAsns) {
+  const Topology& t = topology();
+  std::unordered_set<net::Asn> seen;
+  for (AsId id = 0; id < t.as_count(); ++id) {
+    EXPECT_TRUE(seen.insert(t.as(id).asn).second);
+    EXPECT_EQ(t.find_asn(t.as(id).asn), id);
+  }
+  EXPECT_FALSE(t.find_asn(4199999999u).has_value());
+}
+
+TEST_F(GeneratedTopologyTest, PopulationSharesBounded) {
+  const Topology& t = topology();
+  std::vector<double> by_country(t.country_count(), 0.0);
+  for (AsId id = 0; id < t.as_count(); ++id) {
+    const AsRecord& rec = t.as(id);
+    EXPECT_GE(rec.user_share, 0.0);
+    EXPECT_LE(rec.user_share, 1.0);
+    if (rec.country != kNoCountry) by_country[rec.country] += rec.user_share;
+  }
+  for (double total : by_country) {
+    EXPECT_LE(total, 0.98);
+  }
+}
+
+TEST_F(GeneratedTopologyTest, PopulationViewFilters) {
+  const Topology& t = topology();
+  PopulationView view(t);
+  EXPECT_GT(view.measured_as_count(), 0u);
+  std::size_t eyeballs = 0;
+  for (AsId id = 0; id < t.as_count(); ++id) {
+    if (t.as(id).eyeball) ++eyeballs;
+    if (t.as(id).population_flaky) {
+      EXPECT_EQ(view.share(id), 0.0);
+    }
+  }
+  // The presence filter drops a meaningful fraction (paper: 26k -> 9k).
+  EXPECT_LT(view.measured_as_count(), eyeballs);
+  EXPECT_GT(view.measured_as_count(), eyeballs / 4);
+}
+
+TEST_F(GeneratedTopologyTest, CoverageOfFullMaskIsHigh) {
+  const Topology& t = topology();
+  PopulationView view(t);
+  std::vector<char> everyone(t.as_count(), 1);
+  std::size_t s = net::snapshot_count() - 1;
+  double world = view.world_coverage(everyone, s);
+  EXPECT_GT(world, 0.45);  // flaky filter keeps this below the 0.97 cap
+  EXPECT_LE(world, 0.97);
+  std::vector<char> nobody(t.as_count(), 0);
+  EXPECT_EQ(view.world_coverage(nobody, s), 0.0);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig config;
+  config.scale = 0.02;
+  Topology a = TopologyGenerator(config).generate();
+  Topology b = TopologyGenerator(config).generate();
+  ASSERT_EQ(a.as_count(), b.as_count());
+  for (AsId id = 0; id < a.as_count(); ++id) {
+    EXPECT_EQ(a.as(id).asn, b.as(id).asn);
+    EXPECT_EQ(a.as(id).country, b.as(id).country);
+    EXPECT_EQ(a.as(id).prefixes, b.as(id).prefixes);
+  }
+  config.seed = 999;
+  Topology c = TopologyGenerator(config).generate();
+  bool differs = false;
+  for (AsId id = 0; id < std::min(a.as_count(), c.as_count()); ++id) {
+    if (a.as(id).asn != c.as(id).asn) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace offnet::topo

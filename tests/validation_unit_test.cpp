@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "analysis/validation.h"
+
+namespace offnet::analysis {
+namespace {
+
+TEST(FootprintAccuracyTest, Metrics) {
+  FootprintAccuracy acc;
+  acc.measured = 100;
+  acc.truth = 110;
+  acc.overlap = 95;
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.95);
+  EXPECT_NEAR(acc.recall(), 95.0 / 110.0, 1e-12);
+
+  FootprintAccuracy empty;
+  EXPECT_DOUBLE_EQ(empty.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 1.0);
+}
+
+TEST(CrossDomainResultTest, Shares) {
+  CrossDomainResult r;
+  r.probes = 1000;
+  r.validated = 103;
+  r.validated_on_akamai = 100;
+  EXPECT_NEAR(r.failing_share(), 0.897, 1e-12);
+  EXPECT_NEAR(r.akamai_share_of_validated(), 100.0 / 103.0, 1e-12);
+  CrossDomainResult empty;
+  EXPECT_DOUBLE_EQ(empty.failing_share(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.akamai_share_of_validated(), 0.0);
+}
+
+TEST(ReverseTestResultTest, ScaleCorrection) {
+  ReverseTestResult r;
+  r.sampled_ips = 1100;
+  r.sampled_offnet_ips = 100;   // 1000 background + 100 off-net sampled
+  r.valid_ips = 52;
+  r.valid_inferred_offnets = 50;  // 2 background origins validated
+  // Raw share is inflated by the downscaled background.
+  EXPECT_NEAR(r.valid_share(), 52.0 / 1100.0, 1e-12);
+  // With a 100x background upscale: (2*100 + 50) / (1000*100 + 100).
+  EXPECT_NEAR(r.scale_corrected_valid_share(100.0),
+              250.0 / 100100.0, 1e-12);
+  // Upscale of 1 must reduce to the raw share.
+  EXPECT_NEAR(r.scale_corrected_valid_share(1.0), r.valid_share(), 1e-12);
+  EXPECT_NEAR(r.inferred_share_of_valid(), 50.0 / 52.0, 1e-12);
+}
+
+TEST(EarlierComparisonTest, Shares) {
+  EarlierComparison cmp;
+  cmp.earlier_ases = 1445;
+  cmp.uncovered = 1421;
+  cmp.additional = 283;
+  EXPECT_NEAR(cmp.uncovered_share(), 1421.0 / 1445.0, 1e-12);
+  EarlierComparison empty;
+  EXPECT_DOUBLE_EQ(empty.uncovered_share(), 0.0);
+}
+
+}  // namespace
+}  // namespace offnet::analysis

@@ -1,0 +1,189 @@
+// offnet command-line tool.
+//
+//   offnet_cli simulate [--scale S] [--seed N] [--month YYYY-MM]
+//                       [--scanner r7|cs|ac]
+//       Build a simulated world and print every HG's inferred footprint.
+//
+//   offnet_cli export --out DIR [--scale S] [--seed N] [--month YYYY-MM]
+//       Write the snapshot in the documented dataset formats
+//       (relationships.txt, organizations.txt, prefix2as.txt,
+//       certificates.tsv, hosts.tsv, headers.tsv).
+//
+//   offnet_cli analyze --dir DIR --month YYYY-MM
+//       Load a dataset from DIR (same file names as `export`) and run
+//       the off-net inference pipeline on it — the path for real data.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "net/table.h"
+#include "scan/world.h"
+
+using namespace offnet;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* get(const std::string& key, const char* fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--" || i + 1 >= argc) return std::nullopt;
+    args.options[std::string(arg.substr(2))] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: offnet_cli simulate|export|analyze [options]\n"
+               "  simulate [--scale S] [--seed N] [--month YYYY-MM] "
+               "[--scanner r7|cs|ac]\n"
+               "  export   --out DIR [--scale S] [--seed N] "
+               "[--month YYYY-MM]\n"
+               "  analyze  --dir DIR --month YYYY-MM\n");
+  return 2;
+}
+
+void print_result(const topo::Topology& topology,
+                  const core::SnapshotResult& result) {
+  net::TextTable table({"Hypergiant", "confirmed off-net ASes",
+                        "cert-only ASes", "off-net IPs", "on-net IPs"});
+  for (const core::HgFootprint& fp : result.per_hg) {
+    if (fp.candidate_ases.empty() && fp.onnet_ips == 0) continue;
+    table.add(fp.name, fp.confirmed_ases().size(), fp.candidate_ases.size(),
+              fp.confirmed_ips, fp.onnet_ips);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\ncorpus: %zu records, %zu valid, %zu ASes, %zu ASes with "
+              "any HG certificate\n",
+              result.stats.total_records, result.stats.valid_cert_ips,
+              result.stats.ases_with_certs, result.stats.ases_with_any_hg);
+  (void)topology;
+}
+
+std::size_t snapshot_from(const Args& args) {
+  auto month = net::YearMonth::parse(args.get("month", "2021-04"));
+  if (!month) throw std::runtime_error("malformed --month");
+  auto index = net::snapshot_index(*month);
+  if (!index) {
+    throw std::runtime_error(
+        "--month must be a quarterly study snapshot (2013-10 .. 2021-04)");
+  }
+  return *index;
+}
+
+scan::World build_world(const Args& args) {
+  scan::WorldConfig config;
+  double scale = std::atof(args.get("scale", "0.05"));
+  config.topology_scale = scale;
+  config.background_scale = scale / 50.0;  // same ratio as the benches
+  config.seed = std::strtoull(args.get("seed", "20210823"), nullptr, 10);
+  std::fprintf(stderr, "building world (scale %.2f, seed %s)...\n", scale,
+               args.get("seed", "20210823"));
+  return scan::World(config);
+}
+
+int cmd_simulate(const Args& args) {
+  scan::World world = build_world(args);
+  std::size_t t = snapshot_from(args);
+  scan::ScannerKind kind = scan::ScannerKind::kRapid7;
+  std::string scanner = args.get("scanner", "r7");
+  if (scanner == "cs") kind = scan::ScannerKind::kCensys;
+  if (scanner == "ac") kind = scan::ScannerKind::kCertigo;
+  if (!world.scanner_available(t, kind)) {
+    std::fprintf(stderr, "scanner has no data at that snapshot\n");
+    return 1;
+  }
+  auto snap = world.scan(t, kind);
+  core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                world.certs(), world.roots());
+  print_result(world.topology(), pipeline.run(snap));
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  std::string dir = args.get("out", "");
+  if (dir.empty()) return usage();
+  scan::World world = build_world(args);
+  std::size_t t = snapshot_from(args);
+  auto snap = world.scan(t, scan::ScannerKind::kRapid7);
+
+  auto open = [&dir](const char* name) {
+    std::ofstream out(dir + "/" + name);
+    if (!out) throw std::runtime_error(std::string("cannot write ") + name);
+    return out;
+  };
+  std::ofstream rel = open("relationships.txt");
+  std::ofstream org = open("organizations.txt");
+  std::ofstream pfx = open("prefix2as.txt");
+  std::ofstream certs = open("certificates.tsv");
+  std::ofstream hosts = open("hosts.tsv");
+  std::ofstream headers = open("headers.tsv");
+  io::export_dataset(world, snap,
+                     io::ExportStreams{rel, org, pfx, certs, hosts, headers});
+  std::printf("exported snapshot %s (%zu cert records) to %s/\n",
+              net::study_snapshots()[t].to_string().c_str(),
+              snap.certs().size(), dir.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  std::string dir = args.get("dir", "");
+  if (dir.empty()) return usage();
+  auto month = net::YearMonth::parse(args.get("month", "2021-04"));
+  if (!month) return usage();
+
+  auto open = [&dir](const char* name) {
+    std::ifstream in(dir + "/" + name);
+    if (!in) throw std::runtime_error(std::string("cannot read ") + name);
+    return in;
+  };
+  std::ifstream rel = open("relationships.txt");
+  std::ifstream org = open("organizations.txt");
+  std::ifstream pfx = open("prefix2as.txt");
+  std::ifstream certs = open("certificates.tsv");
+  std::ifstream hosts = open("hosts.tsv");
+  io::Dataset dataset = io::load_dataset(rel, org, pfx, certs, hosts, *month);
+  {
+    std::ifstream headers(dir + "/headers.tsv");
+    if (headers) dataset.add_headers(headers);
+  }
+  core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                                dataset.certs(), dataset.roots());
+  print_result(dataset.topology(), pipeline.run(dataset.snapshot()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "simulate") return cmd_simulate(*args);
+    if (args->command == "export") return cmd_export(*args);
+    if (args->command == "analyze") return cmd_analyze(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
