@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif.dir/bench_whatif.cpp.o"
+  "CMakeFiles/bench_whatif.dir/bench_whatif.cpp.o.d"
+  "bench_whatif"
+  "bench_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o"
+  "CMakeFiles/coverage_planner.dir/coverage_planner.cpp.o.d"
+  "coverage_planner"
+  "coverage_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

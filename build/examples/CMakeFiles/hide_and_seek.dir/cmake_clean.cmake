@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hide_and_seek.dir/hide_and_seek.cpp.o"
+  "CMakeFiles/hide_and_seek.dir/hide_and_seek.cpp.o.d"
+  "hide_and_seek"
+  "hide_and_seek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hide_and_seek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

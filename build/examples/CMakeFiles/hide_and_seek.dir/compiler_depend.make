@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hide_and_seek.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hide_and_seek.
+# This may be replaced when dependencies are built.

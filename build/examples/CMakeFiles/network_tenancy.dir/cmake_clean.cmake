@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_tenancy.dir/network_tenancy.cpp.o"
+  "CMakeFiles/network_tenancy.dir/network_tenancy.cpp.o.d"
+  "network_tenancy"
+  "network_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("topology")
+subdirs("bgp")
+subdirs("tls")
+subdirs("http")
+subdirs("hypergiant")
+subdirs("scan")
+subdirs("core")
+subdirs("analysis")
+subdirs("io")
+subdirs("dns")

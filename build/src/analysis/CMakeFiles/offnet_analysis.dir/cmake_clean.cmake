@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_analysis.dir/certgroups.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/certgroups.cpp.o.d"
+  "CMakeFiles/offnet_analysis.dir/cohosting.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/cohosting.cpp.o.d"
+  "CMakeFiles/offnet_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/offnet_analysis.dir/demographics.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/demographics.cpp.o.d"
+  "CMakeFiles/offnet_analysis.dir/regional.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/regional.cpp.o.d"
+  "CMakeFiles/offnet_analysis.dir/validation.cpp.o"
+  "CMakeFiles/offnet_analysis.dir/validation.cpp.o.d"
+  "liboffnet_analysis.a"
+  "liboffnet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

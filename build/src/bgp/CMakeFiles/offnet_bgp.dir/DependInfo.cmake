@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/feed.cpp" "src/bgp/CMakeFiles/offnet_bgp.dir/feed.cpp.o" "gcc" "src/bgp/CMakeFiles/offnet_bgp.dir/feed.cpp.o.d"
+  "/root/repo/src/bgp/ip2as.cpp" "src/bgp/CMakeFiles/offnet_bgp.dir/ip2as.cpp.o" "gcc" "src/bgp/CMakeFiles/offnet_bgp.dir/ip2as.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/offnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_bgp.dir/feed.cpp.o"
+  "CMakeFiles/offnet_bgp.dir/feed.cpp.o.d"
+  "CMakeFiles/offnet_bgp.dir/ip2as.cpp.o"
+  "CMakeFiles/offnet_bgp.dir/ip2as.cpp.o.d"
+  "liboffnet_bgp.a"
+  "liboffnet_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

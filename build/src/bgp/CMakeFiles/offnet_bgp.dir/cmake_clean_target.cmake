@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboffnet_bgp.a"
+)

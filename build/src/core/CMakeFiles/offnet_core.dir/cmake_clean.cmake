@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_core.dir/header_learner.cpp.o"
+  "CMakeFiles/offnet_core.dir/header_learner.cpp.o.d"
+  "CMakeFiles/offnet_core.dir/known_headers.cpp.o"
+  "CMakeFiles/offnet_core.dir/known_headers.cpp.o.d"
+  "CMakeFiles/offnet_core.dir/longitudinal.cpp.o"
+  "CMakeFiles/offnet_core.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/offnet_core.dir/pipeline.cpp.o"
+  "CMakeFiles/offnet_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/offnet_core.dir/tls_fingerprint.cpp.o"
+  "CMakeFiles/offnet_core.dir/tls_fingerprint.cpp.o.d"
+  "liboffnet_core.a"
+  "liboffnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

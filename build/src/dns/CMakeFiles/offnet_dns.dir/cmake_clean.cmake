@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_dns.dir/authority.cpp.o"
+  "CMakeFiles/offnet_dns.dir/authority.cpp.o.d"
+  "CMakeFiles/offnet_dns.dir/baselines.cpp.o"
+  "CMakeFiles/offnet_dns.dir/baselines.cpp.o.d"
+  "liboffnet_dns.a"
+  "liboffnet_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

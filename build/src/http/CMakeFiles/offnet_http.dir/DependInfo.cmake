@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/fingerprint.cpp" "src/http/CMakeFiles/offnet_http.dir/fingerprint.cpp.o" "gcc" "src/http/CMakeFiles/offnet_http.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/http/CMakeFiles/offnet_http.dir/headers.cpp.o" "gcc" "src/http/CMakeFiles/offnet_http.dir/headers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

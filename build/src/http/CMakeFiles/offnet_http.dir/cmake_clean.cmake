@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_http.dir/fingerprint.cpp.o"
+  "CMakeFiles/offnet_http.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/offnet_http.dir/headers.cpp.o"
+  "CMakeFiles/offnet_http.dir/headers.cpp.o.d"
+  "liboffnet_http.a"
+  "liboffnet_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergiant/deployment.cpp" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/deployment.cpp.o" "gcc" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/deployment.cpp.o.d"
+  "/root/repo/src/hypergiant/fleet.cpp" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/fleet.cpp.o" "gcc" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/fleet.cpp.o.d"
+  "/root/repo/src/hypergiant/profile.cpp" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/profile.cpp.o" "gcc" "src/hypergiant/CMakeFiles/offnet_hypergiant.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/offnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/offnet_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/offnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

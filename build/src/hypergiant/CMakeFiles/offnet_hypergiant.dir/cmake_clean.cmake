@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_hypergiant.dir/deployment.cpp.o"
+  "CMakeFiles/offnet_hypergiant.dir/deployment.cpp.o.d"
+  "CMakeFiles/offnet_hypergiant.dir/fleet.cpp.o"
+  "CMakeFiles/offnet_hypergiant.dir/fleet.cpp.o.d"
+  "CMakeFiles/offnet_hypergiant.dir/profile.cpp.o"
+  "CMakeFiles/offnet_hypergiant.dir/profile.cpp.o.d"
+  "liboffnet_hypergiant.a"
+  "liboffnet_hypergiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_hypergiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

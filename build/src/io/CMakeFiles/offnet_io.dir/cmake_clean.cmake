@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_io.dir/exporter.cpp.o"
+  "CMakeFiles/offnet_io.dir/exporter.cpp.o.d"
+  "CMakeFiles/offnet_io.dir/loaders.cpp.o"
+  "CMakeFiles/offnet_io.dir/loaders.cpp.o.d"
+  "liboffnet_io.a"
+  "liboffnet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

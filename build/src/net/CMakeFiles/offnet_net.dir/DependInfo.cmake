@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/date.cpp" "src/net/CMakeFiles/offnet_net.dir/date.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/date.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/offnet_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/offnet_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/ipv6.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/offnet_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/prefix.cpp.o.d"
+  "/root/repo/src/net/rng.cpp" "src/net/CMakeFiles/offnet_net.dir/rng.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/rng.cpp.o.d"
+  "/root/repo/src/net/table.cpp" "src/net/CMakeFiles/offnet_net.dir/table.cpp.o" "gcc" "src/net/CMakeFiles/offnet_net.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_net.dir/date.cpp.o"
+  "CMakeFiles/offnet_net.dir/date.cpp.o.d"
+  "CMakeFiles/offnet_net.dir/ipv4.cpp.o"
+  "CMakeFiles/offnet_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/offnet_net.dir/ipv6.cpp.o"
+  "CMakeFiles/offnet_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/offnet_net.dir/prefix.cpp.o"
+  "CMakeFiles/offnet_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/offnet_net.dir/rng.cpp.o"
+  "CMakeFiles/offnet_net.dir/rng.cpp.o.d"
+  "CMakeFiles/offnet_net.dir/table.cpp.o"
+  "CMakeFiles/offnet_net.dir/table.cpp.o.d"
+  "liboffnet_net.a"
+  "liboffnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

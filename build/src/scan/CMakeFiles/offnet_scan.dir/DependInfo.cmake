@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/background.cpp" "src/scan/CMakeFiles/offnet_scan.dir/background.cpp.o" "gcc" "src/scan/CMakeFiles/offnet_scan.dir/background.cpp.o.d"
+  "/root/repo/src/scan/record.cpp" "src/scan/CMakeFiles/offnet_scan.dir/record.cpp.o" "gcc" "src/scan/CMakeFiles/offnet_scan.dir/record.cpp.o.d"
+  "/root/repo/src/scan/scanner.cpp" "src/scan/CMakeFiles/offnet_scan.dir/scanner.cpp.o" "gcc" "src/scan/CMakeFiles/offnet_scan.dir/scanner.cpp.o.d"
+  "/root/repo/src/scan/sni.cpp" "src/scan/CMakeFiles/offnet_scan.dir/sni.cpp.o" "gcc" "src/scan/CMakeFiles/offnet_scan.dir/sni.cpp.o.d"
+  "/root/repo/src/scan/world.cpp" "src/scan/CMakeFiles/offnet_scan.dir/world.cpp.o" "gcc" "src/scan/CMakeFiles/offnet_scan.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergiant/CMakeFiles/offnet_hypergiant.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/offnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/offnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/offnet_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/offnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

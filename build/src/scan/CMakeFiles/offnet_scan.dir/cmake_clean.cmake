@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_scan.dir/background.cpp.o"
+  "CMakeFiles/offnet_scan.dir/background.cpp.o.d"
+  "CMakeFiles/offnet_scan.dir/record.cpp.o"
+  "CMakeFiles/offnet_scan.dir/record.cpp.o.d"
+  "CMakeFiles/offnet_scan.dir/scanner.cpp.o"
+  "CMakeFiles/offnet_scan.dir/scanner.cpp.o.d"
+  "CMakeFiles/offnet_scan.dir/sni.cpp.o"
+  "CMakeFiles/offnet_scan.dir/sni.cpp.o.d"
+  "CMakeFiles/offnet_scan.dir/world.cpp.o"
+  "CMakeFiles/offnet_scan.dir/world.cpp.o.d"
+  "liboffnet_scan.a"
+  "liboffnet_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/ca.cpp" "src/tls/CMakeFiles/offnet_tls.dir/ca.cpp.o" "gcc" "src/tls/CMakeFiles/offnet_tls.dir/ca.cpp.o.d"
+  "/root/repo/src/tls/certificate.cpp" "src/tls/CMakeFiles/offnet_tls.dir/certificate.cpp.o" "gcc" "src/tls/CMakeFiles/offnet_tls.dir/certificate.cpp.o.d"
+  "/root/repo/src/tls/validator.cpp" "src/tls/CMakeFiles/offnet_tls.dir/validator.cpp.o" "gcc" "src/tls/CMakeFiles/offnet_tls.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_tls.dir/ca.cpp.o"
+  "CMakeFiles/offnet_tls.dir/ca.cpp.o.d"
+  "CMakeFiles/offnet_tls.dir/certificate.cpp.o"
+  "CMakeFiles/offnet_tls.dir/certificate.cpp.o.d"
+  "CMakeFiles/offnet_tls.dir/validator.cpp.o"
+  "CMakeFiles/offnet_tls.dir/validator.cpp.o.d"
+  "liboffnet_tls.a"
+  "liboffnet_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

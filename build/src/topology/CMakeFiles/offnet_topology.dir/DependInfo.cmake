@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/offnet_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/offnet_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/org_db.cpp" "src/topology/CMakeFiles/offnet_topology.dir/org_db.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/org_db.cpp.o.d"
+  "/root/repo/src/topology/population.cpp" "src/topology/CMakeFiles/offnet_topology.dir/population.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/population.cpp.o.d"
+  "/root/repo/src/topology/region.cpp" "src/topology/CMakeFiles/offnet_topology.dir/region.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/region.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/offnet_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/offnet_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/offnet_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/offnet_topology.dir/generator.cpp.o"
+  "CMakeFiles/offnet_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/offnet_topology.dir/org_db.cpp.o"
+  "CMakeFiles/offnet_topology.dir/org_db.cpp.o.d"
+  "CMakeFiles/offnet_topology.dir/population.cpp.o"
+  "CMakeFiles/offnet_topology.dir/population.cpp.o.d"
+  "CMakeFiles/offnet_topology.dir/region.cpp.o"
+  "CMakeFiles/offnet_topology.dir/region.cpp.o.d"
+  "CMakeFiles/offnet_topology.dir/topology.cpp.o"
+  "CMakeFiles/offnet_topology.dir/topology.cpp.o.d"
+  "liboffnet_topology.a"
+  "liboffnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_property_test.dir/deployment_property_test.cpp.o"
+  "CMakeFiles/deployment_property_test.dir/deployment_property_test.cpp.o.d"
+  "deployment_property_test"
+  "deployment_property_test.pdb"
+  "deployment_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

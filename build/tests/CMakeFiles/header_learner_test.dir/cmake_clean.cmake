@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_learner_test.dir/header_learner_test.cpp.o"
+  "CMakeFiles/header_learner_test.dir/header_learner_test.cpp.o.d"
+  "header_learner_test"
+  "header_learner_test.pdb"
+  "header_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergiant_test.dir/hypergiant_test.cpp.o"
+  "CMakeFiles/hypergiant_test.dir/hypergiant_test.cpp.o.d"
+  "hypergiant_test"
+  "hypergiant_test.pdb"
+  "hypergiant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergiant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_roundtrip_test.dir/io_roundtrip_test.cpp.o"
+  "CMakeFiles/io_roundtrip_test.dir/io_roundtrip_test.cpp.o.d"
+  "io_roundtrip_test"
+  "io_roundtrip_test.pdb"
+  "io_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

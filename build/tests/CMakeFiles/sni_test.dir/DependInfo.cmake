@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sni_test.cpp" "tests/CMakeFiles/sni_test.dir/sni_test.cpp.o" "gcc" "tests/CMakeFiles/sni_test.dir/sni_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/offnet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/offnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/offnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/offnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/offnet_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergiant/CMakeFiles/offnet_hypergiant.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/offnet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/offnet_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/offnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/offnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

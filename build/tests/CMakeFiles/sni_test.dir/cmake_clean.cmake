@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sni_test.dir/sni_test.cpp.o"
+  "CMakeFiles/sni_test.dir/sni_test.cpp.o.d"
+  "sni_test"
+  "sni_test.pdb"
+  "sni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_unit_test.dir/validation_unit_test.cpp.o"
+  "CMakeFiles/validation_unit_test.dir/validation_unit_test.cpp.o.d"
+  "validation_unit_test"
+  "validation_unit_test.pdb"
+  "validation_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_ipv4_test[1]_include.cmake")
+include("/root/repo/build/tests/net_trie_test[1]_include.cmake")
+include("/root/repo/build/tests/net_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/tls_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/hypergiant_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/io_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/sni_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv6_test[1]_include.cmake")
+include("/root/repo/build/tests/header_learner_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_property_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offnet_cli.dir/offnet_cli.cpp.o"
+  "CMakeFiles/offnet_cli.dir/offnet_cli.cpp.o.d"
+  "offnet_cli"
+  "offnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
