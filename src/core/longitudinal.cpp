@@ -1,35 +1,101 @@
 #include "core/longitudinal.h"
 
+#include <cassert>
+
 namespace offnet::core {
+
+namespace {
+
+/// Remember every IP seen with a (valid) Netflix certificate: the raw
+/// material for the HTTP-only recovery in later snapshots.
+void absorb_netflix_ips(const SnapshotResult& result,
+                        std::unordered_set<std::uint32_t>& netflix_ips) {
+  if (const HgFootprint* netflix = result.find("Netflix")) {
+    for (const auto& [ip, cert] : netflix->candidate_ip_certs) {
+      netflix_ips.insert(ip.value());
+    }
+  }
+}
+
+}  // namespace
 
 LongitudinalRunner::LongitudinalRunner(const scan::World& world,
                                        scan::ScannerKind scanner,
                                        PipelineOptions options)
-    : world_(world), scanner_(scanner), options_(std::move(options)) {}
+    : world_(&world), scanner_(scanner), options_(std::move(options)) {}
+
+LongitudinalRunner::LongitudinalRunner(PipelineOptions options,
+                                       scan::ScannerKind scanner)
+    : scanner_(scanner), options_(std::move(options)) {}
 
 std::vector<SnapshotResult> LongitudinalRunner::run(
     std::size_t first, std::size_t last,
+    const std::function<void(const SnapshotResult&)>& progress) const {
+  assert(world_ != nullptr && "run() needs the world constructor");
+  std::vector<SnapshotResult> results;
+  std::unordered_set<std::uint32_t> netflix_ips;
+
+  for (std::size_t t = first; t <= last; ++t) {
+    if (!world_->scanner_available(t, scanner_)) {
+      if (include_missing_) {
+        SnapshotResult placeholder;
+        placeholder.snapshot = t;
+        placeholder.scanner = scanner_;
+        placeholder.health = SnapshotHealth::kMissing;
+        if (progress) progress(placeholder);
+        results.push_back(std::move(placeholder));
+      }
+      continue;
+    }
+    scan::ScanSnapshot snapshot = world_->scan(t, scanner_);
+
+    PipelineOptions options = options_;
+    options.netflix_prior_ips = &netflix_ips;
+    OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
+                            world_->certs(), world_->roots(),
+                            standard_hg_inputs(), options);
+    SnapshotResult result = pipeline.run(snapshot);
+    absorb_netflix_ips(result, netflix_ips);
+
+    if (progress) progress(result);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::vector<SnapshotResult> LongitudinalRunner::run_loaded(
+    const std::function<SnapshotFeed(std::size_t)>& feed, std::size_t first,
+    std::size_t last,
     const std::function<void(const SnapshotResult&)>& progress) const {
   std::vector<SnapshotResult> results;
   std::unordered_set<std::uint32_t> netflix_ips;
 
   for (std::size_t t = first; t <= last; ++t) {
-    if (!world_.scanner_available(t, scanner_)) continue;
-    scan::ScanSnapshot snapshot = world_.scan(t, scanner_);
+    SnapshotFeed input = feed(t);
+    SnapshotResult result;
+    if (input.dataset.has_value()) {
+      const io::Dataset& dataset = *input.dataset;
+      // The feed may tally into its own report or rely on the dataset's.
+      const io::LoadReport& report =
+          input.report.files.empty() ? dataset.report() : input.report;
 
-    PipelineOptions options = options_;
-    options.netflix_prior_ips = &netflix_ips;
-    OffnetPipeline pipeline(world_.topology(), world_.ip2as(), world_.certs(),
-                            world_.roots(), standard_hg_inputs(), options);
-    SnapshotResult result = pipeline.run(snapshot);
-
-    // Remember every IP seen with a (valid) Netflix certificate: the raw
-    // material for the HTTP-only recovery in later snapshots.
-    if (const HgFootprint* netflix = result.find("Netflix")) {
-      for (const auto& [ip, cert] : netflix->candidate_ip_certs) {
-        netflix_ips.insert(ip.value());
-      }
+      PipelineOptions options = options_;
+      options.netflix_prior_ips = &netflix_ips;
+      OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                              dataset.certs(), dataset.roots(),
+                              standard_hg_inputs(), options);
+      result = pipeline.run(dataset.snapshot());
+      result.health = report.clean() ? SnapshotHealth::kComplete
+                                     : SnapshotHealth::kPartial;
+      result.load_report = report;
+      absorb_netflix_ips(result, netflix_ips);
+    } else {
+      result.health = input.corrupt ? SnapshotHealth::kCorrupt
+                                    : SnapshotHealth::kMissing;
+      result.load_report = std::move(input.report);
     }
+    result.snapshot = t;
+    result.scanner = scanner_;
 
     if (progress) progress(result);
     results.push_back(std::move(result));
@@ -38,9 +104,11 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
 }
 
 SnapshotResult LongitudinalRunner::run_one(std::size_t snapshot) const {
-  scan::ScanSnapshot snap = world_.scan(snapshot, scanner_);
-  OffnetPipeline pipeline(world_.topology(), world_.ip2as(), world_.certs(),
-                          world_.roots(), standard_hg_inputs(), options_);
+  assert(world_ != nullptr && "run_one() needs the world constructor");
+  scan::ScanSnapshot snap = world_->scan(snapshot, scanner_);
+  OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
+                          world_->certs(), world_->roots(),
+                          standard_hg_inputs(), options_);
   return pipeline.run(snap);
 }
 

@@ -1,26 +1,62 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "io/loaders.h"
 #include "scan/world.h"
 
 namespace offnet::core {
 
+/// Per-snapshot input to a degraded-mode run over loaded data: either a
+/// usable (possibly partial) dataset, or the verdict that the snapshot's
+/// corpus is missing or corrupt. Produced on demand by a feed callback
+/// so a 31-snapshot study never holds more than one dataset in memory.
+struct SnapshotFeed {
+  std::optional<io::Dataset> dataset;  // nullopt: nothing usable
+  io::LoadReport report;               // ingestion accounting (may be empty)
+  bool corrupt = false;                // load aborted, vs. simply absent
+};
+
 /// Runs the pipeline over every study snapshot for one scanner, carrying
 /// the cross-snapshot state the paper's longitudinal analysis needs (the
 /// set of IPs ever seen serving Netflix certificates, used to restore the
-/// HTTP-only servers of 2017-2019).
+/// HTTP-only servers of 2017-2019). That state survives missing and
+/// corrupt snapshots, so a degraded series still recovers correctly
+/// after a gap.
 class LongitudinalRunner {
  public:
   LongitudinalRunner(const scan::World& world,
                      scan::ScannerKind scanner = scan::ScannerKind::kRapid7,
                      PipelineOptions options = {});
 
+  /// Runner for dataset-driven studies (run_loaded) only; run() and
+  /// run_one() require a world.
+  explicit LongitudinalRunner(PipelineOptions options,
+                              scan::ScannerKind scanner =
+                                  scan::ScannerKind::kRapid7);
+
+  /// When set, run() emits a kMissing placeholder result for snapshots
+  /// the scanner has no data for, instead of dropping them from the
+  /// series.
+  void set_include_missing(bool include) { include_missing_ = include; }
+
   /// Runs snapshots [first, last]; by default the whole study. Results
-  /// for snapshots where the scanner has no data are skipped.
+  /// for snapshots where the scanner has no data are skipped (or
+  /// annotated kMissing under set_include_missing).
   std::vector<SnapshotResult> run(
+      std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
+      const std::function<void(const SnapshotResult&)>& progress = {}) const;
+
+  /// Degraded-mode run over loaded data: `feed(t)` supplies each
+  /// snapshot's dataset (or its missing/corrupt verdict). A corrupt or
+  /// missing snapshot yields an annotated placeholder and the series
+  /// keeps going; usable snapshots are marked kComplete or kPartial from
+  /// their LoadReport.
+  std::vector<SnapshotResult> run_loaded(
+      const std::function<SnapshotFeed(std::size_t)>& feed,
       std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
       const std::function<void(const SnapshotResult&)>& progress = {}) const;
 
@@ -28,9 +64,10 @@ class LongitudinalRunner {
   SnapshotResult run_one(std::size_t snapshot) const;
 
  private:
-  const scan::World& world_;
+  const scan::World* world_ = nullptr;
   scan::ScannerKind scanner_;
   PipelineOptions options_;
+  bool include_missing_ = false;
 };
 
 }  // namespace offnet::core

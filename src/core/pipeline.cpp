@@ -35,6 +35,16 @@ std::vector<HgInput> standard_hg_inputs() {
   };
 }
 
+const char* to_string(SnapshotHealth health) {
+  switch (health) {
+    case SnapshotHealth::kComplete: return "complete";
+    case SnapshotHealth::kPartial: return "partial";
+    case SnapshotHealth::kMissing: return "missing";
+    case SnapshotHealth::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
 const HgFootprint* SnapshotResult::find(std::string_view name) const {
   for (const HgFootprint& fp : per_hg) {
     if (fp.name == name) return &fp;

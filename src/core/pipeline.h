@@ -11,6 +11,7 @@
 #include "core/header_learner.h"
 #include "core/tls_fingerprint.h"
 #include "http/fingerprint.h"
+#include "io/report.h"
 #include "scan/record.h"
 #include "tls/validator.h"
 #include "topology/topology.h"
@@ -101,11 +102,37 @@ struct CorpusStats {
   std::size_t ases_with_any_hg = 0;    // union of candidate AS sets
 };
 
+/// Outcome of acquiring one snapshot's input data. The paper's corpuses
+/// are quarterly public exports that simply do not exist before each
+/// scanner's start and are occasionally damaged (§5, Table 2); a
+/// longitudinal study must record that instead of dying on it.
+enum class SnapshotHealth {
+  kComplete,  // all inputs ingested cleanly
+  kPartial,   // ingested with skipped lines, within the error budget
+  kMissing,   // no data for this scanner/snapshot
+  kCorrupt,   // inputs unusable: strict failure or error budget blown
+};
+
+const char* to_string(SnapshotHealth health);
+
 struct SnapshotResult {
   std::size_t snapshot = 0;
   scan::ScannerKind scanner = scan::ScannerKind::kRapid7;
   CorpusStats stats;
   std::vector<HgFootprint> per_hg;
+
+  /// Degraded-mode annotations: how this snapshot's inputs were
+  /// acquired. World-driven runs always produce kComplete results; runs
+  /// over loaded data carry the ingestion accounting along.
+  SnapshotHealth health = SnapshotHealth::kComplete;
+  io::LoadReport load_report;
+
+  /// Whether per_hg/stats hold real results (missing and corrupt
+  /// snapshots are placeholders).
+  bool usable() const {
+    return health == SnapshotHealth::kComplete ||
+           health == SnapshotHealth::kPartial;
+  }
 
   const HgFootprint* find(std::string_view name) const;
 };

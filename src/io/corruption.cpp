@@ -1,0 +1,195 @@
+#include "io/corruption.h"
+
+#include <vector>
+
+#include "net/rng.h"
+
+namespace offnet::io {
+
+namespace {
+
+char separator_of(InputKind input) {
+  switch (input) {
+    case InputKind::kRelationships:
+    case InputKind::kOrganizations:
+      return '|';
+    default:
+      return '\t';
+  }
+}
+
+const char* stream_tag(InputKind input) {
+  switch (input) {
+    case InputKind::kRelationships: return "corrupt/relationships";
+    case InputKind::kOrganizations: return "corrupt/organizations";
+    case InputKind::kPrefix2As: return "corrupt/prefix2as";
+    case InputKind::kCertificates: return "corrupt/certificates";
+    case InputKind::kHosts: return "corrupt/hosts";
+    case InputKind::kHeaders: return "corrupt/headers";
+  }
+  return "corrupt/unknown";
+}
+
+/// Bytes that never start a comment and break every field grammar.
+constexpr std::string_view kGarbageAlphabet = "@~^?$%&!\x01\x7f";
+
+std::vector<std::string> split_fields(std::string_view line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(line.substr(start));
+      return out;
+    }
+    out.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join_fields(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += sep;
+    out += fields[i];
+  }
+  return out;
+}
+
+std::string garbage_splat(std::string line, net::Rng& rng) {
+  if (line.empty()) line = "?";
+  std::size_t pos = rng.index(line.size());
+  std::size_t len = static_cast<std::size_t>(
+      rng.uniform(1, static_cast<std::int64_t>(
+                         std::min<std::size_t>(8, line.size() - pos))));
+  for (std::size_t i = pos; i < pos + len; ++i) {
+    line[i] = kGarbageAlphabet[rng.index(kGarbageAlphabet.size())];
+  }
+  return line;
+}
+
+std::string apply_corruption(CorruptionKind kind, const std::string& line,
+                             char sep, net::Rng& rng) {
+  switch (kind) {
+    case kTruncateLine: {
+      if (line.size() < 2) return garbage_splat(line, rng);
+      return line.substr(0, static_cast<std::size_t>(rng.uniform(
+                                1, static_cast<std::int64_t>(line.size()) - 1)));
+    }
+    case kDeleteField: {
+      auto fields = split_fields(line, sep);
+      if (fields.size() < 2) return garbage_splat(line, rng);
+      fields.erase(fields.begin() +
+                   static_cast<std::ptrdiff_t>(rng.index(fields.size())));
+      return join_fields(fields, sep);
+    }
+    case kSwapFields: {
+      auto fields = split_fields(line, sep);
+      if (fields.size() < 2) return garbage_splat(line, rng);
+      std::size_t i = rng.index(fields.size());
+      std::size_t j = rng.index(fields.size() - 1);
+      if (j >= i) ++j;
+      std::swap(fields[i], fields[j]);
+      return join_fields(fields, sep);
+    }
+    case kGarbageBytes:
+      return garbage_splat(line, rng);
+    case kDuplicateLine:
+      return line + '\n' + line;
+    case kPrefixLenOutOfRange: {
+      auto fields = split_fields(line, sep);
+      if (fields.size() < 2) return garbage_splat(line, rng);
+      fields[1] = std::to_string(rng.uniform(33, 200));
+      return join_fields(fields, sep);
+    }
+    case kReverseDateRange: {
+      auto fields = split_fields(line, sep);
+      if (fields.size() < 4) return garbage_splat(line, rng);
+      std::swap(fields[2], fields[3]);
+      return join_fields(fields, sep);
+    }
+    default:
+      return garbage_splat(line, rng);
+  }
+}
+
+bool data_line(std::string_view line) {
+  return !line.empty() && line[0] != '#' &&
+         line.find_first_not_of(" \t\r") != std::string_view::npos;
+}
+
+}  // namespace
+
+CorruptionInjector::CorruptionInjector(CorruptionConfig config)
+    : config_(config) {}
+
+std::string CorruptionInjector::corrupt(std::string_view text, InputKind input,
+                                        CorruptionSummary* summary) const {
+  net::Rng rng = net::Rng(config_.seed).fork(stream_tag(input));
+  const char sep = separator_of(input);
+
+  // Failure classes applicable to this format.
+  std::vector<CorruptionKind> kinds;
+  for (unsigned bit : {kTruncateLine, kDeleteField, kSwapFields, kGarbageBytes,
+                       kDuplicateLine}) {
+    if (config_.kinds & bit) kinds.push_back(static_cast<CorruptionKind>(bit));
+  }
+  if ((config_.kinds & kPrefixLenOutOfRange) &&
+      input == InputKind::kPrefix2As) {
+    kinds.push_back(kPrefixLenOutOfRange);
+  }
+  if ((config_.kinds & kReverseDateRange) &&
+      input == InputKind::kCertificates) {
+    kinds.push_back(kReverseDateRange);
+  }
+
+  CorruptionSummary stats;
+  std::string out;
+  out.reserve(text.size() + text.size() / 16);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    bool last = end == std::string_view::npos;
+    std::string_view line = text.substr(
+        start, last ? std::string_view::npos : end - start);
+    if (last && line.empty()) break;
+
+    if (data_line(line) && !kinds.empty()) {
+      ++stats.data_lines;
+      if (rng.bernoulli(config_.intensity)) {
+        ++stats.corrupted_lines;
+        CorruptionKind kind = kinds[rng.index(kinds.size())];
+        out += apply_corruption(kind, std::string(line), sep, rng);
+      } else {
+        out += line;
+      }
+    } else {
+      if (data_line(line)) ++stats.data_lines;
+      out += line;
+    }
+    out += '\n';
+    if (last) break;
+    start = end + 1;
+  }
+  if (summary != nullptr) *summary = stats;
+  return out;
+}
+
+std::string CorruptionInjector::destroy(std::string_view text) {
+  std::string out;
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    ++lines;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  if (lines == 0) lines = 1;
+  for (std::size_t i = 0; i < lines; ++i) {
+    out += "\x01@@unreadable@@\x01\n";
+  }
+  return out;
+}
+
+}  // namespace offnet::io

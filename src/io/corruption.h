@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Deterministic fault injection for the on-disk dataset formats, so
+/// tests can drive the permissive loaders and degraded-mode longitudinal
+/// runs through every failure class real corpuses exhibit — without
+/// shipping fixture files. The same (seed, input kind, text) always
+/// produces the same damage, independent of call order.
+namespace offnet::io {
+
+/// Which dataset format a corpus is in — decides the field separator and
+/// which format-specific corruptions apply.
+enum class InputKind {
+  kRelationships,
+  kOrganizations,
+  kPrefix2As,
+  kCertificates,
+  kHosts,
+  kHeaders,
+};
+
+/// Failure classes, combinable as a bitmask.
+enum CorruptionKind : unsigned {
+  kTruncateLine = 1u << 0,   // cut a line short, possibly mid-field
+  kDeleteField = 1u << 1,    // drop one separator-delimited field
+  kSwapFields = 1u << 2,     // exchange two fields
+  kGarbageBytes = 1u << 3,   // splat non-format bytes over a span
+  kDuplicateLine = 1u << 4,  // emit a line twice (duplicate keys)
+  kPrefixLenOutOfRange = 1u << 5,  // prefix2as only: length > 32
+  kReverseDateRange = 1u << 6,     // certificates only: not_after < not_before
+  kAllCorruptions = (1u << 7) - 1,
+};
+
+struct CorruptionConfig {
+  std::uint64_t seed = 20210823;
+  double intensity = 0.01;          // fraction of data lines damaged
+  unsigned kinds = kAllCorruptions; // enabled failure classes
+};
+
+/// What one corrupt() call did.
+struct CorruptionSummary {
+  std::size_t data_lines = 0;       // non-comment, non-blank lines seen
+  std::size_t corrupted_lines = 0;  // lines damaged
+};
+
+class CorruptionInjector {
+ public:
+  explicit CorruptionInjector(CorruptionConfig config = {});
+
+  /// Returns `text` with ~intensity of its data lines mangled by failure
+  /// classes applicable to `input`. Comments and blank lines pass
+  /// through untouched.
+  std::string corrupt(std::string_view text, InputKind input,
+                      CorruptionSummary* summary = nullptr) const;
+
+  /// Replaces every line with garbage: an unrecoverably corrupt file
+  /// that blows any error budget.
+  static std::string destroy(std::string_view text);
+
+ private:
+  CorruptionConfig config_;
+};
+
+}  // namespace offnet::io

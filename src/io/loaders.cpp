@@ -54,9 +54,102 @@ bool is_comment_or_blank(std::string_view line) {
   return line.empty() || line[0] == '#';
 }
 
+std::string_view rstrip(std::string_view text,
+                        std::string_view chars = " \t\r") {
+  std::size_t end = text.find_last_not_of(chars);
+  return end == std::string_view::npos ? std::string_view{}
+                                       : text.substr(0, end + 1);
+}
+
+/// Per-file error accounting under the configured policy. Loaders parse
+/// each data line inside a try block; `skip()` is called from the catch
+/// handler and rethrows in strict mode, so strict failures keep their
+/// exact line numbers while permissive mode tallies and moves on.
+/// `finish()` enforces the error budget once the file is read.
+class Tally {
+ public:
+  Tally(std::string kind, const ReadOptions& options, LoadReport* report)
+      : options_(options), report_(report) {
+    file_.kind = std::move(kind);
+  }
+
+  void ok() { ++file_.lines_ok; }
+
+  /// Must be called while a LoadError is in flight (from a catch block).
+  void skip(std::size_t line, const char* what) {
+    if (!options_.permissive()) throw;
+    record(line, what);
+  }
+
+  /// Retracts a previously ok() line whose cross-reference turned out to
+  /// be broken (e.g. an asn->org assignment naming an unknown org).
+  /// Throws in strict mode.
+  void demote(std::size_t line, const std::string& what) {
+    if (!options_.permissive()) throw LoadError(what);
+    if (file_.lines_ok > 0) --file_.lines_ok;
+    record(line, what.c_str());
+  }
+
+  void finish() {
+    double fraction = file_.error_fraction();
+    std::string kind = file_.kind;
+    std::size_t skipped = file_.lines_skipped;
+    std::size_t total = file_.lines_ok + skipped;
+    std::string first_error =
+        file_.samples.empty() ? std::string("n/a") : file_.samples[0].what;
+    if (report_ != nullptr) report_->files.push_back(std::move(file_));
+    if (options_.permissive() && fraction > options_.max_error_fraction) {
+      throw LoadError("error budget exceeded in " + kind + ": skipped " +
+                      std::to_string(skipped) + " of " +
+                      std::to_string(total) + " lines (budget " +
+                      std::to_string(options_.max_error_fraction) +
+                      "); first error: " + first_error);
+    }
+  }
+
+ private:
+  void record(std::size_t line, const char* what) {
+    ++file_.lines_skipped;
+    if (file_.samples.size() < options_.max_error_samples) {
+      file_.samples.push_back({line, what});
+    }
+  }
+
+  FileReport file_;
+  const ReadOptions& options_;
+  LoadReport* report_;
+};
+
+/// Reads every data line of `in` through `fn` (which throws LoadError on
+/// malformed input), routing failures through the tally. Trailing
+/// whitespace is stripped (`strip`), and blank / whitespace-only /
+/// comment lines are skipped without counting.
+template <class Fn>
+void scan_lines(std::istream& in, Tally& tally, Fn&& fn,
+                std::string_view strip = " \t\r") {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = rstrip(line, strip);
+    if (is_comment_or_blank(text) ||
+        text.find_first_not_of(" \t") == std::string_view::npos) {
+      continue;
+    }
+    try {
+      fn(text, line_no);
+      tally.ok();
+    } catch (const LoadError& e) {
+      tally.skip(line_no, e.what());
+    }
+  }
+}
+
 }  // namespace
 
-RelationshipData load_as_relationships(std::istream& in) {
+RelationshipData load_as_relationships(std::istream& in,
+                                       const ReadOptions& options,
+                                       LoadReport* report) {
   RelationshipData data;
   std::unordered_map<net::Asn, topo::AsId> ids;
   auto intern = [&](net::Asn asn) {
@@ -68,32 +161,39 @@ RelationshipData load_as_relationships(std::istream& in) {
     return id;
   };
 
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '|');
+  Tally tally("relationships", options, report);
+  scan_lines(in, tally, [&](std::string_view text, std::size_t line_no) {
+    auto fields = split(text, '|');
     if (fields.size() < 3) fail("expected as1|as2|rel", line_no);
     auto a = static_cast<net::Asn>(parse_number(fields[0], line_no));
     auto b = static_cast<net::Asn>(parse_number(fields[1], line_no));
     if (a == b) fail("self link", line_no);
-    topo::AsId id_a = intern(a);
-    topo::AsId id_b = intern(b);
+    // Validate the relationship before interning so a skipped line does
+    // not leave orphan ASes behind.
+    int rel;
     if (fields[2] == "-1") {
-      data.graph.add_customer_link(id_a, id_b);  // a provider of b
+      rel = -1;
     } else if (fields[2] == "0") {
-      data.graph.add_peer_link(id_a, id_b);
+      rel = 0;
     } else {
       fail("unknown relationship '" + std::string(fields[2]) + "'", line_no);
     }
-  }
+    topo::AsId id_a = intern(a);
+    topo::AsId id_b = intern(b);
+    if (rel == -1) {
+      data.graph.add_customer_link(id_a, id_b);  // a provider of b
+    } else {
+      data.graph.add_peer_link(id_a, id_b);
+    }
+  });
+  tally.finish();
   return data;
 }
 
 topo::Topology load_topology(std::istream& relationships,
-                             std::istream& organizations) {
-  RelationshipData rel = load_as_relationships(relationships);
+                             std::istream& organizations,
+                             const ReadOptions& options, LoadReport* report) {
+  RelationshipData rel = load_as_relationships(relationships, options, report);
 
   std::vector<topo::AsRecord> records(rel.asns.size());
   for (topo::AsId id = 0; id < rel.asns.size(); ++id) {
@@ -110,50 +210,56 @@ topo::Topology load_topology(std::istream& relationships,
     asn_to_id.emplace(rel.asns[id], id);
   }
 
-  std::string line;
-  std::size_t line_no = 0;
-  std::vector<std::pair<net::Asn, std::string>> assignments;
-  while (std::getline(organizations, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '|');
-    if (fields.size() < 2) fail("expected two '|' fields", line_no);
-    net::Asn asn = 0;
-    auto [p, ec] = std::from_chars(
-        fields[0].data(), fields[0].data() + fields[0].size(), asn);
-    bool numeric = ec == std::errc{} &&
-                   p == fields[0].data() + fields[0].size();
-    if (numeric) {
-      assignments.emplace_back(asn, std::string(fields[1]));
-    } else {
-      org_ids.emplace(std::string(fields[0]),
-                      orgs.add_org(std::string(fields[1]), topo::kNoCountry));
-    }
-  }
-  for (const auto& [asn, org_token] : assignments) {
-    auto as_it = asn_to_id.find(asn);
-    auto org_it = org_ids.find(org_token);
+  struct Assignment {
+    net::Asn asn;
+    std::string org;
+    std::size_t line;
+  };
+  std::vector<Assignment> assignments;
+  Tally tally("organizations", options, report);
+  scan_lines(organizations, tally,
+             [&](std::string_view text, std::size_t line_no) {
+               auto fields = split(text, '|');
+               if (fields.size() < 2) fail("expected two '|' fields", line_no);
+               net::Asn asn = 0;
+               auto [p, ec] = std::from_chars(
+                   fields[0].data(), fields[0].data() + fields[0].size(), asn);
+               bool numeric = ec == std::errc{} &&
+                              p == fields[0].data() + fields[0].size();
+               if (numeric) {
+                 assignments.push_back(
+                     {asn, std::string(fields[1]), line_no});
+               } else {
+                 org_ids.emplace(
+                     std::string(fields[0]),
+                     orgs.add_org(std::string(fields[1]), topo::kNoCountry));
+               }
+             });
+  for (const Assignment& assignment : assignments) {
+    auto as_it = asn_to_id.find(assignment.asn);
+    auto org_it = org_ids.find(assignment.org);
     if (as_it == asn_to_id.end()) continue;  // org data beyond the graph
     if (org_it == org_ids.end()) {
-      throw LoadError("assignment references unknown org '" + org_token +
-                      "'");
+      tally.demote(assignment.line, "assignment references unknown org '" +
+                                        assignment.org + "' at line " +
+                                        std::to_string(assignment.line));
+      continue;
     }
     orgs.assign(org_it->second, as_it->second);
     records[as_it->second].org = org_it->second;
   }
+  tally.finish();
 
   return topo::Topology(std::move(rel.graph), std::move(records),
                         std::move(orgs));
 }
 
-bgp::Ip2AsMap load_prefix2as(std::istream& in) {
+bgp::Ip2AsMap load_prefix2as(std::istream& in, const ReadOptions& options,
+                             LoadReport* report) {
   bgp::Ip2AsMap map;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '\t');
+  Tally tally("prefix2as", options, report);
+  scan_lines(in, tally, [&](std::string_view text, std::size_t line_no) {
+    auto fields = split(text, '\t');
     if (fields.size() != 3) fail("expected base<TAB>len<TAB>asns", line_no);
     auto base = net::IPv4::parse(fields[0]);
     if (!base) fail("malformed prefix base", line_no);
@@ -165,7 +271,8 @@ bgp::Ip2AsMap load_prefix2as(std::istream& in) {
     }
     map.insert(net::Prefix(*base, static_cast<std::uint8_t>(length)),
                origins);
-  }
+  });
+  tally.finish();
   return map;
 }
 
@@ -173,97 +280,129 @@ namespace {
 
 void load_certificates(std::istream& in, tls::CertificateStore& store,
                        tls::RootStore& roots,
-                       std::unordered_map<std::string, tls::CertId>& by_id) {
+                       std::unordered_map<std::string, tls::CertId>& by_id,
+                       const ReadOptions& options, LoadReport* report) {
   // One shared trusted root / untrusted root pair models the flattened
   // chain-verification verdict in the input.
   tls::CaService ca(store, roots);
   tls::CertId trusted_root = ca.create_root("Imported WebPKI");
 
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '\t');
-    if (fields.size() != 6) {
-      fail("expected 6 tab-separated certificate fields", line_no);
-    }
-    tls::DistinguishedName subject;
-    subject.organization = std::string(fields[1]);
-    std::vector<std::string> sans;
-    if (!fields[5].empty()) {
-      for (std::string_view san : split(fields[5], ',')) {
-        sans.emplace_back(san);
-      }
-    }
-    net::DayTime not_before = parse_date(fields[2], line_no);
-    net::DayTime not_after = parse_date(fields[3], line_no);
-    if (not_after < not_before) fail("not_after precedes not_before", line_no);
-    auto days = static_cast<int>(not_after.days() - not_before.days());
+  Tally tally("certificates", options, report);
+  // The trailing SAN field is legitimately empty, so only line
+  // terminators are stripped — a trailing tab is part of the record.
+  scan_lines(
+      in, tally,
+      [&](std::string_view text, std::size_t line_no) {
+        auto fields = split(text, '\t');
+        if (fields.size() != 6) {
+          fail("expected 6 tab-separated certificate fields", line_no);
+        }
+        if (by_id.contains(std::string(fields[0]))) {
+          fail("duplicate certificate id", line_no);
+        }
+        tls::DistinguishedName subject;
+        subject.organization = std::string(fields[1]);
+        std::vector<std::string> sans;
+        if (!fields[5].empty()) {
+          for (std::string_view san : split(fields[5], ',')) {
+            sans.emplace_back(san);
+          }
+        }
+        net::DayTime not_before = parse_date(fields[2], line_no);
+        net::DayTime not_after = parse_date(fields[3], line_no);
+        if (not_after < not_before) {
+          fail("not_after precedes not_before", line_no);
+        }
+        auto days = static_cast<int>(not_after.days() - not_before.days());
 
-    tls::CertId id = tls::kNoCert;
-    if (fields[4] == "trusted") {
-      id = ca.issue(trusted_root, std::move(subject), std::move(sans),
-                    not_before, days);
-    } else if (fields[4] == "self-signed") {
-      id = ca.issue_self_signed(std::move(subject), std::move(sans),
-                                not_before, days);
-    } else if (fields[4] == "untrusted") {
-      id = ca.issue_untrusted(std::move(subject), std::move(sans),
-                              not_before, days);
-    } else {
-      fail("unknown trust '" + std::string(fields[4]) + "'", line_no);
-    }
-    if (!by_id.emplace(std::string(fields[0]), id).second) {
-      fail("duplicate certificate id", line_no);
-    }
-  }
+        tls::CertId id = tls::kNoCert;
+        if (fields[4] == "trusted") {
+          id = ca.issue(trusted_root, std::move(subject), std::move(sans),
+                        not_before, days);
+        } else if (fields[4] == "self-signed") {
+          id = ca.issue_self_signed(std::move(subject), std::move(sans),
+                                    not_before, days);
+        } else if (fields[4] == "untrusted") {
+          id = ca.issue_untrusted(std::move(subject), std::move(sans),
+                                  not_before, days);
+        } else {
+          fail("unknown trust '" + std::string(fields[4]) + "'", line_no);
+        }
+        by_id.emplace(std::string(fields[0]), id);
+      },
+      "\r");
+  tally.finish();
 }
 
 }  // namespace
 
-void Dataset::add_headers(std::istream& in) {
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '\t');
-    if (fields.size() != 3) fail("expected ip<TAB>port<TAB>headers", line_no);
-    auto ip = net::IPv4::parse(fields[0]);
-    if (!ip) fail("malformed IP", line_no);
-    http::HeaderMap headers;
-    for (std::string_view pair : split(fields[2], '|')) {
-      auto colon = pair.find(':');
-      if (colon == std::string_view::npos) fail("malformed header", line_no);
-      std::string_view value = pair.substr(colon + 1);
-      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-      headers.add(std::string(pair.substr(0, colon)), std::string(value));
-    }
-    http::HeaderSetId set = catalog_->add(std::move(headers));
-    if (fields[1] == "443") {
-      snapshot_->add_https_headers(*ip, set);
-      snapshot_->set_header_availability(true, snapshot_->has_http_headers());
-    } else if (fields[1] == "80") {
-      snapshot_->add_http_headers(*ip, set);
-      snapshot_->set_header_availability(snapshot_->has_https_headers(), true);
-    } else {
-      fail("unknown port", line_no);
-    }
+void Dataset::add_headers(std::istream& in, const ReadOptions& options,
+                          LoadReport* report) {
+  LoadReport& out = report != nullptr ? *report : report_;
+  std::size_t base = out.files.size();
+  Tally tally("headers", options, &out);
+  // Header values may contain significant interior whitespace, so only
+  // line terminators are stripped here.
+  scan_lines(
+      in, tally,
+      [&](std::string_view text, std::size_t line_no) {
+        auto fields = split(text, '\t');
+        if (fields.size() != 3) {
+          fail("expected ip<TAB>port<TAB>headers", line_no);
+        }
+        auto ip = net::IPv4::parse(fields[0]);
+        if (!ip) fail("malformed IP", line_no);
+        http::HeaderMap headers;
+        for (std::string_view pair : split(fields[2], '|')) {
+          auto colon = pair.find(':');
+          if (colon == std::string_view::npos) {
+            fail("malformed header", line_no);
+          }
+          std::string_view value = pair.substr(colon + 1);
+          while (!value.empty() && value.front() == ' ') {
+            value.remove_prefix(1);
+          }
+          headers.add(std::string(pair.substr(0, colon)), std::string(value));
+        }
+        http::HeaderSetId set = catalog_->add(std::move(headers));
+        if (fields[1] == "443") {
+          snapshot_->add_https_headers(*ip, set);
+          snapshot_->set_header_availability(true,
+                                             snapshot_->has_http_headers());
+        } else if (fields[1] == "80") {
+          snapshot_->add_http_headers(*ip, set);
+          snapshot_->set_header_availability(snapshot_->has_https_headers(),
+                                             true);
+        } else {
+          fail("unknown port", line_no);
+        }
+      },
+      "\r");
+  tally.finish();
+  if (report != nullptr) {
+    report_.files.insert(report_.files.end(), out.files.begin() + base,
+                         out.files.end());
   }
 }
 
 Dataset load_dataset(std::istream& relationships, std::istream& organizations,
                      std::istream& prefix2as, std::istream& certificates,
-                     std::istream& hosts, net::YearMonth scan_month) {
+                     std::istream& hosts, net::YearMonth scan_month,
+                     const ReadOptions& options, LoadReport* report) {
   Dataset dataset;
+  // Fill the caller's report directly so it still holds the per-file
+  // accounting when a load aborts mid-way.
+  LoadReport& out = report != nullptr ? *report : dataset.report_;
+  std::size_t base = out.files.size();
+
   dataset.topology_ = std::make_unique<topo::Topology>(
-      load_topology(relationships, organizations));
-  dataset.ip2as_ =
-      std::make_unique<bgp::FixedIp2As>(load_prefix2as(prefix2as));
+      load_topology(relationships, organizations, options, &out));
+  dataset.ip2as_ = std::make_unique<bgp::FixedIp2As>(
+      load_prefix2as(prefix2as, options, &out));
 
   std::unordered_map<std::string, tls::CertId> cert_ids;
-  load_certificates(certificates, dataset.certs_, dataset.roots_, cert_ids);
+  load_certificates(certificates, dataset.certs_, dataset.roots_, cert_ids,
+                    options, &out);
 
   dataset.catalog_ = std::make_unique<http::HeaderCatalog>();
   auto snapshot_idx = net::snapshot_index(scan_month);
@@ -271,12 +410,9 @@ Dataset load_dataset(std::istream& relationships, std::istream& organizations,
       scan::ScannerKind::kRapid7, snapshot_idx.value_or(0),
       net::DayTime::from(scan_month, 15), *dataset.catalog_);
 
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(hosts, line)) {
-    ++line_no;
-    if (is_comment_or_blank(line)) continue;
-    auto fields = split(line, '\t');
+  Tally tally("hosts", options, &out);
+  scan_lines(hosts, tally, [&](std::string_view text, std::size_t line_no) {
+    auto fields = split(text, '\t');
     if (fields.size() != 2) fail("expected ip<TAB>cert_id", line_no);
     auto ip = net::IPv4::parse(fields[0]);
     if (!ip) fail("malformed IP", line_no);
@@ -288,6 +424,11 @@ Dataset load_dataset(std::istream& relationships, std::istream& organizations,
     }
     dataset.snapshot_->certs().push_back(
         scan::CertScanRecord{*ip, it->second});
+  });
+  tally.finish();
+
+  if (report != nullptr) {
+    dataset.report_.files.assign(out.files.begin() + base, out.files.end());
   }
   return dataset;
 }

@@ -7,6 +7,7 @@
 
 #include "bgp/ip2as.h"
 #include "http/catalog.h"
+#include "io/report.h"
 #include "scan/record.h"
 #include "tls/validator.h"
 #include "topology/topology.h"
@@ -28,6 +29,12 @@
 ///  - hosts: TSV "ip<TAB>cert_id" (the default certificate served).
 ///  - headers: TSV "ip<TAB>port<TAB>Name: value|Name: value" with port
 ///    443 or 80.
+///
+/// Real corpuses are noisy (opt-out truncations, rate-limit losses,
+/// encoding damage), so every loader takes a ReadOptions: in strict mode
+/// the first malformed line throws LoadError with an exact line number;
+/// in permissive mode malformed lines are skipped and tallied into a
+/// LoadReport, and only blowing the per-file error budget aborts.
 namespace offnet::io {
 
 class LoadError : public std::runtime_error {
@@ -40,16 +47,21 @@ struct RelationshipData {
   topo::AsGraph graph;
   std::vector<net::Asn> asns;
 };
-RelationshipData load_as_relationships(std::istream& in);
+RelationshipData load_as_relationships(std::istream& in,
+                                       const ReadOptions& options = {},
+                                       LoadReport* report = nullptr);
 
 /// A Topology assembled from relationships + organizations. Country,
 /// prefix, and population fields stay empty — the pipeline itself only
 /// needs the graph, the ASN index, and the org database.
 topo::Topology load_topology(std::istream& relationships,
-                             std::istream& organizations);
+                             std::istream& organizations,
+                             const ReadOptions& options = {},
+                             LoadReport* report = nullptr);
 
 /// Longest-prefix-match map from a pfx2as file.
-bgp::Ip2AsMap load_prefix2as(std::istream& in);
+bgp::Ip2AsMap load_prefix2as(std::istream& in, const ReadOptions& options = {},
+                             LoadReport* report = nullptr);
 
 /// Everything needed to run OffnetPipeline on loaded data. Members are
 /// held by pointer so the snapshot's internal references stay valid.
@@ -61,12 +73,17 @@ class Dataset {
   const tls::RootStore& roots() const { return roots_; }
   const scan::ScanSnapshot& snapshot() const { return *snapshot_; }
 
+  /// How ingesting this dataset went (one FileReport per input read).
+  const LoadReport& report() const { return report_; }
+
   /// Adds a header corpus (port 443/80) to the snapshot.
-  void add_headers(std::istream& in);
+  void add_headers(std::istream& in, const ReadOptions& options = {},
+                   LoadReport* report = nullptr);
 
  private:
   friend Dataset load_dataset(std::istream&, std::istream&, std::istream&,
-                              std::istream&, std::istream&, net::YearMonth);
+                              std::istream&, std::istream&, net::YearMonth,
+                              const ReadOptions&, LoadReport*);
 
   std::unique_ptr<topo::Topology> topology_;
   std::unique_ptr<bgp::FixedIp2As> ip2as_;
@@ -74,12 +91,17 @@ class Dataset {
   tls::RootStore roots_;
   std::unique_ptr<http::HeaderCatalog> catalog_;
   std::unique_ptr<scan::ScanSnapshot> snapshot_;
+  LoadReport report_;
 };
 
 /// Loads a complete dataset. `scan_month` anchors certificate-validity
 /// checks (must be a study snapshot month for longitudinal analyses).
+/// When `report` is given it receives per-file accounting even if the
+/// load aborts part-way (budget blown / strict failure).
 Dataset load_dataset(std::istream& relationships, std::istream& organizations,
                      std::istream& prefix2as, std::istream& certificates,
-                     std::istream& hosts, net::YearMonth scan_month);
+                     std::istream& hosts, net::YearMonth scan_month,
+                     const ReadOptions& options = {},
+                     LoadReport* report = nullptr);
 
 }  // namespace offnet::io

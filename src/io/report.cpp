@@ -1,0 +1,47 @@
+#include "io/report.h"
+
+namespace offnet::io {
+
+std::size_t LoadReport::lines_ok() const {
+  std::size_t total = 0;
+  for (const FileReport& file : files) total += file.lines_ok;
+  return total;
+}
+
+std::size_t LoadReport::lines_skipped() const {
+  std::size_t total = 0;
+  for (const FileReport& file : files) total += file.lines_skipped;
+  return total;
+}
+
+const FileReport* LoadReport::find(std::string_view kind) const {
+  for (const FileReport& file : files) {
+    if (file.kind == kind) return &file;
+  }
+  return nullptr;
+}
+
+void LoadReport::merge(const LoadReport& other) {
+  files.insert(files.end(), other.files.begin(), other.files.end());
+}
+
+std::string LoadReport::summary() const {
+  std::size_t skipped = lines_skipped();
+  std::size_t total = lines_ok() + skipped;
+  if (skipped == 0) {
+    return "read " + std::to_string(total) + " lines, none skipped";
+  }
+  std::string out = "skipped " + std::to_string(skipped) + " of " +
+                    std::to_string(total) + " lines (";
+  bool first = true;
+  for (const FileReport& file : files) {
+    if (file.lines_skipped == 0) continue;
+    if (!first) out += ", ";
+    out += file.kind + ": " + std::to_string(file.lines_skipped);
+    first = false;
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace offnet::io

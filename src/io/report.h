@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Ingestion accounting shared by every loader: how a read should treat
+/// malformed input (ReadOptions) and what it actually read and dropped
+/// (FileReport / LoadReport). Kept separate from loaders.h so the core
+/// pipeline can attach reports to results without pulling in the loaders.
+namespace offnet::io {
+
+/// How loaders treat malformed input.
+enum class ReadMode {
+  kStrict,      // first malformed line throws LoadError
+  kPermissive,  // malformed lines are skipped and tallied, within a budget
+};
+
+/// Error policy threaded through every loader.
+struct ReadOptions {
+  ReadMode mode = ReadMode::kStrict;
+
+  /// Permissive mode only: abort the load (LoadError) when a file's
+  /// skipped / (ok + skipped) fraction exceeds this budget, so a mostly
+  /// garbage corpus fails loudly instead of yielding a near-empty
+  /// "successful" dataset.
+  double max_error_fraction = 0.05;
+
+  /// How many parse failures to keep per file for diagnostics.
+  std::size_t max_error_samples = 4;
+
+  bool permissive() const { return mode == ReadMode::kPermissive; }
+
+  static ReadOptions strict() { return {}; }
+  static ReadOptions lenient(double budget = 0.05) {
+    ReadOptions options;
+    options.mode = ReadMode::kPermissive;
+    options.max_error_fraction = budget;
+    return options;
+  }
+};
+
+/// One recorded parse failure.
+struct LineError {
+  std::size_t line = 0;
+  std::string what;
+};
+
+/// Accounting for one input file.
+struct FileReport {
+  std::string kind;                // "relationships", "prefix2as", ...
+  std::size_t lines_ok = 0;        // data lines parsed successfully
+  std::size_t lines_skipped = 0;   // malformed data lines dropped
+  std::vector<LineError> samples;  // first max_error_samples failures
+
+  double error_fraction() const {
+    std::size_t total = lines_ok + lines_skipped;
+    return total == 0 ? 0.0 : static_cast<double>(lines_skipped) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Accounting for a whole dataset load, one FileReport per input kind.
+/// Degraded-mode longitudinal runs attach this to each snapshot's result
+/// so a study can say exactly what every snapshot is missing.
+struct LoadReport {
+  std::vector<FileReport> files;
+
+  std::size_t lines_ok() const;
+  std::size_t lines_skipped() const;
+  bool clean() const { return lines_skipped() == 0; }
+
+  const FileReport* find(std::string_view kind) const;
+
+  /// Appends another report's per-file entries.
+  void merge(const LoadReport& other);
+
+  /// One line: "skipped 3 of 1200 lines (certificates: 2, hosts: 1)".
+  std::string summary() const;
+};
+
+}  // namespace offnet::io

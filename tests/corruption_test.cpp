@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "io/corruption.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "test_world.h"
+
+namespace offnet::io {
+namespace {
+
+/// One exported snapshot held as strings, corruptible per-stream.
+struct Corpus {
+  std::string rel, org, pfx, certs, hosts, headers;
+
+  static Corpus export_snapshot(const scan::World& world, std::size_t t) {
+    scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+    std::ostringstream rel, org, pfx, certs, hosts, headers;
+    export_dataset(world, snapshot,
+                   ExportStreams{rel, org, pfx, certs, hosts, headers});
+    return Corpus{rel.str(), org.str(), pfx.str(),
+                  certs.str(), hosts.str(), headers.str()};
+  }
+
+  Corpus corrupted(const CorruptionInjector& injector) const {
+    return Corpus{
+        injector.corrupt(rel, InputKind::kRelationships),
+        injector.corrupt(org, InputKind::kOrganizations),
+        injector.corrupt(pfx, InputKind::kPrefix2As),
+        injector.corrupt(certs, InputKind::kCertificates),
+        injector.corrupt(hosts, InputKind::kHosts),
+        injector.corrupt(headers, InputKind::kHeaders),
+    };
+  }
+
+  Dataset load(net::YearMonth month, const ReadOptions& options,
+               LoadReport* report = nullptr) const {
+    std::istringstream rel_in(rel), org_in(org), pfx_in(pfx),
+        certs_in(certs), hosts_in(hosts), headers_in(headers);
+    Dataset dataset = load_dataset(rel_in, org_in, pfx_in, certs_in, hosts_in,
+                                   month, options, report);
+    dataset.add_headers(headers_in, options, report);
+    return dataset;
+  }
+};
+
+/// Per-HG confirmed off-net footprints as ASN sets (AsIds are not
+/// comparable across independently loaded topologies).
+std::map<std::string, std::set<net::Asn>> confirmed_asns(
+    const Dataset& dataset, const core::SnapshotResult& result) {
+  std::map<std::string, std::set<net::Asn>> out;
+  for (const core::HgFootprint& fp : result.per_hg) {
+    for (topo::AsId id : fp.confirmed_or_ases) {
+      out[fp.name].insert(dataset.topology().as(id).asn);
+    }
+  }
+  return out;
+}
+
+TEST(CorruptionTest, Deterministic) {
+  CorruptionInjector injector({.seed = 7, .intensity = 0.5});
+  const char* text = "1.0.0.0\t20\t200\n1.0.16.0\t20\t400\n";
+  EXPECT_EQ(injector.corrupt(text, InputKind::kPrefix2As),
+            injector.corrupt(text, InputKind::kPrefix2As));
+  CorruptionInjector other({.seed = 8, .intensity = 0.5});
+  // A different seed must not be a no-op forever; with 50% intensity on
+  // two lines the outputs differ for at least one of a few seeds.
+  bool any_different = false;
+  for (std::uint64_t seed : {8u, 9u, 10u, 11u}) {
+    CorruptionInjector alt({.seed = seed, .intensity = 0.5});
+    if (alt.corrupt(text, InputKind::kPrefix2As) !=
+        injector.corrupt(text, InputKind::kPrefix2As)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+  (void)other;
+}
+
+TEST(CorruptionTest, LeavesCommentsAndBlankLinesAlone) {
+  CorruptionInjector injector({.seed = 3, .intensity = 1.0});
+  CorruptionSummary summary;
+  std::string out = injector.corrupt("# header comment\n\n", InputKind::kHosts,
+                                     &summary);
+  EXPECT_EQ(out, "# header comment\n\n");
+  EXPECT_EQ(summary.data_lines, 0u);
+  EXPECT_EQ(summary.corrupted_lines, 0u);
+}
+
+TEST(CorruptionTest, PrefixLengthClassProducesOutOfRangeLengths) {
+  CorruptionInjector injector(
+      {.seed = 5, .intensity = 1.0, .kinds = kPrefixLenOutOfRange});
+  std::string text = "1.0.0.0\t20\t200\n1.0.16.0\t20\t400\n";
+  CorruptionSummary summary;
+  std::string damaged = injector.corrupt(text, InputKind::kPrefix2As,
+                                         &summary);
+  EXPECT_EQ(summary.corrupted_lines, 2u);
+
+  std::istringstream strict_in(damaged);
+  EXPECT_THROW(load_prefix2as(strict_in), LoadError);
+
+  std::istringstream lenient_in(damaged);
+  LoadReport report;
+  bgp::Ip2AsMap map =
+      load_prefix2as(lenient_in, ReadOptions::lenient(1.0), &report);
+  EXPECT_EQ(map.prefix_count(), 0u);
+  EXPECT_EQ(report.find("prefix2as")->lines_skipped, 2u);
+}
+
+TEST(CorruptionTest, ReversedDateRangeClassRejectedWithExactLine) {
+  CorruptionInjector injector(
+      {.seed = 5, .intensity = 1.0, .kinds = kReverseDateRange});
+  std::string text =
+      "c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\ta.example\n";
+  std::string damaged = injector.corrupt(text, InputKind::kCertificates);
+
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org("ORG-X|X\n100|ORG-X\n");
+  std::istringstream pfx("1.0.0.0\t20\t100\n");
+  std::istringstream certs(damaged);
+  std::istringstream hosts("");
+  try {
+    load_dataset(rel, org, pfx, certs, hosts, net::YearMonth(2019, 10));
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("not_after precedes not_before"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("at line 1"), std::string::npos) << what;
+  }
+}
+
+TEST(CorruptionTest, DuplicateLineClassTripsDuplicateKeyDetection) {
+  CorruptionInjector injector(
+      {.seed = 5, .intensity = 1.0, .kinds = kDuplicateLine});
+  std::string text =
+      "c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\ta.example\n";
+  std::string damaged = injector.corrupt(text, InputKind::kCertificates);
+
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org("ORG-X|X\n100|ORG-X\n");
+  std::istringstream pfx("1.0.0.0\t20\t100\n");
+  std::istringstream certs(damaged);
+  std::istringstream hosts("");
+  try {
+    load_dataset(rel, org, pfx, certs, hosts, net::YearMonth(2019, 10));
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate certificate id"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CorruptionTest, EveryClassDrivesThePermissiveLoaders) {
+  // Each failure class alone, at full intensity, over a small hosts file:
+  // permissive loading must survive (generous budget) and strict loading
+  // must either throw or — for damage that stays well-formed, like
+  // duplicated lines or swapped-but-parseable fields — still load.
+  std::string text = "1.0.0.1\tc1\n1.0.0.2\tc1\n";
+  for (unsigned kind : {kTruncateLine, kDeleteField, kSwapFields,
+                        kGarbageBytes, kDuplicateLine}) {
+    CorruptionInjector injector({.seed = 11, .intensity = 1.0, .kinds = kind});
+    CorruptionSummary summary;
+    std::string damaged =
+        injector.corrupt(text, InputKind::kHosts, &summary);
+    EXPECT_EQ(summary.corrupted_lines, 2u) << "kind " << kind;
+
+    std::istringstream rel("100|200|-1\n");
+    std::istringstream org("ORG-X|X\n100|ORG-X\n");
+    std::istringstream pfx("1.0.0.0\t20\t100\n");
+    std::istringstream certs(
+        "c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\ta.example\n");
+    std::istringstream hosts(damaged);
+    LoadReport report;
+    EXPECT_NO_THROW(load_dataset(rel, org, pfx, certs, hosts,
+                                 net::YearMonth(2019, 10),
+                                 ReadOptions::lenient(1.0), &report))
+        << "kind " << kind;
+  }
+}
+
+/// The acceptance bar: a 1%-corrupted export, reloaded permissively,
+/// recovers >= 95% of the off-net ASes the clean pipeline confirms, and
+/// the shortfall is visible in the LoadReport.
+TEST(CorruptionTest, PermissiveReloadRecoversOffnetMajority) {
+  const scan::World& world = testing::tiny_world();
+  std::size_t t = net::snapshot_count() - 1;
+  net::YearMonth month = net::study_snapshots()[t];
+  Corpus clean = Corpus::export_snapshot(world, t);
+
+  Dataset clean_dataset = clean.load(month, ReadOptions::strict());
+  core::OffnetPipeline clean_pipeline(clean_dataset.topology(),
+                                      clean_dataset.ip2as(),
+                                      clean_dataset.certs(),
+                                      clean_dataset.roots());
+  auto clean_confirmed =
+      confirmed_asns(clean_dataset, clean_pipeline.run(clean_dataset.snapshot()));
+
+  CorruptionInjector injector({.seed = 20210823, .intensity = 0.01});
+  Corpus damaged = clean.corrupted(injector);
+  LoadReport report;
+  Dataset dataset = damaged.load(month, ReadOptions::lenient(0.5), &report);
+  core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                                dataset.certs(), dataset.roots());
+  auto confirmed = confirmed_asns(dataset, pipeline.run(dataset.snapshot()));
+
+  std::size_t clean_total = 0;
+  std::size_t recovered = 0;
+  for (const auto& [hg, asns] : clean_confirmed) {
+    clean_total += asns.size();
+    for (net::Asn asn : asns) {
+      recovered += confirmed[hg].count(asn);
+    }
+  }
+  ASSERT_GT(clean_total, 0u);
+  double recovery = static_cast<double>(recovered) /
+                    static_cast<double>(clean_total);
+  EXPECT_GE(recovery, 0.95) << recovered << " of " << clean_total;
+  // The shortfall is accounted for, not silent.
+  EXPECT_GT(report.lines_skipped(), 0u);
+  EXPECT_GT(report.lines_ok(), 0u);
+}
+
+/// Heavier damage must still load (within budget) and keep a usable
+/// majority — degraded, not destroyed.
+TEST(CorruptionTest, HeavierDamageDegradesGracefully) {
+  const scan::World& world = testing::tiny_world();
+  std::size_t t = net::snapshot_count() - 1;
+  net::YearMonth month = net::study_snapshots()[t];
+  Corpus clean = Corpus::export_snapshot(world, t);
+
+  Dataset clean_dataset = clean.load(month, ReadOptions::strict());
+  core::OffnetPipeline clean_pipeline(clean_dataset.topology(),
+                                      clean_dataset.ip2as(),
+                                      clean_dataset.certs(),
+                                      clean_dataset.roots());
+  auto clean_confirmed =
+      confirmed_asns(clean_dataset, clean_pipeline.run(clean_dataset.snapshot()));
+
+  CorruptionInjector injector({.seed = 4, .intensity = 0.05});
+  LoadReport report;
+  Dataset dataset =
+      clean.corrupted(injector).load(month, ReadOptions::lenient(0.5), &report);
+  core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                                dataset.certs(), dataset.roots());
+  auto confirmed = confirmed_asns(dataset, pipeline.run(dataset.snapshot()));
+
+  std::size_t clean_total = 0;
+  std::size_t recovered = 0;
+  for (const auto& [hg, asns] : clean_confirmed) {
+    clean_total += asns.size();
+    for (net::Asn asn : asns) recovered += confirmed[hg].count(asn);
+  }
+  ASSERT_GT(clean_total, 0u);
+  EXPECT_GE(static_cast<double>(recovered) / clean_total, 0.5);
+  EXPECT_GT(report.lines_skipped(), report.lines_ok() / 1000);
+}
+
+TEST(CorruptionTest, DestroyBlowsAnyBudget) {
+  std::string destroyed = CorruptionInjector::destroy(
+      "1.0.0.0\t20\t200\n1.0.16.0\t20\t400\n");
+  std::istringstream in(destroyed);
+  EXPECT_THROW(load_prefix2as(in, ReadOptions::lenient(0.99)), LoadError);
+}
+
+}  // namespace
+}  // namespace offnet::io

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/longitudinal.h"
+#include "io/corruption.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "test_world.h"
+
+namespace offnet::core {
+namespace {
+
+/// Study window used throughout: five snapshots inside the Netflix
+/// expired-certificate era (2017-2019), so the HTTP-only recovery state
+/// is live across the injected gap.
+constexpr std::size_t kFirst = 16;
+constexpr std::size_t kLast = 20;
+constexpr std::size_t kDamaged = 18;
+
+struct Corpus {
+  std::string rel, org, pfx, certs, hosts, headers;
+};
+
+const std::map<std::size_t, Corpus>& exported_corpuses() {
+  static const std::map<std::size_t, Corpus> corpuses = [] {
+    const scan::World& world = testing::tiny_world();
+    std::map<std::size_t, Corpus> out;
+    for (std::size_t t = kFirst; t <= kLast; ++t) {
+      scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+      std::ostringstream rel, org, pfx, certs, hosts, headers;
+      io::export_dataset(world, snapshot,
+                         io::ExportStreams{rel, org, pfx, certs, hosts,
+                                           headers});
+      out[t] = Corpus{rel.str(), org.str(), pfx.str(),
+                      certs.str(), hosts.str(), headers.str()};
+    }
+    return out;
+  }();
+  return corpuses;
+}
+
+SnapshotFeed load_feed(const Corpus& corpus, std::size_t t,
+                       const io::ReadOptions& options) {
+  SnapshotFeed feed;
+  try {
+    std::istringstream rel(corpus.rel), org(corpus.org), pfx(corpus.pfx),
+        certs(corpus.certs), hosts(corpus.hosts), headers(corpus.headers);
+    feed.dataset = io::load_dataset(rel, org, pfx, certs, hosts,
+                                    net::study_snapshots()[t], options,
+                                    &feed.report);
+    feed.dataset->add_headers(headers, options, &feed.report);
+  } catch (const io::LoadError&) {
+    feed.dataset.reset();
+    feed.corrupt = true;
+  }
+  return feed;
+}
+
+class DegradedRunTest : public ::testing::Test {
+ protected:
+  /// Clean reference series over the window; the pipelines run on loaded
+  /// data both times so the only difference is the injected damage.
+  static const std::vector<SnapshotResult>& clean_results() {
+    static const std::vector<SnapshotResult> results = [] {
+      LongitudinalRunner runner{PipelineOptions{}};
+      return runner.run_loaded(
+          [](std::size_t t) {
+            return load_feed(exported_corpuses().at(t), t, {});
+          },
+          kFirst, kLast);
+    }();
+    return results;
+  }
+};
+
+TEST_F(DegradedRunTest, CleanSeriesIsAllComplete) {
+  ASSERT_EQ(clean_results().size(), kLast - kFirst + 1);
+  for (const SnapshotResult& result : clean_results()) {
+    EXPECT_EQ(result.health, SnapshotHealth::kComplete);
+    EXPECT_TRUE(result.usable());
+    EXPECT_TRUE(result.load_report.clean());
+    EXPECT_GT(result.load_report.lines_ok(), 0u);
+  }
+}
+
+/// The acceptance bar: one fully corrupted snapshot is annotated
+/// kCorrupt and skipped; every other snapshot's results are identical to
+/// the uncorrupted run — including after the gap, which exercises the
+/// carried HTTP-only recovery state.
+TEST_F(DegradedRunTest, FullyCorruptSnapshotIsSkippedNotFatal) {
+  LongitudinalRunner runner{PipelineOptions{}};
+  auto results = runner.run_loaded(
+      [](std::size_t t) {
+        Corpus corpus = exported_corpuses().at(t);
+        if (t == kDamaged) {
+          corpus.rel = io::CorruptionInjector::destroy(corpus.rel);
+          corpus.certs = io::CorruptionInjector::destroy(corpus.certs);
+        }
+        return load_feed(corpus, t, io::ReadOptions::lenient(0.1));
+      },
+      kFirst, kLast);
+
+  ASSERT_EQ(results.size(), clean_results().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SnapshotResult& damaged = results[i];
+    const SnapshotResult& clean = clean_results()[i];
+    ASSERT_EQ(damaged.snapshot, clean.snapshot);
+    if (damaged.snapshot == kDamaged) {
+      EXPECT_EQ(damaged.health, SnapshotHealth::kCorrupt);
+      EXPECT_FALSE(damaged.usable());
+      EXPECT_TRUE(damaged.per_hg.empty());
+      continue;
+    }
+    SCOPED_TRACE(damaged.snapshot);
+    EXPECT_EQ(damaged.health, SnapshotHealth::kComplete);
+    EXPECT_EQ(damaged.stats.total_records, clean.stats.total_records);
+    EXPECT_EQ(damaged.stats.valid_cert_ips, clean.stats.valid_cert_ips);
+    ASSERT_EQ(damaged.per_hg.size(), clean.per_hg.size());
+    for (std::size_t h = 0; h < damaged.per_hg.size(); ++h) {
+      EXPECT_EQ(damaged.per_hg[h].confirmed_ips, clean.per_hg[h].confirmed_ips);
+      EXPECT_EQ(damaged.per_hg[h].candidate_ips, clean.per_hg[h].candidate_ips);
+      EXPECT_EQ(damaged.per_hg[h].confirmed_or_ases,
+                clean.per_hg[h].confirmed_or_ases);
+      EXPECT_EQ(damaged.per_hg[h].candidate_ases,
+                clean.per_hg[h].candidate_ases);
+    }
+  }
+}
+
+/// After a gap, the Netflix HTTP-only recovery still applies the prior
+/// IPs accumulated before the gap: the degraded run's recovered set is a
+/// subset of the clean run's (fewer priors can only shrink it), and the
+/// recovery machinery keeps working at all.
+TEST_F(DegradedRunTest, NetflixRecoveryStateCarriesAcrossGap) {
+  LongitudinalRunner runner{PipelineOptions{}};
+  auto results = runner.run_loaded(
+      [](std::size_t t) {
+        SnapshotFeed feed;
+        if (t == kDamaged) {
+          feed.corrupt = true;
+          return feed;
+        }
+        return load_feed(exported_corpuses().at(t), t, {});
+      },
+      kFirst, kLast);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].snapshot <= kDamaged) continue;
+    const HgFootprint* gap = results[i].find("Netflix");
+    const HgFootprint* clean = clean_results()[i].find("Netflix");
+    ASSERT_NE(gap, nullptr);
+    ASSERT_NE(clean, nullptr);
+    // Recovery variants are supersets of the plain expired set...
+    EXPECT_GE(gap->confirmed_expired_http_ases.size(),
+              gap->confirmed_expired_ases.size());
+    // ...and never exceed what the full-priors clean run recovers.
+    EXPECT_LE(gap->confirmed_expired_http_ases.size(),
+              clean->confirmed_expired_http_ases.size());
+    EXPECT_EQ(gap->confirmed_or_ases, clean->confirmed_or_ases);
+  }
+}
+
+TEST_F(DegradedRunTest, MissingSnapshotIsAnnotated) {
+  LongitudinalRunner runner{PipelineOptions{}};
+  auto results = runner.run_loaded(
+      [](std::size_t t) {
+        if (t == kDamaged) return SnapshotFeed{};  // nothing on disk
+        return load_feed(exported_corpuses().at(t), t, {});
+      },
+      kFirst, kLast);
+  ASSERT_EQ(results.size(), kLast - kFirst + 1);
+  const SnapshotResult& missing = results[kDamaged - kFirst];
+  EXPECT_EQ(missing.health, SnapshotHealth::kMissing);
+  EXPECT_FALSE(missing.usable());
+  EXPECT_EQ(missing.snapshot, kDamaged);
+}
+
+TEST_F(DegradedRunTest, PartialSnapshotIsAnnotatedWithReport) {
+  LongitudinalRunner runner{PipelineOptions{}};
+  io::CorruptionInjector injector({.seed = 9, .intensity = 0.02});
+  auto results = runner.run_loaded(
+      [&](std::size_t t) {
+        Corpus corpus = exported_corpuses().at(t);
+        if (t == kDamaged) {
+          corpus.hosts = injector.corrupt(corpus.hosts, io::InputKind::kHosts);
+        }
+        return load_feed(corpus, t, io::ReadOptions::lenient(0.5));
+      },
+      kFirst, kLast);
+  const SnapshotResult& partial = results[kDamaged - kFirst];
+  EXPECT_EQ(partial.health, SnapshotHealth::kPartial);
+  EXPECT_TRUE(partial.usable());
+  EXPECT_GT(partial.load_report.lines_skipped(), 0u);
+  EXPECT_FALSE(partial.per_hg.empty());
+}
+
+/// World-driven runs: scanners that start mid-study produce kMissing
+/// placeholders under set_include_missing instead of silent gaps.
+TEST(WorldDegradedRunTest, IncludeMissingAnnotatesUnavailableSnapshots) {
+  const scan::World& world = testing::tiny_world();
+  LongitudinalRunner runner(world, scan::ScannerKind::kCensys);
+  runner.set_include_missing(true);
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), net::snapshot_count());
+  std::size_t missing = 0, complete = 0;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    EXPECT_EQ(results[t].snapshot, t);
+    bool available = world.scanner_available(t, scan::ScannerKind::kCensys);
+    EXPECT_EQ(results[t].health, available ? SnapshotHealth::kComplete
+                                           : SnapshotHealth::kMissing);
+    ++(available ? complete : missing);
+  }
+  // Censys data starts mid-study: both kinds must occur.
+  EXPECT_GT(missing, 0u);
+  EXPECT_GT(complete, 0u);
+
+  // Default behavior (no placeholders) is unchanged.
+  LongitudinalRunner plain(world, scan::ScannerKind::kCensys);
+  EXPECT_EQ(plain.run().size(), complete);
+}
+
+}  // namespace
+}  // namespace offnet::core

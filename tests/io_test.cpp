@@ -132,6 +132,129 @@ TEST(IoTest, RejectsMalformedPrefix2As) {
   EXPECT_THROW(load_prefix2as(bad3), LoadError);
 }
 
+TEST(IoTest, RejectsPrefixLengthOver32) {
+  std::istringstream bad("1.0.0.0\t33\t100\n");
+  try {
+    load_prefix2as(bad);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_NE(std::string(e.what()).find("prefix length out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(IoTest, Prefix2AsToleratesTrailingWhitespaceAndBlankLines) {
+  std::istringstream in(
+      "1.0.0.0\t20\t200   \n"
+      "\n"
+      "   \t \n"
+      "1.0.16.0\t20\t400\t\n"
+      "1.0.32.0\t20\t500\r\n");
+  bgp::Ip2AsMap map = load_prefix2as(in);
+  EXPECT_EQ(map.prefix_count(), 3u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.0.5")), 200u);
+  EXPECT_EQ(map.primary(*net::IPv4::parse("1.0.32.5")), 500u);
+}
+
+TEST(IoTest, Prefix2AsMoasSurvivesTrailingWhitespace) {
+  std::istringstream in("1.0.64.0\t20\t200_300_77 \r\n");
+  bgp::Ip2AsMap map = load_prefix2as(in);
+  auto moas = map.lookup(*net::IPv4::parse("1.0.64.9"));
+  ASSERT_EQ(moas.size(), 3u);
+  EXPECT_EQ(moas[0], 200u);
+  EXPECT_EQ(moas[2], 77u);
+}
+
+TEST(IoTest, StrictErrorsCarryExactLineNumbers) {
+  // Line 1 comment, line 2 ok, line 3 blank, line 4 malformed.
+  std::istringstream in(
+      "# pfx2as\n"
+      "1.0.0.0\t20\t200\n"
+      "\n"
+      "1.0.16.0\t99\t400\n");
+  try {
+    load_prefix2as(in);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_NE(std::string(e.what()).find("at line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoTest, PermissiveSkipsMalformedLinesWithinBudget) {
+  std::istringstream in(
+      "1.0.0.0\t20\t200\n"
+      "1.0.16.0\t99\t400\n"   // length out of range: skipped
+      "garbage line\n"        // malformed: skipped
+      "1.0.32.0\t20\t500\n");
+  LoadReport report;
+  bgp::Ip2AsMap map =
+      load_prefix2as(in, ReadOptions::lenient(/*budget=*/0.6), &report);
+  EXPECT_EQ(map.prefix_count(), 2u);
+  const FileReport* file = report.find("prefix2as");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->lines_ok, 2u);
+  EXPECT_EQ(file->lines_skipped, 2u);
+  ASSERT_GE(file->samples.size(), 1u);
+  EXPECT_EQ(file->samples[0].line, 2u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(IoTest, PermissiveEnforcesErrorBudget) {
+  std::istringstream in(
+      "garbage\n"
+      "more garbage\n"
+      "1.0.0.0\t20\t200\n");
+  LoadReport report;
+  try {
+    load_prefix2as(in, ReadOptions::lenient(/*budget=*/0.5), &report);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_NE(std::string(e.what()).find("error budget exceeded"),
+              std::string::npos)
+        << e.what();
+  }
+  // The report still holds the file's accounting for diagnostics.
+  const FileReport* file = report.find("prefix2as");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->lines_skipped, 2u);
+}
+
+TEST(IoTest, PermissiveDatasetLoadSkipsBrokenCertAndDependentHost) {
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org("ORG-X|X\n100|ORG-X\n");
+  std::istringstream pfx("1.0.0.0\t20\t100\n");
+  std::istringstream certs(
+      "c1\tOrg\t2019-01-01\t2020-01-01\ttrusted\ta.example\n"
+      "c2\tOrg\t2019-01-01\t2018-01-01\ttrusted\tb.example\n");  // reversed
+  std::istringstream hosts(
+      "1.0.0.1\tc1\n"
+      "1.0.0.2\tc2\n");  // references the skipped certificate
+  LoadReport report;
+  Dataset dataset =
+      load_dataset(rel, org, pfx, certs, hosts, net::YearMonth(2019, 10),
+                   ReadOptions::lenient(/*budget=*/0.9), &report);
+  EXPECT_EQ(dataset.snapshot().certs().size(), 1u);
+  EXPECT_EQ(report.lines_skipped(), 2u);
+  EXPECT_EQ(report.find("certificates")->lines_skipped, 1u);
+  EXPECT_EQ(report.find("hosts")->lines_skipped, 1u);
+  // The dataset carries its own copy of the accounting.
+  EXPECT_EQ(dataset.report().lines_skipped(), 2u);
+}
+
+TEST(IoTest, PermissiveTopologySkipsUnknownOrgAssignment) {
+  std::istringstream rel("100|200|-1\n");
+  std::istringstream org(
+      "ORG-X|X\n"
+      "100|ORG-X\n"
+      "200|ORG-MISSING\n");
+  LoadReport report;
+  topo::Topology topology =
+      load_topology(rel, org, ReadOptions::lenient(0.9), &report);
+  EXPECT_TRUE(topology.orgs().find_exact("X").has_value());
+  EXPECT_EQ(report.find("organizations")->lines_skipped, 1u);
+}
+
 TEST(IoTest, RejectsBadCertificates) {
   auto try_load = [](const char* certs_text) {
     std::istringstream rel("100|200|-1\n");

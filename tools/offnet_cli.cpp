@@ -10,8 +10,18 @@
 //       certificates.tsv, hosts.tsv, headers.tsv).
 //
 //   offnet_cli analyze --dir DIR --month YYYY-MM
+//                      [--permissive] [--max-error-fraction F]
 //       Load a dataset from DIR (same file names as `export`) and run
 //       the off-net inference pipeline on it — the path for real data.
+//       With --permissive, malformed input lines are skipped (within the
+//       per-file error budget) and the ingestion report is printed.
+//
+//   offnet_cli series --root DIR [--permissive] [--max-error-fraction F]
+//       Degraded-mode longitudinal run: expects DIR/<YYYY-MM>/ per study
+//       snapshot with the `analyze` file layout. Missing or corrupt
+//       snapshots are annotated and skipped instead of aborting the
+//       study; prints a per-snapshot health summary.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "core/longitudinal.h"
 #include "core/pipeline.h"
 #include "io/exporter.h"
 #include "io/loaders.h"
@@ -37,7 +48,12 @@ struct Args {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second.c_str();
   }
+  bool has(const std::string& key) const { return options.contains(key); }
 };
+
+constexpr std::string_view kKnownFlags[] = {
+    "scale", "seed", "month",      "scanner",
+    "out",   "dir",  "root",       "permissive", "max-error-fraction"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -45,21 +61,52 @@ std::optional<Args> parse_args(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (arg.substr(0, 2) != "--" || i + 1 >= argc) return std::nullopt;
-    args.options[std::string(arg.substr(2))] = argv[++i];
+    if (arg.substr(0, 2) != "--") return std::nullopt;
+    std::string key(arg.substr(2));
+    if (std::find(std::begin(kKnownFlags), std::end(kKnownFlags), key) ==
+        std::end(kKnownFlags)) {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+      return std::nullopt;
+    }
+    // A flag followed by another option (or nothing) is valueless.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
   }
   return args;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: offnet_cli simulate|export|analyze [options]\n"
+               "usage: offnet_cli simulate|export|analyze|series [options]\n"
                "  simulate [--scale S] [--seed N] [--month YYYY-MM] "
                "[--scanner r7|cs|ac]\n"
                "  export   --out DIR [--scale S] [--seed N] "
                "[--month YYYY-MM]\n"
-               "  analyze  --dir DIR --month YYYY-MM\n");
+               "  analyze  --dir DIR --month YYYY-MM [--permissive] "
+               "[--max-error-fraction F]\n"
+               "  series   --root DIR [--permissive] "
+               "[--max-error-fraction F]\n");
   return 2;
+}
+
+io::ReadOptions read_options_from(const Args& args) {
+  io::ReadOptions options;
+  if (args.has("permissive")) options.mode = io::ReadMode::kPermissive;
+  if (args.has("max-error-fraction")) {
+    options.mode = io::ReadMode::kPermissive;  // implied
+    const char* text = args.get("max-error-fraction", "");
+    char* end = nullptr;
+    double budget = std::strtod(text, &end);
+    if (end == text || *end != '\0' || budget < 0.0 || budget > 1.0) {
+      throw std::runtime_error(
+          "--max-error-fraction must be a number in [0, 1]");
+    }
+    options.max_error_fraction = budget;
+  }
+  return options;
 }
 
 void print_result(const topo::Topology& topology,
@@ -145,12 +192,9 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
-int cmd_analyze(const Args& args) {
-  std::string dir = args.get("dir", "");
-  if (dir.empty()) return usage();
-  auto month = net::YearMonth::parse(args.get("month", "2021-04"));
-  if (!month) return usage();
-
+/// Loads one snapshot directory; tallies into `report` when given.
+io::Dataset load_dir(const std::string& dir, net::YearMonth month,
+                     const io::ReadOptions& options, io::LoadReport* report) {
   auto open = [&dir](const char* name) {
     std::ifstream in(dir + "/" + name);
     if (!in) throw std::runtime_error(std::string("cannot read ") + name);
@@ -161,15 +205,76 @@ int cmd_analyze(const Args& args) {
   std::ifstream pfx = open("prefix2as.txt");
   std::ifstream certs = open("certificates.tsv");
   std::ifstream hosts = open("hosts.tsv");
-  io::Dataset dataset = io::load_dataset(rel, org, pfx, certs, hosts, *month);
+  io::Dataset dataset = io::load_dataset(rel, org, pfx, certs, hosts, month,
+                                         options, report);
   {
     std::ifstream headers(dir + "/headers.tsv");
-    if (headers) dataset.add_headers(headers);
+    if (headers) dataset.add_headers(headers, options, report);
   }
+  return dataset;
+}
+
+int cmd_analyze(const Args& args) {
+  std::string dir = args.get("dir", "");
+  if (dir.empty()) return usage();
+  auto month = net::YearMonth::parse(args.get("month", "2021-04"));
+  if (!month) return usage();
+  io::ReadOptions options = read_options_from(args);
+
+  io::LoadReport report;
+  io::Dataset dataset = load_dir(dir, *month, options, &report);
   core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
                                 dataset.certs(), dataset.roots());
-  print_result(dataset.topology(), pipeline.run(dataset.snapshot()));
+  auto result = pipeline.run(dataset.snapshot());
+  result.health = report.clean() ? core::SnapshotHealth::kComplete
+                                 : core::SnapshotHealth::kPartial;
+  print_result(dataset.topology(), result);
+  std::printf("snapshot %s: %s — %s\n", month->to_string().c_str(),
+              core::to_string(result.health), report.summary().c_str());
   return 0;
+}
+
+int cmd_series(const Args& args) {
+  std::string root = args.get("root", "");
+  if (root.empty()) return usage();
+  io::ReadOptions options = read_options_from(args);
+  auto months = net::study_snapshots();
+
+  auto feed = [&](std::size_t t) {
+    core::SnapshotFeed input;
+    std::string dir = root + "/" + months[t].to_string();
+    std::ifstream probe(dir + "/relationships.txt");
+    if (!probe) return input;  // kMissing
+    try {
+      input.dataset = load_dir(dir, months[t], options, &input.report);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: unusable: %s\n",
+                   months[t].to_string().c_str(), e.what());
+      input.dataset.reset();
+      input.corrupt = true;
+    }
+    return input;
+  };
+
+  core::LongitudinalRunner runner{core::PipelineOptions{}};
+  net::TextTable table({"snapshot", "health", "lines read", "lines skipped",
+                        "confirmed off-net ASes"});
+  std::size_t usable = 0;
+  auto results = runner.run_loaded(feed, 0, months.size() - 1);
+  for (const core::SnapshotResult& result : results) {
+    std::size_t confirmed = 0;
+    for (const core::HgFootprint& fp : result.per_hg) {
+      confirmed += fp.confirmed_ases().size();
+    }
+    if (result.usable()) ++usable;
+    table.add(months[result.snapshot].to_string(),
+              core::to_string(result.health), result.load_report.lines_ok(),
+              result.load_report.lines_skipped(),
+              result.usable() ? std::to_string(confirmed) : "-");
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n%zu of %zu snapshots usable\n", usable, results.size());
+  return usable > 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -181,6 +286,7 @@ int main(int argc, char** argv) {
     if (args->command == "simulate") return cmd_simulate(*args);
     if (args->command == "export") return cmd_export(*args);
     if (args->command == "analyze") return cmd_analyze(*args);
+    if (args->command == "series") return cmd_series(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
