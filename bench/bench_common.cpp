@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 
 namespace offnet::bench {
 
@@ -45,6 +47,29 @@ std::size_t footprint_size(const core::SnapshotResult& result,
                            std::string_view hg) {
   const core::HgFootprint* fp = result.find(hg);
   return fp == nullptr ? 0 : analysis::effective_footprint(*fp).size();
+}
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void write_bench_json(const std::string& bench, const std::string& path,
+                      const std::vector<TimingSample>& samples) {
+  std::ofstream out(path);
+  out << "{\"bench\": \"" << bench << "\", \"mode\": \""
+      << (fast_mode() ? "fast" : "full") << "\", \"samples\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"name\": \"" << samples[i].name << "\", \"threads\": "
+        << samples[i].threads << ", \"seconds\": " << samples[i].seconds
+        << "}";
+  }
+  out << "]}\n";
+  std::fprintf(stderr, "[bench] wrote %s (%zu samples)\n", path.c_str(),
+               samples.size());
 }
 
 void heading(const std::string& title) {

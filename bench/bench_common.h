@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,23 @@ std::vector<core::SnapshotResult> run_longitudinal(
 /// result; 0 when absent.
 std::size_t footprint_size(const core::SnapshotResult& result,
                            std::string_view hg);
+
+/// One wall-clock measurement for the machine-readable perf baseline.
+struct TimingSample {
+  std::string name;         // what ran, e.g. "pipeline.run"
+  std::size_t threads = 1;  // n_threads it ran with
+  double seconds = 0.0;     // wall-clock
+};
+
+/// Wall-clock seconds of one fn() invocation.
+double wall_seconds(const std::function<void()>& fn);
+
+/// Writes `path` as
+///   {"bench": <bench>, "mode": "full"|"fast", "samples":
+///    [{"name": ..., "threads": N, "seconds": S}, ...]}
+/// — the perf baseline future PRs are compared against.
+void write_bench_json(const std::string& bench, const std::string& path,
+                      const std::vector<TimingSample>& samples);
 
 /// Section header on stdout.
 void heading(const std::string& title);

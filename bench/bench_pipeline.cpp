@@ -1,0 +1,123 @@
+// Wall-clock baseline for the sharded snapshot pipeline: serial vs
+// threaded OffnetPipeline::run on the latest snapshot, plus a short
+// longitudinal segment, written to BENCH_pipeline.json. Every threaded
+// run is also checked bit-identical to the serial result — a perf number
+// from a wrong answer is worthless.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace offnet;
+
+namespace {
+
+bool same_result(const core::SnapshotResult& a,
+                 const core::SnapshotResult& b) {
+  if (a.stats.total_records != b.stats.total_records ||
+      a.stats.valid_cert_ips != b.stats.valid_cert_ips ||
+      a.stats.invalid_cert_ips != b.stats.invalid_cert_ips ||
+      a.stats.ases_with_certs != b.stats.ases_with_certs ||
+      a.stats.hg_cert_ips_onnet != b.stats.hg_cert_ips_onnet ||
+      a.stats.hg_cert_ips_offnet != b.stats.hg_cert_ips_offnet ||
+      a.stats.ases_with_any_hg != b.stats.ases_with_any_hg ||
+      a.per_hg.size() != b.per_hg.size()) {
+    return false;
+  }
+  for (std::size_t h = 0; h < a.per_hg.size(); ++h) {
+    const core::HgFootprint& x = a.per_hg[h];
+    const core::HgFootprint& y = b.per_hg[h];
+    if (x.candidate_ases != y.candidate_ases ||
+        x.confirmed_or_ases != y.confirmed_or_ases ||
+        x.confirmed_and_ases != y.confirmed_and_ases ||
+        x.confirmed_expired_http_ases != y.confirmed_expired_http_ases ||
+        x.confirmed_ip_list != y.confirmed_ip_list) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const scan::World& world = bench::world();
+  const std::size_t t = net::snapshot_count() - 1;
+  const scan::ScanSnapshot snap = world.scan(t, scan::ScannerKind::kRapid7);
+  std::vector<bench::TimingSample> samples;
+
+  bench::heading("snapshot pipeline: serial vs sharded");
+  std::printf("snapshot %zu, %zu scan records\n", t, snap.certs().size());
+
+  // Warm the IP-to-AS cache so the serial baseline doesn't also pay the
+  // one-time map build that later runs get for free.
+  (void)world.ip2as().at(t);
+
+  core::SnapshotResult serial;
+  {
+    core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                  world.certs(), world.roots());
+    const double s = bench::wall_seconds([&] { serial = pipeline.run(snap); });
+    samples.push_back({"pipeline.run", 1, s});
+    std::printf("  1 thread : %7.3fs (baseline)\n", s);
+  }
+  const double serial_seconds = samples.front().seconds;
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    core::PipelineOptions options;
+    options.n_threads = threads;
+    core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
+                                  world.certs(), world.roots(),
+                                  core::standard_hg_inputs(), options);
+    core::SnapshotResult result;
+    const double s = bench::wall_seconds([&] { result = pipeline.run(snap); });
+    samples.push_back({"pipeline.run", threads, s});
+    std::printf("  %zu threads: %7.3fs (%.2fx)\n", threads, s,
+                s > 0 ? serial_seconds / s : 0.0);
+    if (!same_result(serial, result)) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread result differs from serial result\n",
+                   threads);
+      return 1;
+    }
+  }
+
+  bench::heading("longitudinal segment: serial vs snapshot fan-out");
+  const std::size_t first = t >= 3 ? t - 3 : 0;
+  std::printf("snapshots %zu..%zu\n", first, t);
+  std::vector<core::SnapshotResult> serial_series;
+  {
+    core::LongitudinalRunner runner(world, scan::ScannerKind::kRapid7);
+    const double s =
+        bench::wall_seconds([&] { serial_series = runner.run(first, t); });
+    samples.push_back({"longitudinal.run", 1, s});
+    std::printf("  1 thread : %7.3fs (baseline)\n", s);
+  }
+  {
+    core::PipelineOptions options;
+    options.n_threads = 4;
+    core::LongitudinalRunner runner(world, scan::ScannerKind::kRapid7,
+                                    options);
+    std::vector<core::SnapshotResult> series;
+    const double s = bench::wall_seconds([&] { series = runner.run(first, t); });
+    samples.push_back({"longitudinal.run", 4, s});
+    std::printf("  4 threads: %7.3fs (%.2fx)\n", s,
+                s > 0 ? samples[samples.size() - 2].seconds / s : 0.0);
+    if (series.size() != serial_series.size()) {
+      std::fprintf(stderr, "FAIL: series length mismatch\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (!same_result(serial_series[i], series[i])) {
+        std::fprintf(stderr,
+                     "FAIL: snapshot %zu differs between serial and "
+                     "fan-out longitudinal runs\n",
+                     serial_series[i].snapshot);
+        return 1;
+      }
+    }
+  }
+
+  bench::write_bench_json("pipeline", "BENCH_pipeline.json", samples);
+  return 0;
+}

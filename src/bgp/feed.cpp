@@ -83,6 +83,18 @@ Ip2AsSeries::Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
       cache_capacity_(std::max<std::size_t>(1, cache_capacity)) {}
 
 const Ip2AsMap& Ip2AsSeries::at(std::size_t snapshot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *share_locked(snapshot);
+}
+
+std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share(
+    std::size_t snapshot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return share_locked(snapshot);
+}
+
+std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share_locked(
+    std::size_t snapshot) const {
   for (auto it = cache_.begin(); it != cache_.end(); ++it) {
     if (it->first == snapshot) {
       cache_.splice(cache_.begin(), cache_, it);
@@ -92,19 +104,20 @@ const Ip2AsMap& Ip2AsSeries::at(std::size_t snapshot) const {
   Ip2AsBuilder builder;
   builder.add_feed(simulator_.monthly_feed(snapshot, Collector::kRipeRis));
   builder.add_feed(simulator_.monthly_feed(snapshot, Collector::kRouteViews));
-  Ip2AsMap map = builder.build();
+  auto map = std::make_shared<const Ip2AsMap>(builder.build());
   stats_.emplace_back(snapshot, builder.stats());
-  cache_.emplace_front(snapshot, std::move(map));
+  cache_.emplace_front(snapshot, map);
   while (cache_.size() > cache_capacity_) cache_.pop_back();
-  return cache_.front().second;
+  return map;
 }
 
 Ip2AsBuilder::Stats Ip2AsSeries::stats_at(std::size_t snapshot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [snap, stats] : stats_) {
     if (snap == snapshot) return stats;
   }
-  at(snapshot);
-  return stats_at(snapshot);
+  share_locked(snapshot);
+  return stats_.back().second;
 }
 
 }  // namespace offnet::bgp

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "bgp/ip2as.h"
@@ -54,19 +56,35 @@ class FeedSimulator {
 /// collectors, mirroring the paper's Appendix A.1 process. Keeps a small
 /// LRU of built maps (they are large; longitudinal runs access snapshots
 /// sequentially).
+///
+/// All accessors are serialized internally. References returned by at()
+/// stay valid only until cache_capacity_ further snapshots have been
+/// built; callers that hold a map across other lookups — the parallel
+/// longitudinal runner pinning one map per in-flight snapshot — must use
+/// share(), which keeps the map alive past LRU eviction.
 class Ip2AsSeries final : public Ip2AsOracle {
  public:
   Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
               std::size_t cache_capacity = 2);
 
   const Ip2AsMap& at(std::size_t snapshot) const override;
+
+  /// Eviction-safe access: the returned pointer owns the map
+  /// independently of the internal LRU.
+  std::shared_ptr<const Ip2AsMap> share(std::size_t snapshot) const;
+
   Ip2AsBuilder::Stats stats_at(std::size_t snapshot) const;
 
  private:
+  /// Cache lookup / build; requires mutex_ held.
+  std::shared_ptr<const Ip2AsMap> share_locked(std::size_t snapshot) const;
+
   const topo::Topology& topology_;
   FeedSimulator simulator_;
   std::size_t cache_capacity_;
-  mutable std::list<std::pair<std::size_t, Ip2AsMap>> cache_;
+  mutable std::mutex mutex_;
+  mutable std::list<std::pair<std::size_t, std::shared_ptr<const Ip2AsMap>>>
+      cache_;
   mutable std::vector<std::pair<std::size_t, Ip2AsBuilder::Stats>> stats_;
 };
 

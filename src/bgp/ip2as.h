@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -81,6 +82,20 @@ class FixedIp2As final : public Ip2AsOracle {
 
  private:
   Ip2AsMap map_;
+};
+
+/// One shared, immutable map answering for every snapshot. Produced by
+/// Ip2AsSeries::share for the parallel longitudinal runner: each
+/// in-flight snapshot pins its own map, so the series' LRU may evict
+/// freely while workers run.
+class PinnedIp2As final : public Ip2AsOracle {
+ public:
+  explicit PinnedIp2As(std::shared_ptr<const Ip2AsMap> map)
+      : map_(std::move(map)) {}
+  const Ip2AsMap& at(std::size_t) const override { return *map_; }
+
+ private:
+  std::shared_ptr<const Ip2AsMap> map_;
 };
 
 /// Applies the paper's cleaning rules to monthly collector feeds:

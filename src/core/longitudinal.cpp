@@ -1,6 +1,10 @@
 #include "core/longitudinal.h"
 
 #include <cassert>
+#include <memory>
+#include <optional>
+
+#include "core/thread_pool.h"
 
 namespace offnet::core {
 
@@ -32,33 +36,109 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
     std::size_t first, std::size_t last,
     const std::function<void(const SnapshotResult&)>& progress) const {
   assert(world_ != nullptr && "run() needs the world constructor");
+  const std::size_t threads = resolve_thread_count(options_.n_threads);
   std::vector<SnapshotResult> results;
   std::unordered_set<std::uint32_t> netflix_ips;
 
-  for (std::size_t t = first; t <= last; ++t) {
-    if (!world_->scanner_available(t, scanner_)) {
-      if (include_missing_) {
+  if (threads <= 1) {
+    for (std::size_t t = first; t <= last; ++t) {
+      if (!world_->scanner_available(t, scanner_)) {
+        if (include_missing_) {
+          SnapshotResult placeholder;
+          placeholder.snapshot = t;
+          placeholder.scanner = scanner_;
+          placeholder.health = SnapshotHealth::kMissing;
+          if (progress) progress(placeholder);
+          results.push_back(std::move(placeholder));
+        }
+        continue;
+      }
+      scan::ScanSnapshot snapshot = world_->scan(t, scanner_);
+
+      PipelineOptions options = options_;
+      options.netflix_prior_ips = &netflix_ips;
+      OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
+                              world_->certs(), world_->roots(),
+                              standard_hg_inputs(), options);
+      SnapshotResult result = pipeline.run(snapshot);
+      absorb_netflix_ips(result, netflix_ips);
+
+      if (progress) progress(result);
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+
+  // Snapshot-level fan-out. Scan production and IP-to-AS map building
+  // keep internal caches, so each wave's inputs are produced serially
+  // here; the per-snapshot pipelines then run concurrently with the
+  // Netflix prior deferred, and the one cross-snapshot dependency — the
+  // §6.2 HTTP-only recovery, which reads IPs seen in *earlier* snapshots
+  // — is re-applied in snapshot order afterwards. The recovery only
+  // rewrites confirmed_expired_http_ases, so the result is bit-identical
+  // to the serial path.
+  ThreadPool pool(threads);
+  struct Job {
+    std::size_t t = 0;
+    bool missing = false;
+    std::optional<scan::ScanSnapshot> snap;
+    std::shared_ptr<const bgp::Ip2AsMap> map;
+    SnapshotResult result;
+  };
+
+  std::size_t t = first;
+  while (t <= last) {
+    std::vector<Job> wave;
+    while (t <= last && wave.size() < pool.concurrency()) {
+      Job job;
+      job.t = t;
+      if (!world_->scanner_available(t, scanner_)) {
+        job.missing = true;
+        if (include_missing_) wave.push_back(std::move(job));
+      } else {
+        job.snap.emplace(world_->scan(t, scanner_));
+        job.map = world_->ip2as().share(t);
+        wave.push_back(std::move(job));
+      }
+      ++t;
+    }
+
+    std::vector<std::function<void()>> tasks;
+    for (Job& job : wave) {
+      if (job.missing) continue;
+      tasks.push_back([this, &job] {
+        bgp::PinnedIp2As pinned(job.map);
+        PipelineOptions options = options_;
+        options.netflix_prior_ips = nullptr;
+        options.n_threads = 1;  // parallelism is spent across snapshots
+        OffnetPipeline pipeline(world_->topology(), pinned, world_->certs(),
+                                world_->roots(), standard_hg_inputs(),
+                                options);
+        job.result = pipeline.run(*job.snap);
+      });
+    }
+    pool.run_all(std::move(tasks));
+
+    for (Job& job : wave) {
+      if (job.missing) {
         SnapshotResult placeholder;
-        placeholder.snapshot = t;
+        placeholder.snapshot = job.t;
         placeholder.scanner = scanner_;
         placeholder.health = SnapshotHealth::kMissing;
         if (progress) progress(placeholder);
         results.push_back(std::move(placeholder));
+        continue;
       }
-      continue;
+      bgp::PinnedIp2As pinned(job.map);
+      OffnetPipeline pipeline(world_->topology(), pinned, world_->certs(),
+                              world_->roots(), standard_hg_inputs(),
+                              options_);
+      pipeline.apply_netflix_http_recovery(*job.snap, job.result,
+                                           netflix_ips);
+      absorb_netflix_ips(job.result, netflix_ips);
+      if (progress) progress(job.result);
+      results.push_back(std::move(job.result));
     }
-    scan::ScanSnapshot snapshot = world_->scan(t, scanner_);
-
-    PipelineOptions options = options_;
-    options.netflix_prior_ips = &netflix_ips;
-    OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
-                            world_->certs(), world_->roots(),
-                            standard_hg_inputs(), options);
-    SnapshotResult result = pipeline.run(snapshot);
-    absorb_netflix_ips(result, netflix_ips);
-
-    if (progress) progress(result);
-    results.push_back(std::move(result));
   }
   return results;
 }

@@ -46,6 +46,12 @@ class LongitudinalRunner {
   /// Runs snapshots [first, last]; by default the whole study. Results
   /// for snapshots where the scanner has no data are skipped (or
   /// annotated kMissing under set_include_missing).
+  ///
+  /// With options.n_threads > 1 snapshots fan out across threads: each
+  /// wave's inputs are produced serially (scan and IP-to-AS caches are
+  /// not shard-safe), pipelines run concurrently, and the cross-snapshot
+  /// Netflix §6.2 recovery is re-applied in snapshot order — results are
+  /// bit-identical to a serial run.
   std::vector<SnapshotResult> run(
       std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
       const std::function<void(const SnapshotResult&)>& progress = {}) const;
@@ -55,6 +61,10 @@ class LongitudinalRunner {
   /// missing snapshot yields an annotated placeholder and the series
   /// keeps going; usable snapshots are marked kComplete or kPartial from
   /// their LoadReport.
+  ///
+  /// Snapshots stay sequential here — the feed contract is "one dataset
+  /// in memory at a time" — but options.n_threads still parallelizes
+  /// each snapshot's pipeline internally.
   std::vector<SnapshotResult> run_loaded(
       const std::function<SnapshotFeed(std::size_t)>& feed,
       std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,

@@ -1,13 +1,22 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 
 #include "core/known_headers.h"
+#include "core/thread_pool.h"
 #include "net/table.h"
 
 namespace offnet::core {
 
 namespace {
+
+// The per-certificate status cache packs tls::CertStatus into a byte.
+// Every referenced certificate is precomputed up front, so no sentinel
+// value is reserved — but the pack still requires the enum to fit.
+static_assert(static_cast<unsigned>(tls::CertStatus::kMalformed) <= 0xffu,
+              "CertStatus must fit the byte-wide pipeline status cache");
 
 std::vector<topo::AsId> sorted_vector(
     const std::unordered_set<topo::AsId>& set) {
@@ -63,12 +72,46 @@ OffnetPipeline::OffnetPipeline(const topo::Topology& topology,
       certs_(certs),
       validator_(certs, roots),
       hypergiants_(std::move(hypergiants)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (hypergiants_.size() > kMaxHypergiants) {
+    throw std::invalid_argument(
+        "OffnetPipeline supports at most " + std::to_string(kMaxHypergiants) +
+        " hypergiants (got " + std::to_string(hypergiants_.size()) +
+        "): per-certificate Organization matches are a 64-bit mask");
+  }
+}
+
+int OffnetPipeline::netflix_index() const {
+  for (std::size_t h = 0; h < hypergiants_.size(); ++h) {
+    if (nginx_default_rule_applies(hypergiants_[h].name)) {
+      return static_cast<int>(h);
+    }
+  }
+  return -1;
+}
+
+std::unordered_set<net::Asn> OffnetPipeline::onnet_asns(std::size_t h) const {
+  std::unordered_set<net::Asn> asns;
+  for (topo::OrgId org :
+       topology_.orgs().find_by_keyword(hypergiants_[h].keyword)) {
+    for (topo::AsId id : topology_.orgs().ases_of(org)) {
+      asns.insert(topology_.as(id).asn);
+    }
+  }
+  return asns;
+}
 
 SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   const std::size_t n_hg = hypergiants_.size();
   const net::DayTime at = scan.time();
   const bgp::Ip2AsMap& ip2as = ip2as_.at(scan.snapshot_index());
+  const std::vector<scan::CertScanRecord>& records = scan.certs();
+
+  // Every sharded pass below scans a contiguous record (or certificate)
+  // range into per-shard accumulators that are merged in shard order, so
+  // the result is bit-identical at any thread count.
+  ThreadPool pool(resolve_thread_count(options_.n_threads));
+  const std::size_t n_shards = pool.concurrency();
 
   SnapshotResult result;
   result.snapshot = scan.snapshot_index();
@@ -83,91 +126,125 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   // ---- Hypergiant on-net AS sets from the organization database (the
   // CAIDA AS Organizations step, Appendix A.2). ----
   std::vector<std::unordered_set<net::Asn>> hg_asns(n_hg);
-  for (std::size_t h = 0; h < n_hg; ++h) {
-    for (topo::OrgId org :
-         topology_.orgs().find_by_keyword(hypergiants_[h].keyword)) {
-      for (topo::AsId id : topology_.orgs().ases_of(org)) {
-        hg_asns[h].insert(topology_.as(id).asn);
-      }
-    }
-  }
+  for (std::size_t h = 0; h < n_hg; ++h) hg_asns[h] = onnet_asns(h);
 
-  // ---- Per-certificate caches (certificates repeat across many IPs). ----
+  // Netflix recovery (§6.2).
+  const int netflix_idx = netflix_index();
+
+  // ---- Per-certificate caches (certificates repeat across many IPs),
+  // precomputed in a parallel pass so the sharded record passes are
+  // read-only over shared state. Only certificates referenced by the
+  // corpus are validated. ----
   const std::size_t n_certs = certs_.size();
-  std::vector<std::uint8_t> status_cache(n_certs, 0xff);
-  auto status_of = [&](tls::CertId id) {
-    if (status_cache[id] == 0xff) {
-      status_cache[id] =
-          static_cast<std::uint8_t>(validator_.validate(id, at));
-    }
-    return static_cast<tls::CertStatus>(status_cache[id]);
-  };
-  std::vector<std::uint8_t> mask_known(n_certs, 0);
-  std::vector<std::uint32_t> mask_cache(n_certs, 0);
-  auto org_mask_of = [&](tls::CertId id) {
-    if (!mask_known[id]) {
-      std::uint32_t mask = 0;
-      const auto& org = certs_.get(id).subject.organization;
-      for (std::size_t h = 0; h < n_hg; ++h) {
-        if (net::icontains(org, hypergiants_[h].keyword)) mask |= 1u << h;
-      }
-      mask_cache[id] = mask;
-      mask_known[id] = 1;
-    }
-    return mask_cache[id];
-  };
+  std::vector<std::atomic<std::uint8_t>> cert_used(n_certs);
+  pool.for_shards(records.size(), n_shards,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      cert_used[records[i].cert].store(
+                          1, std::memory_order_relaxed);
+                    }
+                  });
+
+  std::vector<std::uint8_t> status(n_certs, 0);
+  std::vector<std::uint64_t> org_mask(n_certs, 0);
+  pool.for_shards(
+      n_certs, n_shards, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t id = begin; id < end; ++id) {
+          if (!cert_used[id].load(std::memory_order_relaxed)) continue;
+          const auto cert_id = static_cast<tls::CertId>(id);
+          status[id] =
+              static_cast<std::uint8_t>(validator_.validate(cert_id, at));
+          std::uint64_t mask = 0;
+          const auto& org = certs_.get(cert_id).subject.organization;
+          for (std::size_t h = 0; h < n_hg; ++h) {
+            if (net::icontains(org, hypergiants_[h].keyword)) mask |= 1ull << h;
+          }
+          org_mask[id] = mask;
+        }
+      });
 
   // ---- Pass 1: corpus stats, on-net discovery, TLS fingerprints. ----
+  struct Pass1Hg {
+    std::vector<net::IPv4> onnet_ips;          // per record, in order
+    std::vector<tls::CertId> absorb_certs;     // locally deduped, in order
+    std::unordered_set<tls::CertId> absorbed;
+    std::size_t onnet_records = 0;
+  };
+  struct Pass1Partial {
+    // (ip, valid) for each IP first seen in this shard, in record order;
+    // the IP-deduplicated corpus counters classify each IP by its first
+    // record.
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> first_ips;
+    std::unordered_set<std::uint32_t> seen_ips;
+    std::unordered_set<net::Asn> ases_with_certs;
+    std::vector<Pass1Hg> hg;
+  };
+  std::vector<Pass1Partial> p1(n_shards);
+  pool.for_shards(
+      records.size(), n_shards,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        Pass1Partial& part = p1[shard];
+        part.hg.resize(n_hg);
+        for (std::size_t i = begin; i < end; ++i) {
+          const scan::CertScanRecord& rec = records[i];
+          const bool valid = static_cast<tls::CertStatus>(status[rec.cert]) ==
+                             tls::CertStatus::kValid;
+          if (part.seen_ips.insert(rec.ip.value()).second) {
+            part.first_ips.emplace_back(rec.ip.value(), valid ? 1 : 0);
+          }
+          auto origins = ip2as.lookup(rec.ip);
+          for (net::Asn asn : origins) part.ases_with_certs.insert(asn);
+          if (!valid) continue;
+          const std::uint64_t mask = org_mask[rec.cert];
+          if (mask == 0) continue;
+          for (std::size_t h = 0; h < n_hg; ++h) {
+            if (!(mask & (1ull << h))) continue;
+            const bool onnet = std::any_of(origins.begin(), origins.end(),
+                                           [&](net::Asn a) {
+                                             return hg_asns[h].contains(a);
+                                           });
+            if (onnet) {
+              Pass1Hg& ph = part.hg[h];
+              if (ph.absorbed.insert(rec.cert).second) {
+                ph.absorb_certs.push_back(rec.cert);
+              }
+              ph.onnet_ips.push_back(rec.ip);
+              ++ph.onnet_records;
+            }
+          }
+        }
+      });
+
   std::unordered_set<net::Asn> ases_with_certs;
   std::vector<std::vector<net::IPv4>> onnet_ips(n_hg);
   std::unordered_set<std::uint32_t> corpus_ips;
-  corpus_ips.reserve(scan.certs().size() * 2);
-
-  for (const scan::CertScanRecord& rec : scan.certs()) {
-    ++result.stats.total_records;
-    corpus_ips.insert(rec.ip.value());
-    auto origins = ip2as.lookup(rec.ip);
-    for (net::Asn asn : origins) ases_with_certs.insert(asn);
-
-    tls::CertStatus status = status_of(rec.cert);
-    if (status != tls::CertStatus::kValid) {
-      ++result.stats.invalid_cert_ips;
-      continue;
-    }
-    ++result.stats.valid_cert_ips;
-
-    std::uint32_t mask = org_mask_of(rec.cert);
-    if (mask == 0) continue;
-    const tls::Certificate& cert = certs_.get(rec.cert);
-    for (std::size_t h = 0; h < n_hg; ++h) {
-      if (!(mask & (1u << h))) continue;
-      bool onnet = std::any_of(origins.begin(), origins.end(),
-                               [&](net::Asn a) {
-                                 return hg_asns[h].contains(a);
-                               });
-      if (onnet) {
-        result.per_hg[h].tls_fingerprint.absorb(cert);
-        onnet_ips[h].push_back(rec.ip);
-        ++result.per_hg[h].onnet_ips;
-        ++result.stats.hg_cert_ips_onnet;
+  corpus_ips.reserve(records.size() * 2);
+  std::vector<std::unordered_set<tls::CertId>> absorbed(n_hg);
+  for (Pass1Partial& part : p1) {
+    for (const auto& [ip, valid] : part.first_ips) {
+      if (!corpus_ips.insert(ip).second) continue;
+      ++result.stats.total_records;
+      if (valid) {
+        ++result.stats.valid_cert_ips;
+      } else {
+        ++result.stats.invalid_cert_ips;
       }
+    }
+    ases_with_certs.insert(part.ases_with_certs.begin(),
+                           part.ases_with_certs.end());
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      Pass1Hg& ph = part.hg[h];
+      for (tls::CertId id : ph.absorb_certs) {
+        if (absorbed[h].insert(id).second) {
+          result.per_hg[h].tls_fingerprint.absorb(certs_.get(id));
+        }
+      }
+      onnet_ips[h].insert(onnet_ips[h].end(), ph.onnet_ips.begin(),
+                          ph.onnet_ips.end());
+      result.per_hg[h].onnet_ips += ph.onnet_records;
+      result.stats.hg_cert_ips_onnet += ph.onnet_records;
     }
   }
-
-  // ---- Pass 2: candidate off-nets (§4.3). ----
-  std::vector<std::unordered_set<std::uint32_t>> candidate_ips(n_hg);
-  std::vector<std::unordered_set<topo::AsId>> candidate_ases(n_hg);
-  std::unordered_set<topo::AsId> any_hg_ases;
-  // Netflix recovery (§6.2).
-  const auto netflix_idx = [&]() -> int {
-    for (std::size_t h = 0; h < n_hg; ++h) {
-      if (nginx_default_rule_applies(hypergiants_[h].name)) {
-        return static_cast<int>(h);
-      }
-    }
-    return -1;
-  }();
-  std::unordered_set<std::uint32_t> netflix_expired_ips;
 
   auto map_ases = [&](net::IPv4 ip,
                       const std::unordered_set<net::Asn>& exclude)
@@ -180,78 +257,143 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     return out;
   };
 
-  // Per-(hg, cert) containment-rule cache: 0 unknown, 1 pass, 2 fail.
-  std::vector<std::vector<std::uint8_t>> subset_cache(
-      n_hg, std::vector<std::uint8_t>(n_certs, 0));
-
-  for (const scan::CertScanRecord& rec : scan.certs()) {
-    std::uint32_t mask = org_mask_of(rec.cert);
-    if (mask == 0) continue;
-    tls::CertStatus status = status_of(rec.cert);
-    bool valid = status == tls::CertStatus::kValid;
-    bool netflix_expired = status == tls::CertStatus::kExpired;
-    if (!valid && !netflix_expired) continue;
-
-    const tls::Certificate& cert = certs_.get(rec.cert);
-    auto origins = ip2as.lookup(rec.ip);
-    for (std::size_t h = 0; h < n_hg; ++h) {
-      if (!(mask & (1u << h))) continue;
-      if (!valid &&
-          !(netflix_expired && static_cast<int>(h) == netflix_idx)) {
-        continue;
-      }
-      bool onnet = std::any_of(origins.begin(), origins.end(),
-                               [&](net::Asn a) {
-                                 return hg_asns[h].contains(a);
-                               });
-      if (onnet) continue;
-
-      auto& cache = subset_cache[h][rec.cert];
-      if (cache == 0) {
-        bool pass = options_.disable_subset_rule
-                        ? !cert.dns_names.empty()
-                        : result.per_hg[h].tls_fingerprint.covers_all_names(
-                              cert);
-        if (pass && options_.apply_cloudflare_ssl_filter &&
-            all_cloudflare_customer_names(cert)) {
-          pass = false;
+  // ---- Pass 2: candidate off-nets (§4.3). The per-(hg, cert)
+  // containment-rule verdicts depend only on the merged pass-1
+  // fingerprints, so they are precomputed in parallel and the record
+  // pass reads them. ----
+  std::vector<std::uint8_t> subset_pass(n_hg * n_certs, 0);
+  pool.for_shards(
+      n_certs, n_shards, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t id = begin; id < end; ++id) {
+          const std::uint64_t mask = org_mask[id];
+          if (mask == 0) continue;
+          const auto st = static_cast<tls::CertStatus>(status[id]);
+          const bool valid = st == tls::CertStatus::kValid;
+          const bool netflix_expired = st == tls::CertStatus::kExpired;
+          if (!valid && !netflix_expired) continue;
+          const tls::Certificate& cert =
+              certs_.get(static_cast<tls::CertId>(id));
+          for (std::size_t h = 0; h < n_hg; ++h) {
+            if (!(mask & (1ull << h))) continue;
+            if (!valid && static_cast<int>(h) != netflix_idx) continue;
+            bool pass =
+                options_.disable_subset_rule
+                    ? !cert.dns_names.empty()
+                    : result.per_hg[h].tls_fingerprint.covers_all_names(cert);
+            if (pass && options_.apply_cloudflare_ssl_filter &&
+                all_cloudflare_customer_names(cert)) {
+              pass = false;
+            }
+            subset_pass[h * n_certs + id] = pass ? 1 : 0;
+          }
         }
-        cache = pass ? 1 : 2;
-      }
-      if (cache != 1) continue;
+      });
 
-      if (!valid) {
-        // Expired Netflix default certificate: only the recovery
-        // variants count these.
-        netflix_expired_ips.insert(rec.ip.value());
-        continue;
-      }
-      if (candidate_ips[h].insert(rec.ip.value()).second) {
-        result.per_hg[h].candidate_ip_certs.emplace_back(rec.ip, rec.cert);
-        auto ases = map_ases(rec.ip, hg_asns[h]);
-        for (topo::AsId id : ases) {
+  struct Pass2Candidate {
+    net::IPv4 ip;
+    tls::CertId cert;
+    std::vector<topo::AsId> ases;
+  };
+  struct Pass2Partial {
+    std::vector<std::vector<Pass2Candidate>> hg;  // locally IP-deduped
+    std::vector<std::unordered_set<std::uint32_t>> hg_seen;
+    std::vector<std::uint32_t> netflix_expired;   // locally IP-deduped
+    std::unordered_set<std::uint32_t> netflix_seen;
+  };
+  std::vector<Pass2Partial> p2(n_shards);
+  pool.for_shards(
+      records.size(), n_shards,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        Pass2Partial& part = p2[shard];
+        part.hg.resize(n_hg);
+        part.hg_seen.resize(n_hg);
+        for (std::size_t i = begin; i < end; ++i) {
+          const scan::CertScanRecord& rec = records[i];
+          const std::uint64_t mask = org_mask[rec.cert];
+          if (mask == 0) continue;
+          const auto st = static_cast<tls::CertStatus>(status[rec.cert]);
+          const bool valid = st == tls::CertStatus::kValid;
+          const bool netflix_expired = st == tls::CertStatus::kExpired;
+          if (!valid && !netflix_expired) continue;
+          auto origins = ip2as.lookup(rec.ip);
+          for (std::size_t h = 0; h < n_hg; ++h) {
+            if (!(mask & (1ull << h))) continue;
+            if (!valid &&
+                !(netflix_expired && static_cast<int>(h) == netflix_idx)) {
+              continue;
+            }
+            const bool onnet = std::any_of(origins.begin(), origins.end(),
+                                           [&](net::Asn a) {
+                                             return hg_asns[h].contains(a);
+                                           });
+            if (onnet) continue;
+            if (!subset_pass[h * n_certs + rec.cert]) continue;
+            if (!valid) {
+              // Expired Netflix default certificate: only the recovery
+              // variants count these.
+              if (part.netflix_seen.insert(rec.ip.value()).second) {
+                part.netflix_expired.push_back(rec.ip.value());
+              }
+              continue;
+            }
+            if (part.hg_seen[h].insert(rec.ip.value()).second) {
+              part.hg[h].push_back(
+                  {rec.ip, rec.cert, map_ases(rec.ip, hg_asns[h])});
+            }
+          }
+        }
+      });
+
+  // Merge in shard order: global first occurrence per IP wins, exactly
+  // as in one serial pass over the whole corpus.
+  std::vector<std::unordered_set<std::uint32_t>> candidate_set(n_hg);
+  std::vector<std::vector<std::uint32_t>> candidate_order(n_hg);
+  std::vector<std::unordered_set<topo::AsId>> candidate_ases(n_hg);
+  std::unordered_set<topo::AsId> any_hg_ases;
+  std::vector<std::uint32_t> netflix_expired_order;
+  std::unordered_set<std::uint32_t> netflix_expired_set;
+  for (Pass2Partial& part : p2) {
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      for (Pass2Candidate& cand : part.hg[h]) {
+        if (!candidate_set[h].insert(cand.ip.value()).second) continue;
+        candidate_order[h].push_back(cand.ip.value());
+        result.per_hg[h].candidate_ip_certs.emplace_back(cand.ip, cand.cert);
+        for (topo::AsId id : cand.ases) {
           candidate_ases[h].insert(id);
           any_hg_ases.insert(id);
         }
         ++result.stats.hg_cert_ips_offnet;
       }
     }
-  }
-
-  // ---- Pass 3: header fingerprints from on-net responses (§4.4). ----
-  std::vector<http::HeaderFingerprintSet> learned(n_hg);
-  for (std::size_t h = 0; h < n_hg; ++h) {
-    HeaderFingerprintLearner learner(hypergiants_[h].name,
-                                     hypergiants_[h].keyword);
-    for (net::IPv4 ip : onnet_ips[h]) {
-      if (const http::HeaderMap* headers = scan.https_headers(ip)) {
-        learner.observe(*headers);
-      } else if (const http::HeaderMap* fallback = scan.http_headers(ip)) {
-        learner.observe(*fallback);
+    for (std::uint32_t ip : part.netflix_expired) {
+      if (netflix_expired_set.insert(ip).second) {
+        netflix_expired_order.push_back(ip);
       }
     }
-    learned[h] = learner.learn();
-    result.per_hg[h].header_fingerprint = learned[h];
+  }
+
+  // ---- Pass 3: header fingerprints from on-net responses (§4.4).
+  // Hypergiants are independent of each other here, so they fan out. ----
+  std::vector<http::HeaderFingerprintSet> learned(n_hg);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n_hg);
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      tasks.push_back([&, h] {
+        HeaderFingerprintLearner learner(hypergiants_[h].name,
+                                         hypergiants_[h].keyword);
+        for (net::IPv4 ip : onnet_ips[h]) {
+          if (const http::HeaderMap* headers = scan.https_headers(ip)) {
+            learner.observe(*headers);
+          } else if (const http::HeaderMap* fallback = scan.http_headers(ip)) {
+            learner.observe(*fallback);
+          }
+        }
+        learned[h] = learner.learn();
+        result.per_hg[h].header_fingerprint = learned[h];
+      });
+    }
+    pool.run_all(std::move(tasks));
   }
 
   // Third-party edge fingerprints for the reverse-proxy conflict rule
@@ -265,87 +407,134 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     }
   }
 
-  // ---- Pass 4: header confirmation (§4.5). ----
+  // ---- Pass 4: header confirmation (§4.5). Fully learned fingerprints
+  // and merged candidate sets are read-only now; each Hypergiant writes
+  // only its own footprint. ----
+  std::vector<std::function<void()>> confirm_tasks;
+  confirm_tasks.reserve(n_hg);
   for (std::size_t h = 0; h < n_hg; ++h) {
-    HgFootprint& fp = result.per_hg[h];
-    const bool nginx_rule = !options_.disable_nginx_rule &&
-                            nginx_default_rule_applies(hypergiants_[h].name);
-    auto matches = [&](const http::HeaderMap& headers) {
-      if (learned[h].matches(headers)) return true;
-      return nginx_rule && is_default_nginx(headers);
-    };
-    auto edge_conflict = [&](const http::HeaderMap& headers) {
-      if (options_.disable_edge_conflict_rule) return false;
-      for (std::size_t e : edge_hgs) {
-        if (e == h) continue;
-        if (learned[e].matches(headers)) return true;
-      }
-      return false;
-    };
-
-    std::unordered_set<topo::AsId> confirmed_or;
-    std::unordered_set<topo::AsId> confirmed_and;
-    std::unordered_set<topo::AsId> confirmed_expired;
-
-    auto confirm_ip = [&](net::IPv4 ip, bool into_expired_only) {
-      const http::HeaderMap* https = scan.https_headers(ip);
-      const http::HeaderMap* http = scan.http_headers(ip);
-      bool m_https = https != nullptr && matches(*https);
-      bool m_http = http != nullptr && matches(*http);
-      if (!m_https && !m_http) return;
-      const http::HeaderMap* matched = m_https ? https : http;
-      if (edge_conflict(*matched)) return;
-      auto ases = map_ases(ip, hg_asns[h]);
-      if (!into_expired_only) {
-        ++fp.confirmed_ips;
-        fp.confirmed_ip_list.push_back(ip);
-        for (topo::AsId id : ases) confirmed_or.insert(id);
-        if (m_https && m_http) {
-          for (topo::AsId id : ases) confirmed_and.insert(id);
+    confirm_tasks.push_back([&, h] {
+      HgFootprint& fp = result.per_hg[h];
+      const bool nginx_rule = !options_.disable_nginx_rule &&
+                              nginx_default_rule_applies(hypergiants_[h].name);
+      auto matches = [&](const http::HeaderMap& headers) {
+        if (learned[h].matches(headers)) return true;
+        return nginx_rule && is_default_nginx(headers);
+      };
+      auto edge_conflict = [&](const http::HeaderMap& headers) {
+        if (options_.disable_edge_conflict_rule) return false;
+        for (std::size_t e : edge_hgs) {
+          if (e == h) continue;
+          if (learned[e].matches(headers)) return true;
         }
-      }
-      for (topo::AsId id : ases) confirmed_expired.insert(id);
-    };
+        return false;
+      };
 
-    for (std::uint32_t ip_value : candidate_ips[h]) {
-      confirm_ip(net::IPv4(ip_value), false);
-    }
-    fp.candidate_ips = candidate_ips[h].size();
-    fp.candidate_ases = sorted_vector(candidate_ases[h]);
-    fp.confirmed_or_ases = sorted_vector(confirmed_or);
-    fp.confirmed_and_ases = sorted_vector(confirmed_and);
+      std::unordered_set<topo::AsId> confirmed_or;
+      std::unordered_set<topo::AsId> confirmed_and;
+      std::unordered_set<topo::AsId> confirmed_expired;
 
-    if (static_cast<int>(h) == netflix_idx) {
-      // Variant 1: restore IPs behind the expired default certificate.
-      for (std::uint32_t ip_value : netflix_expired_ips) {
-        confirm_ip(net::IPv4(ip_value), true);
-      }
-      fp.confirmed_expired_ases = sorted_vector(confirmed_expired);
-
-      // Variant 2: additionally restore servers that moved to plain HTTP
-      // (identified by having served Netflix certificates in earlier
-      // snapshots and still answering with the fingerprint on port 80).
-      if (options_.netflix_prior_ips != nullptr) {
-        std::unordered_set<topo::AsId> with_http = confirmed_expired;
-        for (std::uint32_t ip_value : *options_.netflix_prior_ips) {
-          net::IPv4 ip(ip_value);
-          if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS
-          const http::HeaderMap* http = scan.http_headers(ip);
-          if (http == nullptr || !matches(*http)) continue;
-          for (topo::AsId id : map_ases(ip, hg_asns[h])) {
-            with_http.insert(id);
+      auto confirm_ip = [&](net::IPv4 ip, bool into_expired_only) {
+        const http::HeaderMap* https = scan.https_headers(ip);
+        const http::HeaderMap* http = scan.http_headers(ip);
+        bool m_https = https != nullptr && matches(*https);
+        bool m_http = http != nullptr && matches(*http);
+        if (!m_https && !m_http) return;
+        const http::HeaderMap* matched = m_https ? https : http;
+        if (edge_conflict(*matched)) return;
+        auto ases = map_ases(ip, hg_asns[h]);
+        if (!into_expired_only) {
+          ++fp.confirmed_ips;
+          fp.confirmed_ip_list.push_back(ip);
+          for (topo::AsId id : ases) confirmed_or.insert(id);
+          if (m_https && m_http) {
+            for (topo::AsId id : ases) confirmed_and.insert(id);
           }
         }
-        fp.confirmed_expired_http_ases = sorted_vector(with_http);
-      } else {
-        fp.confirmed_expired_http_ases = fp.confirmed_expired_ases;
+        for (topo::AsId id : ases) confirmed_expired.insert(id);
+      };
+
+      for (std::uint32_t ip_value : candidate_order[h]) {
+        confirm_ip(net::IPv4(ip_value), false);
       }
-    }
+      fp.candidate_ips = candidate_set[h].size();
+      fp.candidate_ases = sorted_vector(candidate_ases[h]);
+      fp.confirmed_or_ases = sorted_vector(confirmed_or);
+      fp.confirmed_and_ases = sorted_vector(confirmed_and);
+
+      if (static_cast<int>(h) == netflix_idx) {
+        // Variant 1: restore IPs behind the expired default certificate.
+        for (std::uint32_t ip_value : netflix_expired_order) {
+          confirm_ip(net::IPv4(ip_value), true);
+        }
+        fp.confirmed_expired_ases = sorted_vector(confirmed_expired);
+
+        // Variant 2: additionally restore servers that moved to plain
+        // HTTP (identified by having served Netflix certificates in
+        // earlier snapshots and still answering with the fingerprint on
+        // port 80).
+        if (options_.netflix_prior_ips != nullptr) {
+          std::unordered_set<topo::AsId> with_http = confirmed_expired;
+          for (std::uint32_t ip_value : *options_.netflix_prior_ips) {
+            net::IPv4 ip(ip_value);
+            if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS
+            const http::HeaderMap* http = scan.http_headers(ip);
+            if (http == nullptr || !matches(*http)) continue;
+            for (topo::AsId id : map_ases(ip, hg_asns[h])) {
+              with_http.insert(id);
+            }
+          }
+          fp.confirmed_expired_http_ases = sorted_vector(with_http);
+        } else {
+          fp.confirmed_expired_http_ases = fp.confirmed_expired_ases;
+        }
+      }
+    });
   }
+  pool.run_all(std::move(confirm_tasks));
 
   result.stats.ases_with_certs = ases_with_certs.size();
   result.stats.ases_with_any_hg = any_hg_ases.size();
   return result;
+}
+
+void OffnetPipeline::apply_netflix_http_recovery(
+    const scan::ScanSnapshot& scan, SnapshotResult& result,
+    const std::unordered_set<std::uint32_t>& prior_ips) const {
+  const int netflix_idx = netflix_index();
+  if (netflix_idx < 0) return;
+  HgFootprint& fp = result.per_hg[netflix_idx];
+  const bgp::Ip2AsMap& ip2as = ip2as_.at(scan.snapshot_index());
+  const std::unordered_set<net::Asn> exclude =
+      onnet_asns(static_cast<std::size_t>(netflix_idx));
+
+  std::unordered_set<std::uint32_t> corpus_ips;
+  corpus_ips.reserve(scan.certs().size() * 2);
+  for (const scan::CertScanRecord& rec : scan.certs()) {
+    corpus_ips.insert(rec.ip.value());
+  }
+
+  const bool nginx_rule =
+      !options_.disable_nginx_rule &&
+      nginx_default_rule_applies(hypergiants_[netflix_idx].name);
+  auto matches = [&](const http::HeaderMap& headers) {
+    if (fp.header_fingerprint.matches(headers)) return true;
+    return nginx_rule && is_default_nginx(headers);
+  };
+
+  std::unordered_set<topo::AsId> with_http(fp.confirmed_expired_ases.begin(),
+                                           fp.confirmed_expired_ases.end());
+  for (std::uint32_t ip_value : prior_ips) {
+    net::IPv4 ip(ip_value);
+    if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS
+    const http::HeaderMap* http = scan.http_headers(ip);
+    if (http == nullptr || !matches(*http)) continue;
+    for (net::Asn asn : ip2as.lookup(ip)) {
+      if (exclude.contains(asn)) continue;
+      if (auto id = topology_.find_asn(asn)) with_http.insert(*id);
+    }
+  }
+  fp.confirmed_expired_http_ases = sorted_vector(with_http);
 }
 
 }  // namespace offnet::core

@@ -52,6 +52,13 @@ struct PipelineOptions {
   /// (§6.2, the "w/ expired, non-tls" line). Maintained by the
   /// longitudinal runner.
   const std::unordered_set<std::uint32_t>* netflix_prior_ips = nullptr;
+
+  /// Worker threads for the sharded pipeline passes (and, in
+  /// LongitudinalRunner::run, for snapshot-level fan-out). 1 = serial,
+  /// 0 = one per hardware thread. Results are bit-identical at every
+  /// thread count: workers scan contiguous record ranges into per-shard
+  /// accumulators that are merged in shard order.
+  std::size_t n_threads = 1;
 };
 
 /// Everything inferred about one Hypergiant from one scan snapshot.
@@ -91,11 +98,13 @@ struct HgFootprint {
   }
 };
 
-/// Corpus-level statistics (Fig. 2, Table 2).
+/// Corpus-level statistics (Fig. 2, Table 2). The three IP counters are
+/// deduplicated by address: duplicate scan records for one IP contribute
+/// once, classified by the IP's first record in corpus order.
 struct CorpusStats {
-  std::size_t total_records = 0;       // IPs with any certificate
-  std::size_t valid_cert_ips = 0;      // passing §4.1
-  std::size_t invalid_cert_ips = 0;
+  std::size_t total_records = 0;       // distinct IPs with any certificate
+  std::size_t valid_cert_ips = 0;      // distinct IPs passing §4.1
+  std::size_t invalid_cert_ips = 0;    // distinct IPs failing §4.1
   std::size_t ases_with_certs = 0;     // distinct origin ASes
   std::size_t hg_cert_ips_onnet = 0;   // HG-cert IPs inside HG ASes
   std::size_t hg_cert_ips_offnet = 0;  // HG-cert IPs outside (candidates)
@@ -144,6 +153,12 @@ struct SnapshotResult {
 /// IP-to-AS mapping from BGP data.
 class OffnetPipeline {
  public:
+  /// Hard cap on the Hypergiant list: per-certificate Organization
+  /// matches are packed into a 64-bit mask.
+  static constexpr std::size_t kMaxHypergiants = 64;
+
+  /// Throws std::invalid_argument when `hypergiants` exceeds
+  /// kMaxHypergiants entries.
   OffnetPipeline(const topo::Topology& topology,
                  const bgp::Ip2AsOracle& ip2as,
                  const tls::CertificateStore& certs,
@@ -153,11 +168,29 @@ class OffnetPipeline {
 
   SnapshotResult run(const scan::ScanSnapshot& scan) const;
 
+  /// Recomputes the Netflix §6.2 HTTP-only recovery (the "w/ expired,
+  /// non-tls" variant) on an already-computed result, given the set of
+  /// IPs seen serving Netflix certificates in earlier snapshots. This is
+  /// exactly the computation run() performs inline when
+  /// options().netflix_prior_ips is set; splitting it out lets the
+  /// longitudinal runner fan snapshots out in parallel and apply the one
+  /// cross-snapshot dependency afterwards, in snapshot order.
+  void apply_netflix_http_recovery(
+      const scan::ScanSnapshot& scan, SnapshotResult& result,
+      const std::unordered_set<std::uint32_t>& prior_ips) const;
+
   std::span<const HgInput> hypergiants() const { return hypergiants_; }
   const PipelineOptions& options() const { return options_; }
   void set_options(PipelineOptions options) { options_ = std::move(options); }
 
  private:
+  /// Index of the Hypergiant the §4.4 nginx rule applies to (Netflix),
+  /// or -1.
+  int netflix_index() const;
+
+  /// The Hypergiant's on-net AS numbers from the organization database.
+  std::unordered_set<net::Asn> onnet_asns(std::size_t h) const;
+
   const topo::Topology& topology_;
   const bgp::Ip2AsOracle& ip2as_;
   const tls::CertificateStore& certs_;

@@ -1,0 +1,129 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace offnet::core {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One fork-join invocation: tasks are claimed via an atomic cursor by
+/// any participating thread; completion and the first failure are
+/// tracked under the batch mutex so the submitter can block until the
+/// batch has fully drained.
+struct ThreadPool::Batch {
+  std::vector<std::function<void()>> tasks;
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;       // guarded by m
+  std::exception_ptr error;   // first failure, guarded by m
+  std::mutex m;
+  std::condition_variable finished;
+};
+
+ThreadPool::ThreadPool(std::size_t concurrency) {
+  const std::size_t total = resolve_thread_count(concurrency);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  const std::size_t n = batch.tasks.size();
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    std::exception_ptr error;
+    try {
+      batch.tasks[i]();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(batch.m);
+    if (error && !batch.error) batch.error = std::move(error);
+    if (++batch.done == n) batch.finished.notify_all();
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+
+  if (!workers_.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(batch);
+    work_available_.notify_all();
+  }
+
+  drain(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->finished.wait(lock,
+                         [&] { return batch->done == batch->tasks.size(); });
+  }
+  if (!workers_.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase(queue_, batch);
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Fully-claimed batches are skipped (their submitter removes them);
+      // waking only on stop or claimable work avoids a busy loop.
+      work_available_.wait(lock, [&] {
+        if (stop_) return true;
+        for (const auto& queued : queue_) {
+          if (queued->next.load(std::memory_order_relaxed) <
+              queued->tasks.size()) {
+            return true;
+          }
+        }
+        return false;
+      });
+      if (stop_) return;
+      for (const auto& queued : queue_) {
+        if (queued->next.load(std::memory_order_relaxed) <
+            queued->tasks.size()) {
+          batch = queued;
+          break;
+        }
+      }
+    }
+    if (batch) drain(*batch);
+  }
+}
+
+void ThreadPool::for_shards(
+    std::size_t n, std::size_t shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (shards == 0) shards = 1;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    tasks.push_back([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  run_all(std::move(tasks));
+}
+
+}  // namespace offnet::core

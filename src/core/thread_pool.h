@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace offnet::core {
+
+/// Resolves a user-facing thread-count option: 0 means "one per hardware
+/// thread", anything else is taken literally.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// A small fixed-size fork-join pool for the sharded pipeline passes.
+///
+/// The calling thread always participates in draining its own batch, so
+/// run_all may be invoked from inside a running task (nested fork-join)
+/// without deadlocking, and a pool built with concurrency 1 degenerates
+/// to plain inline execution with no worker threads at all.
+class ThreadPool {
+ public:
+  /// `concurrency` is the total parallelism of run_all, including the
+  /// calling thread; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t concurrency = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads plus the participating caller.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Runs every task to completion and returns. If tasks throw, every
+  /// remaining task still runs and the first exception (in completion
+  /// order) is rethrown here once the batch has drained.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  /// Partitions [0, n) into `shards` contiguous ranges (trailing shards
+  /// may be empty when shards > n) and runs fn(shard, begin, end) for
+  /// each. Shard boundaries depend only on n and `shards`, never on the
+  /// thread count, so per-shard accumulators merged in shard order are
+  /// reproducible.
+  void for_shards(std::size_t n, std::size_t shards,
+                  const std::function<void(std::size_t shard, std::size_t begin,
+                                           std::size_t end)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace offnet::core

@@ -1,0 +1,192 @@
+// Determinism and regression tests for the sharded pipeline: threaded
+// runs must be bit-identical to serial runs, wide hypergiant lists must
+// not overflow the per-certificate org mask, and the corpus stats must
+// count IPs, not records.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/longitudinal.h"
+#include "core/pipeline.h"
+#include "test_world.h"
+
+namespace offnet::core {
+namespace {
+
+void expect_identical(const SnapshotResult& a, const SnapshotResult& b) {
+  EXPECT_EQ(a.snapshot, b.snapshot);
+  EXPECT_EQ(a.stats.total_records, b.stats.total_records);
+  EXPECT_EQ(a.stats.valid_cert_ips, b.stats.valid_cert_ips);
+  EXPECT_EQ(a.stats.invalid_cert_ips, b.stats.invalid_cert_ips);
+  EXPECT_EQ(a.stats.ases_with_certs, b.stats.ases_with_certs);
+  EXPECT_EQ(a.stats.hg_cert_ips_onnet, b.stats.hg_cert_ips_onnet);
+  EXPECT_EQ(a.stats.hg_cert_ips_offnet, b.stats.hg_cert_ips_offnet);
+  EXPECT_EQ(a.stats.ases_with_any_hg, b.stats.ases_with_any_hg);
+  ASSERT_EQ(a.per_hg.size(), b.per_hg.size());
+  for (std::size_t h = 0; h < a.per_hg.size(); ++h) {
+    const HgFootprint& x = a.per_hg[h];
+    const HgFootprint& y = b.per_hg[h];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.onnet_ips, y.onnet_ips) << x.name;
+    EXPECT_EQ(x.candidate_ips, y.candidate_ips) << x.name;
+    EXPECT_EQ(x.confirmed_ips, y.confirmed_ips) << x.name;
+    EXPECT_EQ(x.candidate_ases, y.candidate_ases) << x.name;
+    EXPECT_EQ(x.confirmed_or_ases, y.confirmed_or_ases) << x.name;
+    EXPECT_EQ(x.confirmed_and_ases, y.confirmed_and_ases) << x.name;
+    EXPECT_EQ(x.confirmed_expired_ases, y.confirmed_expired_ases) << x.name;
+    EXPECT_EQ(x.confirmed_expired_http_ases, y.confirmed_expired_http_ases)
+        << x.name;
+    EXPECT_EQ(x.candidate_ip_certs, y.candidate_ip_certs) << x.name;
+    EXPECT_EQ(x.confirmed_ip_list, y.confirmed_ip_list) << x.name;
+    EXPECT_EQ(x.tls_fingerprint.dns_names, y.tls_fingerprint.dns_names)
+        << x.name;
+    EXPECT_EQ(x.header_fingerprint.patterns, y.header_fingerprint.patterns)
+        << x.name;
+  }
+}
+
+SnapshotResult run_with_threads(const scan::ScanSnapshot& snap,
+                                std::size_t threads) {
+  const scan::World& world = testing::small_world();
+  PipelineOptions options;
+  options.n_threads = threads;
+  OffnetPipeline pipeline(world.topology(), world.ip2as(), world.certs(),
+                          world.roots(), standard_hg_inputs(), options);
+  return pipeline.run(snap);
+}
+
+TEST(ParallelPipelineTest, BitIdenticalAcrossThreadCounts) {
+  const scan::World& world = testing::small_world();
+  auto snap =
+      world.scan(net::snapshot_count() - 1, scan::ScannerKind::kRapid7);
+  SnapshotResult serial = run_with_threads(snap, 1);
+  expect_identical(serial, run_with_threads(snap, 2));
+  expect_identical(serial, run_with_threads(snap, 8));
+}
+
+TEST(ParallelPipelineTest, LongitudinalMatchesSerialThroughNetflixEpisode) {
+  const scan::World& world = testing::small_world();
+  // Cover the 2018-04 Netflix expired-certificate episode, so the
+  // cross-snapshot HTTP-only recovery state is actually exercised.
+  const std::size_t episode =
+      net::snapshot_index(net::YearMonth(2018, 4)).value();
+  const std::size_t first = episode - 8;
+
+  LongitudinalRunner serial_runner(world);
+  auto serial = serial_runner.run(first, episode);
+
+  PipelineOptions threaded;
+  threaded.n_threads = 4;
+  LongitudinalRunner parallel_runner(world, scan::ScannerKind::kRapid7,
+                                     threaded);
+  auto parallel = parallel_runner.run(first, episode);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+
+  // The recovery state survived the fan-out: the episode snapshot still
+  // restores HTTP-only servers beyond the expired-certificate variant.
+  const HgFootprint* nf = parallel.back().find("Netflix");
+  ASSERT_NE(nf, nullptr);
+  EXPECT_GT(nf->confirmed_expired_http_ases.size(),
+            nf->confirmed_expired_ases.size());
+}
+
+TEST(ParallelPipelineTest, ParallelRunnerEmitsMissingPlaceholders) {
+  const scan::World& world = testing::small_world();
+  // Censys has no data at the start of the study (available 2019-10 on),
+  // so these snapshots must come back as kMissing placeholders, in order.
+  PipelineOptions threaded;
+  threaded.n_threads = 4;
+  LongitudinalRunner runner(world, scan::ScannerKind::kCensys, threaded);
+  runner.set_include_missing(true);
+  auto results = runner.run(0, 3);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].snapshot, i);
+    EXPECT_EQ(results[i].health, SnapshotHealth::kMissing);
+  }
+}
+
+TEST(ParallelPipelineTest, RejectsOversizedHypergiantList) {
+  const scan::World& world = testing::small_world();
+  std::vector<HgInput> oversized;
+  for (std::size_t i = 0; i < OffnetPipeline::kMaxHypergiants + 1; ++i) {
+    oversized.push_back({"HG" + std::to_string(i), "hg" + std::to_string(i)});
+  }
+  EXPECT_THROW(OffnetPipeline(world.topology(), world.ip2as(), world.certs(),
+                              world.roots(), oversized),
+               std::invalid_argument);
+  oversized.pop_back();  // exactly kMaxHypergiants is fine
+  EXPECT_NO_THROW(OffnetPipeline(world.topology(), world.ip2as(),
+                                 world.certs(), world.roots(), oversized));
+}
+
+TEST(ParallelPipelineTest, OrgMaskHandlesHypergiantsBeyondBit31) {
+  // A 41-entry list puts Google at index 40: with the old 32-bit
+  // `1u << h` mask this shifted past the word and lost (or UB'd) the
+  // match. The footprint must equal a single-HG run.
+  const scan::World& world = testing::small_world();
+  auto snap =
+      world.scan(net::snapshot_count() - 1, scan::ScannerKind::kRapid7);
+
+  std::vector<HgInput> wide;
+  for (std::size_t i = 0; i < 40; ++i) {
+    wide.push_back({"Filler" + std::to_string(i),
+                    "zz-no-such-org-" + std::to_string(i)});
+  }
+  wide.push_back({"Google", "google"});
+
+  OffnetPipeline wide_pipeline(world.topology(), world.ip2as(), world.certs(),
+                               world.roots(), wide);
+  auto wide_result = wide_pipeline.run(snap);
+
+  OffnetPipeline single_pipeline(world.topology(), world.ip2as(),
+                                 world.certs(), world.roots(),
+                                 {{"Google", "google"}});
+  auto single_result = single_pipeline.run(snap);
+
+  const HgFootprint* from_wide = wide_result.find("Google");
+  const HgFootprint* from_single = single_result.find("Google");
+  ASSERT_NE(from_wide, nullptr);
+  ASSERT_NE(from_single, nullptr);
+  EXPECT_GT(from_single->confirmed_or_ases.size(), 0u);
+  EXPECT_EQ(from_wide->onnet_ips, from_single->onnet_ips);
+  EXPECT_EQ(from_wide->candidate_ases, from_single->candidate_ases);
+  EXPECT_EQ(from_wide->confirmed_or_ases, from_single->confirmed_or_ases);
+  EXPECT_EQ(from_wide->confirmed_ip_list, from_single->confirmed_ip_list);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(wide_result.per_hg[i].candidate_ases.size(), 0u);
+  }
+}
+
+TEST(ParallelPipelineTest, DuplicateIpRecordsCountIpsOnce) {
+  const scan::World& world = testing::small_world();
+  scan::ScanSnapshot snap = world.scan(10, scan::ScannerKind::kRapid7);
+  SnapshotResult baseline = run_with_threads(snap, 1);
+
+  // Feed every record twice: the IP-level corpus stats must not change.
+  scan::ScanSnapshot doubled = snap;
+  std::vector<scan::CertScanRecord> records = snap.certs();
+  doubled.certs().insert(doubled.certs().end(), records.begin(),
+                         records.end());
+  SnapshotResult redundant = run_with_threads(doubled, 1);
+
+  EXPECT_EQ(redundant.stats.total_records, baseline.stats.total_records);
+  EXPECT_EQ(redundant.stats.valid_cert_ips, baseline.stats.valid_cert_ips);
+  EXPECT_EQ(redundant.stats.invalid_cert_ips,
+            baseline.stats.invalid_cert_ips);
+  EXPECT_EQ(redundant.stats.total_records,
+            redundant.stats.valid_cert_ips + redundant.stats.invalid_cert_ips);
+  EXPECT_EQ(redundant.stats.hg_cert_ips_offnet,
+            baseline.stats.hg_cert_ips_offnet);
+  // And the dedup must hold under sharding too.
+  expect_identical(redundant, run_with_threads(doubled, 8));
+}
+
+}  // namespace
+}  // namespace offnet::core

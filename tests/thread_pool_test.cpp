@@ -1,0 +1,112 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace offnet::core {
+namespace {
+
+TEST(ThreadPoolTest, EmptyTaskSetReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.run_all({});
+  pool.for_shards(0, 4, [](std::size_t, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, end);
+  });
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&runs, i] { ++runs[i]; });
+  }
+  pool.run_all(std::move(tasks));
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran;
+  pool.run_all({[&] { ran.push_back(std::this_thread::get_id()); },
+                [&] { ran.push_back(std::this_thread::get_id()); }});
+  ASSERT_EQ(ran.size(), 2u);
+  EXPECT_EQ(ran[0], caller);
+  EXPECT_EQ(ran[1], caller);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterAllTasksRan) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 8;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&runs, i] {
+      ++runs[i];
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  // A failing task must not abandon the rest of the batch.
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_runs] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) inner.push_back([&inner_runs] { ++inner_runs; });
+      pool.run_all(std::move(inner));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
+TEST(ThreadPoolTest, ForShardsCoversRangeExactlyOnceInOrder) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 17;
+  std::vector<std::atomic<int>> hits(kN);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds(5);
+  pool.for_shards(kN, 5,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    bounds[shard] = {begin, end};
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // Contiguous, ordered shard boundaries: the determinism of the merged
+  // pipeline rests on this.
+  EXPECT_EQ(bounds.front().first, 0u);
+  EXPECT_EQ(bounds.back().second, kN);
+  for (std::size_t s = 1; s < bounds.size(); ++s) {
+    EXPECT_EQ(bounds[s].first, bounds[s - 1].second);
+  }
+}
+
+TEST(ThreadPoolTest, ForShardsWithMoreShardsThanItems) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_shards(3, 8, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // 0 = hardware concurrency
+}
+
+}  // namespace
+}  // namespace offnet::core

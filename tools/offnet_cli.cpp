@@ -53,7 +53,8 @@ struct Args {
 
 constexpr std::string_view kKnownFlags[] = {
     "scale", "seed", "month",      "scanner",
-    "out",   "dir",  "root",       "permissive", "max-error-fraction"};
+    "out",   "dir",  "root",       "permissive", "max-error-fraction",
+    "threads"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -82,14 +83,30 @@ int usage() {
   std::fprintf(stderr,
                "usage: offnet_cli simulate|export|analyze|series [options]\n"
                "  simulate [--scale S] [--seed N] [--month YYYY-MM] "
-               "[--scanner r7|cs|ac]\n"
+               "[--scanner r7|cs|ac] [--threads N]\n"
                "  export   --out DIR [--scale S] [--seed N] "
                "[--month YYYY-MM]\n"
                "  analyze  --dir DIR --month YYYY-MM [--permissive] "
-               "[--max-error-fraction F]\n"
+               "[--max-error-fraction F] [--threads N]\n"
                "  series   --root DIR [--permissive] "
-               "[--max-error-fraction F]\n");
+               "[--max-error-fraction F] [--threads N]\n"
+               "  --threads N: pipeline worker threads (0 = all hardware "
+               "threads); results are identical at any N\n");
   return 2;
+}
+
+core::PipelineOptions pipeline_options_from(const Args& args) {
+  core::PipelineOptions options;
+  if (args.has("threads")) {
+    const char* text = args.get("threads", "1");
+    char* end = nullptr;
+    unsigned long threads = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || threads > 1024) {
+      throw std::runtime_error("--threads must be an integer in [0, 1024]");
+    }
+    options.n_threads = static_cast<std::size_t>(threads);
+  }
+  return options;
 }
 
 io::ReadOptions read_options_from(const Args& args) {
@@ -161,7 +178,9 @@ int cmd_simulate(const Args& args) {
   }
   auto snap = world.scan(t, kind);
   core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
-                                world.certs(), world.roots());
+                                world.certs(), world.roots(),
+                                core::standard_hg_inputs(),
+                                pipeline_options_from(args));
   print_result(world.topology(), pipeline.run(snap));
   return 0;
 }
@@ -224,7 +243,9 @@ int cmd_analyze(const Args& args) {
   io::LoadReport report;
   io::Dataset dataset = load_dir(dir, *month, options, &report);
   core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
-                                dataset.certs(), dataset.roots());
+                                dataset.certs(), dataset.roots(),
+                                core::standard_hg_inputs(),
+                                pipeline_options_from(args));
   auto result = pipeline.run(dataset.snapshot());
   result.health = report.clean() ? core::SnapshotHealth::kComplete
                                  : core::SnapshotHealth::kPartial;
@@ -256,7 +277,7 @@ int cmd_series(const Args& args) {
     return input;
   };
 
-  core::LongitudinalRunner runner{core::PipelineOptions{}};
+  core::LongitudinalRunner runner{pipeline_options_from(args)};
   net::TextTable table({"snapshot", "health", "lines read", "lines skipped",
                         "confirmed off-net ASes"});
   std::size_t usable = 0;
