@@ -120,7 +120,7 @@ int main() {
                      ? "(default-nginx rule)"
                      : "(none)";
     }
-    fingerprints.add(fp.name, patterns, fp.tls_fingerprint.dns_names.size());
+    fingerprints.add(fp.name, patterns, fp.tls_fingerprint.onnet_names.size());
   }
   std::fputs(fingerprints.to_string().c_str(), stdout);
 

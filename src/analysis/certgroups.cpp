@@ -26,6 +26,7 @@ CertGroupBreakdown cert_groups(
 
   std::vector<std::size_t> sizes;
   sizes.reserve(counts.size());
+  // offnet-lint: allow(unordered-iter): sizes are sorted on the next line
   for (const auto& [cert, count] : counts) sizes.push_back(count);
   std::sort(sizes.begin(), sizes.end(), std::greater<>());
 

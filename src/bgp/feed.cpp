@@ -83,13 +83,13 @@ Ip2AsSeries::Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
       cache_capacity_(std::max<std::size_t>(1, cache_capacity)) {}
 
 const Ip2AsMap& Ip2AsSeries::at(std::size_t snapshot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   return *share_locked(snapshot);
 }
 
 std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share(
     std::size_t snapshot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   return share_locked(snapshot);
 }
 
@@ -112,7 +112,7 @@ std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share_locked(
 }
 
 Ip2AsBuilder::Stats Ip2AsSeries::stats_at(std::size_t snapshot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  core::MutexLock lock(mutex_);
   for (const auto& [snap, stats] : stats_) {
     if (snap == snapshot) return stats;
   }

@@ -3,11 +3,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "bgp/ip2as.h"
 #include "bgp/route.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "topology/topology.h"
 
 namespace offnet::bgp {
@@ -67,25 +68,30 @@ class Ip2AsSeries final : public Ip2AsOracle {
   Ip2AsSeries(const topo::Topology& topology, FeedConfig config,
               std::size_t cache_capacity = 2);
 
-  const Ip2AsMap& at(std::size_t snapshot) const override;
+  const Ip2AsMap& at(std::size_t snapshot) const override
+      OFFNET_EXCLUDES(mutex_);
 
   /// Eviction-safe access: the returned pointer owns the map
   /// independently of the internal LRU.
-  std::shared_ptr<const Ip2AsMap> share(std::size_t snapshot) const;
+  std::shared_ptr<const Ip2AsMap> share(std::size_t snapshot) const
+      OFFNET_EXCLUDES(mutex_);
 
-  Ip2AsBuilder::Stats stats_at(std::size_t snapshot) const;
+  Ip2AsBuilder::Stats stats_at(std::size_t snapshot) const
+      OFFNET_EXCLUDES(mutex_);
 
  private:
-  /// Cache lookup / build; requires mutex_ held.
-  std::shared_ptr<const Ip2AsMap> share_locked(std::size_t snapshot) const;
+  /// Cache lookup / build.
+  std::shared_ptr<const Ip2AsMap> share_locked(std::size_t snapshot) const
+      OFFNET_REQUIRES(mutex_);
 
   const topo::Topology& topology_;
   FeedSimulator simulator_;
   std::size_t cache_capacity_;
-  mutable std::mutex mutex_;
+  mutable core::Mutex mutex_;
   mutable std::list<std::pair<std::size_t, std::shared_ptr<const Ip2AsMap>>>
-      cache_;
-  mutable std::vector<std::pair<std::size_t, Ip2AsBuilder::Stats>> stats_;
+      cache_ OFFNET_GUARDED_BY(mutex_);
+  mutable std::vector<std::pair<std::size_t, Ip2AsBuilder::Stats>> stats_
+      OFFNET_GUARDED_BY(mutex_);
 };
 
 }  // namespace offnet::bgp

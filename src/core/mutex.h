@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "core/thread_annotations.h"
+
+namespace offnet::core {
+
+/// std::mutex with the capability attribute the Clang thread-safety
+/// analysis needs (libstdc++'s std::mutex carries no annotations, so
+/// GUARDED_BY members locked through it are invisible to the analysis).
+/// All mutex-protected state in the repo uses this type; locking is via
+/// MutexLock — offnet_lint bans raw lock()/unlock() call sites.
+class OFFNET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OFFNET_ACQUIRE() {
+    m_.lock();  // offnet-lint: allow(raw-lock): the RAII primitive itself
+  }
+  void unlock() OFFNET_RELEASE() {
+    m_.unlock();  // offnet-lint: allow(raw-lock): the RAII primitive itself
+  }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII lock over Mutex, understood by the analysis as a scoped
+/// capability: constructing it satisfies GUARDED_BY/REQUIRES checks for
+/// the rest of the scope.
+class OFFNET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) OFFNET_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~MutexLock() OFFNET_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. There is no
+/// predicate-taking wait: predicates would be analyzed as unannotated
+/// lambdas reading guarded state. Callers write the standard
+/// `while (!condition()) cv.wait(lock);` loop with `condition()` either
+/// inline (the lock is in scope, so guarded reads check out) or a
+/// REQUIRES-annotated helper.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, blocks until notified, reacquires.
+  /// May wake spuriously; always re-check the condition.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace offnet::core

@@ -475,6 +475,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
         // port 80).
         if (options_.netflix_prior_ips != nullptr) {
           std::unordered_set<topo::AsId> with_http = confirmed_expired;
+          // offnet-lint: allow(unordered-iter): set union, sorted by sorted_vector below
           for (std::uint32_t ip_value : *options_.netflix_prior_ips) {
             net::IPv4 ip(ip_value);
             if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS
@@ -524,6 +525,7 @@ void OffnetPipeline::apply_netflix_http_recovery(
 
   std::unordered_set<topo::AsId> with_http(fp.confirmed_expired_ases.begin(),
                                            fp.confirmed_expired_ases.end());
+  // offnet-lint: allow(unordered-iter): set union, sorted by sorted_vector below
   for (std::uint32_t ip_value : prior_ips) {
     net::IPv4 ip(ip_value);
     if (corpus_ips.contains(ip_value)) continue;  // still on HTTPS

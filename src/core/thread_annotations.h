@@ -1,0 +1,69 @@
+#pragma once
+
+/// Clang thread-safety-analysis attribute macros (-Wthread-safety).
+///
+/// Annotate every mutex-protected structure with these so lock-discipline
+/// violations are compile errors under Clang instead of runtime findings
+/// under TSan: GUARDED_BY names the capability protecting a member,
+/// REQUIRES/ACQUIRE/RELEASE document function contracts, and
+/// ACQUIRED_BEFORE/AFTER pin the global lock order. All macros expand to
+/// nothing on compilers without the attributes (GCC), so annotated code
+/// stays portable. See DESIGN.md "Static analysis & enforced invariants"
+/// for conventions; the std::mutex wrappers the analysis understands live
+/// in core/mutex.h.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define OFFNET_THREAD_ATTR__(x) __attribute__((x))
+#else
+#define OFFNET_THREAD_ATTR__(x)  // no-op off Clang
+#endif
+
+/// Marks a type usable as a capability ("mutex" in diagnostics).
+#define OFFNET_CAPABILITY(x) OFFNET_THREAD_ATTR__(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define OFFNET_SCOPED_CAPABILITY OFFNET_THREAD_ATTR__(scoped_lockable)
+
+/// Member data protected by the given capability (held for writes and,
+/// unless PT_GUARDED_BY, for reads too).
+#define OFFNET_GUARDED_BY(x) OFFNET_THREAD_ATTR__(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the given capability.
+#define OFFNET_PT_GUARDED_BY(x) OFFNET_THREAD_ATTR__(pt_guarded_by(x))
+
+/// Global lock order: this capability is acquired before/after the others.
+#define OFFNET_ACQUIRED_BEFORE(...) \
+  OFFNET_THREAD_ATTR__(acquired_before(__VA_ARGS__))
+#define OFFNET_ACQUIRED_AFTER(...) \
+  OFFNET_THREAD_ATTR__(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capabilities (exclusively / shared).
+#define OFFNET_REQUIRES(...) \
+  OFFNET_THREAD_ATTR__(requires_capability(__VA_ARGS__))
+#define OFFNET_REQUIRES_SHARED(...) \
+  OFFNET_THREAD_ATTR__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capabilities itself.
+#define OFFNET_ACQUIRE(...) \
+  OFFNET_THREAD_ATTR__(acquire_capability(__VA_ARGS__))
+#define OFFNET_ACQUIRE_SHARED(...) \
+  OFFNET_THREAD_ATTR__(acquire_shared_capability(__VA_ARGS__))
+#define OFFNET_RELEASE(...) \
+  OFFNET_THREAD_ATTR__(release_capability(__VA_ARGS__))
+#define OFFNET_RELEASE_SHARED(...) \
+  OFFNET_THREAD_ATTR__(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when returning `ret`.
+#define OFFNET_TRY_ACQUIRE(ret, ...) \
+  OFFNET_THREAD_ATTR__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The caller must NOT hold the capabilities (deadlock prevention).
+#define OFFNET_EXCLUDES(...) OFFNET_THREAD_ATTR__(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the named capability.
+#define OFFNET_RETURN_CAPABILITY(x) OFFNET_THREAD_ATTR__(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow; use sparingly and
+/// say why at the call site.
+#define OFFNET_NO_THREAD_SAFETY_ANALYSIS \
+  OFFNET_THREAD_ATTR__(no_thread_safety_analysis)

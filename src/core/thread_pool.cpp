@@ -14,14 +14,15 @@ std::size_t resolve_thread_count(std::size_t requested) {
 /// One fork-join invocation: tasks are claimed via an atomic cursor by
 /// any participating thread; completion and the first failure are
 /// tracked under the batch mutex so the submitter can block until the
-/// batch has fully drained.
+/// batch has fully drained. The batch mutex is self-contained — it is
+/// never held together with the pool mutex.
 struct ThreadPool::Batch {
   std::vector<std::function<void()>> tasks;
   std::atomic<std::size_t> next{0};
-  std::size_t done = 0;       // guarded by m
-  std::exception_ptr error;   // first failure, guarded by m
-  std::mutex m;
-  std::condition_variable finished;
+  Mutex m;
+  std::size_t done OFFNET_GUARDED_BY(m) = 0;
+  std::exception_ptr error OFFNET_GUARDED_BY(m);  // first failure
+  CondVar finished;
 };
 
 ThreadPool::ThreadPool(std::size_t concurrency) {
@@ -34,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t concurrency) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_available_.notify_all();
@@ -52,7 +53,7 @@ void ThreadPool::drain(Batch& batch) {
     } catch (...) {
       error = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(batch.m);
+    MutexLock lock(batch.m);
     if (error && !batch.error) batch.error = std::move(error);
     if (++batch.done == n) batch.finished.notify_all();
   }
@@ -64,41 +65,41 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   batch->tasks = std::move(tasks);
 
   if (!workers_.empty()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(batch);
     work_available_.notify_all();
   }
 
   drain(*batch);
   {
-    std::unique_lock<std::mutex> lock(batch->m);
-    batch->finished.wait(lock,
-                         [&] { return batch->done == batch->tasks.size(); });
+    MutexLock lock(batch->m);
+    while (batch->done != batch->tasks.size()) batch->finished.wait(lock);
   }
   if (!workers_.empty()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::erase(queue_, batch);
   }
   if (batch->error) std::rethrow_exception(batch->error);
+}
+
+bool ThreadPool::has_claimable_work() const {
+  if (stop_) return true;
+  for (const auto& queued : queue_) {
+    if (queued->next.load(std::memory_order_relaxed) < queued->tasks.size()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // Fully-claimed batches are skipped (their submitter removes them);
       // waking only on stop or claimable work avoids a busy loop.
-      work_available_.wait(lock, [&] {
-        if (stop_) return true;
-        for (const auto& queued : queue_) {
-          if (queued->next.load(std::memory_order_relaxed) <
-              queued->tasks.size()) {
-            return true;
-          }
-        }
-        return false;
-      });
+      while (!has_claimable_work()) work_available_.wait(lock);
       if (stop_) return;
       for (const auto& queued : queue_) {
         if (queued->next.load(std::memory_order_relaxed) <

@@ -1,13 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace offnet::core {
 
@@ -21,6 +22,10 @@ std::size_t resolve_thread_count(std::size_t requested);
 /// run_all may be invoked from inside a running task (nested fork-join)
 /// without deadlocking, and a pool built with concurrency 1 degenerates
 /// to plain inline execution with no worker threads at all.
+///
+/// Lock order: the pool-wide mutex_ and each batch's own mutex are never
+/// held together; every method is annotated so Clang's -Wthread-safety
+/// rejects call sites that would nest them.
 class ThreadPool {
  public:
   /// `concurrency` is the total parallelism of run_all, including the
@@ -37,7 +42,8 @@ class ThreadPool {
   /// Runs every task to completion and returns. If tasks throw, every
   /// remaining task still runs and the first exception (in completion
   /// order) is rethrown here once the batch has drained.
-  void run_all(std::vector<std::function<void()>> tasks);
+  void run_all(std::vector<std::function<void()>> tasks)
+      OFFNET_EXCLUDES(mutex_);
 
   /// Partitions [0, n) into `shards` contiguous ranges (trailing shards
   /// may be empty when shards > n) and runs fn(shard, begin, end) for
@@ -46,19 +52,24 @@ class ThreadPool {
   /// reproducible.
   void for_shards(std::size_t n, std::size_t shards,
                   const std::function<void(std::size_t shard, std::size_t begin,
-                                           std::size_t end)>& fn);
+                                           std::size_t end)>& fn)
+      OFFNET_EXCLUDES(mutex_);
 
  private:
   struct Batch;
 
-  void worker_loop();
+  void worker_loop() OFFNET_EXCLUDES(mutex_);
   static void drain(Batch& batch);
 
+  /// True when the pool is stopping or some queued batch still has
+  /// unclaimed tasks (the worker wake condition).
+  bool has_claimable_work() const OFFNET_REQUIRES(mutex_);
+
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::shared_ptr<Batch>> queue_ OFFNET_GUARDED_BY(mutex_);
+  bool stop_ OFFNET_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace offnet::core

@@ -11,14 +11,14 @@ bool TlsFingerprint::organization_matches(const tls::Certificate& cert) const {
 bool TlsFingerprint::covers_all_names(const tls::Certificate& cert) const {
   if (cert.dns_names.empty()) return false;
   for (const std::string& name : cert.dns_names) {
-    if (!dns_names.contains(name)) return false;
+    if (!onnet_names.contains(name)) return false;
   }
   return true;
 }
 
 void TlsFingerprint::absorb(const tls::Certificate& cert) {
   for (const std::string& name : cert.dns_names) {
-    dns_names.insert(name);
+    onnet_names.insert(name);
   }
 }
 

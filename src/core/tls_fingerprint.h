@@ -16,7 +16,7 @@ namespace offnet::core {
 struct TlsFingerprint {
   std::string hypergiant;
   std::string keyword;
-  std::unordered_set<std::string> dns_names;
+  std::unordered_set<std::string> onnet_names;
 
   /// True when the certificate's Organization names the HG (case-
   /// insensitive substring, §4.2).

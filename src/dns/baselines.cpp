@@ -22,6 +22,7 @@ std::vector<topo::AsId> to_sorted_ases(
   }
   std::unordered_set<topo::AsId> ases;
   const auto& map = world.ip2as().at(snapshot);
+  // offnet-lint: allow(unordered-iter): accumulates into a set that is sorted below
   for (std::uint32_t ip : ips) {
     for (net::Asn asn : map.lookup(net::IPv4(ip))) {
       if (own.contains(asn)) continue;

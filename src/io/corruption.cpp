@@ -57,7 +57,9 @@ std::string join_fields(const std::vector<std::string>& fields, char sep) {
 }
 
 std::string garbage_splat(std::string line, net::Rng& rng) {
-  if (line.empty()) line = "?";
+  // push_back, not `line = "?"`: GCC 12 -Wrestrict misfires on the
+  // inlined const char* assignment path at -O2.
+  if (line.empty()) line.push_back('?');
   std::size_t pos = rng.index(line.size());
   std::size_t len = static_cast<std::size_t>(
       rng.uniform(1, static_cast<std::int64_t>(

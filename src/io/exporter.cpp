@@ -1,7 +1,8 @@
 #include "io/exporter.h"
 
-#include <unordered_map>
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 namespace offnet::io {
 
@@ -71,11 +72,15 @@ void export_dataset(const scan::World& world,
         out.prefix2as << '\n';
       });
 
-  // ---- Certificates referenced by the snapshot, then hosts. ----
-  std::unordered_set<tls::CertId> referenced;
+  // ---- Certificates referenced by the snapshot, then hosts. Emitted in
+  // ascending id order so exports are byte-identical across runs. ----
+  std::unordered_set<tls::CertId> referenced_set;
   for (const scan::CertScanRecord& rec : snapshot.certs()) {
-    referenced.insert(rec.cert);
+    referenced_set.insert(rec.cert);
   }
+  std::vector<tls::CertId> referenced(referenced_set.begin(),
+                                      referenced_set.end());
+  std::sort(referenced.begin(), referenced.end());
   out.certificates
       << "# offnet export | id\\torg\\tnot_before\\tnot_after\\ttrust"
          "\\tsans\n";

@@ -16,6 +16,7 @@ const http::HeaderMap* ScanSnapshot::http_headers(net::IPv4 ip) const {
 
 std::size_t ScanSnapshot::http_only_count() const {
   std::size_t count = 0;
+  // offnet-lint: allow(unordered-iter): pure count, no order-dependent accumulation
   for (const auto& [ip, id] : http_headers_) {
     if (!https_headers_.contains(ip)) ++count;
   }

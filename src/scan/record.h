@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "http/catalog.h"
@@ -80,10 +82,16 @@ class ScanSnapshot {
   const http::HeaderMap* https_headers(net::IPv4 ip) const;
   const http::HeaderMap* http_headers(net::IPv4 ip) const;
 
-  /// Visits every (ip, header set) pair of one port's corpus.
+  /// Visits every (ip, header set) pair of one port's corpus in
+  /// ascending IP order, so exports and reports built from the visit are
+  /// deterministic regardless of the map's bucket layout.
   template <class Fn>
   void for_each_headers(bool https, Fn&& fn) const {
-    for (const auto& [ip, set] : https ? https_headers_ : http_headers_) {
+    const auto& corpus = https ? https_headers_ : http_headers_;
+    std::vector<std::pair<std::uint32_t, http::HeaderSetId>> rows(
+        corpus.begin(), corpus.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [ip, set] : rows) {
       fn(net::IPv4(ip), catalog_->get(set));
     }
   }

@@ -66,11 +66,11 @@ TEST(ProfileTest, Table3Anchors) {
 
 TEST(ProfileTest, AnchorInterpolation) {
   Anchors anchors = {{YearMonth(2014, 1), 100.0}, {YearMonth(2014, 7), 400.0}};
-  EXPECT_EQ(anchor_value(anchors, YearMonth(2013, 1)), 100.0);  // clamp left
-  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 1)), 100.0);
-  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 4)), 250.0);  // midpoint
-  EXPECT_EQ(anchor_value(anchors, YearMonth(2014, 7)), 400.0);
-  EXPECT_EQ(anchor_value(anchors, YearMonth(2020, 1)), 400.0);  // clamp right
+  EXPECT_DOUBLE_EQ(anchor_value(anchors, YearMonth(2013, 1)), 100.0);  // clamp left
+  EXPECT_DOUBLE_EQ(anchor_value(anchors, YearMonth(2014, 1)), 100.0);
+  EXPECT_DOUBLE_EQ(anchor_value(anchors, YearMonth(2014, 4)), 250.0);  // midpoint
+  EXPECT_DOUBLE_EQ(anchor_value(anchors, YearMonth(2014, 7)), 400.0);
+  EXPECT_DOUBLE_EQ(anchor_value(anchors, YearMonth(2020, 1)), 400.0);  // clamp right
 }
 
 TEST(ProfileTest, Top4Indices) {

@@ -1,0 +1,8 @@
+// Fixture: bad-suppression — allow() without a justification, and an
+// unknown rule id.
+#include <mutex>
+
+void critical(std::mutex& m) {
+  m.lock();  // offnet-lint: allow(raw-lock)
+  m.unlock();  // offnet-lint: allow(not-a-rule): misspelled rule id
+}

@@ -1,0 +1,9 @@
+// Fixture: a file every rule should pass.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+std::size_t count_even(const std::vector<int>& values) {
+  return static_cast<std::size_t>(std::count_if(
+      values.begin(), values.end(), [](int v) { return v % 2 == 0; }));
+}

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: include-quoted — repo header included with angle brackets.
+#include <net/ipv4.h>
+#include <vector>

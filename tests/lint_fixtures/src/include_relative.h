@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: include-relative — include path escaping its directory.
+#include "../core/pipeline.h"

@@ -1,0 +1,4 @@
+// Fixture: pragma-once — header without an include guard.
+struct Unguarded {
+  int value = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: nondet-clock — wall-clock read outside the CLI.
+#include <chrono>
+
+long long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

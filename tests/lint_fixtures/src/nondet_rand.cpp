@@ -1,0 +1,8 @@
+// Fixture: nondet-rand — unseeded randomness outside net/rng.
+#include <cstdlib>
+#include <random>
+
+int pick() {
+  std::random_device entropy;
+  return rand() % static_cast<int>(entropy());
+}

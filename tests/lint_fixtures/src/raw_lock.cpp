@@ -1,0 +1,8 @@
+// Fixture: raw-lock — manual lock()/unlock() instead of RAII.
+#include <mutex>
+
+void critical(std::mutex& m, int& counter) {
+  m.lock();
+  ++counter;
+  m.unlock();
+}

@@ -1,0 +1,10 @@
+// Fixture: a real violation silenced by a justified suppression, in
+// both the trailing and the standalone-comment form.
+#include <mutex>
+
+void critical(std::mutex& m, int& counter) {
+  m.lock();  // offnet-lint: allow(raw-lock): fixture for the trailing form
+  ++counter;
+  // offnet-lint: allow(raw-lock): fixture for the standalone form
+  m.unlock();
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered-iter — order-dependent accumulation.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> keys_in_bucket_order(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : counts) {
+    out.push_back(key);
+  }
+  return out;
+}

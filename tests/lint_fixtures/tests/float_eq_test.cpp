@@ -1,0 +1,7 @@
+// Fixture: float-eq — exact float comparison in a test.
+void check(double ratio) {
+  EXPECT_EQ(ratio, 0.758);
+  if (ratio == 1.0) {
+    return;
+  }
+}

@@ -1,0 +1,181 @@
+// Tests for offnet_lint (tools/lint): every rule id fires on its fixture,
+// suppressions behave, exit codes are stable, and the real source tree is
+// clean. Fixtures live in tests/lint_fixtures/ and are data, not code —
+// lint_tree skips that directory when walking the repo.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using offnet::lint::Finding;
+using offnet::lint::lint_file;
+using offnet::lint::lint_tree;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(OFFNET_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints a fixture under a virtual path (the path drives rule scoping).
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& virtual_path) {
+  return lint_file(virtual_path, read_file(fixture_path(name)));
+}
+
+std::vector<std::string> rule_ids(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const Finding& finding : findings) ids.push_back(finding.rule);
+  return ids;
+}
+
+int run_linter(const std::string& args) {
+  const int status = std::system((std::string(OFFNET_LINT_BIN) + " " + args +
+                                  " > /dev/null 2>&1")
+                                     .c_str());
+  EXPECT_NE(status, -1);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(LintRules, NondetRandFixture) {
+  auto findings = lint_fixture("src/nondet_rand.cpp", "src/nondet_rand.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"nondet-rand", "nondet-rand"}));
+}
+
+TEST(LintRules, RandAllowedInsideNetRng) {
+  const std::string text = read_file(fixture_path("src/nondet_rand.cpp"));
+  EXPECT_TRUE(lint_file("src/net/rng.cpp", text).empty());
+}
+
+TEST(LintRules, NondetClockFixture) {
+  auto findings =
+      lint_fixture("src/nondet_clock.cpp", "src/nondet_clock.cpp");
+  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"nondet-clock"}));
+}
+
+TEST(LintRules, WallClockAllowedInTools) {
+  const std::string text = read_file(fixture_path("src/nondet_clock.cpp"));
+  EXPECT_TRUE(lint_file("tools/offnet_cli.cpp", text).empty());
+}
+
+TEST(LintRules, RawLockFixture) {
+  auto findings = lint_fixture("src/raw_lock.cpp", "src/raw_lock.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"raw-lock", "raw-lock"}));
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_EQ(findings[1].line, 7u);
+}
+
+TEST(LintRules, UnorderedIterFixture) {
+  auto findings =
+      lint_fixture("src/unordered_iter.cpp", "src/unordered_iter.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"unordered-iter"}));
+}
+
+TEST(LintRules, UnorderedIterOnlyAppliesToSrc) {
+  const std::string text = read_file(fixture_path("src/unordered_iter.cpp"));
+  EXPECT_TRUE(lint_file("bench/unordered_iter.cpp", text).empty());
+}
+
+TEST(LintRules, FloatEqFixture) {
+  auto findings =
+      lint_fixture("tests/float_eq_test.cpp", "tests/float_eq_test.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"float-eq", "float-eq"}));
+}
+
+TEST(LintRules, FloatEqOnlyAppliesToTests) {
+  const std::string text = read_file(fixture_path("tests/float_eq_test.cpp"));
+  EXPECT_TRUE(lint_file("src/float_eq.cpp", text).empty());
+}
+
+TEST(LintRules, IncludeQuotedFixture) {
+  auto findings =
+      lint_fixture("src/include_quoted.h", "src/include_quoted.h");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"include-quoted"}));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintRules, IncludeRelativeFixture) {
+  auto findings =
+      lint_fixture("src/include_relative.h", "src/include_relative.h");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"include-relative"}));
+}
+
+TEST(LintRules, PragmaOnceFixture) {
+  auto findings =
+      lint_fixture("src/missing_pragma.h", "src/missing_pragma.h");
+  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"pragma-once"}));
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintSuppressions, JustifiedSuppressionSilencesBothForms) {
+  auto findings = lint_fixture("src/suppressed.cpp", "src/suppressed.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected: " << offnet::lint::format(findings.front());
+}
+
+TEST(LintSuppressions, MissingJustificationAndUnknownRuleAreFindings) {
+  auto findings =
+      lint_fixture("src/bad_suppression.cpp", "src/bad_suppression.cpp");
+  // Neither bad suppression silences its raw-lock finding.
+  std::multiset<std::string> ids;
+  for (const Finding& finding : findings) ids.insert(finding.rule);
+  EXPECT_EQ(ids.count("bad-suppression"), 2u);
+  EXPECT_EQ(ids.count("raw-lock"), 2u);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(LintClean, CleanFixtureHasNoFindings) {
+  auto findings = lint_fixture("src/clean.cpp", "src/clean.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected: " << offnet::lint::format(findings.front());
+}
+
+TEST(LintClean, FormatIsFileLineRuleMessage) {
+  Finding finding{"src/a.cpp", 12, "raw-lock", "message"};
+  EXPECT_EQ(offnet::lint::format(finding), "src/a.cpp:12: raw-lock: message");
+}
+
+TEST(LintClean, RealTreeLintsClean) {
+  const std::string root(OFFNET_SOURCE_DIR);
+  auto findings = lint_tree(
+      {root + "/src", root + "/tools", root + "/bench", root + "/tests"});
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << offnet::lint::format(finding);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintExitCodes, BinaryContract) {
+  const std::string root(OFFNET_SOURCE_DIR);
+  // Clean input -> 0.
+  EXPECT_EQ(run_linter(root + "/tests/lint_fixtures/src/clean.cpp"), 0);
+  // Findings -> 1 (the fixture tree is full of them).
+  EXPECT_EQ(run_linter(root + "/tests/lint_fixtures/src"), 1);
+  // Usage error -> 2.
+  EXPECT_EQ(run_linter(""), 2);
+  EXPECT_EQ(run_linter("--bogus-flag"), 2);
+}
+
+}  // namespace

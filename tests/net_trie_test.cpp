@@ -132,7 +132,9 @@ TEST_P(TriePropertyTest, AgreesWithNaiveReference) {
     const int* got = trie.longest_match(ip);
     auto want = naive_lookup(ip);
     ASSERT_EQ(got != nullptr, want.has_value()) << ip.to_string();
-    if (want) EXPECT_EQ(*got, *want) << ip.to_string();
+    if (want) {
+      EXPECT_EQ(*got, *want) << ip.to_string();
+    }
   }
 }
 

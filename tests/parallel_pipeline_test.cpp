@@ -40,7 +40,7 @@ void expect_identical(const SnapshotResult& a, const SnapshotResult& b) {
         << x.name;
     EXPECT_EQ(x.candidate_ip_certs, y.candidate_ip_certs) << x.name;
     EXPECT_EQ(x.confirmed_ip_list, y.confirmed_ip_list) << x.name;
-    EXPECT_EQ(x.tls_fingerprint.dns_names, y.tls_fingerprint.dns_names)
+    EXPECT_EQ(x.tls_fingerprint.onnet_names, y.tls_fingerprint.onnet_names)
         << x.name;
     EXPECT_EQ(x.header_fingerprint.patterns, y.header_fingerprint.patterns)
         << x.name;

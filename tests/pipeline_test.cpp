@@ -215,11 +215,11 @@ TEST_F(PipelineTest, TlsFingerprintContainsServingDomains) {
   const auto& result = last_result();
   const auto& fp = result.find("Google")->tls_fingerprint;
   bool has_google_name = false;
-  for (const auto& name : fp.dns_names) {
+  for (const auto& name : fp.onnet_names) {
     if (name.find("google") != std::string::npos) has_google_name = true;
   }
   EXPECT_TRUE(has_google_name);
-  EXPECT_GT(fp.dns_names.size(), 2u);
+  EXPECT_GT(fp.onnet_names.size(), 2u);
 }
 
 TEST_F(PipelineTest, StatsConsistent) {
@@ -251,7 +251,7 @@ TEST_F(PipelineTest, DeterministicAcrossRuns) {
 TEST(TlsFingerprintTest, ContainmentRule) {
   TlsFingerprint fp;
   fp.keyword = "google";
-  fp.dns_names = {"*.google.com", "*.googlevideo.com"};
+  fp.onnet_names = {"*.google.com", "*.googlevideo.com"};
   tls::Certificate covered;
   covered.subject.organization = "Google LLC";
   covered.dns_names = {"*.google.com"};

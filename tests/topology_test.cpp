@@ -260,7 +260,7 @@ TEST_F(GeneratedTopologyTest, PopulationViewFilters) {
   for (AsId id = 0; id < t.as_count(); ++id) {
     if (t.as(id).eyeball) ++eyeballs;
     if (t.as(id).population_flaky) {
-      EXPECT_EQ(view.share(id), 0.0);
+      EXPECT_DOUBLE_EQ(view.share(id), 0.0);
     }
   }
   // The presence filter drops a meaningful fraction (paper: 26k -> 9k).
@@ -277,7 +277,7 @@ TEST_F(GeneratedTopologyTest, CoverageOfFullMaskIsHigh) {
   EXPECT_GT(world, 0.45);  // flaky filter keeps this below the 0.97 cap
   EXPECT_LE(world, 0.97);
   std::vector<char> nobody(t.as_count(), 0);
-  EXPECT_EQ(view.world_coverage(nobody, s), 0.0);
+  EXPECT_DOUBLE_EQ(view.world_coverage(nobody, s), 0.0);
 }
 
 TEST(GeneratorTest, Deterministic) {

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# One-shot pre-PR gate: configure, build, test, lint. This is the exact
+# sequence CI runs; a clean exit here means the PR is mergeable.
+#
+#   1. configure  fresh CMake configure with warnings as errors and
+#                 thread-safety analysis as errors where the compiler
+#                 supports it (Clang); GCC prints a notice and skips
+#                 that leg — the annotations compile as no-ops
+#   2. build      full build, -Wall -Wextra -Werror
+#   3. ctest      the whole suite, including offnet_lint_tree and
+#                 lint_test
+#   4. lint       offnet_lint over src/ tools/ bench/ tests/ (redundant
+#                 with the ctest entry, but gives readable output when
+#                 it fails)
+#   5. clang-tidy best-effort: skipped with a notice when not installed
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-check"}
+
+step() { printf '\n== check.sh: %s ==\n' "$1"; }
+
+step "configure ($build_dir)"
+# OFFNET_THREAD_SAFETY=AUTO turns -Wthread-safety into errors under
+# Clang and degrades to a notice under GCC; OFFNET_WERROR hardens the
+# ordinary warning set either way.
+cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DOFFNET_WERROR=ON \
+      -DOFFNET_THREAD_SAFETY=AUTO \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+step "build"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)"
+
+step "ctest"
+ctest --test-dir "$build_dir" --output-on-failure
+
+step "offnet_lint"
+"$build_dir/tools/offnet_lint" \
+    "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
+
+step "clang-tidy"
+"$repo_root/tools/run_clang_tidy.sh" "$build_dir"
+
+step "all gates passed"

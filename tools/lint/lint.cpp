@@ -1,0 +1,705 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace offnet::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kKnownRules[] = {
+    "nondet-rand",   "nondet-clock",     "raw-lock",
+    "unordered-iter", "float-eq",         "include-quoted",
+    "include-relative", "pragma-once",    "bad-suppression",
+};
+
+bool known_rule(std::string_view rule) {
+  for (const char* id : kKnownRules) {
+    if (rule == id) return true;
+  }
+  return false;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when any '/'-separated component of `path` equals `dir`.
+bool has_dir(std::string_view path, std::string_view dir) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    if (path.substr(start, end - start) == dir) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+std::string_view filename_of(std::string_view path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+/// One comment captured by the stripper, with the line it starts on and
+/// whether any code precedes it on that line.
+struct Comment {
+  std::size_t line = 0;
+  bool trailing = false;  // shares its line with code
+  std::string text;
+};
+
+/// The lexer pass: `code` has comments and string/char literals blanked
+/// to spaces (newlines kept, so offsets and lines line up with the
+/// original); `directives` keeps string literals intact (for #include
+/// paths) but still blanks comments.
+struct Stripped {
+  std::string code;
+  std::string directives;
+  std::vector<Comment> comments;
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+
+  std::size_t line_of(std::size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<std::size_t>(it - line_starts.begin());
+  }
+};
+
+Stripped strip(std::string_view text) {
+  Stripped out;
+  out.code.assign(text.size(), ' ');
+  out.directives.assign(text.size(), ' ');
+  out.line_starts.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;        // for kRawString: the )delim" terminator
+  std::size_t comment_start = 0;
+  bool line_has_code = false;
+
+  auto begin_comment = [&](std::size_t i) {
+    comment_start = i;
+    out.comments.push_back(
+        {out.line_starts.size(), line_has_code, std::string()});
+  };
+  auto end_comment = [&](std::size_t end) {
+    out.comments.back().text.assign(text.substr(comment_start,
+                                                end - comment_start));
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.directives[i] = '\n';
+      if (state == State::kLineComment) {
+        end_comment(i);
+        state = State::kCode;
+      }
+      out.line_starts.push_back(i + 1);
+      line_has_code = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          begin_comment(i);
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          begin_comment(i);
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || !ident_char(text[i - 2]))) {
+            // R"delim( ... )delim"
+            std::size_t paren = text.find('(', i + 1);
+            if (paren == std::string_view::npos) break;
+            raw_delim = ")";
+            raw_delim += text.substr(i + 1, paren - i - 1);
+            raw_delim += '"';
+            state = State::kRawString;
+            out.code[i] = ' ';
+            out.directives[i] = '"';
+            break;
+          }
+          state = State::kString;
+          out.code[i] = ' ';
+          out.directives[i] = '"';
+          line_has_code = true;
+        } else if (c == '\'') {
+          state = State::kChar;
+          line_has_code = true;
+        } else {
+          out.code[i] = c;
+          out.directives[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        if (state == State::kBlockComment && c == '*' && next == '/') {
+          end_comment(i + 2);
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        out.directives[i] = c;
+        if (c == '\\') {
+          if (i + 1 < text.size() && text[i + 1] != '\n') {
+            out.directives[i + 1] = text[i + 1];
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            if (text[i + k] == '\n') continue;
+            out.directives[i + k] = text[i + k];
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    end_comment(text.size());
+  }
+  return out;
+}
+
+bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  std::size_t after = pos + word.size();
+  return after >= text.size() || !ident_char(text[after]);
+}
+
+std::size_t skip_spaces(std::string_view text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Matches a full floating-point literal: 1.0, .5, 2e-3, 1.5f, ...
+bool is_float_literal(std::string_view token) {
+  std::size_t i = 0;
+  if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+  bool digits = false, dot = false, exponent = false;
+  std::size_t start = i;
+  while (i < token.size()) {
+    const char c = token[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits = true;
+    } else if (c == '.' && !dot && !exponent) {
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digits && !exponent &&
+               i + 1 < token.size()) {
+      exponent = true;
+      if (token[i + 1] == '+' || token[i + 1] == '-') ++i;
+    } else {
+      break;
+    }
+    ++i;
+  }
+  if (!digits || (!dot && !exponent) || i == start) return false;
+  if (i < token.size() && (token[i] == 'f' || token[i] == 'F' ||
+                           token[i] == 'l' || token[i] == 'L')) {
+    ++i;
+  }
+  return i == token.size();
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Finds the offset of the matching ')' for the '(' at `open`.
+std::size_t matching_paren(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Splits `args` at commas that sit at bracket depth zero.
+std::vector<std::string_view> split_top_level(std::string_view args) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(args.substr(start));
+  return out;
+}
+
+/// Per-file suppression table parsed from
+/// `// offnet-lint: allow(rule-id): justification`.
+struct Suppressions {
+  std::map<std::size_t, std::vector<std::string>> by_line;
+  std::vector<Finding> errors;
+
+  bool allows(std::size_t line, std::string_view rule) const {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) return false;
+    for (const std::string& allowed : it->second) {
+      if (allowed == rule) return true;
+    }
+    return false;
+  }
+};
+
+Suppressions parse_suppressions(const std::string& path,
+                                const Stripped& stripped) {
+  Suppressions out;
+  constexpr std::string_view kTag = "offnet-lint:";
+  for (const Comment& comment : stripped.comments) {
+    std::size_t tag = comment.text.find(kTag);
+    if (tag == std::string::npos) continue;
+    std::string_view rest =
+        trim(std::string_view(comment.text).substr(tag + kTag.size()));
+    constexpr std::string_view kAllow = "allow(";
+    if (rest.substr(0, kAllow.size()) != kAllow) {
+      out.errors.push_back({path, comment.line, "bad-suppression",
+                            "expected 'allow(rule-id): justification'"});
+      continue;
+    }
+    std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      out.errors.push_back({path, comment.line, "bad-suppression",
+                            "unterminated allow(...)"});
+      continue;
+    }
+    std::string rule(trim(rest.substr(kAllow.size(), close - kAllow.size())));
+    std::string_view why = trim(rest.substr(close + 1));
+    if (!why.empty() && why.front() == ':') why = trim(why.substr(1));
+    if (rule == "rule-id") continue;  // the documented placeholder syntax
+    if (!known_rule(rule)) {
+      out.errors.push_back({path, comment.line, "bad-suppression",
+                            "unknown rule id '" + rule + "'"});
+      continue;
+    }
+    if (why.empty()) {
+      out.errors.push_back({path, comment.line, "bad-suppression",
+                            "suppression of '" + rule +
+                                "' needs a justification"});
+      continue;
+    }
+    // A trailing comment covers its own line; a standalone comment covers
+    // the next line.
+    out.by_line[comment.trailing ? comment.line : comment.line + 1]
+        .push_back(rule);
+  }
+  return out;
+}
+
+// ---- Rules ----
+
+void rule_nondet_rand(const std::string& path, const Stripped& s,
+                      std::vector<Finding>& out) {
+  if (has_dir(path, "net") && filename_of(path).substr(0, 4) == "rng.") {
+    return;  // the one sanctioned randomness module
+  }
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    bool hit = false;
+    std::string_view what;
+    for (std::string_view fn : {"rand", "srand", "drand48", "lrand48"}) {
+      const std::size_t after = skip_spaces(code, i + fn.size());
+      if (word_at(code, i, fn) && after < code.size() &&
+          code[after] == '(') {
+        hit = true;
+        what = fn;
+        break;
+      }
+    }
+    if (!hit && word_at(code, i, "random_device")) {
+      hit = true;
+      what = "random_device";
+    }
+    if (hit) {
+      out.push_back({path, s.line_of(i), "nondet-rand",
+                     "unseeded randomness (" + std::string(what) +
+                         ") in the measurement path; use net::Rng"});
+      i += what.size();
+    }
+  }
+}
+
+void rule_nondet_clock(const std::string& path, const Stripped& s,
+                       std::vector<Finding>& out) {
+  if (has_dir(path, "tools")) return;  // CLI may read the wall clock
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (word_at(code, i, "system_clock")) {
+      out.push_back({path, s.line_of(i), "nondet-clock",
+                     "wall-clock time in the measurement path; derive "
+                     "times from snapshot indices (CLI only)"});
+      i += 12;
+    }
+  }
+}
+
+void rule_raw_lock(const std::string& path, const Stripped& s,
+                   std::vector<Finding>& out) {
+  const std::string_view code = s.code;
+  for (std::size_t i = 1; i < code.size(); ++i) {
+    std::string_view method;
+    if (word_at(code, i, "unlock")) {
+      method = "unlock";
+    } else if (word_at(code, i, "lock")) {
+      method = "lock";
+    } else {
+      continue;
+    }
+    // Member call: preceded by '.' or '->', followed by '()'.
+    std::size_t before = i;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+      --before;
+    }
+    const bool member =
+        (before >= 1 && code[before - 1] == '.') ||
+        (before >= 2 && code[before - 2] == '-' && code[before - 1] == '>');
+    if (!member) continue;
+    std::size_t open = skip_spaces(code, i + method.size());
+    if (open >= code.size() || code[open] != '(') continue;
+    if (code[skip_spaces(code, open + 1)] != ')') continue;
+    out.push_back({path, s.line_of(i), "raw-lock",
+                   "raw ." + std::string(method) +
+                       "() call; use core::MutexLock / std::lock_guard / "
+                       "std::scoped_lock / std::unique_lock"});
+  }
+}
+
+void rule_unordered_iter(const std::string& path, const Stripped& s,
+                         const std::vector<std::string>& extra_names,
+                         std::vector<Finding>& out) {
+  if (!has_dir(path, "src")) return;  // library code feeds merged results
+  std::vector<std::string> names = unordered_container_names(s.code);
+  names.insert(names.end(), extra_names.begin(), extra_names.end());
+
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!word_at(code, i, "for")) continue;
+    std::size_t open = skip_spaces(code, i + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    std::size_t close = matching_paren(code, open);
+    if (close == std::string_view::npos) continue;
+    std::string_view head = code.substr(open + 1, close - open - 1);
+    // The range-for ':' at bracket depth zero (skipping '::').
+    int depth = 0;
+    std::size_t colon = std::string_view::npos;
+    for (std::size_t k = 0; k < head.size(); ++k) {
+      const char c = head[k];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      if (c == ':' && depth <= 0) {
+        if ((k + 1 < head.size() && head[k + 1] == ':') ||
+            (k > 0 && head[k - 1] == ':')) {
+          continue;
+        }
+        colon = k;
+        break;
+      }
+      if (c == ';') break;  // classic for loop
+    }
+    if (colon == std::string_view::npos) continue;
+    std::string_view range = head.substr(colon + 1);
+    bool hit = false;
+    for (std::size_t k = 0; k + 1 < range.size() && !hit; ++k) {
+      if (word_at(range, k, "unordered_map") ||
+          word_at(range, k, "unordered_set")) {
+        hit = true;
+      }
+      for (const std::string& name : names) {
+        if (word_at(range, k, name)) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      out.push_back(
+          {path, s.line_of(i), "unordered-iter",
+           "range-for over an unordered container in result-feeding code; "
+           "iterate sorted keys (or suppress with a justification if the "
+           "accumulation is order-independent)"});
+    }
+  }
+}
+
+void rule_float_eq(const std::string& path, const Stripped& s,
+                   std::vector<Finding>& out) {
+  if (!has_dir(path, "tests")) return;
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::string_view macro :
+         {"EXPECT_EQ", "ASSERT_EQ", "EXPECT_NE", "ASSERT_NE"}) {
+      if (!word_at(code, i, macro)) continue;
+      std::size_t open = skip_spaces(code, i + macro.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      std::size_t close = matching_paren(code, open);
+      if (close == std::string_view::npos) continue;
+      for (std::string_view arg :
+           split_top_level(code.substr(open + 1, close - open - 1))) {
+        if (is_float_literal(trim(arg))) {
+          out.push_back({path, s.line_of(i), "float-eq",
+                         std::string(macro) +
+                             " against a float literal; use "
+                             "EXPECT_DOUBLE_EQ or EXPECT_NEAR"});
+          break;
+        }
+      }
+      break;
+    }
+    // Bare `== 1.5` / `!= 1.5` comparisons.
+    if ((code[i] == '=' || code[i] == '!') && i + 1 < code.size() &&
+        code[i + 1] == '=' && (i == 0 || (code[i - 1] != '<' &&
+                                          code[i - 1] != '>' &&
+                                          code[i - 1] != '=' &&
+                                          code[i - 1] != '!'))) {
+      if (i + 2 < code.size() && code[i + 2] == '=') continue;
+      std::size_t tok = skip_spaces(code, i + 2);
+      std::size_t end = tok;
+      while (end < code.size() && (ident_char(code[end]) ||
+                                   code[end] == '.' || code[end] == '+' ||
+                                   code[end] == '-')) {
+        ++end;
+      }
+      if (end > tok && is_float_literal(code.substr(tok, end - tok))) {
+        out.push_back({path, s.line_of(i), "float-eq",
+                       "float equality comparison in a test; use "
+                       "EXPECT_DOUBLE_EQ or EXPECT_NEAR"});
+      }
+    }
+  }
+}
+
+void rule_includes(const std::string& path, const Stripped& s,
+                   std::vector<Finding>& out) {
+  static const char* const kRepoDirs[] = {
+      "analysis", "bgp", "core", "dns", "http", "hypergiant",
+      "io", "net", "scan", "tls", "topology",
+  };
+  std::istringstream lines{s.directives};
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_pragma_once = false;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::string_view t = trim(line);
+    if (t.substr(0, 1) != "#") continue;
+    std::string_view directive = trim(t.substr(1));
+    if (directive.substr(0, 11) == "pragma once") saw_pragma_once = true;
+    if (directive.substr(0, 7) != "include") continue;
+    std::string_view target = trim(directive.substr(7));
+    if (target.empty()) continue;
+    const char open = target.front();
+    const char close_ch = open == '<' ? '>' : '"';
+    std::size_t end = target.find(close_ch, 1);
+    if (end == std::string_view::npos) continue;
+    std::string_view header = target.substr(1, end - 1);
+    if (header.find("..") != std::string_view::npos) {
+      out.push_back({path, lineno, "include-relative",
+                     "include path escapes its directory; include "
+                     "repo headers relative to src/"});
+    }
+    if (open == '<') {
+      std::size_t slash = header.find('/');
+      if (slash != std::string_view::npos) {
+        std::string_view top = header.substr(0, slash);
+        for (const char* dir : kRepoDirs) {
+          if (top == dir) {
+            out.push_back({path, lineno, "include-quoted",
+                           "repo header <" + std::string(header) +
+                               "> must be included with quotes"});
+            break;
+          }
+        }
+      }
+    }
+  }
+  const std::string_view file = filename_of(path);
+  const bool is_header = file.size() > 2 &&
+                         (file.substr(file.size() - 2) == ".h" ||
+                          (file.size() > 4 &&
+                           file.substr(file.size() - 4) == ".hpp"));
+  if (is_header && !saw_pragma_once) {
+    out.push_back({path, 1, "pragma-once",
+                   "header is missing #pragma once (headers must be "
+                   "self-sufficient and include-once)"});
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> unordered_container_names(std::string_view text) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string_view which;
+    if (word_at(text, i, "unordered_map")) {
+      which = "unordered_map";
+    } else if (word_at(text, i, "unordered_set")) {
+      which = "unordered_set";
+    } else {
+      continue;
+    }
+    std::size_t pos = skip_spaces(text, i + which.size());
+    if (pos >= text.size() || text[pos] != '<') continue;
+    int depth = 0;
+    while (pos < text.size()) {
+      if (text[pos] == '<') ++depth;
+      if (text[pos] == '>' && --depth == 0) break;
+      ++pos;
+    }
+    if (pos >= text.size()) continue;
+    pos = skip_spaces(text, pos + 1);
+    while (pos < text.size() && (text[pos] == '&' || text[pos] == '*')) {
+      pos = skip_spaces(text, pos + 1);
+    }
+    std::size_t end = pos;
+    while (end < text.size() && ident_char(text[end])) ++end;
+    if (end == pos) continue;
+    // `name(` is a function declaration, not a variable.
+    const std::size_t next = skip_spaces(text, end);
+    if (next < text.size() && text[next] == '(') {
+      i = end;
+      continue;
+    }
+    names.emplace_back(text.substr(pos, end - pos));
+    i = end;
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::string format(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message;
+}
+
+std::vector<Finding> lint_file(
+    const std::string& path, std::string_view text,
+    const std::vector<std::string>& extra_unordered_names) {
+  Stripped stripped = strip(text);
+  Suppressions suppressions = parse_suppressions(path, stripped);
+
+  std::vector<Finding> raw;
+  rule_nondet_rand(path, stripped, raw);
+  rule_nondet_clock(path, stripped, raw);
+  rule_raw_lock(path, stripped, raw);
+  rule_unordered_iter(path, stripped, extra_unordered_names, raw);
+  rule_float_eq(path, stripped, raw);
+  rule_includes(path, stripped, raw);
+
+  std::vector<Finding> out;
+  for (Finding& finding : raw) {
+    if (!suppressions.allows(finding.line, finding.rule)) {
+      out.push_back(std::move(finding));
+    }
+  }
+  out.insert(out.end(), suppressions.errors.begin(),
+             suppressions.errors.end());
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+  };
+  auto skip_dir = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name == ".git" || name == "lint_fixtures" ||
+           name.substr(0, 5) == "build";
+  };
+  for (const std::string& root : roots) {
+    fs::path base(root);
+    if (fs::is_regular_file(base)) {
+      if (lintable(base)) files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base)) continue;
+    fs::recursive_directory_iterator it(base), end;
+    while (it != end) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  auto read = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  std::vector<Finding> out;
+  for (const fs::path& file : files) {
+    std::string text = read(file);
+    std::vector<std::string> extra;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path header = file;
+      header.replace_extension(".h");
+      if (fs::is_regular_file(header)) {
+        extra = unordered_container_names(strip(read(header)).code);
+      }
+    }
+    std::vector<Finding> found =
+        lint_file(file.generic_string(), text, extra);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+}  // namespace offnet::lint

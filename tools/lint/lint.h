@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// offnet_lint: a lexer-level linter for the repo's own invariants —
+/// rules a generic tool cannot know (see DESIGN.md "Static analysis &
+/// enforced invariants" for the rule table and rationale).
+///
+/// Rule ids:
+///   nondet-rand      rand()/srand()/random_device outside net/rng
+///   nondet-clock     std::chrono::system_clock outside tools/ (the CLI)
+///   raw-lock         .lock()/.unlock() call sites (use RAII guards)
+///   unordered-iter   range-for over unordered_map/unordered_set in src/
+///   float-eq         float/double equality comparison in tests/
+///   include-quoted   repo headers included with <> instead of ""
+///   include-relative include paths containing ".."
+///   pragma-once      header missing #pragma once
+///   bad-suppression  allow(...) comment without a justification
+///
+/// Suppressions: `// offnet-lint: allow(rule-id): justification` on the
+/// offending line, or alone on the line directly above it. The
+/// justification is mandatory; an empty one is itself a finding.
+namespace offnet::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: rule-id: message"
+std::string format(const Finding& finding);
+
+/// Lints one file's contents. `path` drives rule scoping (src/ vs tests/
+/// vs tools/) and reporting. `extra_unordered_names` seeds the
+/// unordered-iter rule with container names declared elsewhere (the
+/// paired header of a .cpp).
+std::vector<Finding> lint_file(
+    const std::string& path, std::string_view text,
+    const std::vector<std::string>& extra_unordered_names = {});
+
+/// Names of unordered_map/unordered_set variables declared in `text`
+/// (used to pair a header's members into its .cpp's lint pass).
+std::vector<std::string> unordered_container_names(std::string_view text);
+
+/// Walks the given roots (directories or single files), lints every .h
+/// and .cpp, and returns findings sorted by file then line. Directories
+/// named "build*", ".git", and "lint_fixtures" are skipped; a .cpp with
+/// a same-named .h beside it inherits the header's container names.
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots);
+
+}  // namespace offnet::lint

@@ -1,0 +1,49 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+/// offnet_lint — enforce the repo's determinism and locking invariants.
+///
+/// Usage: offnet_lint [--quiet] <dir-or-file>...
+/// Exit codes: 0 clean, 1 findings, 2 usage error.
+int main(int argc, char** argv) {
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: offnet_lint [--quiet] <dir-or-file>...\n"
+                "Lints .h/.cpp files for the offnet invariants "
+                "(see DESIGN.md).\n"
+                "Suppress one line with: "
+                "// offnet-lint: allow(rule-id): justification");
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "offnet_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: offnet_lint [--quiet] <dir-or-file>...\n");
+    return 2;
+  }
+
+  const std::vector<offnet::lint::Finding> findings =
+      offnet::lint::lint_tree(roots);
+  if (!quiet) {
+    for (const offnet::lint::Finding& finding : findings) {
+      std::fprintf(stderr, "%s\n", offnet::lint::format(finding).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "offnet_lint: %zu finding%s\n", findings.size(),
+                   findings.size() == 1 ? "" : "s");
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config in .clang-tidy) over the repo's translation
+# units using the compile_commands.json of an existing build directory.
+# Degrades gracefully: a missing clang-tidy is a notice and exit 0, so
+# CI images without LLVM still pass the rest of tools/check.sh.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy not found; skipping (install clang-tidy" \
+       "or set CLANG_TIDY to enable this gate)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json not found;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first"
+  exit 2
+fi
+
+# Every checked-in translation unit; headers are covered through
+# HeaderFilterRegex in .clang-tidy.
+files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+             "$repo_root/tests" -name '*.cpp' \
+             -not -path '*/lint_fixtures/*' | sort)
+
+status=0
+for file in $files; do
+  "$tidy" -p "$build_dir" --quiet "$file" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings above must be fixed (or the check" \
+       "NOLINT'ed with a reason)"
+fi
+exit "$status"
