@@ -1,8 +1,9 @@
 #include "bench_common.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <fstream>
+
+#include "obs/stage_timer.h"
 
 namespace offnet::bench {
 
@@ -50,10 +51,9 @@ std::size_t footprint_size(const core::SnapshotResult& result,
 }
 
 double wall_seconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch watch;
   fn();
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
+  return watch.seconds();
 }
 
 void write_bench_json(const std::string& bench, const std::string& path,

@@ -4,9 +4,12 @@
 // run is also checked bit-identical to the serial result — a perf number
 // from a wrong answer is worthless.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 
 using namespace offnet;
 
@@ -54,18 +57,26 @@ int main() {
   (void)world.ip2as().at(t);
 
   core::SnapshotResult serial;
+  obs::Registry serial_metrics;
   {
+    core::PipelineOptions options;
+    options.metrics = &serial_metrics;
     core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
-                                  world.certs(), world.roots());
+                                  world.certs(), world.roots(),
+                                  core::standard_hg_inputs(), options);
     const double s = bench::wall_seconds([&] { serial = pipeline.run(snap); });
     samples.push_back({"pipeline.run", 1, s});
     std::printf("  1 thread : %7.3fs (baseline)\n", s);
   }
   const double serial_seconds = samples.front().seconds;
+  const std::string serial_json =
+      obs::MetricsExporter::deterministic_json(serial_metrics);
 
   for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     core::PipelineOptions options;
     options.n_threads = threads;
+    obs::Registry metrics;
+    options.metrics = &metrics;
     core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
                                   world.certs(), world.roots(),
                                   core::standard_hg_inputs(), options);
@@ -80,6 +91,18 @@ int main() {
                    threads);
       return 1;
     }
+    if (obs::MetricsExporter::deterministic_json(metrics) != serial_json) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread metrics differ from serial metrics\n",
+                   threads);
+      return 1;
+    }
+  }
+
+  bench::heading("serial pipeline stage timings");
+  for (const auto& [stage, stat] : serial_metrics.snapshot().timings) {
+    std::printf("  %-32s %8.3fs (%zu calls)\n", stage.c_str(),
+                stat.total_seconds, static_cast<std::size_t>(stat.calls));
   }
 
   bench::heading("longitudinal segment: serial vs snapshot fan-out");

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace offnet::core {
 
@@ -19,6 +21,20 @@ void absorb_netflix_ips(const SnapshotResult& result,
       netflix_ips.insert(ip.value());
     }
   }
+}
+
+/// Series-level accounting for one finished (or skipped) snapshot:
+/// health tallies and the ingestion skip counts from the LoadReport.
+/// The pipeline's own funnel counters accumulate separately inside
+/// OffnetPipeline::run; everything here is deterministic, so the
+/// exported JSON (minus timing) is identical at any thread count.
+void record_series_metrics(const SnapshotResult& result,
+                           obs::Registry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->counter("series/snapshots").add(1);
+  metrics->counter(std::string("series/health/") + to_string(result.health))
+      .add(1);
+  result.load_report.export_metrics(*metrics);
 }
 
 }  // namespace
@@ -48,6 +64,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
           placeholder.snapshot = t;
           placeholder.scanner = scanner_;
           placeholder.health = SnapshotHealth::kMissing;
+          record_series_metrics(placeholder, options_.metrics);
           if (progress) progress(placeholder);
           results.push_back(std::move(placeholder));
         }
@@ -60,9 +77,13 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
       OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
                               world_->certs(), world_->roots(),
                               standard_hg_inputs(), options);
-      SnapshotResult result = pipeline.run(snapshot);
+      SnapshotResult result = [&] {
+        obs::StageTimer timer(options_.metrics, "series/snapshot");
+        return pipeline.run(snapshot);
+      }();
       absorb_netflix_ips(result, netflix_ips);
 
+      record_series_metrics(result, options_.metrics);
       if (progress) progress(result);
       results.push_back(std::move(result));
     }
@@ -107,6 +128,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
     for (Job& job : wave) {
       if (job.missing) continue;
       tasks.push_back([this, &job] {
+        obs::StageTimer timer(options_.metrics, "series/snapshot");
         bgp::PinnedIp2As pinned(job.map);
         PipelineOptions options = options_;
         options.netflix_prior_ips = nullptr;
@@ -125,6 +147,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
         placeholder.snapshot = job.t;
         placeholder.scanner = scanner_;
         placeholder.health = SnapshotHealth::kMissing;
+        record_series_metrics(placeholder, options_.metrics);
         if (progress) progress(placeholder);
         results.push_back(std::move(placeholder));
         continue;
@@ -136,6 +159,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
       pipeline.apply_netflix_http_recovery(*job.snap, job.result,
                                            netflix_ips);
       absorb_netflix_ips(job.result, netflix_ips);
+      record_series_metrics(job.result, options_.metrics);
       if (progress) progress(job.result);
       results.push_back(std::move(job.result));
     }
@@ -164,7 +188,10 @@ std::vector<SnapshotResult> LongitudinalRunner::run_loaded(
       OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
                               dataset.certs(), dataset.roots(),
                               standard_hg_inputs(), options);
-      result = pipeline.run(dataset.snapshot());
+      result = [&] {
+        obs::StageTimer timer(options_.metrics, "series/snapshot");
+        return pipeline.run(dataset.snapshot());
+      }();
       result.health = report.clean() ? SnapshotHealth::kComplete
                                      : SnapshotHealth::kPartial;
       result.load_report = report;
@@ -177,6 +204,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run_loaded(
     result.snapshot = t;
     result.scanner = scanner_;
 
+    record_series_metrics(result, options_.metrics);
     if (progress) progress(result);
     results.push_back(std::move(result));
   }

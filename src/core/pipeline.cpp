@@ -7,6 +7,8 @@
 #include "core/known_headers.h"
 #include "core/thread_pool.h"
 #include "net/table.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace offnet::core {
 
@@ -107,6 +109,13 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   const bgp::Ip2AsMap& ip2as = ip2as_.at(scan.snapshot_index());
   const std::vector<scan::CertScanRecord>& records = scan.certs();
 
+  // Observability (DESIGN.md §9): every counter below is fed from
+  // deterministic post-merge results or shard-local tallies summed in
+  // shard order, so metrics are byte-identical at any thread count; only
+  // the StageTimer wall-clock section varies.
+  obs::Registry* metrics = options_.metrics;
+  obs::StageTimer run_timer(metrics, "pipeline/run");
+
   // Every sharded pass below scans a contiguous record (or certificate)
   // range into per-shard accumulators that are merged in shard order, so
   // the result is bit-identical at any thread count.
@@ -147,21 +156,29 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
 
   std::vector<std::uint8_t> status(n_certs, 0);
   std::vector<std::uint64_t> org_mask(n_certs, 0);
-  pool.for_shards(
-      n_certs, n_shards, [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t id = begin; id < end; ++id) {
-          if (!cert_used[id].load(std::memory_order_relaxed)) continue;
-          const auto cert_id = static_cast<tls::CertId>(id);
-          status[id] =
-              static_cast<std::uint8_t>(validator_.validate(cert_id, at));
-          std::uint64_t mask = 0;
-          const auto& org = certs_.get(cert_id).subject.organization;
-          for (std::size_t h = 0; h < n_hg; ++h) {
-            if (net::icontains(org, hypergiants_[h].keyword)) mask |= 1ull << h;
+  std::vector<std::size_t> certs_referenced(n_shards, 0);
+  {
+    obs::StageTimer timer(metrics, "pipeline/validate_certs");
+    pool.for_shards(
+        n_certs, n_shards,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          for (std::size_t id = begin; id < end; ++id) {
+            if (!cert_used[id].load(std::memory_order_relaxed)) continue;
+            ++certs_referenced[shard];
+            const auto cert_id = static_cast<tls::CertId>(id);
+            status[id] =
+                static_cast<std::uint8_t>(validator_.validate(cert_id, at));
+            std::uint64_t mask = 0;
+            const auto& org = certs_.get(cert_id).subject.organization;
+            for (std::size_t h = 0; h < n_hg; ++h) {
+              if (net::icontains(org, hypergiants_[h].keyword)) {
+                mask |= 1ull << h;
+              }
+            }
+            org_mask[id] = mask;
           }
-          org_mask[id] = mask;
-        }
-      });
+        });
+  }
 
   // ---- Pass 1: corpus stats, on-net discovery, TLS fingerprints. ----
   struct Pass1Hg {
@@ -178,8 +195,11 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     std::unordered_set<std::uint32_t> seen_ips;
     std::unordered_set<net::Asn> ases_with_certs;
     std::vector<Pass1Hg> hg;
+    std::size_t drop_invalid_chain = 0;    // §4.1 records, per shard
+    std::size_t drop_org_keyword_miss = 0; // §4.2 records, per shard
   };
   std::vector<Pass1Partial> p1(n_shards);
+  obs::StageTimer pass1_timer(metrics, "pipeline/pass1_onnet");
   pool.for_shards(
       records.size(), n_shards,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -194,9 +214,15 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
           }
           auto origins = ip2as.lookup(rec.ip);
           for (net::Asn asn : origins) part.ases_with_certs.insert(asn);
-          if (!valid) continue;
+          if (!valid) {
+            ++part.drop_invalid_chain;
+            continue;
+          }
           const std::uint64_t mask = org_mask[rec.cert];
-          if (mask == 0) continue;
+          if (mask == 0) {
+            ++part.drop_org_keyword_miss;
+            continue;
+          }
           for (std::size_t h = 0; h < n_hg; ++h) {
             if (!(mask & (1ull << h))) continue;
             const bool onnet = std::any_of(origins.begin(), origins.end(),
@@ -215,12 +241,19 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
         }
       });
 
+  pass1_timer.stop();
+
   std::unordered_set<net::Asn> ases_with_certs;
   std::vector<std::vector<net::IPv4>> onnet_ips(n_hg);
   std::unordered_set<std::uint32_t> corpus_ips;
   corpus_ips.reserve(records.size() * 2);
   std::vector<std::unordered_set<tls::CertId>> absorbed(n_hg);
+  std::size_t drop_invalid_chain = 0;
+  std::size_t drop_org_keyword_miss = 0;
   for (Pass1Partial& part : p1) {
+    obs::StageTimer merge_timer(metrics, "pipeline/merge/pass1_shard");
+    drop_invalid_chain += part.drop_invalid_chain;
+    drop_org_keyword_miss += part.drop_org_keyword_miss;
     for (const auto& [ip, valid] : part.first_ips) {
       if (!corpus_ips.insert(ip).second) continue;
       ++result.stats.total_records;
@@ -262,32 +295,45 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   // fingerprints, so they are precomputed in parallel and the record
   // pass reads them. ----
   std::vector<std::uint8_t> subset_pass(n_hg * n_certs, 0);
-  pool.for_shards(
-      n_certs, n_shards, [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t id = begin; id < end; ++id) {
-          const std::uint64_t mask = org_mask[id];
-          if (mask == 0) continue;
-          const auto st = static_cast<tls::CertStatus>(status[id]);
-          const bool valid = st == tls::CertStatus::kValid;
-          const bool netflix_expired = st == tls::CertStatus::kExpired;
-          if (!valid && !netflix_expired) continue;
-          const tls::Certificate& cert =
-              certs_.get(static_cast<tls::CertId>(id));
-          for (std::size_t h = 0; h < n_hg; ++h) {
-            if (!(mask & (1ull << h))) continue;
-            if (!valid && static_cast<int>(h) != netflix_idx) continue;
-            bool pass =
-                options_.disable_subset_rule
-                    ? !cert.dns_names.empty()
-                    : result.per_hg[h].tls_fingerprint.covers_all_names(cert);
-            if (pass && options_.apply_cloudflare_ssl_filter &&
-                all_cloudflare_customer_names(cert)) {
-              pass = false;
+  struct SubsetTally {
+    std::size_t subset_rule = 0;     // §4.3 (hg, cert) containment failures
+    std::size_t cloudflare_ssl = 0;  // §7 universal-SSL filter hits
+  };
+  std::vector<SubsetTally> subset_tallies(n_shards);
+  {
+    obs::StageTimer timer(metrics, "pipeline/subset_rule");
+    pool.for_shards(
+        n_certs, n_shards,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          SubsetTally& tally = subset_tallies[shard];
+          for (std::size_t id = begin; id < end; ++id) {
+            const std::uint64_t mask = org_mask[id];
+            if (mask == 0) continue;
+            const auto st = static_cast<tls::CertStatus>(status[id]);
+            const bool valid = st == tls::CertStatus::kValid;
+            const bool netflix_expired = st == tls::CertStatus::kExpired;
+            if (!valid && !netflix_expired) continue;
+            const tls::Certificate& cert =
+                certs_.get(static_cast<tls::CertId>(id));
+            for (std::size_t h = 0; h < n_hg; ++h) {
+              if (!(mask & (1ull << h))) continue;
+              if (!valid && static_cast<int>(h) != netflix_idx) continue;
+              bool pass =
+                  options_.disable_subset_rule
+                      ? !cert.dns_names.empty()
+                      : result.per_hg[h].tls_fingerprint.covers_all_names(
+                            cert);
+              if (!pass) ++tally.subset_rule;
+              if (pass && options_.apply_cloudflare_ssl_filter &&
+                  all_cloudflare_customer_names(cert)) {
+                pass = false;
+                ++tally.cloudflare_ssl;
+              }
+              subset_pass[h * n_certs + id] = pass ? 1 : 0;
             }
-            subset_pass[h * n_certs + id] = pass ? 1 : 0;
           }
-        }
-      });
+        });
+  }
 
   struct Pass2Candidate {
     net::IPv4 ip;
@@ -301,6 +347,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     std::unordered_set<std::uint32_t> netflix_seen;
   };
   std::vector<Pass2Partial> p2(n_shards);
+  obs::StageTimer pass2_timer(metrics, "pipeline/pass2_candidates");
   pool.for_shards(
       records.size(), n_shards,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -344,6 +391,8 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
         }
       });
 
+  pass2_timer.stop();
+
   // Merge in shard order: global first occurrence per IP wins, exactly
   // as in one serial pass over the whole corpus.
   std::vector<std::unordered_set<std::uint32_t>> candidate_set(n_hg);
@@ -353,6 +402,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   std::vector<std::uint32_t> netflix_expired_order;
   std::unordered_set<std::uint32_t> netflix_expired_set;
   for (Pass2Partial& part : p2) {
+    obs::StageTimer merge_timer(metrics, "pipeline/merge/pass2_shard");
     for (std::size_t h = 0; h < n_hg; ++h) {
       for (Pass2Candidate& cand : part.hg[h]) {
         if (!candidate_set[h].insert(cand.ip.value()).second) continue;
@@ -376,6 +426,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   // Hypergiants are independent of each other here, so they fan out. ----
   std::vector<http::HeaderFingerprintSet> learned(n_hg);
   {
+    obs::StageTimer timer(metrics, "pipeline/learn_headers");
     std::vector<std::function<void()>> tasks;
     tasks.reserve(n_hg);
     for (std::size_t h = 0; h < n_hg; ++h) {
@@ -409,7 +460,13 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
 
   // ---- Pass 4: header confirmation (§4.5). Fully learned fingerprints
   // and merged candidate sets are read-only now; each Hypergiant writes
-  // only its own footprint. ----
+  // only its own footprint (and its own confirm-tally slot). ----
+  struct ConfirmTally {
+    std::size_t header_miss = 0;    // §4.5 candidate IPs with no match
+    std::size_t edge_conflict = 0;  // §7 candidate IPs owned by an edge CDN
+  };
+  std::vector<ConfirmTally> confirm_tallies(n_hg);
+  obs::StageTimer confirm_timer(metrics, "pipeline/confirm");
   std::vector<std::function<void()>> confirm_tasks;
   confirm_tasks.reserve(n_hg);
   for (std::size_t h = 0; h < n_hg; ++h) {
@@ -439,9 +496,15 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
         const http::HeaderMap* http = scan.http_headers(ip);
         bool m_https = https != nullptr && matches(*https);
         bool m_http = http != nullptr && matches(*http);
-        if (!m_https && !m_http) return;
+        if (!m_https && !m_http) {
+          if (!into_expired_only) ++confirm_tallies[h].header_miss;
+          return;
+        }
         const http::HeaderMap* matched = m_https ? https : http;
-        if (edge_conflict(*matched)) return;
+        if (edge_conflict(*matched)) {
+          if (!into_expired_only) ++confirm_tallies[h].edge_conflict;
+          return;
+        }
         auto ases = map_ases(ip, hg_asns[h]);
         if (!into_expired_only) {
           ++fp.confirmed_ips;
@@ -493,9 +556,46 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     });
   }
   pool.run_all(std::move(confirm_tasks));
+  confirm_timer.stop();
 
   result.stats.ases_with_certs = ases_with_certs.size();
   result.stats.ases_with_any_hg = any_hg_ases.size();
+
+  if (metrics != nullptr) {
+    namespace mn = metric_names;
+    std::size_t referenced = 0;
+    for (std::size_t n : certs_referenced) referenced += n;
+    SubsetTally subset_total;
+    for (const SubsetTally& tally : subset_tallies) {
+      subset_total.subset_rule += tally.subset_rule;
+      subset_total.cloudflare_ssl += tally.cloudflare_ssl;
+    }
+    ConfirmTally confirm_total;
+    std::size_t confirmed_ips = 0;
+    obs::Histogram& candidate_ases_hist = metrics->histogram(
+        "pipeline/candidate_ases_per_hg", {1.0, 10.0, 100.0, 1000.0});
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      confirm_total.header_miss += confirm_tallies[h].header_miss;
+      confirm_total.edge_conflict += confirm_tallies[h].edge_conflict;
+      confirmed_ips += result.per_hg[h].confirmed_ips;
+      candidate_ases_hist.observe(
+          static_cast<double>(result.per_hg[h].candidate_ases.size()));
+    }
+
+    metrics->gauge("pipeline/hypergiants").set(static_cast<std::int64_t>(n_hg));
+    metrics->counter(mn::kRecords).add(records.size());
+    metrics->counter(mn::kIps).add(result.stats.total_records);
+    metrics->counter(mn::kCertsReferenced).add(referenced);
+    metrics->counter(mn::kOnnetRecords).add(result.stats.hg_cert_ips_onnet);
+    metrics->counter(mn::kCandidateIps).add(result.stats.hg_cert_ips_offnet);
+    metrics->counter(mn::kConfirmedIps).add(confirmed_ips);
+    metrics->counter(mn::kDropInvalidChain).add(drop_invalid_chain);
+    metrics->counter(mn::kDropOrgKeywordMiss).add(drop_org_keyword_miss);
+    metrics->counter(mn::kDropSubsetRule).add(subset_total.subset_rule);
+    metrics->counter(mn::kDropCloudflareSsl).add(subset_total.cloudflare_ssl);
+    metrics->counter(mn::kDropHeaderMiss).add(confirm_total.header_miss);
+    metrics->counter(mn::kDropEdgeConflict).add(confirm_total.edge_conflict);
+  }
   return result;
 }
 

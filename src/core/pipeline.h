@@ -16,6 +16,10 @@
 #include "tls/validator.h"
 #include "topology/topology.h"
 
+namespace offnet::obs {
+class Registry;
+}  // namespace offnet::obs
+
 namespace offnet::core {
 
 /// One Hypergiant to search for: the §4.6 inputs are just a name and the
@@ -59,7 +63,41 @@ struct PipelineOptions {
   /// thread count: workers scan contiguous record ranges into per-shard
   /// accumulators that are merged in shard order.
   std::size_t n_threads = 1;
+
+  /// When set, run() records the §4 funnel into this registry: per-stage
+  /// record counts, per-reason drop counters (see metric_names below),
+  /// and per-pass / per-shard-merge stage timings. Counter values are
+  /// deterministic at any n_threads — only the exporter's "timing"
+  /// section varies between runs. The registry accumulates across calls,
+  /// so a longitudinal series sums its snapshots.
+  obs::Registry* metrics = nullptr;
 };
+
+/// The §4.1–§4.5 funnel metric names OffnetPipeline::run emits, one
+/// constant per counter so instrumentation, tests, and the check.sh
+/// smoke stay in sync.
+namespace metric_names {
+// Stage counts.
+inline constexpr const char* kRecords = "pipeline/records";
+inline constexpr const char* kIps = "pipeline/ips";
+inline constexpr const char* kCertsReferenced = "pipeline/certs_referenced";
+inline constexpr const char* kOnnetRecords = "pipeline/onnet_records";
+inline constexpr const char* kCandidateIps = "pipeline/candidate_ips";
+inline constexpr const char* kConfirmedIps = "pipeline/confirmed_ips";
+// Drop reasons, in funnel order.
+inline constexpr const char* kDropInvalidChain =
+    "pipeline/drop/invalid_chain";  // §4.1: certificate fails validation
+inline constexpr const char* kDropOrgKeywordMiss =
+    "pipeline/drop/org_keyword_miss";  // §4.2: no HG Organization match
+inline constexpr const char* kDropSubsetRule =
+    "pipeline/drop/subset_rule";  // §4.3: dNSNames not on on-net certs
+inline constexpr const char* kDropCloudflareSsl =
+    "pipeline/drop/cloudflare_ssl_filter";  // §7: universal-SSL customers
+inline constexpr const char* kDropHeaderMiss =
+    "pipeline/drop/header_miss";  // §4.5: no header-fingerprint match
+inline constexpr const char* kDropEdgeConflict =
+    "pipeline/drop/edge_conflict";  // §7: edge CDN owns the response
+}  // namespace metric_names
 
 /// Everything inferred about one Hypergiant from one scan snapshot.
 struct HgFootprint {

@@ -87,8 +87,8 @@ void export_dataset(const scan::World& world,
   for (tls::CertId id : referenced) {
     const tls::Certificate& cert = world.certs().get(id);
     out.certificates << "c" << id << '\t' << cert.subject.organization
-                     << '\t' << cert.not_before.to_string() << '\t'
-                     << cert.not_after.to_string() << '\t'
+                     << '\t' << cert.not_before.date_string() << '\t'
+                     << cert.not_after.date_string() << '\t'
                      << trust_of(world.certs(), world.roots(), id) << '\t';
     bool first = true;
     for (const std::string& san : cert.dns_names) {

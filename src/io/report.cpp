@@ -1,5 +1,7 @@
 #include "io/report.h"
 
+#include "obs/metrics.h"
+
 namespace offnet::io {
 
 std::size_t LoadReport::lines_ok() const {
@@ -42,6 +44,16 @@ std::string LoadReport::summary() const {
   }
   out += ')';
   return out;
+}
+
+void LoadReport::export_metrics(obs::Registry& registry) const {
+  registry.counter("load/lines_ok").add(lines_ok());
+  registry.counter("load/lines_skipped").add(lines_skipped());
+  for (const FileReport& file : files) {
+    registry.counter("load/" + file.kind + "/lines_ok").add(file.lines_ok);
+    registry.counter("load/" + file.kind + "/lines_skipped")
+        .add(file.lines_skipped);
+  }
 }
 
 }  // namespace offnet::io

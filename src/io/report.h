@@ -9,6 +9,10 @@
 /// malformed input (ReadOptions) and what it actually read and dropped
 /// (FileReport / LoadReport). Kept separate from loaders.h so the core
 /// pipeline can attach reports to results without pulling in the loaders.
+namespace offnet::obs {
+class Registry;
+}  // namespace offnet::obs
+
 namespace offnet::io {
 
 /// How loaders treat malformed input.
@@ -78,6 +82,12 @@ struct LoadReport {
 
   /// One line: "skipped 3 of 1200 lines (certificates: 2, hosts: 1)".
   std::string summary() const;
+
+  /// Adds this report's tallies to `registry`: the totals as
+  /// load/lines_ok and load/lines_skipped, plus per-kind
+  /// load/<kind>/lines_{ok,skipped} counters. Counters accumulate, so a
+  /// longitudinal series sums its snapshots' reports.
+  void export_metrics(obs::Registry& registry) const;
 };
 
 }  // namespace offnet::io

@@ -17,7 +17,8 @@ std::optional<YearMonth> YearMonth::parse(std::string_view text) {
                                    month);
   if (yec != std::errc{} || mec != std::errc{} ||
       yp != ytext.data() + ytext.size() ||
-      mp != mtext.data() + mtext.size() || month < 1 || month > 12) {
+      mp != mtext.data() + mtext.size() || month < 1 || month > 12 ||
+      year < kMinParseYear || year > kMaxParseYear) {
     return std::nullopt;
   }
   return YearMonth(year, month);
@@ -31,7 +32,7 @@ std::string YearMonth::to_string() const {
   return out;
 }
 
-std::string DayTime::to_string() const {
+std::string DayTime::date_string() const {
   auto pad2 = [](int v) {
     std::string out = std::to_string(v);
     return v < 10 ? "0" + out : out;

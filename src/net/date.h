@@ -17,8 +17,16 @@ class YearMonth {
   constexpr YearMonth() = default;
   constexpr YearMonth(int year, int month) : index_(year * 12 + (month - 1)) {}
 
-  /// Parses "YYYY-MM". Returns nullopt on malformed input.
+  /// Parses "YYYY-MM". Returns nullopt on malformed input or a year
+  /// outside [kMinParseYear, kMaxParseYear] — dataset dates far from the
+  /// study era are typos or corruption, not data, and unbounded years
+  /// would overflow the month index.
   static std::optional<YearMonth> parse(std::string_view text);
+
+  /// Accepted year range for parse(). Generous around the 2013–2021
+  /// study period so certificate validity windows still parse.
+  static constexpr int kMinParseYear = 1990;
+  static constexpr int kMaxParseYear = 2100;
 
   constexpr int year() const { return index_ / 12; }
   constexpr int month() const { return index_ % 12 + 1; }
@@ -84,8 +92,11 @@ class DayTime {
     return static_cast<int>(days_ % 30) + 1;
   }
 
-  /// "YYYY-MM-DD" in the uniform 30-day calendar.
-  std::string to_string() const;
+  /// "YYYY-MM-DD" in the uniform 30-day calendar. Named date_string, not
+  /// to_string: a DayTime is day-resolution, so there is no time-of-day
+  /// to print, and a to_string that silently dropped it would lie about
+  /// the precision of the value.
+  std::string date_string() const;
 
   friend constexpr auto operator<=>(DayTime, DayTime) = default;
 

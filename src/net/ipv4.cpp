@@ -12,6 +12,9 @@ std::optional<IPv4> IPv4::parse(std::string_view text) {
     unsigned octet = 0;
     auto [next, ec] = std::from_chars(p, end, octet);
     if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Dotted-quad octets have no leading zeros ("01.2.3.4" is not an
+    // address; some parsers would even read it as octal).
+    if (next - p > 1 && *p == '0') return std::nullopt;
     value = (value << 8) | octet;
     p = next;
     if (i < 3) {

@@ -1,0 +1,141 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace offnet::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest %g rendering that round-trips the value — deterministic for
+/// a given double, and readable for the round bucket bounds metrics use.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+template <typename Map, typename AppendValue>
+void append_object(std::string& out, std::string_view key, const Map& map,
+                   bool& first_section, const AppendValue& append_value) {
+  if (!first_section) out += ",\n";
+  first_section = false;
+  out += "  ";
+  append_escaped(out, key);
+  out += ": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n    ";
+    append_escaped(out, name);
+    out += ": ";
+    append_value(out, value);
+  }
+  if (!first) out += "\n  ";
+  out.push_back('}');
+}
+
+std::string render(const RegistrySnapshot& snapshot, bool include_timing) {
+  std::string out = "{\n";
+  bool first_section = true;
+
+  append_object(out, "counters", snapshot.counters, first_section,
+                [](std::string& o, std::uint64_t v) {
+                  o += std::to_string(v);
+                });
+  append_object(out, "gauges", snapshot.gauges, first_section,
+                [](std::string& o, std::int64_t v) {
+                  o += std::to_string(v);
+                });
+  append_object(
+      out, "histograms", snapshot.histograms, first_section,
+      [](std::string& o, const RegistrySnapshot::HistogramData& h) {
+        o += "{\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) o += ", ";
+          append_double(o, h.bounds[i]);
+        }
+        o += "], \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          if (i > 0) o += ", ";
+          o += std::to_string(h.buckets[i]);
+        }
+        o += "], \"count\": " + std::to_string(h.count) + "}";
+      });
+  if (include_timing) {
+    append_object(out, "timing", snapshot.timings, first_section,
+                  [](std::string& o, const TimingStat& t) {
+                    o += "{\"calls\": " + std::to_string(t.calls) +
+                         ", \"total_seconds\": ";
+                    append_double(o, t.total_seconds);
+                    o += ", \"min_seconds\": ";
+                    append_double(o, t.min_seconds);
+                    o += ", \"max_seconds\": ";
+                    append_double(o, t.max_seconds);
+                    o.push_back('}');
+                  });
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsExporter::to_json(const Registry& registry) {
+  return render(registry.snapshot(), true);
+}
+
+std::string MetricsExporter::to_json(const RegistrySnapshot& snapshot) {
+  return render(snapshot, true);
+}
+
+std::string MetricsExporter::deterministic_json(const Registry& registry) {
+  return render(registry.snapshot(), false);
+}
+
+std::string MetricsExporter::deterministic_json(
+    const RegistrySnapshot& snapshot) {
+  return render(snapshot, false);
+}
+
+void MetricsExporter::write_file(const Registry& registry,
+                                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write metrics file " + path);
+  }
+  out << to_json(registry);
+  if (!out) {
+    throw std::runtime_error("failed writing metrics file " + path);
+  }
+}
+
+}  // namespace offnet::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace offnet::obs {
+
+/// Serialises a Registry as deterministic JSON: two-space indented,
+/// every object's keys in sorted (std::map) order, integers only outside
+/// the timing section. The wall-clock timing section is segregated under
+/// the top-level "timing" key so consumers can compare everything else
+/// byte for byte across runs and thread counts (DESIGN.md §9).
+class MetricsExporter {
+ public:
+  /// The full report, timing included.
+  static std::string to_json(const Registry& registry);
+  static std::string to_json(const RegistrySnapshot& snapshot);
+
+  /// The comparable part: identical to to_json with the "timing" subtree
+  /// omitted. Same corpus in, byte-identical string out, at any thread
+  /// count.
+  static std::string deterministic_json(const Registry& registry);
+  static std::string deterministic_json(const RegistrySnapshot& snapshot);
+
+  /// Writes to_json(registry) to `path`. Throws std::runtime_error when
+  /// the file cannot be written.
+  static void write_file(const Registry& registry, const std::string& path);
+};
+
+}  // namespace offnet::obs

@@ -1,0 +1,105 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace offnet::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly ascending");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  core::MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  core::MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  core::MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::record_timing(std::string_view stage, double seconds) {
+  core::MutexLock lock(mutex_);
+  auto it = timings_.find(stage);
+  if (it == timings_.end()) {
+    timings_.emplace(std::string(stage),
+                     TimingStat{1, seconds, seconds, seconds});
+    return;
+  }
+  TimingStat& stat = it->second;
+  ++stat.calls;
+  stat.total_seconds += seconds;
+  stat.min_seconds = std::min(stat.min_seconds, seconds);
+  stat.max_seconds = std::max(stat.max_seconds, seconds);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  core::MutexLock lock(mutex_);
+  RegistrySnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace(
+        name, RegistrySnapshot::HistogramData{histogram->bounds(),
+                                              histogram->bucket_counts(),
+                                              histogram->count()});
+  }
+  for (const auto& [name, stat] : timings_) {
+    out.timings.emplace(name, stat);
+  }
+  return out;
+}
+
+}  // namespace offnet::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+/// Pipeline observability: named counters, gauges, and fixed-bucket
+/// histograms collected into a Registry, plus the wall-clock stage
+/// timings recorded by obs::StageTimer. The subsystem depends on nothing
+/// but the standard library (and the header-only core lock/annotation
+/// machinery), so every layer — io, core, tools, bench — can emit
+/// metrics without new link cycles.
+///
+/// Determinism contract (DESIGN.md §9): every counter, gauge, and
+/// histogram value must be identical for the same corpus at any thread
+/// count. Instrumented code guarantees this by only recording values
+/// that are themselves deterministic (atomic integer sums commute, so
+/// concurrent adds of deterministic increments stay deterministic).
+/// Wall-clock durations are inherently nondeterministic and live in a
+/// separate timing section that the exporter segregates under the
+/// "timing" key, so consumers can compare everything else byte for byte.
+namespace offnet::obs {
+
+/// A monotonically increasing integer, safe for concurrent adds.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-write-wins integer level. Concurrent set() races are
+/// last-write-wins; deterministic instrumentation only sets gauges from
+/// one thread (or sets them to values that are equal on every thread).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A histogram over fixed, ascending bucket upper bounds chosen at
+/// creation. observe(v) increments the first bucket with v <= bound, or
+/// the implicit overflow bucket; bucket counts are concurrent-add safe.
+/// There is deliberately no floating-point sum: a parallel sum of
+/// doubles is order-dependent, which would break the determinism
+/// contract.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless `bounds` is non-empty and
+  /// strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Aggregate of every duration recorded for one stage name.
+struct TimingStat {
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// A plain-data copy of a registry, with every map sorted by name (the
+/// exporter's iteration order, and a convenient read-only view for
+/// tests).
+struct RegistrySnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, TimingStat> timings;
+};
+
+/// Named metric instruments, created on first use and stable for the
+/// registry's lifetime (references returned by counter()/gauge()/
+/// histogram() never dangle or move). Lookup takes the registry mutex;
+/// recording on an instrument is lock-free, so hot loops should hoist
+/// the lookup or accumulate locally and add once.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name) OFFNET_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) OFFNET_EXCLUDES(mutex_);
+
+  /// Finds or creates. The bounds of an existing histogram win; they are
+  /// fixed at creation.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      OFFNET_EXCLUDES(mutex_);
+
+  /// Folds one wall-clock duration into the stage's TimingStat. Called
+  /// by StageTimer; callable directly for externally measured spans.
+  void record_timing(std::string_view stage, double seconds)
+      OFFNET_EXCLUDES(mutex_);
+
+  RegistrySnapshot snapshot() const OFFNET_EXCLUDES(mutex_);
+
+ private:
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OFFNET_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      OFFNET_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      OFFNET_GUARDED_BY(mutex_);
+  std::map<std::string, TimingStat, std::less<>> timings_
+      OFFNET_GUARDED_BY(mutex_);
+};
+
+}  // namespace offnet::obs

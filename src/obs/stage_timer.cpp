@@ -1,0 +1,13 @@
+#include "obs/stage_timer.h"
+
+#include <chrono>
+
+namespace offnet::obs {
+
+std::int64_t monotonic_nanoseconds() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace offnet::obs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace offnet::obs {
+
+/// The project's only sanctioned monotonic-clock read (the nondet-clock
+/// lint rule bans chrono clocks everywhere in src/ except
+/// obs/stage_timer.*; see DESIGN.md §9). Monotonic nanoseconds from an
+/// arbitrary epoch — good for durations, meaningless as a timestamp.
+std::int64_t monotonic_nanoseconds();
+
+/// A started stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(monotonic_nanoseconds()) {}
+
+  double seconds() const {
+    return static_cast<double>(monotonic_nanoseconds() - start_ns_) * 1e-9;
+  }
+  void restart() { start_ns_ = monotonic_nanoseconds(); }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// RAII stage scope: measures from construction to stop() (or
+/// destruction) and folds the duration into the registry's timing
+/// section under `stage`. A null registry makes the timer a no-op, so
+/// instrumented code reads naturally when metrics are optional:
+///
+///   obs::StageTimer timer(options.metrics, "pipeline/pass1");
+///
+/// Durations land only in the "timing" subtree of the exported JSON —
+/// never in counters — preserving the determinism contract.
+class StageTimer {
+ public:
+  StageTimer(Registry* registry, std::string_view stage)
+      : registry_(registry), stage_(stage) {}
+  StageTimer(Registry& registry, std::string_view stage)
+      : StageTimer(&registry, stage) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Records now instead of at scope exit. Idempotent.
+  void stop() {
+    if (registry_ == nullptr) return;
+    registry_->record_timing(stage_, watch_.seconds());
+    registry_ = nullptr;
+  }
+
+ private:
+  Registry* registry_;
+  std::string stage_;
+  Stopwatch watch_;
+};
+
+}  // namespace offnet::obs

@@ -181,6 +181,38 @@ TEST(IoTest, StrictErrorsCarryExactLineNumbers) {
   }
 }
 
+TEST(IoTest, ErrorFractionEdgeCases) {
+  // Zero lines: no division by zero, and "no data" reads as "no errors".
+  FileReport empty{"hosts", 0, 0, {}};
+  EXPECT_DOUBLE_EQ(empty.error_fraction(), 0.0);
+  // All lines skipped.
+  FileReport hopeless{"hosts", 0, 7, {}};
+  EXPECT_DOUBLE_EQ(hopeless.error_fraction(), 1.0);
+  FileReport half{"hosts", 5, 5, {}};
+  EXPECT_DOUBLE_EQ(half.error_fraction(), 0.5);
+}
+
+TEST(IoTest, SummaryEdgeCases) {
+  // An empty report (zero files, zero lines) must not crash or lie.
+  LoadReport empty;
+  EXPECT_EQ(empty.summary(), "read 0 lines, none skipped");
+  EXPECT_TRUE(empty.clean());
+
+  // All files fully skipped: every kind is named with its count.
+  LoadReport all_skipped;
+  all_skipped.files.push_back(FileReport{"certificates", 0, 3, {}});
+  all_skipped.files.push_back(FileReport{"hosts", 0, 2, {}});
+  EXPECT_EQ(all_skipped.summary(),
+            "skipped 5 of 5 lines (certificates: 3, hosts: 2)");
+  EXPECT_FALSE(all_skipped.clean());
+
+  // Clean files stay out of the skip breakdown.
+  LoadReport mixed;
+  mixed.files.push_back(FileReport{"relationships", 10, 0, {}});
+  mixed.files.push_back(FileReport{"hosts", 4, 1, {}});
+  EXPECT_EQ(mixed.summary(), "skipped 1 of 15 lines (hosts: 1)");
+}
+
 TEST(IoTest, PermissiveSkipsMalformedLinesWithinBudget) {
   std::istringstream in(
       "1.0.0.0\t20\t200\n"

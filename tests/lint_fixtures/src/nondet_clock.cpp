@@ -4,3 +4,7 @@
 long long stamp() {
   return std::chrono::system_clock::now().time_since_epoch().count();
 }
+
+long long mono() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

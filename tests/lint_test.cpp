@@ -67,12 +67,30 @@ TEST(LintRules, RandAllowedInsideNetRng) {
 TEST(LintRules, NondetClockFixture) {
   auto findings =
       lint_fixture("src/nondet_clock.cpp", "src/nondet_clock.cpp");
-  EXPECT_EQ(rule_ids(findings), (std::vector<std::string>{"nondet-clock"}));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"nondet-clock", "nondet-clock"}));
+  EXPECT_NE(findings[0].message.find("system_clock"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("steady_clock"), std::string::npos);
 }
 
 TEST(LintRules, WallClockAllowedInTools) {
   const std::string text = read_file(fixture_path("src/nondet_clock.cpp"));
   EXPECT_TRUE(lint_file("tools/offnet_cli.cpp", text).empty());
+}
+
+TEST(LintRules, ClockAllowedInsideObsStageTimer) {
+  const std::string text = read_file(fixture_path("src/nondet_clock.cpp"));
+  auto clock_findings = [&](const std::string& virtual_path) {
+    std::size_t n = 0;
+    for (const Finding& f : lint_file(virtual_path, text)) {
+      if (f.rule == "nondet-clock") ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(clock_findings("src/obs/stage_timer.cpp"), 0u);
+  EXPECT_EQ(clock_findings("src/obs/stage_timer.h"), 0u);
+  // The exemption is the file, not the directory.
+  EXPECT_EQ(clock_findings("src/obs/metrics.cpp"), 2u);
 }
 
 TEST(LintRules, RawLockFixture) {

@@ -1,0 +1,188 @@
+// End-to-end tests for pipeline/series instrumentation: the §4 funnel
+// drop counters are live, the exported metrics (minus "timing") are
+// byte-identical at any thread count, and longitudinal runs account for
+// every snapshot's health and ingestion report.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/longitudinal.h"
+#include "core/pipeline.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "test_world.h"
+
+namespace offnet::core {
+namespace {
+
+namespace mn = metric_names;
+
+/// Runs one snapshot through the pipeline with `threads` workers,
+/// recording into `metrics`.
+SnapshotResult run_snapshot(const scan::World& world, std::size_t t,
+                            std::size_t threads, obs::Registry& metrics) {
+  PipelineOptions options;
+  options.n_threads = threads;
+  options.metrics = &metrics;
+  OffnetPipeline pipeline(world.topology(), world.ip2as(), world.certs(),
+                          world.roots(), standard_hg_inputs(), options);
+  return pipeline.run(world.scan(t, scan::ScannerKind::kRapid7));
+}
+
+TEST(MetricsPipelineTest, FunnelDropCountersAreLive) {
+  const scan::World& world = testing::small_world();
+  obs::Registry metrics;
+  SnapshotResult result =
+      run_snapshot(world, net::snapshot_count() - 1, 1, metrics);
+  obs::RegistrySnapshot snap = metrics.snapshot();
+
+  // Stage counts line up with the pipeline's own result.
+  EXPECT_EQ(snap.counters.at(mn::kIps), result.stats.total_records);
+  EXPECT_EQ(snap.counters.at(mn::kCandidateIps),
+            result.stats.hg_cert_ips_offnet);
+  EXPECT_GT(snap.counters.at(mn::kRecords), 0u);
+  EXPECT_GT(snap.counters.at(mn::kCertsReferenced), 0u);
+  EXPECT_GT(snap.counters.at(mn::kOnnetRecords), 0u);
+  EXPECT_GT(snap.counters.at(mn::kConfirmedIps), 0u);
+
+  // Every §4.1–§4.5 drop reason has a live counter, and the simulated
+  // world exercises each of the funnel's rejection paths.
+  EXPECT_GT(snap.counters.at(mn::kDropInvalidChain), 0u);    // §4.1
+  EXPECT_GT(snap.counters.at(mn::kDropOrgKeywordMiss), 0u);  // §4.2
+  EXPECT_GT(snap.counters.at(mn::kDropSubsetRule), 0u);      // §4.3
+  EXPECT_GT(snap.counters.at(mn::kDropHeaderMiss), 0u);      // §4.5
+  // The §7 filters exist even when they drop nothing here.
+  EXPECT_EQ(snap.counters.count(mn::kDropCloudflareSsl), 1u);
+  EXPECT_EQ(snap.counters.count(mn::kDropEdgeConflict), 1u);
+
+  EXPECT_EQ(snap.gauges.at("pipeline/hypergiants"),
+            static_cast<std::int64_t>(standard_hg_inputs().size()));
+  EXPECT_EQ(snap.histograms.at("pipeline/candidate_ases_per_hg").count,
+            standard_hg_inputs().size());
+
+  // Stage timings landed, but only under "timing".
+  EXPECT_GT(snap.timings.at("pipeline/run").calls, 0u);
+  EXPECT_GT(snap.timings.at("pipeline/pass1_onnet").calls, 0u);
+  EXPECT_GT(snap.timings.at("pipeline/confirm").calls, 0u);
+}
+
+TEST(MetricsPipelineTest, DeterministicJsonIdenticalAcrossThreadCounts) {
+  const scan::World& world = testing::small_world();
+  const std::size_t t = net::snapshot_count() - 1;
+
+  obs::Registry serial;
+  run_snapshot(world, t, 1, serial);
+  const std::string serial_json =
+      obs::MetricsExporter::deterministic_json(serial);
+  EXPECT_EQ(serial_json.find("\"timing\""), std::string::npos);
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    obs::Registry threaded;
+    run_snapshot(world, t, threads, threaded);
+    EXPECT_EQ(obs::MetricsExporter::deterministic_json(threaded),
+              serial_json)
+        << "metrics diverged at " << threads << " threads";
+  }
+}
+
+TEST(MetricsSeriesTest, WorldRunAccountsForEverySnapshotsHealth) {
+  const scan::World& world = testing::tiny_world();
+  // Censys starts mid-study, so the include-missing series holds both
+  // kComplete results and kMissing placeholders.
+  obs::Registry metrics;
+  PipelineOptions options;
+  options.metrics = &metrics;
+  LongitudinalRunner runner(world, scan::ScannerKind::kCensys, options);
+  runner.set_include_missing(true);
+  auto results = runner.run();
+
+  obs::RegistrySnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("series/snapshots"), results.size());
+  EXPECT_EQ(snap.counters.at("series/snapshots"), net::snapshot_count());
+  EXPECT_GT(snap.counters.at("series/health/complete"), 0u);
+  EXPECT_GT(snap.counters.at("series/health/missing"), 0u);
+  EXPECT_EQ(snap.counters.at("series/health/complete") +
+                snap.counters.at("series/health/missing"),
+            results.size());
+}
+
+TEST(MetricsSeriesTest, SerialAndFanOutSeriesMetricsMatch) {
+  const scan::World& world = testing::tiny_world();
+  const std::size_t last = net::snapshot_count() - 1;
+  const std::size_t first = last - 3;
+
+  obs::Registry serial_metrics;
+  PipelineOptions serial_options;
+  serial_options.metrics = &serial_metrics;
+  LongitudinalRunner serial(world, scan::ScannerKind::kRapid7,
+                            serial_options);
+  serial.run(first, last);
+
+  obs::Registry fanout_metrics;
+  PipelineOptions fanout_options;
+  fanout_options.n_threads = 4;
+  fanout_options.metrics = &fanout_metrics;
+  LongitudinalRunner fanout(world, scan::ScannerKind::kRapid7,
+                            fanout_options);
+  fanout.run(first, last);
+
+  EXPECT_EQ(obs::MetricsExporter::deterministic_json(fanout_metrics),
+            obs::MetricsExporter::deterministic_json(serial_metrics));
+}
+
+TEST(MetricsSeriesTest, RunLoadedRecordsHealthAndIngestionCounters) {
+  const scan::World& world = testing::tiny_world();
+  const std::size_t kFirst = 16, kLast = 18, kMissing = 17, kCorrupt = 18;
+
+  obs::Registry metrics;
+  PipelineOptions options;
+  options.metrics = &metrics;
+  LongitudinalRunner runner{options};
+  auto results = runner.run_loaded(
+      [&](std::size_t t) {
+        SnapshotFeed feed;
+        if (t == kMissing) return feed;
+        if (t == kCorrupt) {
+          feed.corrupt = true;
+          // A corrupt snapshot still carries its partial accounting.
+          feed.report.files.push_back(
+              io::FileReport{"certificates", 0, 12, {}});
+          return feed;
+        }
+        scan::ScanSnapshot snapshot =
+            world.scan(t, scan::ScannerKind::kRapid7);
+        std::ostringstream rel, org, pfx, certs, hosts, headers;
+        io::export_dataset(
+            world, snapshot,
+            io::ExportStreams{rel, org, pfx, certs, hosts, headers});
+        std::istringstream rel_in(rel.str()), org_in(org.str()),
+            pfx_in(pfx.str()), certs_in(certs.str()), hosts_in(hosts.str()),
+            headers_in(headers.str());
+        feed.dataset = io::load_dataset(rel_in, org_in, pfx_in, certs_in,
+                                        hosts_in, net::study_snapshots()[t],
+                                        {}, &feed.report);
+        feed.dataset->add_headers(headers_in, {}, &feed.report);
+        return feed;
+      },
+      kFirst, kLast);
+
+  ASSERT_EQ(results.size(), kLast - kFirst + 1);
+  obs::RegistrySnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("series/snapshots"), results.size());
+  EXPECT_EQ(snap.counters.at("series/health/complete"), 1u);
+  EXPECT_EQ(snap.counters.at("series/health/missing"), 1u);
+  EXPECT_EQ(snap.counters.at("series/health/corrupt"), 1u);
+
+  // The loaded snapshot's ingestion totals flowed into load/*, and the
+  // corrupt snapshot's partial report is accounted too.
+  EXPECT_GT(snap.counters.at("load/lines_ok"), 0u);
+  EXPECT_EQ(snap.counters.at("load/lines_skipped"), 12u);
+  EXPECT_EQ(snap.counters.at("load/certificates/lines_skipped"), 12u);
+}
+
+}  // namespace
+}  // namespace offnet::core

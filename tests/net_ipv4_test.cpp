@@ -59,7 +59,14 @@ INSTANTIATE_TEST_SUITE_P(
         ParseCase{"1..3.4", false, 0},
         ParseCase{"a.b.c.d", false, 0},
         ParseCase{"", false, 0},
-        ParseCase{"1.2.3.-4", false, 0}));
+        ParseCase{"1.2.3.-4", false, 0},
+        // Leading-zero octets are not dotted-quad (regression: these
+        // used to parse, and octal-aware tools read them differently).
+        ParseCase{"01.2.3.4", false, 0},
+        ParseCase{"1.2.3.04", false, 0},
+        ParseCase{"1.02.3.4", false, 0},
+        ParseCase{"192.168.001.1", false, 0},
+        ParseCase{"00.0.0.0", false, 0}));
 
 TEST(IPv4Test, ToStringRoundTrip) {
   for (std::uint32_t v : {0u, 1u, 0x01020304u, 0xc0a80001u, 0xffffffffu,

@@ -28,6 +28,20 @@ TEST(YearMonthTest, Parse) {
   EXPECT_FALSE(YearMonth::parse("x-4").has_value());
 }
 
+TEST(YearMonthTest, ParseRejectsYearsOutsideStudyEra) {
+  // Regression: unbounded years used to parse ("99999-01"), flowing
+  // absurd month indices into snapshot arithmetic.
+  EXPECT_FALSE(YearMonth::parse("99999-01").has_value());
+  EXPECT_FALSE(YearMonth::parse("1899-01").has_value());
+  EXPECT_FALSE(YearMonth::parse("123456-12").has_value());
+  EXPECT_FALSE(YearMonth::parse("-2017-04").has_value());
+  // The accepted range stays generous around the 2013–2021 study.
+  EXPECT_TRUE(YearMonth::parse("1990-01").has_value());
+  EXPECT_TRUE(YearMonth::parse("2100-12").has_value());
+  EXPECT_FALSE(YearMonth::parse("1989-12").has_value());
+  EXPECT_FALSE(YearMonth::parse("2101-01").has_value());
+}
+
 TEST(YearMonthTest, ToStringPadsMonth) {
   EXPECT_EQ(YearMonth(2013, 10).to_string(), "2013-10");
   EXPECT_EQ(YearMonth(2021, 4).to_string(), "2021-04");
@@ -60,6 +74,12 @@ TEST(DayTimeTest, Ordering) {
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
   EXPECT_EQ(a.plus_days(14), b);
+}
+
+TEST(DayTimeTest, DateStringIsDayResolution) {
+  EXPECT_EQ(DayTime::from(YearMonth(2017, 4), 15).date_string(),
+            "2017-04-15");
+  EXPECT_EQ(DayTime::from(YearMonth(2021, 12)).date_string(), "2021-12-01");
 }
 
 TEST(RngTest, Deterministic) {

@@ -1,0 +1,190 @@
+// Tests for the observability subsystem (src/obs): instrument
+// semantics, registry reference stability, concurrent counting, the
+// exporter's exact JSON shape, and the deterministic_json contract
+// (everything but "timing" is stable output).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+
+namespace offnet::obs {
+namespace {
+
+TEST(CounterTest, AddsAndDefaultsToOne) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, BucketsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (bounds are inclusive)
+  h.observe(2.0);   // <= 10
+  h.observe(100.0); // <= 100
+  h.observe(1e9);   // overflow
+  EXPECT_EQ(h.bucket_counts(),
+            (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(RegistryTest, InstrumentsAreFoundOrCreatedAndStable) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  // Existing bounds win: a second caller with different bounds gets the
+  // original instrument.
+  Histogram& h2 = registry.histogram("h", {5.0});
+  EXPECT_EQ(&h, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, ConcurrentCounterAddsAreExact) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&registry] {
+      Counter& c = registry.counter("shared");
+      for (int n = 0; n < kAddsPerThread; ++n) c.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(RegistryTest, TimingStatsAggregate) {
+  Registry registry;
+  registry.record_timing("stage", 2.0);
+  registry.record_timing("stage", 1.0);
+  registry.record_timing("stage", 4.0);
+  RegistrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.timings.count("stage"), 1u);
+  const TimingStat& t = snap.timings.at("stage");
+  EXPECT_EQ(t.calls, 3u);
+  EXPECT_DOUBLE_EQ(t.total_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(t.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(t.max_seconds, 4.0);
+}
+
+TEST(StageTimerTest, RecordsOnceIntoTimingSection) {
+  Registry registry;
+  {
+    StageTimer timer(registry, "scope");
+    timer.stop();
+    timer.stop();  // idempotent
+  }  // destructor after stop() must not double-record
+  RegistrySnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.timings.count("scope"), 1u);
+  EXPECT_EQ(snap.timings.at("scope").calls, 1u);
+  EXPECT_GE(snap.timings.at("scope").total_seconds, 0.0);
+}
+
+TEST(StageTimerTest, NullRegistryIsANoOp) {
+  StageTimer timer(nullptr, "nothing");
+  timer.stop();  // must not crash
+}
+
+TEST(StopwatchTest, MonotonicNonNegative) {
+  Stopwatch watch;
+  double a = watch.seconds();
+  double b = watch.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  watch.restart();
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(ExporterTest, ExactJsonShape) {
+  Registry registry;
+  registry.counter("b").add(2);
+  registry.counter("a").add(1);  // out of order: exporter sorts
+  registry.gauge("level").set(-3);
+  registry.histogram("sizes", {1.0, 10.0}).observe(5.0);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a\": 1,\n"
+      "    \"b\": 2\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"level\": -3\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"sizes\": {\"bounds\": [1, 10], \"buckets\": [0, 1, 0], "
+      "\"count\": 1}\n"
+      "  },\n"
+      "  \"timing\": {}\n"
+      "}\n";
+  EXPECT_EQ(MetricsExporter::to_json(registry), expected);
+}
+
+TEST(ExporterTest, DeterministicJsonExcludesTiming) {
+  Registry registry;
+  registry.counter("hits").add(7);
+  registry.record_timing("stage", 0.125);
+
+  const std::string with_timing = MetricsExporter::to_json(registry);
+  const std::string without = MetricsExporter::deterministic_json(registry);
+  EXPECT_NE(with_timing.find("\"timing\""), std::string::npos);
+  EXPECT_NE(with_timing.find("0.125"), std::string::npos);
+  EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+  EXPECT_NE(without.find("\"hits\": 7"), std::string::npos);
+
+  // Recording more timings must not change the deterministic view.
+  registry.record_timing("stage", 1.0);
+  registry.record_timing("other", 2.0);
+  EXPECT_EQ(MetricsExporter::deterministic_json(registry), without);
+}
+
+TEST(ExporterTest, EscapesNamesAndRoundTripsDoubles) {
+  Registry registry;
+  registry.counter("odd\"name\\with\ttabs\n").add(1);
+  registry.histogram("h", {0.1}).observe(0.05);
+  const std::string json = MetricsExporter::to_json(registry);
+  EXPECT_NE(json.find("\"odd\\\"name\\\\with\\ttabs\\n\""),
+            std::string::npos);
+  // 0.1 is not exactly representable; the exporter must print a form
+  // that strtod round-trips (shortest %g), not a truncation.
+  EXPECT_NE(json.find("\"bounds\": [0.1]"), std::string::npos);
+}
+
+TEST(ExporterTest, WriteFileThrowsOnBadPath) {
+  Registry registry;
+  EXPECT_THROW(
+      MetricsExporter::write_file(registry, "/nonexistent-dir/metrics.json"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace offnet::obs

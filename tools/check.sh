@@ -12,7 +12,11 @@
 #   4. lint       offnet_lint over src/ tools/ bench/ tests/ (redundant
 #                 with the ctest entry, but gives readable output when
 #                 it fails)
-#   5. clang-tidy best-effort: skipped with a notice when not installed
+#   5. metrics    export a small dataset, run `series --metrics-out`,
+#                 and fail if the metrics JSON is missing any required
+#                 stage key (the §4 funnel counters, series accounting,
+#                 and the timing section)
+#   6. clang-tidy best-effort: skipped with a notice when not installed
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 set -eu
@@ -41,6 +45,31 @@ ctest --test-dir "$build_dir" --output-on-failure
 step "offnet_lint"
 "$build_dir/tools/offnet_lint" \
     "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
+
+step "metrics smoke (series --metrics-out)"
+smoke_dir="$build_dir/metrics-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir/data/2021-04"
+"$build_dir/tools/offnet_cli" export --out "$smoke_dir/data/2021-04" \
+    --scale 0.02 --month 2021-04 > /dev/null
+"$build_dir/tools/offnet_cli" series --root "$smoke_dir/data" \
+    --metrics-out "$smoke_dir/metrics.json" > /dev/null
+for key in \
+    'pipeline/records' \
+    'pipeline/drop/invalid_chain' \
+    'pipeline/drop/org_keyword_miss' \
+    'pipeline/drop/subset_rule' \
+    'pipeline/drop/header_miss' \
+    'series/snapshots' \
+    'series/health/complete' \
+    'load/lines_ok' \
+    '"timing"'; do
+  if ! grep -q -- "$key" "$smoke_dir/metrics.json"; then
+    echo "check.sh: metrics smoke FAILED: missing $key in metrics.json" >&2
+    exit 1
+  fi
+done
+echo "metrics smoke OK: all required stage keys present"
 
 step "clang-tidy"
 "$repo_root/tools/run_clang_tidy.sh" "$build_dir"

@@ -366,13 +366,27 @@ void rule_nondet_rand(const std::string& path, const Stripped& s,
 void rule_nondet_clock(const std::string& path, const Stripped& s,
                        std::vector<Finding>& out) {
   if (has_dir(path, "tools")) return;  // CLI may read the wall clock
+  if (has_dir(path, "obs") &&
+      filename_of(path).substr(0, 12) == "stage_timer.") {
+    return;  // the one sanctioned monotonic-clock read (obs::Stopwatch)
+  }
   const std::string_view code = s.code;
   for (std::size_t i = 0; i < code.size(); ++i) {
-    if (word_at(code, i, "system_clock")) {
+    std::string_view clock;
+    for (std::string_view name :
+         {"system_clock", "steady_clock", "high_resolution_clock"}) {
+      if (word_at(code, i, name)) {
+        clock = name;
+        break;
+      }
+    }
+    if (!clock.empty()) {
       out.push_back({path, s.line_of(i), "nondet-clock",
-                     "wall-clock time in the measurement path; derive "
-                     "times from snapshot indices (CLI only)"});
-      i += 12;
+                     "clock read (" + std::string(clock) +
+                         ") in the measurement path; time stages with "
+                         "obs::StageTimer, derive data times from "
+                         "snapshot indices"});
+      i += clock.size();
     }
   }
 }

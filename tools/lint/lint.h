@@ -11,7 +11,9 @@
 ///
 /// Rule ids:
 ///   nondet-rand      rand()/srand()/random_device outside net/rng
-///   nondet-clock     std::chrono::system_clock outside tools/ (the CLI)
+///   nondet-clock     std::chrono clocks (system/steady/high_resolution)
+///                    outside tools/ (the CLI) and obs/stage_timer.* (the
+///                    sanctioned monotonic-clock home)
 ///   raw-lock         .lock()/.unlock() call sites (use RAII guards)
 ///   unordered-iter   range-for over unordered_map/unordered_set in src/
 ///   float-eq         float/double equality comparison in tests/

@@ -34,6 +34,8 @@
 #include "io/exporter.h"
 #include "io/loaders.h"
 #include "net/table.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "scan/world.h"
 
 using namespace offnet;
@@ -54,7 +56,7 @@ struct Args {
 constexpr std::string_view kKnownFlags[] = {
     "scale", "seed", "month",      "scanner",
     "out",   "dir",  "root",       "permissive", "max-error-fraction",
-    "threads"};
+    "threads", "metrics-out"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -91,7 +93,9 @@ int usage() {
                "  series   --root DIR [--permissive] "
                "[--max-error-fraction F] [--threads N]\n"
                "  --threads N: pipeline worker threads (0 = all hardware "
-               "threads); results are identical at any N\n");
+               "threads); results are identical at any N\n"
+               "  --metrics-out FILE: write pipeline metrics (stage counts, "
+               "drop reasons, timings) as JSON; all commands\n");
   return 2;
 }
 
@@ -124,6 +128,15 @@ io::ReadOptions read_options_from(const Args& args) {
     options.max_error_fraction = budget;
   }
   return options;
+}
+
+/// Writes the registry as JSON when --metrics-out was given. Call once,
+/// at the end of a command, so the file reflects the whole run.
+void maybe_write_metrics(const Args& args, obs::Registry& metrics) {
+  if (!args.has("metrics-out")) return;
+  const char* path = args.get("metrics-out", "");
+  obs::MetricsExporter::write_file(metrics, path);
+  std::fprintf(stderr, "wrote metrics to %s\n", path);
 }
 
 void print_result(const topo::Topology& topology,
@@ -177,11 +190,14 @@ int cmd_simulate(const Args& args) {
     return 1;
   }
   auto snap = world.scan(t, kind);
+  obs::Registry metrics;
+  core::PipelineOptions options = pipeline_options_from(args);
+  options.metrics = &metrics;
   core::OffnetPipeline pipeline(world.topology(), world.ip2as(),
                                 world.certs(), world.roots(),
-                                core::standard_hg_inputs(),
-                                pipeline_options_from(args));
+                                core::standard_hg_inputs(), options);
   print_result(world.topology(), pipeline.run(snap));
+  maybe_write_metrics(args, metrics);
   return 0;
 }
 
@@ -205,6 +221,10 @@ int cmd_export(const Args& args) {
   std::ofstream headers = open("headers.tsv");
   io::export_dataset(world, snap,
                      io::ExportStreams{rel, org, pfx, certs, hosts, headers});
+  obs::Registry metrics;
+  metrics.counter("export/cert_records").add(snap.certs().size());
+  metrics.counter("export/files").add(6);
+  maybe_write_metrics(args, metrics);
   std::printf("exported snapshot %s (%zu cert records) to %s/\n",
               net::study_snapshots()[t].to_string().c_str(),
               snap.certs().size(), dir.c_str());
@@ -242,14 +262,18 @@ int cmd_analyze(const Args& args) {
 
   io::LoadReport report;
   io::Dataset dataset = load_dir(dir, *month, options, &report);
+  obs::Registry metrics;
+  core::PipelineOptions pipeline_options = pipeline_options_from(args);
+  pipeline_options.metrics = &metrics;
   core::OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
                                 dataset.certs(), dataset.roots(),
-                                core::standard_hg_inputs(),
-                                pipeline_options_from(args));
+                                core::standard_hg_inputs(), pipeline_options);
   auto result = pipeline.run(dataset.snapshot());
   result.health = report.clean() ? core::SnapshotHealth::kComplete
                                  : core::SnapshotHealth::kPartial;
+  report.export_metrics(metrics);
   print_result(dataset.topology(), result);
+  maybe_write_metrics(args, metrics);
   std::printf("snapshot %s: %s — %s\n", month->to_string().c_str(),
               core::to_string(result.health), report.summary().c_str());
   return 0;
@@ -277,7 +301,10 @@ int cmd_series(const Args& args) {
     return input;
   };
 
-  core::LongitudinalRunner runner{pipeline_options_from(args)};
+  obs::Registry metrics;
+  core::PipelineOptions pipeline_options = pipeline_options_from(args);
+  pipeline_options.metrics = &metrics;
+  core::LongitudinalRunner runner{pipeline_options};
   net::TextTable table({"snapshot", "health", "lines read", "lines skipped",
                         "confirmed off-net ASes"});
   std::size_t usable = 0;
@@ -294,6 +321,7 @@ int cmd_series(const Args& args) {
               result.usable() ? std::to_string(confirmed) : "-");
   }
   std::fputs(table.to_string().c_str(), stdout);
+  maybe_write_metrics(args, metrics);
   std::printf("\n%zu of %zu snapshots usable\n", usable, results.size());
   return usable > 0 ? 0 : 1;
 }
