@@ -1,0 +1,676 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/fault.h"
+#include "io/atomic_file.h"
+
+namespace offnet::core {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Token escaping. Payload lines are space-separated tokens; tokens are
+// escaped so arbitrary strings (error messages, header patterns, DNS
+// names) survive: '\' -> "\\", ' ' -> "\s", newline -> "\n", tab ->
+// "\t", and the empty string becomes the marker "\e".
+// ---------------------------------------------------------------------
+
+void append_token(std::string& out, std::string_view text) {
+  if (!out.empty() && out.back() != '\n') out.push_back(' ');
+  if (text.empty()) {
+    out += "\\e";
+    return;
+  }
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+std::string unescape(std::string_view token) {
+  if (token == "\\e") return {};
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 1 == token.size()) {
+      throw CheckpointError("checkpoint: dangling escape in token");
+    }
+    switch (token[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 's': out.push_back(' '); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      default:
+        throw CheckpointError("checkpoint: unknown escape in token");
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  append_token(out, std::to_string(v));
+}
+
+/// Shortest %g rendering that round-trips the value (the obs exporter's
+/// convention), so re-encoding a decoded state is byte-identical.
+void append_f64(std::string& out, double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  append_token(out, buf);
+}
+
+void end_line(std::string& out) { out.push_back('\n'); }
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0' ||
+      token[0] == '-') {
+    throw CheckpointError(std::string("checkpoint: bad ") + what + " '" +
+                          token + "'");
+  }
+  return v;
+}
+
+std::int64_t parse_i64(const std::string& token, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    throw CheckpointError(std::string("checkpoint: bad ") + what + " '" +
+                          token + "'");
+  }
+  return v;
+}
+
+double parse_f64(const std::string& token, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    throw CheckpointError(std::string("checkpoint: bad ") + what + " '" +
+                          token + "'");
+  }
+  return v;
+}
+
+/// Line-at-a-time payload reader: every read names the record tag it
+/// expects, so a malformed file fails with "expected X" instead of
+/// silently misparsing.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : payload_(payload) {}
+
+  /// Reads the next line, splits and unescapes its tokens, and checks
+  /// the tag and minimum token count.
+  std::vector<std::string> line(const char* tag, std::size_t min_tokens) {
+    if (pos_ >= payload_.size()) {
+      throw CheckpointError(std::string("checkpoint: truncated payload, "
+                                        "expected '") +
+                            tag + "' record");
+    }
+    std::size_t eol = payload_.find('\n', pos_);
+    if (eol == std::string_view::npos) eol = payload_.size();
+    std::string_view text = payload_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t space = text.find(' ', start);
+      if (space == std::string_view::npos) space = text.size();
+      tokens.push_back(unescape(text.substr(start, space - start)));
+      start = space + 1;
+    }
+    if (tokens.empty() || tokens[0] != tag) {
+      throw CheckpointError(std::string("checkpoint: expected '") + tag +
+                            "' record, found '" +
+                            (tokens.empty() ? "" : tokens[0]) + "'");
+    }
+    if (tokens.size() < min_tokens) {
+      throw CheckpointError(std::string("checkpoint: '") + tag +
+                            "' record too short");
+    }
+    return tokens;
+  }
+
+  bool at_end() const { return pos_ >= payload_.size(); }
+
+ private:
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string fnv1a_hex(std::string_view data) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(data)));
+  return buf;
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding, one helper per aggregate.
+// ---------------------------------------------------------------------
+
+void encode_metrics(std::string& out, const obs::RegistrySnapshot& m) {
+  out += "counters";
+  append_u64(out, m.counters.size());
+  end_line(out);
+  for (const auto& [name, value] : m.counters) {
+    out += "c";
+    append_token(out, name);
+    append_u64(out, value);
+    end_line(out);
+  }
+  out += "gauges";
+  append_u64(out, m.gauges.size());
+  end_line(out);
+  for (const auto& [name, value] : m.gauges) {
+    out += "g";
+    append_token(out, name);
+    append_token(out, std::to_string(value));
+    end_line(out);
+  }
+  out += "histograms";
+  append_u64(out, m.histograms.size());
+  end_line(out);
+  for (const auto& [name, data] : m.histograms) {
+    out += "h";
+    append_token(out, name);
+    append_u64(out, data.bounds.size());
+    for (double b : data.bounds) append_f64(out, b);
+    append_u64(out, data.buckets.size());
+    for (std::uint64_t b : data.buckets) append_u64(out, b);
+    append_u64(out, data.count);
+    end_line(out);
+  }
+  out += "timings";
+  append_u64(out, m.timings.size());
+  end_line(out);
+  for (const auto& [name, stat] : m.timings) {
+    out += "t";
+    append_token(out, name);
+    append_u64(out, stat.calls);
+    append_f64(out, stat.total_seconds);
+    append_f64(out, stat.min_seconds);
+    append_f64(out, stat.max_seconds);
+    end_line(out);
+  }
+}
+
+obs::RegistrySnapshot decode_metrics(Reader& in) {
+  obs::RegistrySnapshot m;
+  std::size_t n = parse_u64(in.line("counters", 2)[1], "counter count");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> t = in.line("c", 3);
+    m.counters[t[1]] = parse_u64(t[2], "counter value");
+  }
+  n = parse_u64(in.line("gauges", 2)[1], "gauge count");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> t = in.line("g", 3);
+    m.gauges[t[1]] = parse_i64(t[2], "gauge value");
+  }
+  n = parse_u64(in.line("histograms", 2)[1], "histogram count");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> t = in.line("h", 4);
+    obs::RegistrySnapshot::HistogramData data;
+    std::size_t at = 2;
+    const std::size_t n_bounds = parse_u64(t[at++], "bound count");
+    if (t.size() < at + n_bounds + 1) {
+      throw CheckpointError("checkpoint: 'h' record too short");
+    }
+    for (std::size_t b = 0; b < n_bounds; ++b) {
+      data.bounds.push_back(parse_f64(t[at++], "histogram bound"));
+    }
+    const std::size_t n_buckets = parse_u64(t[at++], "bucket count");
+    if (t.size() != at + n_buckets + 1) {
+      throw CheckpointError("checkpoint: 'h' record length mismatch");
+    }
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      data.buckets.push_back(parse_u64(t[at++], "histogram bucket"));
+    }
+    data.count = parse_u64(t[at], "histogram count");
+    m.histograms[t[1]] = std::move(data);
+  }
+  n = parse_u64(in.line("timings", 2)[1], "timing count");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> t = in.line("t", 6);
+    obs::TimingStat stat;
+    stat.calls = parse_u64(t[2], "timing calls");
+    stat.total_seconds = parse_f64(t[3], "timing total");
+    stat.min_seconds = parse_f64(t[4], "timing min");
+    stat.max_seconds = parse_f64(t[5], "timing max");
+    m.timings[t[1]] = stat;
+  }
+  return m;
+}
+
+void encode_as_vector(std::string& out, const std::vector<topo::AsId>& v) {
+  out += "as";
+  append_u64(out, v.size());
+  for (topo::AsId id : v) append_u64(out, id);
+  end_line(out);
+}
+
+std::vector<topo::AsId> decode_as_vector(Reader& in) {
+  std::vector<std::string> t = in.line("as", 2);
+  const std::size_t n = parse_u64(t[1], "AS count");
+  if (t.size() != n + 2) {
+    throw CheckpointError("checkpoint: 'as' record length mismatch");
+  }
+  std::vector<topo::AsId> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(
+        static_cast<topo::AsId>(parse_u64(t[i + 2], "AS id")));
+  }
+  return v;
+}
+
+void encode_footprint(std::string& out, const HgFootprint& hg) {
+  out += "hg";
+  append_token(out, hg.name);
+  append_u64(out, hg.onnet_ips);
+  append_u64(out, hg.candidate_ips);
+  append_u64(out, hg.confirmed_ips);
+  end_line(out);
+  encode_as_vector(out, hg.candidate_ases);
+  encode_as_vector(out, hg.confirmed_or_ases);
+  encode_as_vector(out, hg.confirmed_and_ases);
+  encode_as_vector(out, hg.confirmed_expired_ases);
+  encode_as_vector(out, hg.confirmed_expired_http_ases);
+
+  out += "ipcerts";
+  append_u64(out, hg.candidate_ip_certs.size());
+  for (const auto& [ip, cert] : hg.candidate_ip_certs) {
+    append_u64(out, ip.value());
+    append_u64(out, cert);
+  }
+  end_line(out);
+
+  out += "cips";
+  append_u64(out, hg.confirmed_ip_list.size());
+  for (net::IPv4 ip : hg.confirmed_ip_list) append_u64(out, ip.value());
+  end_line(out);
+
+  // The on-net name set is unordered in memory; serialize sorted so the
+  // encoding is canonical.
+  std::vector<std::string_view> names(hg.tls_fingerprint.onnet_names.begin(),
+                                      hg.tls_fingerprint.onnet_names.end());
+  std::sort(names.begin(), names.end());
+  out += "tls";
+  append_token(out, hg.tls_fingerprint.hypergiant);
+  append_token(out, hg.tls_fingerprint.keyword);
+  append_u64(out, names.size());
+  for (std::string_view name : names) append_token(out, name);
+  end_line(out);
+
+  out += "hdr";
+  append_u64(out, hg.header_fingerprint.patterns.size());
+  end_line(out);
+  for (const http::HeaderFingerprint& p : hg.header_fingerprint.patterns) {
+    out += "p";
+    append_token(out, p.name);
+    append_token(out, p.value);
+    append_u64(out, p.value_is_prefix ? 1 : 0);
+    append_u64(out, p.name_is_prefix ? 1 : 0);
+    end_line(out);
+  }
+}
+
+HgFootprint decode_footprint(Reader& in) {
+  HgFootprint hg;
+  std::vector<std::string> t = in.line("hg", 5);
+  hg.name = t[1];
+  hg.onnet_ips = parse_u64(t[2], "onnet_ips");
+  hg.candidate_ips = parse_u64(t[3], "candidate_ips");
+  hg.confirmed_ips = parse_u64(t[4], "confirmed_ips");
+
+  hg.candidate_ases = decode_as_vector(in);
+  hg.confirmed_or_ases = decode_as_vector(in);
+  hg.confirmed_and_ases = decode_as_vector(in);
+  hg.confirmed_expired_ases = decode_as_vector(in);
+  hg.confirmed_expired_http_ases = decode_as_vector(in);
+
+  t = in.line("ipcerts", 2);
+  std::size_t n = parse_u64(t[1], "ipcert count");
+  if (t.size() != 2 * n + 2) {
+    throw CheckpointError("checkpoint: 'ipcerts' record length mismatch");
+  }
+  hg.candidate_ip_certs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ip =
+        static_cast<std::uint32_t>(parse_u64(t[2 + 2 * i], "IP"));
+    const auto cert =
+        static_cast<tls::CertId>(parse_u64(t[3 + 2 * i], "cert id"));
+    hg.candidate_ip_certs.emplace_back(net::IPv4(ip), cert);
+  }
+
+  t = in.line("cips", 2);
+  n = parse_u64(t[1], "confirmed IP count");
+  if (t.size() != n + 2) {
+    throw CheckpointError("checkpoint: 'cips' record length mismatch");
+  }
+  hg.confirmed_ip_list.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hg.confirmed_ip_list.emplace_back(
+        static_cast<std::uint32_t>(parse_u64(t[i + 2], "IP")));
+  }
+
+  t = in.line("tls", 4);
+  hg.tls_fingerprint.hypergiant = t[1];
+  hg.tls_fingerprint.keyword = t[2];
+  n = parse_u64(t[3], "name count");
+  if (t.size() != n + 4) {
+    throw CheckpointError("checkpoint: 'tls' record length mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    hg.tls_fingerprint.onnet_names.insert(t[i + 4]);
+  }
+
+  n = parse_u64(in.line("hdr", 2)[1], "pattern count");
+  for (std::size_t i = 0; i < n; ++i) {
+    t = in.line("p", 5);
+    http::HeaderFingerprint p;
+    p.name = t[1];
+    p.value = t[2];
+    p.value_is_prefix = parse_u64(t[3], "value_is_prefix") != 0;
+    p.name_is_prefix = parse_u64(t[4], "name_is_prefix") != 0;
+    hg.header_fingerprint.patterns.push_back(std::move(p));
+  }
+  return hg;
+}
+
+void encode_result(std::string& out, const SnapshotResult& r) {
+  out += "result";
+  append_u64(out, r.snapshot);
+  append_u64(out, static_cast<std::uint64_t>(r.scanner));
+  append_u64(out, static_cast<std::uint64_t>(r.health));
+  append_token(out, r.error);
+  end_line(out);
+
+  out += "stats";
+  append_u64(out, r.stats.total_records);
+  append_u64(out, r.stats.valid_cert_ips);
+  append_u64(out, r.stats.invalid_cert_ips);
+  append_u64(out, r.stats.ases_with_certs);
+  append_u64(out, r.stats.hg_cert_ips_onnet);
+  append_u64(out, r.stats.hg_cert_ips_offnet);
+  append_u64(out, r.stats.ases_with_any_hg);
+  end_line(out);
+
+  out += "report";
+  append_u64(out, r.load_report.files.size());
+  end_line(out);
+  for (const io::FileReport& file : r.load_report.files) {
+    out += "file";
+    append_token(out, file.kind);
+    append_u64(out, file.lines_ok);
+    append_u64(out, file.lines_skipped);
+    append_u64(out, file.samples.size());
+    end_line(out);
+    for (const io::LineError& sample : file.samples) {
+      out += "sample";
+      append_u64(out, sample.line);
+      append_token(out, sample.what);
+      end_line(out);
+    }
+  }
+
+  out += "hgs";
+  append_u64(out, r.per_hg.size());
+  end_line(out);
+  for (const HgFootprint& hg : r.per_hg) encode_footprint(out, hg);
+}
+
+SnapshotResult decode_result(Reader& in) {
+  SnapshotResult r;
+  std::vector<std::string> t = in.line("result", 5);
+  r.snapshot = parse_u64(t[1], "snapshot index");
+  r.scanner =
+      static_cast<scan::ScannerKind>(parse_u64(t[2], "scanner"));
+  const std::uint64_t health = parse_u64(t[3], "health");
+  if (health > static_cast<std::uint64_t>(SnapshotHealth::kQuarantined)) {
+    throw CheckpointError("checkpoint: unknown snapshot health " +
+                          std::to_string(health));
+  }
+  r.health = static_cast<SnapshotHealth>(health);
+  r.error = t[4];
+
+  t = in.line("stats", 8);
+  r.stats.total_records = parse_u64(t[1], "total_records");
+  r.stats.valid_cert_ips = parse_u64(t[2], "valid_cert_ips");
+  r.stats.invalid_cert_ips = parse_u64(t[3], "invalid_cert_ips");
+  r.stats.ases_with_certs = parse_u64(t[4], "ases_with_certs");
+  r.stats.hg_cert_ips_onnet = parse_u64(t[5], "hg_cert_ips_onnet");
+  r.stats.hg_cert_ips_offnet = parse_u64(t[6], "hg_cert_ips_offnet");
+  r.stats.ases_with_any_hg = parse_u64(t[7], "ases_with_any_hg");
+
+  std::size_t n_files = parse_u64(in.line("report", 2)[1], "file count");
+  for (std::size_t f = 0; f < n_files; ++f) {
+    t = in.line("file", 5);
+    io::FileReport file;
+    file.kind = t[1];
+    file.lines_ok = parse_u64(t[2], "lines_ok");
+    file.lines_skipped = parse_u64(t[3], "lines_skipped");
+    const std::size_t n_samples = parse_u64(t[4], "sample count");
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      t = in.line("sample", 3);
+      file.samples.push_back(
+          {parse_u64(t[1], "sample line"), t[2]});
+    }
+    r.load_report.files.push_back(std::move(file));
+  }
+
+  const std::size_t n_hgs = parse_u64(in.line("hgs", 2)[1], "HG count");
+  r.per_hg.reserve(n_hgs);
+  for (std::size_t h = 0; h < n_hgs; ++h) {
+    r.per_hg.push_back(decode_footprint(in));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string run_digest(const PipelineOptions& options,
+                       scan::ScannerKind scanner, std::size_t first) {
+  std::string d = "scanner=";
+  d += std::to_string(static_cast<int>(scanner));
+  d += ";first=" + std::to_string(first);
+  d += ";cloudflare_filter=";
+  d += options.apply_cloudflare_ssl_filter ? '1' : '0';
+  d += ";no_subset=";
+  d += options.disable_subset_rule ? '1' : '0';
+  d += ";no_edge_conflict=";
+  d += options.disable_edge_conflict_rule ? '1' : '0';
+  d += ";no_nginx=";
+  d += options.disable_nginx_rule ? '1' : '0';
+  return d;
+}
+
+std::string Checkpoint::encode(const RunState& state,
+                               const std::string& digest) {
+  std::string payload;
+  payload += "state";
+  append_u64(payload, state.first);
+  append_u64(payload, static_cast<std::uint64_t>(state.scanner));
+  append_u64(payload, state.results.size());
+  end_line(payload);
+
+  payload += "netflix";
+  append_u64(payload, state.netflix_ips.size());
+  for (std::uint32_t ip : state.netflix_ips) append_u64(payload, ip);
+  end_line(payload);
+
+  encode_metrics(payload, state.metrics);
+  for (const SnapshotResult& result : state.results) {
+    encode_result(payload, result);
+  }
+
+  std::string out(kMagic);
+  out.push_back('\n');
+  out += "digest";
+  append_token(out, digest);
+  end_line(out);
+  out += "payload " + std::to_string(payload.size()) + " fnv1a " +
+         fnv1a_hex(payload) + "\n";
+  out += payload;
+  return out;
+}
+
+RunState Checkpoint::decode(std::string_view content,
+                            const std::string& expected_digest) {
+  // Header: magic, digest, payload length + checksum. Each is checked
+  // before the payload is trusted, so a torn or foreign file fails here
+  // with a specific diagnostic.
+  std::size_t eol = content.find('\n');
+  if (eol == std::string_view::npos || content.substr(0, eol) != kMagic) {
+    throw CheckpointError(
+        "checkpoint: missing magic line (not a checkpoint file, or an "
+        "unsupported version)");
+  }
+  content.remove_prefix(eol + 1);
+
+  eol = content.find('\n');
+  if (eol == std::string_view::npos) {
+    throw CheckpointError("checkpoint: truncated before digest line");
+  }
+  std::string_view digest_line = content.substr(0, eol);
+  content.remove_prefix(eol + 1);
+  if (digest_line.substr(0, 7) != "digest ") {
+    throw CheckpointError("checkpoint: malformed digest line");
+  }
+  const std::string digest = unescape(digest_line.substr(7));
+
+  eol = content.find('\n');
+  if (eol == std::string_view::npos) {
+    throw CheckpointError("checkpoint: truncated before payload header");
+  }
+  std::string_view header = content.substr(0, eol);
+  std::string_view payload = content.substr(eol + 1);
+  std::size_t expected_bytes = 0;
+  {
+    std::string head(header);
+    unsigned long long bytes = 0;
+    char checksum[32];
+    if (std::sscanf(head.c_str(), "payload %llu fnv1a %31s", &bytes,
+                    checksum) != 2) {
+      throw CheckpointError("checkpoint: malformed payload header");
+    }
+    expected_bytes = bytes;
+    if (payload.size() != expected_bytes) {
+      throw CheckpointError(
+          "checkpoint: truncated payload (" +
+          std::to_string(payload.size()) + " bytes, header promises " +
+          std::to_string(expected_bytes) + ") — likely a torn write");
+    }
+    if (fnv1a_hex(payload) != checksum) {
+      throw CheckpointError(
+          "checkpoint: payload checksum mismatch — file is corrupt");
+    }
+  }
+
+  // Only now compare digests: a torn file should report corruption, not
+  // a spurious configuration mismatch.
+  if (digest != expected_digest) {
+    throw CheckpointError(
+        "checkpoint: run configuration mismatch — saved under '" + digest +
+        "', resuming run expects '" + expected_digest +
+        "'; refusing to mix results");
+  }
+
+  Reader in(payload);
+  RunState state;
+  std::vector<std::string> t = in.line("state", 4);
+  state.first = parse_u64(t[1], "first snapshot");
+  state.scanner =
+      static_cast<scan::ScannerKind>(parse_u64(t[2], "scanner"));
+  const std::size_t n_results = parse_u64(t[3], "result count");
+
+  t = in.line("netflix", 2);
+  const std::size_t n_ips = parse_u64(t[1], "Netflix IP count");
+  if (t.size() != n_ips + 2) {
+    throw CheckpointError("checkpoint: 'netflix' record length mismatch");
+  }
+  state.netflix_ips.reserve(n_ips);
+  for (std::size_t i = 0; i < n_ips; ++i) {
+    state.netflix_ips.push_back(
+        static_cast<std::uint32_t>(parse_u64(t[i + 2], "Netflix IP")));
+  }
+
+  state.metrics = decode_metrics(in);
+  state.results.reserve(n_results);
+  for (std::size_t i = 0; i < n_results; ++i) {
+    state.results.push_back(decode_result(in));
+  }
+  if (!in.at_end()) {
+    throw CheckpointError("checkpoint: trailing data after last record");
+  }
+  return state;
+}
+
+std::size_t Checkpoint::save(const std::string& path, const RunState& state,
+                             const std::string& digest,
+                             FaultInjector* faults) {
+  const std::string content = encode(state, digest);
+  io::AtomicFile file(path);
+  file.stream() << content;
+  // The checkpoint-write boundary sits after the temp write and before
+  // the publish: a throwing fault here unwinds (the AtomicFile
+  // destructor removes the temp), an aborting one leaves a torn temp
+  // next to the intact previous checkpoint — exactly what a crash does.
+  if (faults != nullptr) {
+    faults->on(fault_stage::kCheckpointWrite);
+    file.set_commit_hook(
+        [faults] { faults->on(fault_stage::kArtifactRename); });
+  }
+  file.commit();
+  return content.size();
+}
+
+RunState Checkpoint::load(const std::string& path,
+                          const std::string& expected_digest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw CheckpointError("checkpoint: read error on '" + path + "'");
+  }
+  return decode(buffer.str(), expected_digest);
+}
+
+}  // namespace offnet::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "scan/record.h"
+
+/// Durable run state for supervised longitudinal runs (DESIGN.md §10).
+/// After every snapshot the runner saves a checkpoint — the completed
+/// SnapshotResults, the §6.2 Netflix prior-IP set, and a snapshot of the
+/// metrics registry — published atomically via io::AtomicFile, so a
+/// crash at any instant leaves either the previous checkpoint or the new
+/// one, never a torn file. A resumed run restores that state and
+/// continues; the contract (enforced by checkpoint_test) is that
+/// interrupt-at-any-point + resume produces byte-identical results and
+/// deterministic metrics, at any thread count.
+namespace offnet::core {
+
+class FaultInjector;
+
+/// Every way a checkpoint can be unusable: unreadable file, wrong magic
+/// or version, truncated or checksum-corrupt payload, malformed records,
+/// or a run-configuration digest that disagrees with the resuming run.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything a supervised run needs to continue where it stopped.
+struct RunState {
+  std::size_t first = 0;  // first snapshot index of the run
+  scan::ScannerKind scanner = scan::ScannerKind::kRapid7;
+
+  /// Completed prefix of the series, placeholders included — the next
+  /// snapshot to run is first + results.size().
+  std::vector<SnapshotResult> results;
+
+  /// IPs ever seen serving Netflix certificates (§6.2), sorted.
+  std::vector<std::uint32_t> netflix_ips;
+
+  /// The metrics registry at save time, minus the wall-clock timing
+  /// stats (whose rendered lengths vary run to run and would make the
+  /// checkpoint's byte size nondeterministic). Restored via
+  /// Registry::absorb so a resumed run's exported counters equal an
+  /// uninterrupted run's; timings restart with the resumed process.
+  obs::RegistrySnapshot metrics;
+};
+
+/// Canonical description of the options that shape a run's results. A
+/// checkpoint records it at save time and load() rejects a mismatch: a
+/// checkpoint written with, say, the Cloudflare filter on must not seed
+/// a run with it off. Deliberately excludes n_threads (results are
+/// bit-identical at any thread count, so resuming at a different one is
+/// sound) and the series end (a run may be resumed to a later `last`).
+std::string run_digest(const PipelineOptions& options,
+                       scan::ScannerKind scanner, std::size_t first);
+
+class Checkpoint {
+ public:
+  /// First line of every checkpoint file.
+  static constexpr std::string_view kMagic = "offnet-checkpoint v1";
+
+  /// Renders the full checkpoint file: magic, digest, a payload header
+  /// with byte count and FNV-1a 64 checksum, then the line-based
+  /// payload. Canonical — unordered state is serialized sorted — so two
+  /// encodes of equal state are byte-identical.
+  static std::string encode(const RunState& state,
+                            const std::string& digest);
+
+  /// Parses and verifies a full checkpoint file. Throws CheckpointError
+  /// with a distinct message for each failure: bad magic, truncated or
+  /// checksum-corrupt payload, malformed records, digest mismatch.
+  static RunState decode(std::string_view content,
+                         const std::string& expected_digest);
+
+  /// Encodes and atomically publishes to `path`; returns the byte count
+  /// written. `faults` (optional) is crossed at the checkpoint-write and
+  /// artifact-rename stage boundaries.
+  static std::size_t save(const std::string& path, const RunState& state,
+                          const std::string& digest,
+                          FaultInjector* faults = nullptr);
+
+  /// Reads and decodes `path`. Throws CheckpointError when the file
+  /// cannot be read or fails any decode() check.
+  static RunState load(const std::string& path,
+                       const std::string& expected_digest);
+};
+
+}  // namespace offnet::core

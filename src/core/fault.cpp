@@ -1,0 +1,64 @@
+#include "core/fault.h"
+
+#include <cstdlib>
+
+namespace offnet::core {
+
+FaultInjector& FaultInjector::fail_at(std::string_view stage,
+                                      std::size_t occurrence, bool abort) {
+  if (occurrence == 0) {
+    throw std::invalid_argument("fault occurrences are 1-based");
+  }
+  points_[std::string(stage)].push_back({occurrence, abort});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_randomly(std::string_view stage, double p,
+                                            std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault probability must be in [0, 1]");
+  }
+  // Non-zero xorshift state, derived from the seed alone.
+  random_[std::string(stage)] = {p, seed * 2654435761u + 1u};
+  return *this;
+}
+
+void FaultInjector::on(std::string_view stage) {
+  auto count_it = counts_.find(stage);
+  if (count_it == counts_.end()) {
+    count_it = counts_.emplace(std::string(stage), 0).first;
+  }
+  const std::size_t crossing = ++count_it->second;
+
+  bool fire = false;
+  bool abort = false;
+  if (auto it = points_.find(stage); it != points_.end()) {
+    for (const Point& point : it->second) {
+      if (point.occurrence == crossing) {
+        fire = true;
+        abort = abort || point.abort;
+      }
+    }
+  }
+  if (auto it = random_.find(stage); it != random_.end()) {
+    RandomPlan& plan = it->second;
+    // xorshift64: deterministic per (seed, crossing index).
+    plan.state ^= plan.state << 13;
+    plan.state ^= plan.state >> 7;
+    plan.state ^= plan.state << 17;
+    const double draw =
+        static_cast<double>(plan.state >> 11) / 9007199254740992.0;
+    if (draw < plan.probability) fire = true;
+  }
+  if (!fire) return;
+  if (abort) std::_Exit(kAbortExitCode);
+  throw InjectedFault("injected fault at stage '" + std::string(stage) +
+                      "' (crossing " + std::to_string(crossing) + ")");
+}
+
+std::size_t FaultInjector::occurrences(std::string_view stage) const {
+  auto it = counts_.find(stage);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace offnet::core

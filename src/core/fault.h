@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Deterministic control-flow fault injection for the supervised
+/// longitudinal runner — the control-flow counterpart of
+/// io::CorruptionInjector's data faults. A FaultInjector carries an
+/// explicit plan of (stage, occurrence) points; the runner calls on()
+/// at each named stage boundary, and the plan decides whether that
+/// particular crossing throws an InjectedFault (recoverable — drives
+/// the retry/quarantine paths) or hard-kills the process (abort — the
+/// crash half of the crash/resume tests). The same plan against the
+/// same run faults at exactly the same points, independent of thread
+/// count, so recovery tests are reproducible.
+namespace offnet::core {
+
+/// The stage boundaries run_supervised and Checkpoint::save expose.
+namespace fault_stage {
+inline constexpr const char* kFeed = "feed";
+inline constexpr const char* kPipeline = "pipeline";
+inline constexpr const char* kCheckpointWrite = "checkpoint-write";
+inline constexpr const char* kArtifactRename = "artifact-rename";
+}  // namespace fault_stage
+
+/// The exception a throwing fault point raises. Deliberately a plain
+/// runtime_error subclass: the supervisor treats it like any other
+/// snapshot failure.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  /// The exit status an abort-mode fault kills the process with
+  /// (std::_Exit: no cleanup, no atexit, no flushing — as close to
+  /// `kill -9` as the process can do to itself).
+  static constexpr int kAbortExitCode = 70;
+
+  FaultInjector() = default;
+
+  /// Arms the `occurrence`-th crossing (1-based) of `stage`: it throws
+  /// InjectedFault, or with abort=true exits the process. Multiple
+  /// points per stage are allowed (e.g. occurrences 2, 3, 4 to exhaust
+  /// a retry budget).
+  FaultInjector& fail_at(std::string_view stage, std::size_t occurrence,
+                         bool abort = false);
+
+  /// Seeded probabilistic plan: every crossing of `stage` faults with
+  /// probability `p`, drawn from a private xorshift stream — the same
+  /// seed always faults the same crossings.
+  FaultInjector& fail_randomly(std::string_view stage, double p,
+                               std::uint64_t seed);
+
+  /// Called by instrumented code at a stage boundary. Counts the
+  /// crossing, then faults if the plan says so.
+  void on(std::string_view stage);
+
+  /// How often `stage` has been crossed so far.
+  std::size_t occurrences(std::string_view stage) const;
+
+ private:
+  struct Point {
+    std::size_t occurrence = 0;
+    bool abort = false;
+  };
+  struct RandomPlan {
+    double probability = 0.0;
+    std::uint64_t state = 0;
+  };
+
+  std::map<std::string, std::vector<Point>, std::less<>> points_;
+  std::map<std::string, RandomPlan, std::less<>> random_;
+  std::map<std::string, std::size_t, std::less<>> counts_;
+};
+
+}  // namespace offnet::core

@@ -1,9 +1,14 @@
 #include "core/longitudinal.h"
 
+#include <algorithm>
 #include <cassert>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
+#include "core/checkpoint.h"
+#include "core/fault.h"
 #include "core/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
@@ -175,38 +180,170 @@ std::vector<SnapshotResult> LongitudinalRunner::run_loaded(
   std::unordered_set<std::uint32_t> netflix_ips;
 
   for (std::size_t t = first; t <= last; ++t) {
-    SnapshotFeed input = feed(t);
-    SnapshotResult result;
-    if (input.dataset.has_value()) {
-      const io::Dataset& dataset = *input.dataset;
-      // The feed may tally into its own report or rely on the dataset's.
-      const io::LoadReport& report =
-          input.report.files.empty() ? dataset.report() : input.report;
-
-      PipelineOptions options = options_;
-      options.netflix_prior_ips = &netflix_ips;
-      OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
-                              dataset.certs(), dataset.roots(),
-                              standard_hg_inputs(), options);
-      result = [&] {
-        obs::StageTimer timer(options_.metrics, "series/snapshot");
-        return pipeline.run(dataset.snapshot());
-      }();
-      result.health = report.clean() ? SnapshotHealth::kComplete
-                                     : SnapshotHealth::kPartial;
-      result.load_report = report;
-      absorb_netflix_ips(result, netflix_ips);
-    } else {
-      result.health = input.corrupt ? SnapshotHealth::kCorrupt
-                                    : SnapshotHealth::kMissing;
-      result.load_report = std::move(input.report);
-    }
-    result.snapshot = t;
-    result.scanner = scanner_;
+    SnapshotResult result = compute_loaded_snapshot(
+        feed(t), t, netflix_ips, options_.metrics);
+    if (result.usable()) absorb_netflix_ips(result, netflix_ips);
 
     record_series_metrics(result, options_.metrics);
     if (progress) progress(result);
     results.push_back(std::move(result));
+  }
+  return results;
+}
+
+SnapshotResult LongitudinalRunner::compute_loaded_snapshot(
+    SnapshotFeed input, std::size_t t,
+    const std::unordered_set<std::uint32_t>& netflix_ips,
+    obs::Registry* metrics) const {
+  SnapshotResult result;
+  if (input.dataset.has_value()) {
+    const io::Dataset& dataset = *input.dataset;
+    // The feed may tally into its own report or rely on the dataset's.
+    const io::LoadReport& report =
+        input.report.files.empty() ? dataset.report() : input.report;
+
+    PipelineOptions options = options_;
+    options.netflix_prior_ips = &netflix_ips;
+    options.metrics = metrics;
+    OffnetPipeline pipeline(dataset.topology(), dataset.ip2as(),
+                            dataset.certs(), dataset.roots(),
+                            standard_hg_inputs(), options);
+    result = [&] {
+      obs::StageTimer timer(metrics, "series/snapshot");
+      return pipeline.run(dataset.snapshot());
+    }();
+    result.health = report.clean() ? SnapshotHealth::kComplete
+                                   : SnapshotHealth::kPartial;
+    result.load_report = report;
+  } else {
+    result.health = input.corrupt ? SnapshotHealth::kCorrupt
+                                  : SnapshotHealth::kMissing;
+    result.load_report = std::move(input.report);
+  }
+  result.snapshot = t;
+  result.scanner = scanner_;
+  return result;
+}
+
+std::vector<SnapshotResult> LongitudinalRunner::run_supervised(
+    const std::function<SnapshotFeed(std::size_t)>& feed,
+    const SupervisorOptions& supervisor, std::size_t first,
+    std::size_t last,
+    const std::function<void(const SnapshotResult&)>& progress) const {
+  const std::string digest = run_digest(options_, scanner_, first);
+  obs::Registry* metrics = options_.metrics;
+
+  std::vector<SnapshotResult> results;
+  std::unordered_set<std::uint32_t> netflix_ips;
+  std::size_t next = first;
+
+  if (supervisor.resume) {
+    if (supervisor.checkpoint_path.empty()) {
+      throw std::invalid_argument(
+          "run_supervised: resume needs a checkpoint path");
+    }
+    RunState state = Checkpoint::load(supervisor.checkpoint_path, digest);
+    netflix_ips.insert(state.netflix_ips.begin(), state.netflix_ips.end());
+    if (metrics != nullptr) {
+      metrics->absorb(state.metrics);
+      // A checkpoint's payload counts the bytes of every checkpoint
+      // published before it — its own size is only known after it is
+      // encoded, and is added to the live registry after the write.
+      // Re-adding the loaded file's size here restores the invariant
+      // that save_bytes counts every checkpoint published so far, so a
+      // resumed run's total equals an uninterrupted run's.
+      std::error_code ec;
+      const auto bytes =
+          std::filesystem::file_size(supervisor.checkpoint_path, ec);
+      if (!ec) {
+        metrics->counter(metric_names::kCheckpointBytes).add(bytes);
+      }
+    }
+    results = std::move(state.results);
+    next = first + results.size();
+  }
+
+  for (std::size_t t = next; t <= last; ++t) {
+    // Exception-isolated attempts. Each attempt records into a scratch
+    // registry that is absorbed only on success, so the funnel counters
+    // count every snapshot exactly once no matter how many attempts it
+    // took — the exported metrics stay deterministic under retry.
+    SnapshotResult result;
+    std::string last_error;
+    bool done = false;
+    for (std::size_t attempt = 0;
+         attempt <= supervisor.max_retries && !done; ++attempt) {
+      obs::Registry scratch;
+      try {
+        if (supervisor.faults != nullptr) {
+          supervisor.faults->on(fault_stage::kFeed);
+        }
+        SnapshotFeed input = feed(t);
+        if (supervisor.faults != nullptr) {
+          supervisor.faults->on(fault_stage::kPipeline);
+        }
+        result = compute_loaded_snapshot(
+            std::move(input), t, netflix_ips,
+            metrics != nullptr ? &scratch : nullptr);
+        done = true;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      } catch (...) {
+        last_error = "unknown exception";
+      }
+      if (done) {
+        if (metrics != nullptr) metrics->absorb(scratch.snapshot());
+      } else if (metrics != nullptr) {
+        metrics->counter(metric_names::kRetryAttempts).add(1);
+      }
+    }
+
+    if (!done) {
+      result = SnapshotResult{};
+      result.snapshot = t;
+      result.scanner = scanner_;
+      result.health = SnapshotHealth::kQuarantined;
+      result.error = last_error;
+      if (metrics != nullptr) {
+        metrics->counter(metric_names::kRetryExhausted).add(1);
+        metrics->counter(metric_names::kQuarantinedSnapshots).add(1);
+      }
+    } else if (result.usable()) {
+      absorb_netflix_ips(result, netflix_ips);
+    }
+    record_series_metrics(result, metrics);
+    if (progress) progress(result);
+    results.push_back(std::move(result));
+
+    if (!supervisor.checkpoint_path.empty()) {
+      // Counter order matters for resume invariance: saves is bumped
+      // before the registry snapshot (so checkpoint k records k saves)
+      // and save_bytes after the write (so a checkpoint never has to
+      // know its own size).
+      if (metrics != nullptr) {
+        metrics->counter(metric_names::kCheckpointSaves).add(1);
+      }
+      RunState state;
+      state.first = first;
+      state.scanner = scanner_;
+      state.results = results;
+      state.netflix_ips.assign(netflix_ips.begin(), netflix_ips.end());
+      std::sort(state.netflix_ips.begin(), state.netflix_ips.end());
+      if (metrics != nullptr) {
+        state.metrics = metrics->snapshot();
+        // Timing stats are wall-clock: their rendered lengths vary run
+        // to run, which would make the checkpoint's byte size (and so
+        // checkpoint/save_bytes) nondeterministic. Persist only the
+        // deterministic sections; a resumed process starts its own
+        // timings, just as it starts its own clock.
+        state.metrics.timings.clear();
+      }
+      const std::size_t bytes = Checkpoint::save(
+          supervisor.checkpoint_path, state, digest, supervisor.faults);
+      if (metrics != nullptr) {
+        metrics->counter(metric_names::kCheckpointBytes).add(bytes);
+      }
+    }
   }
   return results;
 }

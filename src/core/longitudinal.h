@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -9,6 +10,8 @@
 #include "scan/world.h"
 
 namespace offnet::core {
+
+class FaultInjector;
 
 /// Per-snapshot input to a degraded-mode run over loaded data: either a
 /// usable (possibly partial) dataset, or the verdict that the snapshot's
@@ -18,6 +21,27 @@ struct SnapshotFeed {
   std::optional<io::Dataset> dataset;  // nullopt: nothing usable
   io::LoadReport report;               // ingestion accounting (may be empty)
   bool corrupt = false;                // load aborted, vs. simply absent
+};
+
+/// Configuration for LongitudinalRunner::run_supervised (DESIGN.md §10).
+struct SupervisorOptions {
+  /// Where the run's checkpoint is saved after every snapshot (and, with
+  /// `resume`, loaded from before the first). Empty disables
+  /// checkpointing; retry and quarantine still apply.
+  std::string checkpoint_path;
+
+  /// Restore state from checkpoint_path and continue at the first
+  /// snapshot the checkpoint does not cover. The checkpoint's run
+  /// digest must match this run's (see core/checkpoint.h).
+  bool resume = false;
+
+  /// A failing snapshot is retried this many times — max_retries + 1
+  /// attempts in total — before it is quarantined.
+  std::size_t max_retries = 2;
+
+  /// Optional fault plan, crossed at the feed / pipeline /
+  /// checkpoint-write / artifact-rename stage boundaries.
+  FaultInjector* faults = nullptr;
 };
 
 /// Runs the pipeline over every study snapshot for one scanner, carrying
@@ -70,10 +94,41 @@ class LongitudinalRunner {
       std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
       const std::function<void(const SnapshotResult&)>& progress = {}) const;
 
+  /// Crash-safe variant of run_loaded (DESIGN.md §10): each snapshot is
+  /// computed in an exception-isolated attempt with a bounded retry
+  /// budget; a snapshot that fails every attempt becomes a kQuarantined
+  /// placeholder (carrying the failure message) and the series
+  /// continues, with the §6.2 Netflix state intact. With a checkpoint
+  /// path, the run saves its state atomically after every snapshot, and
+  /// with resume it restores that state first — interrupting the run at
+  /// any point and resuming produces results and deterministic metrics
+  /// byte-identical to an uninterrupted run, at any n_threads.
+  ///
+  /// Attempt metrics are recorded into a scratch registry and folded
+  /// into options.metrics only on success, so retries never double-count
+  /// the funnel. Checkpoint save failures (including injected
+  /// checkpoint-write faults) are not retried: they propagate, because a
+  /// run that cannot persist its progress should stop, not limp on.
+  std::vector<SnapshotResult> run_supervised(
+      const std::function<SnapshotFeed(std::size_t)>& feed,
+      const SupervisorOptions& supervisor, std::size_t first = 0,
+      std::size_t last = net::snapshot_count() - 1,
+      const std::function<void(const SnapshotResult&)>& progress = {}) const;
+
   /// Runs a single snapshot (stateless: without the HTTP-only recovery).
   SnapshotResult run_one(std::size_t snapshot) const;
 
  private:
+  /// One loaded snapshot, shared by run_loaded and run_supervised: runs
+  /// the pipeline over the feed's dataset (or builds the missing/corrupt
+  /// placeholder) and annotates health and ingestion accounting. Reads
+  /// but never mutates `netflix_ips`, so a failed supervised attempt
+  /// leaves no trace.
+  SnapshotResult compute_loaded_snapshot(
+      SnapshotFeed input, std::size_t t,
+      const std::unordered_set<std::uint32_t>& netflix_ips,
+      obs::Registry* metrics) const;
+
   const scan::World* world_ = nullptr;
   scan::ScannerKind scanner_;
   PipelineOptions options_;

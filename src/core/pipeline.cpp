@@ -52,6 +52,7 @@ const char* to_string(SnapshotHealth health) {
     case SnapshotHealth::kPartial: return "partial";
     case SnapshotHealth::kMissing: return "missing";
     case SnapshotHealth::kCorrupt: return "corrupt";
+    case SnapshotHealth::kQuarantined: return "quarantined";
   }
   return "unknown";
 }

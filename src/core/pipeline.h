@@ -97,6 +97,19 @@ inline constexpr const char* kDropHeaderMiss =
     "pipeline/drop/header_miss";  // §4.5: no header-fingerprint match
 inline constexpr const char* kDropEdgeConflict =
     "pipeline/drop/edge_conflict";  // §7: edge CDN owns the response
+// Supervision accounting (LongitudinalRunner::run_supervised). Values
+// are invariant under crash + resume: a resumed run restores them from
+// the checkpoint and ends with the same totals as an uninterrupted one.
+inline constexpr const char* kRetryAttempts =
+    "retry/attempts";  // failed snapshot attempts (one per thrown attempt)
+inline constexpr const char* kRetryExhausted =
+    "retry/exhausted";  // snapshots whose whole retry budget failed
+inline constexpr const char* kQuarantinedSnapshots =
+    "quarantine/snapshots";  // kQuarantined placeholders emitted
+inline constexpr const char* kCheckpointSaves =
+    "checkpoint/saves";  // checkpoints published (one per snapshot)
+inline constexpr const char* kCheckpointBytes =
+    "checkpoint/save_bytes";  // bytes published across those saves
 }  // namespace metric_names
 
 /// Everything inferred about one Hypergiant from one scan snapshot.
@@ -154,10 +167,12 @@ struct CorpusStats {
 /// scanner's start and are occasionally damaged (§5, Table 2); a
 /// longitudinal study must record that instead of dying on it.
 enum class SnapshotHealth {
-  kComplete,  // all inputs ingested cleanly
-  kPartial,   // ingested with skipped lines, within the error budget
-  kMissing,   // no data for this scanner/snapshot
-  kCorrupt,   // inputs unusable: strict failure or error budget blown
+  kComplete,     // all inputs ingested cleanly
+  kPartial,      // ingested with skipped lines, within the error budget
+  kMissing,      // no data for this scanner/snapshot
+  kCorrupt,      // inputs unusable: strict failure or error budget blown
+  kQuarantined,  // supervised run: failed every retry, isolated from the
+                 // series (DESIGN.md §10); the run continued past it
 };
 
 const char* to_string(SnapshotHealth health);
@@ -173,6 +188,9 @@ struct SnapshotResult {
   /// over loaded data carry the ingestion accounting along.
   SnapshotHealth health = SnapshotHealth::kComplete;
   io::LoadReport load_report;
+
+  /// kQuarantined only: what the last failed attempt threw.
+  std::string error;
 
   /// Whether per_hg/stats hold real results (missing and corrupt
   /// snapshots are placeholders).

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <exception>
+#include <stdexcept>
+#include <string>
 
 namespace offnet::core {
 
@@ -21,7 +23,8 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   Mutex m;
   std::size_t done OFFNET_GUARDED_BY(m) = 0;
-  std::exception_ptr error OFFNET_GUARDED_BY(m);  // first failure
+  std::exception_ptr error OFFNET_GUARDED_BY(m);   // first failure
+  std::size_t failures OFFNET_GUARDED_BY(m) = 0;  // all failed tasks
   CondVar finished;
 };
 
@@ -54,7 +57,10 @@ void ThreadPool::drain(Batch& batch) {
       error = std::current_exception();
     }
     MutexLock lock(batch.m);
-    if (error && !batch.error) batch.error = std::move(error);
+    if (error) {
+      if (!batch.error) batch.error = std::move(error);
+      ++batch.failures;
+    }
     if (++batch.done == n) batch.finished.notify_all();
   }
 }
@@ -71,15 +77,31 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   }
 
   drain(*batch);
+  std::exception_ptr error;
+  std::size_t failures = 0;
   {
     MutexLock lock(batch->m);
     while (batch->done != batch->tasks.size()) batch->finished.wait(lock);
+    error = batch->error;
+    failures = batch->failures;
   }
   if (!workers_.empty()) {
     MutexLock lock(mutex_);
     std::erase(queue_, batch);
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (!error) return;
+  if (failures == 1) std::rethrow_exception(error);
+  // Several tasks failed: rethrowing only the first would silently drop
+  // the rest, so fold the suppressed count into the message.
+  std::string what = "unknown exception";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  throw std::runtime_error(what + " (and " + std::to_string(failures - 1) +
+                           " more task failures suppressed)");
 }
 
 bool ThreadPool::has_claimable_work() const {

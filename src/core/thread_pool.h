@@ -41,7 +41,11 @@ class ThreadPool {
 
   /// Runs every task to completion and returns. If tasks throw, every
   /// remaining task still runs and the first exception (in completion
-  /// order) is rethrown here once the batch has drained.
+  /// order) is rethrown here once the batch has drained. When more than
+  /// one task failed, a std::runtime_error carrying the first failure's
+  /// message plus the suppressed-failure count is thrown instead, so
+  /// additional failures are reported rather than dropped. The pool
+  /// itself is unaffected: the next run_all starts from a clean batch.
   void run_all(std::vector<std::function<void()>> tasks)
       OFFNET_EXCLUDES(mutex_);
 

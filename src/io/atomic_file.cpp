@@ -1,0 +1,84 @@
+#include "io/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define OFFNET_HAVE_FSYNC 1
+#endif
+
+namespace offnet::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Flushes file (and, for directories, rename) durability to the device.
+/// Without this, rename() can land before the data blocks and a power
+/// loss yields exactly the torn artifact the rename was meant to
+/// prevent.
+void fsync_path(const std::string& path, bool directory) {
+#ifdef OFFNET_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) {
+    if (directory) return;  // some filesystems refuse directory opens
+    fail("cannot reopen for fsync", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  // Directory fsync is best-effort (EINVAL on some filesystems); a data
+  // fsync failure is a real lost write and must surface.
+  if (rc != 0 && !directory) fail("fsync failed for", path);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  out_.open(temp_path(), std::ios::binary | std::ios::trunc);
+  if (!out_) fail("cannot open temp file for", path_);
+}
+
+AtomicFile::~AtomicFile() {
+  if (committed_) return;
+  out_.close();
+  std::error_code ignored;
+  std::filesystem::remove(temp_path(), ignored);
+}
+
+void AtomicFile::commit() {
+  if (committed_) throw std::logic_error("AtomicFile::commit called twice");
+  out_.flush();
+  if (!out_) fail("write failed for", path_);
+  out_.close();
+  if (!out_) fail("close failed for", path_);
+  fsync_path(temp_path(), /*directory=*/false);
+  if (commit_hook_) commit_hook_();
+  std::error_code ec;
+  std::filesystem::rename(temp_path(), path_, ec);
+  if (ec) {
+    throw std::runtime_error("cannot publish " + path_ + ": " + ec.message());
+  }
+  committed_ = true;
+  const std::string dir = std::filesystem::path(path_).parent_path().string();
+  if (!dir.empty()) fsync_path(dir, /*directory=*/true);
+}
+
+void AtomicFile::write(const std::string& path, std::string_view content) {
+  AtomicFile file(path);
+  file.stream() << content;
+  file.commit();
+}
+
+}  // namespace offnet::io

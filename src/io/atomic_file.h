@@ -1,0 +1,64 @@
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace offnet::io {
+
+/// The one sanctioned way to emit a final artifact (DESIGN.md §10): all
+/// bytes go to `<path>.tmp`, and only commit() — flush, stream check,
+/// fsync, rename — makes them visible under the final name. A crash at
+/// any point leaves either the previous artifact or nothing, never a
+/// torn file that looks complete; a write failure (bad directory, full
+/// disk) surfaces as an exception instead of a silently short file.
+///
+/// The temp name is deterministic (`<path>.tmp`), so concurrent writers
+/// of the *same* path are not supported — final artifacts have exactly
+/// one producer per run. A leftover temp from a crashed run is
+/// truncated on the next open and cannot be mistaken for the artifact.
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing (truncating any crash leftover).
+  /// Throws std::runtime_error when the temp file cannot be opened.
+  explicit AtomicFile(std::string path);
+
+  /// Abandons the write: removes the temp file unless commit() ran.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The stream to write artifact bytes into.
+  std::ostream& stream() { return out_; }
+
+  /// Test seam: runs after the temp file is flushed and closed, just
+  /// before the rename. Fault-injection hooks a crash here to prove the
+  /// previous artifact survives an interrupted publish.
+  void set_commit_hook(std::function<void()> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  /// Publishes the artifact: flush, verify the stream never failed,
+  /// fsync the temp file, rename it over `path`. Throws
+  /// std::runtime_error (naming the path) on any failure; the final
+  /// path is untouched unless commit() returns.
+  void commit();
+
+  bool committed() const { return committed_; }
+  const std::string& path() const { return path_; }
+  std::string temp_path() const { return path_ + ".tmp"; }
+
+  /// Convenience: writes `content` to `path` atomically in one call.
+  static void write(const std::string& path, std::string_view content);
+
+ private:
+  std::string path_;
+  // offnet-lint: allow(raw-artifact-write): the sanctioned writer itself;
+  std::ofstream out_;  // every artifact's bytes pass through this stream
+  std::function<void()> commit_hook_;
+  bool committed_ = false;
+};
+
+}  // namespace offnet::io

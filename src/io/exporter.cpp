@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "io/atomic_file.h"
+
 namespace offnet::io {
 
 namespace {
@@ -121,6 +123,26 @@ void export_dataset(const scan::World& world,
   };
   if (snapshot.has_https_headers()) emit(true);
   if (snapshot.has_http_headers()) emit(false);
+}
+
+void export_dataset_to_dir(const scan::World& world,
+                           const scan::ScanSnapshot& snapshot,
+                           const std::string& dir) {
+  AtomicFile rel(dir + "/relationships.txt");
+  AtomicFile org(dir + "/organizations.txt");
+  AtomicFile pfx(dir + "/prefix2as.txt");
+  AtomicFile certs(dir + "/certificates.tsv");
+  AtomicFile hosts(dir + "/hosts.tsv");
+  AtomicFile headers(dir + "/headers.tsv");
+  export_dataset(world, snapshot,
+                 ExportStreams{rel.stream(), org.stream(), pfx.stream(),
+                               certs.stream(), hosts.stream(),
+                               headers.stream()});
+  // Commit only after every stream succeeded, so a failure mid-export
+  // publishes none of the six files (their temps are cleaned up).
+  for (AtomicFile* file : {&rel, &org, &pfx, &certs, &hosts, &headers}) {
+    file->commit();
+  }
 }
 
 }  // namespace offnet::io

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "scan/record.h"
 #include "scan/world.h"
@@ -22,5 +23,15 @@ struct ExportStreams {
 
 void export_dataset(const scan::World& world,
                     const scan::ScanSnapshot& snapshot, ExportStreams out);
+
+/// Writes the six dataset files (relationships.txt, organizations.txt,
+/// prefix2as.txt, certificates.tsv, hosts.tsv, headers.tsv) into `dir`
+/// through io::AtomicFile: every file is staged to a temp name and
+/// published only after its bytes are flushed and verified, so a crash
+/// or full disk can never leave a torn file under a final name. Throws
+/// std::runtime_error (naming the file) on any write failure.
+void export_dataset_to_dir(const scan::World& world,
+                           const scan::ScanSnapshot& snapshot,
+                           const std::string& dir);
 
 }  // namespace offnet::io

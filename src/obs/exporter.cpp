@@ -2,8 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <stdexcept>
 
 namespace offnet::obs {
 
@@ -124,18 +122,6 @@ std::string MetricsExporter::deterministic_json(const Registry& registry) {
 std::string MetricsExporter::deterministic_json(
     const RegistrySnapshot& snapshot) {
   return render(snapshot, false);
-}
-
-void MetricsExporter::write_file(const Registry& registry,
-                                 const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot write metrics file " + path);
-  }
-  out << to_json(registry);
-  if (!out) {
-    throw std::runtime_error("failed writing metrics file " + path);
-  }
 }
 
 }  // namespace offnet::obs

@@ -20,12 +20,13 @@ class MetricsExporter {
   /// The comparable part: identical to to_json with the "timing" subtree
   /// omitted. Same corpus in, byte-identical string out, at any thread
   /// count.
+  ///
+  /// There is deliberately no file-writing entry point here: metrics
+  /// files are final artifacts, and final artifacts go through
+  /// io::AtomicFile (DESIGN.md §10) — e.g.
+  /// io::AtomicFile::write(path, MetricsExporter::to_json(registry)).
   static std::string deterministic_json(const Registry& registry);
   static std::string deterministic_json(const RegistrySnapshot& snapshot);
-
-  /// Writes to_json(registry) to `path`. Throws std::runtime_error when
-  /// the file cannot be written.
-  static void write_file(const Registry& registry, const std::string& path);
 };
 
 }  // namespace offnet::obs

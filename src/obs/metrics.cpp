@@ -26,6 +26,14 @@ void Histogram::observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::add_bucket(std::size_t index, std::uint64_t n) {
+  if (index > bounds_.size()) {
+    throw std::out_of_range("Histogram::add_bucket: no such bucket");
+  }
+  buckets_[index].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -79,6 +87,39 @@ void Registry::record_timing(std::string_view stage, double seconds) {
   stat.total_seconds += seconds;
   stat.min_seconds = std::min(stat.min_seconds, seconds);
   stat.max_seconds = std::max(stat.max_seconds, seconds);
+}
+
+void Registry::absorb(const RegistrySnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    counter(name).add(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauge(name).set(value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    Histogram& hist = histogram(name, data.bounds);
+    if (hist.bounds() != data.bounds) {
+      throw std::invalid_argument("Registry::absorb: histogram '" +
+                                  name + "' bounds mismatch");
+    }
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      if (data.buckets[i] != 0) hist.add_bucket(i, data.buckets[i]);
+    }
+  }
+  for (const auto& [name, stat] : snapshot.timings) {
+    if (stat.calls == 0) continue;
+    core::MutexLock lock(mutex_);
+    auto it = timings_.find(name);
+    if (it == timings_.end()) {
+      timings_.emplace(name, stat);
+      continue;
+    }
+    TimingStat& mine = it->second;
+    mine.calls += stat.calls;
+    mine.total_seconds += stat.total_seconds;
+    mine.min_seconds = std::min(mine.min_seconds, stat.min_seconds);
+    mine.max_seconds = std::max(mine.max_seconds, stat.max_seconds);
+  }
 }
 
 RegistrySnapshot Registry::snapshot() const {

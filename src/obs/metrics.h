@@ -67,6 +67,11 @@ class Histogram {
 
   void observe(double v);
 
+  /// Folds persisted observations back in (checkpoint resume): adds `n`
+  /// to bucket `index` and to the total count. Throws std::out_of_range
+  /// when `index` exceeds the overflow bucket.
+  void add_bucket(std::size_t index, std::uint64_t n);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
@@ -127,6 +132,15 @@ class Registry {
       OFFNET_EXCLUDES(mutex_);
 
   RegistrySnapshot snapshot() const OFFNET_EXCLUDES(mutex_);
+
+  /// Folds a persisted snapshot back into live instruments — the restore
+  /// half of the checkpoint/resume contract (DESIGN.md §10). Counters
+  /// and histogram buckets add (so a registry that already accumulated
+  /// new work keeps it), gauges are levels and adopt the snapshot's
+  /// value, timings merge calls/total/min/max. Throws
+  /// std::invalid_argument when an existing histogram's bounds disagree
+  /// with the snapshot's.
+  void absorb(const RegistrySnapshot& snapshot) OFFNET_EXCLUDES(mutex_);
 
  private:
   mutable core::Mutex mutex_;

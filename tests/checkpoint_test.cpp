@@ -1,0 +1,466 @@
+// Crash-safety tests (DESIGN.md §10): checkpoint encode/decode and its
+// rejection of torn or mismatched files, supervised retry and
+// quarantine, and the headline contract — interrupting a longitudinal
+// run at any point and resuming produces results, metrics, and
+// checkpoint state byte-identical to an uninterrupted run, at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/fault.h"
+#include "core/longitudinal.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "test_world.h"
+
+namespace offnet::core {
+namespace {
+
+/// Window used by the behavioural tests: five snapshots inside the
+/// Netflix expired-certificate era, as in degraded_run_test.
+constexpr std::size_t kFirst = 16;
+constexpr std::size_t kLast = 20;
+constexpr std::size_t kDamaged = 18;
+
+struct Corpus {
+  std::string rel, org, pfx, certs, hosts, headers;
+};
+
+const std::map<std::size_t, Corpus>& exported_corpuses() {
+  static const std::map<std::size_t, Corpus> corpuses = [] {
+    const scan::World& world = testing::tiny_world();
+    std::map<std::size_t, Corpus> out;
+    for (std::size_t t = 0; t < net::snapshot_count(); ++t) {
+      scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+      std::ostringstream rel, org, pfx, certs, hosts, headers;
+      io::export_dataset(world, snapshot,
+                         io::ExportStreams{rel, org, pfx, certs, hosts,
+                                           headers});
+      out[t] = Corpus{rel.str(), org.str(), pfx.str(),
+                      certs.str(), hosts.str(), headers.str()};
+    }
+    return out;
+  }();
+  return corpuses;
+}
+
+SnapshotFeed load_feed(std::size_t t) {
+  const Corpus& corpus = exported_corpuses().at(t);
+  SnapshotFeed feed;
+  std::istringstream rel(corpus.rel), org(corpus.org), pfx(corpus.pfx),
+      certs(corpus.certs), hosts(corpus.hosts), headers(corpus.headers);
+  feed.dataset = io::load_dataset(rel, org, pfx, certs, hosts,
+                                  net::study_snapshots()[t], {},
+                                  &feed.report);
+  feed.dataset->add_headers(headers, {}, &feed.report);
+  return feed;
+}
+
+PipelineOptions options_with(obs::Registry* metrics,
+                             std::size_t threads = 1) {
+  PipelineOptions options;
+  options.metrics = metrics;
+  options.n_threads = threads;
+  return options;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  // TempDir is shared across test runs: start from a clean slate.
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Canonical byte-string over a results vector (via the checkpoint
+/// encoder): two runs agree iff every field of every result agrees.
+std::string results_fingerprint(const std::vector<SnapshotResult>& results,
+                                std::size_t first) {
+  RunState state;
+  state.first = first;
+  state.results = results;
+  return Checkpoint::encode(state, "results-only");
+}
+
+/// A checkpoint's raw bytes, verified loadable first. Checkpoints are
+/// fully deterministic (the saved registry excludes the wall-clock
+/// timing stats), so equal runs produce byte-equal files.
+std::string checkpoint_fingerprint(const std::string& path,
+                                   const std::string& digest) {
+  Checkpoint::load(path, digest);
+  return slurp(path);
+}
+
+std::vector<SnapshotResult> run_window(obs::Registry* metrics,
+                                       const SupervisorOptions& supervisor,
+                                       std::size_t threads = 1) {
+  LongitudinalRunner runner{options_with(metrics, threads)};
+  return runner.run_supervised(load_feed, supervisor, kFirst, kLast);
+}
+
+/// Clean supervised window run, no checkpointing — the reference for
+/// retry and quarantine comparisons.
+const std::vector<SnapshotResult>& clean_window() {
+  static const std::vector<SnapshotResult> results =
+      run_window(nullptr, SupervisorOptions{});
+  return results;
+}
+
+TEST(RunDigestTest, IgnoresThreadCountButNotSemantics) {
+  PipelineOptions base;
+  const std::string digest =
+      run_digest(base, scan::ScannerKind::kRapid7, 0);
+
+  PipelineOptions threaded = base;
+  threaded.n_threads = 8;
+  EXPECT_EQ(run_digest(threaded, scan::ScannerKind::kRapid7, 0), digest);
+
+  PipelineOptions filtered = base;
+  filtered.apply_cloudflare_ssl_filter = true;
+  EXPECT_NE(run_digest(filtered, scan::ScannerKind::kRapid7, 0), digest);
+
+  PipelineOptions ablated = base;
+  ablated.disable_nginx_rule = true;
+  EXPECT_NE(run_digest(ablated, scan::ScannerKind::kRapid7, 0), digest);
+
+  EXPECT_NE(run_digest(base, scan::ScannerKind::kCensys, 0), digest);
+  EXPECT_NE(run_digest(base, scan::ScannerKind::kRapid7, 1), digest);
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTripsByteIdentically) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  obs::Registry metrics;
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  auto results = run_window(&metrics, supervisor);
+  ASSERT_EQ(results.size(), kLast - kFirst + 1);
+
+  const std::string digest =
+      run_digest(options_with(&metrics), scan::ScannerKind::kRapid7, kFirst);
+  const std::string content = slurp(path);
+  RunState state = Checkpoint::decode(content, digest);
+  EXPECT_EQ(state.first, kFirst);
+  EXPECT_EQ(state.results.size(), results.size());
+  EXPECT_FALSE(state.netflix_ips.empty());
+  EXPECT_FALSE(state.metrics.counters.empty());
+  // Re-encoding the decoded state reproduces the file byte for byte:
+  // the encoding is canonical, and nothing was lost in the round trip.
+  EXPECT_EQ(Checkpoint::encode(state, digest), content);
+  // The restored results are the run's results, field for field.
+  EXPECT_EQ(results_fingerprint(state.results, kFirst),
+            results_fingerprint(results, kFirst));
+}
+
+TEST(CheckpointTest, RejectsTornCorruptAndForeignFiles) {
+  const std::string path = temp_path("reject.ckpt");
+  obs::Registry metrics;
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  run_window(&metrics, supervisor);
+  const std::string digest =
+      run_digest(options_with(&metrics), scan::ScannerKind::kRapid7, kFirst);
+  const std::string content = slurp(path);
+
+  auto error_of = [&](const std::string& damaged,
+                      const std::string& expect_digest) {
+    try {
+      Checkpoint::decode(damaged, expect_digest);
+    } catch (const CheckpointError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  // A torn write (crash mid-checkpoint) truncates the payload.
+  EXPECT_NE(error_of(content.substr(0, content.size() - 40), digest)
+                .find("truncated"),
+            std::string::npos);
+  // Bit rot inside the payload trips the checksum.
+  std::string flipped = content;
+  flipped[content.size() - 10] ^= 0x20;
+  EXPECT_NE(error_of(flipped, digest).find("checksum"), std::string::npos);
+  // Not a checkpoint at all.
+  EXPECT_NE(error_of("something else entirely\n", digest).find("magic"),
+            std::string::npos);
+  EXPECT_NE(error_of("", digest).find("magic"), std::string::npos);
+  // Valid file, wrong run configuration.
+  EXPECT_NE(error_of(content, digest + ";no_nginx=1").find("mismatch"),
+            std::string::npos);
+  // The intact file still loads.
+  EXPECT_NO_THROW(Checkpoint::decode(content, digest));
+}
+
+TEST(SupervisedRunTest, TransientFaultIsRetriedWithIdenticalResults) {
+  obs::Registry metrics;
+  FaultInjector faults;
+  // Snapshots 16 and 17 cross the pipeline boundary once each; the
+  // third crossing is snapshot 18's first attempt.
+  faults.fail_at(fault_stage::kPipeline, 3);
+  SupervisorOptions supervisor;
+  supervisor.faults = &faults;
+  auto results = run_window(&metrics, supervisor);
+
+  EXPECT_EQ(results_fingerprint(results, kFirst),
+            results_fingerprint(clean_window(), kFirst));
+  EXPECT_EQ(metrics.counter("retry/attempts").value(), 1u);
+  EXPECT_EQ(metrics.counter("retry/exhausted").value(), 0u);
+  EXPECT_EQ(metrics.counter("series/health/complete").value(),
+            kLast - kFirst + 1);
+}
+
+TEST(SupervisedRunTest, ExhaustedRetriesQuarantineAndSeriesContinues) {
+  const std::string path = temp_path("quarantine.ckpt");
+  obs::Registry metrics;
+  FaultInjector faults;
+  // Every attempt of snapshot kDamaged (the third in the window) fails:
+  // feed crossings 3, 4, and 5 with a retry budget of 2.
+  faults.fail_at(fault_stage::kFeed, 3)
+      .fail_at(fault_stage::kFeed, 4)
+      .fail_at(fault_stage::kFeed, 5);
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  supervisor.faults = &faults;
+  auto results = run_window(&metrics, supervisor);
+
+  ASSERT_EQ(results.size(), kLast - kFirst + 1);
+  const SnapshotResult& quarantined = results[kDamaged - kFirst];
+  EXPECT_EQ(quarantined.health, SnapshotHealth::kQuarantined);
+  EXPECT_FALSE(quarantined.usable());
+  EXPECT_TRUE(quarantined.per_hg.empty());
+  EXPECT_NE(quarantined.error.find("injected fault"), std::string::npos);
+
+  EXPECT_EQ(metrics.counter("retry/attempts").value(), 3u);
+  EXPECT_EQ(metrics.counter("retry/exhausted").value(), 1u);
+  EXPECT_EQ(metrics.counter("quarantine/snapshots").value(), 1u);
+  EXPECT_EQ(metrics.counter("series/health/quarantined").value(), 1u);
+  EXPECT_EQ(metrics.counter("series/snapshots").value(),
+            kLast - kFirst + 1);
+
+  // The series kept going: post-gap snapshots are complete and their
+  // default confirmed sets match the clean run (the carried Netflix
+  // recovery state only affects the §6.2 expired/HTTP variants).
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].snapshot == kDamaged) continue;
+    SCOPED_TRACE(results[i].snapshot);
+    EXPECT_EQ(results[i].health, SnapshotHealth::kComplete);
+    ASSERT_EQ(results[i].per_hg.size(), clean_window()[i].per_hg.size());
+    for (std::size_t h = 0; h < results[i].per_hg.size(); ++h) {
+      EXPECT_EQ(results[i].per_hg[h].confirmed_or_ases,
+                clean_window()[i].per_hg[h].confirmed_or_ases);
+    }
+  }
+
+  // Quarantine survives the checkpoint round trip, error text included.
+  const std::string digest =
+      run_digest(options_with(&metrics), scan::ScannerKind::kRapid7, kFirst);
+  RunState state = Checkpoint::load(path, digest);
+  ASSERT_EQ(state.results.size(), results.size());
+  EXPECT_EQ(state.results[kDamaged - kFirst].health,
+            SnapshotHealth::kQuarantined);
+  EXPECT_EQ(state.results[kDamaged - kFirst].error, quarantined.error);
+}
+
+TEST(SupervisedRunTest, CrashDuringCheckpointWriteKeepsPreviousCheckpoint) {
+  const std::string path = temp_path("crash_write.ckpt");
+  obs::Registry metrics;
+  FaultInjector faults;
+  // The second checkpoint publish dies after its temp write: the first
+  // snapshot's checkpoint must survive untouched.
+  faults.fail_at(fault_stage::kCheckpointWrite, 2);
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  supervisor.faults = &faults;
+  EXPECT_THROW(run_window(&metrics, supervisor), InjectedFault);
+
+  const std::string digest =
+      run_digest(options_with(&metrics), scan::ScannerKind::kRapid7, kFirst);
+  RunState state = Checkpoint::load(path, digest);
+  EXPECT_EQ(state.results.size(), 1u);
+  EXPECT_EQ(state.results[0].snapshot, kFirst);
+
+  // A leftover torn temp (what a hard kill leaves behind) is harmless:
+  // the next save simply overwrites it.
+  std::ofstream(path + ".tmp", std::ios::binary) << "torn garbage";
+  obs::Registry resumed_metrics;
+  SupervisorOptions resume;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  auto results = run_window(&resumed_metrics, resume);
+  EXPECT_EQ(results_fingerprint(results, kFirst),
+            results_fingerprint(clean_window(), kFirst));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SupervisedRunTest, RenameFaultIsACrashTooAndResumeRecovers) {
+  const std::string path = temp_path("crash_rename.ckpt");
+  obs::Registry metrics;
+  FaultInjector faults;
+  faults.fail_at(fault_stage::kArtifactRename, 2);
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  supervisor.faults = &faults;
+  EXPECT_THROW(run_window(&metrics, supervisor), InjectedFault);
+
+  obs::Registry resumed_metrics;
+  SupervisorOptions resume;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  auto results = run_window(&resumed_metrics, resume);
+  EXPECT_EQ(results_fingerprint(results, kFirst),
+            results_fingerprint(clean_window(), kFirst));
+}
+
+TEST(SupervisedRunTest, ResumeRejectsChangedRunConfiguration) {
+  const std::string path = temp_path("mismatch.ckpt");
+  obs::Registry metrics;
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  run_window(&metrics, supervisor);
+
+  PipelineOptions changed = options_with(nullptr);
+  changed.apply_cloudflare_ssl_filter = true;
+  LongitudinalRunner runner{changed};
+  SupervisorOptions resume;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  EXPECT_THROW(runner.run_supervised(load_feed, resume, kFirst, kLast),
+               CheckpointError);
+}
+
+TEST(SupervisedRunTest, ResumeRequiresPathAndExistingCheckpoint) {
+  LongitudinalRunner runner{PipelineOptions{}};
+  SupervisorOptions no_path;
+  no_path.resume = true;
+  EXPECT_THROW(runner.run_supervised(load_feed, no_path, kFirst, kLast),
+               std::invalid_argument);
+
+  SupervisorOptions missing;
+  missing.checkpoint_path = temp_path("never_written.ckpt");
+  missing.resume = true;
+  EXPECT_THROW(runner.run_supervised(load_feed, missing, kFirst, kLast),
+               CheckpointError);
+}
+
+TEST(SupervisedRunTest, ResumeOfACompleteRunRecomputesNothing) {
+  const std::string path = temp_path("complete.ckpt");
+  obs::Registry metrics;
+  SupervisorOptions supervisor;
+  supervisor.checkpoint_path = path;
+  auto results = run_window(&metrics, supervisor);
+
+  SupervisorOptions resume;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  obs::Registry resumed_metrics;
+  LongitudinalRunner runner{options_with(&resumed_metrics)};
+  auto restored = runner.run_supervised(
+      [](std::size_t t) -> SnapshotFeed {
+        ADD_FAILURE() << "feed called for snapshot " << t
+                      << " on a fully-checkpointed run";
+        return {};
+      },
+      resume, kFirst, kLast);
+  EXPECT_EQ(results_fingerprint(restored, kFirst),
+            results_fingerprint(results, kFirst));
+}
+
+/// The headline determinism contract over the full 31-snapshot study:
+/// a run interrupted during the checkpoint publish after snapshots
+/// {0, 15, 29} and then resumed — in a fresh "process" (new runner, new
+/// registry) and at a different thread count — ends with results,
+/// deterministic metrics, and final checkpoint state byte-identical to
+/// an uninterrupted run.
+TEST(SupervisedRunTest, InterruptAnywhereThenResumeIsByteIdentical) {
+  const std::size_t last = net::snapshot_count() - 1;
+  const std::string digest =
+      run_digest(options_with(nullptr), scan::ScannerKind::kRapid7, 0);
+
+  auto run_full = [&](obs::Registry* metrics, SupervisorOptions supervisor,
+                      std::size_t threads) {
+    LongitudinalRunner runner{options_with(metrics, threads)};
+    return runner.run_supervised(load_feed, supervisor, 0, last);
+  };
+
+  // Uninterrupted baseline at one thread.
+  const std::string baseline_path = temp_path("full_baseline.ckpt");
+  obs::Registry baseline_metrics;
+  SupervisorOptions baseline_opts;
+  baseline_opts.checkpoint_path = baseline_path;
+  auto baseline = run_full(&baseline_metrics, baseline_opts, 1);
+  const std::string baseline_results = results_fingerprint(baseline, 0);
+  const std::string baseline_json =
+      obs::MetricsExporter::deterministic_json(baseline_metrics);
+  const std::string baseline_ckpt =
+      checkpoint_fingerprint(baseline_path, digest);
+
+  // The same run at four threads is already byte-identical.
+  {
+    const std::string path = temp_path("full_threads4.ckpt");
+    obs::Registry metrics;
+    SupervisorOptions opts;
+    opts.checkpoint_path = path;
+    auto results = run_full(&metrics, opts, 4);
+    EXPECT_EQ(results_fingerprint(results, 0), baseline_results);
+    EXPECT_EQ(obs::MetricsExporter::deterministic_json(metrics),
+              baseline_json);
+    EXPECT_EQ(checkpoint_fingerprint(path, digest), baseline_ckpt);
+  }
+
+  // Crash during the publish after snapshot k (checkpoint-write
+  // crossing k + 2), resume at a different thread count than the crash.
+  struct CrashPoint {
+    std::size_t after_snapshot;
+    std::size_t crash_threads;
+    std::size_t resume_threads;
+  };
+  for (const CrashPoint& point :
+       {CrashPoint{0, 4, 1}, CrashPoint{15, 1, 4}, CrashPoint{29, 4, 1}}) {
+    SCOPED_TRACE(point.after_snapshot);
+    const std::string path = temp_path(
+        "full_crash_" + std::to_string(point.after_snapshot) + ".ckpt");
+    {
+      obs::Registry metrics;
+      FaultInjector faults;
+      faults.fail_at(fault_stage::kCheckpointWrite,
+                     point.after_snapshot + 2);
+      SupervisorOptions opts;
+      opts.checkpoint_path = path;
+      opts.faults = &faults;
+      EXPECT_THROW(run_full(&metrics, opts, point.crash_threads),
+                   InjectedFault);
+    }
+    // The surviving checkpoint covers snapshots [0, after_snapshot].
+    EXPECT_EQ(Checkpoint::load(path, digest).results.size(),
+              point.after_snapshot + 1);
+
+    obs::Registry metrics;  // a resumed process starts from nothing
+    SupervisorOptions opts;
+    opts.checkpoint_path = path;
+    opts.resume = true;
+    auto results = run_full(&metrics, opts, point.resume_threads);
+    EXPECT_EQ(results_fingerprint(results, 0), baseline_results);
+    EXPECT_EQ(obs::MetricsExporter::deterministic_json(metrics),
+              baseline_json);
+    EXPECT_EQ(checkpoint_fingerprint(path, digest), baseline_ckpt);
+  }
+}
+
+}  // namespace
+}  // namespace offnet::core

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/pipeline.h"
+#include "io/atomic_file.h"
 #include "io/loaders.h"
 
 namespace offnet::io {
@@ -343,6 +347,98 @@ TEST(IoTest, EndToEndPipelineOnLoadedData) {
   EXPECT_EQ(google->confirmed_or_ases.size(), 1u);
   // Invalid certificates counted.
   EXPECT_EQ(result.stats.invalid_cert_ips, 2u);
+}
+
+std::string atomic_path(const std::string& name) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  // TempDir is shared across test runs: start from a clean slate.
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  return path;
+}
+
+std::string file_contents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicFileTest, NothingVisibleUntilCommit) {
+  const std::string path = atomic_path("visible.txt");
+  AtomicFile file(path);
+  file.stream() << "payload\n";
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(file.temp_path()));
+  file.commit();
+  EXPECT_TRUE(file.committed());
+  EXPECT_EQ(file_contents(path), "payload\n");
+  EXPECT_FALSE(std::filesystem::exists(file.temp_path()));
+}
+
+TEST(AtomicFileTest, AbandonedWriteLeavesNoTrace) {
+  const std::string path = atomic_path("abandoned.txt");
+  {
+    AtomicFile file(path);
+    file.stream() << "half-written";
+    // destroyed without commit(): the crash / early-exit path
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileTest, PreviousArtifactSurvivesUntilCommit) {
+  const std::string path = atomic_path("replace.txt");
+  AtomicFile::write(path, "old contents");
+  {
+    AtomicFile file(path);
+    file.stream() << "new contents";
+    EXPECT_EQ(file_contents(path), "old contents");
+  }  // abandoned: the old artifact must be untouched
+  EXPECT_EQ(file_contents(path), "old contents");
+  AtomicFile::write(path, "new contents");
+  EXPECT_EQ(file_contents(path), "new contents");
+}
+
+TEST(AtomicFileTest, LeftoverTempFromACrashIsTruncated) {
+  const std::string path = atomic_path("leftover.txt");
+  std::ofstream(path + ".tmp", std::ios::binary) << "torn garbage bytes";
+  AtomicFile file(path);
+  file.stream() << "clean";
+  file.commit();
+  EXPECT_EQ(file_contents(path), "clean");
+}
+
+TEST(AtomicFileTest, UnwritableDirectoryThrowsOnOpen) {
+  EXPECT_THROW(AtomicFile("/nonexistent-dir-8472/artifact.txt"),
+               std::runtime_error);
+  EXPECT_THROW(AtomicFile::write("/nonexistent-dir-8472/artifact.txt", "x"),
+               std::runtime_error);
+}
+
+TEST(AtomicFileTest, CommitHookRunsBeforeRename) {
+  const std::string path = atomic_path("hooked.txt");
+  AtomicFile::write(path, "previous");
+  try {
+    AtomicFile file(path);
+    file.stream() << "next";
+    file.set_commit_hook([] { throw std::runtime_error("injected crash"); });
+    file.commit();
+    FAIL() << "commit() should have propagated the hook's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected crash");
+  }
+  // The crash hit between flush and rename: previous artifact intact.
+  EXPECT_EQ(file_contents(path), "previous");
+}
+
+TEST(AtomicFileTest, CommitTwiceIsAnError) {
+  const std::string path = atomic_path("twice.txt");
+  AtomicFile file(path);
+  file.stream() << "once";
+  file.commit();
+  EXPECT_THROW(file.commit(), std::logic_error);
 }
 
 }  // namespace

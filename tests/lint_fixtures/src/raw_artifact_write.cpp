@@ -1,0 +1,14 @@
+// Fixture: raw-artifact-write — artifact files written in place instead
+// of being published through io::AtomicFile.
+#include <cstdio>
+#include <fstream>
+
+void write_report(const char* path) {
+  std::ofstream out(path);
+  out << "results\n";
+}
+
+void write_log(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) std::fclose(f);
+}

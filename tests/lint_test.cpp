@@ -113,6 +113,37 @@ TEST(LintRules, UnorderedIterOnlyAppliesToSrc) {
   EXPECT_TRUE(lint_file("bench/unordered_iter.cpp", text).empty());
 }
 
+TEST(LintRules, RawArtifactWriteFixture) {
+  auto findings = lint_fixture("src/raw_artifact_write.cpp",
+                               "src/io/raw_artifact_write.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"raw-artifact-write",
+                                      "raw-artifact-write"}));
+  EXPECT_EQ(findings[0].line, 7u);   // std::ofstream
+  EXPECT_EQ(findings[1].line, 12u);  // std::fopen
+  EXPECT_NE(findings[0].message.find("io::AtomicFile"), std::string::npos);
+}
+
+TEST(LintRules, RawArtifactWriteAppliesToTools) {
+  const std::string text =
+      read_file(fixture_path("src/raw_artifact_write.cpp"));
+  EXPECT_EQ(lint_file("tools/offnet_cli.cpp", text).size(), 2u);
+}
+
+TEST(LintRules, RawArtifactWriteSkipsTestsAndBench) {
+  const std::string text =
+      read_file(fixture_path("src/raw_artifact_write.cpp"));
+  EXPECT_TRUE(lint_file("tests/scratch_test.cpp", text).empty());
+  EXPECT_TRUE(lint_file("bench/bench_common.cpp", text).empty());
+}
+
+TEST(LintRules, RawArtifactWriteSuppressible) {
+  const std::string text =
+      "// offnet-lint: allow(raw-artifact-write): scratch file\n"
+      "std::ofstream out(path);\n";
+  EXPECT_TRUE(lint_file("src/io/example.cpp", text).empty());
+}
+
 TEST(LintRules, FloatEqFixture) {
   auto findings =
       lint_fixture("tests/float_eq_test.cpp", "tests/float_eq_test.cpp");

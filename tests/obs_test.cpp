@@ -179,11 +179,73 @@ TEST(ExporterTest, EscapesNamesAndRoundTripsDoubles) {
   EXPECT_NE(json.find("\"bounds\": [0.1]"), std::string::npos);
 }
 
-TEST(ExporterTest, WriteFileThrowsOnBadPath) {
-  Registry registry;
-  EXPECT_THROW(
-      MetricsExporter::write_file(registry, "/nonexistent-dir/metrics.json"),
-      std::runtime_error);
+TEST(RegistryTest, AbsorbRestoresAnEmptyRegistry) {
+  Registry original;
+  original.counter("hits").add(7);
+  original.gauge("level").set(-3);
+  Histogram& hist = original.histogram("sizes", {1.0, 10.0});
+  hist.observe(0.5);
+  hist.observe(5.0);
+  hist.observe(100.0);
+  original.record_timing("stage", 0.25);
+  original.record_timing("stage", 0.75);
+
+  Registry restored;
+  restored.absorb(original.snapshot());
+  // The restored registry renders identically, timing section included.
+  EXPECT_EQ(MetricsExporter::to_json(restored),
+            MetricsExporter::to_json(original));
+}
+
+TEST(RegistryTest, AbsorbAddsCountsAndAdoptsGaugeLevels) {
+  Registry donor;
+  donor.counter("hits").add(5);
+  donor.gauge("level").set(9);
+  donor.histogram("sizes", {1.0}).observe(0.5);
+
+  Registry target;
+  target.counter("hits").add(2);
+  target.gauge("level").set(4);
+  target.histogram("sizes", {1.0}).observe(100.0);
+  target.absorb(donor.snapshot());
+
+  EXPECT_EQ(target.counter("hits").value(), 7u);   // counters accumulate
+  EXPECT_EQ(target.gauge("level").value(), 9);     // gauges are levels
+  Histogram& hist = target.histogram("sizes", {1.0});
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.bucket_counts(), (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(RegistryTest, AbsorbMergesTimingStats) {
+  Registry donor;
+  donor.record_timing("stage", 0.5);
+
+  Registry target;
+  target.record_timing("stage", 2.0);
+  target.record_timing("stage", 1.0);
+  target.absorb(donor.snapshot());
+
+  const TimingStat stat = target.snapshot().timings.at("stage");
+  EXPECT_EQ(stat.calls, 3u);
+  EXPECT_DOUBLE_EQ(stat.total_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(stat.min_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(stat.max_seconds, 2.0);
+}
+
+TEST(RegistryTest, AbsorbRejectsHistogramBoundsMismatch) {
+  Registry donor;
+  donor.histogram("sizes", {1.0, 2.0}).observe(1.5);
+
+  Registry target;
+  target.histogram("sizes", {1.0, 3.0}).observe(1.5);
+  EXPECT_THROW(target.absorb(donor.snapshot()), std::invalid_argument);
+}
+
+TEST(RegistryTest, HistogramAddBucketRejectsBadIndex) {
+  Histogram hist({1.0, 2.0});
+  hist.add_bucket(2, 4);  // the overflow bucket is valid
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_THROW(hist.add_bucket(3, 1), std::out_of_range);
 }
 
 }  // namespace

@@ -58,6 +58,54 @@ TEST(ThreadPoolTest, ExceptionPropagatesAfterAllTasksRan) {
   for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
 }
 
+TEST(ThreadPoolTest, SingleFailurePreservesExceptionType) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([i] {
+      if (i == 2) throw std::out_of_range("just this one");
+    });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::out_of_range);
+}
+
+TEST(ThreadPoolTest, MultipleFailuresAreCountedNotSwallowed) {
+  ThreadPool pool(3);
+  constexpr std::size_t kTasks = 8;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([i, &runs] {
+      ++runs[i];
+      // Identical messages: which failure is reported first is scheduling
+      // dependent, but the suppressed count is not.
+      if (i % 2 == 1) throw std::runtime_error("boom");
+    });
+  }
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "run_all should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom (and 3 more task failures suppressed)");
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, FailedBatchDoesNotPoisonTheNext) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> bad;
+  for (int i = 0; i < 3; ++i) {
+    bad.push_back([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.run_all(std::move(bad)), std::runtime_error);
+
+  std::atomic<int> runs{0};
+  std::vector<std::function<void()>> good;
+  for (int i = 0; i < 3; ++i) good.push_back([&runs] { ++runs; });
+  pool.run_all(std::move(good));
+  EXPECT_EQ(runs.load(), 3);
+}
+
 TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> inner_runs{0};

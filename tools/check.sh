@@ -71,6 +71,50 @@ for key in \
 done
 echo "metrics smoke OK: all required stage keys present"
 
+step "crash-resume smoke (series --checkpoint-dir / --resume)"
+# Start a supervised series, hard-kill it mid checkpoint publish
+# (--crash-after aborts with std::_Exit during the (N+1)th publish),
+# resume from the surviving checkpoint, and require the resumed run's
+# report and deterministic metrics to be byte-identical to an
+# uninterrupted run's. The timing section is wall-clock and is stripped
+# before the metrics diff.
+crash_dir="$build_dir/crash-smoke"
+rm -rf "$crash_dir"
+mkdir -p "$crash_dir/ckpt-full" "$crash_dir/ckpt-crash"
+"$build_dir/tools/offnet_cli" series --root "$smoke_dir/data" \
+    --checkpoint-dir "$crash_dir/ckpt-full" \
+    --metrics-out "$crash_dir/full-metrics.json" \
+    > "$crash_dir/full.txt"
+rc=0
+"$build_dir/tools/offnet_cli" series --root "$smoke_dir/data" \
+    --checkpoint-dir "$crash_dir/ckpt-crash" \
+    --crash-after 15 > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 70 ]; then
+  echo "check.sh: crash-resume smoke FAILED: expected abort exit 70, got $rc" >&2
+  exit 1
+fi
+if [ ! -f "$crash_dir/ckpt-crash/checkpoint.offnet" ]; then
+  echo "check.sh: crash-resume smoke FAILED: no checkpoint survived the kill" >&2
+  exit 1
+fi
+"$build_dir/tools/offnet_cli" series --root "$smoke_dir/data" \
+    --checkpoint-dir "$crash_dir/ckpt-crash" --resume \
+    --metrics-out "$crash_dir/resumed-metrics.json" \
+    > "$crash_dir/resumed.txt"
+if ! cmp -s "$crash_dir/full.txt" "$crash_dir/resumed.txt"; then
+  echo "check.sh: crash-resume smoke FAILED: resumed report differs" >&2
+  diff "$crash_dir/full.txt" "$crash_dir/resumed.txt" >&2 || true
+  exit 1
+fi
+sed '/"timing"/,$d' "$crash_dir/full-metrics.json" > "$crash_dir/full-metrics.stripped"
+sed '/"timing"/,$d' "$crash_dir/resumed-metrics.json" > "$crash_dir/resumed-metrics.stripped"
+if ! cmp -s "$crash_dir/full-metrics.stripped" "$crash_dir/resumed-metrics.stripped"; then
+  echo "check.sh: crash-resume smoke FAILED: resumed metrics differ" >&2
+  diff "$crash_dir/full-metrics.stripped" "$crash_dir/resumed-metrics.stripped" >&2 || true
+  exit 1
+fi
+echo "crash-resume smoke OK: resumed report and metrics are byte-identical"
+
 step "clang-tidy"
 "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
 

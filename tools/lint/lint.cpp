@@ -18,6 +18,7 @@ const char* const kKnownRules[] = {
     "nondet-rand",   "nondet-clock",     "raw-lock",
     "unordered-iter", "float-eq",         "include-quoted",
     "include-relative", "pragma-once",    "bad-suppression",
+    "raw-artifact-write",
 };
 
 bool known_rule(std::string_view rule) {
@@ -527,6 +528,30 @@ void rule_float_eq(const std::string& path, const Stripped& s,
   }
 }
 
+void rule_raw_artifact_write(const std::string& path, const Stripped& s,
+                             std::vector<Finding>& out) {
+  // Final artifacts are produced by src/ and tools/ code; tests and
+  // benches write scratch files and are out of scope. io::AtomicFile
+  // itself carries the one sanctioned suppression.
+  if (!has_dir(path, "src") && !has_dir(path, "tools")) return;
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::string_view what;
+    if (word_at(code, i, "ofstream")) {
+      what = "ofstream";
+    } else if (word_at(code, i, "fopen")) {
+      const std::size_t after = skip_spaces(code, i + 5);
+      if (after < code.size() && code[after] == '(') what = "fopen";
+    }
+    if (what.empty()) continue;
+    out.push_back({path, s.line_of(i), "raw-artifact-write",
+                   "raw file write (" + std::string(what) +
+                       ") in artifact-producing code; a crash here leaves "
+                       "a torn file — publish through io::AtomicFile"});
+    i += what.size();
+  }
+}
+
 void rule_includes(const std::string& path, const Stripped& s,
                    std::vector<Finding>& out) {
   static const char* const kRepoDirs[] = {
@@ -643,6 +668,7 @@ std::vector<Finding> lint_file(
   rule_raw_lock(path, stripped, raw);
   rule_unordered_iter(path, stripped, extra_unordered_names, raw);
   rule_float_eq(path, stripped, raw);
+  rule_raw_artifact_write(path, stripped, raw);
   rule_includes(path, stripped, raw);
 
   std::vector<Finding> out;

@@ -21,6 +21,10 @@
 ///   include-relative include paths containing ".."
 ///   pragma-once      header missing #pragma once
 ///   bad-suppression  allow(...) comment without a justification
+///   raw-artifact-write  ofstream/fopen in src/ or tools/ — final
+///                    artifacts must be published via io::AtomicFile
+///                    (write-to-temp + flush + rename), never written
+///                    in place
 ///
 /// Suppressions: `// offnet-lint: allow(rule-id): justification` on the
 /// offending line, or alone on the line directly above it. The

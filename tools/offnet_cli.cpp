@@ -24,13 +24,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/fault.h"
 #include "core/longitudinal.h"
 #include "core/pipeline.h"
+#include "io/atomic_file.h"
 #include "io/exporter.h"
 #include "io/loaders.h"
 #include "net/table.h"
@@ -56,7 +60,8 @@ struct Args {
 constexpr std::string_view kKnownFlags[] = {
     "scale", "seed", "month",      "scanner",
     "out",   "dir",  "root",       "permissive", "max-error-fraction",
-    "threads", "metrics-out"};
+    "threads", "metrics-out",
+    "checkpoint-dir", "resume", "max-retries", "crash-after"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -92,10 +97,20 @@ int usage() {
                "[--max-error-fraction F] [--threads N]\n"
                "  series   --root DIR [--permissive] "
                "[--max-error-fraction F] [--threads N]\n"
+               "           [--checkpoint-dir DIR] [--resume] "
+               "[--max-retries N] [--crash-after N]\n"
                "  --threads N: pipeline worker threads (0 = all hardware "
                "threads); results are identical at any N\n"
                "  --metrics-out FILE: write pipeline metrics (stage counts, "
-               "drop reasons, timings) as JSON; all commands\n");
+               "drop reasons, timings) as JSON; all commands\n"
+               "  --checkpoint-dir DIR: supervised series; save the run's "
+               "checkpoint to DIR after every snapshot\n"
+               "  --resume: restore the checkpoint and continue where the "
+               "previous run stopped\n"
+               "  --max-retries N: attempts per failing snapshot before it "
+               "is quarantined (default 2 retries)\n"
+               "  --crash-after N: testing aid; hard-kill the run during "
+               "the (N+1)th checkpoint publish\n");
   return 2;
 }
 
@@ -135,8 +150,21 @@ io::ReadOptions read_options_from(const Args& args) {
 void maybe_write_metrics(const Args& args, obs::Registry& metrics) {
   if (!args.has("metrics-out")) return;
   const char* path = args.get("metrics-out", "");
-  obs::MetricsExporter::write_file(metrics, path);
+  io::AtomicFile::write(path, obs::MetricsExporter::to_json(metrics));
   std::fprintf(stderr, "wrote metrics to %s\n", path);
+}
+
+std::size_t parse_count(const Args& args, const char* flag,
+                        std::size_t max) {
+  const char* text = args.get(flag, "");
+  char* end = nullptr;
+  unsigned long n = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || n > max) {
+    throw std::runtime_error(std::string("--") + flag +
+                             " must be an integer in [0, " +
+                             std::to_string(max) + "]");
+  }
+  return static_cast<std::size_t>(n);
 }
 
 void print_result(const topo::Topology& topology,
@@ -208,19 +236,11 @@ int cmd_export(const Args& args) {
   std::size_t t = snapshot_from(args);
   auto snap = world.scan(t, scan::ScannerKind::kRapid7);
 
-  auto open = [&dir](const char* name) {
-    std::ofstream out(dir + "/" + name);
-    if (!out) throw std::runtime_error(std::string("cannot write ") + name);
-    return out;
-  };
-  std::ofstream rel = open("relationships.txt");
-  std::ofstream org = open("organizations.txt");
-  std::ofstream pfx = open("prefix2as.txt");
-  std::ofstream certs = open("certificates.tsv");
-  std::ofstream hosts = open("hosts.tsv");
-  std::ofstream headers = open("headers.tsv");
-  io::export_dataset(world, snap,
-                     io::ExportStreams{rel, org, pfx, certs, hosts, headers});
+  // Atomic publication: each file is written to a temp next to its
+  // final name and renamed only after a verified flush, so a failed or
+  // interrupted export never leaves torn dataset files ("silent success"
+  // on a full disk was a real bug here).
+  io::export_dataset_to_dir(world, snap, dir);
   obs::Registry metrics;
   metrics.counter("export/cert_records").add(snap.certs().size());
   metrics.counter("export/files").add(6);
@@ -305,16 +325,60 @@ int cmd_series(const Args& args) {
   core::PipelineOptions pipeline_options = pipeline_options_from(args);
   pipeline_options.metrics = &metrics;
   core::LongitudinalRunner runner{pipeline_options};
+
+  // Any supervision flag selects the crash-safe runner; a plain series
+  // keeps the original fail-fast behaviour.
+  const bool supervised = args.has("checkpoint-dir") || args.has("resume") ||
+                          args.has("max-retries") || args.has("crash-after");
+  std::vector<core::SnapshotResult> results;
+  core::FaultInjector faults;
+  if (supervised) {
+    core::SupervisorOptions supervisor;
+    if (args.has("checkpoint-dir")) {
+      const std::string checkpoint_dir = args.get("checkpoint-dir", "");
+      std::filesystem::create_directories(checkpoint_dir);
+      supervisor.checkpoint_path = checkpoint_dir + "/checkpoint.offnet";
+    }
+    supervisor.resume = args.has("resume");
+    if (supervisor.resume && supervisor.checkpoint_path.empty()) {
+      throw std::runtime_error("--resume needs --checkpoint-dir");
+    }
+    if (args.has("max-retries")) {
+      supervisor.max_retries = parse_count(args, "max-retries", 100);
+    }
+    if (args.has("crash-after")) {
+      if (supervisor.checkpoint_path.empty()) {
+        throw std::runtime_error("--crash-after needs --checkpoint-dir");
+      }
+      // Die mid-publish of the (N+1)th checkpoint: after its temp file
+      // is written, before the rename — the previous checkpoint stays
+      // intact next to a torn .tmp, exactly like a power cut.
+      faults.fail_at(core::fault_stage::kCheckpointWrite,
+                     parse_count(args, "crash-after", 1000000) + 1,
+                     /*abort=*/true);
+      supervisor.faults = &faults;
+    }
+    results = runner.run_supervised(feed, supervisor, 0, months.size() - 1);
+  } else {
+    results = runner.run_loaded(feed, 0, months.size() - 1);
+  }
+
   net::TextTable table({"snapshot", "health", "lines read", "lines skipped",
                         "confirmed off-net ASes"});
   std::size_t usable = 0;
-  auto results = runner.run_loaded(feed, 0, months.size() - 1);
+  std::size_t quarantined = 0;
   for (const core::SnapshotResult& result : results) {
     std::size_t confirmed = 0;
     for (const core::HgFootprint& fp : result.per_hg) {
       confirmed += fp.confirmed_ases().size();
     }
     if (result.usable()) ++usable;
+    if (result.health == core::SnapshotHealth::kQuarantined) {
+      ++quarantined;
+      std::fprintf(stderr, "%s: quarantined: %s\n",
+                   months[result.snapshot].to_string().c_str(),
+                   result.error.c_str());
+    }
     table.add(months[result.snapshot].to_string(),
               core::to_string(result.health), result.load_report.lines_ok(),
               result.load_report.lines_skipped(),
@@ -323,7 +387,26 @@ int cmd_series(const Args& args) {
   std::fputs(table.to_string().c_str(), stdout);
   maybe_write_metrics(args, metrics);
   std::printf("\n%zu of %zu snapshots usable\n", usable, results.size());
+  if (quarantined > 0) {
+    std::printf("%zu snapshots quarantined after exhausting retries\n",
+                quarantined);
+  }
   return usable > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+namespace {
+
+/// Buffered stdio swallows write errors (e.g. a full disk behind a
+/// redirected stdout) unless somebody checks; a report that was never
+/// delivered must not exit 0.
+int checked_stdout(int rc) {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: writing to standard output failed\n");
+    return rc == 0 ? 1 : rc;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -332,10 +415,10 @@ int main(int argc, char** argv) {
   auto args = parse_args(argc, argv);
   if (!args) return usage();
   try {
-    if (args->command == "simulate") return cmd_simulate(*args);
-    if (args->command == "export") return cmd_export(*args);
-    if (args->command == "analyze") return cmd_analyze(*args);
-    if (args->command == "series") return cmd_series(*args);
+    if (args->command == "simulate") return checked_stdout(cmd_simulate(*args));
+    if (args->command == "export") return checked_stdout(cmd_export(*args));
+    if (args->command == "analyze") return checked_stdout(cmd_analyze(*args));
+    if (args->command == "series") return checked_stdout(cmd_series(*args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
