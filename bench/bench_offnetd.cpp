@@ -1,0 +1,254 @@
+// bench_offnetd: load generator for the offnetd service layer
+// (DESIGN.md §11). Phase 1 drives an in-process svc::Server with
+// concurrent query clients over a unix-domain socket and reports the
+// request-latency distribution from the server's own svc/latency_us
+// histogram (the same obs:: registry offnetd exports with --metrics-out).
+// Phase 2 deliberately overloads a 1-worker/1-slot server and verifies
+// the admission queue sheds with explicit BUSY responses — shed counts
+// come from the registry, not from client-side bookkeeping, so the bench
+// doubles as a check that the observability story is wired end to end.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "net/date.h"
+#include "net/rng.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "svc/client.h"
+#include "svc/server.h"
+#include "svc/service_snapshot.h"
+
+using namespace offnet;
+
+namespace {
+
+/// A full-shape synthetic snapshot: the paper's 23 Hypergiants over the
+/// 31 study months, with footprint sizes drawn from a seeded RNG. The
+/// bench measures the service layer, not the pipeline, so the data only
+/// needs realistic cardinalities — not realistic values.
+std::shared_ptr<const svc::ServiceSnapshot> build_snapshot() {
+  net::Rng rng(42);
+  const std::vector<core::HgInput> hgs = core::standard_hg_inputs();
+  const std::size_t n_months = net::study_snapshots().size();
+  std::vector<core::SnapshotResult> results;
+  for (std::size_t t = 0; t < n_months; ++t) {
+    core::SnapshotResult result;
+    result.snapshot = t;
+    result.health = core::SnapshotHealth::kComplete;
+    for (const core::HgInput& hg : hgs) {
+      core::HgFootprint fp;
+      fp.name = hg.name;
+      fp.onnet_ips = static_cast<std::size_t>(rng.uniform(100, 5000));
+      fp.candidate_ips = static_cast<std::size_t>(rng.uniform(50, 2000));
+      fp.confirmed_ips =
+          static_cast<std::size_t>(rng.uniform(0, 50)) * fp.candidate_ips /
+          50;
+      const std::size_t n_ases =
+          static_cast<std::size_t>(rng.uniform(5, 400));
+      std::uint32_t as_id = 0;
+      for (std::size_t i = 0; i < n_ases; ++i) {
+        as_id += static_cast<std::uint32_t>(rng.uniform(1, 40));
+        fp.candidate_ases.push_back(as_id);
+        if (rng.uniform(0, 100) < 60) fp.confirmed_or_ases.push_back(as_id);
+      }
+      result.per_hg.push_back(std::move(fp));
+    }
+    results.push_back(std::move(result));
+  }
+  return svc::ServiceSnapshot::from_results("bench-synthetic", results);
+}
+
+std::string socket_path(const char* phase) {
+  return (std::filesystem::temp_directory_path() /
+          ("bench_offnetd_" + std::to_string(::getpid()) + "_" + phase +
+           ".sock"))
+      .string();
+}
+
+/// Latency percentile as the upper bound of the first histogram bucket
+/// containing the target rank (overflow reports the last finite bound).
+double percentile_us(const obs::RegistrySnapshot::HistogramData& histogram,
+                     double p) {
+  if (histogram.count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(histogram.count - 1) / 100.0);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+    seen += histogram.buckets[b];
+    if (seen > target) {
+      return b < histogram.bounds.size() ? histogram.bounds[b]
+                                         : histogram.bounds.back();
+    }
+  }
+  return histogram.bounds.back();
+}
+
+int run() {
+  const bool fast = bench::fast_mode();
+  const std::string month = net::study_snapshots()[0].to_string();
+  auto snapshot = build_snapshot();
+  std::vector<bench::TimingSample> samples;
+
+  // --- Phase 1: query latency under concurrent well-behaved clients ---
+  bench::heading("offnetd query latency (4 workers, 4 client threads)");
+  obs::Registry query_metrics;
+  const std::size_t n_clients = 4;
+  const std::size_t n_requests = fast ? 500 : 2000;
+  {
+    svc::ServerOptions options;
+    options.endpoint = svc::Endpoint::unix_socket(socket_path("query"));
+    options.n_workers = 4;
+    options.queue_capacity = 64;
+    options.default_deadline_ms = 10'000;
+    options.metrics = &query_metrics;
+    svc::Server server(options, snapshot);
+    server.start();
+
+    const std::vector<std::string> mix = {
+        "PING",
+        "INFO",
+        "FOOTPRINT " + month + " Google",
+        "COVERAGE " + month,
+        "COHOST " + month + " 17",
+    };
+    const double seconds = bench::wall_seconds([&] {
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+          svc::Client client(server.bound_endpoint(), 30'000);
+          for (std::size_t i = 0; i < n_requests; ++i) {
+            auto response = client.request(mix[(c + i) % mix.size()]);
+            if (!response || response->rfind("OK", 0) != 0) {
+              std::fprintf(stderr, "unexpected response: %s\n",
+                           response ? response->c_str() : "<none>");
+              std::exit(1);
+            }
+          }
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    });
+    server.request_drain();
+    if (!server.join()) {
+      std::fprintf(stderr, "query-phase drain was not clean\n");
+      return 1;
+    }
+    samples.push_back({"offnetd.query", n_clients, seconds});
+
+    const obs::RegistrySnapshot stats = query_metrics.snapshot();
+    const auto latency =
+        stats.histograms.find(svc::metric_names::kLatencyUs);
+    if (latency == stats.histograms.end() || latency->second.count == 0) {
+      std::fprintf(stderr, "no svc/latency_us histogram in the registry\n");
+      return 1;
+    }
+    net::TextTable table({"metric", "value"});
+    table.add("requests", n_clients * n_requests);
+    table.add("wall seconds", seconds);
+    table.add("requests/sec",
+              static_cast<double>(n_clients * n_requests) / seconds);
+    table.add("p50 latency (us, bucket bound)",
+              percentile_us(latency->second, 50));
+    table.add("p90 latency (us, bucket bound)",
+              percentile_us(latency->second, 90));
+    table.add("p99 latency (us, bucket bound)",
+              percentile_us(latency->second, 99));
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  // --- Phase 2: overload shedding on a deliberately tiny server ---
+  bench::heading("offnetd overload shedding (1 worker, queue depth 1)");
+  obs::Registry overload_metrics;
+  std::uint64_t shed_busy = 0;
+  std::uint64_t served_ok = 0;
+  {
+    svc::ServerOptions options;
+    options.endpoint = svc::Endpoint::unix_socket(socket_path("overload"));
+    options.n_workers = 1;
+    options.queue_capacity = 1;
+    options.default_deadline_ms = 10'000;
+    options.enable_sleep = true;
+    options.metrics = &overload_metrics;
+    svc::Server server(options, snapshot);
+    server.start();
+
+    // One connection keeps the only worker busy; every other connection
+    // either takes the single queue slot or must be shed with BUSY.
+    std::atomic<bool> stop_blocking{false};
+    std::thread blocker([&] {
+      svc::Client client(server.bound_endpoint(), 30'000);
+      while (!stop_blocking.load(std::memory_order_relaxed)) {
+        if (!client.request("SLEEP 50")) return;
+      }
+      (void)client.request("QUIT");
+    });
+
+    const std::size_t n_threads = 4;
+    const std::size_t n_attempts = fast ? 50 : 200;
+    const double seconds = bench::wall_seconds([&] {
+      std::vector<std::thread> attackers;
+      for (std::size_t a = 0; a < n_threads; ++a) {
+        attackers.emplace_back([&] {
+          for (std::size_t i = 0; i < n_attempts; ++i) {
+            // A fresh connection per attempt: admission is per
+            // connection, so only reconnects exercise the queue bound.
+            svc::Client client(server.bound_endpoint(), 30'000);
+            (void)client.request("PING");
+          }
+        });
+      }
+      for (std::thread& attacker : attackers) attacker.join();
+    });
+    stop_blocking.store(true, std::memory_order_relaxed);
+    blocker.join();
+    server.request_drain();
+    if (!server.join()) {
+      std::fprintf(stderr, "overload-phase drain was not clean\n");
+      return 1;
+    }
+    samples.push_back({"offnetd.overload", n_threads, seconds});
+
+    const obs::RegistrySnapshot stats = overload_metrics.snapshot();
+    auto count = [&stats](const char* name) {
+      auto it = stats.counters.find(name);
+      return it == stats.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    shed_busy = count(svc::metric_names::kShedBusy);
+    served_ok = count(svc::metric_names::kResponsesOk);
+    net::TextTable table({"metric", "value"});
+    table.add("connection attempts", n_threads * n_attempts);
+    table.add("shed BUSY (svc/shed/busy)", shed_busy);
+    table.add("shed at admission (svc/shed/deadline)",
+              count(svc::metric_names::kShedDeadline));
+    table.add("served OK", served_ok);
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+  if (shed_busy == 0) {
+    std::fprintf(stderr,
+                 "overload produced zero queue-full sheds — the admission "
+                 "bound is not working\n");
+    return 1;
+  }
+
+  bench::heading("service registry (query phase, exporter JSON)");
+  std::fputs(obs::MetricsExporter::to_json(query_metrics).c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  bench::write_bench_json("offnetd", "BENCH_offnetd.json", samples);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

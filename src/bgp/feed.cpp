@@ -87,10 +87,9 @@ const Ip2AsMap& Ip2AsSeries::at(std::size_t snapshot) const {
   return *share_locked(snapshot);
 }
 
-std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share(
-    std::size_t snapshot) const {
+core::Pinned<Ip2AsMap> Ip2AsSeries::share(std::size_t snapshot) const {
   core::MutexLock lock(mutex_);
-  return share_locked(snapshot);
+  return core::Pinned<Ip2AsMap>(share_locked(snapshot));
 }
 
 std::shared_ptr<const Ip2AsMap> Ip2AsSeries::share_locked(

@@ -8,6 +8,7 @@
 #include "bgp/ip2as.h"
 #include "bgp/route.h"
 #include "core/mutex.h"
+#include "core/pinned.h"
 #include "core/thread_annotations.h"
 #include "topology/topology.h"
 
@@ -71,9 +72,9 @@ class Ip2AsSeries final : public Ip2AsOracle {
   const Ip2AsMap& at(std::size_t snapshot) const override
       OFFNET_EXCLUDES(mutex_);
 
-  /// Eviction-safe access: the returned pointer owns the map
-  /// independently of the internal LRU.
-  std::shared_ptr<const Ip2AsMap> share(std::size_t snapshot) const
+  /// Eviction-safe access: the returned pin owns the map independently
+  /// of the internal LRU (the core::Pinned idiom — see core/pinned.h).
+  core::Pinned<Ip2AsMap> share(std::size_t snapshot) const
       OFFNET_EXCLUDES(mutex_);
 
   Ip2AsBuilder::Stats stats_at(std::size_t snapshot) const

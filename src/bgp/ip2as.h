@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/pinned.h"
 #include "net/asn.h"
 #include "net/ipv4.h"
 #include "net/prefix.h"
@@ -87,15 +88,18 @@ class FixedIp2As final : public Ip2AsOracle {
 /// One shared, immutable map answering for every snapshot. Produced by
 /// Ip2AsSeries::share for the parallel longitudinal runner: each
 /// in-flight snapshot pins its own map, so the series' LRU may evict
-/// freely while workers run.
+/// freely while workers run. This is the original instance of the
+/// core::Pinned pinning idiom, which svc::VersionedStore generalizes
+/// into an RCU-style snapshot swap (DESIGN.md §11).
 class PinnedIp2As final : public Ip2AsOracle {
  public:
+  explicit PinnedIp2As(core::Pinned<Ip2AsMap> map) : map_(std::move(map)) {}
   explicit PinnedIp2As(std::shared_ptr<const Ip2AsMap> map)
-      : map_(std::move(map)) {}
+      : map_(core::Pinned<Ip2AsMap>(std::move(map))) {}
   const Ip2AsMap& at(std::size_t) const override { return *map_; }
 
  private:
-  std::shared_ptr<const Ip2AsMap> map_;
+  core::Pinned<Ip2AsMap> map_;
 };
 
 /// Applies the paper's cleaning rules to monthly collector feeds:

@@ -602,8 +602,10 @@ RunState Checkpoint::decode(std::string_view content,
   }
 
   // Only now compare digests: a torn file should report corruption, not
-  // a spurious configuration mismatch.
-  if (digest != expected_digest) {
+  // a spurious configuration mismatch. An empty expected digest accepts
+  // any configuration — the read-only consumer contract (offnetd serves
+  // whatever results the checkpoint holds; it never resumes the run).
+  if (!expected_digest.empty() && digest != expected_digest) {
     throw CheckpointError(
         "checkpoint: run configuration mismatch — saved under '" + digest +
         "', resuming run expects '" + expected_digest +

@@ -75,7 +75,10 @@ class Checkpoint {
 
   /// Parses and verifies a full checkpoint file. Throws CheckpointError
   /// with a distinct message for each failure: bad magic, truncated or
-  /// checksum-corrupt payload, malformed records, digest mismatch.
+  /// checksum-corrupt payload, malformed records, digest mismatch. An
+  /// empty `expected_digest` skips only the digest comparison (all
+  /// integrity checks still apply) — for read-only consumers like
+  /// offnetd that serve a checkpoint's results without resuming the run.
   static RunState decode(std::string_view content,
                          const std::string& expected_digest);
 

@@ -26,6 +26,10 @@ inline constexpr const char* kFeed = "feed";
 inline constexpr const char* kPipeline = "pipeline";
 inline constexpr const char* kCheckpointWrite = "checkpoint-write";
 inline constexpr const char* kArtifactRename = "artifact-rename";
+/// offnetd's reload path (svc::Server::do_reload), crossed before the
+/// candidate snapshot is published: a throwing fault here must leave the
+/// previous version serving.
+inline constexpr const char* kSvcReload = "svc-reload";
 }  // namespace fault_stage
 
 /// The exception a throwing fault point raises. Deliberately a plain

@@ -108,7 +108,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
     std::size_t t = 0;
     bool missing = false;
     std::optional<scan::ScanSnapshot> snap;
-    std::shared_ptr<const bgp::Ip2AsMap> map;
+    core::Pinned<bgp::Ip2AsMap> map;
     SnapshotResult result;
   };
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
@@ -63,6 +65,15 @@ class CondVar {
   /// Atomically releases the lock, blocks until notified, reacquires.
   /// May wake spuriously; always re-check the condition.
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// wait() with a timeout. Returns false when `ms` elapsed without a
+  /// notification (the lock is reacquired either way). Spurious wakeups
+  /// return true; callers re-check their condition in the usual
+  /// while-loop, with the timeout bounding each individual wait.
+  bool wait_for_ms(MutexLock& lock, std::int64_t ms) {
+    return cv_.wait_for(lock.lock_, std::chrono::milliseconds(ms)) ==
+           std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

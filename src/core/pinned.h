@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+/// The shared-pointer pinning idiom, extracted from bgp::PinnedIp2As
+/// (DESIGN.md §11): readers take a Pinned<T> — an owning, immutable
+/// handle — so a publisher (LRU eviction in bgp::Ip2AsSeries, an
+/// RCU-style swap in svc::VersionedStore) can drop or replace the
+/// current object freely while every in-flight reader keeps the version
+/// it started with alive. A pin is cheap (one shared_ptr copy under the
+/// publisher's lock), never blocks the publisher afterwards, and frees
+/// the pinned object when the last pin dies.
+namespace offnet::core {
+
+template <class T>
+class Pinned {
+ public:
+  Pinned() = default;
+  explicit Pinned(std::shared_ptr<const T> object, std::uint64_t version = 0)
+      : object_(std::move(object)), version_(version) {}
+
+  /// The published version this pin holds (0 for unversioned sources,
+  /// e.g. an Ip2AsSeries cache entry).
+  std::uint64_t version() const { return version_; }
+
+  explicit operator bool() const { return object_ != nullptr; }
+  const T& operator*() const { return *object_; }
+  const T* operator->() const { return object_.get(); }
+  const T* get() const { return object_.get(); }
+
+  /// The underlying shared owner, for adapters that need shared
+  /// ownership themselves (e.g. bgp::PinnedIp2As).
+  const std::shared_ptr<const T>& shared() const { return object_; }
+
+ private:
+  std::shared_ptr<const T> object_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace offnet::core

@@ -17,7 +17,7 @@ namespace offnet::io {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+  throw IoError(what + " " + path + ": " + std::strerror(errno));
 }
 
 /// Flushes file (and, for directories, rename) durability to the device.
@@ -68,7 +68,7 @@ void AtomicFile::commit() {
   std::error_code ec;
   std::filesystem::rename(temp_path(), path_, ec);
   if (ec) {
-    throw std::runtime_error("cannot publish " + path_ + ": " + ec.message());
+    throw IoError("cannot publish " + path_ + ": " + ec.message());
   }
   committed_ = true;
   const std::string dir = std::filesystem::path(path_).parent_path().string();

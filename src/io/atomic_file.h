@@ -2,10 +2,20 @@
 
 #include <fstream>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace offnet::io {
+
+/// What AtomicFile (and artifact-publishing code built on it) throws on
+/// any write-side failure: unopenable temp file, full disk, failed
+/// flush/fsync/rename. A distinct type so CLIs can map I/O failures to
+/// their documented exit code (74, EX_IOERR) instead of a blanket 1.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// The one sanctioned way to emit a final artifact (DESIGN.md §10): all
 /// bytes go to `<path>.tmp`, and only commit() — flush, stream check,

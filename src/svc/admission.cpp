@@ -1,0 +1,49 @@
+#include "svc/admission.h"
+
+#include <utility>
+
+namespace offnet::svc {
+
+bool AdmissionQueue::try_push(Admitted& item) {
+  core::MutexLock lock(mutex_);
+  if (closed_ || items_.size() - head_ >= capacity_) return false;
+  // Compact lazily so the vector never grows past capacity + drained
+  // prefix; erase-from-front on every pop would be O(n) per item.
+  if (head_ > 0 && head_ == items_.size()) {
+    items_.clear();
+    head_ = 0;
+  }
+  items_.push_back(std::move(item));
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<Admitted> AdmissionQueue::pop() {
+  core::MutexLock lock(mutex_);
+  while (head_ == items_.size() && !closed_) {
+    // Bounded wait: close() notifies, but a 100ms re-check costs nothing
+    // and removes any lost-wakeup failure mode from the drain path.
+    (void)ready_.wait_for_ms(lock, 100);
+  }
+  if (head_ == items_.size()) return std::nullopt;  // closed and empty
+  Admitted out = std::move(items_[head_]);
+  ++head_;
+  if (head_ == items_.size()) {
+    items_.clear();
+    head_ = 0;
+  }
+  return out;
+}
+
+void AdmissionQueue::close() {
+  core::MutexLock lock(mutex_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::size() const {
+  core::MutexLock lock(mutex_);
+  return items_.size() - head_;
+}
+
+}  // namespace offnet::svc

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+#include "svc/socket.h"
+
+namespace offnet::svc {
+
+/// One accepted connection waiting for a worker, stamped with its accept
+/// time so the dequeuing worker can shed it if it already waited past
+/// the admission deadline (serving a request whose client gave up is
+/// pure waste under overload).
+struct Admitted {
+  Fd fd;
+  std::int64_t accept_ns = 0;  // obs::monotonic_nanoseconds() at accept
+};
+
+/// Bounded MPMC queue between the accept thread and the worker pool —
+/// the single backpressure point of the service (DESIGN.md §11).
+/// try_push never blocks: when the queue is full the accept thread sheds
+/// the connection with a BUSY line instead of queueing unbounded work.
+/// close() wakes every waiting worker; pop() then drains the remaining
+/// entries (drain semantics: admitted work is finished, not dropped)
+/// and returns nullopt once the queue is closed and empty.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// False when the queue is full or closed — `item` is untouched, so
+  /// the caller still owns the fd and sheds it (writes BUSY, closes).
+  bool try_push(Admitted& item) OFFNET_EXCLUDES(mutex_);
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Each internal wait is bounded (no lost-wakeup hangs even under
+  /// fault injection).
+  std::optional<Admitted> pop() OFFNET_EXCLUDES(mutex_);
+
+  /// Stops admission and wakes all waiters. Idempotent. Items already
+  /// queued remain poppable.
+  void close() OFFNET_EXCLUDES(mutex_);
+
+  std::size_t size() const OFFNET_EXCLUDES(mutex_);
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable core::Mutex mutex_;
+  core::CondVar ready_;
+  std::vector<Admitted> items_ OFFNET_GUARDED_BY(mutex_);  // FIFO, front=0
+  std::size_t head_ OFFNET_GUARDED_BY(mutex_) = 0;
+  bool closed_ OFFNET_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace offnet::svc

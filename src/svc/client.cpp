@@ -1,0 +1,31 @@
+#include "svc/client.h"
+
+#include "svc/protocol.h"
+
+namespace offnet::svc {
+
+Client::Client(const Endpoint& endpoint, int timeout_ms)
+    : stream_(connect_endpoint(endpoint, timeout_ms)),
+      timeout_ms_(timeout_ms) {}
+
+std::optional<std::string> Client::request(std::string_view line) {
+  std::string framed(line);
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  if (!send_raw(framed)) return std::nullopt;
+  return read_line();
+}
+
+bool Client::send_raw(std::string_view bytes) {
+  return stream_.write_all(bytes, timeout_ms_);
+}
+
+std::optional<std::string> Client::read_line() {
+  std::string line;
+  // Responses are single lines well under the request bound; reuse it.
+  const Stream::ReadStatus status =
+      stream_.read_line(line, timeout_ms_, kMaxRequestBytes);
+  if (status != Stream::ReadStatus::kLine) return std::nullopt;
+  return line;
+}
+
+}  // namespace offnet::svc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "svc/socket.h"
+
+namespace offnet::svc {
+
+/// Line-protocol client for offnetd, used by `offnet_cli query`,
+/// bench_offnetd, and the service tests. Keeping it here (with the rest
+/// of the socket code) is what lets the raw-socket lint rule fence
+/// sockets out of tools/ and bench/ entirely.
+class Client {
+ public:
+  /// Connects; throws SocketError on failure.
+  Client(const Endpoint& endpoint, int timeout_ms);
+
+  /// Sends one request line (newline appended if missing) and reads one
+  /// response line. nullopt when the server closed the connection or the
+  /// exchange timed out.
+  std::optional<std::string> request(std::string_view line);
+
+  /// Sends raw bytes verbatim — for malformed-input tests that must not
+  /// be sanitized by the client.
+  bool send_raw(std::string_view bytes);
+
+  /// Reads one response line on its own (paired with send_raw).
+  std::optional<std::string> read_line();
+
+  void close() { stream_.close(); }
+
+ private:
+  Stream stream_;
+  int timeout_ms_;
+};
+
+}  // namespace offnet::svc

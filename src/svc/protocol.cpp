@@ -1,0 +1,107 @@
+#include "svc/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace offnet::svc {
+
+namespace {
+
+ParseResult reject(std::string reason) {
+  ParseResult out;
+  out.error = std::move(reason);
+  return out;
+}
+
+/// Printable ASCII plus tab; everything else in a request is hostile or
+/// damaged input and is rejected (not sanitized — the client should see
+/// exactly why its bytes bounced).
+bool acceptable_byte(unsigned char c) {
+  return c == '\t' || (c >= 0x20 && c < 0x7f);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+ParseResult parse_request(std::string_view line) {
+  // Tolerate CRLF clients.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > kMaxRequestBytes) {
+    return reject("request exceeds " + std::to_string(kMaxRequestBytes) +
+                  " bytes");
+  }
+  for (unsigned char c : line) {
+    if (!acceptable_byte(c)) {
+      return reject("request contains non-printable byte 0x" +
+                    [](unsigned char b) {
+                      const char* hex = "0123456789abcdef";
+                      return std::string{hex[b >> 4], hex[b & 0xf]};
+                    }(c));
+    }
+  }
+  std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return reject("empty request");
+
+  Request request;
+  std::size_t first = 0;
+  if (tokens[0].size() > 2 && tokens[0][0] == 'T' && tokens[0][1] == '=') {
+    const std::string& digits = tokens[0];
+    char* end = nullptr;
+    const long long ms = std::strtoll(digits.c_str() + 2, &end, 10);
+    if (end != digits.c_str() + digits.size() || ms <= 0 ||
+        ms > kMaxDeadlineMs) {
+      return reject("bad deadline token '" + digits + "' (want T=<1.." +
+                    std::to_string(kMaxDeadlineMs) + "> ms)");
+    }
+    request.deadline_ms = ms;
+    first = 1;
+  }
+  if (first >= tokens.size()) return reject("deadline token without a verb");
+
+  request.verb = tokens[first];
+  for (char& c : request.verb) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  request.args.assign(tokens.begin() + static_cast<long>(first) + 1,
+                      tokens.end());
+  ParseResult out;
+  out.request = std::move(request);
+  return out;
+}
+
+std::string ok_response(std::string_view body) {
+  std::string out = "OK";
+  if (!body.empty()) {
+    out += ' ';
+    out += body;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string err_response(std::string_view reason) {
+  std::string out = "ERR ";
+  out += reason.empty() ? std::string_view("unspecified") : reason;
+  out += '\n';
+  return out;
+}
+
+std::string busy_response(std::string_view reason) {
+  std::string out = "BUSY ";
+  out += reason.empty() ? std::string_view("overloaded") : reason;
+  out += '\n';
+  return out;
+}
+
+}  // namespace offnet::svc

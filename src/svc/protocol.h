@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// The offnetd wire protocol (DESIGN.md §11): one request per line, one
+/// response line per request, over a stream socket.
+///
+///   request  := [ "T=" <deadline-ms> " " ] <verb> { " " <arg> } "\n"
+///   response := ( "OK" | "ERR" | "BUSY" ) [ " " <detail> ] "\n"
+///
+/// "OK" carries the answer, "ERR" a per-request failure (malformed
+/// request, unknown verb/month/hypergiant, rejected reload — the
+/// connection always survives an ERR), and "BUSY" an overload shed
+/// (admission queue full, or the request's deadline expired before a
+/// response could be produced — retry later, possibly elsewhere).
+///
+/// The parser is tolerant by contract: any byte sequence yields either a
+/// Request or a reject reason; it never throws and never kills the
+/// connection. Oversized lines are bounded by kMaxRequestBytes before
+/// parsing (svc::Stream discards the excess).
+namespace offnet::svc {
+
+/// Longest accepted request line (bytes, excluding the newline). Bounds
+/// per-connection buffering no matter what a client sends.
+inline constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// Upper bound for the T= deadline token (one hour, in ms).
+inline constexpr std::int64_t kMaxDeadlineMs = 3'600'000;
+
+struct Request {
+  std::string verb;               // upper-cased
+  std::vector<std::string> args;  // verbatim tokens after the verb
+  std::int64_t deadline_ms = -1;  // -1: use the server default
+};
+
+/// A parsed request or the reason it was rejected (exactly one is set).
+struct ParseResult {
+  std::optional<Request> request;
+  std::string error;
+};
+
+ParseResult parse_request(std::string_view line);
+
+// Response constructors — the only place response framing lives.
+std::string ok_response(std::string_view body);
+std::string err_response(std::string_view reason);
+std::string busy_response(std::string_view reason);
+
+}  // namespace offnet::svc

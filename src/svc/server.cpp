@@ -1,0 +1,444 @@
+#include "svc/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "core/fault.h"
+#include "obs/stage_timer.h"
+
+namespace offnet::svc {
+
+namespace {
+
+/// Accept/serve poll granularity: the upper bound on how stale the
+/// draining_/hard_stop_ flags can look to any loop.
+constexpr int kPollSliceMs = 50;
+
+/// Latency histogram bounds, microseconds (sub-ms service times up to
+/// second-scale reloads; the overflow bucket catches the rest).
+std::vector<double> latency_bounds_us() {
+  return {50,     100,    250,     500,     1'000,   2'500,  5'000,
+          10'000, 25'000, 50'000,  100'000, 250'000, 1'000'000};
+}
+
+std::int64_t elapsed_ms_since(std::int64_t start_ns) {
+  return (obs::monotonic_nanoseconds() - start_ns) / 1'000'000;
+}
+
+void sleep_ms(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options,
+               std::shared_ptr<const ServiceSnapshot> initial)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &own_metrics_) {
+  if (initial == nullptr) {
+    throw SnapshotValidationError("initial snapshot is null");
+  }
+  const std::string why = initial->validate();
+  if (!why.empty()) {
+    throw SnapshotValidationError("initial snapshot invalid: " + why);
+  }
+  store_.publish(std::move(initial));
+}
+
+Server::~Server() {
+  request_drain();
+  hard_stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::start() {
+  listener_ = std::make_unique<Listener>(options_.endpoint);
+  bound_ = listener_->endpoint();
+  queue_ = std::make_unique<AdmissionQueue>(
+      std::max<std::size_t>(1, options_.queue_capacity));
+  const std::size_t n = std::max<std::size_t>(1, options_.n_workers);
+  active_workers_.store(static_cast<int>(n), std::memory_order_relaxed);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+const Endpoint& Server::bound_endpoint() const {
+  if (workers_.empty()) {
+    throw SocketError("server not started");
+  }
+  return bound_;
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+bool Server::join() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  obs::Stopwatch watch;
+  while (active_workers_.load(std::memory_order_relaxed) > 0 &&
+         static_cast<std::int64_t>(watch.seconds() * 1000.0) <
+             options_.drain_deadline_ms) {
+    sleep_ms(10);
+  }
+  const bool clean = active_workers_.load(std::memory_order_relaxed) == 0;
+  if (!clean) hard_stop_.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  return clean;
+}
+
+void Server::accept_loop() {
+  obs::Counter& accepted = metrics_->counter(metric_names::kConnections);
+  obs::Counter& shed_busy = metrics_->counter(metric_names::kShedBusy);
+  while (!draining_.load(std::memory_order_relaxed)) {
+    Fd conn = listener_->accept_with_timeout(kPollSliceMs);
+    if (!conn.valid()) continue;
+    accepted.add();
+    Admitted admitted;
+    admitted.fd = std::move(conn);
+    admitted.accept_ns = obs::monotonic_nanoseconds();
+    if (!queue_->try_push(admitted)) {
+      // Overload shed: tell the client explicitly instead of letting it
+      // time out against an unbounded backlog.
+      shed_busy.add();
+      Stream stream(std::move(admitted.fd));
+      (void)stream.write_all(busy_response("queue-full"), kPollSliceMs);
+    }
+  }
+  // Stop admitting: workers drain what was already accepted.
+  queue_->close();
+  listener_.reset();
+}
+
+void Server::worker_loop() {
+  while (auto admitted = queue_->pop()) {
+    serve_connection(std::move(*admitted));
+  }
+  active_workers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::serve_connection(Admitted admitted) {
+  Stream stream(std::move(admitted.fd));
+  obs::Counter& requests = metrics_->counter(metric_names::kRequests);
+  obs::Counter& ok = metrics_->counter(metric_names::kResponsesOk);
+  obs::Counter& err = metrics_->counter(metric_names::kResponsesErr);
+  obs::Counter& malformed = metrics_->counter(metric_names::kMalformed);
+  obs::Counter& shed_deadline =
+      metrics_->counter(metric_names::kShedDeadline);
+  obs::Histogram& latency =
+      metrics_->histogram(metric_names::kLatencyUs, latency_bounds_us());
+  const int write_timeout = static_cast<int>(options_.write_timeout_ms);
+
+  // Admission deadline: a connection that already waited out the default
+  // deadline in the queue is answered BUSY, not served late.
+  if (elapsed_ms_since(admitted.accept_ns) > options_.default_deadline_ms) {
+    shed_deadline.add();
+    (void)stream.write_all(busy_response("admission-deadline"),
+                           write_timeout);
+    return;
+  }
+
+  std::int64_t idle_ms = 0;
+  for (;;) {
+    if (hard_stop_.load(std::memory_order_relaxed)) return;
+    std::string line;
+    const Stream::ReadStatus status =
+        stream.read_line(line, kPollSliceMs, kMaxRequestBytes);
+    if (status == Stream::ReadStatus::kTimeout) {
+      if (draining_.load(std::memory_order_relaxed) &&
+          !stream.has_buffered_line()) {
+        // Drain: everything already received was served; close.
+        return;
+      }
+      idle_ms += kPollSliceMs;
+      if (idle_ms >= options_.idle_timeout_ms) return;
+      continue;
+    }
+    if (status == Stream::ReadStatus::kEof ||
+        status == Stream::ReadStatus::kError) {
+      return;
+    }
+    idle_ms = 0;
+    if (status == Stream::ReadStatus::kOverlong) {
+      requests.add();
+      malformed.add();
+      err.add();
+      if (!stream.write_all(
+              err_response("request exceeds " +
+                           std::to_string(kMaxRequestBytes) + " bytes"),
+              write_timeout)) {
+        return;
+      }
+      continue;
+    }
+
+    const std::int64_t start_ns = obs::monotonic_nanoseconds();
+    requests.add();
+    ParseResult parsed = parse_request(line);
+    std::string response;
+    bool close_connection = false;
+    if (!parsed.request) {
+      malformed.add();
+      err.add();
+      response = err_response(parsed.error);
+    } else {
+      response = handle(*parsed.request, close_connection);
+      const std::int64_t deadline_ms = parsed.request->deadline_ms > 0
+                                           ? parsed.request->deadline_ms
+                                           : options_.default_deadline_ms;
+      if (elapsed_ms_since(start_ns) > deadline_ms) {
+        // The work missed its deadline; a late answer is worse than an
+        // honest shed (the client has moved on).
+        shed_deadline.add();
+        response = busy_response("deadline " + std::to_string(deadline_ms) +
+                                 "ms exceeded");
+      } else if (response.rfind("OK", 0) == 0) {
+        ok.add();
+      } else {
+        err.add();
+      }
+    }
+    latency.observe(
+        static_cast<double>(obs::monotonic_nanoseconds() - start_ns) / 1e3);
+    if (!stream.write_all(response, write_timeout)) return;
+    if (close_connection) return;
+  }
+}
+
+std::string Server::handle(const Request& request, bool& close_connection) {
+  const std::string& verb = request.verb;
+  if (verb == "PING") return ok_response("pong");
+  if (verb == "INFO") return do_info();
+  if (verb == "MONTHS") return do_months();
+  if (verb == "HGS") return do_hgs();
+  if (verb == "FOOTPRINT") return do_footprint(request.args);
+  if (verb == "COVERAGE") return do_coverage(request.args);
+  if (verb == "COHOST") return do_cohost(request.args);
+  if (verb == "STATS") return do_stats();
+  if (verb == "RELOAD") return do_reload(request.args);
+  if (verb == "SLEEP" && options_.enable_sleep) {
+    return do_sleep(request.args);
+  }
+  if (verb == "QUIT") {
+    close_connection = true;
+    return ok_response("bye");
+  }
+  return err_response("unknown verb '" + verb + "'");
+}
+
+std::string Server::do_info() const {
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  return ok_response(
+      "version=" + std::to_string(snapshot.version()) +
+      " source=" + snapshot->source() +
+      " months=" + std::to_string(snapshot->months().size()) +
+      " usable=" + std::to_string(snapshot->usable_months()) +
+      " hgs=" + std::to_string(snapshot->hypergiants().size()));
+}
+
+std::string Server::do_months() const {
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  std::string body;
+  for (const ServiceSnapshot::Month& month : snapshot->months()) {
+    if (!body.empty()) body += ' ';
+    body += month.month.to_string() + ":" + month.health;
+  }
+  return ok_response(body);
+}
+
+std::string Server::do_hgs() const {
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  std::string body;
+  for (const std::string& name : snapshot->hypergiants()) {
+    if (!body.empty()) body += ' ';
+    body += name;
+  }
+  return ok_response(body);
+}
+
+namespace {
+
+/// Resolves a "YYYY-MM" arg to a month index, or reports why not.
+bool resolve_month(const ServiceSnapshot& snapshot, const std::string& arg,
+                   std::size_t& index, std::string& error) {
+  std::optional<net::YearMonth> month = net::YearMonth::parse(arg);
+  if (!month) {
+    error = "malformed month '" + arg + "' (want YYYY-MM)";
+    return false;
+  }
+  index = snapshot.month_index(*month);
+  if (index == ServiceSnapshot::npos) {
+    error = "month " + arg + " not in this snapshot";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Server::do_footprint(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 2) return err_response("usage: FOOTPRINT YYYY-MM HG");
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  std::size_t month = 0;
+  std::string error;
+  if (!resolve_month(*snapshot, args[0], month, error)) {
+    return err_response(error);
+  }
+  const std::size_t hg = snapshot->hypergiant_index(args[1]);
+  if (hg == ServiceSnapshot::npos) {
+    return err_response("unknown hypergiant '" + args[1] + "'");
+  }
+  const ServiceSnapshot::Cell* cell = snapshot->cell(month, hg);
+  if (cell == nullptr) {
+    return err_response("month " + args[0] + " is " +
+                        snapshot->months()[month].health + ", not usable");
+  }
+  return ok_response(
+      "month=" + args[0] + " hg=" + args[1] +
+      " onnet_ips=" + std::to_string(cell->onnet_ips) +
+      " candidate_ips=" + std::to_string(cell->candidate_ips) +
+      " confirmed_ips=" + std::to_string(cell->confirmed_ips) +
+      " candidate_ases=" + std::to_string(cell->candidate_ases.size()) +
+      " confirmed_ases=" + std::to_string(cell->confirmed_ases.size()));
+}
+
+std::string Server::do_coverage(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 1) return err_response("usage: COVERAGE YYYY-MM");
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  std::size_t month = 0;
+  std::string error;
+  if (!resolve_month(*snapshot, args[0], month, error)) {
+    return err_response(error);
+  }
+  const ServiceSnapshot::Month& data = snapshot->months()[month];
+  if (!data.usable) {
+    return err_response("month " + args[0] + " is " + data.health +
+                        ", not usable");
+  }
+  std::set<std::uint32_t> union_ases;
+  std::uint64_t confirmed_ips = 0;
+  std::size_t hgs_with_footprint = 0;
+  for (const ServiceSnapshot::Cell& cell : data.per_hg) {
+    union_ases.insert(cell.confirmed_ases.begin(),
+                      cell.confirmed_ases.end());
+    confirmed_ips += cell.confirmed_ips;
+    if (!cell.confirmed_ases.empty()) ++hgs_with_footprint;
+  }
+  return ok_response(
+      "month=" + args[0] + " health=" + data.health +
+      " hgs_with_footprint=" + std::to_string(hgs_with_footprint) +
+      " confirmed_ases=" + std::to_string(union_ases.size()) +
+      " confirmed_ips=" + std::to_string(confirmed_ips));
+}
+
+std::string Server::do_cohost(const std::vector<std::string>& args) const {
+  if (args.size() != 2) return err_response("usage: COHOST YYYY-MM AS-ID");
+  core::Pinned<ServiceSnapshot> snapshot = store_.pin();
+  std::size_t month = 0;
+  std::string error;
+  if (!resolve_month(*snapshot, args[0], month, error)) {
+    return err_response(error);
+  }
+  if (!snapshot->months()[month].usable) {
+    return err_response("month " + args[0] + " is " +
+                        snapshot->months()[month].health + ", not usable");
+  }
+  char* end = nullptr;
+  const unsigned long as_id = std::strtoul(args[1].c_str(), &end, 10);
+  if (end == args[1].c_str() || *end != '\0' || as_id > 0xffffffffUL) {
+    return err_response("malformed AS id '" + args[1] + "'");
+  }
+  std::vector<std::string> hgs = snapshot->hypergiants_in_as(
+      month, static_cast<std::uint32_t>(as_id));
+  std::string body = "month=" + args[0] + " as=" + args[1] +
+                     " count=" + std::to_string(hgs.size()) + " hgs=";
+  if (hgs.empty()) {
+    body += "-";
+  } else {
+    for (std::size_t i = 0; i < hgs.size(); ++i) {
+      if (i > 0) body += ',';
+      body += hgs[i];
+    }
+  }
+  return ok_response(body);
+}
+
+std::string Server::do_stats() const {
+  const obs::RegistrySnapshot stats = metrics_->snapshot();
+  auto count = [&stats](const char* name) {
+    auto it = stats.counters.find(name);
+    return it == stats.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  return ok_response(
+      "version=" + std::to_string(store_.version()) +
+      " requests=" + std::to_string(count(metric_names::kRequests)) +
+      " ok=" + std::to_string(count(metric_names::kResponsesOk)) +
+      " err=" + std::to_string(count(metric_names::kResponsesErr)) +
+      " shed_busy=" + std::to_string(count(metric_names::kShedBusy)) +
+      " shed_deadline=" +
+      std::to_string(count(metric_names::kShedDeadline)) +
+      " malformed=" + std::to_string(count(metric_names::kMalformed)) +
+      " reloads=" + std::to_string(count(metric_names::kReloadAccepted)));
+}
+
+std::string Server::do_reload(const std::vector<std::string>& args) {
+  if (args.size() != 1) return err_response("usage: RELOAD PATH");
+  core::MutexLock lock(reload_mutex_);
+  obs::Counter& accepted = metrics_->counter(metric_names::kReloadAccepted);
+  obs::Counter& rejected = metrics_->counter(metric_names::kReloadRejected);
+  try {
+    obs::StageTimer timer(metrics_, "svc/reload");
+    // Fault boundary before anything is published: an injected fault
+    // must leave the previous version serving untouched.
+    if (options_.faults != nullptr) {
+      options_.faults->on(core::fault_stage::kSvcReload);
+    }
+    std::shared_ptr<const ServiceSnapshot> next =
+        load_snapshot(args[0], options_.n_threads);
+    const std::string why = next->validate();
+    if (!why.empty()) {
+      rejected.add();
+      return err_response("reload rejected: " + why);
+    }
+    const std::uint64_t version = store_.publish(std::move(next));
+    accepted.add();
+    return ok_response("version=" + std::to_string(version) +
+                       " source=" + args[0]);
+  } catch (const std::exception& e) {
+    rejected.add();
+    return err_response(std::string("reload rejected: ") + e.what());
+  }
+}
+
+std::string Server::do_sleep(const std::vector<std::string>& args) {
+  if (args.size() != 1) return err_response("usage: SLEEP MS");
+  char* end = nullptr;
+  const long long ms = std::strtoll(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0' || ms < 0 || ms > 60'000) {
+    return err_response("malformed sleep duration '" + args[0] + "'");
+  }
+  // Sliced so hard_stop_ still bounds a worker stuck in test sleeps.
+  const std::int64_t start_ns = obs::monotonic_nanoseconds();
+  while (elapsed_ms_since(start_ns) < ms) {
+    if (hard_stop_.load(std::memory_order_relaxed)) break;
+    sleep_ms(std::min<std::int64_t>(5, ms));
+  }
+  return ok_response("slept=" + args[0]);
+}
+
+}  // namespace offnet::svc

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "svc/admission.h"
+#include "svc/protocol.h"
+#include "svc/service_snapshot.h"
+#include "svc/snapshot_store.h"
+#include "svc/socket.h"
+
+namespace offnet::core {
+class FaultInjector;
+}  // namespace offnet::core
+
+namespace offnet::svc {
+
+/// svc:: metric names, mirroring core::metric_names so instrumentation,
+/// tests, and bench_offnetd agree on spelling.
+namespace metric_names {
+inline constexpr const char* kRequests = "svc/requests";
+inline constexpr const char* kResponsesOk = "svc/responses/ok";
+inline constexpr const char* kResponsesErr = "svc/responses/err";
+inline constexpr const char* kShedBusy = "svc/shed/busy";
+inline constexpr const char* kShedDeadline = "svc/shed/deadline";
+inline constexpr const char* kMalformed = "svc/requests/malformed";
+inline constexpr const char* kConnections = "svc/connections/accepted";
+inline constexpr const char* kReloadAccepted = "svc/reload/accepted";
+inline constexpr const char* kReloadRejected = "svc/reload/rejected";
+inline constexpr const char* kLatencyUs = "svc/latency_us";
+}  // namespace metric_names
+
+struct ServerOptions {
+  Endpoint endpoint;  // TCP port 0 binds ephemeral; see bound_endpoint()
+
+  std::size_t n_workers = 4;
+  std::size_t queue_capacity = 64;
+
+  /// Server-side deadline applied to requests without a T= token, and to
+  /// the time a connection may wait in the admission queue. Expired work
+  /// is shed with BUSY, never silently dropped.
+  std::int64_t default_deadline_ms = 1000;
+
+  /// How long join() waits for workers to finish in-flight work after
+  /// request_drain() before forcing them to stop.
+  std::int64_t drain_deadline_ms = 5000;
+
+  /// Per-connection idle limit: a connection with no complete request
+  /// for this long is closed (a stalled peer must not pin a worker).
+  std::int64_t idle_timeout_ms = 30'000;
+
+  /// Bound on writing one response to a non-reading peer.
+  std::int64_t write_timeout_ms = 5'000;
+
+  /// Admit the SLEEP test verb (deterministic overload/deadline tests
+  /// only — never in production service).
+  bool enable_sleep = false;
+
+  /// Worker threads for RELOAD's pipeline run over an export root.
+  std::size_t n_threads = 1;
+
+  /// Optional fault plan; crossed at the svc-reload stage boundary.
+  core::FaultInjector* faults = nullptr;
+
+  /// Metrics sink. When null the server keeps a private registry (STATS
+  /// still answers).
+  obs::Registry* metrics = nullptr;
+};
+
+/// The offnetd request service (DESIGN.md §11): one accept thread feeding
+/// a bounded AdmissionQueue drained by a worker pool, all queries served
+/// from a pinned SnapshotStore version.
+///
+/// Fault-containment properties, each covered by svc_test:
+///  - overload: a full admission queue sheds new connections with
+///    `BUSY queue-full` in the accept thread; nothing blocks, nothing
+///    queues unbounded.
+///  - deadlines: every request has one (T= token or the server default);
+///    work that misses it answers `BUSY deadline ...` instead of
+///    delivering a late response.
+///  - malformed input: any byte sequence gets a single-line ERR and the
+///    connection keeps serving.
+///  - reload: validate-before-swap; a rejected reload leaves the prior
+///    version serving and is reported in the ERR line.
+///  - drain: request_drain() stops admission; join() lets in-flight and
+///    already-buffered requests finish within drain_deadline_ms, then
+///    forces the rest. Clean drains return true and lose no admitted
+///    response.
+class Server {
+ public:
+  /// Validates and adopts the initial snapshot (version 1). Throws
+  /// SnapshotValidationError when `initial` fails validation — a server
+  /// must never start over unserviceable data.
+  Server(ServerOptions options,
+         std::shared_ptr<const ServiceSnapshot> initial);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the endpoint and starts the accept thread and workers.
+  /// Throws SocketError when the endpoint cannot be bound.
+  void start();
+
+  /// The actual listening endpoint (ephemeral TCP port resolved).
+  const Endpoint& bound_endpoint() const;
+
+  /// Begins graceful drain: stop accepting, close the admission queue.
+  /// Idempotent; safe from any thread (offnetd calls it after observing
+  /// SIGTERM/SIGINT from its main loop).
+  void request_drain();
+
+  /// Waits for the drain to complete. True when every worker finished
+  /// within drain_deadline_ms; false when stragglers had to be forced.
+  bool join();
+
+  /// Current published snapshot version (1-based).
+  std::uint64_t version() const { return store_.version(); }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(Admitted admitted);
+
+  /// Executes one parsed request; returns the full response line.
+  /// `close_connection` is set for QUIT and fatal transport states.
+  std::string handle(const Request& request, bool& close_connection);
+
+  std::string do_info() const;
+  std::string do_months() const;
+  std::string do_hgs() const;
+  std::string do_footprint(const std::vector<std::string>& args) const;
+  std::string do_coverage(const std::vector<std::string>& args) const;
+  std::string do_cohost(const std::vector<std::string>& args) const;
+  std::string do_stats() const;
+  std::string do_reload(const std::vector<std::string>& args);
+  std::string do_sleep(const std::vector<std::string>& args);
+
+  ServerOptions options_;
+  SnapshotStore store_;
+  obs::Registry own_metrics_;   // used when options_.metrics is null
+  obs::Registry* metrics_;      // never null after construction
+
+  std::unique_ptr<Listener> listener_;
+  Endpoint bound_;  // copy of listener_->endpoint(); survives drain
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> hard_stop_{false};
+  std::atomic<int> active_workers_{0};
+
+  core::Mutex reload_mutex_;  // serializes RELOAD (loads are expensive)
+};
+
+}  // namespace offnet::svc

@@ -1,0 +1,215 @@
+#include "svc/service_snapshot.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/longitudinal.h"
+#include "io/loaders.h"
+
+namespace offnet::svc {
+
+namespace {
+
+std::vector<std::uint32_t> as_ids(const std::vector<topo::AsId>& in) {
+  return std::vector<std::uint32_t>(in.begin(), in.end());
+}
+
+}  // namespace
+
+std::shared_ptr<const ServiceSnapshot> ServiceSnapshot::from_results(
+    std::string source, const std::vector<core::SnapshotResult>& results) {
+  auto snapshot = std::make_shared<ServiceSnapshot>();
+  snapshot->source_ = std::move(source);
+  const std::vector<net::YearMonth> calendar = net::study_snapshots();
+  for (const core::SnapshotResult& result : results) {
+    Month month;
+    if (result.snapshot < calendar.size()) {
+      month.month = calendar[result.snapshot];
+    }
+    month.health = core::to_string(result.health);
+    month.usable = result.usable();
+    if (month.usable) {
+      if (snapshot->hypergiants_.empty()) {
+        for (const core::HgFootprint& fp : result.per_hg) {
+          snapshot->hypergiants_.push_back(fp.name);
+        }
+      }
+      month.per_hg.reserve(result.per_hg.size());
+      for (const core::HgFootprint& fp : result.per_hg) {
+        Cell cell;
+        cell.onnet_ips = fp.onnet_ips;
+        cell.candidate_ips = fp.candidate_ips;
+        cell.confirmed_ips = fp.confirmed_ips;
+        cell.candidate_ases = as_ids(fp.candidate_ases);
+        cell.confirmed_ases = as_ids(fp.confirmed_ases());
+        month.per_hg.push_back(std::move(cell));
+      }
+    }
+    snapshot->months_.push_back(std::move(month));
+  }
+  return snapshot;
+}
+
+std::string ServiceSnapshot::validate() const {
+  if (months_.empty()) return "snapshot has no months";
+  if (usable_months() == 0) return "snapshot has no usable months";
+  if (hypergiants_.empty()) return "snapshot has no hypergiants";
+  for (std::size_t h = 0; h < hypergiants_.size(); ++h) {
+    const std::string& name = hypergiants_[h];
+    if (name.empty()) return "hypergiant " + std::to_string(h) + " unnamed";
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      // Names are wire-protocol tokens; whitespace would break framing.
+      return "hypergiant name contains whitespace: '" + name + "'";
+    }
+    for (std::size_t j = h + 1; j < hypergiants_.size(); ++j) {
+      if (hypergiants_[j] == name) {
+        return "duplicate hypergiant name: '" + name + "'";
+      }
+    }
+  }
+  for (const Month& month : months_) {
+    const std::string label = month.month.to_string();
+    if (!month.usable) {
+      if (!month.per_hg.empty()) {
+        return label + ": unusable month carries footprint cells";
+      }
+      continue;
+    }
+    if (month.per_hg.size() != hypergiants_.size()) {
+      return label + ": " + std::to_string(month.per_hg.size()) +
+             " cells for " + std::to_string(hypergiants_.size()) +
+             " hypergiants";
+    }
+    for (std::size_t h = 0; h < month.per_hg.size(); ++h) {
+      const Cell& cell = month.per_hg[h];
+      for (const std::vector<std::uint32_t>* list :
+           {&cell.candidate_ases, &cell.confirmed_ases}) {
+        auto bad = std::adjacent_find(
+            list->begin(), list->end(),
+            [](std::uint32_t a, std::uint32_t b) { return a >= b; });
+        if (bad != list->end()) {
+          return label + "/" + hypergiants_[h] +
+                 ": AS list not sorted-unique";
+        }
+      }
+      if (cell.confirmed_ips > cell.candidate_ips) {
+        return label + "/" + hypergiants_[h] +
+               ": confirmed IPs exceed candidates";
+      }
+    }
+  }
+  return "";
+}
+
+std::size_t ServiceSnapshot::usable_months() const {
+  return static_cast<std::size_t>(
+      std::count_if(months_.begin(), months_.end(),
+                    [](const Month& m) { return m.usable; }));
+}
+
+std::size_t ServiceSnapshot::hypergiant_index(std::string_view name) const {
+  for (std::size_t h = 0; h < hypergiants_.size(); ++h) {
+    if (hypergiants_[h] == name) return h;
+  }
+  return npos;
+}
+
+std::size_t ServiceSnapshot::month_index(net::YearMonth month) const {
+  for (std::size_t t = 0; t < months_.size(); ++t) {
+    if (months_[t].month == month) return t;
+  }
+  return npos;
+}
+
+const ServiceSnapshot::Cell* ServiceSnapshot::cell(
+    std::size_t month, std::size_t hypergiant) const {
+  if (month >= months_.size()) return nullptr;
+  const Month& m = months_[month];
+  if (!m.usable || hypergiant >= m.per_hg.size()) return nullptr;
+  return &m.per_hg[hypergiant];
+}
+
+std::vector<std::string> ServiceSnapshot::hypergiants_in_as(
+    std::size_t month, std::uint32_t as_id) const {
+  std::vector<std::string> out;
+  if (month >= months_.size() || !months_[month].usable) return out;
+  const Month& m = months_[month];
+  for (std::size_t h = 0; h < m.per_hg.size(); ++h) {
+    const std::vector<std::uint32_t>& ases = m.per_hg[h].confirmed_ases;
+    if (std::binary_search(ases.begin(), ases.end(), as_id)) {
+      out.push_back(hypergiants_[h]);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const ServiceSnapshot> load_snapshot_from_checkpoint(
+    const std::string& path) {
+  // Empty digest: integrity checks only (read-only consumer contract,
+  // core/checkpoint.h).
+  core::RunState state = core::Checkpoint::load(path, "");
+  return ServiceSnapshot::from_results(path, state.results);
+}
+
+std::shared_ptr<const ServiceSnapshot> load_snapshot_from_export_root(
+    const std::string& root, std::size_t n_threads) {
+  io::ReadOptions read_options;
+  read_options.mode = io::ReadMode::kPermissive;
+  const std::vector<net::YearMonth> months = net::study_snapshots();
+
+  auto feed = [&](std::size_t t) {
+    core::SnapshotFeed input;
+    const std::string dir = root + "/" + months[t].to_string();
+    std::ifstream probe(dir + "/relationships.txt");
+    if (!probe) return input;  // kMissing
+    auto open = [&dir](const char* name) {
+      std::ifstream in(dir + "/" + name);
+      if (!in) throw io::LoadError(std::string("cannot read ") + name);
+      return in;
+    };
+    try {
+      std::ifstream rel = open("relationships.txt");
+      std::ifstream org = open("organizations.txt");
+      std::ifstream pfx = open("prefix2as.txt");
+      std::ifstream certs = open("certificates.tsv");
+      std::ifstream hosts = open("hosts.tsv");
+      io::Dataset dataset =
+          io::load_dataset(rel, org, pfx, certs, hosts, months[t],
+                           read_options, &input.report);
+      std::ifstream headers(dir + "/headers.tsv");
+      if (headers) dataset.add_headers(headers, read_options, &input.report);
+      input.dataset.emplace(std::move(dataset));
+    } catch (const std::exception&) {
+      input.dataset.reset();
+      input.corrupt = true;
+    }
+    return input;
+  };
+
+  core::PipelineOptions pipeline_options;
+  pipeline_options.n_threads = n_threads;
+  core::LongitudinalRunner runner{pipeline_options};
+  std::vector<core::SnapshotResult> results =
+      runner.run_loaded(feed, 0, months.size() - 1);
+  return ServiceSnapshot::from_results(root, results);
+}
+
+std::shared_ptr<const ServiceSnapshot> load_snapshot(const std::string& path,
+                                                     std::size_t n_threads) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    return load_snapshot_from_export_root(path, n_threads);
+  }
+  if (fs::is_regular_file(path, ec)) {
+    return load_snapshot_from_checkpoint(path);
+  }
+  throw std::runtime_error("snapshot source is neither an export root nor a "
+                           "checkpoint file: " + path);
+}
+
+}  // namespace offnet::svc

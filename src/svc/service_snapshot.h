@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "net/date.h"
+
+/// The immutable, query-oriented digest of a longitudinal run that
+/// offnetd serves (DESIGN.md §11). Built once per (re)load from a
+/// std::vector<core::SnapshotResult> — a PR-5 checkpoint or a fresh run
+/// over an export root — then published whole through svc::SnapshotStore
+/// and never mutated: every query answers from one internally consistent
+/// version even while a reload publishes the next.
+namespace offnet::svc {
+
+/// What a (source, results) pair failed structural validation on.
+class SnapshotValidationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ServiceSnapshot {
+ public:
+  /// One hypergiant's footprint in one study month. AS identifiers are
+  /// the run's topo::AsId indices (the paper's simulated AS space); they
+  /// are stable within one snapshot version and comparable across months
+  /// of the same run.
+  struct Cell {
+    std::uint64_t onnet_ips = 0;
+    std::uint64_t candidate_ips = 0;
+    std::uint64_t confirmed_ips = 0;
+    std::vector<std::uint32_t> candidate_ases;  // sorted, unique
+    std::vector<std::uint32_t> confirmed_ases;  // sorted, unique
+  };
+
+  struct Month {
+    net::YearMonth month{2013, 10};
+    std::string health;   // core::to_string(SnapshotHealth)
+    bool usable = false;  // per_hg holds real data
+    std::vector<Cell> per_hg;  // parallel to hypergiants(); empty if !usable
+  };
+
+  /// Builds the digest from pipeline results. `source` is a label for
+  /// INFO responses (a path, or "simulated"). Does not validate — call
+  /// validate() before publishing.
+  static std::shared_ptr<const ServiceSnapshot> from_results(
+      std::string source, const std::vector<core::SnapshotResult>& results);
+
+  /// Structural validation, run before a snapshot may be published
+  /// (validate-before-swap): non-empty month list, at least one usable
+  /// month, unique single-token hypergiant names, per-month cell vectors
+  /// parallel to the hypergiant list, AS lists sorted and unique.
+  /// Returns the empty string when valid, else the first violation.
+  std::string validate() const;
+
+  const std::string& source() const { return source_; }
+  const std::vector<std::string>& hypergiants() const { return hypergiants_; }
+  const std::vector<Month>& months() const { return months_; }
+  std::size_t usable_months() const;
+
+  /// Index lookups; npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t hypergiant_index(std::string_view name) const;
+  std::size_t month_index(net::YearMonth month) const;
+
+  /// The cell for (month, hypergiant), or nullptr when the month is not
+  /// usable.
+  const Cell* cell(std::size_t month, std::size_t hypergiant) const;
+
+  /// Hypergiants with a confirmed off-net footprint in `as_id` during
+  /// `month` (the co-hosting query).
+  std::vector<std::string> hypergiants_in_as(std::size_t month,
+                                             std::uint32_t as_id) const;
+
+ private:
+  std::string source_;
+  std::vector<std::string> hypergiants_;
+  std::vector<Month> months_;
+};
+
+/// Loads a ServiceSnapshot from a PR-5 checkpoint file. Integrity
+/// (magic, length, checksum) is fully verified; the run-configuration
+/// digest is not compared — serving is read-only. Throws
+/// core::CheckpointError / io::IoError on damage.
+std::shared_ptr<const ServiceSnapshot> load_snapshot_from_checkpoint(
+    const std::string& path);
+
+/// Loads a ServiceSnapshot by running the longitudinal pipeline over an
+/// export root (DIR/<YYYY-MM>/ with the `offnet_cli analyze` file
+/// layout), in permissive mode. Throws io::LoadError and friends when
+/// nothing usable can be built.
+std::shared_ptr<const ServiceSnapshot> load_snapshot_from_export_root(
+    const std::string& root, std::size_t n_threads);
+
+/// Dispatch: a directory is an export root, a file is a checkpoint.
+/// Throws std::runtime_error when `path` is neither.
+std::shared_ptr<const ServiceSnapshot> load_snapshot(const std::string& path,
+                                                     std::size_t n_threads);
+
+}  // namespace offnet::svc

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/mutex.h"
+#include "core/pinned.h"
+#include "core/thread_annotations.h"
+
+namespace offnet::svc {
+
+/// RCU-style versioned publication cell — the generalization of the
+/// bgp::PinnedIp2As pinning idiom (DESIGN.md §11). Readers pin() the
+/// current object and keep using it lock-free for the whole query, even
+/// while a publisher swaps in a newer version: publish() replaces the
+/// current pointer under a short mutex and bumps the version, and the
+/// old object stays alive until its last pin dies. There is no deferred
+/// reclamation machinery — shared_ptr *is* the grace period.
+///
+/// Publication discipline (enforced by callers, see Server::do_reload):
+/// validate the candidate object *before* publish(), so a corrupt or
+/// inconsistent reload is rejected while the previous version keeps
+/// serving. publish() itself never fails.
+template <class T>
+class VersionedStore {
+ public:
+  VersionedStore() = default;
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  /// The current object and its version. Empty (version 0) until the
+  /// first publish.
+  core::Pinned<T> pin() const OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    return core::Pinned<T>(current_, version_);
+  }
+
+  /// Atomically replaces the current object; returns the new version
+  /// (1-based, monotonically increasing). In-flight readers keep the
+  /// version they pinned.
+  std::uint64_t publish(std::shared_ptr<const T> next)
+      OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    current_ = std::move(next);
+    return ++version_;
+  }
+
+  std::uint64_t version() const OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    return version_;
+  }
+
+ private:
+  mutable core::Mutex mutex_;
+  std::shared_ptr<const T> current_ OFFNET_GUARDED_BY(mutex_);
+  std::uint64_t version_ OFFNET_GUARDED_BY(mutex_) = 0;
+};
+
+class ServiceSnapshot;
+
+/// The store offnetd serves from: one immutable ServiceSnapshot at a
+/// time, swapped whole on reload.
+using SnapshotStore = VersionedStore<ServiceSnapshot>;
+
+}  // namespace offnet::svc

@@ -1,0 +1,224 @@
+#include "svc/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace offnet::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& step, const std::string& where) {
+  throw SocketError(step + " " + where + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for `events`; true when ready. EINTR counts against the
+/// timeout conservatively (restarts the full wait — callers' timeouts
+/// are coarse bounds, not precise budgets).
+bool poll_one(int fd, short events, int timeout_ms) {
+  for (;;) {
+    struct pollfd p {};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (p.revents & (events | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Endpoint Endpoint::unix_socket(std::string path) {
+  Endpoint out;
+  out.unix_path = std::move(path);
+  return out;
+}
+
+Endpoint Endpoint::tcp_loopback(std::uint16_t port) {
+  Endpoint out;
+  out.tcp_port = port;
+  return out;
+}
+
+std::string Endpoint::to_string() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return "tcp:127.0.0.1:" + std::to_string(tcp_port);
+}
+
+namespace {
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Listener::Listener(const Endpoint& endpoint, int backlog)
+    : endpoint_(endpoint) {
+  const int family = endpoint.is_unix() ? AF_UNIX : AF_INET;
+  fd_ = Fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd_.valid()) fail("socket", endpoint.to_string());
+  if (endpoint.is_unix()) {
+    // Replace a leftover socket file from a dead process; a live one
+    // surfaces as the bind error it deserves... except bind() succeeds
+    // after unlink even with a live listener. Accepted: offnetd
+    // deployments own their socket path (documented in README).
+    ::unlink(endpoint.unix_path.c_str());
+    sockaddr_un addr = unix_address(endpoint.unix_path);
+    if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail("bind", endpoint.to_string());
+    }
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr = loopback_address(endpoint.tcp_port);
+    if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail("bind", endpoint.to_string());
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0) {
+      fail("getsockname", endpoint.to_string());
+    }
+    endpoint_.tcp_port = ntohs(addr.sin_port);
+  }
+  if (::listen(fd_.get(), backlog) != 0) {
+    fail("listen", endpoint.to_string());
+  }
+}
+
+Listener::~Listener() {
+  fd_.reset();
+  if (endpoint_.is_unix()) ::unlink(endpoint_.unix_path.c_str());
+}
+
+Fd Listener::accept_with_timeout(int timeout_ms) {
+  if (!poll_one(fd_.get(), POLLIN, timeout_ms)) return Fd();
+  const int conn = ::accept(fd_.get(), nullptr, nullptr);
+  return conn >= 0 ? Fd(conn) : Fd();
+}
+
+Fd connect_endpoint(const Endpoint& endpoint, int timeout_ms) {
+  const int family = endpoint.is_unix() ? AF_UNIX : AF_INET;
+  Fd fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket", endpoint.to_string());
+  int rc;
+  if (endpoint.is_unix()) {
+    sockaddr_un addr = unix_address(endpoint.unix_path);
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    sockaddr_in addr = loopback_address(endpoint.tcp_port);
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) fail("connect", endpoint.to_string());
+  (void)timeout_ms;  // blocking connect to loopback/unix resolves locally
+  return fd;
+}
+
+Stream::ReadStatus Stream::read_line(std::string& line, int timeout_ms,
+                                     std::size_t max_line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (discarding_) {
+        // Tail of an overlong line — drop it and resume normal framing.
+        buffer_.erase(0, newline + 1);
+        discarding_ = false;
+        continue;
+      }
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return ReadStatus::kLine;
+    }
+    if (discarding_) {
+      buffer_.clear();
+    } else if (buffer_.size() > max_line) {
+      buffer_.clear();
+      discarding_ = true;
+      return ReadStatus::kOverlong;
+    }
+    if (!poll_one(fd_.get(), POLLIN, timeout_ms)) {
+      return ReadStatus::kTimeout;
+    }
+    char chunk[1024];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kEof;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return ReadStatus::kError;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Stream::has_buffered_line() const {
+  return !discarding_ && buffer_.find('\n') != std::string::npos;
+}
+
+bool Stream::write_all(std::string_view bytes, int timeout_ms) {
+  while (!bytes.empty()) {
+    if (!poll_one(fd_.get(), POLLOUT, timeout_ms)) return false;
+#ifdef MSG_NOSIGNAL
+    const int flags = MSG_NOSIGNAL;
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n = ::send(fd_.get(), bytes.data(), bytes.size(), flags);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace offnet::svc

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// Minimal POSIX stream-socket layer for offnetd and its clients. This
+/// is the one directory allowed to touch socket()/bind()/accept()/
+/// send()/recv() — the raw-socket lint rule fences everything else off
+/// (DESIGN.md §8) so timeout handling, partial-write loops, and EINTR
+/// retries live in exactly one place.
+///
+/// All blocking operations are poll-guarded with millisecond timeouts:
+/// nothing here can hang a worker forever on a stalled peer.
+namespace offnet::svc {
+
+/// Setup-time socket failures (bad path, bind/listen/connect errors).
+/// Distinct from std::runtime_error so CLIs can map it to the I/O exit
+/// code (74).
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Where a server listens or a client connects: a Unix-domain socket
+/// path, or a loopback TCP port (never a routable address — offnetd is
+/// a local service; fronting it publicly is a proxy's job).
+struct Endpoint {
+  std::string unix_path;        // non-empty selects AF_UNIX
+  std::uint16_t tcp_port = 0;   // with empty unix_path: 127.0.0.1:port
+
+  static Endpoint unix_socket(std::string path);
+  static Endpoint tcp_loopback(std::uint16_t port);
+  bool is_unix() const { return !unix_path.empty(); }
+  std::string to_string() const;  // "unix:<path>" or "tcp:127.0.0.1:<port>"
+};
+
+/// A bound, listening socket. The Unix path is unlinked on destruction.
+class Listener {
+ public:
+  /// Binds and listens; throws SocketError with the failing step and
+  /// errno text. A leftover Unix socket file from a dead process is
+  /// replaced. TCP port 0 binds an ephemeral port; see endpoint().
+  explicit Listener(const Endpoint& endpoint, int backlog = 128);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// One accepted connection, or an invalid Fd after `timeout_ms` with
+  /// nothing to accept. Transient accept errors (EINTR, a peer that
+  /// vanished between poll and accept) report as timeouts.
+  Fd accept_with_timeout(int timeout_ms);
+
+  /// The bound endpoint, with any ephemeral TCP port resolved.
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Fd fd_;
+  Endpoint endpoint_;
+};
+
+/// Connects to `endpoint`; throws SocketError on failure (including
+/// connect timeout).
+Fd connect_endpoint(const Endpoint& endpoint, int timeout_ms);
+
+/// Buffered line I/O over one connected socket.
+class Stream {
+ public:
+  explicit Stream(Fd fd) : fd_(std::move(fd)) {}
+
+  enum class ReadStatus {
+    kLine,      // `line` holds a complete line (newline stripped)
+    kTimeout,   // nothing to read within timeout_ms
+    kEof,       // peer closed cleanly
+    kError,     // read failed; connection is dead
+    kOverlong,  // line exceeded max_line; its bytes are being discarded
+  };
+
+  /// Reads one '\n'-terminated line. Returns immediately when a complete
+  /// line is already buffered; otherwise polls up to `timeout_ms` for
+  /// more bytes (a slow sender can make the call span several poll
+  /// rounds, but each round is bounded). A line longer than `max_line`
+  /// reports kOverlong once and the stream discards bytes through the
+  /// terminating newline, so one hostile line cannot wedge the parser.
+  ReadStatus read_line(std::string& line, int timeout_ms,
+                       std::size_t max_line);
+
+  /// True when a complete line is already buffered (read_line would
+  /// return without touching the socket).
+  bool has_buffered_line() const;
+
+  /// Writes all of `bytes`, polling for writability; false when the
+  /// peer stalls past `timeout_ms` or the connection dies. SIGPIPE-safe.
+  bool write_all(std::string_view bytes, int timeout_ms);
+
+  int fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+}  // namespace offnet::svc

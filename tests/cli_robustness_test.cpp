@@ -63,7 +63,7 @@ TEST(CliRobustnessTest, ExportToMissingDirectoryFailsLoudly) {
   const std::string scratch = temp_dir("cli_missing_dir");
   const int rc = run_cli(
       "export --out " + scratch + "/no/such/dir --scale 0.02", scratch);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 74);  // EX_IOERR: the machinery, not the data, failed
   EXPECT_NE(read_file(scratch + "/err.txt").find("error"),
             std::string::npos);
   EXPECT_FALSE(fs::exists(scratch + "/no/such/dir/relationships.txt"));
@@ -83,7 +83,7 @@ TEST(CliRobustnessTest, ExportOntoFullDiskFailsAndPublishesNothing) {
   }
   const int rc =
       run_cli("export --out " + out + " --scale 0.02", scratch);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 74);  // EX_IOERR
   EXPECT_NE(read_file(scratch + "/err.txt").find("error"),
             std::string::npos);
   EXPECT_FALSE(fs::exists(out + "/relationships.txt"));
@@ -99,7 +99,7 @@ TEST(CliRobustnessTest, MetricsOutFailureIsFatal) {
                              " --scale 0.02 --metrics-out " + metrics_dir +
                              "/metrics.json",
                          scratch);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 74);  // EX_IOERR
   EXPECT_NE(read_file(scratch + "/err.txt").find("error"),
             std::string::npos);
   EXPECT_FALSE(fs::exists(metrics_dir + "/metrics.json"));
@@ -115,7 +115,7 @@ TEST(CliRobustnessTest, DeadStdoutExitsNonzero) {
   const int status = std::system(command.c_str());
   ASSERT_NE(status, -1);
   ASSERT_TRUE(WIFEXITED(status));
-  EXPECT_EQ(WEXITSTATUS(status), 1);
+  EXPECT_EQ(WEXITSTATUS(status), 74);  // EX_IOERR
   EXPECT_NE(read_file(scratch + "/err.txt")
                 .find("writing to standard output failed"),
             std::string::npos);
@@ -125,7 +125,7 @@ TEST(CliRobustnessTest, ResumeWithoutCheckpointDirIsAnError) {
   const std::string scratch = temp_dir("cli_resume_nodir");
   const std::string root = temp_dir("cli_resume_nodir_root");
   const int rc = run_cli("series --root " + root + " --resume", scratch);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 64);  // EX_USAGE: a typo, not a data problem
   EXPECT_NE(read_file(scratch + "/err.txt").find("--checkpoint-dir"),
             std::string::npos);
 }
@@ -139,8 +139,49 @@ TEST(CliRobustnessTest, CorruptCheckpointIsRejectedOnResume) {
   const int rc = run_cli("series --root " + root + " --checkpoint-dir " +
                              ckpt + " --resume",
                          scratch);
-  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(rc, 65);  // EX_DATAERR: the checkpoint file is damaged
   EXPECT_NE(read_file(scratch + "/err.txt").find("checkpoint"),
+            std::string::npos);
+}
+
+// --max-error-fraction validation must reject NaN: `nan` compares false
+// against both bounds, so the old `budget < 0.0 || budget > 1.0` check
+// accepted it and every downstream error-budget comparison silently came
+// out false (an infinite budget in practice).
+TEST(CliRobustnessTest, MaxErrorFractionRejectsNan) {
+  const std::string scratch = temp_dir("cli_nan_budget");
+  const std::string root = temp_dir("cli_nan_budget_root");
+  for (const char* bad : {"nan", "NAN", "-nan", "inf", "2.0", "-0.5", "x"}) {
+    const int rc = run_cli("series --root " + root +
+                               " --max-error-fraction " + bad,
+                           scratch);
+    EXPECT_EQ(rc, 64) << "--max-error-fraction " << bad;  // EX_USAGE
+    EXPECT_NE(read_file(scratch + "/err.txt").find("max-error-fraction"),
+              std::string::npos);
+  }
+}
+
+TEST(CliRobustnessTest, UsageErrorsExitSixtyFour) {
+  const std::string scratch = temp_dir("cli_usage");
+  EXPECT_EQ(run_cli("frobnicate", scratch), 64);
+  EXPECT_EQ(run_cli("simulate --bogus-flag", scratch), 64);
+  EXPECT_EQ(run_cli("simulate --threads many", scratch), 64);
+  EXPECT_EQ(run_cli("analyze --dir x --month 13-33", scratch), 64);
+}
+
+TEST(CliRobustnessTest, SeriesWithZeroUsableSnapshotsIsDataError) {
+  const std::string scratch = temp_dir("cli_empty_series");
+  const std::string root = temp_dir("cli_empty_series_root");
+  EXPECT_EQ(run_cli("series --root " + root, scratch), 65);  // EX_DATAERR
+}
+
+TEST(CliRobustnessTest, QueryWithoutServerIsIoError) {
+  const std::string scratch = temp_dir("cli_query_noserver");
+  const int rc = run_cli("query --socket " + scratch +
+                             "/no-such-daemon.sock --send PING",
+                         scratch);
+  EXPECT_EQ(rc, 74);  // EX_IOERR: transport failure, retry elsewhere
+  EXPECT_NE(read_file(scratch + "/err.txt").find("error"),
             std::string::npos);
 }
 

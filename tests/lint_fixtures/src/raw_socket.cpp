@@ -1,0 +1,9 @@
+// Fixture: raw POSIX socket calls outside src/svc.
+void raw_socket_fixture() {
+  int fd = socket(2, 1, 0);          // finding: raw-socket
+  ::bind(fd, nullptr, 0);            // finding: raw-socket
+  int conn = accept(fd, nullptr, nullptr);  // finding: raw-socket
+  send(conn, "x", 1, 0);             // finding: raw-socket
+  client.send(payload);              // member call: not the POSIX API
+  sender();                          // identifier prefix, not a call
+}

@@ -144,6 +144,29 @@ TEST(LintRules, RawArtifactWriteSuppressible) {
   EXPECT_TRUE(lint_file("src/io/example.cpp", text).empty());
 }
 
+TEST(LintRules, RawSocketFixture) {
+  auto findings = lint_fixture("src/raw_socket.cpp", "src/raw_socket.cpp");
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"raw-socket", "raw-socket",
+                                      "raw-socket", "raw-socket"}));
+  EXPECT_NE(findings[0].message.find("src/svc"), std::string::npos);
+}
+
+TEST(LintRules, RawSocketAllowedInsideSvc) {
+  const std::string text = read_file(fixture_path("src/raw_socket.cpp"));
+  auto socket_findings = [&](const std::string& virtual_path) {
+    std::size_t n = 0;
+    for (const Finding& f : lint_file(virtual_path, text)) {
+      if (f.rule == "raw-socket") ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(socket_findings("src/svc/socket.cpp"), 0u);
+  EXPECT_EQ(socket_findings("tools/offnetd.cpp"), 4u);
+  EXPECT_EQ(socket_findings("bench/bench_offnetd.cpp"), 4u);
+  EXPECT_EQ(socket_findings("tests/svc_test.cpp"), 0u);
+}
+
 TEST(LintRules, FloatEqFixture) {
   auto findings =
       lint_fixture("tests/float_eq_test.cpp", "tests/float_eq_test.cpp");

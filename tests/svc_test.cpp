@@ -1,0 +1,799 @@
+// The service layer (DESIGN.md §11), bottom-up: the tolerant request
+// parser, the RCU-style VersionedStore (readers pin version N while a
+// publisher swaps in N+1 — the concurrency half runs under TSan via the
+// OFFNET_SANITIZE=thread build), the bounded AdmissionQueue, the
+// ServiceSnapshot digest and its validate-before-swap contract, and the
+// full Server over real unix-domain sockets: overload shed, per-request
+// deadlines, malformed input survival, fault-injected reloads, and
+// graceful drain with zero lost in-flight responses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/fault.h"
+#include "core/pinned.h"
+#include "net/date.h"
+#include "obs/metrics.h"
+#include "svc/admission.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/service_snapshot.h"
+#include "svc/snapshot_store.h"
+#include "svc/socket.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using offnet::core::Checkpoint;
+using offnet::core::FaultInjector;
+using offnet::core::HgFootprint;
+using offnet::core::Pinned;
+using offnet::core::RunState;
+using offnet::core::SnapshotHealth;
+using offnet::core::SnapshotResult;
+using offnet::svc::Admitted;
+using offnet::svc::AdmissionQueue;
+using offnet::svc::Client;
+using offnet::svc::Endpoint;
+using offnet::svc::ParseResult;
+using offnet::svc::Server;
+using offnet::svc::ServerOptions;
+using offnet::svc::ServiceSnapshot;
+using offnet::svc::SnapshotValidationError;
+using offnet::svc::VersionedStore;
+
+namespace metric_names = offnet::svc::metric_names;
+namespace obs = offnet::obs;
+
+std::string temp_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic pipeline results: enough of a SnapshotResult to exercise the
+// digest, the wire protocol, and checkpoint-backed reloads without
+// running the real pipeline.
+
+HgFootprint make_footprint(std::string name, std::size_t onnet,
+                           std::size_t candidates, std::size_t confirmed,
+                           std::vector<offnet::topo::AsId> candidate_ases,
+                           std::vector<offnet::topo::AsId> confirmed_ases) {
+  HgFootprint fp;
+  fp.name = std::move(name);
+  fp.onnet_ips = onnet;
+  fp.candidate_ips = candidates;
+  fp.confirmed_ips = confirmed;
+  fp.candidate_ases = std::move(candidate_ases);
+  fp.confirmed_or_ases = std::move(confirmed_ases);
+  return fp;
+}
+
+/// Two usable months plus one corrupt placeholder. `scale` perturbs the
+/// counts so two generations of the "same" data are distinguishable on
+/// the wire (the reload tests serve A and B alternately).
+std::vector<SnapshotResult> make_results(std::size_t scale = 1) {
+  std::vector<SnapshotResult> results;
+  for (std::size_t t = 0; t < 2; ++t) {
+    SnapshotResult result;
+    result.snapshot = t;
+    result.health = SnapshotHealth::kComplete;
+    result.per_hg.push_back(make_footprint("google", 100 * scale, 10 * scale,
+                                           8 * scale, {1, 2, 3}, {1, 3}));
+    result.per_hg.push_back(make_footprint("netflix", 50 * scale, 5 * scale,
+                                           2 * scale, {2, 4}, {2}));
+    results.push_back(std::move(result));
+  }
+  SnapshotResult corrupt;
+  corrupt.snapshot = 2;
+  corrupt.health = SnapshotHealth::kCorrupt;
+  results.push_back(std::move(corrupt));
+  return results;
+}
+
+std::shared_ptr<const ServiceSnapshot> make_snapshot(std::size_t scale = 1) {
+  return ServiceSnapshot::from_results("synthetic",
+                                       make_results(scale));
+}
+
+/// Publishes `results` as a checkpoint file offnetd-style reloads can
+/// consume (integrity-checked, digest comparison skipped on load).
+std::string write_checkpoint(const std::string& dir, const std::string& name,
+                             const std::vector<SnapshotResult>& results) {
+  RunState state;
+  state.results = results;
+  const std::string path = dir + "/" + name;
+  Checkpoint::save(path, state, "svc-test");
+  return path;
+}
+
+std::string month_label(std::size_t index) {
+  return offnet::net::study_snapshots()[index].to_string();
+}
+
+/// The exact FOOTPRINT response for make_results(scale)'s google cell.
+std::string google_footprint_response(std::size_t scale) {
+  return "OK month=" + month_label(0) + " hg=google onnet_ips=" +
+         std::to_string(100 * scale) + " candidate_ips=" +
+         std::to_string(10 * scale) + " confirmed_ips=" +
+         std::to_string(8 * scale) + " candidate_ases=3 confirmed_ases=2";
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, ParsesVerbCaseInsensitively) {
+  ParseResult parsed = offnet::svc::parse_request("ping");
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->verb, "PING");
+  EXPECT_TRUE(parsed.request->args.empty());
+  EXPECT_EQ(parsed.request->deadline_ms, -1);
+}
+
+TEST(Protocol, ParsesDeadlineTokenAndArgs) {
+  ParseResult parsed =
+      offnet::svc::parse_request("T=250 footprint 2013-10 google");
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->deadline_ms, 250);
+  EXPECT_EQ(parsed.request->verb, "FOOTPRINT");
+  EXPECT_EQ(parsed.request->args,
+            (std::vector<std::string>{"2013-10", "google"}));
+}
+
+TEST(Protocol, ToleratesCrlfAndExtraWhitespace) {
+  ParseResult parsed = offnet::svc::parse_request("  PING \t \r");
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->verb, "PING");
+}
+
+TEST(Protocol, RejectsBadDeadlines) {
+  for (const char* line : {"T=0 PING", "T=-5 PING", "T=abc PING",
+                           "T=9999999999 PING", "T=250"}) {
+    ParseResult parsed = offnet::svc::parse_request(line);
+    EXPECT_FALSE(parsed.request.has_value()) << line;
+    EXPECT_FALSE(parsed.error.empty()) << line;
+  }
+}
+
+TEST(Protocol, RejectsNonPrintableBytesWithHex) {
+  ParseResult parsed = offnet::svc::parse_request("PI\x01NG");
+  ASSERT_FALSE(parsed.request.has_value());
+  EXPECT_NE(parsed.error.find("0x01"), std::string::npos);
+}
+
+TEST(Protocol, RejectsEmptyRequest) {
+  EXPECT_FALSE(offnet::svc::parse_request("").request.has_value());
+  EXPECT_FALSE(offnet::svc::parse_request("   \r").request.has_value());
+}
+
+TEST(Protocol, ResponseFraming) {
+  EXPECT_EQ(offnet::svc::ok_response("pong"), "OK pong\n");
+  EXPECT_EQ(offnet::svc::ok_response(""), "OK\n");
+  EXPECT_EQ(offnet::svc::err_response("why"), "ERR why\n");
+  EXPECT_EQ(offnet::svc::busy_response("queue-full"), "BUSY queue-full\n");
+}
+
+// ---------------------------------------------------------------------------
+// VersionedStore: the RCU-style pinning idiom.
+
+struct Payload {
+  std::uint64_t tag = 0;
+  std::vector<std::uint64_t> data;
+};
+
+std::shared_ptr<const Payload> make_payload(std::uint64_t tag) {
+  auto payload = std::make_shared<Payload>();
+  payload->tag = tag;
+  payload->data.assign(64, tag);
+  return payload;
+}
+
+TEST(VersionedStore, EmptyUntilFirstPublish) {
+  VersionedStore<Payload> store;
+  EXPECT_EQ(store.version(), 0u);
+  Pinned<Payload> pin = store.pin();
+  EXPECT_FALSE(static_cast<bool>(pin));
+  EXPECT_EQ(pin.version(), 0u);
+}
+
+TEST(VersionedStore, PinHoldsItsVersionAcrossPublish) {
+  VersionedStore<Payload> store;
+  EXPECT_EQ(store.publish(make_payload(7)), 1u);
+  Pinned<Payload> old_pin = store.pin();
+  EXPECT_EQ(store.publish(make_payload(8)), 2u);
+  // The in-flight reader still sees version 1's data, untouched.
+  EXPECT_EQ(old_pin.version(), 1u);
+  EXPECT_EQ(old_pin->tag, 7u);
+  Pinned<Payload> new_pin = store.pin();
+  EXPECT_EQ(new_pin.version(), 2u);
+  EXPECT_EQ(new_pin->tag, 8u);
+}
+
+// The satellite-3 torture: readers pin while a publisher swaps, under
+// TSan when the sanitizer build runs this binary. Every pin must be
+// internally consistent — a version's payload is never seen mid-change.
+TEST(VersionedStore, ConcurrentPinAndPublishStayConsistent) {
+  VersionedStore<Payload> store;
+  store.publish(make_payload(1));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inconsistencies{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Pinned<Payload> pin = store.pin();
+        for (std::uint64_t value : pin->data) {
+          if (value != pin->tag) {
+            inconsistencies.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t tag = 2; tag <= 200; ++tag) {
+    store.publish(make_payload(tag));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0u);
+  EXPECT_EQ(store.version(), 200u);
+  EXPECT_EQ(store.pin()->tag, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+
+TEST(AdmissionQueueTest, TryPushRefusesWhenFullAndLeavesItemAlone) {
+  AdmissionQueue queue(2);
+  Admitted a;
+  a.accept_ns = 11;
+  Admitted b;
+  b.accept_ns = 22;
+  Admitted c;
+  c.accept_ns = 33;
+  EXPECT_TRUE(queue.try_push(a));
+  EXPECT_TRUE(queue.try_push(b));
+  EXPECT_FALSE(queue.try_push(c));
+  // The caller still owns the rejected connection (it must shed it with
+  // a BUSY line, which needs the fd and the timestamp intact).
+  EXPECT_EQ(c.accept_ns, 33);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsQueuedItemsThenReportsEmpty) {
+  AdmissionQueue queue(4);
+  Admitted a;
+  a.accept_ns = 1;
+  Admitted b;
+  b.accept_ns = 2;
+  ASSERT_TRUE(queue.try_push(a));
+  ASSERT_TRUE(queue.try_push(b));
+  queue.close();
+  Admitted rejected;
+  EXPECT_FALSE(queue.try_push(rejected));
+  // Drain semantics: admitted work is finished, not dropped.
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->accept_ns, 1);
+  auto second = queue.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->accept_ns, 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(AdmissionQueueTest, PopWaitsForAPush) {
+  AdmissionQueue queue(1);
+  std::optional<Admitted> popped;
+  std::thread worker([&] { popped = queue.pop(); });
+  sleep_ms(30);
+  Admitted item;
+  item.accept_ns = 99;
+  EXPECT_TRUE(queue.try_push(item));
+  worker.join();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->accept_ns, 99);
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedWorkers) {
+  AdmissionQueue queue(1);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&] {
+      EXPECT_FALSE(queue.pop().has_value());
+      finished.fetch_add(1);
+    });
+  }
+  sleep_ms(30);
+  queue.close();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceSnapshot
+
+TEST(ServiceSnapshotTest, FromResultsBuildsQueryableDigest) {
+  auto snapshot = make_snapshot();
+  EXPECT_EQ(snapshot->validate(), "");
+  EXPECT_EQ(snapshot->months().size(), 3u);
+  EXPECT_EQ(snapshot->usable_months(), 2u);
+  EXPECT_EQ(snapshot->hypergiants(),
+            (std::vector<std::string>{"google", "netflix"}));
+
+  const std::size_t month =
+      snapshot->month_index(offnet::net::study_snapshots()[0]);
+  ASSERT_NE(month, ServiceSnapshot::npos);
+  const std::size_t google = snapshot->hypergiant_index("google");
+  ASSERT_NE(google, ServiceSnapshot::npos);
+  const ServiceSnapshot::Cell* cell = snapshot->cell(month, google);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->onnet_ips, 100u);
+  EXPECT_EQ(cell->candidate_ips, 10u);
+  EXPECT_EQ(cell->confirmed_ips, 8u);
+  EXPECT_EQ(cell->confirmed_ases, (std::vector<std::uint32_t>{1, 3}));
+
+  // Co-hosting: AS 2 hosts only netflix, AS 3 only google, AS 99 nobody.
+  EXPECT_EQ(snapshot->hypergiants_in_as(month, 2),
+            (std::vector<std::string>{"netflix"}));
+  EXPECT_EQ(snapshot->hypergiants_in_as(month, 3),
+            (std::vector<std::string>{"google"}));
+  EXPECT_TRUE(snapshot->hypergiants_in_as(month, 99).empty());
+
+  // The corrupt placeholder month answers no cells.
+  EXPECT_EQ(snapshot->cell(2, google), nullptr);
+  EXPECT_EQ(snapshot->hypergiant_index("amazon"), ServiceSnapshot::npos);
+}
+
+TEST(ServiceSnapshotTest, ValidateRejectsStructuralDamage) {
+  EXPECT_NE(ServiceSnapshot::from_results("x", {})->validate(), "");
+
+  std::vector<SnapshotResult> no_usable(1);
+  no_usable[0].health = SnapshotHealth::kCorrupt;
+  EXPECT_NE(ServiceSnapshot::from_results("x", no_usable)->validate().find(
+                "usable"),
+            std::string::npos);
+
+  std::vector<SnapshotResult> duplicate = make_results();
+  duplicate[0].per_hg[1].name = "google";
+  duplicate[1].per_hg[1].name = "google";
+  EXPECT_NE(ServiceSnapshot::from_results("x", duplicate)->validate().find(
+                "duplicate"),
+            std::string::npos);
+
+  std::vector<SnapshotResult> spacey = make_results();
+  spacey[0].per_hg[0].name = "goo gle";
+  spacey[1].per_hg[0].name = "goo gle";
+  EXPECT_NE(ServiceSnapshot::from_results("x", spacey)->validate().find(
+                "whitespace"),
+            std::string::npos);
+
+  std::vector<SnapshotResult> unsorted = make_results();
+  unsorted[0].per_hg[0].confirmed_or_ases = {3, 1};
+  EXPECT_NE(ServiceSnapshot::from_results("x", unsorted)->validate().find(
+                "sorted"),
+            std::string::npos);
+
+  std::vector<SnapshotResult> inverted = make_results();
+  inverted[0].per_hg[0].confirmed_ips =
+      inverted[0].per_hg[0].candidate_ips + 1;
+  EXPECT_NE(ServiceSnapshot::from_results("x", inverted)->validate().find(
+                "exceed"),
+            std::string::npos);
+}
+
+TEST(ServiceSnapshotTest, CheckpointRoundtripsThroughLoader) {
+  const std::string dir = temp_dir("svc_ckpt_roundtrip");
+  const std::string path =
+      write_checkpoint(dir, "checkpoint.offnet", make_results());
+  auto loaded = offnet::svc::load_snapshot_from_checkpoint(path);
+  EXPECT_EQ(loaded->validate(), "");
+  EXPECT_EQ(loaded->source(), path);
+  EXPECT_EQ(loaded->hypergiants(),
+            (std::vector<std::string>{"google", "netflix"}));
+  const ServiceSnapshot::Cell* cell =
+      loaded->cell(0, loaded->hypergiant_index("google"));
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->confirmed_ips, 8u);
+  EXPECT_EQ(cell->confirmed_ases, (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(ServiceSnapshotTest, LoadSnapshotRejectsNonexistentPath) {
+  EXPECT_THROW(offnet::svc::load_snapshot("/no/such/source", 1),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end, over real unix-domain sockets.
+
+struct TestServer {
+  std::string dir;
+  obs::Registry metrics;
+  std::unique_ptr<Server> server;
+
+  explicit TestServer(const std::string& name) : dir(temp_dir(name)) {}
+
+  /// Starts a server on a unix socket in `dir` with test-friendly
+  /// defaults; `tweak` adjusts options before start.
+  template <class Tweak>
+  void start(Tweak&& tweak, std::size_t scale = 1) {
+    ServerOptions options;
+    options.endpoint = Endpoint::unix_socket(dir + "/offnetd.sock");
+    options.enable_sleep = true;
+    options.default_deadline_ms = 5000;
+    options.metrics = &metrics;
+    tweak(options);
+    server = std::make_unique<Server>(options, make_snapshot(scale));
+    server->start();
+  }
+
+  void start() {
+    start([](ServerOptions&) {});
+  }
+
+  Client client(int timeout_ms = 5000) {
+    return Client(server->bound_endpoint(), timeout_ms);
+  }
+
+  std::uint64_t counter(const char* name) {
+    const obs::RegistrySnapshot stats = metrics.snapshot();
+    auto it = stats.counters.find(name);
+    return it == stats.counters.end() ? 0u : it->second;
+  }
+};
+
+TEST(ServerTest, RejectsUnserviceableInitialSnapshot) {
+  ServerOptions options;
+  options.endpoint = Endpoint::unix_socket(
+      temp_dir("svc_bad_initial") + "/offnetd.sock");
+  EXPECT_THROW(Server(options, nullptr), SnapshotValidationError);
+  EXPECT_THROW(Server(options, ServiceSnapshot::from_results("empty", {})),
+               SnapshotValidationError);
+}
+
+TEST(ServerTest, AnswersQueriesOverUnixSocket) {
+  TestServer ts("svc_queries");
+  ts.start();
+  Client client = ts.client();
+
+  EXPECT_EQ(client.request("PING"), "OK pong");
+  auto info = client.request("INFO");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NE(info->find("version=1"), std::string::npos);
+  EXPECT_NE(info->find("months=3"), std::string::npos);
+  EXPECT_NE(info->find("usable=2"), std::string::npos);
+  EXPECT_NE(info->find("hgs=2"), std::string::npos);
+
+  EXPECT_EQ(client.request("HGS"), "OK google netflix");
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(1));
+  const std::string complete =
+      offnet::core::to_string(SnapshotHealth::kComplete);
+  EXPECT_EQ(client.request("COVERAGE " + month_label(0)),
+            "OK month=" + month_label(0) + " health=" + complete +
+                " hgs_with_footprint=2 confirmed_ases=3 confirmed_ips=10");
+  EXPECT_EQ(client.request("COHOST " + month_label(0) + " 2"),
+            "OK month=" + month_label(0) + " as=2 count=1 hgs=netflix");
+  EXPECT_EQ(client.request("COHOST " + month_label(0) + " 99"),
+            "OK month=" + month_label(0) + " as=99 count=0 hgs=-");
+
+  // Query errors are per-request, never per-connection.
+  auto unknown_hg =
+      client.request("FOOTPRINT " + month_label(0) + " amazon");
+  ASSERT_TRUE(unknown_hg.has_value());
+  EXPECT_EQ(unknown_hg->rfind("ERR", 0), 0u) << *unknown_hg;
+  auto unusable = client.request("FOOTPRINT " + month_label(2) + " google");
+  ASSERT_TRUE(unusable.has_value());
+  EXPECT_NE(unusable->find("not usable"), std::string::npos);
+  EXPECT_EQ(client.request("PING"), "OK pong");
+
+  auto stats = client.request("STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("requests="), std::string::npos);
+
+  EXPECT_EQ(client.request("QUIT"), "OK bye");
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, MalformedBytesGetErrAndConnectionSurvives) {
+  TestServer ts("svc_malformed");
+  ts.start();
+  Client client = ts.client();
+
+  ASSERT_TRUE(client.send_raw("PI\x01NG\n"));
+  auto response = client.read_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("ERR"), std::string::npos);
+  EXPECT_NE(response->find("0x01"), std::string::npos);
+
+  auto bogus = client.request("BOGUS 1 2 3");
+  ASSERT_TRUE(bogus.has_value());
+  EXPECT_NE(bogus->find("unknown verb 'BOGUS'"), std::string::npos);
+
+  // An overlong line is rejected once and the stream recovers.
+  std::string flood(offnet::svc::kMaxRequestBytes + 100, 'A');
+  flood += '\n';
+  ASSERT_TRUE(client.send_raw(flood));
+  auto overlong = client.read_line();
+  ASSERT_TRUE(overlong.has_value());
+  EXPECT_NE(overlong->find("exceeds"), std::string::npos);
+
+  // The same connection still serves.
+  EXPECT_EQ(client.request("PING"), "OK pong");
+  EXPECT_GE(ts.counter(metric_names::kMalformed), 2u);
+
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, DeadlineExceededAnswersBusy) {
+  TestServer ts("svc_deadline");
+  ts.start();
+  Client client = ts.client();
+  auto response = client.request("T=20 SLEEP 200");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, "BUSY deadline 20ms exceeded");
+  // An honest shed, then business as usual.
+  EXPECT_EQ(client.request("PING"), "OK pong");
+  EXPECT_GE(ts.counter(metric_names::kShedDeadline), 1u);
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, FullAdmissionQueueShedsBusyWithoutBlocking) {
+  TestServer ts("svc_busy");
+  ts.start([](ServerOptions& options) {
+    options.n_workers = 1;
+    options.queue_capacity = 1;
+  });
+
+  // Occupy the only worker, then the only queue slot; everything past
+  // that must be shed with an explicit BUSY by the accept thread.
+  // The trailing QUIT releases the worker once the sleep finishes —
+  // otherwise it would keep the blocker's connection (idle but open)
+  // and the queued extra would wait out the whole idle timeout.
+  Client blocker = ts.client();
+  ASSERT_TRUE(blocker.send_raw("SLEEP 800\nQUIT\n"));
+  sleep_ms(150);
+
+  std::vector<std::unique_ptr<Client>> extras;
+  std::vector<std::string> responses;
+  for (int i = 0; i < 5; ++i) {
+    extras.push_back(std::make_unique<Client>(ts.server->bound_endpoint(),
+                                              10'000));
+    ASSERT_TRUE(extras.back()->send_raw("PING\n"));
+  }
+  for (auto& extra : extras) {
+    auto response = extra->read_line();
+    ASSERT_TRUE(response.has_value());
+    responses.push_back(*response);
+  }
+
+  // One connection fit the queue; the rest were shed by the accept
+  // thread. Under heavy load the queued one may itself age out and be
+  // shed at admission — still an explicit BUSY, never silence.
+  std::size_t busy = 0;
+  std::size_t served = 0;
+  std::size_t stale = 0;
+  for (const std::string& response : responses) {
+    if (response == "BUSY queue-full") ++busy;
+    if (response == "OK pong") ++served;
+    if (response == "BUSY admission-deadline") ++stale;
+  }
+  EXPECT_GE(busy, 1u) << "no connection was shed";
+  EXPECT_GE(served + stale, 1u) << "the queued connection got no answer";
+  EXPECT_EQ(busy + served + stale, responses.size());
+  EXPECT_GE(ts.counter(metric_names::kShedBusy), 1u);
+
+  auto slept = blocker.read_line();
+  ASSERT_TRUE(slept.has_value());
+  EXPECT_EQ(*slept, "OK slept=800");
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, StaleQueuedConnectionIsShedAtAdmission) {
+  TestServer ts("svc_admission_deadline");
+  ts.start([](ServerOptions& options) {
+    options.n_workers = 1;
+    options.queue_capacity = 4;
+    options.default_deadline_ms = 100;
+  });
+
+  // The worker is pinned for 400ms; the queued connection will have
+  // waited out the 100ms admission deadline by the time it is popped.
+  Client blocker = ts.client();
+  ASSERT_TRUE(blocker.send_raw("T=2000 SLEEP 400\nQUIT\n"));
+  sleep_ms(100);
+  Client queued = ts.client();
+  auto response = queued.request("PING");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, "BUSY admission-deadline");
+  EXPECT_GE(ts.counter(metric_names::kShedDeadline), 1u);
+
+  auto slept = blocker.read_line();
+  ASSERT_TRUE(slept.has_value());
+  EXPECT_EQ(*slept, "OK slept=400");
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, ReloadPublishesNewVersionOldPinsSurvive) {
+  TestServer ts("svc_reload");
+  ts.start();
+  const std::string next =
+      write_checkpoint(ts.dir, "next.offnet", make_results(/*scale=*/2));
+
+  Client client = ts.client();
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(1));
+  auto reload = client.request("RELOAD " + next);
+  ASSERT_TRUE(reload.has_value());
+  EXPECT_EQ(*reload, "OK version=2 source=" + next);
+  EXPECT_EQ(ts.server->version(), 2u);
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(2));
+  EXPECT_EQ(ts.counter(metric_names::kReloadAccepted), 1u);
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, CorruptReloadIsRejectedAndOldVersionKeepsServing) {
+  TestServer ts("svc_reload_corrupt");
+  ts.start();
+  const std::string corrupt = ts.dir + "/corrupt.offnet";
+  std::ofstream(corrupt, std::ios::binary) << "not a checkpoint\n";
+
+  Client client = ts.client();
+  auto reload = client.request("RELOAD " + corrupt);
+  ASSERT_TRUE(reload.has_value());
+  EXPECT_NE(reload->find("ERR reload rejected"), std::string::npos);
+  // Validate-before-swap: version 1 still serves, bit for bit.
+  EXPECT_EQ(ts.server->version(), 1u);
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(1));
+  EXPECT_EQ(ts.counter(metric_names::kReloadRejected), 1u);
+  EXPECT_EQ(ts.counter(metric_names::kReloadAccepted), 0u);
+
+  // A missing path is rejected the same way.
+  auto missing = client.request("RELOAD /no/such/source");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_NE(missing->find("ERR reload rejected"), std::string::npos);
+  EXPECT_EQ(ts.server->version(), 1u);
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, FaultInjectedReloadLeavesPriorVersionServing) {
+  FaultInjector faults;
+  faults.fail_at(offnet::core::fault_stage::kSvcReload, 1);
+  TestServer ts("svc_reload_fault");
+  ts.start([&faults](ServerOptions& options) { options.faults = &faults; });
+  const std::string next =
+      write_checkpoint(ts.dir, "next.offnet", make_results(/*scale=*/2));
+
+  Client client = ts.client();
+  // First crossing of the svc-reload stage throws inside do_reload —
+  // before anything was published.
+  auto failed = client.request("RELOAD " + next);
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_NE(failed->find("ERR reload rejected"), std::string::npos);
+  EXPECT_EQ(ts.server->version(), 1u);
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(1));
+
+  // The second crossing is unarmed: the same reload now succeeds.
+  auto retried = client.request("RELOAD " + next);
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(retried->rfind("OK version=2", 0), 0u) << *retried;
+  EXPECT_EQ(client.request("FOOTPRINT " + month_label(0) + " google"),
+            google_footprint_response(2));
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+TEST(ServerTest, DrainFinishesInFlightWorkAndRefusesNewConnections) {
+  TestServer ts("svc_drain");
+  ts.start();
+  Client client = ts.client();
+  ASSERT_TRUE(client.send_raw("SLEEP 300\n"));
+  sleep_ms(100);  // the worker is now inside the handler
+
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+
+  // Zero lost in-flight responses: the admitted request completed.
+  auto response = client.read_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, "OK slept=300");
+
+  // The listener is gone (unix socket unlinked by the Listener dtor).
+  EXPECT_THROW(Client(Endpoint::unix_socket(ts.dir + "/offnetd.sock"), 500),
+               offnet::svc::SocketError);
+}
+
+// The tentpole torture: concurrent queries against concurrent reloads,
+// then a drain — every response arrives and matches exactly one
+// published generation (never a mix), and the drain is clean. Run under
+// TSan via the sanitizer build for the data-race half of the proof.
+TEST(ServerTest, ConcurrentQueriesAndReloadsThenDrainLoseNothing) {
+  TestServer ts("svc_torture");
+  ts.start([](ServerOptions& options) {
+    options.n_workers = 4;
+    options.queue_capacity = 64;
+    options.default_deadline_ms = 10'000;
+  });
+  const std::string gen1 =
+      write_checkpoint(ts.dir, "gen1.offnet", make_results(/*scale=*/1));
+  const std::string gen2 =
+      write_checkpoint(ts.dir, "gen2.offnet", make_results(/*scale=*/2));
+  const std::string fp1 = google_footprint_response(1);
+  const std::string fp2 = google_footprint_response(2);
+  const std::string query = "FOOTPRINT " + month_label(0) + " google";
+
+  constexpr int kReaders = 3;
+  constexpr int kQueriesPerReader = 40;
+  std::atomic<int> answered{0};
+  std::atomic<int> mixed{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      Client client(ts.server->bound_endpoint(), 15'000);
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        auto response = client.request(query);
+        if (!response.has_value()) continue;
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (*response != fp1 && *response != fp2) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Client client(ts.server->bound_endpoint(), 15'000);
+    for (int i = 0; i < 10; ++i) {
+      auto response =
+          client.request("RELOAD " + ((i % 2 == 0) ? gen2 : gen1));
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->rfind("OK version=", 0), 0u) << *response;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  // Every query got a response, each from one coherent snapshot version.
+  EXPECT_EQ(answered.load(), kReaders * kQueriesPerReader);
+  EXPECT_EQ(mixed.load(), 0);
+  EXPECT_EQ(ts.server->version(), 11u);  // initial + 10 reloads
+
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+  EXPECT_GE(ts.counter(metric_names::kReloadAccepted), 10u);
+  const obs::RegistrySnapshot stats = ts.metrics.snapshot();
+  auto latency = stats.histograms.find(metric_names::kLatencyUs);
+  ASSERT_NE(latency, stats.histograms.end());
+  EXPECT_GE(latency->second.count,
+            static_cast<std::uint64_t>(kReaders * kQueriesPerReader));
+}
+
+}  // namespace

@@ -16,7 +16,13 @@
 #                 and fail if the metrics JSON is missing any required
 #                 stage key (the §4 funnel counters, series accounting,
 #                 and the timing section)
-#   6. clang-tidy best-effort: skipped with a notice when not installed
+#   6. crash-resume  hard-kill a supervised series mid checkpoint
+#                 publish, resume, require byte-identical output
+#   7. offnetd    serve the exported data, query it (including one
+#                 malformed request), SIGTERM, require a clean drain
+#   8. TSan       rebuild svc_test with -fsanitize=thread and rerun the
+#                 service-layer concurrency suite under the sanitizer
+#   9. clang-tidy best-effort: skipped with a notice when not installed
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 set -eu
@@ -114,6 +120,87 @@ if ! cmp -s "$crash_dir/full-metrics.stripped" "$crash_dir/resumed-metrics.strip
   exit 1
 fi
 echo "crash-resume smoke OK: resumed report and metrics are byte-identical"
+
+step "offnetd smoke (serve, query, malformed request, SIGTERM drain)"
+# Start the daemon over the metrics-smoke export, wait for its READY
+# line, query it through `offnet_cli query` (including one deliberately
+# malformed request, which must get a per-request ERR — exit 65 — while
+# the daemon keeps serving), then SIGTERM it and require a clean drain
+# (exit 0).
+svc_dir="$build_dir/offnetd-smoke"
+rm -rf "$svc_dir"
+mkdir -p "$svc_dir"
+"$build_dir/tools/offnetd" --socket "$svc_dir/offnetd.sock" \
+    --root "$smoke_dir/data" --metrics-out "$svc_dir/metrics.json" \
+    > "$svc_dir/ready.txt" 2> "$svc_dir/daemon.err" &
+offnetd_pid=$!
+tries=0
+until grep -q '^READY' "$svc_dir/ready.txt" 2>/dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 120 ] || ! kill -0 "$offnetd_pid" 2>/dev/null; then
+    echo "check.sh: offnetd smoke FAILED: daemon never became ready" >&2
+    cat "$svc_dir/daemon.err" >&2 || true
+    exit 1
+  fi
+  sleep 0.5
+done
+run_query() {
+  "$build_dir/tools/offnet_cli" query --socket "$svc_dir/offnetd.sock" \
+      --send "$1"
+}
+run_query "PING" | grep -q '^OK pong' || {
+  echo "check.sh: offnetd smoke FAILED: PING did not answer OK pong" >&2
+  exit 1
+}
+run_query "INFO" | grep -q 'version=1' || {
+  echo "check.sh: offnetd smoke FAILED: INFO missing version=1" >&2
+  exit 1
+}
+run_query "FOOTPRINT 2021-04 Google" | grep -q '^OK month=2021-04' || {
+  echo "check.sh: offnetd smoke FAILED: FOOTPRINT query failed" >&2
+  exit 1
+}
+rc=0
+run_query "$(printf 'PI\001NG')" > "$svc_dir/malformed.txt" || rc=$?
+if [ "$rc" -ne 65 ] || ! grep -q '^ERR' "$svc_dir/malformed.txt"; then
+  echo "check.sh: offnetd smoke FAILED: malformed request: want ERR/exit 65, got exit $rc" >&2
+  cat "$svc_dir/malformed.txt" >&2 || true
+  exit 1
+fi
+# The malformed request must not have taken the daemon down.
+run_query "PING" | grep -q '^OK pong' || {
+  echo "check.sh: offnetd smoke FAILED: daemon died after malformed request" >&2
+  exit 1
+}
+kill -TERM "$offnetd_pid"
+rc=0
+wait "$offnetd_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "check.sh: offnetd smoke FAILED: SIGTERM drain exited $rc, want 0" >&2
+  cat "$svc_dir/daemon.err" >&2 || true
+  exit 1
+fi
+if [ -e "$svc_dir/offnetd.sock" ]; then
+  echo "check.sh: offnetd smoke FAILED: socket file not unlinked on drain" >&2
+  exit 1
+fi
+grep -q 'svc/requests' "$svc_dir/metrics.json" || {
+  echo "check.sh: offnetd smoke FAILED: no svc/ metrics exported on drain" >&2
+  exit 1
+}
+echo "offnetd smoke OK: served, survived malformed input, drained cleanly"
+
+step "TSan service leg (svc_test under -fsanitize=thread)"
+# The concurrency half of the svc_test proof: the same suite (concurrent
+# pin/publish, queries racing reloads, drain) rebuilt with
+# OFFNET_SANITIZE=thread so TSan watches the service layer's locking.
+tsan_dir="$build_dir-tsan"
+cmake -S "$repo_root" -B "$tsan_dir" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOFFNET_SANITIZE=thread > /dev/null
+cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target svc_test
+"$tsan_dir/tests/svc_test"
 
 step "clang-tidy"
 "$repo_root/tools/run_clang_tidy.sh" "$build_dir"

@@ -1,0 +1,38 @@
+#pragma once
+
+/// The documented exit-code taxonomy for offnet_cli and offnetd,
+/// following the BSD sysexits conventions so scripts (tools/check.sh,
+/// operators' unit files) can tell *why* a run failed instead of
+/// pattern-matching stderr. cli_robustness_test asserts each mapping.
+namespace offnet::tools {
+
+/// Success.
+inline constexpr int kExitOk = 0;
+
+/// Unclassified failure — an unexpected exception. Anything mapped here
+/// deserves a more specific code; treated as a bug in the taxonomy.
+inline constexpr int kExitUnexpected = 1;
+
+/// EX_USAGE: bad command line (unknown command/flag, malformed or
+/// out-of-range flag value, missing required flag).
+inline constexpr int kExitUsage = 64;
+
+/// EX_DATAERR: the input data was unusable — corrupt checkpoint, strict
+/// load failure, blown error budget, a series with zero usable
+/// snapshots, or an ERR response to `offnet_cli query`.
+inline constexpr int kExitData = 65;
+
+/// Crash injection (core::FaultInjector::kAbortExitCode): an armed
+/// abort-mode fault killed the process on purpose.
+inline constexpr int kExitCrashInjected = 70;
+
+/// EX_IOERR: the machinery failed, not the data — cannot write an
+/// artifact or metrics file, stdout write failure, cannot reach or talk
+/// to offnetd.
+inline constexpr int kExitIo = 74;
+
+/// EX_TEMPFAIL: the server shed the request (BUSY response — queue full
+/// or deadline exceeded). Retrying later is expected to succeed.
+inline constexpr int kExitTempFail = 75;
+
+}  // namespace offnet::tools

@@ -18,7 +18,7 @@ const char* const kKnownRules[] = {
     "nondet-rand",   "nondet-clock",     "raw-lock",
     "unordered-iter", "float-eq",         "include-quoted",
     "include-relative", "pragma-once",    "bad-suppression",
-    "raw-artifact-write",
+    "raw-artifact-write", "raw-socket",
 };
 
 bool known_rule(std::string_view rule) {
@@ -552,6 +552,49 @@ void rule_raw_artifact_write(const std::string& path, const Stripped& s,
   }
 }
 
+void rule_raw_socket(const std::string& path, const Stripped& s,
+                     std::vector<Finding>& out) {
+  // src/svc is the one sanctioned socket layer; tests are out of scope
+  // (they exercise sockets through svc::Client anyway).
+  if (!has_dir(path, "src") && !has_dir(path, "tools") &&
+      !has_dir(path, "bench")) {
+    return;
+  }
+  if (has_dir(path, "svc")) return;
+  static const char* const kCalls[] = {
+      "socket", "accept", "bind",   "listen",  "connect",
+      "send",   "recv",   "sendto", "recvfrom"};
+  const std::string_view code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const char* fn : kCalls) {
+      if (!word_at(code, i, fn)) continue;
+      const std::size_t len = std::string_view(fn).size();
+      const std::size_t after = skip_spaces(code, i + len);
+      if (after >= code.size() || code[after] != '(') continue;
+      // Member calls (obj.send(...), promise.bind(...)) are some other
+      // API; the POSIX socket calls are free functions (possibly
+      // ::-qualified).
+      std::size_t before = i;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      const bool member =
+          (before >= 1 && code[before - 1] == '.') ||
+          (before >= 2 && code[before - 2] == '-' &&
+           code[before - 1] == '>');
+      if (member) continue;
+      out.push_back({path, s.line_of(i), "raw-socket",
+                     "raw " + std::string(fn) +
+                         "() outside src/svc; all socket I/O goes through "
+                         "the service layer (svc::Listener/Stream/Client), "
+                         "which owns timeouts, partial writes, and EINTR"});
+      i += len;
+      break;
+    }
+  }
+}
+
 void rule_includes(const std::string& path, const Stripped& s,
                    std::vector<Finding>& out) {
   static const char* const kRepoDirs[] = {
@@ -669,6 +712,7 @@ std::vector<Finding> lint_file(
   rule_unordered_iter(path, stripped, extra_unordered_names, raw);
   rule_float_eq(path, stripped, raw);
   rule_raw_artifact_write(path, stripped, raw);
+  rule_raw_socket(path, stripped, raw);
   rule_includes(path, stripped, raw);
 
   std::vector<Finding> out;

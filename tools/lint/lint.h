@@ -25,6 +25,11 @@
 ///                    artifacts must be published via io::AtomicFile
 ///                    (write-to-temp + flush + rename), never written
 ///                    in place
+///   raw-socket       socket()/accept()/bind()/listen()/connect()/
+///                    send()/recv()/sendto()/recvfrom() outside src/svc
+///                    — all socket I/O (timeouts, partial writes, EINTR)
+///                    lives in the service layer (svc::Listener/Stream/
+///                    Client); tools and benches go through svc::Client
 ///
 /// Suppressions: `// offnet-lint: allow(rule-id): justification` on the
 /// offending line, or alone on the line directly above it. The

@@ -21,6 +21,15 @@
 //       snapshot with the `analyze` file layout. Missing or corrupt
 //       snapshots are annotated and skipped instead of aborting the
 //       study; prints a per-snapshot health summary.
+//
+//   offnet_cli query (--socket PATH | --port N) --send 'REQUEST'
+//                    [--timeout-ms N]
+//       Send one line-protocol request to a running offnetd and print
+//       the response. The exit code classifies it: OK 0, ERR 65 (data),
+//       BUSY 75 (tempfail), transport failure 74 (I/O).
+//
+// Exit codes follow the tools/exit_codes.h taxonomy: 0 success, 64 usage,
+// 65 data, 70 injected crash, 74 I/O, 75 tempfail, 1 unexpected.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -31,9 +40,11 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/fault.h"
 #include "core/longitudinal.h"
 #include "core/pipeline.h"
+#include "exit_codes.h"
 #include "io/atomic_file.h"
 #include "io/exporter.h"
 #include "io/loaders.h"
@@ -41,10 +52,17 @@
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "scan/world.h"
+#include "svc/client.h"
 
 using namespace offnet;
 
 namespace {
+
+/// Bad command lines exit with tools::kExitUsage, distinct from bad
+/// data — scripts retrying a flaky corpus must not retry a typo.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -61,7 +79,8 @@ constexpr std::string_view kKnownFlags[] = {
     "scale", "seed", "month",      "scanner",
     "out",   "dir",  "root",       "permissive", "max-error-fraction",
     "threads", "metrics-out",
-    "checkpoint-dir", "resume", "max-retries", "crash-after"};
+    "checkpoint-dir", "resume", "max-retries", "crash-after",
+    "socket", "port", "send", "timeout-ms"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -88,7 +107,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: offnet_cli simulate|export|analyze|series [options]\n"
+               "usage: offnet_cli simulate|export|analyze|series|query "
+               "[options]\n"
                "  simulate [--scale S] [--seed N] [--month YYYY-MM] "
                "[--scanner r7|cs|ac] [--threads N]\n"
                "  export   --out DIR [--scale S] [--seed N] "
@@ -110,8 +130,12 @@ int usage() {
                "  --max-retries N: attempts per failing snapshot before it "
                "is quarantined (default 2 retries)\n"
                "  --crash-after N: testing aid; hard-kill the run during "
-               "the (N+1)th checkpoint publish\n");
-  return 2;
+               "the (N+1)th checkpoint publish\n"
+               "  query    (--socket PATH | --port N) --send 'REQUEST' "
+               "[--timeout-ms N]\n"
+               "           one offnetd request; exit 0 on OK, 65 on ERR, "
+               "75 on BUSY, 74 on transport failure\n");
+  return tools::kExitUsage;
 }
 
 core::PipelineOptions pipeline_options_from(const Args& args) {
@@ -121,7 +145,7 @@ core::PipelineOptions pipeline_options_from(const Args& args) {
     char* end = nullptr;
     unsigned long threads = std::strtoul(text, &end, 10);
     if (end == text || *end != '\0' || threads > 1024) {
-      throw std::runtime_error("--threads must be an integer in [0, 1024]");
+      throw UsageError("--threads must be an integer in [0, 1024]");
     }
     options.n_threads = static_cast<std::size_t>(threads);
   }
@@ -136,9 +160,11 @@ io::ReadOptions read_options_from(const Args& args) {
     const char* text = args.get("max-error-fraction", "");
     char* end = nullptr;
     double budget = std::strtod(text, &end);
-    if (end == text || *end != '\0' || budget < 0.0 || budget > 1.0) {
-      throw std::runtime_error(
-          "--max-error-fraction must be a number in [0, 1]");
+    // The negated form is NaN-proof: `nan` compares false against both
+    // bounds, so `budget < 0.0 || budget > 1.0` accepted it and every
+    // fraction comparison downstream silently came out false.
+    if (end == text || *end != '\0' || !(budget >= 0.0 && budget <= 1.0)) {
+      throw UsageError("--max-error-fraction must be a number in [0, 1]");
     }
     options.max_error_fraction = budget;
   }
@@ -160,9 +186,9 @@ std::size_t parse_count(const Args& args, const char* flag,
   char* end = nullptr;
   unsigned long n = std::strtoul(text, &end, 10);
   if (end == text || *end != '\0' || n > max) {
-    throw std::runtime_error(std::string("--") + flag +
-                             " must be an integer in [0, " +
-                             std::to_string(max) + "]");
+    throw UsageError(std::string("--") + flag +
+                     " must be an integer in [0, " + std::to_string(max) +
+                     "]");
   }
   return static_cast<std::size_t>(n);
 }
@@ -186,10 +212,10 @@ void print_result(const topo::Topology& topology,
 
 std::size_t snapshot_from(const Args& args) {
   auto month = net::YearMonth::parse(args.get("month", "2021-04"));
-  if (!month) throw std::runtime_error("malformed --month");
+  if (!month) throw UsageError("malformed --month");
   auto index = net::snapshot_index(*month);
   if (!index) {
-    throw std::runtime_error(
+    throw UsageError(
         "--month must be a quarterly study snapshot (2013-10 .. 2021-04)");
   }
   return *index;
@@ -256,7 +282,7 @@ io::Dataset load_dir(const std::string& dir, net::YearMonth month,
                      const io::ReadOptions& options, io::LoadReport* report) {
   auto open = [&dir](const char* name) {
     std::ifstream in(dir + "/" + name);
-    if (!in) throw std::runtime_error(std::string("cannot read ") + name);
+    if (!in) throw io::LoadError(std::string("cannot read ") + name);
     return in;
   };
   std::ifstream rel = open("relationships.txt");
@@ -341,14 +367,14 @@ int cmd_series(const Args& args) {
     }
     supervisor.resume = args.has("resume");
     if (supervisor.resume && supervisor.checkpoint_path.empty()) {
-      throw std::runtime_error("--resume needs --checkpoint-dir");
+      throw UsageError("--resume needs --checkpoint-dir");
     }
     if (args.has("max-retries")) {
       supervisor.max_retries = parse_count(args, "max-retries", 100);
     }
     if (args.has("crash-after")) {
       if (supervisor.checkpoint_path.empty()) {
-        throw std::runtime_error("--crash-after needs --checkpoint-dir");
+        throw UsageError("--crash-after needs --checkpoint-dir");
       }
       // Die mid-publish of the (N+1)th checkpoint: after its temp file
       // is written, before the rename — the previous checkpoint stays
@@ -391,7 +417,38 @@ int cmd_series(const Args& args) {
     std::printf("%zu snapshots quarantined after exhausting retries\n",
                 quarantined);
   }
-  return usable > 0 ? 0 : 1;
+  // Zero usable snapshots means the corpus, not the machinery, failed.
+  return usable > 0 ? tools::kExitOk : tools::kExitData;
+}
+
+int cmd_query(const Args& args) {
+  if (args.has("socket") == args.has("port") || !args.has("send")) {
+    return usage();
+  }
+  svc::Endpoint endpoint;
+  if (args.has("socket")) {
+    endpoint = svc::Endpoint::unix_socket(args.get("socket", ""));
+  } else {
+    const std::size_t port = parse_count(args, "port", 65535);
+    if (port == 0) throw UsageError("--port must be in [1, 65535]");
+    endpoint = svc::Endpoint::tcp_loopback(static_cast<std::uint16_t>(port));
+  }
+  int timeout_ms = 5000;
+  if (args.has("timeout-ms")) {
+    timeout_ms = static_cast<int>(parse_count(args, "timeout-ms", 600'000));
+  }
+
+  svc::Client client(endpoint, timeout_ms);  // SocketError -> 74 in main
+  std::optional<std::string> response = client.request(args.get("send", ""));
+  if (!response) {
+    std::fprintf(stderr, "error: no response from %s\n",
+                 endpoint.to_string().c_str());
+    return tools::kExitIo;
+  }
+  std::printf("%s\n", response->c_str());
+  if (response->rfind("OK", 0) == 0) return tools::kExitOk;
+  if (response->rfind("BUSY", 0) == 0) return tools::kExitTempFail;
+  return tools::kExitData;  // ERR (or an off-protocol response)
 }
 
 }  // namespace
@@ -404,7 +461,7 @@ namespace {
 int checked_stdout(int rc) {
   if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
     std::fprintf(stderr, "error: writing to standard output failed\n");
-    return rc == 0 ? 1 : rc;
+    return rc == 0 ? tools::kExitIo : rc;
   }
   return rc;
 }
@@ -414,14 +471,32 @@ int checked_stdout(int rc) {
 int main(int argc, char** argv) {
   auto args = parse_args(argc, argv);
   if (!args) return usage();
+  // Exceptions map onto the tools/exit_codes.h taxonomy; most-derived
+  // types first.
   try {
     if (args->command == "simulate") return checked_stdout(cmd_simulate(*args));
     if (args->command == "export") return checked_stdout(cmd_export(*args));
     if (args->command == "analyze") return checked_stdout(cmd_analyze(*args));
     if (args->command == "series") return checked_stdout(cmd_series(*args));
+    if (args->command == "query") return checked_stdout(cmd_query(*args));
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitUsage;
+  } catch (const svc::SocketError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitIo;
+  } catch (const io::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitIo;
+  } catch (const core::CheckpointError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitData;
+  } catch (const io::LoadError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitData;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::kExitUnexpected;
   }
   return usage();
 }

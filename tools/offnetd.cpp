@@ -1,0 +1,224 @@
+// offnetd — the off-net query service (DESIGN.md §11).
+//
+//   offnetd (--socket PATH | --port N) (--root DIR | --checkpoint FILE)
+//           [--workers N] [--queue N] [--deadline-ms N] [--drain-ms N]
+//           [--threads N] [--metrics-out FILE] [--enable-sleep]
+//
+// Loads a longitudinal result set — an export root (DIR/<YYYY-MM>/ per
+// snapshot, as written by `offnet_cli export`) or a PR-5 checkpoint
+// file — and serves footprint/coverage/co-hosting queries over the line
+// protocol (src/svc/protocol.h) until SIGTERM/SIGINT, then drains
+// gracefully: stops accepting, finishes in-flight requests within the
+// drain deadline, exits 0. Exit codes follow tools/exit_codes.h.
+//
+// Prints "READY" on stdout once the endpoint is live, so supervisors
+// (and tools/check.sh) can wait for it instead of sleeping.
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/checkpoint.h"
+#include "exit_codes.h"
+#include "io/atomic_file.h"
+#include "io/loaders.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "svc/server.h"
+
+using namespace offnet;
+
+namespace {
+
+/// Signal flags are the only thing a handler touches; the main thread
+/// polls them at 50ms granularity and runs the actual drain itself.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int) { g_stop = 1; }
+
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+constexpr std::string_view kKnownFlags[] = {
+    "socket", "port",        "root",    "checkpoint",   "workers",
+    "queue",  "deadline-ms", "drain-ms", "threads",     "metrics-out",
+    "enable-sleep"};
+
+struct Args {
+  std::map<std::string, std::string> options;
+  const char* get(const std::string& key, const char* fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+  bool has(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") {
+      throw UsageError("unexpected argument '" + std::string(arg) + "'");
+    }
+    std::string key(arg.substr(2));
+    if (std::find(std::begin(kKnownFlags), std::end(kKnownFlags), key) ==
+        std::end(kKnownFlags)) {
+      throw UsageError("unknown option --" + key);
+    }
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: offnetd (--socket PATH | --port N) (--root DIR | "
+      "--checkpoint FILE)\n"
+      "               [--workers N] [--queue N] [--deadline-ms N] "
+      "[--drain-ms N]\n"
+      "               [--threads N] [--metrics-out FILE] [--enable-sleep]\n"
+      "  --socket PATH      listen on a Unix-domain socket\n"
+      "  --port N           listen on 127.0.0.1:N (0 = ephemeral; the\n"
+      "                     bound port is printed on startup)\n"
+      "  --root DIR         serve an export root (DIR/<YYYY-MM>/ per "
+      "snapshot)\n"
+      "  --checkpoint FILE  serve a supervised-run checkpoint\n"
+      "  --workers N        worker threads (default 4)\n"
+      "  --queue N          admission queue capacity (default 64); a full\n"
+      "                     queue sheds new connections with BUSY\n"
+      "  --deadline-ms N    default per-request deadline (default 1000)\n"
+      "  --drain-ms N       drain deadline after SIGTERM (default 5000)\n"
+      "  --threads N        pipeline threads for --root loads and RELOAD\n"
+      "  --metrics-out FILE write the service metrics as JSON on exit\n"
+      "  --enable-sleep     admit the SLEEP test verb (tests only)\n");
+  return tools::kExitUsage;
+}
+
+std::int64_t parse_int(const Args& args, const char* flag,
+                       std::int64_t fallback, std::int64_t min,
+                       std::int64_t max) {
+  if (!args.has(flag)) return fallback;
+  const char* text = args.get(flag, "");
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < min || v > max) {
+    throw UsageError("--" + std::string(flag) + " must be an integer in [" +
+                     std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.has("socket") == args.has("port")) {
+    throw UsageError("exactly one of --socket and --port is required");
+  }
+  if (args.has("root") == args.has("checkpoint")) {
+    throw UsageError("exactly one of --root and --checkpoint is required");
+  }
+
+  svc::ServerOptions options;
+  if (args.has("socket")) {
+    options.endpoint = svc::Endpoint::unix_socket(args.get("socket", ""));
+  } else {
+    options.endpoint = svc::Endpoint::tcp_loopback(static_cast<std::uint16_t>(
+        parse_int(args, "port", 0, 0, 65535)));
+  }
+  options.n_workers =
+      static_cast<std::size_t>(parse_int(args, "workers", 4, 1, 256));
+  options.queue_capacity =
+      static_cast<std::size_t>(parse_int(args, "queue", 64, 1, 65536));
+  options.default_deadline_ms =
+      parse_int(args, "deadline-ms", 1000, 1, 3'600'000);
+  options.drain_deadline_ms = parse_int(args, "drain-ms", 5000, 1, 600'000);
+  options.n_threads =
+      static_cast<std::size_t>(parse_int(args, "threads", 1, 0, 1024));
+  options.enable_sleep = args.has("enable-sleep");
+
+  obs::Registry metrics;
+  options.metrics = &metrics;
+
+  const std::string source = args.has("root") ? args.get("root", "")
+                                              : args.get("checkpoint", "");
+  std::fprintf(stderr, "offnetd: loading %s...\n", source.c_str());
+  std::shared_ptr<const svc::ServiceSnapshot> snapshot =
+      args.has("root")
+          ? svc::load_snapshot_from_export_root(source, options.n_threads)
+          : svc::load_snapshot_from_checkpoint(source);
+  const std::string why = snapshot->validate();
+  if (!why.empty()) {
+    std::fprintf(stderr, "offnetd: %s: unserviceable: %s\n", source.c_str(),
+                 why.c_str());
+    return tools::kExitData;
+  }
+
+  svc::Server server(std::move(options), std::move(snapshot));
+  server.start();
+
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr,
+               "offnetd: serving on %s (workers=%zu queue=%zu "
+               "deadline=%lldms)\n",
+               server.bound_endpoint().to_string().c_str(),
+               server.options().n_workers, server.options().queue_capacity,
+               static_cast<long long>(server.options().default_deadline_ms));
+  std::printf("READY %s\n", server.bound_endpoint().to_string().c_str());
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "offnetd: draining...\n");
+  server.request_drain();
+  const bool clean = server.join();
+
+  if (args.has("metrics-out")) {
+    io::AtomicFile::write(args.get("metrics-out", ""),
+                          obs::MetricsExporter::to_json(metrics));
+  }
+  std::fprintf(stderr, "offnetd: %s\n",
+               clean ? "drained cleanly" : "drain deadline exceeded");
+  return clean ? tools::kExitOk : tools::kExitUnexpected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  } catch (const svc::SocketError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitIo;
+  } catch (const io::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitIo;
+  } catch (const core::CheckpointError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitData;
+  } catch (const io::LoadError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitData;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitUnexpected;
+  }
+}
