@@ -1,8 +1,9 @@
 #include "bench_common.h"
 
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 
+#include "io/atomic_file.h"
 #include "obs/stage_timer.h"
 
 namespace offnet::bench {
@@ -58,17 +59,30 @@ double wall_seconds(const std::function<void()>& fn) {
 
 void write_bench_json(const std::string& bench, const std::string& path,
                       const std::vector<TimingSample>& samples) {
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "{\"bench\": \"" << bench << "\", \"mode\": \""
       << (fast_mode() ? "fast" : "full") << "\", \"samples\": [";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     if (i > 0) out << ", ";
     out << "{\"name\": \"" << samples[i].name << "\", \"threads\": "
-        << samples[i].threads << ", \"seconds\": " << samples[i].seconds
-        << "}";
+        << samples[i].threads << ", \"seconds\": " << samples[i].seconds;
+    if (samples[i].records > 0) {
+      out << ", \"records\": " << samples[i].records << ", \"records_per_sec\": "
+          << (samples[i].seconds > 0 ? samples[i].records / samples[i].seconds
+                                     : 0.0);
+    }
+    out << "}";
   }
   out << "]}\n";
-  std::fprintf(stderr, "[bench] wrote %s (%zu samples)\n", path.c_str(),
+  // Relative paths resolve against the repository root (baked in at
+  // configure time) so the baseline files land in one stable, versioned
+  // place no matter which build directory the bench ran from.
+  std::string full = path;
+  if (!path.empty() && path.front() != '/') {
+    full = std::string(OFFNET_REPO_ROOT) + "/" + path;
+  }
+  io::AtomicFile::write(full, out.str());
+  std::fprintf(stderr, "[bench] wrote %s (%zu samples)\n", full.c_str(),
                samples.size());
 }
 

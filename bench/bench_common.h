@@ -41,6 +41,7 @@ struct TimingSample {
   std::string name;         // what ran, e.g. "pipeline.run"
   std::size_t threads = 1;  // n_threads it ran with
   double seconds = 0.0;     // wall-clock
+  double records = 0.0;     // scan records processed (0: not applicable)
 };
 
 /// Wall-clock seconds of one fn() invocation.
@@ -48,8 +49,14 @@ double wall_seconds(const std::function<void()>& fn);
 
 /// Writes `path` as
 ///   {"bench": <bench>, "mode": "full"|"fast", "samples":
-///    [{"name": ..., "threads": N, "seconds": S}, ...]}
-/// — the perf baseline future PRs are compared against.
+///    [{"name": ..., "threads": N, "seconds": S,
+///      "records": R, "records_per_sec": P}, ...]}
+/// — the perf baseline future PRs are compared against. `records` and
+/// `records_per_sec` appear only for samples that set records > 0.
+/// Published via io::AtomicFile (a crashed bench never leaves a torn
+/// baseline); a relative `path` lands in the repository root, not the
+/// current directory, so baselines from any build layout collect in one
+/// stable place.
 void write_bench_json(const std::string& bench, const std::string& path,
                       const std::vector<TimingSample>& samples);
 

@@ -27,9 +27,9 @@ std::size_t overlap_count(std::span<const topo::AsId> a,
 
 /// Ground-truth "does this IP hold a valid certificate for HG g's
 /// domains" oracle, from the fleet and background serve masks.
-std::unordered_map<std::uint32_t, std::uint32_t> serve_masks(
+std::unordered_map<std::uint32_t, std::uint64_t> serve_masks(
     const scan::World& world, std::size_t snapshot) {
-  std::unordered_map<std::uint32_t, std::uint32_t> masks;
+  std::unordered_map<std::uint32_t, std::uint64_t> masks;
   for (const hg::ServerRecord& rec : world.fleet().snapshot_fleet(snapshot)) {
     if (rec.serves_hgs != 0) masks[rec.ip.value()] |= rec.serves_hgs;
   }
@@ -83,7 +83,7 @@ CrossDomainResult cross_domain_validation(const scan::World& world,
     const core::HgFootprint& fp = result.per_hg[h];
     for (net::IPv4 ip : fp.confirmed_ip_list) {
       auto it = masks.find(ip.value());
-      std::uint32_t mask = it == masks.end() ? 0u : it->second;
+      std::uint64_t mask = it == masks.end() ? 0u : it->second;
       // 10 random other HGs, one popular domain each.
       auto others = rng.sample_indices(n_hg, 11);
       std::size_t tested = 0;
@@ -92,7 +92,7 @@ CrossDomainResult cross_domain_validation(const scan::World& world,
         ++tested;
         ++out.probes;
         int g_profile = world_profile_index(world, result.per_hg[g].name);
-        if (g_profile >= 0 && (mask & (1u << g_profile))) {
+        if (g_profile >= 0 && (mask & (std::uint64_t{1} << g_profile))) {
           ++out.validated;
           if (akamai_ips.contains(ip.value())) ++out.validated_on_akamai;
         }
@@ -132,13 +132,13 @@ ReverseTestResult reverse_validation(const scan::World& world,
     if (offnet_ips.contains(rec.ip.value())) ++out.sampled_offnet_ips;
 
     auto it = masks.find(rec.ip.value());
-    std::uint32_t mask = it == masks.end() ? 0u : it->second;
+    std::uint64_t mask = it == masks.end() ? 0u : it->second;
     bool valid = false;
     if (mask != 0) {
       for (std::size_t pick : rng.sample_indices(n_hg, 10)) {
         int g_profile =
             world_profile_index(world, result.per_hg[pick].name);
-        if (g_profile >= 0 && (mask & (1u << g_profile))) {
+        if (g_profile >= 0 && (mask & (std::uint64_t{1} << g_profile))) {
           valid = true;
           break;
         }

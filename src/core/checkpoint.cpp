@@ -163,19 +163,12 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-std::uint64_t fnv1a(std::string_view data) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (unsigned char c : data) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
+// The FNV-1a 64 primitive itself is shared with the delta cache's key
+// tables (core::fnv1a_64, declared in delta_cache.h).
 std::string fnv1a_hex(std::string_view data) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(fnv1a(data)));
+                static_cast<unsigned long long>(fnv1a_64(data)));
   return buf;
 }
 
@@ -501,6 +494,150 @@ SnapshotResult decode_result(Reader& in) {
   return r;
 }
 
+// Delta-cache image (DESIGN.md §12). Rows are encoded in ascending id
+// order — exactly DeltaCache::snapshot()'s iteration order — so the
+// section is canonical like the rest of the payload.
+void encode_delta(std::string& out, const DeltaCacheSnapshot& d) {
+  out += "delta";
+  append_u64(out, d.present ? 1 : 0);
+  if (!d.present) {
+    end_line(out);
+    return;
+  }
+  append_token(out, d.config);
+  append_u64(out, d.commit_count);
+  append_u64(out, d.max_idle);
+  append_u64(out, d.next_cert_id);
+  append_u64(out, d.next_fp_id);
+  append_u64(out, d.next_env_id);
+  append_u64(out, d.next_origins_id);
+  append_u64(out, d.certs.size());
+  append_u64(out, d.fps.size());
+  append_u64(out, d.envs.size());
+  append_u64(out, d.origins.size());
+  append_u64(out, d.covers.size());
+  append_u64(out, d.onnet.size());
+  end_line(out);
+  for (const DeltaCacheSnapshot::CertRowImage& row : d.certs) {
+    out += "dcert";
+    append_u64(out, row.id);
+    append_token(out, row.key);
+    append_u64(out, row.kind);
+    append_token(out, std::to_string(row.ee_nb));
+    append_token(out, std::to_string(row.ee_na));
+    append_u64(out, row.org_mask);
+    append_u64(out, row.all_cloudflare ? 1 : 0);
+    append_u64(out, row.last_used);
+    append_u64(out, row.links.size());
+    for (const auto& [nb, na] : row.links) {
+      append_token(out, std::to_string(nb));
+      append_token(out, std::to_string(na));
+    }
+    end_line(out);
+  }
+  auto encode_ctx = [&](const std::vector<DeltaCacheSnapshot::CtxRowImage>&
+                            rows) {
+    for (const DeltaCacheSnapshot::CtxRowImage& row : rows) {
+      out += "dctx";
+      append_u64(out, row.id);
+      append_token(out, row.key);
+      append_u64(out, row.last_used);
+      end_line(out);
+    }
+  };
+  encode_ctx(d.fps);
+  encode_ctx(d.envs);
+  encode_ctx(d.origins);
+  auto encode_pairs = [&](const std::vector<DeltaCacheSnapshot::PairRowImage>&
+                              rows) {
+    for (const DeltaCacheSnapshot::PairRowImage& row : rows) {
+      out += "dpair";
+      append_u64(out, row.a);
+      append_u64(out, row.b);
+      append_u64(out, row.value);
+      append_u64(out, row.last_used);
+      end_line(out);
+    }
+  };
+  encode_pairs(d.covers);
+  encode_pairs(d.onnet);
+}
+
+DeltaCacheSnapshot decode_delta(Reader& in) {
+  DeltaCacheSnapshot d;
+  std::vector<std::string> t = in.line("delta", 2);
+  d.present = parse_u64(t[1], "delta present flag") != 0;
+  if (!d.present) return d;
+  if (t.size() < 15) {
+    throw CheckpointError("checkpoint: 'delta' record too short");
+  }
+  d.config = t[2];
+  d.commit_count = parse_u64(t[3], "delta commit count");
+  d.max_idle = parse_u64(t[4], "delta max idle");
+  d.next_cert_id =
+      static_cast<std::uint32_t>(parse_u64(t[5], "delta cert id"));
+  d.next_fp_id = static_cast<std::uint32_t>(parse_u64(t[6], "delta fp id"));
+  d.next_env_id =
+      static_cast<std::uint32_t>(parse_u64(t[7], "delta env id"));
+  d.next_origins_id =
+      static_cast<std::uint32_t>(parse_u64(t[8], "delta origins id"));
+  const std::size_t n_certs = parse_u64(t[9], "delta cert rows");
+  const std::size_t n_fps = parse_u64(t[10], "delta fp rows");
+  const std::size_t n_envs = parse_u64(t[11], "delta env rows");
+  const std::size_t n_origins = parse_u64(t[12], "delta origins rows");
+  const std::size_t n_covers = parse_u64(t[13], "delta covers rows");
+  const std::size_t n_onnet = parse_u64(t[14], "delta onnet rows");
+  for (std::size_t i = 0; i < n_certs; ++i) {
+    t = in.line("dcert", 10);
+    DeltaCacheSnapshot::CertRowImage row;
+    row.id = static_cast<std::uint32_t>(parse_u64(t[1], "dcert id"));
+    row.key = t[2];
+    row.kind = static_cast<std::uint8_t>(parse_u64(t[3], "dcert kind"));
+    row.ee_nb = parse_i64(t[4], "dcert not_before");
+    row.ee_na = parse_i64(t[5], "dcert not_after");
+    row.org_mask = parse_u64(t[6], "dcert org mask");
+    row.all_cloudflare = parse_u64(t[7], "dcert cloudflare flag") != 0;
+    row.last_used = parse_u64(t[8], "dcert last used");
+    const std::size_t n_links = parse_u64(t[9], "dcert link count");
+    if (t.size() != 10 + 2 * n_links) {
+      throw CheckpointError("checkpoint: 'dcert' record length mismatch");
+    }
+    row.links.reserve(n_links);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      row.links.emplace_back(parse_i64(t[10 + 2 * l], "dcert link nb"),
+                             parse_i64(t[11 + 2 * l], "dcert link na"));
+    }
+    d.certs.push_back(std::move(row));
+  }
+  auto decode_ctx = [&](std::size_t n,
+                        std::vector<DeltaCacheSnapshot::CtxRowImage>& rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::string> line = in.line("dctx", 4);
+      rows.push_back(
+          {static_cast<std::uint32_t>(parse_u64(line[1], "dctx id")),
+           line[2], parse_u64(line[3], "dctx last used")});
+    }
+  };
+  decode_ctx(n_fps, d.fps);
+  decode_ctx(n_envs, d.envs);
+  decode_ctx(n_origins, d.origins);
+  auto decode_pairs = [&](std::size_t n,
+                          std::vector<DeltaCacheSnapshot::PairRowImage>&
+                              rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::string> line = in.line("dpair", 5);
+      rows.push_back(
+          {static_cast<std::uint32_t>(parse_u64(line[1], "dpair a")),
+           static_cast<std::uint32_t>(parse_u64(line[2], "dpair b")),
+           parse_u64(line[3], "dpair value"),
+           parse_u64(line[4], "dpair last used")});
+    }
+  };
+  decode_pairs(n_covers, d.covers);
+  decode_pairs(n_onnet, d.onnet);
+  return d;
+}
+
 }  // namespace
 
 std::string run_digest(const PipelineOptions& options,
@@ -516,6 +653,8 @@ std::string run_digest(const PipelineOptions& options,
   d += options.disable_edge_conflict_rule ? '1' : '0';
   d += ";no_nginx=";
   d += options.disable_nginx_rule ? '1' : '0';
+  d += ";delta=";
+  d += options.delta != nullptr ? '1' : '0';
   return d;
 }
 
@@ -533,6 +672,7 @@ std::string Checkpoint::encode(const RunState& state,
   for (std::uint32_t ip : state.netflix_ips) append_u64(payload, ip);
   end_line(payload);
 
+  encode_delta(payload, state.delta);
   encode_metrics(payload, state.metrics);
   for (const SnapshotResult& result : state.results) {
     encode_result(payload, result);
@@ -631,6 +771,7 @@ RunState Checkpoint::decode(std::string_view content,
         static_cast<std::uint32_t>(parse_u64(t[i + 2], "Netflix IP")));
   }
 
+  state.delta = decode_delta(in);
   state.metrics = decode_metrics(in);
   state.results.reserve(n_results);
   for (std::size_t i = 0; i < n_results; ++i) {

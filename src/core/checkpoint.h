@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/delta_cache.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
 #include "scan/record.h"
@@ -50,14 +51,22 @@ struct RunState {
   /// Registry::absorb so a resumed run's exported counters equal an
   /// uninterrupted run's; timings restart with the resumed process.
   obs::RegistrySnapshot metrics;
+
+  /// Delta-cache image at save time (present only for --delta runs).
+  /// Persisting it keeps a resumed run's cache — and so its delta/*
+  /// counters — byte-identical to an uninterrupted run's.
+  DeltaCacheSnapshot delta;
 };
 
 /// Canonical description of the options that shape a run's results. A
 /// checkpoint records it at save time and load() rejects a mismatch: a
 /// checkpoint written with, say, the Cloudflare filter on must not seed
-/// a run with it off. Deliberately excludes n_threads (results are
-/// bit-identical at any thread count, so resuming at a different one is
-/// sound) and the series end (a run may be resumed to a later `last`).
+/// a run with it off. Includes whether a delta cache is attached: a
+/// --delta checkpoint carries cache state a --no-delta resume would
+/// silently drop (skewing the delta/* counters), and vice versa.
+/// Deliberately excludes n_threads (results are bit-identical at any
+/// thread count, so resuming at a different one is sound) and the
+/// series end (a run may be resumed to a later `last`).
 std::string run_digest(const PipelineOptions& options,
                        scan::ScannerKind scanner, std::size_t first);
 

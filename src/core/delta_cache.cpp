@@ -1,0 +1,388 @@
+#include "core/delta_cache.h"
+
+#include <algorithm>
+
+namespace offnet::core {
+
+namespace {
+
+// Field separators for the canonical encodings: neither occurs in
+// organization strings, dNSNames, or decimal numbers, so every encoding
+// parses back unambiguously and distinct contents get distinct keys.
+constexpr char kFieldSep = '\x1e';
+constexpr char kItemSep = '\x1f';
+
+void append_num(std::string& out, std::int64_t value) {
+  out += std::to_string(value);
+  out += ' ';
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_64(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+tls::CertStatus DeltaCache::CertEntry::status_at(net::DayTime at) const {
+  // Mirrors tls::CertValidator::validate check-for-check; delta_test
+  // holds the two byte-identical over full corpuses.
+  if (kind == CertKind::kMalformed) return tls::CertStatus::kMalformed;
+  const std::int64_t day = at.days();
+  if (day < ee_nb) return tls::CertStatus::kNotYetValid;
+  if (ee_na < day) return tls::CertStatus::kExpired;
+  if (kind == CertKind::kSelfSignedEe) return tls::CertStatus::kSelfSigned;
+  if (kind == CertKind::kNoAnchor) return tls::CertStatus::kUntrustedChain;
+  for (const auto& [nb, na] : links) {
+    if (day < nb || na < day) return tls::CertStatus::kUntrustedChain;
+  }
+  return tls::CertStatus::kValid;
+}
+
+DeltaCache::DeltaCache(std::uint64_t max_idle)
+    : max_idle_(max_idle == 0 ? 1 : max_idle) {}
+
+std::string DeltaCache::encode_cert(const tls::CertificateStore& certs,
+                                    const tls::RootStore& roots,
+                                    tls::CertId ee, CertEntry* entry) {
+  const tls::Certificate& cert = certs.get(ee);
+  entry->links.clear();
+  entry->org_mask = 0;
+  entry->all_cloudflare = false;
+  entry->ee_nb = cert.not_before.days();
+  entry->ee_na = cert.not_after.days();
+
+  if (cert.subject.organization.empty() && cert.dns_names.empty()) {
+    entry->kind = CertKind::kMalformed;
+  } else if (cert.self_signed() && !cert.is_ca) {
+    entry->kind = CertKind::kSelfSignedEe;
+  } else {
+    // Walk issuer links exactly as the validator does, recording each
+    // link's validity window up to and including the first trusted
+    // anchor. Links past the anchor can never influence a verdict; a
+    // chain that never reaches an anchor is untrusted at every date, so
+    // its windows are irrelevant too.
+    entry->kind = CertKind::kNoAnchor;
+    tls::CertId current = cert.issuer;
+    while (current != tls::kNoCert) {
+      const tls::Certificate& link = certs.get(current);
+      entry->links.emplace_back(link.not_before.days(),
+                                link.not_after.days());
+      if (roots.is_trusted(current)) {
+        entry->kind = CertKind::kChain;
+        break;
+      }
+      current = link.issuer;
+    }
+    if (entry->kind == CertKind::kNoAnchor) entry->links.clear();
+  }
+
+  // Canonical content encoding. dNSNames are sorted: every cached
+  // verdict derived from them (containment, universal-SSL shape,
+  // malformedness) is order-independent.
+  std::string key;
+  key += cert.subject.organization;
+  key += kFieldSep;
+  std::vector<std::string> names(cert.dns_names.begin(),
+                                 cert.dns_names.end());
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    key += name;
+    key += kItemSep;
+  }
+  key += kFieldSep;
+  append_num(key, static_cast<std::int64_t>(entry->kind));
+  append_num(key, entry->ee_nb);
+  append_num(key, entry->ee_na);
+  append_num(key, static_cast<std::int64_t>(entry->links.size()));
+  for (const auto& [nb, na] : entry->links) {
+    append_num(key, nb);
+    append_num(key, na);
+  }
+  return key;
+}
+
+std::string DeltaCache::encode_fp(const TlsFingerprint& fp) {
+  std::vector<std::string> names(fp.onnet_names.begin(),
+                                 fp.onnet_names.end());
+  std::sort(names.begin(), names.end());
+  std::string key;
+  for (const std::string& name : names) {
+    key += name;
+    key += kItemSep;
+  }
+  return key;
+}
+
+std::string DeltaCache::encode_env(
+    std::span<const std::unordered_set<net::Asn>> hg_asns) {
+  std::string key;
+  for (const std::unordered_set<net::Asn>& asns : hg_asns) {
+    std::vector<net::Asn> sorted(asns.begin(), asns.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (net::Asn asn : sorted) {
+      append_num(key, static_cast<std::int64_t>(asn));
+    }
+    key += kFieldSep;
+  }
+  return key;
+}
+
+std::string DeltaCache::encode_origins(std::span<const net::Asn> origins) {
+  std::vector<net::Asn> sorted(origins.begin(), origins.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key;
+  for (net::Asn asn : sorted) {
+    append_num(key, static_cast<std::int64_t>(asn));
+  }
+  return key;
+}
+
+std::string DeltaCache::encode_config(std::span<const HgInput> hypergiants) {
+  std::string key = "v1";
+  key += kFieldSep;
+  for (const HgInput& hg : hypergiants) {
+    key += hg.keyword;
+    key += kItemSep;
+  }
+  return key;
+}
+
+void DeltaCache::begin_run(std::string config) {
+  if (config != config_) {
+    pending_invalidated_ += total_rows();
+    clear_all();
+    config_ = std::move(config);
+  }
+}
+
+const DeltaCache::CertEntry* DeltaCache::find_cert(const std::string& key,
+                                                   std::uint32_t* id) const {
+  auto it = certs_.index.find(key);
+  if (it == certs_.index.end()) return nullptr;
+  *id = it->second;
+  return &certs_.rows.at(it->second).entry;
+}
+
+std::optional<std::uint32_t> DeltaCache::find_fp(
+    const std::string& key) const {
+  auto it = fps_.index.find(key);
+  if (it == fps_.index.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> DeltaCache::find_env(
+    const std::string& key) const {
+  auto it = envs_.index.find(key);
+  if (it == envs_.index.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> DeltaCache::find_origins(
+    const std::string& key) const {
+  auto it = origins_.index.find(key);
+  if (it == origins_.index.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<bool> DeltaCache::find_covers(std::uint32_t fp_id,
+                                            std::uint32_t cert_id) const {
+  auto it = covers_.find({fp_id, cert_id});
+  if (it == covers_.end()) return std::nullopt;
+  return it->second.covers;
+}
+
+std::optional<std::uint64_t> DeltaCache::find_onnet(
+    std::uint32_t env_id, std::uint32_t origins_id) const {
+  auto it = onnet_.find({env_id, origins_id});
+  if (it == onnet_.end()) return std::nullopt;
+  return it->second.mask;
+}
+
+template <typename Row>
+std::uint32_t DeltaCache::upsert(Section<Row>& section,
+                                 const std::string& key, Row row) {
+  auto it = section.index.find(key);
+  if (it != section.index.end()) {
+    section.rows.at(it->second).last_used = commit_count_;
+    return it->second;
+  }
+  const std::uint32_t id = section.next_id++;
+  row.key = key;
+  row.last_used = commit_count_;
+  section.rows.emplace(id, std::move(row));
+  section.index.emplace(key, id);
+  return id;
+}
+
+std::uint64_t DeltaCache::commit(const RunDelta& delta) {
+  ++commit_count_;
+  std::uint64_t invalidated = pending_invalidated_;
+  pending_invalidated_ = 0;
+
+  // An empty env key means "no observation" (a run that produced no
+  // on-net probes), not an environment whose canonical encoding is
+  // empty — encode_env output is never empty for a nonzero HG set.
+  std::uint32_t env_id = 0;
+  if (!delta.env.empty()) env_id = upsert(envs_, delta.env, CtxRow{});
+  std::vector<std::uint32_t> fp_ids;
+  fp_ids.reserve(delta.fps.size());
+  for (const std::string& key : delta.fps) {
+    fp_ids.push_back(upsert(fps_, key, CtxRow{}));
+  }
+  std::vector<std::uint32_t> cert_ids;
+  cert_ids.reserve(delta.certs.size());
+  for (const RunDelta::CertObs& obs : delta.certs) {
+    cert_ids.push_back(
+        upsert(certs_, obs.key, CertRow{std::string(), obs.entry, 0}));
+  }
+  for (const RunDelta::CoversObs& obs : delta.covers) {
+    const std::pair<std::uint32_t, std::uint32_t> key{fp_ids[obs.hg],
+                                                      cert_ids[obs.cert]};
+    covers_.try_emplace(key, CoversRow{obs.covers, 0})
+        .first->second.last_used = commit_count_;
+  }
+  for (const RunDelta::OnnetObs& obs : delta.onnet) {
+    const std::uint32_t origins_id =
+        upsert(origins_, obs.origins_key, CtxRow{});
+    const std::pair<std::uint32_t, std::uint32_t> key{env_id, origins_id};
+    onnet_.try_emplace(key, OnnetRow{obs.mask, 0})
+        .first->second.last_used = commit_count_;
+  }
+
+  // Idle sweep: rows unused for max_idle_ commits are invalidated.
+  auto sweep_section = [&](auto& section) {
+    for (auto it = section.rows.begin(); it != section.rows.end();) {
+      if (commit_count_ - it->second.last_used >= max_idle_) {
+        section.index.erase(it->second.key);
+        it = section.rows.erase(it);
+        ++invalidated;
+      } else {
+        ++it;
+      }
+    }
+  };
+  auto sweep_pairs = [&](auto& rows) {
+    for (auto it = rows.begin(); it != rows.end();) {
+      if (commit_count_ - it->second.last_used >= max_idle_) {
+        it = rows.erase(it);
+        ++invalidated;
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep_section(certs_);
+  sweep_section(fps_);
+  sweep_section(envs_);
+  sweep_section(origins_);
+  sweep_pairs(covers_);
+  sweep_pairs(onnet_);
+  return invalidated;
+}
+
+std::size_t DeltaCache::total_rows() const {
+  return certs_.rows.size() + fps_.rows.size() + envs_.rows.size() +
+         origins_.rows.size() + covers_.size() + onnet_.size();
+}
+
+void DeltaCache::clear_all() {
+  certs_ = {};
+  fps_ = {};
+  envs_ = {};
+  origins_ = {};
+  covers_.clear();
+  onnet_.clear();
+}
+
+DeltaCacheSnapshot DeltaCache::snapshot() const {
+  DeltaCacheSnapshot image;
+  image.present = true;
+  image.config = config_;
+  image.commit_count = commit_count_;
+  image.max_idle = max_idle_;
+  image.next_cert_id = certs_.next_id;
+  image.next_fp_id = fps_.next_id;
+  image.next_env_id = envs_.next_id;
+  image.next_origins_id = origins_.next_id;
+  for (const auto& [id, row] : certs_.rows) {
+    DeltaCacheSnapshot::CertRowImage out;
+    out.id = id;
+    out.key = row.key;
+    out.kind = static_cast<std::uint8_t>(row.entry.kind);
+    out.ee_nb = row.entry.ee_nb;
+    out.ee_na = row.entry.ee_na;
+    out.links = row.entry.links;
+    out.org_mask = row.entry.org_mask;
+    out.all_cloudflare = row.entry.all_cloudflare;
+    out.last_used = row.last_used;
+    image.certs.push_back(std::move(out));
+  }
+  auto dump_ctx = [](const Section<CtxRow>& section,
+                     std::vector<DeltaCacheSnapshot::CtxRowImage>& out) {
+    for (const auto& [id, row] : section.rows) {
+      out.push_back({id, row.key, row.last_used});
+    }
+  };
+  dump_ctx(fps_, image.fps);
+  dump_ctx(envs_, image.envs);
+  dump_ctx(origins_, image.origins);
+  for (const auto& [key, row] : covers_) {
+    image.covers.push_back(
+        {key.first, key.second, row.covers ? 1u : 0u, row.last_used});
+  }
+  for (const auto& [key, row] : onnet_) {
+    image.onnet.push_back({key.first, key.second, row.mask, row.last_used});
+  }
+  return image;
+}
+
+void DeltaCache::restore(const DeltaCacheSnapshot& image) {
+  clear_all();
+  config_ = image.config;
+  commit_count_ = image.commit_count;
+  max_idle_ = image.max_idle == 0 ? 1 : image.max_idle;
+  pending_invalidated_ = 0;
+  certs_.next_id = image.next_cert_id;
+  fps_.next_id = image.next_fp_id;
+  envs_.next_id = image.next_env_id;
+  origins_.next_id = image.next_origins_id;
+  for (const DeltaCacheSnapshot::CertRowImage& in : image.certs) {
+    CertRow row;
+    row.key = in.key;
+    row.entry.kind = static_cast<CertKind>(in.kind);
+    row.entry.ee_nb = in.ee_nb;
+    row.entry.ee_na = in.ee_na;
+    row.entry.links = in.links;
+    row.entry.org_mask = in.org_mask;
+    row.entry.all_cloudflare = in.all_cloudflare;
+    row.last_used = in.last_used;
+    certs_.index.emplace(row.key, in.id);
+    certs_.rows.emplace(in.id, std::move(row));
+  }
+  auto load_ctx = [](Section<CtxRow>& section,
+                     const std::vector<DeltaCacheSnapshot::CtxRowImage>& in) {
+    for (const DeltaCacheSnapshot::CtxRowImage& row : in) {
+      section.index.emplace(row.key, row.id);
+      section.rows.emplace(row.id, CtxRow{row.key, row.last_used});
+    }
+  };
+  load_ctx(fps_, image.fps);
+  load_ctx(envs_, image.envs);
+  load_ctx(origins_, image.origins);
+  for (const DeltaCacheSnapshot::PairRowImage& row : image.covers) {
+    covers_.emplace(std::make_pair(row.a, row.b),
+                    CoversRow{row.value != 0, row.last_used});
+  }
+  for (const DeltaCacheSnapshot::PairRowImage& row : image.onnet) {
+    onnet_.emplace(std::make_pair(row.a, row.b),
+                   OnnetRow{row.value, row.last_used});
+  }
+}
+
+}  // namespace offnet::core

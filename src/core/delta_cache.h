@@ -1,0 +1,276 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/tls_fingerprint.h"
+#include "net/asn.h"
+#include "net/date.h"
+#include "tls/certificate.h"
+#include "tls/validator.h"
+
+namespace offnet::core {
+
+/// FNV-1a 64-bit over `text`. This is the checkpoint checksum primitive
+/// (core::Checkpoint guards its payload with it); the delta cache reuses
+/// it as the hash function of its key-lookup tables.
+std::uint64_t fnv1a_64(std::string_view text);
+
+/// Hasher for the canonical-key lookup tables below. The hash is only a
+/// bucket selector: table keys are the full canonical encodings compared
+/// with operator==, never the raw 64-bit hash. A map keyed on a raw hash
+/// silently returns a wrong cached verdict on a collision — the same
+/// rule hg::FleetBuilder's certificate cache follows.
+struct Fnv1aKeyHash {
+  std::size_t operator()(const std::string& key) const {
+    return static_cast<std::size_t>(fnv1a_64(key));
+  }
+};
+
+/// Plain-data image of a DeltaCache, embedded in the supervised-run
+/// checkpoint (core::RunState). Persisting the cache — not rebuilding it
+/// cold — keeps the delta/* counters of a crashed-and-resumed series
+/// byte-identical to an uninterrupted one.
+struct DeltaCacheSnapshot {
+  bool present = false;
+  std::string config;
+  std::uint64_t commit_count = 0;
+  std::uint64_t max_idle = 0;
+  std::uint32_t next_cert_id = 0;
+  std::uint32_t next_fp_id = 0;
+  std::uint32_t next_env_id = 0;
+  std::uint32_t next_origins_id = 0;
+
+  struct CertRowImage {
+    std::uint32_t id = 0;
+    std::string key;
+    std::uint8_t kind = 0;
+    std::int64_t ee_nb = 0;
+    std::int64_t ee_na = 0;
+    std::vector<std::pair<std::int64_t, std::int64_t>> links;
+    std::uint64_t org_mask = 0;
+    bool all_cloudflare = false;
+    std::uint64_t last_used = 0;
+  };
+  struct CtxRowImage {
+    std::uint32_t id = 0;
+    std::string key;
+    std::uint64_t last_used = 0;
+  };
+  struct PairRowImage {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint64_t value = 0;  // covers: 0/1; onnet: the per-HG bit mask
+    std::uint64_t last_used = 0;
+  };
+
+  std::vector<CertRowImage> certs;    // ascending id
+  std::vector<CtxRowImage> fps;       // ascending id
+  std::vector<CtxRowImage> envs;      // ascending id
+  std::vector<CtxRowImage> origins;   // ascending id
+  std::vector<PairRowImage> covers;   // ascending (fp id, cert id)
+  std::vector<PairRowImage> onnet;    // ascending (env id, origins id)
+};
+
+/// Cross-snapshot verdict cache for incremental longitudinal runs
+/// (DESIGN.md §12). Most certificates, origin-AS sets, and fingerprints
+/// recur unchanged from one quarterly snapshot to the next; the cache
+/// keys each derived verdict by a canonical content encoding so
+/// OffnetPipeline::run skips recomputing them.
+///
+/// Cached verdicts, each a pure function of its key:
+///  - per-certificate: a date-independent validation digest (CertEntry),
+///    the §4.2 Organization keyword mask, and the §7 universal-SSL fact;
+///  - per-(fingerprint, certificate): the §4.3 containment verdict;
+///  - per-(environment, origin-set): the per-HG on-net membership mask.
+///
+/// Determinism protocol (frozen probes): begin_run() is called serially
+/// at the start of a pipeline run; the sharded passes then issue
+/// const-only probes against that frozen state and tally hits/misses per
+/// shard; commit() applies all observations serially at the end of the
+/// run. Probe verdicts therefore never depend on thread count or record
+/// interleaving, and since the pipeline merges observations in global
+/// record order, even the intern-id layout is identical at any thread
+/// count. A DeltaCache must not be shared by concurrently running
+/// pipelines (LongitudinalRunner's wave fan-out disables it).
+///
+/// Eviction: every row carries the commit index it was last probed or
+/// inserted at; commit() sweeps rows idle for `max_idle` commits and
+/// reports them as invalidations. Ids are monotone and never reused, so
+/// a composite row whose referenced id was evicted is unreachable (its
+/// key re-interns under a fresh id) and idles out on its own.
+class DeltaCache {
+ public:
+  static constexpr std::uint64_t kDefaultMaxIdle = 8;
+
+  /// How a certificate's chain resolves, independent of scan date.
+  enum class CertKind : std::uint8_t {
+    kMalformed = 0,     // missing critical information (§4.6)
+    kSelfSignedEe = 1,  // self-signed end-entity certificate
+    kNoAnchor = 2,      // chain exhausted without a trusted anchor
+    kChain = 3,         // reaches an anchor; links carry windows
+  };
+
+  /// Date-independent digest of one certificate's validation-relevant
+  /// facts: status_at(at) reproduces tls::CertValidator::validate for
+  /// every scan date, so one cached entry serves all 31 snapshots.
+  struct CertEntry {
+    CertKind kind = CertKind::kMalformed;
+    std::int64_t ee_nb = 0;  // end-entity NotBefore, in days
+    std::int64_t ee_na = 0;  // end-entity NotAfter, in days
+    /// kChain only: validity windows of each issuer link up to and
+    /// including the first trusted anchor, in walk order.
+    std::vector<std::pair<std::int64_t, std::int64_t>> links;
+    std::uint64_t org_mask = 0;   // §4.2 Organization keyword matches
+    bool all_cloudflare = false;  // §7 universal-SSL dNSName shape
+
+    tls::CertStatus status_at(net::DayTime at) const;
+  };
+
+  explicit DeltaCache(std::uint64_t max_idle = kDefaultMaxIdle);
+
+  // ---- Canonical key builders (pure functions of content). ----
+
+  /// Canonical content key for `ee`, plus the date-structure part of its
+  /// entry (kind, windows). org_mask and all_cloudflare are left for the
+  /// caller to fill on a miss: they need the HG keyword configuration /
+  /// name scans the cache exists to skip.
+  static std::string encode_cert(const tls::CertificateStore& certs,
+                                 const tls::RootStore& roots, tls::CertId ee,
+                                 CertEntry* entry);
+
+  /// Canonical key of a learned TLS fingerprint: its on-net dNSName set.
+  static std::string encode_fp(const TlsFingerprint& fp);
+
+  /// Canonical key of the on-net AS environment: every HG's AS numbers,
+  /// in HG order.
+  static std::string encode_env(
+      std::span<const std::unordered_set<net::Asn>> hg_asns);
+
+  /// Canonical key of one scan record's origin-AS set (sorted, unique).
+  static std::string encode_origins(std::span<const net::Asn> origins);
+
+  /// Configuration fingerprint: the HG keyword list, in order (org_mask
+  /// bit positions depend on it). begin_run clears the cache when it
+  /// changes.
+  static std::string encode_config(std::span<const HgInput> hypergiants);
+
+  // ---- Run lifecycle. ----
+
+  /// Serial, before the sharded passes. Clears the cache when the
+  /// configuration fingerprint changed; cleared rows count toward the
+  /// next commit's invalidation tally.
+  void begin_run(std::string config);
+
+  // ---- Frozen probes: const, safe to call concurrently from sharded
+  // pipeline passes between begin_run() and commit(). ----
+
+  /// Returns the cached entry and its intern id, or nullptr on miss.
+  const CertEntry* find_cert(const std::string& key,
+                             std::uint32_t* id) const;
+  std::optional<std::uint32_t> find_fp(const std::string& key) const;
+  std::optional<std::uint32_t> find_env(const std::string& key) const;
+  std::optional<std::uint32_t> find_origins(const std::string& key) const;
+  std::optional<bool> find_covers(std::uint32_t fp_id,
+                                  std::uint32_t cert_id) const;
+  std::optional<std::uint64_t> find_onnet(std::uint32_t env_id,
+                                          std::uint32_t origins_id) const;
+
+  /// Everything one pipeline run observed, in deterministic order. Every
+  /// observation is an upsert: a key already interned is touched, a new
+  /// one is interned under the next id.
+  struct RunDelta {
+    struct CertObs {
+      std::string key;
+      CertEntry entry;
+    };
+    struct OnnetObs {
+      std::string origins_key;
+      std::uint64_t mask = 0;
+    };
+    struct CoversObs {
+      std::size_t hg = 0;    // index into fps
+      std::size_t cert = 0;  // index into certs
+      bool covers = false;
+    };
+    std::vector<CertObs> certs;   // ascending pipeline certificate id
+    std::vector<std::string> fps; // by hypergiant index
+    std::string env;
+    std::vector<OnnetObs> onnet;  // global record order; duplicates fine
+    std::vector<CoversObs> covers;
+  };
+
+  /// Serial, once per pipeline run (the run's last act, so a failed and
+  /// retried snapshot never half-commits). Applies the observations,
+  /// then sweeps idle rows. Returns the invalidation count: swept rows
+  /// plus any rows cleared by a begin_run configuration change.
+  std::uint64_t commit(const RunDelta& delta);
+
+  // ---- Persistence (supervised checkpoint / resume). ----
+  DeltaCacheSnapshot snapshot() const;
+  void restore(const DeltaCacheSnapshot& image);
+
+  // ---- Introspection. ----
+  std::uint64_t commit_count() const { return commit_count_; }
+  std::size_t cert_rows() const { return certs_.rows.size(); }
+  std::size_t total_rows() const;
+
+ private:
+  struct CertRow {
+    std::string key;
+    CertEntry entry;
+    std::uint64_t last_used = 0;
+  };
+  struct CtxRow {
+    std::string key;
+    std::uint64_t last_used = 0;
+  };
+  struct CoversRow {
+    bool covers = false;
+    std::uint64_t last_used = 0;
+  };
+  struct OnnetRow {
+    std::uint64_t mask = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  using KeyIndex =
+      std::unordered_map<std::string, std::uint32_t, Fnv1aKeyHash>;
+
+  /// One interned section: rows ordered by id (canonical iteration for
+  /// snapshot()), plus the canonical-key lookup table.
+  template <typename Row>
+  struct Section {
+    std::map<std::uint32_t, Row> rows;
+    KeyIndex index;
+    std::uint32_t next_id = 0;
+  };
+
+  template <typename Row>
+  std::uint32_t upsert(Section<Row>& section, const std::string& key,
+                       Row row);
+  void clear_all();
+
+  Section<CertRow> certs_;
+  Section<CtxRow> fps_;
+  Section<CtxRow> envs_;
+  Section<CtxRow> origins_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, CoversRow> covers_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, OnnetRow> onnet_;
+
+  std::string config_;
+  std::uint64_t commit_count_ = 0;
+  std::uint64_t max_idle_ = kDefaultMaxIdle;
+  std::uint64_t pending_invalidated_ = 0;
+};
+
+}  // namespace offnet::core

@@ -79,6 +79,11 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
 
       PipelineOptions options = options_;
       options.netflix_prior_ips = &netflix_ips;
+      // The world-backed entry point regenerates scans rather than
+      // loading immutable feeds, so the delta cache stays a loaded-run
+      // feature; dropping it here also keeps the serial and fanned-out
+      // paths byte-identical (a cache shared across the wave would race).
+      options.delta = nullptr;
       OffnetPipeline pipeline(world_->topology(), world_->ip2as(),
                               world_->certs(), world_->roots(),
                               standard_hg_inputs(), options);
@@ -138,6 +143,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
         PipelineOptions options = options_;
         options.netflix_prior_ips = nullptr;
         options.n_threads = 1;  // parallelism is spent across snapshots
+        options.delta = nullptr;  // see the serial path above
         OffnetPipeline pipeline(world_->topology(), pinned, world_->certs(),
                                 world_->roots(), standard_hg_inputs(),
                                 options);
@@ -244,6 +250,13 @@ std::vector<SnapshotResult> LongitudinalRunner::run_supervised(
     }
     RunState state = Checkpoint::load(supervisor.checkpoint_path, digest);
     netflix_ips.insert(state.netflix_ips.begin(), state.netflix_ips.end());
+    // Restore the delta cache before the first resumed snapshot, so the
+    // resumed run's probe results — and the delta/* counters — match an
+    // uninterrupted run byte for byte. The digest's delta bit guarantees
+    // the checkpoint and this run agree on whether a cache is attached.
+    if (options_.delta != nullptr && state.delta.present) {
+      options_.delta->restore(state.delta);
+    }
     if (metrics != nullptr) {
       metrics->absorb(state.metrics);
       // A checkpoint's payload counts the bytes of every checkpoint
@@ -329,6 +342,9 @@ std::vector<SnapshotResult> LongitudinalRunner::run_supervised(
       state.results = results;
       state.netflix_ips.assign(netflix_ips.begin(), netflix_ips.end());
       std::sort(state.netflix_ips.begin(), state.netflix_ips.end());
+      if (options_.delta != nullptr) {
+        state.delta = options_.delta->snapshot();
+      }
       if (metrics != nullptr) {
         state.metrics = metrics->snapshot();
         // Timing stats are wall-clock: their rendered lengths vary run

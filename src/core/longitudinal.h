@@ -75,7 +75,9 @@ class LongitudinalRunner {
   /// wave's inputs are produced serially (scan and IP-to-AS caches are
   /// not shard-safe), pipelines run concurrently, and the cross-snapshot
   /// Netflix §6.2 recovery is re-applied in snapshot order — results are
-  /// bit-identical to a serial run.
+  /// bit-identical to a serial run. options.delta is ignored here (a
+  /// cache shared across a wave would race; see DESIGN.md §12) — the
+  /// delta cache is a run_loaded / run_supervised feature.
   std::vector<SnapshotResult> run(
       std::size_t first = 0, std::size_t last = net::snapshot_count() - 1,
       const std::function<void(const SnapshotResult&)>& progress = {}) const;
@@ -106,7 +108,9 @@ class LongitudinalRunner {
   ///
   /// Attempt metrics are recorded into a scratch registry and folded
   /// into options.metrics only on success, so retries never double-count
-  /// the funnel. Checkpoint save failures (including injected
+  /// the funnel. With options.delta set, the cache image is persisted in
+  /// every checkpoint and restored on resume, so delta verdicts and the
+  /// delta/* counters survive a crash byte-identically (DESIGN.md §12). Checkpoint save failures (including injected
   /// checkpoint-write faults) are not retried: they propagate, because a
   /// run that cannot persist its progress should stop, not limp on.
   std::vector<SnapshotResult> run_supervised(

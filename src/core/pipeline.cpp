@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <stdexcept>
 
+#include "core/delta_cache.h"
 #include "core/known_headers.h"
 #include "core/thread_pool.h"
 #include "net/table.h"
@@ -73,6 +75,7 @@ OffnetPipeline::OffnetPipeline(const topo::Topology& topology,
     : topology_(topology),
       ip2as_(ip2as),
       certs_(certs),
+      roots_(roots),
       validator_(certs, roots),
       hypergiants_(std::move(hypergiants)),
       options_(std::move(options)) {
@@ -155,6 +158,79 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
                     }
                   });
 
+  // ---- Incremental delta cache (DESIGN.md §12). begin_run freezes the
+  // cross-snapshot cache state; the sharded passes below issue
+  // const-only probes against it (tallying hits and misses per shard)
+  // and record their observations; one serial commit at the end of the
+  // run applies them. Probing frozen state keeps every verdict — and
+  // every counter — independent of thread count. ----
+  DeltaCache* const delta = options_.delta;
+  struct DeltaShard {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::vector<DeltaCache::RunDelta::OnnetObs> onnet;  // locally deduped
+    std::unordered_set<std::string> onnet_seen;
+    std::vector<DeltaCache::RunDelta::CoversObs> covers;
+  };
+  std::vector<DeltaShard> d_val(n_shards);
+  std::vector<DeltaShard> d_p1(n_shards);
+  std::vector<DeltaShard> d_p2(n_shards);
+  std::vector<DeltaShard> d_sub(n_shards);
+  DeltaCache::RunDelta run_delta;
+  std::optional<std::uint32_t> env_frozen;
+  // Per-certificate run tables (indexed by pipeline certificate id;
+  // shards write disjoint ranges): canonical key, derived entry, and
+  // whether the probe hit the frozen cache (with its intern id).
+  std::vector<std::string> cert_key;
+  std::vector<DeltaCache::CertEntry> cert_entry;
+  std::vector<std::uint8_t> cert_hit;
+  std::vector<std::uint32_t> cert_frozen;
+  std::vector<std::uint8_t> cert_cf;
+  std::vector<std::size_t> cert_obs;  // index into run_delta.certs
+  if (delta != nullptr) {
+    delta->begin_run(DeltaCache::encode_config(hypergiants_));
+    run_delta.env = DeltaCache::encode_env(hg_asns);
+    env_frozen = delta->find_env(run_delta.env);
+    cert_key.resize(n_certs);
+    cert_entry.resize(n_certs);
+    cert_hit.assign(n_certs, 0);
+    cert_frozen.assign(n_certs, 0);
+    cert_cf.assign(n_certs, 0);
+    cert_obs.assign(n_certs, 0);
+  }
+  // Per-record on-net membership, cached by (environment, origin-set).
+  // A miss computes the full per-HG mask — over every HG, not just the
+  // certificate's keyword matches — so the cached value is independent
+  // of which record happened to probe first.
+  auto probe_onnet = [&](DeltaShard& dsh,
+                         std::span<const net::Asn> origins) -> std::uint64_t {
+    std::string okey = DeltaCache::encode_origins(origins);
+    std::optional<std::uint64_t> cached;
+    if (env_frozen.has_value()) {
+      if (auto oid = delta->find_origins(okey)) {
+        cached = delta->find_onnet(*env_frozen, *oid);
+      }
+    }
+    std::uint64_t onnet_mask = 0;
+    if (cached.has_value()) {
+      onnet_mask = *cached;
+      ++dsh.hits;
+    } else {
+      ++dsh.misses;
+      for (std::size_t h = 0; h < n_hg; ++h) {
+        if (std::any_of(origins.begin(), origins.end(), [&](net::Asn a) {
+              return hg_asns[h].contains(a);
+            })) {
+          onnet_mask |= 1ull << h;
+        }
+      }
+    }
+    if (dsh.onnet_seen.insert(okey).second) {
+      dsh.onnet.push_back({std::move(okey), onnet_mask});
+    }
+    return onnet_mask;
+  };
+
   std::vector<std::uint8_t> status(n_certs, 0);
   std::vector<std::uint64_t> org_mask(n_certs, 0);
   std::vector<std::size_t> certs_referenced(n_shards, 0);
@@ -167,6 +243,39 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
             if (!cert_used[id].load(std::memory_order_relaxed)) continue;
             ++certs_referenced[shard];
             const auto cert_id = static_cast<tls::CertId>(id);
+            if (delta != nullptr) {
+              // Probe by canonical content key. A hit replays the cached
+              // keyword mask / validation digest; a miss derives them
+              // for commit. status_at(at) is the validator's twin, so
+              // both paths yield the byte the non-delta pass computes.
+              DeltaCache::CertEntry entry;
+              std::string key =
+                  DeltaCache::encode_cert(certs_, roots_, cert_id, &entry);
+              std::uint32_t frozen = 0;
+              if (const DeltaCache::CertEntry* hit =
+                      delta->find_cert(key, &frozen)) {
+                entry = *hit;
+                cert_hit[id] = 1;
+                cert_frozen[id] = frozen;
+                ++d_val[shard].hits;
+              } else {
+                const auto& org = certs_.get(cert_id).subject.organization;
+                for (std::size_t h = 0; h < n_hg; ++h) {
+                  if (net::icontains(org, hypergiants_[h].keyword)) {
+                    entry.org_mask |= 1ull << h;
+                  }
+                }
+                entry.all_cloudflare =
+                    all_cloudflare_customer_names(certs_.get(cert_id));
+                ++d_val[shard].misses;
+              }
+              status[id] = static_cast<std::uint8_t>(entry.status_at(at));
+              org_mask[id] = entry.org_mask;
+              cert_cf[id] = entry.all_cloudflare ? 1 : 0;
+              cert_key[id] = std::move(key);
+              cert_entry[id] = std::move(entry);
+              continue;
+            }
             status[id] =
                 static_cast<std::uint8_t>(validator_.validate(cert_id, at));
             std::uint64_t mask = 0;
@@ -179,6 +288,17 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
             org_mask[id] = mask;
           }
         });
+  }
+
+  // Cert observations in ascending certificate id — a deterministic,
+  // thread-count-independent intern order for the commit.
+  if (delta != nullptr) {
+    for (std::size_t id = 0; id < n_certs; ++id) {
+      if (!cert_used[id].load(std::memory_order_relaxed)) continue;
+      cert_obs[id] = run_delta.certs.size();
+      run_delta.certs.push_back(
+          {std::move(cert_key[id]), std::move(cert_entry[id])});
+    }
   }
 
   // ---- Pass 1: corpus stats, on-net discovery, TLS fingerprints. ----
@@ -224,12 +344,19 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
             ++part.drop_org_keyword_miss;
             continue;
           }
+          std::uint64_t onnet_mask = 0;
+          if (delta != nullptr) {
+            onnet_mask = probe_onnet(d_p1[shard], origins);
+          }
           for (std::size_t h = 0; h < n_hg; ++h) {
             if (!(mask & (1ull << h))) continue;
-            const bool onnet = std::any_of(origins.begin(), origins.end(),
-                                           [&](net::Asn a) {
-                                             return hg_asns[h].contains(a);
-                                           });
+            const bool onnet =
+                delta != nullptr
+                    ? ((onnet_mask >> h) & 1) != 0
+                    : std::any_of(origins.begin(), origins.end(),
+                                  [&](net::Asn a) {
+                                    return hg_asns[h].contains(a);
+                                  });
             if (onnet) {
               Pass1Hg& ph = part.hg[h];
               if (ph.absorbed.insert(rec.cert).second) {
@@ -291,6 +418,18 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     return out;
   };
 
+  // Fingerprint keys exist only after the pass-1 merge finalizes the
+  // on-net dNSName sets; frozen ids gate the §4.3 covers probes below.
+  std::vector<std::optional<std::uint32_t>> fp_frozen(n_hg);
+  if (delta != nullptr) {
+    run_delta.fps.resize(n_hg);
+    for (std::size_t h = 0; h < n_hg; ++h) {
+      run_delta.fps[h] =
+          DeltaCache::encode_fp(result.per_hg[h].tls_fingerprint);
+      fp_frozen[h] = delta->find_fp(run_delta.fps[h]);
+    }
+  }
+
   // ---- Pass 2: candidate off-nets (§4.3). The per-(hg, cert)
   // containment-rule verdicts depend only on the merged pass-1
   // fingerprints, so they are precomputed in parallel and the record
@@ -319,14 +458,36 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
             for (std::size_t h = 0; h < n_hg; ++h) {
               if (!(mask & (1ull << h))) continue;
               if (!valid && static_cast<int>(h) != netflix_idx) continue;
-              bool pass =
-                  options_.disable_subset_rule
-                      ? !cert.dns_names.empty()
-                      : result.per_hg[h].tls_fingerprint.covers_all_names(
-                            cert);
+              bool pass;
+              if (options_.disable_subset_rule) {
+                pass = !cert.dns_names.empty();
+              } else if (delta != nullptr) {
+                // Covers verdicts key on (fingerprint, certificate)
+                // intern ids, so only pairs whose both sides were in the
+                // frozen cache can hit; everything probed this run is
+                // recorded for commit either way.
+                DeltaShard& dsh = d_sub[shard];
+                std::optional<bool> cached;
+                if (fp_frozen[h].has_value() && cert_hit[id] != 0) {
+                  cached = delta->find_covers(*fp_frozen[h], cert_frozen[id]);
+                }
+                if (cached.has_value()) {
+                  pass = *cached;
+                  ++dsh.hits;
+                } else {
+                  pass = result.per_hg[h].tls_fingerprint.covers_all_names(
+                      cert);
+                  ++dsh.misses;
+                }
+                dsh.covers.push_back({h, cert_obs[id], pass});
+              } else {
+                pass = result.per_hg[h].tls_fingerprint.covers_all_names(
+                    cert);
+              }
               if (!pass) ++tally.subset_rule;
               if (pass && options_.apply_cloudflare_ssl_filter &&
-                  all_cloudflare_customer_names(cert)) {
+                  (delta != nullptr ? cert_cf[id] != 0
+                                    : all_cloudflare_customer_names(cert))) {
                 pass = false;
                 ++tally.cloudflare_ssl;
               }
@@ -364,16 +525,23 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
           const bool netflix_expired = st == tls::CertStatus::kExpired;
           if (!valid && !netflix_expired) continue;
           auto origins = ip2as.lookup(rec.ip);
+          std::uint64_t onnet_mask = 0;
+          if (delta != nullptr) {
+            onnet_mask = probe_onnet(d_p2[shard], origins);
+          }
           for (std::size_t h = 0; h < n_hg; ++h) {
             if (!(mask & (1ull << h))) continue;
             if (!valid &&
                 !(netflix_expired && static_cast<int>(h) == netflix_idx)) {
               continue;
             }
-            const bool onnet = std::any_of(origins.begin(), origins.end(),
-                                           [&](net::Asn a) {
-                                             return hg_asns[h].contains(a);
-                                           });
+            const bool onnet =
+                delta != nullptr
+                    ? ((onnet_mask >> h) & 1) != 0
+                    : std::any_of(origins.begin(), origins.end(),
+                                  [&](net::Asn a) {
+                                    return hg_asns[h].contains(a);
+                                  });
             if (onnet) continue;
             if (!subset_pass[h * n_certs + rec.cert]) continue;
             if (!valid) {
@@ -559,6 +727,31 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   pool.run_all(std::move(confirm_tasks));
   confirm_timer.stop();
 
+  // ---- Delta commit: the run's last mutating act, so a snapshot that
+  // fails and retries never half-commits (exactly-once under
+  // run_supervised). Shard observations merge in pass order then shard
+  // order — global record order for first occurrences — so intern-id
+  // assignment is identical at any thread count. ----
+  std::uint64_t delta_hits = 0;
+  std::uint64_t delta_misses = 0;
+  std::uint64_t delta_invalidated = 0;
+  if (delta != nullptr) {
+    obs::StageTimer timer(metrics, "pipeline/delta_commit");
+    for (std::vector<DeltaShard>* pass : {&d_val, &d_p1, &d_p2, &d_sub}) {
+      for (DeltaShard& dsh : *pass) {
+        delta_hits += dsh.hits;
+        delta_misses += dsh.misses;
+        for (DeltaCache::RunDelta::OnnetObs& obs : dsh.onnet) {
+          run_delta.onnet.push_back(std::move(obs));
+        }
+        for (const DeltaCache::RunDelta::CoversObs& obs : dsh.covers) {
+          run_delta.covers.push_back(obs);
+        }
+      }
+    }
+    delta_invalidated = delta->commit(run_delta);
+  }
+
   result.stats.ases_with_certs = ases_with_certs.size();
   result.stats.ases_with_any_hg = any_hg_ases.size();
 
@@ -596,6 +789,11 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     metrics->counter(mn::kDropCloudflareSsl).add(subset_total.cloudflare_ssl);
     metrics->counter(mn::kDropHeaderMiss).add(confirm_total.header_miss);
     metrics->counter(mn::kDropEdgeConflict).add(confirm_total.edge_conflict);
+    if (delta != nullptr) {
+      metrics->counter(mn::kDeltaHits).add(delta_hits);
+      metrics->counter(mn::kDeltaMisses).add(delta_misses);
+      metrics->counter(mn::kDeltaInvalidated).add(delta_invalidated);
+    }
   }
   return result;
 }

@@ -22,6 +22,8 @@ class Registry;
 
 namespace offnet::core {
 
+class DeltaCache;
+
 /// One Hypergiant to search for: the §4.6 inputs are just a name and the
 /// Organization keyword.
 struct HgInput {
@@ -71,6 +73,17 @@ struct PipelineOptions {
   /// section varies between runs. The registry accumulates across calls,
   /// so a longitudinal series sums its snapshots.
   obs::Registry* metrics = nullptr;
+
+  /// Cross-snapshot verdict cache (DESIGN.md §12). When set, run()
+  /// probes it instead of recomputing per-certificate validation /
+  /// keyword masks, §4.3 containment verdicts, and per-origin-set on-net
+  /// membership for content already seen in earlier snapshots, and
+  /// commits this run's observations at the end. Results are
+  /// byte-identical with or without the cache at any thread count; the
+  /// delta/* counters below account for its effectiveness. The cache is
+  /// probed concurrently but committed serially, so one cache must not
+  /// be shared by concurrently running pipelines.
+  DeltaCache* delta = nullptr;
 };
 
 /// The §4.1–§4.5 funnel metric names OffnetPipeline::run emits, one
@@ -110,6 +123,15 @@ inline constexpr const char* kCheckpointSaves =
     "checkpoint/saves";  // checkpoints published (one per snapshot)
 inline constexpr const char* kCheckpointBytes =
     "checkpoint/save_bytes";  // bytes published across those saves
+// Incremental-run accounting (PipelineOptions::delta). Emitted only when
+// a delta cache is attached, and deterministic at any thread count:
+// probes judge against the frozen begin-of-run cache state.
+inline constexpr const char* kDeltaHits =
+    "delta/hits";  // verdicts served from the cross-snapshot cache
+inline constexpr const char* kDeltaMisses =
+    "delta/misses";  // verdicts computed and committed this run
+inline constexpr const char* kDeltaInvalidated =
+    "delta/invalidated";  // rows evicted (idle) or cleared (config change)
 }  // namespace metric_names
 
 /// Everything inferred about one Hypergiant from one scan snapshot.
@@ -250,6 +272,7 @@ class OffnetPipeline {
   const topo::Topology& topology_;
   const bgp::Ip2AsOracle& ip2as_;
   const tls::CertificateStore& certs_;
+  const tls::RootStore& roots_;  // for canonical chain encodings (§12)
   tls::CertValidator validator_;
   std::vector<HgInput> hypergiants_;
   PipelineOptions options_;

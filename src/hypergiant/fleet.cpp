@@ -29,6 +29,15 @@ std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   return h;
 }
 
+// Per-call-site domains for the cert cache key (first tuple element).
+// The remaining elements carry the call site's full identifying tuple
+// verbatim — never a mix3 of it (see the CertKey comment in fleet.h).
+constexpr std::uint64_t kKeyServing = 1;     // (hg, slot, generation)
+constexpr std::uint64_t kKeySni = 2;         // (hg, domain, generation)
+constexpr std::uint64_t kKeyAnonymous = 3;   // (base cert)
+constexpr std::uint64_t kKeyExpired = 4;     // (hg)
+constexpr std::uint64_t kKeyCloudflare = 5;  // (index, dedicated)
+
 }  // namespace
 
 FleetBuilder::FleetBuilder(const topo::Topology& topology,
@@ -67,7 +76,7 @@ FleetBuilder::FleetBuilder(const topo::Topology& topology,
   for (std::string_view customer :
        {"Akamai", "Apple", "Twitter", "Microsoft", "Disney"}) {
     int idx = profile_index(profiles_, customer);
-    if (idx >= 0) akamai_service_mask_ |= 1u << idx;
+    if (idx >= 0) akamai_service_mask_ |= std::uint64_t{1} << idx;
   }
 
   build_header_sets();
@@ -176,9 +185,9 @@ tls::CertId FleetBuilder::cert_for(int hg, int slot,
   const HgProfile& p = profiles_[hg];
   net::DayTime at = scan_time(snapshot);
   std::int64_t generation = at.days() / std::max(1, p.cert_validity_days);
-  std::uint64_t key = mix3(static_cast<std::uint64_t>(hg) + 1,
-                           static_cast<std::uint64_t>(slot) + 1,
-                           static_cast<std::uint64_t>(generation) + 1);
+  CertKey key{kKeyServing, static_cast<std::uint64_t>(hg),
+              static_cast<std::uint64_t>(slot),
+              static_cast<std::uint64_t>(generation)};
   auto it = cert_cache_.find(key);
   if (it != cert_cache_.end()) return it->second;
 
@@ -212,7 +221,7 @@ tls::CertId FleetBuilder::sni_response(const ServerRecord& server,
                                        std::string_view hostname,
                                        std::size_t snapshot) const {
   for (std::size_t g = 0; g < profiles_.size(); ++g) {
-    if (!(server.serves_hgs & (1u << g))) continue;
+    if (!(server.serves_hgs & (std::uint64_t{1} << g))) continue;
     const HgProfile& p = profiles_[g];
     for (std::size_t d = 0; d < p.domains.size(); ++d) {
       if (!tls::dns_name_matches("*." + p.domains[d], hostname) &&
@@ -221,10 +230,10 @@ tls::CertId FleetBuilder::sni_response(const ServerRecord& server,
       }
       // A dedicated certificate covering exactly this domain (cached per
       // (hg, domain, generation) like every other cert).
-      std::uint64_t key = mix3(0x5A1, g * 1000 + d,
-                               static_cast<std::uint64_t>(
-                                   scan_time(snapshot).days() /
-                                   std::max(1, p.cert_validity_days)));
+      CertKey key{kKeySni, g, d,
+                  static_cast<std::uint64_t>(
+                      scan_time(snapshot).days() /
+                      std::max(1, p.cert_validity_days))};
       auto it = cert_cache_.find(key);
       if (it != cert_cache_.end()) return it->second;
       tls::DistinguishedName subject;
@@ -255,7 +264,7 @@ tls::CertId FleetBuilder::anonymous_cert_for(int hg, int slot,
   // Countermeasure (3): same SANs and validity, but no Organization
   // entry — the keyword search has nothing to match.
   tls::CertId base = cert_for(hg, slot, snapshot);
-  std::uint64_t key = mix3(0xa0a0, base, 0x99);
+  CertKey key{kKeyAnonymous, base, 0, 0};
   auto it = cert_cache_.find(key);
   if (it != cert_cache_.end()) return it->second;
   const tls::Certificate& original = certs_.get(base);
@@ -275,7 +284,7 @@ tls::CertId FleetBuilder::expired_cert_for(int hg,
   (void)snapshot;
   // The long-lived Open Connect default certificate that expired in
   // April 2017 and was only replaced in October 2019.
-  std::uint64_t key = mix3(static_cast<std::uint64_t>(hg) + 1, 0xdead, 0xbeef);
+  CertKey key{kKeyExpired, static_cast<std::uint64_t>(hg), 0, 0};
   auto it = cert_cache_.find(key);
   if (it != cert_cache_.end()) return it->second;
 
@@ -298,8 +307,8 @@ tls::CertId FleetBuilder::expired_cert_for(int hg,
 
 tls::CertId FleetBuilder::cloudflare_customer_cert(int index,
                                                    bool dedicated) const {
-  std::uint64_t key = mix3(0xcf, static_cast<std::uint64_t>(index) + 1,
-                           dedicated ? 2 : 3);
+  CertKey key{kKeyCloudflare, static_cast<std::uint64_t>(index),
+              dedicated ? 1u : 0u, 0};
   auto it = cert_cache_.find(key);
   if (it != cert_cache_.end()) return it->second;
 
@@ -372,7 +381,7 @@ void FleetBuilder::emit_onnet(std::vector<ServerRecord>& out, int hg,
     }
     rec.https_headers = header_sets_[hg].onnet;
     rec.http_headers = header_sets_[hg].onnet;
-    rec.serves_hgs = 1u << hg;
+    rec.serves_hgs = std::uint64_t{1} << hg;
     if (p.serves_other_hgs) rec.serves_hgs |= akamai_service_mask_;
     out.push_back(rec);
   }
@@ -397,7 +406,7 @@ void FleetBuilder::emit_offnet(std::vector<ServerRecord>& out, int hg,
     anycast.https_cert = cert_for(hg, 0, snapshot);
     anycast.https_headers = header_sets_[hg].offnet;
     anycast.http_headers = header_sets_[hg].offnet;
-    anycast.serves_hgs = 1u << hg;
+    anycast.serves_hgs = std::uint64_t{1} << hg;
     out.push_back(anycast);
   }
   const bool episode = p.netflix_cert_episode && in_netflix_episode(month);
@@ -435,7 +444,7 @@ void FleetBuilder::emit_offnet(std::vector<ServerRecord>& out, int hg,
       rec.role = ServerRole::kOffNet;
       rec.https_headers = header_sets_[hg].offnet;
       rec.http_headers = header_sets_[hg].offnet;
-      rec.serves_hgs = 1u << hg;
+      rec.serves_hgs = std::uint64_t{1} << hg;
       if (p.serves_other_hgs) rec.serves_hgs |= akamai_service_mask_;
 
       if (http_only_bucket) {
@@ -476,7 +485,7 @@ void FleetBuilder::emit_certonly(std::vector<ServerRecord>& out, int hg,
       rec.hg = static_cast<std::int16_t>(hg);
       rec.role = ServerRole::kThirdPartyService;
       rec.https_cert = cert_for(hg, static_cast<int>(rng.index(2)), snapshot);
-      rec.serves_hgs = 1u << hg;
+      rec.serves_hgs = std::uint64_t{1} << hg;
 
       // The hosting platform's software answers, not the HG's.
       if (p.third_party_served && akamai_idx_ >= 0) {

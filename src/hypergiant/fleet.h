@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "http/catalog.h"
@@ -56,7 +57,10 @@ struct ServerRecord {
   tls::CertId https_cert = tls::kNoCert;  // default cert on :443
   http::HeaderSetId https_headers = http::kNoHeaders;
   http::HeaderSetId http_headers = http::kNoHeaders;
-  std::uint32_t serves_hgs = 0;
+  // Bitmask over profile indices; kMaxHypergiants is 64, so this must be
+  // 64-bit — a 32-bit mask makes `1 << hg` UB for hg >= 32 and silently
+  // drops high-index HGs from validation masks.
+  std::uint64_t serves_hgs = 0;
 };
 
 /// Builds the per-snapshot Hypergiant server fleet from the deployment
@@ -142,11 +146,19 @@ class FleetBuilder {
   http::HeaderSetId apache_headers_ = http::kNoHeaders;
   std::vector<http::HeaderSetId> conflict_headers_;  // per HG: edge+origin
   std::vector<tls::CertId> issuers_;
-  std::uint32_t akamai_service_mask_ = 0;
+  std::uint64_t akamai_service_mask_ = 0;
   int akamai_idx_ = -1;
   int cloudflare_idx_ = -1;
 
-  mutable std::map<std::uint64_t, tls::CertId> cert_cache_;
+  /// Cache key: a per-call-site domain tag plus the full identifying
+  /// tuple. Keys MUST be the exact identity, never a hash of it: a map
+  /// keyed on a raw 64-bit hash (the old mix3(...) scheme) silently
+  /// returns the wrong certificate on a collision. Any content-addressed
+  /// cache in this codebase (including core::DeltaCache) follows the same
+  /// rule — compare full canonical keys, use hashes only as hashers.
+  using CertKey =
+      std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>;
+  mutable std::map<CertKey, tls::CertId> cert_cache_;
 };
 
 }  // namespace offnet::hg

@@ -146,13 +146,13 @@ void BackgroundGenerator::mint_pools(std::span<const hg::HgProfile> profiles,
       dn.common_name = site("origin", k);
       tls::CertId id = ca_.issue(bg_inter, std::move(dn), {site("origin", k)},
                                  kLongBefore, kLongValidity);
-      origin_pool_.emplace_back(id, 1u << h);
+      origin_pool_.emplace_back(id, std::uint64_t{1} << h);
     }
   }
 }
 
 tls::CertId BackgroundGenerator::cert_for_slot(std::uint64_t tag,
-                                               std::uint32_t* serves) const {
+                                               std::uint64_t* serves) const {
   *serves = 0;
   double r = unit(mix3(tag, 0xC0, 1));
   double edge = config_.self_signed_rate;

@@ -66,7 +66,9 @@ struct BgServer {
   net::IPv4 ip;
   topo::AsId as = topo::kNoAs;
   tls::CertId cert = tls::kNoCert;
-  std::uint32_t serves_hgs = 0;  // customer-origin validation bits
+  // 64-bit like hg::ServerRecord::serves_hgs (kMaxHypergiants = 64);
+  // customer-origin validation bits.
+  std::uint64_t serves_hgs = 0;
 };
 
 /// Deterministically generates the background Internet per snapshot:
@@ -90,7 +92,7 @@ class BackgroundGenerator {
  private:
   void mint_pools(std::span<const hg::HgProfile> profiles,
                   tls::RootStore& roots);
-  tls::CertId cert_for_slot(std::uint64_t tag, std::uint32_t* serves) const;
+  tls::CertId cert_for_slot(std::uint64_t tag, std::uint64_t* serves) const;
 
   const topo::Topology& topology_;
   BackgroundConfig config_;
@@ -104,7 +106,7 @@ class BackgroundGenerator {
   std::vector<tls::CertId> malformed_pool_;
   std::vector<tls::CertId> mimic_pool_;
   std::vector<tls::CertId> shared_pool_;
-  std::vector<std::pair<tls::CertId, std::uint32_t>> origin_pool_;
+  std::vector<std::pair<tls::CertId, std::uint64_t>> origin_pool_;
 
   std::vector<double> as_weight_;   // stable per-AS server mass
   std::vector<char> as_has_web_;

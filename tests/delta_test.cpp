@@ -1,0 +1,420 @@
+// Incremental-delta tests (DESIGN.md §12): the DeltaCache unit contract
+// (intern/probe/commit, idle eviction, configuration invalidation,
+// snapshot round trip) and the headline pipeline contract — a --delta
+// longitudinal run produces results, metrics, and checkpoint state
+// byte-identical to a full recompute, at any thread count, fresh or
+// resumed after a crash, with delta/* counters that are exactly-once
+// under supervised retry.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/delta_cache.h"
+#include "core/fault.h"
+#include "core/longitudinal.h"
+#include "io/exporter.h"
+#include "io/loaders.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "test_world.h"
+
+namespace offnet::core {
+namespace {
+
+/// Same five-snapshot window as checkpoint_test: inside the Netflix
+/// expired-certificate era, so the §6.2 cross-snapshot state is live.
+constexpr std::size_t kFirst = 16;
+constexpr std::size_t kLast = 20;
+
+struct Corpus {
+  std::string rel, org, pfx, certs, hosts, headers;
+};
+
+const std::map<std::size_t, Corpus>& exported_corpuses() {
+  static const std::map<std::size_t, Corpus> corpuses = [] {
+    const scan::World& world = testing::tiny_world();
+    std::map<std::size_t, Corpus> out;
+    for (std::size_t t = kFirst; t <= kLast; ++t) {
+      scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
+      std::ostringstream rel, org, pfx, certs, hosts, headers;
+      io::export_dataset(world, snapshot,
+                         io::ExportStreams{rel, org, pfx, certs, hosts,
+                                           headers});
+      out[t] = Corpus{rel.str(), org.str(), pfx.str(),
+                      certs.str(), hosts.str(), headers.str()};
+    }
+    return out;
+  }();
+  return corpuses;
+}
+
+SnapshotFeed load_feed(std::size_t t) {
+  const Corpus& corpus = exported_corpuses().at(t);
+  SnapshotFeed feed;
+  std::istringstream rel(corpus.rel), org(corpus.org), pfx(corpus.pfx),
+      certs(corpus.certs), hosts(corpus.hosts), headers(corpus.headers);
+  feed.dataset = io::load_dataset(rel, org, pfx, certs, hosts,
+                                  net::study_snapshots()[t], {},
+                                  &feed.report);
+  feed.dataset->add_headers(headers, {}, &feed.report);
+  return feed;
+}
+
+PipelineOptions options_with(obs::Registry* metrics, DeltaCache* delta,
+                             std::size_t threads = 1) {
+  PipelineOptions options;
+  options.metrics = metrics;
+  options.delta = delta;
+  options.n_threads = threads;
+  return options;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Canonical byte-string over a results vector (via the checkpoint
+/// encoder): two runs agree iff every field of every result agrees.
+std::string results_fingerprint(const std::vector<SnapshotResult>& results) {
+  RunState state;
+  state.first = kFirst;
+  state.results = results;
+  return Checkpoint::encode(state, "results-only");
+}
+
+/// Deterministic metrics JSON with the delta/* counter lines removed, so
+/// a --delta run can be compared against a full recompute (whose export
+/// has no delta section at all).
+std::string json_without_delta(const obs::Registry& metrics) {
+  std::istringstream in(obs::MetricsExporter::deterministic_json(metrics));
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("\"delta/") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<SnapshotResult> run_window(obs::Registry* metrics,
+                                       DeltaCache* delta,
+                                       const SupervisorOptions& supervisor,
+                                       std::size_t threads = 1) {
+  LongitudinalRunner runner{options_with(metrics, delta, threads)};
+  return runner.run_supervised(load_feed, supervisor, kFirst, kLast);
+}
+
+// ---- DeltaCache unit contract ----
+
+DeltaCache::RunDelta one_of_everything() {
+  DeltaCache::RunDelta delta;
+  delta.env = "env-key";
+  delta.fps = {"fp-key"};
+  DeltaCache::RunDelta::CertObs cert;
+  cert.key = "cert-key";
+  cert.entry.kind = DeltaCache::CertKind::kChain;
+  cert.entry.ee_nb = 100;
+  cert.entry.ee_na = 200;
+  cert.entry.links = {{50, 500}};
+  cert.entry.org_mask = 5;
+  delta.certs.push_back(std::move(cert));
+  delta.onnet.push_back({"origins-key", 0b101});
+  delta.covers.push_back({0, 0, true});
+  return delta;
+}
+
+TEST(DeltaCacheTest, CommitInternsAndProbesHit) {
+  DeltaCache cache;
+  cache.begin_run("cfg");
+  EXPECT_EQ(cache.commit(one_of_everything()), 0u);
+
+  cache.begin_run("cfg");
+  std::uint32_t cert_id = 99;
+  const DeltaCache::CertEntry* entry = cache.find_cert("cert-key", &cert_id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, DeltaCache::CertKind::kChain);
+  EXPECT_EQ(entry->ee_nb, 100);
+  EXPECT_EQ(entry->ee_na, 200);
+  EXPECT_EQ(entry->org_mask, 5u);
+
+  auto fp = cache.find_fp("fp-key");
+  auto env = cache.find_env("env-key");
+  auto origins = cache.find_origins("origins-key");
+  ASSERT_TRUE(fp && env && origins);
+  EXPECT_EQ(cache.find_covers(*fp, cert_id), std::optional<bool>(true));
+  EXPECT_EQ(cache.find_onnet(*env, *origins),
+            std::optional<std::uint64_t>(0b101));
+  EXPECT_EQ(cache.find_cert("unseen-key", &cert_id), nullptr);
+  EXPECT_FALSE(cache.find_covers(*fp + 7, cert_id).has_value());
+}
+
+TEST(DeltaCacheTest, StatusAtMirrorsTheValidator) {
+  DeltaCache::CertEntry entry;
+  entry.kind = DeltaCache::CertKind::kChain;
+  entry.ee_nb = 10;
+  entry.ee_na = 20;
+  entry.links = {{0, 100}};
+  EXPECT_EQ(entry.status_at(net::DayTime(15)), tls::CertStatus::kValid);
+  EXPECT_EQ(entry.status_at(net::DayTime(5)), tls::CertStatus::kNotYetValid);
+  EXPECT_EQ(entry.status_at(net::DayTime(25)), tls::CertStatus::kExpired);
+  entry.links = {{0, 12}};  // issuer window ends mid-EE-validity
+  EXPECT_EQ(entry.status_at(net::DayTime(15)), tls::CertStatus::kUntrustedChain);
+
+  entry.kind = DeltaCache::CertKind::kSelfSignedEe;
+  EXPECT_EQ(entry.status_at(net::DayTime(15)), tls::CertStatus::kSelfSigned);
+  entry.kind = DeltaCache::CertKind::kNoAnchor;
+  EXPECT_EQ(entry.status_at(net::DayTime(15)), tls::CertStatus::kUntrustedChain);
+  entry.kind = DeltaCache::CertKind::kMalformed;
+  EXPECT_EQ(entry.status_at(net::DayTime(15)), tls::CertStatus::kMalformed);
+}
+
+TEST(DeltaCacheTest, ConfigurationChangeInvalidatesEverything) {
+  DeltaCache cache;
+  cache.begin_run("cfg-a");
+  cache.commit(one_of_everything());
+  const std::size_t rows = cache.total_rows();
+  ASSERT_GT(rows, 0u);
+
+  cache.begin_run("cfg-b");  // e.g. a different HG keyword list
+  std::uint32_t id = 0;
+  EXPECT_EQ(cache.find_cert("cert-key", &id), nullptr);
+  EXPECT_FALSE(cache.find_fp("fp-key").has_value());
+  // The cleared rows surface in the next commit's invalidation count.
+  EXPECT_EQ(cache.commit(DeltaCache::RunDelta{}), rows);
+}
+
+TEST(DeltaCacheTest, IdleRowsAreSweptAfterMaxIdleCommits) {
+  DeltaCache cache(/*max_idle=*/1);
+  cache.begin_run("cfg");
+  cache.commit(one_of_everything());
+  const std::size_t rows = cache.total_rows();
+
+  // An empty run touches nothing: every row is now one commit idle and
+  // the max_idle=1 sweep evicts all of them.
+  cache.begin_run("cfg");
+  EXPECT_EQ(cache.commit(DeltaCache::RunDelta{}), rows);
+  EXPECT_EQ(cache.total_rows(), 0u);
+
+  // Re-observed content re-interns under fresh ids; probing works again.
+  cache.begin_run("cfg");
+  cache.commit(one_of_everything());
+  std::uint32_t id = 0;
+  EXPECT_NE(cache.find_cert("cert-key", &id), nullptr);
+}
+
+TEST(DeltaCacheTest, TouchedRowsSurviveTheSweep) {
+  DeltaCache cache(/*max_idle=*/1);
+  cache.begin_run("cfg");
+  cache.commit(one_of_everything());
+  // Re-observing the same content every run keeps everything alive.
+  for (int i = 0; i < 3; ++i) {
+    cache.begin_run("cfg");
+    EXPECT_EQ(cache.commit(one_of_everything()), 0u);
+  }
+  std::uint32_t id = 0;
+  EXPECT_NE(cache.find_cert("cert-key", &id), nullptr);
+}
+
+TEST(DeltaCacheTest, SnapshotRestoreRoundTripsByteIdentically) {
+  DeltaCache cache;
+  cache.begin_run("cfg");
+  cache.commit(one_of_everything());
+
+  // Compare via the checkpoint encoder — the canonical byte form.
+  auto fingerprint = [](const DeltaCache& c) {
+    RunState state;
+    state.delta = c.snapshot();
+    return Checkpoint::encode(state, "delta-only");
+  };
+  DeltaCache restored;
+  restored.restore(cache.snapshot());
+  EXPECT_EQ(fingerprint(restored), fingerprint(cache));
+  EXPECT_EQ(restored.commit_count(), cache.commit_count());
+  EXPECT_EQ(restored.total_rows(), cache.total_rows());
+
+  // The restored cache answers probes like the original.
+  restored.begin_run("cfg");
+  std::uint32_t id = 0;
+  ASSERT_NE(restored.find_cert("cert-key", &id), nullptr);
+  EXPECT_TRUE(restored.find_fp("fp-key").has_value());
+}
+
+// ---- Pipeline-level contract ----
+
+TEST(DeltaRunTest, DeltaEqualsFullRecomputeAcrossThreadCounts) {
+  // Full-recompute reference.
+  obs::Registry full_metrics;
+  auto full = run_window(&full_metrics, nullptr, SupervisorOptions{});
+  const std::string full_results = results_fingerprint(full);
+  const std::string full_json = json_without_delta(full_metrics);
+
+  std::string delta_json_t1;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(threads);
+    DeltaCache cache;
+    obs::Registry metrics;
+    auto results = run_window(&metrics, &cache, SupervisorOptions{}, threads);
+    EXPECT_EQ(results_fingerprint(results), full_results);
+    EXPECT_EQ(json_without_delta(metrics), full_json);
+    // The cache earned its keep across the window's five snapshots...
+    EXPECT_GT(metrics.counter("delta/hits").value(), 0u);
+    // ...and its counters (hits, misses, invalidations — and the intern
+    // tables behind them) are thread-count independent, byte for byte.
+    const std::string delta_json =
+        obs::MetricsExporter::deterministic_json(metrics);
+    if (threads == 1) {
+      delta_json_t1 = delta_json;
+    } else {
+      EXPECT_EQ(delta_json, delta_json_t1);
+    }
+  }
+}
+
+TEST(DeltaRunTest, WarmCacheSecondSeriesIsIdenticalAndHits) {
+  DeltaCache cache;
+  obs::Registry first_metrics;
+  auto first = run_window(&first_metrics, &cache, SupervisorOptions{});
+
+  obs::Registry second_metrics;
+  auto second = run_window(&second_metrics, &cache, SupervisorOptions{});
+  EXPECT_EQ(results_fingerprint(second), results_fingerprint(first));
+  // The warm pass re-answers (almost) everything from the cache.
+  EXPECT_GT(second_metrics.counter("delta/hits").value(),
+            first_metrics.counter("delta/hits").value());
+  EXPECT_LT(second_metrics.counter("delta/misses").value(),
+            first_metrics.counter("delta/misses").value());
+}
+
+TEST(DeltaRunTest, ContentChurnShowsUpAsInvalidations) {
+  // max_idle=1: anything not re-observed in the very next snapshot is
+  // evicted, so the natural churn between quarterly snapshots must
+  // surface as a nonzero delta/invalidated count.
+  DeltaCache cache(/*max_idle=*/1);
+  obs::Registry metrics;
+  auto results = run_window(&metrics, &cache, SupervisorOptions{});
+  EXPECT_EQ(results_fingerprint(results),
+            results_fingerprint(run_window(nullptr, nullptr,
+                                           SupervisorOptions{})));
+  EXPECT_GT(metrics.counter("delta/invalidated").value(), 0u);
+}
+
+TEST(DeltaRunTest, DeltaCountersAreExactlyOnceUnderRetry) {
+  obs::Registry clean_metrics;
+  {
+    DeltaCache cache;
+    run_window(&clean_metrics, &cache, SupervisorOptions{});
+  }
+
+  obs::Registry metrics;
+  DeltaCache cache;
+  FaultInjector faults;
+  // The third pipeline crossing (snapshot 18's first attempt) throws
+  // before the pipeline runs; the retry recomputes the snapshot. A
+  // half-committed cache or double-counted probes would skew delta/*.
+  faults.fail_at(fault_stage::kPipeline, 3);
+  SupervisorOptions supervisor;
+  supervisor.faults = &faults;
+  auto results = run_window(&metrics, &cache, supervisor);
+
+  EXPECT_EQ(metrics.counter("retry/attempts").value(), 1u);
+  for (const char* name : {"delta/hits", "delta/misses",
+                           "delta/invalidated"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(metrics.counter(name).value(),
+              clean_metrics.counter(name).value());
+  }
+}
+
+TEST(DeltaRunTest, RunDigestSeparatesDeltaFromFullCheckpoints) {
+  DeltaCache cache;
+  const std::string full =
+      run_digest(options_with(nullptr, nullptr), scan::ScannerKind::kRapid7,
+                 kFirst);
+  const std::string delta =
+      run_digest(options_with(nullptr, &cache), scan::ScannerKind::kRapid7,
+                 kFirst);
+  EXPECT_NE(full, delta);
+}
+
+/// The composition contract: crash during any checkpoint publish of a
+/// --delta run, resume in a fresh "process" (new runner, new registry,
+/// new DeltaCache restored from the checkpoint) at a different thread
+/// count — results, metrics (delta/* included), and the final checkpoint
+/// bytes all equal an uninterrupted --delta run's.
+TEST(DeltaRunTest, CrashAnywhereThenResumeIsByteIdentical) {
+  DeltaCache baseline_cache;
+  const std::string digest = run_digest(
+      options_with(nullptr, &baseline_cache), scan::ScannerKind::kRapid7,
+      kFirst);
+
+  const std::string baseline_path = temp_path("delta_baseline.ckpt");
+  obs::Registry baseline_metrics;
+  SupervisorOptions baseline_opts;
+  baseline_opts.checkpoint_path = baseline_path;
+  auto baseline =
+      run_window(&baseline_metrics, &baseline_cache, baseline_opts);
+  const std::string baseline_results = results_fingerprint(baseline);
+  const std::string baseline_json =
+      obs::MetricsExporter::deterministic_json(baseline_metrics);
+  Checkpoint::load(baseline_path, digest);  // verify before fingerprinting
+  const std::string baseline_ckpt = slurp(baseline_path);
+
+  struct CrashPoint {
+    std::size_t after_snapshot;  // window-relative
+    std::size_t crash_threads;
+    std::size_t resume_threads;
+  };
+  // after_snapshot 3 dies in the window's final checkpoint publish.
+  for (const CrashPoint& point :
+       {CrashPoint{0, 4, 1}, CrashPoint{2, 1, 4}, CrashPoint{3, 4, 1}}) {
+    SCOPED_TRACE(point.after_snapshot);
+    const std::string path = temp_path(
+        "delta_crash_" + std::to_string(point.after_snapshot) + ".ckpt");
+    {
+      DeltaCache cache;
+      obs::Registry metrics;
+      FaultInjector faults;
+      faults.fail_at(fault_stage::kCheckpointWrite,
+                     point.after_snapshot + 2);
+      SupervisorOptions opts;
+      opts.checkpoint_path = path;
+      opts.faults = &faults;
+      EXPECT_THROW(run_window(&metrics, &cache, opts, point.crash_threads),
+                   InjectedFault);
+    }
+    EXPECT_EQ(Checkpoint::load(path, digest).results.size(),
+              point.after_snapshot + 1);
+
+    DeltaCache cache;     // a resumed process starts with a cold cache...
+    obs::Registry metrics;  // ...and an empty registry
+    SupervisorOptions opts;
+    opts.checkpoint_path = path;
+    opts.resume = true;
+    auto results = run_window(&metrics, &cache, opts, point.resume_threads);
+    EXPECT_EQ(results_fingerprint(results), baseline_results);
+    EXPECT_EQ(obs::MetricsExporter::deterministic_json(metrics),
+              baseline_json);
+    Checkpoint::load(path, digest);
+    EXPECT_EQ(slurp(path), baseline_ckpt);
+  }
+}
+
+}  // namespace
+}  // namespace offnet::core

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/known_headers.h"
 #include "hypergiant/fleet.h"
+#include "scan/background.h"
 #include "test_world.h"
 #include "tls/validator.h"
+#include "topology/generator.h"
 
 namespace offnet::hg {
 namespace {
@@ -231,13 +234,61 @@ TEST_F(FleetTest, ServesMaskConsistent) {
   for (const ServerRecord& rec : world().fleet().snapshot_fleet(25)) {
     if (rec.hg == ak && rec.role == ServerRole::kOffNet) {
       // Akamai boxes answer for their third-party customers (§5).
-      EXPECT_TRUE(rec.serves_hgs & (1u << ak));
-      EXPECT_TRUE(rec.serves_hgs & (1u << apple));
+      EXPECT_TRUE(rec.serves_hgs & (std::uint64_t{1} << ak));
+      EXPECT_TRUE(rec.serves_hgs & (std::uint64_t{1} << apple));
     }
     if (rec.hg == apple && rec.role == ServerRole::kOffNet) {
-      EXPECT_TRUE(rec.serves_hgs & (1u << apple));
+      EXPECT_TRUE(rec.serves_hgs & (std::uint64_t{1} << apple));
     }
   }
+}
+
+// Regression for the serving-mask width: with more than 32 profiles, a
+// CDN at index >= 32 must still mark its customer origins — under the
+// old std::uint32_t masks (and their `1u << h` shifts) bit 39 was either
+// lost or undefined behaviour.
+TEST(WideServesMaskTest, OriginBitsAboveThirtyTwoSurvive) {
+  std::vector<HgProfile> profiles = standard_profiles();
+  while (profiles.size() < 40) {
+    HgProfile pad = profiles.front();
+    pad.name = "Pad" + std::to_string(profiles.size());
+    pad.keyword = "pad" + std::to_string(profiles.size());
+    pad.org_name = pad.name + " Inc";
+    pad.serves_other_hgs = false;
+    pad.is_cert_issuer = false;
+    pad.third_party_served = false;
+    profiles.push_back(std::move(pad));
+  }
+  const std::size_t cdn = profiles.size() - 1;  // index 39
+  profiles[cdn].serves_other_hgs = true;
+
+  topo::GeneratorConfig topo_config;
+  topo_config.scale = 0.02;
+  for (const HgProfile& p : profiles) {
+    topo_config.org_seeds.push_back(
+        {p.org_name, p.country_code, p.own_as_count, 4, 20});
+  }
+  const topo::Topology topology =
+      topo::TopologyGenerator(topo_config).generate();
+
+  tls::CertificateStore certs;
+  tls::RootStore roots;
+  scan::BackgroundConfig config;
+  config.scale = 0.0005;
+  // Make customer origins the dominant background population so the
+  // snapshot sweep below is guaranteed to draw certs of every CDN.
+  config.origin_rate = 0.5;
+  scan::BackgroundGenerator background(topology, profiles, certs, roots,
+                                       config);
+
+  std::uint64_t seen = 0;
+  background.for_each(net::snapshot_count() - 1,
+                      [&](const scan::BgServer& server) {
+                        seen |= server.serves_hgs;
+                      });
+  EXPECT_NE(seen, 0u);
+  EXPECT_TRUE((seen >> cdn) & 1)
+      << "customer-origin bit of the CDN at index 39 was dropped";
 }
 
 TEST_F(FleetTest, DeterministicFleet) {

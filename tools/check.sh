@@ -18,11 +18,16 @@
 #                 and the timing section)
 #   6. crash-resume  hard-kill a supervised series mid checkpoint
 #                 publish, resume, require byte-identical output
-#   7. offnetd    serve the exported data, query it (including one
+#   7. delta      run `series` over two exported snapshots with and
+#                 without --delta and require byte-identical reports
+#                 and metrics (modulo the delta/* counters themselves,
+#                 which must be thread-count independent and nonzero)
+#   8. offnetd    serve the exported data, query it (including one
 #                 malformed request), SIGTERM, require a clean drain
-#   8. TSan       rebuild svc_test with -fsanitize=thread and rerun the
-#                 service-layer concurrency suite under the sanitizer
-#   9. clang-tidy best-effort: skipped with a notice when not installed
+#   9. TSan       rebuild svc_test and delta_test with
+#                 -fsanitize=thread and rerun both suites under the
+#                 sanitizer
+#  10. clang-tidy best-effort: skipped with a notice when not installed
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 set -eu
@@ -121,6 +126,59 @@ if ! cmp -s "$crash_dir/full-metrics.stripped" "$crash_dir/resumed-metrics.strip
 fi
 echo "crash-resume smoke OK: resumed report and metrics are byte-identical"
 
+step "delta smoke (series --delta vs --no-delta)"
+# Two exported snapshots so the cache has cross-snapshot overlap to
+# exploit (the cache lives in-process for one series run). The --delta
+# report must be byte-identical to --no-delta, its metrics identical
+# once the wall-clock timing section and the delta/* counters are
+# stripped, the delta/* counters themselves thread-count independent,
+# and the cache must actually have hit.
+delta_dir="$build_dir/delta-smoke"
+rm -rf "$delta_dir"
+mkdir -p "$delta_dir/data/2021-01" "$delta_dir/data/2021-04"
+"$build_dir/tools/offnet_cli" export --out "$delta_dir/data/2021-01" \
+    --scale 0.02 --month 2021-01 > /dev/null
+"$build_dir/tools/offnet_cli" export --out "$delta_dir/data/2021-04" \
+    --scale 0.02 --month 2021-04 > /dev/null
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" --no-delta \
+    --metrics-out "$delta_dir/full-metrics.json" > "$delta_dir/full.txt"
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" --delta \
+    --metrics-out "$delta_dir/delta-metrics.json" > "$delta_dir/delta.txt"
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" --delta \
+    --threads 4 \
+    --metrics-out "$delta_dir/delta4-metrics.json" > "$delta_dir/delta4.txt"
+if ! cmp -s "$delta_dir/full.txt" "$delta_dir/delta.txt"; then
+  echo "check.sh: delta smoke FAILED: --delta report differs from --no-delta" >&2
+  diff "$delta_dir/full.txt" "$delta_dir/delta.txt" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$delta_dir/delta.txt" "$delta_dir/delta4.txt"; then
+  echo "check.sh: delta smoke FAILED: --delta report differs across thread counts" >&2
+  exit 1
+fi
+strip_delta() { sed '/"timing"/,$d' "$1" | grep -v '"delta/'; }
+strip_delta "$delta_dir/full-metrics.json" > "$delta_dir/full-metrics.stripped"
+strip_delta "$delta_dir/delta-metrics.json" > "$delta_dir/delta-metrics.stripped"
+if ! cmp -s "$delta_dir/full-metrics.stripped" "$delta_dir/delta-metrics.stripped"; then
+  echo "check.sh: delta smoke FAILED: --delta metrics differ from --no-delta" >&2
+  diff "$delta_dir/full-metrics.stripped" "$delta_dir/delta-metrics.stripped" >&2 || true
+  exit 1
+fi
+# The delta/* counters (kept this time) must be thread-count independent.
+sed '/"timing"/,$d' "$delta_dir/delta-metrics.json" > "$delta_dir/delta-metrics.det"
+sed '/"timing"/,$d' "$delta_dir/delta4-metrics.json" > "$delta_dir/delta4-metrics.det"
+if ! cmp -s "$delta_dir/delta-metrics.det" "$delta_dir/delta4-metrics.det"; then
+  echo "check.sh: delta smoke FAILED: delta/* counters differ across thread counts" >&2
+  diff "$delta_dir/delta-metrics.det" "$delta_dir/delta4-metrics.det" >&2 || true
+  exit 1
+fi
+if ! grep -q '"delta/hits": [1-9]' "$delta_dir/delta-metrics.json"; then
+  echo "check.sh: delta smoke FAILED: zero delta/hits across two snapshots" >&2
+  grep '"delta/' "$delta_dir/delta-metrics.json" >&2 || true
+  exit 1
+fi
+echo "delta smoke OK: byte-identical to full recompute, cache hit"
+
 step "offnetd smoke (serve, query, malformed request, SIGTERM drain)"
 # Start the daemon over the metrics-smoke export, wait for its READY
 # line, query it through `offnet_cli query` (including one deliberately
@@ -190,17 +248,19 @@ grep -q 'svc/requests' "$svc_dir/metrics.json" || {
 }
 echo "offnetd smoke OK: served, survived malformed input, drained cleanly"
 
-step "TSan service leg (svc_test under -fsanitize=thread)"
-# The concurrency half of the svc_test proof: the same suite (concurrent
-# pin/publish, queries racing reloads, drain) rebuilt with
-# OFFNET_SANITIZE=thread so TSan watches the service layer's locking.
+step "TSan leg (svc_test + delta_test under -fsanitize=thread)"
+# The concurrency half of the proofs: svc_test (concurrent pin/publish,
+# queries racing reloads, drain) and delta_test (sharded probes against
+# the frozen cache at several thread counts) rebuilt with
+# OFFNET_SANITIZE=thread so TSan watches the locking.
 tsan_dir="$build_dir-tsan"
 cmake -S "$repo_root" -B "$tsan_dir" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DOFFNET_SANITIZE=thread > /dev/null
 cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-      --target svc_test
+      --target svc_test --target delta_test
 "$tsan_dir/tests/svc_test"
+"$tsan_dir/tests/delta_test"
 
 step "clang-tidy"
 "$repo_root/tools/run_clang_tidy.sh" "$build_dir"

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/delta_cache.h"
 #include "core/fault.h"
 #include "core/longitudinal.h"
 #include "core/pipeline.h"
@@ -80,6 +81,7 @@ constexpr std::string_view kKnownFlags[] = {
     "out",   "dir",  "root",       "permissive", "max-error-fraction",
     "threads", "metrics-out",
     "checkpoint-dir", "resume", "max-retries", "crash-after",
+    "delta", "no-delta",
     "socket", "port", "send", "timeout-ms"};
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -118,7 +120,7 @@ int usage() {
                "  series   --root DIR [--permissive] "
                "[--max-error-fraction F] [--threads N]\n"
                "           [--checkpoint-dir DIR] [--resume] "
-               "[--max-retries N] [--crash-after N]\n"
+               "[--max-retries N] [--crash-after N] [--delta|--no-delta]\n"
                "  --threads N: pipeline worker threads (0 = all hardware "
                "threads); results are identical at any N\n"
                "  --metrics-out FILE: write pipeline metrics (stage counts, "
@@ -131,6 +133,10 @@ int usage() {
                "is quarantined (default 2 retries)\n"
                "  --crash-after N: testing aid; hard-kill the run during "
                "the (N+1)th checkpoint publish\n"
+               "  --delta: reuse per-cert and per-IP verdicts across the "
+               "series' snapshots (DESIGN.md §12); results are\n"
+               "           byte-identical to --no-delta (the default) and "
+               "the cache rides along in checkpoints\n"
                "  query    (--socket PATH | --port N) --send 'REQUEST' "
                "[--timeout-ms N]\n"
                "           one offnetd request; exit 0 on OK, 65 on ERR, "
@@ -350,6 +356,13 @@ int cmd_series(const Args& args) {
   obs::Registry metrics;
   core::PipelineOptions pipeline_options = pipeline_options_from(args);
   pipeline_options.metrics = &metrics;
+  if (args.has("delta") && args.has("no-delta")) {
+    throw UsageError("--delta and --no-delta are mutually exclusive");
+  }
+  // Stack-allocated cache: it must outlive the runner, and cmd_series
+  // runs exactly one series, so scope-tying is enough.
+  core::DeltaCache delta;
+  if (args.has("delta")) pipeline_options.delta = &delta;
   core::LongitudinalRunner runner{pipeline_options};
 
   // Any supervision flag selects the crash-safe runner; a plain series
