@@ -164,11 +164,11 @@ int main() {
     core::SnapshotResult warm_result;
     const double cold =
         bench::wall_seconds([&] { cold_result = pipeline.run(snap); });
-    const std::uint64_t cold_hits = metrics.counter("delta/hits").value();
+    const std::uint64_t cold_hits = metrics.counter(core::metric_names::kDeltaHits).value();
     const double warm =
         bench::wall_seconds([&] { warm_result = pipeline.run(snap); });
     const std::uint64_t warm_hits =
-        metrics.counter("delta/hits").value() - cold_hits;
+        metrics.counter(core::metric_names::kDeltaHits).value() - cold_hits;
     samples.push_back({"pipeline.run.delta_cold", 1, cold, records});
     samples.push_back({"pipeline.run.delta_warm", 1, warm, records});
     std::printf("  cold: %7.3fs (%.0f records/s)\n", cold,

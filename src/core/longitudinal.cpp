@@ -36,8 +36,10 @@ void absorb_netflix_ips(const SnapshotResult& result,
 void record_series_metrics(const SnapshotResult& result,
                            obs::Registry* metrics) {
   if (metrics == nullptr) return;
-  metrics->counter("series/snapshots").add(1);
-  metrics->counter(std::string("series/health/") + to_string(result.health))
+  metrics->counter(metric_names::kSeriesSnapshots).add(1);
+  metrics
+      ->counter(std::string(metric_names::kSeriesHealthPrefix) +
+                to_string(result.health))
       .add(1);
   result.load_report.export_metrics(*metrics);
 }
@@ -88,7 +90,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
                               world_->certs(), world_->roots(),
                               standard_hg_inputs(), options);
       SnapshotResult result = [&] {
-        obs::StageTimer timer(options_.metrics, "series/snapshot");
+        obs::StageTimer timer(options_.metrics, metric_names::kTimerSeriesSnapshot);
         return pipeline.run(snapshot);
       }();
       absorb_netflix_ips(result, netflix_ips);
@@ -138,7 +140,7 @@ std::vector<SnapshotResult> LongitudinalRunner::run(
     for (Job& job : wave) {
       if (job.missing) continue;
       tasks.push_back([this, &job] {
-        obs::StageTimer timer(options_.metrics, "series/snapshot");
+        obs::StageTimer timer(options_.metrics, metric_names::kTimerSeriesSnapshot);
         bgp::PinnedIp2As pinned(job.map);
         PipelineOptions options = options_;
         options.netflix_prior_ips = nullptr;
@@ -215,7 +217,7 @@ SnapshotResult LongitudinalRunner::compute_loaded_snapshot(
                             dataset.certs(), dataset.roots(),
                             standard_hg_inputs(), options);
     result = [&] {
-      obs::StageTimer timer(metrics, "series/snapshot");
+      obs::StageTimer timer(metrics, metric_names::kTimerSeriesSnapshot);
       return pipeline.run(dataset.snapshot());
     }();
     result.health = report.clean() ? SnapshotHealth::kComplete

@@ -118,7 +118,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   // shard order, so metrics are byte-identical at any thread count; only
   // the StageTimer wall-clock section varies.
   obs::Registry* metrics = options_.metrics;
-  obs::StageTimer run_timer(metrics, "pipeline/run");
+  obs::StageTimer run_timer(metrics, metric_names::kTimerRun);
 
   // Every sharded pass below scans a contiguous record (or certificate)
   // range into per-shard accumulators that are merged in shard order, so
@@ -235,7 +235,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   std::vector<std::uint64_t> org_mask(n_certs, 0);
   std::vector<std::size_t> certs_referenced(n_shards, 0);
   {
-    obs::StageTimer timer(metrics, "pipeline/validate_certs");
+    obs::StageTimer timer(metrics, metric_names::kTimerValidateCerts);
     pool.for_shards(
         n_certs, n_shards,
         [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -320,7 +320,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     std::size_t drop_org_keyword_miss = 0; // §4.2 records, per shard
   };
   std::vector<Pass1Partial> p1(n_shards);
-  obs::StageTimer pass1_timer(metrics, "pipeline/pass1_onnet");
+  obs::StageTimer pass1_timer(metrics, metric_names::kTimerPass1Onnet);
   pool.for_shards(
       records.size(), n_shards,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -379,7 +379,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   std::size_t drop_invalid_chain = 0;
   std::size_t drop_org_keyword_miss = 0;
   for (Pass1Partial& part : p1) {
-    obs::StageTimer merge_timer(metrics, "pipeline/merge/pass1_shard");
+    obs::StageTimer merge_timer(metrics, metric_names::kTimerMergePass1Shard);
     drop_invalid_chain += part.drop_invalid_chain;
     drop_org_keyword_miss += part.drop_org_keyword_miss;
     for (const auto& [ip, valid] : part.first_ips) {
@@ -441,7 +441,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   };
   std::vector<SubsetTally> subset_tallies(n_shards);
   {
-    obs::StageTimer timer(metrics, "pipeline/subset_rule");
+    obs::StageTimer timer(metrics, metric_names::kTimerSubsetRule);
     pool.for_shards(
         n_certs, n_shards,
         [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -509,7 +509,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     std::unordered_set<std::uint32_t> netflix_seen;
   };
   std::vector<Pass2Partial> p2(n_shards);
-  obs::StageTimer pass2_timer(metrics, "pipeline/pass2_candidates");
+  obs::StageTimer pass2_timer(metrics, metric_names::kTimerPass2Candidates);
   pool.for_shards(
       records.size(), n_shards,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
@@ -571,7 +571,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   std::vector<std::uint32_t> netflix_expired_order;
   std::unordered_set<std::uint32_t> netflix_expired_set;
   for (Pass2Partial& part : p2) {
-    obs::StageTimer merge_timer(metrics, "pipeline/merge/pass2_shard");
+    obs::StageTimer merge_timer(metrics, metric_names::kTimerMergePass2Shard);
     for (std::size_t h = 0; h < n_hg; ++h) {
       for (Pass2Candidate& cand : part.hg[h]) {
         if (!candidate_set[h].insert(cand.ip.value()).second) continue;
@@ -595,7 +595,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   // Hypergiants are independent of each other here, so they fan out. ----
   std::vector<http::HeaderFingerprintSet> learned(n_hg);
   {
-    obs::StageTimer timer(metrics, "pipeline/learn_headers");
+    obs::StageTimer timer(metrics, metric_names::kTimerLearnHeaders);
     std::vector<std::function<void()>> tasks;
     tasks.reserve(n_hg);
     for (std::size_t h = 0; h < n_hg; ++h) {
@@ -635,7 +635,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     std::size_t edge_conflict = 0;  // §7 candidate IPs owned by an edge CDN
   };
   std::vector<ConfirmTally> confirm_tallies(n_hg);
-  obs::StageTimer confirm_timer(metrics, "pipeline/confirm");
+  obs::StageTimer confirm_timer(metrics, metric_names::kTimerConfirm);
   std::vector<std::function<void()>> confirm_tasks;
   confirm_tasks.reserve(n_hg);
   for (std::size_t h = 0; h < n_hg; ++h) {
@@ -736,7 +736,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
   std::uint64_t delta_misses = 0;
   std::uint64_t delta_invalidated = 0;
   if (delta != nullptr) {
-    obs::StageTimer timer(metrics, "pipeline/delta_commit");
+    obs::StageTimer timer(metrics, metric_names::kTimerDeltaCommit);
     for (std::vector<DeltaShard>* pass : {&d_val, &d_p1, &d_p2, &d_sub}) {
       for (DeltaShard& dsh : *pass) {
         delta_hits += dsh.hits;
@@ -767,7 +767,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
     ConfirmTally confirm_total;
     std::size_t confirmed_ips = 0;
     obs::Histogram& candidate_ases_hist = metrics->histogram(
-        "pipeline/candidate_ases_per_hg", {1.0, 10.0, 100.0, 1000.0});
+        mn::kCandidateAsesPerHg, {1.0, 10.0, 100.0, 1000.0});
     for (std::size_t h = 0; h < n_hg; ++h) {
       confirm_total.header_miss += confirm_tallies[h].header_miss;
       confirm_total.edge_conflict += confirm_tallies[h].edge_conflict;
@@ -776,7 +776,7 @@ SnapshotResult OffnetPipeline::run(const scan::ScanSnapshot& scan) const {
           static_cast<double>(result.per_hg[h].candidate_ases.size()));
     }
 
-    metrics->gauge("pipeline/hypergiants").set(static_cast<std::int64_t>(n_hg));
+    metrics->gauge(mn::kHypergiants).set(static_cast<std::int64_t>(n_hg));
     metrics->counter(mn::kRecords).add(records.size());
     metrics->counter(mn::kIps).add(result.stats.total_records);
     metrics->counter(mn::kCertsReferenced).add(referenced);

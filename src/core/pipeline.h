@@ -132,6 +132,34 @@ inline constexpr const char* kDeltaMisses =
     "delta/misses";  // verdicts computed and committed this run
 inline constexpr const char* kDeltaInvalidated =
     "delta/invalidated";  // rows evicted (idle) or cleared (config change)
+// Stage timings (obs::StageTimer), one per run() phase. Wall-clock, so
+// excluded from determinism comparisons; the names still live here so
+// report tooling and tests can refer to them without respelling.
+inline constexpr const char* kTimerRun = "pipeline/run";
+inline constexpr const char* kTimerValidateCerts = "pipeline/validate_certs";
+inline constexpr const char* kTimerPass1Onnet = "pipeline/pass1_onnet";
+inline constexpr const char* kTimerMergePass1Shard =
+    "pipeline/merge/pass1_shard";
+inline constexpr const char* kTimerSubsetRule = "pipeline/subset_rule";
+inline constexpr const char* kTimerPass2Candidates =
+    "pipeline/pass2_candidates";
+inline constexpr const char* kTimerMergePass2Shard =
+    "pipeline/merge/pass2_shard";
+inline constexpr const char* kTimerLearnHeaders = "pipeline/learn_headers";
+inline constexpr const char* kTimerConfirm = "pipeline/confirm";
+inline constexpr const char* kTimerDeltaCommit = "pipeline/delta_commit";
+// Run-shape distributions.
+inline constexpr const char* kCandidateAsesPerHg =
+    "pipeline/candidate_ases_per_hg";  // histogram, Fig. 5 shape
+inline constexpr const char* kHypergiants =
+    "pipeline/hypergiants";  // gauge: HG lists in this run
+// Longitudinal-series accounting (LongitudinalRunner).
+inline constexpr const char* kSeriesSnapshots =
+    "series/snapshots";  // snapshots finished (complete or quarantined)
+inline constexpr const char* kSeriesHealthPrefix =
+    "series/health/";  // + SnapshotHealth name: per-health tallies
+inline constexpr const char* kTimerSeriesSnapshot =
+    "series/snapshot";  // per-snapshot wall clock inside a series
 }  // namespace metric_names
 
 /// Everything inferred about one Hypergiant from one scan snapshot.

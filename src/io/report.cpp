@@ -47,11 +47,13 @@ std::string LoadReport::summary() const {
 }
 
 void LoadReport::export_metrics(obs::Registry& registry) const {
-  registry.counter("load/lines_ok").add(lines_ok());
-  registry.counter("load/lines_skipped").add(lines_skipped());
+  registry.counter(metric_names::kLinesOk).add(lines_ok());
+  registry.counter(metric_names::kLinesSkipped).add(lines_skipped());
   for (const FileReport& file : files) {
-    registry.counter("load/" + file.kind + "/lines_ok").add(file.lines_ok);
-    registry.counter("load/" + file.kind + "/lines_skipped")
+    registry.counter(metric_names::kPerKindPrefix + file.kind + "/lines_ok")
+        .add(file.lines_ok);
+    registry
+        .counter(metric_names::kPerKindPrefix + file.kind + "/lines_skipped")
         .add(file.lines_skipped);
   }
 }

@@ -15,6 +15,15 @@ class Registry;
 
 namespace offnet::io {
 
+/// io:: metric names (LoadReport::export_metrics), mirroring
+/// core::metric_names so ingestion accounting is spelled once.
+namespace metric_names {
+inline constexpr const char* kLinesOk = "load/lines_ok";
+inline constexpr const char* kLinesSkipped = "load/lines_skipped";
+inline constexpr const char* kPerKindPrefix =
+    "load/";  // + file kind + "/lines_ok" | "/lines_skipped"
+}  // namespace metric_names
+
 /// How loaders treat malformed input.
 enum class ReadMode {
   kStrict,      // first malformed line throws LoadError

@@ -402,7 +402,7 @@ std::string Server::do_reload(const std::vector<std::string>& args) {
   obs::Counter& accepted = metrics_->counter(metric_names::kReloadAccepted);
   obs::Counter& rejected = metrics_->counter(metric_names::kReloadRejected);
   try {
-    obs::StageTimer timer(metrics_, "svc/reload");
+    obs::StageTimer timer(metrics_, metric_names::kTimerReload);
     // Fault boundary before anything is published: an injected fault
     // must leave the previous version serving untouched.
     if (options_.faults != nullptr) {

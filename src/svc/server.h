@@ -34,6 +34,7 @@ inline constexpr const char* kConnections = "svc/connections/accepted";
 inline constexpr const char* kReloadAccepted = "svc/reload/accepted";
 inline constexpr const char* kReloadRejected = "svc/reload/rejected";
 inline constexpr const char* kLatencyUs = "svc/latency_us";
+inline constexpr const char* kTimerReload = "svc/reload";  // StageTimer
 }  // namespace metric_names
 
 struct ServerOptions {
@@ -158,7 +159,12 @@ class Server {
   std::atomic<bool> hard_stop_{false};
   std::atomic<int> active_workers_{0};
 
-  core::Mutex reload_mutex_;  // serializes RELOAD (loads are expensive)
+  // Serializes RELOAD: the lock orders whole load-and-swap transactions
+  // (the expensive dataset load must not run twice concurrently); the
+  // swapped pointer itself is published via World's own synchronization,
+  // so there is no member field for OFFNET_GUARDED_BY to name.
+  // offnet-analyze: allow(mutex-unguarded): orders reload transactions; the swapped state is World's, not a member
+  core::Mutex reload_mutex_;
 };
 
 }  // namespace offnet::svc

@@ -1,0 +1,5 @@
+// Fixture: layer-back-edge — src/net (layer 1: util) must not include
+// src/svc (layer 5: service).
+#pragma once
+
+#include "svc/server.h"

@@ -1,0 +1,2 @@
+// Fixture stub: the higher-layer header the back edge points at.
+#pragma once

@@ -1,0 +1,8 @@
+// Fixture: a file every pass accepts — the analyzer's exit-0 case.
+#pragma once
+
+namespace offnet::net {
+
+int answer();
+
+}  // namespace offnet::net

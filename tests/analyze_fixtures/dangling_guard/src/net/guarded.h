@@ -1,0 +1,18 @@
+// Fixture: guard-dangling — OFFNET_GUARDED_BY naming a mutex that is
+// not a member of the class. mu_ itself guards covered_, so the only
+// finding is the dangling annotation.
+#pragma once
+
+namespace offnet::net {
+
+class Guarded {
+ public:
+  void poke();
+
+ private:
+  core::Mutex mu_;
+  int covered_ OFFNET_GUARDED_BY(mu_) = 0;
+  int dangling_ OFFNET_GUARDED_BY(gone_mu_) = 0;
+};
+
+}  // namespace offnet::net

@@ -1,0 +1,12 @@
+// Fixture stub: the injector's abort code, deliberately out of sync
+// with the fixture's kExitCrashInjected (71).
+#pragma once
+
+namespace offnet::core {
+
+class FaultInjector {
+ public:
+  static constexpr int kAbortExitCode = 70;
+};
+
+}  // namespace offnet::core

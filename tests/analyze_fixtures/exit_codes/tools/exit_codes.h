@@ -1,0 +1,13 @@
+// Fixture: exit-code registry — kExitUsage is only named by a bare 64
+// at a call site (exit-code-literal + exit-code-dead), and
+// kExitCrashInjected disagrees with FaultInjector::kAbortExitCode
+// (exit-code-mismatch).
+#pragma once
+
+namespace offnet::tools {
+
+inline constexpr int kExitUsage = 64;
+inline constexpr int kExitData = 65;
+inline constexpr int kExitCrashInjected = 71;
+
+}  // namespace offnet::tools

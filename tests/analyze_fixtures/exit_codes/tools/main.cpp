@@ -1,0 +1,7 @@
+// Fixture: exit-code call sites.
+#include "exit_codes.h"
+
+int main(int argc, char**) {
+  if (argc < 2) std::exit(64);  // exit-code-literal: 64 is kExitUsage
+  return offnet::tools::kExitData;
+}

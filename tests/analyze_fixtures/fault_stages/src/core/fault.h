@@ -1,0 +1,13 @@
+// Fixture: fault_stage registry — kDeadStage is never used
+// (fault-stage-dead); kUsedStage is referenced by constant and, in
+// user.cpp, bypassed with its literal.
+#pragma once
+
+namespace offnet::core {
+
+namespace fault_stage {
+inline constexpr const char* kUsedStage = "used-stage";
+inline constexpr const char* kDeadStage = "dead-stage";
+}  // namespace fault_stage
+
+}  // namespace offnet::core

@@ -1,0 +1,12 @@
+// Fixture: FaultInjector call sites for the fault-stage rules.
+#include "core/fault.h"
+
+namespace offnet::io {
+
+void arm(core::FaultInjector& faults) {
+  faults.on(core::fault_stage::kUsedStage);  // the sanctioned form
+  faults.on("used-stage");                   // fault-stage-bypass
+  faults.fail_at("mystery-stage", 3);        // fault-stage-undeclared
+}
+
+}  // namespace offnet::io

@@ -1,0 +1,5 @@
+// Fixture: layer-cycle — io and tls are both layer 2, so neither
+// include is a back edge; the cycle check has to catch it.
+#pragma once
+
+#include "tls/b.h"

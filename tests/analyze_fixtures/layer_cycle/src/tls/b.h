@@ -1,0 +1,4 @@
+// Fixture: second half of the io <-> tls include cycle.
+#pragma once
+
+#include "io/a.h"

@@ -1,0 +1,13 @@
+// Fixture: the registry side of the metric-consistency checks. kOrphan
+// is declared but never referenced (metric-dead); kUsed is referenced
+// both by constant (fine) and by literal (metric-bypass in user.cpp).
+#pragma once
+
+namespace offnet::obs {
+
+namespace metric_names {
+inline constexpr const char* kUsed = "fixture/used";
+inline constexpr const char* kOrphan = "fixture/orphan";
+}  // namespace metric_names
+
+}  // namespace offnet::obs

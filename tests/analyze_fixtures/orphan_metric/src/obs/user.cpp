@@ -1,0 +1,12 @@
+// Fixture: call-site side of the metric-consistency checks.
+#include "obs/names.h"
+
+namespace offnet::obs {
+
+void emit(Registry& registry) {
+  registry.counter(metric_names::kUsed).add(1);   // the sanctioned form
+  registry.counter("fixture/used").add(1);        // metric-bypass
+  registry.gauge("fixture/unknown").set(1);       // metric-undeclared
+}
+
+}  // namespace offnet::obs

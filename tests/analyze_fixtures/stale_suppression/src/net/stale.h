@@ -1,0 +1,10 @@
+// Fixture: stale-suppression — the grant below covers a line where
+// layer-back-edge never fires, so the grant itself is the finding.
+#pragma once
+
+namespace offnet::net {
+
+// offnet-analyze: allow(layer-back-edge): rotted -- nothing fires here
+int answer();
+
+}  // namespace offnet::net

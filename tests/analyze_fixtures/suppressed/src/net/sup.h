@@ -1,0 +1,16 @@
+// Fixture: a justified inline grant silences the mutex-unguarded
+// finding the class would otherwise produce.
+#pragma once
+
+namespace offnet::net {
+
+class Quiet {
+ public:
+  void poke();
+
+ private:
+  // offnet-analyze: allow(mutex-unguarded): fixture proves grants silence findings
+  core::Mutex mu_;
+};
+
+}  // namespace offnet::net

@@ -1,0 +1,2 @@
+// Fixture: layer-undeclared — src/widgets/ is in no declared layer.
+#pragma once

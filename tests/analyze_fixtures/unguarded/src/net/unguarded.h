@@ -1,0 +1,25 @@
+// Fixture: mutex-unguarded and condvar-unguarded — lock members whose
+// classes declare no OFFNET_GUARDED_BY state at all.
+#pragma once
+
+namespace offnet::net {
+
+class Pool {
+ public:
+  void put(int v);
+
+ private:
+  core::Mutex mu_;  // mutex-unguarded: no field names it
+  int unannotated_ = 0;
+};
+
+class Waiter {
+ public:
+  void wake();
+
+ private:
+  core::Mutex mu_;
+  core::CondVar cv_;  // condvar-unguarded: no guarded predicate state
+};
+
+}  // namespace offnet::net

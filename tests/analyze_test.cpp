@@ -1,0 +1,265 @@
+// Tests for offnet_analyze (tools/analyze): every pass fires on its
+// fixture tree with exact rule ids, paths, and stable keys;
+// suppressions and the baseline behave; binary exit codes are stable;
+// and the real tree analyzes clean against the checked-in baseline.
+// Fixture trees under tests/analyze_fixtures/ are miniature repos
+// (repo_relative anchors at their src/ or tools/ component); both
+// lint_tree and analyze_tree skip that directory when walking the
+// real repo.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace {
+
+using offnet::analyze::analyze_tree;
+using offnet::analyze::apply_baseline;
+using offnet::analyze::Baseline;
+using offnet::analyze::Finding;
+using offnet::analyze::parse_baseline;
+using offnet::analyze::render_baseline;
+
+std::string fixture_root(const std::string& name) {
+  return std::string(OFFNET_SOURCE_DIR) + "/tests/analyze_fixtures/" + name;
+}
+
+std::vector<Finding> analyze_fixture(const std::string& name) {
+  return analyze_tree({fixture_root(name)});
+}
+
+std::string describe(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += offnet::analyze::format(finding) + "\n";
+  }
+  return out;
+}
+
+int run_analyzer(const std::string& args) {
+  const int status =
+      std::system((std::string(OFFNET_ANALYZE_BIN) + " " + args +
+                   " > /dev/null 2>&1")
+                      .c_str());
+  EXPECT_NE(status, -1);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(AnalyzeLayering, BackEdgeFixture) {
+  auto findings = analyze_fixture("back_edge");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layer-back-edge");
+  EXPECT_EQ(findings[0].file, "src/net/util.h");
+  EXPECT_EQ(findings[0].line, 5u);  // the #include line
+  EXPECT_EQ(findings[0].key, "src/net/util.h->src/svc/server.h");
+}
+
+TEST(AnalyzeLayering, CycleFixture) {
+  auto findings = analyze_fixture("layer_cycle");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layer-cycle");
+  EXPECT_EQ(findings[0].file, "src/io/a.h");
+  EXPECT_EQ(findings[0].key, "src/io/a.h->src/tls/b.h->src/io/a.h");
+  // The message prints the whole chain for the human fixing it.
+  EXPECT_NE(findings[0].message.find("src/tls/b.h"), std::string::npos);
+}
+
+TEST(AnalyzeLayering, UndeclaredFixture) {
+  auto findings = analyze_fixture("undeclared");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layer-undeclared");
+  EXPECT_EQ(findings[0].file, "src/widgets/w.h");
+  EXPECT_EQ(findings[0].key, "src/widgets/w.h");
+}
+
+TEST(AnalyzeAnnotations, DanglingGuardFixture) {
+  auto findings = analyze_fixture("dangling_guard");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "guard-dangling");
+  EXPECT_EQ(findings[0].file, "src/net/guarded.h");
+  EXPECT_EQ(findings[0].key, "src/net/guarded.h:Guarded::gone_mu_");
+}
+
+TEST(AnalyzeAnnotations, UnguardedFixture) {
+  auto findings = analyze_fixture("unguarded");
+  ASSERT_EQ(findings.size(), 3u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "mutex-unguarded");
+  EXPECT_EQ(findings[0].key, "src/net/unguarded.h:Pool::mu_");
+  EXPECT_EQ(findings[1].rule, "mutex-unguarded");
+  EXPECT_EQ(findings[1].key, "src/net/unguarded.h:Waiter::mu_");
+  EXPECT_EQ(findings[2].rule, "condvar-unguarded");
+  EXPECT_EQ(findings[2].key, "src/net/unguarded.h:Waiter::cv_");
+}
+
+TEST(AnalyzeRegistries, OrphanMetricFixture) {
+  auto findings = analyze_fixture("orphan_metric");
+  ASSERT_EQ(findings.size(), 3u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "metric-dead");
+  EXPECT_EQ(findings[0].file, "src/obs/names.h");
+  EXPECT_EQ(findings[0].key, "kOrphan");
+  EXPECT_EQ(findings[1].rule, "metric-bypass");
+  EXPECT_EQ(findings[1].key, "src/obs/user.cpp:fixture/used");
+  // The bypass message points at the constant to use instead.
+  EXPECT_NE(findings[1].message.find("kUsed"), std::string::npos);
+  EXPECT_EQ(findings[2].rule, "metric-undeclared");
+  EXPECT_EQ(findings[2].key, "src/obs/user.cpp:fixture/unknown");
+}
+
+TEST(AnalyzeRegistries, FaultStagesFixture) {
+  auto findings = analyze_fixture("fault_stages");
+  ASSERT_EQ(findings.size(), 3u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "fault-stage-dead");
+  EXPECT_EQ(findings[0].key, "kDeadStage");
+  EXPECT_EQ(findings[1].rule, "fault-stage-bypass");
+  EXPECT_EQ(findings[1].key, "src/io/user.cpp:used-stage");
+  EXPECT_EQ(findings[2].rule, "fault-stage-undeclared");
+  EXPECT_EQ(findings[2].key, "src/io/user.cpp:mystery-stage");
+}
+
+TEST(AnalyzeRegistries, ExitCodesFixture) {
+  auto findings = analyze_fixture("exit_codes");
+  ASSERT_EQ(findings.size(), 4u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "exit-code-dead");
+  EXPECT_EQ(findings[0].key, "kExitUsage");
+  EXPECT_EQ(findings[1].rule, "exit-code-dead");
+  EXPECT_EQ(findings[1].key, "kExitCrashInjected");
+  EXPECT_EQ(findings[2].rule, "exit-code-mismatch");
+  EXPECT_EQ(findings[2].key, "kExitCrashInjected");
+  EXPECT_EQ(findings[3].rule, "exit-code-literal");
+  EXPECT_EQ(findings[3].file, "tools/main.cpp");
+  EXPECT_EQ(findings[3].key, "tools/main.cpp:exit(64)");
+  // The literal message names the constant that should be used.
+  EXPECT_NE(findings[3].message.find("kExitUsage"), std::string::npos);
+}
+
+TEST(AnalyzeSuppressions, JustifiedGrantSilences) {
+  auto findings = analyze_fixture("suppressed");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(AnalyzeSuppressions, RottedGrantIsAFinding) {
+  auto findings = analyze_fixture("stale_suppression");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "stale-suppression");
+  EXPECT_EQ(findings[0].file, "src/net/stale.h");
+  EXPECT_EQ(findings[0].line, 7u);  // the rotted allow() comment
+}
+
+TEST(AnalyzeBaseline, MatchingEntryDropsTheFinding) {
+  Baseline baseline = parse_baseline(
+      "b.txt",
+      "layer-back-edge src/net/util.h->src/svc/server.h # tracked\n");
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_TRUE(baseline.errors.empty());
+  auto findings =
+      apply_baseline(analyze_fixture("back_edge"), baseline, "b.txt");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(AnalyzeBaseline, StaleEntryIsAFinding) {
+  Baseline baseline = parse_baseline(
+      "b.txt",
+      "layer-back-edge src/net/util.h->src/svc/server.h # tracked\n"
+      "layer-cycle nothing->here # long gone\n");
+  auto findings =
+      apply_baseline(analyze_fixture("back_edge"), baseline, "b.txt");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "stale-baseline");
+  EXPECT_EQ(findings[0].file, "b.txt");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(AnalyzeBaseline, JustificationIsMandatory) {
+  Baseline baseline = parse_baseline(
+      "b.txt", "layer-back-edge src/net/util.h->src/svc/server.h\n");
+  EXPECT_TRUE(baseline.entries.empty());
+  ASSERT_EQ(baseline.errors.size(), 1u);
+  EXPECT_EQ(baseline.errors[0].rule, "stale-baseline");
+  // The malformed line suppresses nothing.
+  auto findings =
+      apply_baseline(analyze_fixture("back_edge"), baseline, "b.txt");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(AnalyzeBaseline, RenderCarriesJustificationsAndStampsNewOnes) {
+  const std::vector<Finding> findings = analyze_fixture("back_edge");
+  Baseline previous = parse_baseline(
+      "b.txt",
+      "layer-back-edge src/net/util.h->src/svc/server.h # my reason\n");
+  const std::string kept = render_baseline(findings, previous);
+  EXPECT_NE(kept.find("# my reason"), std::string::npos);
+  const std::string fresh = render_baseline(findings, Baseline{});
+  EXPECT_NE(fresh.find("TODO(reviewer): justify"), std::string::npos);
+  // Rendered output parses back with no errors and covers the finding.
+  Baseline round_trip = parse_baseline("b.txt", kept);
+  EXPECT_TRUE(round_trip.errors.empty());
+  EXPECT_TRUE(
+      apply_baseline(findings, round_trip, "b.txt").empty());
+}
+
+TEST(AnalyzeClean, CleanFixtureHasNoFindings) {
+  auto findings = analyze_fixture("clean");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(AnalyzeClean, FormatIsFileLineRuleMessageKey) {
+  Finding finding{"src/a.h", 3, "layer-cycle", "a->b->a", "message"};
+  EXPECT_EQ(offnet::analyze::format(finding),
+            "src/a.h:3: layer-cycle: message [a->b->a]");
+}
+
+TEST(AnalyzeClean, RepoRelativeAnchorsAtTheLastRepoComponent) {
+  EXPECT_EQ(offnet::analyze::repo_relative(
+                "/x/tests/analyze_fixtures/back_edge/src/net/util.h"),
+            "src/net/util.h");
+  EXPECT_EQ(offnet::analyze::repo_relative("src/core/pipeline.h"),
+            "src/core/pipeline.h");
+  EXPECT_EQ(offnet::analyze::repo_relative("/x/tools/exit_codes.h"),
+            "tools/exit_codes.h");
+}
+
+TEST(AnalyzeClean, RealTreeAnalyzesCleanAgainstTheBaseline) {
+  const std::string root(OFFNET_SOURCE_DIR);
+  std::ifstream in(root + "/tools/analyze/baseline.txt",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing tools/analyze/baseline.txt";
+  std::ostringstream text;
+  text << in.rdbuf();
+  Baseline baseline = parse_baseline("tools/analyze/baseline.txt",
+                                     text.str());
+  EXPECT_TRUE(baseline.errors.empty());
+  auto findings = apply_baseline(
+      analyze_tree({root + "/src", root + "/tools", root + "/bench",
+                    root + "/tests"}),
+      baseline, "tools/analyze/baseline.txt");
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << offnet::analyze::format(finding);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeExitCodes, BinaryContract) {
+  const std::string root(OFFNET_SOURCE_DIR);
+  // Clean tree -> 0.
+  EXPECT_EQ(run_analyzer(root + "/tests/analyze_fixtures/clean"), 0);
+  // Findings -> 1.
+  EXPECT_EQ(run_analyzer(root + "/tests/analyze_fixtures/back_edge"), 1);
+  // Usage errors -> 2.
+  EXPECT_EQ(run_analyzer(""), 2);
+  EXPECT_EQ(run_analyzer("--bogus-flag"), 2);
+  EXPECT_EQ(run_analyzer("--fix-baseline " + root +
+                         "/tests/analyze_fixtures/clean"),
+            2);  // --fix-baseline needs --baseline
+  EXPECT_EQ(run_analyzer("--baseline /nonexistent/baseline.txt " + root +
+                         "/tests/analyze_fixtures/clean"),
+            2);  // unreadable baseline
+}
+
+}  // namespace

@@ -8,6 +8,8 @@
 #include <sys/wait.h>
 
 #include <cstdlib>
+
+#include "exit_codes.h"
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -208,7 +210,7 @@ TEST(CliRobustnessTest, HardKillThenResumeMatchesUninterruptedRun) {
   EXPECT_EQ(run_cli("series --root " + root + " --checkpoint-dir " + ckpt +
                         " --crash-after 2",
                     crashed),
-            70);  // FaultInjector::kAbortExitCode
+            offnet::tools::kExitCrashInjected);
   EXPECT_TRUE(fs::exists(ckpt + "/checkpoint.offnet"));
   EXPECT_TRUE(fs::exists(ckpt + "/checkpoint.offnet.tmp"));
 

@@ -1,0 +1,14 @@
+// Fixture: stale-suppression. The trailing grant on the lock() line is
+// live (raw-lock really fires there); the standalone grant below it
+// covers a line where nothing fires, so the grant has rotted; the last
+// pair shows a rotted grant grandfathered by allow(stale-suppression).
+void demo(core::Mutex& mu) {
+  mu.lock();  // offnet-lint: allow(raw-lock): fixture exercises a live grant
+  // offnet-lint: allow(raw-lock): rotted -- nothing locks below
+  int x = 0;
+  // offnet-lint: allow(stale-suppression): rot kept on purpose by this fixture
+  // offnet-lint: allow(raw-lock): rotted but grandfathered above
+  int y = 0;
+  (void)x;
+  (void)y;
+}

@@ -218,6 +218,28 @@ TEST(LintSuppressions, MissingJustificationAndUnknownRuleAreFindings) {
   EXPECT_EQ(findings.size(), 4u);
 }
 
+TEST(LintSuppressions, StaleSuppressionFixture) {
+  auto findings = lint_fixture("src/stale_suppression.cpp",
+                               "src/stale_suppression.cpp");
+  // Line 6's grant is live (raw-lock fires under it), line 7's has
+  // rotted, and line 10's rot is grandfathered by the
+  // allow(stale-suppression) on line 9 — exactly one finding.
+  ASSERT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"stale-suppression"}));
+  EXPECT_EQ(findings[0].line, 7u);
+  EXPECT_NE(findings[0].message.find("raw-lock"), std::string::npos);
+}
+
+TEST(LintSuppressions, UnusedStaleSuppressionGrantIsItselfStale) {
+  const std::string text =
+      "// offnet-lint: allow(stale-suppression): nothing rotted here\n"
+      "int x = 0;\n";
+  auto findings = lint_file("src/example.cpp", text);
+  ASSERT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"stale-suppression"}));
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
 TEST(LintClean, CleanFixtureHasNoFindings) {
   auto findings = lint_fixture("src/clean.cpp", "src/clean.cpp");
   EXPECT_TRUE(findings.empty())

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -87,6 +88,29 @@ TEST(MetricsPipelineTest, DeterministicJsonIdenticalAcrossThreadCounts) {
               serial_json)
         << "metrics diverged at " << threads << " threads";
   }
+}
+
+TEST(MetricsPipelineTest, DeterministicJsonMatchesGoldenFile) {
+  // The export is pinned byte-for-byte against a checked-in golden
+  // file, so the metric-name registry (core::metric_names and friends,
+  // DESIGN.md §9/§13) cannot drift silently: renaming a constant's
+  // value, or bypassing a constant with a differently-spelled literal,
+  // changes the export and fails here. Regenerate after an intentional
+  // rename by writing deterministic_json(serial) over the golden file.
+  const scan::World& world = testing::small_world();
+  obs::Registry metrics;
+  run_snapshot(world, net::snapshot_count() - 1, 1, metrics);
+  const std::string json =
+      obs::MetricsExporter::deterministic_json(metrics);
+
+  const std::string golden_path = std::string(OFFNET_SOURCE_DIR) +
+                                  "/tests/golden/metrics_pipeline.json";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "deterministic metrics export drifted from " << golden_path;
 }
 
 TEST(MetricsSeriesTest, WorldRunAccountsForEverySnapshotsHealth) {

@@ -1,0 +1,1297 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lexer.h"
+
+namespace offnet::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using lint::Stripped;
+using lint::filename_of;
+using lint::ident_char;
+using lint::matching_paren;
+using lint::skip_spaces;
+using lint::strip;
+using lint::trim;
+using lint::word_at;
+
+const char* const kKnownRules[] = {
+    "layer-back-edge",   "layer-cycle",          "layer-undeclared",
+    "mutex-unguarded",   "condvar-unguarded",    "guard-dangling",
+    "metric-bypass",     "metric-undeclared",    "metric-dead",
+    "metric-duplicate",  "fault-stage-bypass",   "fault-stage-undeclared",
+    "fault-stage-dead",  "exit-code-literal",    "exit-code-dead",
+    "exit-code-mismatch", "stale-baseline",      "bad-suppression",
+    "stale-suppression",
+};
+
+bool known_rule(std::string_view rule) {
+  for (const char* id : kKnownRules) {
+    if (rule == id) return true;
+  }
+  return false;
+}
+
+struct SourceFile {
+  std::string rel;  // repo-relative path
+  Stripped stripped;
+};
+
+// ---- Layer table ----
+//
+// The declared DAG (DESIGN.md §13). Directory-based with an explicit
+// per-file override list for src/core (which holds both the layer-0
+// primitives and the layer-4 orchestrators) and src/scan/record.*
+// (pure data model consumed by layer-2 io loaders).
+
+constexpr int kLayerCount = 7;
+
+const char* layer_name(int layer) {
+  static const char* const kNames[kLayerCount] = {
+      "base", "util", "domain", "model", "orchestration", "service",
+      "tools"};
+  return layer >= 0 && layer < kLayerCount ? kNames[layer] : "?";
+}
+
+/// Strips a trailing .h/.hpp/.cpp/.cc so overrides cover header+source.
+std::string_view stem_of(std::string_view rel) {
+  for (std::string_view ext : {".hpp", ".cpp", ".cc", ".h"}) {
+    if (rel.size() > ext.size() &&
+        rel.substr(rel.size() - ext.size()) == ext) {
+      return rel.substr(0, rel.size() - ext.size());
+    }
+  }
+  return rel;
+}
+
+/// Layer of a repo-relative path; -1 = exempt (tests), -2 = undeclared.
+int layer_of(std::string_view rel) {
+  const std::string_view stem = stem_of(rel);
+  static const char* const kBaseCore[] = {
+      "src/core/mutex",       "src/core/thread_annotations",
+      "src/core/thread_pool", "src/core/pinned",
+      "src/core/fault",
+  };
+  static const char* const kOrchestrationCore[] = {
+      "src/core/pipeline",       "src/core/longitudinal",
+      "src/core/checkpoint",     "src/core/delta_cache",
+      "src/core/header_learner", "src/core/known_headers",
+      "src/core/tls_fingerprint",
+  };
+  if (rel.substr(0, 6) == "tests/") return -1;
+  if (rel.substr(0, 6) == "tools/" || rel.substr(0, 6) == "bench/") {
+    return 6;
+  }
+  if (rel.substr(0, 4) != "src/") return -1;  // outside the layered tree
+  const std::string_view dir =
+      rel.substr(4, rel.find('/', 4) == std::string_view::npos
+                        ? std::string_view::npos
+                        : rel.find('/', 4) - 4);
+  if (dir == "core") {
+    for (const char* base : kBaseCore) {
+      if (stem == base) return 0;
+    }
+    for (const char* orch : kOrchestrationCore) {
+      if (stem == orch) return 4;
+    }
+    return -2;
+  }
+  if (dir == "net" || dir == "obs") return 1;
+  if (dir == "io" || dir == "tls" || dir == "dns" || dir == "http" ||
+      dir == "bgp" || dir == "topology") {
+    return 2;
+  }
+  if (dir == "scan") {
+    if (stem == "src/scan/record") return 2;
+    return 3;
+  }
+  if (dir == "hypergiant") return 3;
+  if (dir == "analysis") return 4;
+  if (dir == "svc") return 5;
+  return -2;
+}
+
+// ---- Inline suppressions (same grammar as offnet_lint, own tag) ----
+
+struct Suppression {
+  std::string rule;
+  std::size_t comment_line = 0;
+  bool used = false;
+};
+
+struct Suppressions {
+  std::map<std::string, std::map<std::size_t, std::vector<Suppression>>>
+      by_file;  // rel -> covered line -> grants
+  std::vector<Finding> errors;
+
+  bool allows(const std::string& rel, std::size_t line,
+              std::string_view rule) {
+    auto file_it = by_file.find(rel);
+    if (file_it == by_file.end()) return false;
+    auto it = file_it->second.find(line);
+    if (it == file_it->second.end()) return false;
+    bool hit = false;
+    for (Suppression& grant : it->second) {
+      if (grant.rule == rule) {
+        grant.used = true;
+        hit = true;
+      }
+    }
+    return hit;
+  }
+};
+
+void parse_suppressions(const SourceFile& file, Suppressions& out) {
+  constexpr std::string_view kTag = "offnet-analyze:";
+  for (const lint::Comment& comment : file.stripped.comments) {
+    std::size_t tag = comment.text.find(kTag);
+    if (tag == std::string::npos) continue;
+    std::string_view rest =
+        trim(std::string_view(comment.text).substr(tag + kTag.size()));
+    constexpr std::string_view kAllow = "allow(";
+    if (rest.substr(0, kAllow.size()) != kAllow) {
+      out.errors.push_back({file.rel, comment.line, "bad-suppression",
+                            file.rel + ":" + "allow",
+                            "expected 'allow(rule-id): justification'"});
+      continue;
+    }
+    std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      out.errors.push_back({file.rel, comment.line, "bad-suppression",
+                            file.rel + ":" + "allow",
+                            "unterminated allow(...)"});
+      continue;
+    }
+    std::string rule(trim(rest.substr(kAllow.size(), close - kAllow.size())));
+    std::string_view why = trim(rest.substr(close + 1));
+    if (!why.empty() && why.front() == ':') why = trim(why.substr(1));
+    if (rule == "rule-id") continue;  // the documented placeholder syntax
+    if (!known_rule(rule)) {
+      out.errors.push_back({file.rel, comment.line, "bad-suppression",
+                            file.rel + ":" + rule,
+                            "unknown rule id '" + rule + "'"});
+      continue;
+    }
+    if (why.empty()) {
+      out.errors.push_back({file.rel, comment.line, "bad-suppression",
+                            file.rel + ":" + rule,
+                            "suppression of '" + rule +
+                                "' needs a justification"});
+      continue;
+    }
+    out.by_file[file.rel]
+               [comment.trailing ? comment.line : comment.line + 1]
+                   .push_back({rule, comment.line, false});
+  }
+}
+
+// ---- Pass 1: layering ----
+
+struct IncludeEdge {
+  std::size_t from_index = 0;  // into the files vector
+  std::size_t to_index = 0;
+  std::size_t line = 0;  // include line in the source file
+};
+
+/// Quoted includes of one file, as written.
+std::vector<std::pair<std::string, std::size_t>> quoted_includes(
+    const Stripped& stripped) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  std::istringstream lines{stripped.directives};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::string_view t = trim(line);
+    if (t.substr(0, 1) != "#") continue;
+    std::string_view directive = trim(t.substr(1));
+    if (directive.substr(0, 7) != "include") continue;
+    std::string_view target = trim(directive.substr(7));
+    if (target.empty() || target.front() != '"') continue;
+    std::size_t end = target.find('"', 1);
+    if (end == std::string_view::npos) continue;
+    out.emplace_back(std::string(target.substr(1, end - 1)), lineno);
+  }
+  return out;
+}
+
+std::string dir_of(std::string_view rel) {
+  std::size_t slash = rel.find_last_of('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(rel.substr(0, slash));
+}
+
+void pass_layering(const std::vector<SourceFile>& files,
+                   std::vector<Finding>& out) {
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    index_of[files[i].rel] = i;
+  }
+
+  // Undeclared layers first: every analyzed src/ file must be in the
+  // table before its edges mean anything.
+  for (const SourceFile& file : files) {
+    if (layer_of(file.rel) == -2) {
+      out.push_back(
+          {file.rel, 1, "layer-undeclared", file.rel,
+           "file is outside every declared layer; add it to the layer "
+           "table in tools/analyze/analyze.cpp (and DESIGN.md §13)"});
+    }
+  }
+
+  // Resolve quoted includes against the analyzed set.
+  auto resolve = [&](const std::string& from_rel,
+                     const std::string& header) -> std::optional<std::size_t> {
+    std::vector<std::string> candidates;
+    const std::string dir = dir_of(from_rel);
+    if (!dir.empty()) candidates.push_back(dir + "/" + header);
+    candidates.push_back("src/" + header);
+    candidates.push_back("tools/" + header);
+    candidates.push_back("bench/" + header);
+    candidates.push_back("tests/" + header);
+    candidates.push_back(header);
+    for (const std::string& candidate : candidates) {
+      auto it = index_of.find(candidate);
+      if (it != index_of.end()) return it->second;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<IncludeEdge> edges;
+  std::vector<std::vector<std::size_t>> adjacency(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const auto& [header, line] : quoted_includes(files[i].stripped)) {
+      std::optional<std::size_t> target = resolve(files[i].rel, header);
+      if (!target || *target == i) continue;
+      edges.push_back({i, *target, line});
+      adjacency[i].push_back(*target);
+    }
+  }
+
+  // Back-edges: an include must point at the same or a lower layer.
+  for (const IncludeEdge& edge : edges) {
+    const int from = layer_of(files[edge.from_index].rel);
+    const int to = layer_of(files[edge.to_index].rel);
+    if (from < 0 || to < 0) continue;  // exempt or already undeclared
+    if (to > from) {
+      const std::string& a = files[edge.from_index].rel;
+      const std::string& b = files[edge.to_index].rel;
+      out.push_back({a, edge.line, "layer-back-edge", a + "->" + b,
+                     "'" + a + "' (layer " + std::to_string(from) + ": " +
+                         layer_name(from) + ") includes '" + b + "' (layer " +
+                         std::to_string(to) + ": " + layer_name(to) +
+                         "); includes must point down the layer DAG"});
+    }
+  }
+
+  // Cycles: iterative DFS over the file-level include graph. Any cycle
+  // is an error (same-layer includes are legal only while acyclic).
+  std::vector<int> color(files.size(), 0);  // 0 white, 1 grey, 2 black
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+  // Recursion replaced with an explicit stack so fixture trees with deep
+  // chains cannot blow the analyzer's own stack.
+  struct Frame {
+    std::size_t node = 0;
+    std::size_t next_child = 0;
+  };
+  for (std::size_t start = 0; start < files.size(); ++start) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames{{start, 0}};
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_child < adjacency[frame.node].size()) {
+        const std::size_t child = adjacency[frame.node][frame.next_child++];
+        if (color[child] == 0) {
+          color[child] = 1;
+          stack.push_back(child);
+          frames.push_back({child, 0});
+        } else if (color[child] == 1) {
+          // Grey child: the stack from `child` to the top is a cycle.
+          auto begin = std::find(stack.begin(), stack.end(), child);
+          std::vector<std::size_t> cycle(begin, stack.end());
+          // Canonical rotation: start at the lexicographically smallest
+          // file so the key is stable however the cycle was entered.
+          std::size_t min_pos = 0;
+          for (std::size_t k = 1; k < cycle.size(); ++k) {
+            if (files[cycle[k]].rel < files[cycle[min_pos]].rel) min_pos = k;
+          }
+          std::rotate(cycle.begin(), cycle.begin() + min_pos, cycle.end());
+          std::string key, chain;
+          for (std::size_t node : cycle) {
+            key += files[node].rel + "->";
+            chain += files[node].rel + " -> ";
+          }
+          key += files[cycle.front()].rel;
+          chain += files[cycle.front()].rel;
+          if (reported.insert(key).second) {
+            out.push_back({files[cycle.front()].rel, 1, "layer-cycle", key,
+                           "include cycle: " + chain});
+          }
+        }
+      } else {
+        color[frame.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+// ---- Pass 2: annotation audit ----
+
+struct Member {
+  std::string name;
+  std::size_t line = 0;
+};
+
+struct GuardUse {
+  std::string target;  // the GUARDED_BY argument, trimmed
+  std::size_t line = 0;
+};
+
+struct Record {
+  std::string name;
+  std::vector<Member> mutexes;
+  std::vector<Member> condvars;
+  std::vector<GuardUse> guards;
+};
+
+/// The class-head name: the last identifier before the body that is not
+/// a macro invocation (OFFNET_CAPABILITY(...)), `final`, or `alignas`.
+std::string class_name(std::string_view head) {
+  std::string name;
+  for (std::size_t i = 0; i < head.size();) {
+    if (!ident_char(head[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < head.size() && ident_char(head[end])) ++end;
+    std::string_view token = head.substr(i, end - i);
+    std::size_t after = skip_spaces(head, end);
+    const bool macro_call = after < head.size() && head[after] == '(';
+    const bool numeric =
+        std::isdigit(static_cast<unsigned char>(token.front())) != 0;
+    if (!macro_call && !numeric && token != "final" && token != "alignas") {
+      name.assign(token);
+    }
+    i = end;
+  }
+  return name.empty() ? std::string("(anonymous)") : name;
+}
+
+/// Parses the `Type name;` member pattern at `pos` (just past the type
+/// keyword). Returns the member name, or empty if this is not a plain
+/// value member (reference/pointer, method return type, ...).
+std::string member_name_after_type(std::string_view code, std::size_t pos) {
+  pos = skip_spaces(code, pos);
+  if (pos >= code.size() || !ident_char(code[pos]) ||
+      std::isdigit(static_cast<unsigned char>(code[pos])) != 0) {
+    return {};
+  }
+  std::size_t end = pos;
+  while (end < code.size() && ident_char(code[end])) ++end;
+  std::size_t after = skip_spaces(code, end);
+  if (after >= code.size() || code[after] != ';') return {};
+  return std::string(code.substr(pos, end - pos));
+}
+
+void scan_record_body(const SourceFile& file, std::size_t open,
+                      std::size_t close, Record& record) {
+  const std::string_view code = file.stripped.code;
+  int brace_depth = 0;
+  int paren_depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = code[i];
+    if (c == '{') ++brace_depth;
+    if (c == '}') --brace_depth;
+    if (c == '(') ++paren_depth;
+    if (c == ')') --paren_depth;
+    if (brace_depth != 0) continue;
+    if (paren_depth == 0 && word_at(code, i, "Mutex")) {
+      std::string name = member_name_after_type(code, i + 5);
+      if (!name.empty()) {
+        record.mutexes.push_back({name, file.stripped.line_of(i)});
+        i += 4;
+        continue;
+      }
+    }
+    if (paren_depth == 0 && word_at(code, i, "CondVar")) {
+      std::string name = member_name_after_type(code, i + 7);
+      if (!name.empty()) {
+        record.condvars.push_back({name, file.stripped.line_of(i)});
+        i += 6;
+        continue;
+      }
+    }
+    for (std::string_view macro :
+         {"OFFNET_PT_GUARDED_BY", "OFFNET_GUARDED_BY"}) {
+      if (!word_at(code, i, macro)) continue;
+      std::size_t paren = skip_spaces(code, i + macro.size());
+      if (paren >= close || code[paren] != '(') break;
+      std::size_t end = matching_paren(code, paren);
+      if (end == std::string_view::npos || end > close) break;
+      record.guards.push_back(
+          {std::string(trim(code.substr(paren + 1, end - paren - 1))),
+           file.stripped.line_of(i)});
+      i = end;
+      break;
+    }
+  }
+}
+
+void pass_annotations(const std::vector<SourceFile>& files,
+                      std::vector<Finding>& out) {
+  for (const SourceFile& file : files) {
+    if (file.rel.substr(0, 4) != "src/" &&
+        file.rel.substr(0, 6) != "tools/") {
+      continue;
+    }
+    const std::string_view code = file.stripped.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const bool is_class = word_at(code, i, "class");
+      const bool is_struct = !is_class && word_at(code, i, "struct");
+      if (!is_class && !is_struct) continue;
+      // Skip `template <class T>` parameters and `enum class`.
+      std::size_t before = i;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      if (before > 0 && (code[before - 1] == '<' || code[before - 1] == ',')) {
+        continue;
+      }
+      if (before >= 4 && word_at(code, before - 4, "enum")) continue;
+      // Find the head end: body '{', or ';' (forward declaration /
+      // `struct tm buf;` usage).
+      std::size_t keyword_end = i + (is_class ? 5 : 6);
+      std::size_t head_end = keyword_end;
+      while (head_end < code.size() && code[head_end] != '{' &&
+             code[head_end] != ';' && code[head_end] != '(') {
+        ++head_end;
+      }
+      if (head_end >= code.size() || code[head_end] != '{') continue;
+      // Truncate the head at a base-clause ':' (not '::').
+      std::string_view head = code.substr(keyword_end,
+                                          head_end - keyword_end);
+      for (std::size_t k = 0; k + 1 < head.size(); ++k) {
+        if (head[k] != ':') continue;
+        if (head[k + 1] == ':' || (k > 0 && head[k - 1] == ':')) {
+          ++k;
+          continue;
+        }
+        head = head.substr(0, k);
+        break;
+      }
+      // Matching close brace.
+      int depth = 0;
+      std::size_t body_close = head_end;
+      while (body_close < code.size()) {
+        if (code[body_close] == '{') ++depth;
+        if (code[body_close] == '}' && --depth == 0) break;
+        ++body_close;
+      }
+      if (body_close >= code.size()) continue;
+
+      Record record;
+      record.name = class_name(head);
+      scan_record_body(file, head_end, body_close, record);
+
+      auto is_mutex = [&](std::string_view target) {
+        for (const Member& mutex : record.mutexes) {
+          if (mutex.name == target) return true;
+        }
+        return false;
+      };
+      for (const GuardUse& guard : record.guards) {
+        if (!is_mutex(guard.target)) {
+          out.push_back(
+              {file.rel, guard.line, "guard-dangling",
+               file.rel + ":" + record.name + "::" + guard.target,
+               "OFFNET_GUARDED_BY(" + guard.target + ") in " + record.name +
+                   " names no core::Mutex member of that class — the "
+                   "annotation is a silent no-op"});
+        }
+      }
+      for (const Member& mutex : record.mutexes) {
+        bool covered = false;
+        for (const GuardUse& guard : record.guards) {
+          if (guard.target == mutex.name) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          out.push_back(
+              {file.rel, mutex.line, "mutex-unguarded",
+               file.rel + ":" + record.name + "::" + mutex.name,
+               "core::Mutex member '" + mutex.name + "' of " + record.name +
+                   " guards no field — annotate the protected state with "
+                   "OFFNET_GUARDED_BY(" + mutex.name +
+                   ") or justify why the lock has no lockable state"});
+        }
+      }
+      if (!record.condvars.empty() && record.guards.empty()) {
+        const Member& cv = record.condvars.front();
+        out.push_back(
+            {file.rel, cv.line, "condvar-unguarded",
+             file.rel + ":" + record.name + "::" + cv.name,
+             "class " + record.name + " has a core::CondVar ('" + cv.name +
+                 "') but no OFFNET_GUARDED_BY state at all — a condvar "
+                 "predicate must live under its mutex"});
+      }
+    }
+  }
+}
+
+// ---- Pass 3: registry consistency ----
+
+struct Constant {
+  std::string name;
+  std::string value;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Parses `kName = "value"` pairs inside every `namespace <ns> { ... }`
+/// block of a file. Values come from `directives` (literals preserved);
+/// structure from `code`.
+std::vector<Constant> namespace_constants(const SourceFile& file,
+                                          std::string_view ns) {
+  std::vector<Constant> out;
+  const std::string_view code = file.stripped.code;
+  const std::string_view directives = file.stripped.directives;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!word_at(code, i, "namespace")) continue;
+    std::size_t name_pos = skip_spaces(code, i + 9);
+    if (!word_at(code, name_pos, ns)) continue;
+    std::size_t open = skip_spaces(code, name_pos + ns.size());
+    if (open >= code.size() || code[open] != '{') continue;
+    int depth = 0;
+    std::size_t close = open;
+    while (close < code.size()) {
+      if (code[close] == '{') ++depth;
+      if (code[close] == '}' && --depth == 0) break;
+      ++close;
+    }
+    for (std::size_t k = open; k < close && k < code.size(); ++k) {
+      if (code[k] != '=') continue;
+      // Identifier before '='.
+      std::size_t name_end = k;
+      while (name_end > open &&
+             std::isspace(static_cast<unsigned char>(code[name_end - 1]))) {
+        --name_end;
+      }
+      std::size_t name_begin = name_end;
+      while (name_begin > open && ident_char(code[name_begin - 1])) {
+        --name_begin;
+      }
+      if (name_begin == name_end) continue;
+      // First string literal after '=' (before ';').
+      std::size_t quote = std::string_view::npos;
+      for (std::size_t v = k + 1; v < close; ++v) {
+        if (code[v] == ';') break;
+        if (directives[v] == '"') {
+          quote = v;
+          break;
+        }
+      }
+      if (quote == std::string_view::npos) continue;
+      std::size_t quote_end = quote + 1;
+      while (quote_end < directives.size() && directives[quote_end] != '"') {
+        if (directives[quote_end] == '\\') ++quote_end;
+        ++quote_end;
+      }
+      if (quote_end >= directives.size()) continue;
+      out.push_back({std::string(code.substr(name_begin,
+                                             name_end - name_begin)),
+                     std::string(directives.substr(quote + 1,
+                                                   quote_end - quote - 1)),
+                     file.rel, file.stripped.line_of(quote)});
+      k = quote_end;
+    }
+    i = close;
+  }
+  return out;
+}
+
+struct CallLiteral {
+  std::string value;
+  std::size_t line = 0;
+};
+
+/// The string literal that IS the call's n-th (0-based) top-level
+/// argument, if that argument starts with one. A literal buried in a
+/// nested call (`fail_at(stage, parse_count(args, "flag"))`) is some
+/// other function's business and must not be attributed to this call.
+std::optional<CallLiteral> arg_literal(const SourceFile& file,
+                                       std::size_t open, std::size_t n) {
+  const std::string_view code = file.stripped.code;
+  const std::string_view directives = file.stripped.directives;
+  std::size_t close = matching_paren(code, open);
+  if (close == std::string_view::npos) return std::nullopt;
+  // Walk to the n-th top-level comma boundary.
+  std::size_t arg_start = open + 1;
+  std::size_t arg_index = 0;
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close && arg_index < n; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      ++arg_index;
+      arg_start = i + 1;
+    }
+  }
+  if (arg_index != n) return std::nullopt;
+  std::size_t i = skip_spaces(directives, arg_start);
+  if (i >= close || directives[i] != '"') return std::nullopt;
+  std::size_t end = i + 1;
+  while (end < close && directives[end] != '"') {
+    if (directives[end] == '\\') ++end;
+    ++end;
+  }
+  if (end >= close) return std::nullopt;
+  return CallLiteral{std::string(directives.substr(i + 1, end - i - 1)),
+                     file.stripped.line_of(i)};
+}
+
+bool member_call_at(std::string_view code, std::size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(code[pos - 1]))) {
+    --pos;
+  }
+  return (pos >= 1 && code[pos - 1] == '.') ||
+         (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+}
+
+/// Obs call sites: registry.counter("...") / gauge / histogram /
+/// record_timing member calls, and StageTimer constructions.
+std::vector<CallLiteral> metric_call_literals(const SourceFile& file) {
+  std::vector<CallLiteral> out;
+  const std::string_view code = file.stripped.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::size_t open = std::string_view::npos;
+    std::size_t name_arg = 0;
+    for (std::string_view method :
+         {"counter", "gauge", "histogram", "record_timing"}) {
+      if (!word_at(code, i, method)) continue;
+      if (!member_call_at(code, i)) break;
+      std::size_t paren = skip_spaces(code, i + method.size());
+      if (paren < code.size() && code[paren] == '(') open = paren;
+      break;
+    }
+    if (open == std::string_view::npos && word_at(code, i, "StageTimer")) {
+      // `StageTimer t(reg, "stage")` or `StageTimer(reg, "stage")`:
+      // the stage name is the second argument.
+      std::size_t pos = skip_spaces(code, i + 10);
+      if (pos < code.size() && ident_char(code[pos])) {
+        while (pos < code.size() && ident_char(code[pos])) ++pos;
+        pos = skip_spaces(code, pos);
+      }
+      if (pos < code.size() && code[pos] == '(') {
+        open = pos;
+        name_arg = 1;
+      }
+    }
+    if (open == std::string_view::npos) continue;
+    if (std::optional<CallLiteral> literal =
+            arg_literal(file, open, name_arg)) {
+      out.push_back(*literal);
+    }
+    i = open;
+  }
+  return out;
+}
+
+/// FaultInjector call sites: .on("..."), .fail_at("..."),
+/// .fail_randomly("...").
+std::vector<CallLiteral> fault_call_literals(const SourceFile& file) {
+  std::vector<CallLiteral> out;
+  const std::string_view code = file.stripped.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::string_view method : {"on", "fail_at", "fail_randomly"}) {
+      if (!word_at(code, i, method)) continue;
+      if (!member_call_at(code, i)) break;
+      std::size_t paren = skip_spaces(code, i + method.size());
+      if (paren >= code.size() || code[paren] != '(') break;
+      if (std::optional<CallLiteral> literal = arg_literal(file, paren, 0)) {
+        out.push_back(*literal);
+      }
+      i = paren;
+      break;
+    }
+  }
+  return out;
+}
+
+/// True when identifier `name` occurs anywhere outside `skip_file`'s
+/// declaration line.
+bool identifier_used(const std::vector<SourceFile>& files,
+                     std::string_view name, const std::string& decl_file,
+                     std::size_t decl_line) {
+  for (const SourceFile& file : files) {
+    const std::string_view code = file.stripped.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] != name.front() || !word_at(code, i, name)) continue;
+      if (file.rel == decl_file &&
+          file.stripped.line_of(i) == decl_line) {
+        i += name.size();
+        continue;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when the exact quoted literal `"value"` occurs outside the
+/// declaration line (a test asserting on the emitted name counts as a
+/// use — it pins the registry value).
+bool literal_used(const std::vector<SourceFile>& files,
+                  const std::string& value, const std::string& decl_file,
+                  std::size_t decl_line) {
+  const std::string quoted = "\"" + value + "\"";
+  for (const SourceFile& file : files) {
+    const std::string& directives = file.stripped.directives;
+    std::size_t pos = 0;
+    while ((pos = directives.find(quoted, pos)) != std::string::npos) {
+      if (!(file.rel == decl_file &&
+            file.stripped.line_of(pos) == decl_line)) {
+        return true;
+      }
+      pos += quoted.size();
+    }
+  }
+  return false;
+}
+
+int parse_int_at(std::string_view code, std::size_t pos, int* value) {
+  std::size_t end = pos;
+  while (end < code.size() &&
+         std::isdigit(static_cast<unsigned char>(code[end])) != 0) {
+    ++end;
+  }
+  if (end == pos) return 0;
+  if (end < code.size() && ident_char(code[end])) return 0;  // 70u, 0x...
+  *value = 0;
+  for (std::size_t i = pos; i < end; ++i) *value = *value * 10 + (code[i] - '0');
+  return static_cast<int>(end - pos);
+}
+
+void pass_registries(const std::vector<SourceFile>& files,
+                     std::vector<Finding>& out) {
+  // -- Metric names --
+  std::vector<Constant> metrics;
+  for (const SourceFile& file : files) {
+    for (Constant& constant : namespace_constants(file, "metric_names")) {
+      metrics.push_back(std::move(constant));
+    }
+  }
+  std::map<std::string, const Constant*> by_value;
+  for (const Constant& constant : metrics) {
+    auto [it, inserted] = by_value.emplace(constant.value, &constant);
+    if (!inserted) {
+      out.push_back({constant.file, constant.line, "metric-duplicate",
+                     constant.value,
+                     "metric value \"" + constant.value + "\" is declared "
+                     "both as " + it->second->name + " (" +
+                         it->second->file + ") and " + constant.name +
+                         " — one registry constant per name"});
+    }
+  }
+  auto declared_match = [&](const std::string& literal) -> const Constant* {
+    auto it = by_value.find(literal);
+    if (it != by_value.end()) return it->second;
+    for (const Constant& constant : metrics) {
+      if (!constant.value.empty() && constant.value.back() == '/' &&
+          literal.size() > constant.value.size() &&
+          literal.compare(0, constant.value.size(), constant.value) == 0) {
+        return &constant;
+      }
+    }
+    return nullptr;
+  };
+  for (const SourceFile& file : files) {
+    if (file.rel == "tests/obs_test.cpp") continue;  // registry unit tests
+    const bool is_test = file.rel.substr(0, 6) == "tests/";
+    for (const CallLiteral& literal : metric_call_literals(file)) {
+      const Constant* match = declared_match(literal.value);
+      if (is_test) {
+        if (match == nullptr) {
+          out.push_back({file.rel, literal.line, "metric-undeclared",
+                         file.rel + ":" + literal.value,
+                         "metric \"" + literal.value + "\" matches no "
+                         "metric_names constant or prefix — tests may only "
+                         "assert on registered names"});
+        }
+        continue;
+      }
+      if (match != nullptr) {
+        out.push_back({file.rel, literal.line, "metric-bypass",
+                       file.rel + ":" + literal.value,
+                       "metric literal \"" + literal.value +
+                           "\" duplicates " + match->name + " (" +
+                           match->file + "); use the registry constant"});
+      } else {
+        out.push_back({file.rel, literal.line, "metric-undeclared",
+                       file.rel + ":" + literal.value,
+                       "metric \"" + literal.value + "\" is not declared "
+                       "in any metric_names namespace; register it beside "
+                       "its subsystem's other names"});
+      }
+    }
+  }
+  for (const Constant& constant : metrics) {
+    if (identifier_used(files, constant.name, constant.file,
+                        constant.line) ||
+        literal_used(files, constant.value, constant.file, constant.line)) {
+      continue;
+    }
+    out.push_back({constant.file, constant.line, "metric-dead",
+                   constant.name,
+                   "metric constant " + constant.name + " (\"" +
+                       constant.value + "\") is never used"});
+  }
+
+  // -- Fault stages --
+  std::vector<Constant> stages;
+  for (const SourceFile& file : files) {
+    for (Constant& constant : namespace_constants(file, "fault_stage")) {
+      stages.push_back(std::move(constant));
+    }
+  }
+  std::map<std::string, const Constant*> stage_by_value;
+  for (const Constant& constant : stages) {
+    stage_by_value.emplace(constant.value, &constant);
+  }
+  for (const SourceFile& file : files) {
+    if (file.rel.substr(0, 4) != "src/" &&
+        file.rel.substr(0, 6) != "tools/") {
+      continue;  // tests configure injectors with literal plans freely
+    }
+    if (!stages.empty() && file.rel == stages.front().file) continue;
+    for (const CallLiteral& literal : fault_call_literals(file)) {
+      auto it = stage_by_value.find(literal.value);
+      if (it != stage_by_value.end()) {
+        out.push_back({file.rel, literal.line, "fault-stage-bypass",
+                       file.rel + ":" + literal.value,
+                       "fault stage literal \"" + literal.value +
+                           "\" duplicates " + it->second->name + " (" +
+                           it->second->file +
+                           "); use the fault_stage constant"});
+      } else if (!stages.empty()) {
+        out.push_back({file.rel, literal.line, "fault-stage-undeclared",
+                       file.rel + ":" + literal.value,
+                       "fault stage \"" + literal.value + "\" is not "
+                       "declared in core::fault_stage — an undeclared "
+                       "stage never fires under any plan"});
+      }
+    }
+  }
+  for (const Constant& constant : stages) {
+    if (identifier_used(files, constant.name, constant.file,
+                        constant.line) ||
+        literal_used(files, constant.value, constant.file, constant.line)) {
+      continue;
+    }
+    out.push_back({constant.file, constant.line, "fault-stage-dead",
+                   constant.name,
+                   "fault stage constant " + constant.name + " (\"" +
+                       constant.value + "\") is never crossed or armed"});
+  }
+
+  // -- Exit codes --
+  struct IntConstant {
+    std::string name;
+    int value = 0;
+    std::string file;
+    std::size_t line = 0;
+  };
+  std::vector<IntConstant> codes;
+  int abort_code = -1;
+  for (const SourceFile& file : files) {
+    if (filename_of(file.rel) != "exit_codes.h") continue;
+    const std::string_view code = file.stripped.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] != 'k' || !ident_char(code[i]) ||
+          (i > 0 && ident_char(code[i - 1]))) {
+        continue;
+      }
+      std::size_t end = i;
+      while (end < code.size() && ident_char(code[end])) ++end;
+      std::size_t eq = skip_spaces(code, end);
+      if (eq >= code.size() || code[eq] != '=') continue;
+      std::size_t digits = skip_spaces(code, eq + 1);
+      int value = 0;
+      if (parse_int_at(code, digits, &value) == 0) continue;
+      codes.push_back({std::string(code.substr(i, end - i)), value,
+                       file.rel, file.stripped.line_of(i)});
+      i = end;
+    }
+  }
+  for (const SourceFile& file : files) {
+    const std::string_view code = file.stripped.code;
+    std::size_t pos = 0;
+    while ((pos = code.find("kAbortExitCode", pos)) != std::string::npos) {
+      std::size_t eq = skip_spaces(code, pos + 14);
+      if (eq < code.size() && code[eq] == '=') {
+        int value = 0;
+        if (parse_int_at(code, skip_spaces(code, eq + 1), &value) != 0) {
+          abort_code = value;
+        }
+      }
+      pos += 14;
+    }
+  }
+  for (const IntConstant& code_constant : codes) {
+    if (code_constant.name == "kExitCrashInjected" && abort_code >= 0 &&
+        code_constant.value != abort_code) {
+      out.push_back(
+          {code_constant.file, code_constant.line, "exit-code-mismatch",
+           "kExitCrashInjected",
+           "kExitCrashInjected is " + std::to_string(code_constant.value) +
+               " but core::FaultInjector::kAbortExitCode is " +
+               std::to_string(abort_code) +
+               " — the crash-resume tests key on these agreeing"});
+    }
+    if (!identifier_used(files, code_constant.name, code_constant.file,
+                         code_constant.line)) {
+      out.push_back(
+          {code_constant.file, code_constant.line, "exit-code-dead",
+           code_constant.name,
+           "exit code " + code_constant.name + " (" +
+               std::to_string(code_constant.value) + ") is never used"});
+    }
+  }
+  std::set<int> named_values;
+  for (const IntConstant& code_constant : codes) {
+    if (code_constant.value >= 64) named_values.insert(code_constant.value);
+  }
+  if (abort_code >= 64) named_values.insert(abort_code);
+  for (const SourceFile& file : files) {
+    if (file.rel.substr(0, 4) != "src/" &&
+        file.rel.substr(0, 6) != "tools/" &&
+        file.rel.substr(0, 6) != "bench/") {
+      continue;
+    }
+    if (filename_of(file.rel) == "exit_codes.h" ||
+        filename_of(file.rel) == "fault.h") {
+      continue;  // the declaring registries
+    }
+    const std::string_view code = file.stripped.code;
+    const bool is_main_tree = file.rel.substr(0, 6) == "tools/" ||
+                              file.rel.substr(0, 6) == "bench/";
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::size_t digits = std::string_view::npos;
+      std::string_view what;
+      for (std::string_view call : {"_Exit", "exit"}) {
+        if (!word_at(code, i, call)) continue;
+        std::size_t paren = skip_spaces(code, i + call.size());
+        if (paren >= code.size() || code[paren] != '(') break;
+        digits = skip_spaces(code, paren + 1);
+        what = call;
+        break;
+      }
+      if (digits == std::string_view::npos && is_main_tree &&
+          word_at(code, i, "return")) {
+        std::size_t value_pos = skip_spaces(code, i + 6);
+        int value = 0;
+        int len = parse_int_at(code, value_pos, &value);
+        std::size_t semi =
+            len != 0 ? skip_spaces(code, value_pos + len) : code.size();
+        if (len != 0 && semi < code.size() && code[semi] == ';') {
+          digits = value_pos;
+          what = "return";
+        }
+      }
+      if (digits == std::string_view::npos) continue;
+      int value = 0;
+      if (parse_int_at(code, digits, &value) == 0) continue;
+      if (named_values.count(value) == 0) continue;
+      std::string name;
+      for (const IntConstant& code_constant : codes) {
+        if (code_constant.value == value) {
+          name = code_constant.name;
+          break;
+        }
+      }
+      out.push_back(
+          {file.rel, file.stripped.line_of(i), "exit-code-literal",
+           file.rel + ":" + std::string(what) + "(" +
+               std::to_string(value) + ")",
+           std::string(what) + " with bare exit status " +
+               std::to_string(value) + "; use tools::" + name +
+               " from exit_codes.h"});
+      i = digits;
+    }
+  }
+}
+
+}  // namespace
+
+std::string format(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " +
+         finding.rule + ": " + finding.message + " [" + finding.key + "]";
+}
+
+std::string repo_relative(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  while (start <= normalized.size()) {
+    std::size_t end = normalized.find('/', start);
+    if (end == std::string::npos) end = normalized.size();
+    if (end > start) parts.push_back(normalized.substr(start, end - start));
+    start = end + 1;
+  }
+  std::size_t anchor = parts.size();
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src" || parts[i] == "tools" || parts[i] == "tests" ||
+        parts[i] == "bench") {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor == parts.size()) {
+    return parts.empty() ? path : parts.back();
+  }
+  std::string out;
+  for (std::size_t i = anchor; i < parts.size(); ++i) {
+    if (!out.empty()) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<Finding> analyze_tree(const std::vector<std::string>& roots) {
+  std::vector<fs::path> paths;
+  auto analyzable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+  };
+  auto skip_dir = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name == ".git" || name == "lint_fixtures" ||
+           name == "analyze_fixtures" || name == "golden" ||
+           name.substr(0, 5) == "build";
+  };
+  for (const std::string& root : roots) {
+    fs::path base(root);
+    if (fs::is_regular_file(base)) {
+      if (analyzable(base)) paths.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base)) continue;
+    fs::recursive_directory_iterator it(base), end;
+    while (it != end) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && analyzable(it->path())) {
+        paths.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+
+  std::map<std::string, SourceFile> by_rel;
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string rel = repo_relative(path.generic_string());
+    by_rel[rel] = SourceFile{rel, strip(buffer.str())};
+  }
+  std::vector<SourceFile> files;
+  files.reserve(by_rel.size());
+  for (auto& [rel, file] : by_rel) files.push_back(std::move(file));
+
+  Suppressions suppressions;
+  for (const SourceFile& file : files) {
+    parse_suppressions(file, suppressions);
+  }
+
+  std::vector<Finding> raw;
+  pass_layering(files, raw);
+  pass_annotations(files, raw);
+  pass_registries(files, raw);
+
+  std::vector<Finding> out;
+  for (Finding& finding : raw) {
+    if (!suppressions.allows(finding.file, finding.line, finding.rule)) {
+      out.push_back(std::move(finding));
+    }
+  }
+  // Suppression rot, mirroring offnet_lint: unconsumed grants are
+  // findings themselves; allow(stale-suppression) may grandfather one
+  // and is then checked for rot in turn.
+  std::vector<Finding> stale;
+  for (auto& [rel, lines] : suppressions.by_file) {
+    for (auto& [line, grants] : lines) {
+      for (const Suppression& grant : grants) {
+        if (grant.used || grant.rule == "stale-suppression") continue;
+        stale.push_back({rel, grant.comment_line, "stale-suppression",
+                         rel + ":" + grant.rule,
+                         "suppression of '" + grant.rule +
+                             "' no longer matches a finding; remove the "
+                             "allow() comment"});
+      }
+    }
+  }
+  for (Finding& finding : stale) {
+    if (!suppressions.allows(finding.file, finding.line, finding.rule)) {
+      out.push_back(std::move(finding));
+    }
+  }
+  for (auto& [rel, lines] : suppressions.by_file) {
+    for (auto& [line, grants] : lines) {
+      for (const Suppression& grant : grants) {
+        if (grant.used || grant.rule != "stale-suppression") continue;
+        out.push_back({rel, grant.comment_line, "stale-suppression",
+                       rel + ":stale-suppression",
+                       "suppression of 'stale-suppression' no longer "
+                       "matches a finding; remove the allow() comment"});
+      }
+    }
+  }
+  out.insert(out.end(), suppressions.errors.begin(),
+             suppressions.errors.end());
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.key) <
+           std::tie(b.file, b.line, b.rule, b.key);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.key == b.key;
+                        }),
+            out.end());
+  return out;
+}
+
+Baseline parse_baseline(const std::string& path, std::string_view text) {
+  Baseline out;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = trim(text.substr(start, end - start));
+    ++lineno;
+    start = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    std::size_t hash = line.find(" # ");
+    if (hash == std::string_view::npos) {
+      out.errors.push_back(
+          {path, lineno, "stale-baseline",
+           path + ":" + std::to_string(lineno),
+           "baseline entry needs 'rule-id key # justification'"});
+      continue;
+    }
+    std::string_view head = trim(line.substr(0, hash));
+    std::string_view justification = trim(line.substr(hash + 3));
+    std::size_t space = head.find_first_of(" \t");
+    if (space == std::string_view::npos || justification.empty()) {
+      out.errors.push_back(
+          {path, lineno, "stale-baseline",
+           path + ":" + std::to_string(lineno),
+           "baseline entry needs 'rule-id key # justification'"});
+      continue;
+    }
+    std::string rule(trim(head.substr(0, space)));
+    std::string key(trim(head.substr(space + 1)));
+    if (!known_rule(rule)) {
+      out.errors.push_back({path, lineno, "stale-baseline",
+                            path + ":" + std::to_string(lineno),
+                            "unknown rule id '" + rule + "' in baseline"});
+      continue;
+    }
+    out.entries.push_back({lineno, rule, key,
+                           std::string(justification)});
+  }
+  return out;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline,
+                                    const std::string& baseline_path) {
+  std::vector<bool> used(baseline.entries.size(), false);
+  std::vector<Finding> out;
+  for (Finding& finding : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      if (baseline.entries[i].rule == finding.rule &&
+          baseline.entries[i].key == finding.key) {
+        used[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) out.push_back(std::move(finding));
+  }
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (used[i]) continue;
+    const BaselineEntry& entry = baseline.entries[i];
+    out.push_back({baseline_path, entry.line, "stale-baseline",
+                   entry.rule + " " + entry.key,
+                   "baseline entry '" + entry.rule + " " + entry.key +
+                       "' matches no current finding; the baseline may "
+                       "only shrink — delete the line"});
+  }
+  out.insert(out.end(), baseline.errors.begin(), baseline.errors.end());
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.key) <
+           std::tie(b.file, b.line, b.rule, b.key);
+  });
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings,
+                            const Baseline& previous) {
+  std::vector<const Finding*> sorted;
+  sorted.reserve(findings.size());
+  for (const Finding& finding : findings) sorted.push_back(&finding);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding* a, const Finding* b) {
+              return std::tie(a->rule, a->key) < std::tie(b->rule, b->key);
+            });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const Finding* a, const Finding* b) {
+                             return a->rule == b->rule && a->key == b->key;
+                           }),
+               sorted.end());
+  std::string out =
+      "# offnet_analyze baseline — grandfathered findings, one per line:\n"
+      "#   rule-id key # justification\n"
+      "# A line matching no current finding is itself an error\n"
+      "# (stale-baseline): this file may only shrink. Regenerate with\n"
+      "#   offnet_analyze --baseline <this file> --fix-baseline <roots>\n";
+  for (const Finding* finding : sorted) {
+    std::string justification = "TODO(reviewer): justify";
+    for (const BaselineEntry& entry : previous.entries) {
+      if (entry.rule == finding->rule && entry.key == finding->key) {
+        justification = entry.justification;
+        break;
+      }
+    }
+    out += finding->rule + " " + finding->key + " # " + justification +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace offnet::analyze

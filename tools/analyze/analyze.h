@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// offnet_analyze: the whole-program semantic analyzer (DESIGN.md §13).
+/// Where offnet_lint judges one token stream at a time, this tool parses
+/// the entire tree and checks cross-file structure in three passes:
+///
+/// Pass 1 — layering. Every repo file belongs to a declared layer:
+///   0 base           src/core primitives (mutex, annotations, thread
+///                    pool, pinned, fault)
+///   1 util           src/net, src/obs
+///   2 domain         src/io src/tls src/dns src/http src/bgp
+///                    src/topology, plus src/scan/record.* (pure data
+///                    model, no scan logic)
+///   3 model          src/scan, src/hypergiant
+///   4 orchestration  src/core pipeline/longitudinal/checkpoint/
+///                    delta_cache/header_learner/known_headers/
+///                    tls_fingerprint, plus src/analysis
+///   5 service        src/svc
+///   6 tools          tools/, bench/
+/// tests/ may include anything. Rules:
+///   layer-back-edge  an include pointing UP the DAG (lower layer pulls
+///                    in a higher one)
+///   layer-cycle      a file-level include cycle (chain printed)
+///   layer-undeclared a src/ file outside every declared layer — new
+///                    directories/core files must be added to the table
+///
+/// Pass 2 — annotation audit (src/ and tools/). Symbol-aware: classes
+/// and their members are parsed, so the Clang thread-safety macros from
+/// core/thread_annotations.h (silent no-ops on GCC) cannot rot:
+///   mutex-unguarded    a core::Mutex member that guards no field — no
+///                      OFFNET_GUARDED_BY in the class names it
+///   condvar-unguarded  a class with a core::CondVar but no guarded
+///                      state at all (a condvar without a predicate
+///                      under its mutex is always a bug)
+///   guard-dangling     OFFNET_GUARDED_BY(mu) naming no Mutex member of
+///                      the same class
+///
+/// Pass 3 — registry consistency. The shared registries (obs metric
+/// names in `metric_names` namespaces, core::fault_stage, and
+/// tools/exit_codes.h) are each the single source of truth:
+///   metric-bypass        a string literal at an obs call site
+///                        (counter/gauge/histogram/record_timing/
+///                        StageTimer) in src/tools/bench duplicating a
+///                        declared name — use the constant
+///   metric-undeclared    such a literal matching no declared name or
+///                        prefix (tests/obs_test.cpp is exempt: it
+///                        unit-tests the registry itself)
+///   metric-dead          a declared metric constant nothing references
+///   metric-duplicate     two metric constants with the same value
+///   fault-stage-bypass   a literal stage string at a FaultInjector
+///                        call site in src/tools duplicating a declared
+///                        fault_stage constant
+///   fault-stage-undeclared  a literal stage at a FaultInjector call
+///                        site in src/tools that no constant declares
+///   fault-stage-dead     a declared fault_stage constant never used
+///   exit-code-literal    exit()/_Exit()/return with a bare integer
+///                        that tools/exit_codes.h names
+///   exit-code-dead       a declared kExit* constant never used
+///   exit-code-mismatch   kExitCrashInjected out of sync with
+///                        core::FaultInjector::kAbortExitCode
+///
+/// Grandfathered findings live in a baseline file (one
+/// `rule-id key # justification` per line; the justification is
+/// mandatory). A baseline entry matching no current finding is itself an
+/// error (`stale-baseline`), so the file can only shrink. Inline
+/// `// offnet-analyze: allow(rule-id): justification` comments work like
+/// offnet_lint suppressions (trailing covers its own line, standalone
+/// covers the next), with the same bad-suppression / stale-suppression
+/// policing.
+namespace offnet::analyze {
+
+struct Finding {
+  std::string file;  // repo-relative
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string key;  // stable, line-insensitive identity for baselining
+  std::string message;
+};
+
+/// "file:line: rule-id: message [key]"
+std::string format(const Finding& finding);
+
+/// Maps an absolute or build-relative path onto the repo-relative form
+/// used in findings and keys: everything from the last `src`, `tools`,
+/// `tests`, or `bench` path component on. Fixture trees therefore look
+/// like miniature repos (".../analyze_fixtures/back_edge/src/net/util.h"
+/// reports as "src/net/util.h").
+std::string repo_relative(const std::string& path);
+
+/// Walks the given roots (directories or single files), runs all three
+/// passes over every .h/.hpp/.cpp/.cc, applies inline suppressions, and
+/// returns findings sorted by file, line, rule. Directories named
+/// "build*", ".git", "lint_fixtures", "analyze_fixtures", and "golden"
+/// are skipped.
+std::vector<Finding> analyze_tree(const std::vector<std::string>& roots);
+
+struct BaselineEntry {
+  std::size_t line = 0;  // line in the baseline file
+  std::string rule;
+  std::string key;
+  std::string justification;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<Finding> errors;  // malformed lines, as stale-baseline
+};
+
+/// Parses a baseline file body. `path` labels error findings.
+Baseline parse_baseline(const std::string& path, std::string_view text);
+
+/// Drops findings matched by a baseline entry; appends a stale-baseline
+/// finding for every entry that matched nothing (the baseline may only
+/// shrink) and for every parse error.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline,
+                                    const std::string& baseline_path);
+
+/// Renders `findings` as a baseline file body (sorted by rule then key),
+/// carrying justifications over from `previous` where rule+key still
+/// match and stamping "TODO(reviewer): justify" on new entries.
+std::string render_baseline(const std::vector<Finding>& findings,
+                            const Baseline& previous);
+
+}  // namespace offnet::analyze

@@ -1,0 +1,135 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+/// offnet_analyze — whole-program semantic analysis (DESIGN.md §13):
+/// layer DAG, thread-safety-annotation audit, registry consistency.
+///
+/// Usage: offnet_analyze [--baseline FILE] [--fix-baseline] [--quiet]
+///                       <dir-or-file>...
+/// Exit codes: 0 clean, 1 findings, 2 usage error.
+int main(int argc, char** argv) {
+  bool quiet = false;
+  bool fix_baseline = false;
+  std::string baseline_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "offnet_analyze: --baseline needs a file\n");
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "usage: offnet_analyze [--baseline FILE] [--fix-baseline] "
+          "[--quiet] <dir-or-file>...\n"
+          "Cross-file semantic checks: layering DAG, OFFNET_GUARDED_BY\n"
+          "coverage, metric/fault-stage/exit-code registry consistency\n"
+          "(see DESIGN.md §13).\n"
+          "--baseline FILE      grandfathered findings (rule-id key # why)\n"
+          "--fix-baseline       rewrite FILE from the current findings\n"
+          "Suppress one line with: "
+          "// offnet-analyze: allow(rule-id): justification");
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "offnet_analyze: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: offnet_analyze [--baseline FILE] [--fix-baseline] "
+                 "[--quiet] <dir-or-file>...\n");
+    return 2;
+  }
+  if (fix_baseline && baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "offnet_analyze: --fix-baseline needs --baseline FILE\n");
+    return 2;
+  }
+
+  std::vector<offnet::analyze::Finding> findings =
+      offnet::analyze::analyze_tree(roots);
+
+  offnet::analyze::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text) && !fix_baseline) {
+      std::fprintf(stderr, "offnet_analyze: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    baseline = offnet::analyze::parse_baseline(baseline_path, text);
+  }
+
+  if (fix_baseline) {
+    const std::string body =
+        offnet::analyze::render_baseline(findings, baseline);
+    // The baseline is developer state, not a run artifact: a torn write
+    // is recoverable by rerunning --fix-baseline, and the analyzer must
+    // stay dependency-free (no offnet_io link).
+    // offnet-lint: allow(raw-artifact-write): see comment above
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "offnet_analyze: cannot write baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << body;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "offnet_analyze: short write to '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "offnet_analyze: baselined %zu finding%s to %s\n",
+                   findings.size(), findings.size() == 1 ? "" : "s",
+                   baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    findings = offnet::analyze::apply_baseline(std::move(findings), baseline,
+                                               baseline_path);
+  }
+
+  if (!quiet) {
+    for (const offnet::analyze::Finding& finding : findings) {
+      std::fprintf(stderr, "%s\n",
+                   offnet::analyze::format(finding).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "offnet_analyze: %zu finding%s\n",
+                   findings.size(), findings.size() == 1 ? "" : "s");
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -12,6 +12,9 @@
 #   4. lint       offnet_lint over src/ tools/ bench/ tests/ (redundant
 #                 with the ctest entry, but gives readable output when
 #                 it fails)
+#   4b. analyze   offnet_analyze (DESIGN.md §13) over the same roots
+#                 against tools/analyze/baseline.txt, then a seeded
+#                 layering violation that must still fail with exit 1
 #   5. metrics    export a small dataset, run `series --metrics-out`,
 #                 and fail if the metrics JSON is missing any required
 #                 stage key (the §4 funnel counters, series accounting,
@@ -27,7 +30,11 @@
 #   9. TSan       rebuild svc_test and delta_test with
 #                 -fsanitize=thread and rerun both suites under the
 #                 sanitizer
-#  10. clang-tidy best-effort: skipped with a notice when not installed
+#  10. ASan/UBSan rebuild offnet_analyze + offnet_lint with
+#                 -fsanitize=address,undefined and rerun them over the
+#                 real tree (they parse every source file with raw
+#                 index arithmetic)
+#  11. clang-tidy best-effort: skipped with a notice when not installed
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 set -eu
@@ -56,6 +63,24 @@ ctest --test-dir "$build_dir" --output-on-failure
 step "offnet_lint"
 "$build_dir/tools/offnet_lint" \
     "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
+
+step "offnet_analyze (layer DAG, annotations, registries)"
+# The semantic analyzer must pass the real tree with zero findings
+# beyond the checked-in baseline (redundant with the ctest entry, but
+# gives readable output when it fails) ...
+"$build_dir/tools/offnet_analyze" \
+    --baseline "$repo_root/tools/analyze/baseline.txt" \
+    "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
+# ... and the gate itself must still bite: a seeded layering violation
+# (the back_edge fixture) has to fail with the documented exit code 1.
+rc=0
+"$build_dir/tools/offnet_analyze" \
+    "$repo_root/tests/analyze_fixtures/back_edge" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "check.sh: offnet_analyze FAILED open: seeded back_edge fixture exited $rc, want 1" >&2
+  exit 1
+fi
+echo "offnet_analyze OK: tree clean, seeded violation still detected"
 
 step "metrics smoke (series --metrics-out)"
 smoke_dir="$build_dir/metrics-smoke"
@@ -261,6 +286,23 @@ cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
       --target svc_test --target delta_test
 "$tsan_dir/tests/svc_test"
 "$tsan_dir/tests/delta_test"
+
+step "ASan/UBSan leg (offnet_analyze over the real tree)"
+# The analyzer parses every repo source with hand-rolled index
+# arithmetic; run it over the whole tree with address+undefined
+# instrumentation so an off-by-one in the lexer or parser becomes a
+# hard failure here instead of silent memory corruption.
+asan_dir="$build_dir-asan"
+cmake -S "$repo_root" -B "$asan_dir" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOFFNET_SANITIZE=address,undefined > /dev/null
+cmake --build "$asan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target offnet_analyze --target offnet_lint
+"$asan_dir/tools/offnet_analyze" \
+    --baseline "$repo_root/tools/analyze/baseline.txt" \
+    "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
+"$asan_dir/tools/offnet_lint" \
+    "$repo_root/src" "$repo_root/tools" "$repo_root/bench" "$repo_root/tests"
 
 step "clang-tidy"
 "$repo_root/tools/run_clang_tidy.sh" "$build_dir"

@@ -1,0 +1,154 @@
+#include "lexer.h"
+
+namespace offnet::lint {
+
+Stripped strip(std::string_view text) {
+  Stripped out;
+  out.code.assign(text.size(), ' ');
+  out.directives.assign(text.size(), ' ');
+  out.line_starts.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;        // for kRawString: the )delim" terminator
+  std::size_t comment_start = 0;
+  bool line_has_code = false;
+
+  auto begin_comment = [&](std::size_t i) {
+    comment_start = i;
+    out.comments.push_back(
+        {out.line_starts.size(), line_has_code, std::string()});
+  };
+  auto end_comment = [&](std::size_t end) {
+    out.comments.back().text.assign(text.substr(comment_start,
+                                                end - comment_start));
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.directives[i] = '\n';
+      if (state == State::kLineComment) {
+        end_comment(i);
+        state = State::kCode;
+      }
+      out.line_starts.push_back(i + 1);
+      line_has_code = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          begin_comment(i);
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          begin_comment(i);
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || !ident_char(text[i - 2]))) {
+            // R"delim( ... )delim"
+            std::size_t paren = text.find('(', i + 1);
+            if (paren == std::string_view::npos) break;
+            raw_delim = ")";
+            raw_delim += text.substr(i + 1, paren - i - 1);
+            raw_delim += '"';
+            state = State::kRawString;
+            out.code[i] = ' ';
+            out.directives[i] = '"';
+            break;
+          }
+          state = State::kString;
+          out.code[i] = ' ';
+          out.directives[i] = '"';
+          line_has_code = true;
+        } else if (c == '\'') {
+          // A ' inside a numeric token (1'000'000, 0xFF'FF) is a C++14
+          // digit separator, not a character literal: walk back to the
+          // token start and check whether it begins with a digit.
+          // (u'x' / L'x' prefixes start with a letter, so they still
+          // lex as character literals.)
+          std::size_t token = i;
+          while (token > 0 && ident_char(text[token - 1])) --token;
+          if (token < i &&
+              std::isdigit(static_cast<unsigned char>(text[token]))) {
+            out.code[i] = c;
+            out.directives[i] = c;
+          } else {
+            state = State::kChar;
+          }
+          line_has_code = true;
+        } else {
+          out.code[i] = c;
+          out.directives[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+      case State::kBlockComment:
+        if (state == State::kBlockComment && c == '*' && next == '/') {
+          end_comment(i + 2);
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        out.directives[i] = c;
+        if (c == '\\') {
+          if (i + 1 < text.size() && text[i + 1] != '\n') {
+            out.directives[i + 1] = text[i + 1];
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            if (text[i + k] == '\n') continue;
+            out.directives[i + k] = text[i + k];
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    end_comment(text.size());
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_top_level(std::string_view args) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(args.substr(start));
+  return out;
+}
+
+}  // namespace offnet::lint

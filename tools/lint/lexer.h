@@ -1,0 +1,104 @@
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// The shared lexer pass behind offnet_lint and offnet_analyze: strips
+/// comments and string/char literals from C++ source with a small state
+/// machine, preserving newlines so offsets and line numbers line up with
+/// the original text. Both tools are deliberately token-level — no real
+/// parser, no compiler dependency — so everything they look at starts
+/// from this one stripped view.
+namespace offnet::lint {
+
+/// One comment captured by the stripper, with the line it starts on and
+/// whether any code precedes it on that line.
+struct Comment {
+  std::size_t line = 0;
+  bool trailing = false;  // shares its line with code
+  std::string text;
+};
+
+/// The lexer pass: `code` has comments and string/char literals blanked
+/// to spaces (newlines kept, so offsets and lines line up with the
+/// original); `directives` keeps string literals intact (for #include
+/// paths and registry values) but still blanks comments.
+struct Stripped {
+  std::string code;
+  std::string directives;
+  std::vector<Comment> comments;
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+
+  std::size_t line_of(std::size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<std::size_t>(it - line_starts.begin());
+  }
+};
+
+Stripped strip(std::string_view text);
+
+// ---- Token helpers shared by the rule passes ----
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `word` occupies [pos, pos+word.size()) as a whole token.
+inline bool word_at(std::string_view text, std::size_t pos,
+                    std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  std::size_t after = pos + word.size();
+  return after >= text.size() || !ident_char(text[after]);
+}
+
+inline std::size_t skip_spaces(std::string_view text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+inline std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Finds the offset of the matching ')' for the '(' at `open`.
+inline std::size_t matching_paren(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Splits `args` at commas that sit at bracket depth zero.
+std::vector<std::string_view> split_top_level(std::string_view args);
+
+/// True when any '/'-separated component of `path` equals `dir`.
+inline bool has_dir(std::string_view path, std::string_view dir) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    if (path.substr(start, end - start) == dir) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+inline std::string_view filename_of(std::string_view path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace offnet::lint

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "lexer.h"
+
 namespace offnet::lint {
 
 namespace {
@@ -18,7 +20,7 @@ const char* const kKnownRules[] = {
     "nondet-rand",   "nondet-clock",     "raw-lock",
     "unordered-iter", "float-eq",         "include-quoted",
     "include-relative", "pragma-once",    "bad-suppression",
-    "raw-artifact-write", "raw-socket",
+    "raw-artifact-write", "raw-socket",   "stale-suppression",
 };
 
 bool known_rule(std::string_view rule) {
@@ -26,185 +28,6 @@ bool known_rule(std::string_view rule) {
     if (rule == id) return true;
   }
   return false;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when any '/'-separated component of `path` equals `dir`.
-bool has_dir(std::string_view path, std::string_view dir) {
-  std::size_t start = 0;
-  while (start <= path.size()) {
-    std::size_t end = path.find('/', start);
-    if (end == std::string_view::npos) end = path.size();
-    if (path.substr(start, end - start) == dir) return true;
-    start = end + 1;
-  }
-  return false;
-}
-
-std::string_view filename_of(std::string_view path) {
-  std::size_t slash = path.find_last_of('/');
-  return slash == std::string_view::npos ? path : path.substr(slash + 1);
-}
-
-/// One comment captured by the stripper, with the line it starts on and
-/// whether any code precedes it on that line.
-struct Comment {
-  std::size_t line = 0;
-  bool trailing = false;  // shares its line with code
-  std::string text;
-};
-
-/// The lexer pass: `code` has comments and string/char literals blanked
-/// to spaces (newlines kept, so offsets and lines line up with the
-/// original); `directives` keeps string literals intact (for #include
-/// paths) but still blanks comments.
-struct Stripped {
-  std::string code;
-  std::string directives;
-  std::vector<Comment> comments;
-  std::vector<std::size_t> line_starts;  // offset of each line's first char
-
-  std::size_t line_of(std::size_t offset) const {
-    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
-    return static_cast<std::size_t>(it - line_starts.begin());
-  }
-};
-
-Stripped strip(std::string_view text) {
-  Stripped out;
-  out.code.assign(text.size(), ' ');
-  out.directives.assign(text.size(), ' ');
-  out.line_starts.push_back(0);
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string raw_delim;        // for kRawString: the )delim" terminator
-  std::size_t comment_start = 0;
-  bool line_has_code = false;
-
-  auto begin_comment = [&](std::size_t i) {
-    comment_start = i;
-    out.comments.push_back(
-        {out.line_starts.size(), line_has_code, std::string()});
-  };
-  auto end_comment = [&](std::size_t end) {
-    out.comments.back().text.assign(text.substr(comment_start,
-                                                end - comment_start));
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      out.code[i] = '\n';
-      out.directives[i] = '\n';
-      if (state == State::kLineComment) {
-        end_comment(i);
-        state = State::kCode;
-      }
-      out.line_starts.push_back(i + 1);
-      line_has_code = false;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          begin_comment(i);
-          state = State::kLineComment;
-        } else if (c == '/' && next == '*') {
-          begin_comment(i);
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          if (i > 0 && text[i - 1] == 'R' &&
-              (i < 2 || !ident_char(text[i - 2]))) {
-            // R"delim( ... )delim"
-            std::size_t paren = text.find('(', i + 1);
-            if (paren == std::string_view::npos) break;
-            raw_delim = ")";
-            raw_delim += text.substr(i + 1, paren - i - 1);
-            raw_delim += '"';
-            state = State::kRawString;
-            out.code[i] = ' ';
-            out.directives[i] = '"';
-            break;
-          }
-          state = State::kString;
-          out.code[i] = ' ';
-          out.directives[i] = '"';
-          line_has_code = true;
-        } else if (c == '\'') {
-          state = State::kChar;
-          line_has_code = true;
-        } else {
-          out.code[i] = c;
-          out.directives[i] = c;
-          if (!std::isspace(static_cast<unsigned char>(c))) {
-            line_has_code = true;
-          }
-        }
-        break;
-      case State::kLineComment:
-      case State::kBlockComment:
-        if (state == State::kBlockComment && c == '*' && next == '/') {
-          end_comment(i + 2);
-          state = State::kCode;
-          ++i;
-        }
-        break;
-      case State::kString:
-        out.directives[i] = c;
-        if (c == '\\') {
-          if (i + 1 < text.size() && text[i + 1] != '\n') {
-            out.directives[i + 1] = text[i + 1];
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
-            if (text[i + k] == '\n') continue;
-            out.directives[i + k] = text[i + k];
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  if (state == State::kLineComment || state == State::kBlockComment) {
-    end_comment(text.size());
-  }
-  return out;
-}
-
-bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && ident_char(text[pos - 1])) return false;
-  std::size_t after = pos + word.size();
-  return after >= text.size() || !ident_char(text[after]);
-}
-
-std::size_t skip_spaces(std::string_view text, std::size_t pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos]))) {
-    ++pos;
-  }
-  return pos;
 }
 
 /// Matches a full floating-point literal: 1.0, .5, 2e-3, 1.5f, ...
@@ -236,54 +59,33 @@ bool is_float_literal(std::string_view token) {
   return i == token.size();
 }
 
-std::string_view trim(std::string_view s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-/// Finds the offset of the matching ')' for the '(' at `open`.
-std::size_t matching_paren(std::string_view text, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '(') ++depth;
-    if (text[i] == ')' && --depth == 0) return i;
-  }
-  return std::string_view::npos;
-}
-
-/// Splits `args` at commas that sit at bracket depth zero.
-std::vector<std::string_view> split_top_level(std::string_view args) {
-  std::vector<std::string_view> out;
-  int depth = 0;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const char c = args[i];
-    if (c == '(' || c == '[' || c == '{') ++depth;
-    if (c == ')' || c == ']' || c == '}') --depth;
-    if (c == ',' && depth == 0) {
-      out.push_back(args.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  out.push_back(args.substr(start));
-  return out;
-}
+/// One `allow(rule)` grant: the rule it suppresses, the line the comment
+/// itself sits on (where suppression rot is reported), and whether any
+/// finding actually consumed it.
+struct Suppression {
+  std::string rule;
+  std::size_t comment_line = 0;
+  bool used = false;
+};
 
 /// Per-file suppression table parsed from
-/// `// offnet-lint: allow(rule-id): justification`.
+/// `// offnet-lint: allow(rule-id): justification`, keyed by the line
+/// the grant covers.
 struct Suppressions {
-  std::map<std::size_t, std::vector<std::string>> by_line;
+  std::map<std::size_t, std::vector<Suppression>> by_line;
   std::vector<Finding> errors;
 
-  bool allows(std::size_t line, std::string_view rule) const {
+  bool allows(std::size_t line, std::string_view rule) {
     auto it = by_line.find(line);
     if (it == by_line.end()) return false;
-    for (const std::string& allowed : it->second) {
-      if (allowed == rule) return true;
+    bool hit = false;
+    for (Suppression& grant : it->second) {
+      if (grant.rule == rule) {
+        grant.used = true;
+        hit = true;
+      }
     }
-    return false;
+    return hit;
   }
 };
 
@@ -326,7 +128,7 @@ Suppressions parse_suppressions(const std::string& path,
     // A trailing comment covers its own line; a standalone comment covers
     // the next line.
     out.by_line[comment.trailing ? comment.line : comment.line + 1]
-        .push_back(rule);
+        .push_back({rule, comment.line, false});
   }
   return out;
 }
@@ -721,6 +523,35 @@ std::vector<Finding> lint_file(
       out.push_back(std::move(finding));
     }
   }
+
+  // Suppression rot: an allow() nothing consumed means the rule no longer
+  // fires there — the grant is dead weight and must be removed. Two
+  // phases so that an allow(stale-suppression) can cover a grandfathered
+  // grant, and is itself checked for rot afterwards.
+  std::vector<Finding> stale;
+  for (auto& [line, grants] : suppressions.by_line) {
+    for (const Suppression& grant : grants) {
+      if (grant.used || grant.rule == "stale-suppression") continue;
+      stale.push_back({path, grant.comment_line, "stale-suppression",
+                       "suppression of '" + grant.rule +
+                           "' no longer matches a finding; remove the "
+                           "allow() comment"});
+    }
+  }
+  for (Finding& finding : stale) {
+    if (!suppressions.allows(finding.line, finding.rule)) {
+      out.push_back(std::move(finding));
+    }
+  }
+  for (auto& [line, grants] : suppressions.by_line) {
+    for (const Suppression& grant : grants) {
+      if (grant.used || grant.rule != "stale-suppression") continue;
+      out.push_back({path, grant.comment_line, "stale-suppression",
+                     "suppression of 'stale-suppression' no longer "
+                     "matches a finding; remove the allow() comment"});
+    }
+  }
+
   out.insert(out.end(), suppressions.errors.begin(),
              suppressions.errors.end());
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
@@ -738,7 +569,7 @@ std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
   auto skip_dir = [](const fs::path& p) {
     const std::string name = p.filename().string();
     return name == ".git" || name == "lint_fixtures" ||
-           name.substr(0, 5) == "build";
+           name == "analyze_fixtures" || name.substr(0, 5) == "build";
   };
   for (const std::string& root : roots) {
     fs::path base(root);

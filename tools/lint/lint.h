@@ -30,6 +30,10 @@
 ///                    — all socket I/O (timeouts, partial writes, EINTR)
 ///                    lives in the service layer (svc::Listener/Stream/
 ///                    Client); tools and benches go through svc::Client
+///   stale-suppression  an allow(rule-id) comment whose rule no longer
+///                    fires on the covered line — suppression rot; the
+///                    grant must be deleted (or, if grandfathered, itself
+///                    covered by allow(stale-suppression))
 ///
 /// Suppressions: `// offnet-lint: allow(rule-id): justification` on the
 /// offending line, or alone on the line directly above it. The
@@ -60,7 +64,8 @@ std::vector<std::string> unordered_container_names(std::string_view text);
 
 /// Walks the given roots (directories or single files), lints every .h
 /// and .cpp, and returns findings sorted by file then line. Directories
-/// named "build*", ".git", and "lint_fixtures" are skipped; a .cpp with
+/// named "build*", ".git", "lint_fixtures", and "analyze_fixtures" are
+/// skipped; a .cpp with
 /// a same-named .h beside it inherits the header's container names.
 std::vector<Finding> lint_tree(const std::vector<std::string>& roots);
 

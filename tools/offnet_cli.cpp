@@ -59,6 +59,13 @@ using namespace offnet;
 
 namespace {
 
+/// CLI-local metric names (the export command's accounting), following
+/// the same registry convention as core::metric_names.
+namespace metric_names {
+inline constexpr const char* kExportCertRecords = "export/cert_records";
+inline constexpr const char* kExportFiles = "export/files";
+}  // namespace metric_names
+
 /// Bad command lines exit with tools::kExitUsage, distinct from bad
 /// data — scripts retrying a flaky corpus must not retry a typo.
 struct UsageError : std::runtime_error {
@@ -274,8 +281,8 @@ int cmd_export(const Args& args) {
   // on a full disk was a real bug here).
   io::export_dataset_to_dir(world, snap, dir);
   obs::Registry metrics;
-  metrics.counter("export/cert_records").add(snap.certs().size());
-  metrics.counter("export/files").add(6);
+  metrics.counter(metric_names::kExportCertRecords).add(snap.certs().size());
+  metrics.counter(metric_names::kExportFiles).add(6);
   maybe_write_metrics(args, metrics);
   std::printf("exported snapshot %s (%zu cert records) to %s/\n",
               net::study_snapshots()[t].to_string().c_str(),
