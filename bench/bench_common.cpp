@@ -1,7 +1,9 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "io/atomic_file.h"
 #include "obs/stage_timer.h"
@@ -63,13 +65,27 @@ void write_bench_json(const std::string& bench, const std::string& path,
   out << "{\"bench\": \"" << bench << "\", \"mode\": \""
       << (fast_mode() ? "fast" : "full") << "\", \"samples\": [";
   for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!std::isfinite(samples[i].seconds) ||
+        !std::isfinite(samples[i].records)) {
+      throw std::invalid_argument("write_bench_json: non-finite value in "
+                                  "sample \"" + samples[i].name + "\"");
+    }
     if (i > 0) out << ", ";
     out << "{\"name\": \"" << samples[i].name << "\", \"threads\": "
         << samples[i].threads << ", \"seconds\": " << samples[i].seconds;
     if (samples[i].records > 0) {
-      out << ", \"records\": " << samples[i].records << ", \"records_per_sec\": "
-          << (samples[i].seconds > 0 ? samples[i].records / samples[i].seconds
-                                     : 0.0);
+      out << ", \"records\": " << samples[i].records
+          << ", \"records_per_sec\": ";
+      // A 0-second run has no meaningful rate; records / 0.0 is inf,
+      // which is not JSON. Emit null so consumers see "unknown".
+      if (samples[i].seconds > 0) {
+        out << samples[i].records / samples[i].seconds;
+      } else {
+        out << "null";
+      }
+    }
+    if (samples[i].peak_rss_kb > 0) {
+      out << ", \"peak_rss_kb\": " << samples[i].peak_rss_kb;
     }
     out << "}";
   }

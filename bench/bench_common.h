@@ -42,6 +42,7 @@ struct TimingSample {
   std::size_t threads = 1;  // n_threads it ran with
   double seconds = 0.0;     // wall-clock
   double records = 0.0;     // scan records processed (0: not applicable)
+  std::size_t peak_rss_kb = 0;  // ru_maxrss of the run (0: not measured)
 };
 
 /// Wall-clock seconds of one fn() invocation.
@@ -50,13 +51,18 @@ double wall_seconds(const std::function<void()>& fn);
 /// Writes `path` as
 ///   {"bench": <bench>, "mode": "full"|"fast", "samples":
 ///    [{"name": ..., "threads": N, "seconds": S,
-///      "records": R, "records_per_sec": P}, ...]}
+///      "records": R, "records_per_sec": P, "peak_rss_kb": K}, ...]}
 /// — the perf baseline future PRs are compared against. `records` and
-/// `records_per_sec` appear only for samples that set records > 0.
-/// Published via io::AtomicFile (a crashed bench never leaves a torn
-/// baseline); a relative `path` lands in the repository root, not the
-/// current directory, so baselines from any build layout collect in one
-/// stable place.
+/// `records_per_sec` appear only for samples that set records > 0, and
+/// `peak_rss_kb` only when measured (> 0). When `seconds` is 0 the rate
+/// is unknowable and `records_per_sec` is emitted as JSON `null` — never
+/// inf/nan, which are not JSON and silently poison downstream parsers.
+/// Throws std::invalid_argument if any sample carries a non-finite
+/// seconds or records value; a corrupted measurement must fail the bench
+/// rather than enter the baseline. Published via io::AtomicFile (a
+/// crashed bench never leaves a torn baseline); a relative `path` lands
+/// in the repository root, not the current directory, so baselines from
+/// any build layout collect in one stable place.
 void write_bench_json(const std::string& bench, const std::string& path,
                       const std::vector<TimingSample>& samples);
 

@@ -1,0 +1,170 @@
+// Ingestion memory probe, run as a separate process per measurement.
+//
+// bench_pipeline fork+execs this binary once per mode because ru_maxrss
+// is a high-water mark for the whole process: after a slurp-mode load
+// the freed corpus bytes stay counted, so measuring both modes in one
+// process would report two identical numbers. A fresh process per mode
+// gives each load an honest zero baseline.
+//
+//   bench_ingest_child <slurp|stream> <dir> <YYYY-MM> <threads>
+//
+// slurp:  read every dataset file fully into memory first (the
+//         pre-streaming behaviour: peak memory O(corpus)), then parse
+//         from the in-memory bytes through a zero-copy streambuf so the
+//         corpus is resident exactly once.
+// stream: parse straight from the files through the bounded streaming
+//         driver with <threads> parser workers (peak memory
+//         O(batches + loaded dataset)).
+//
+// Prints one line on stdout:
+//   records=<N> maxrss_kb=<K> seconds=<S> digest=<16-hex>
+// where digest covers the load report, its exported metrics, and every
+// scan record + header row — the parent asserts it identical across
+// modes, so the memory numbers are known to come from equal work.
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+
+#include "io/loaders.h"
+#include "net/date.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+
+using namespace offnet;
+
+namespace {
+
+/// Read-only streambuf over bytes owned elsewhere — parsing from a
+/// slurped corpus without std::istringstream's private copy (which
+/// would double the resident corpus and overstate slurp mode).
+class ViewBuf : public std::streambuf {
+ public:
+  explicit ViewBuf(std::string& text) {
+    setg(text.data(), text.data(), text.data() + text.size());
+  }
+};
+
+struct ViewStream {
+  explicit ViewStream(std::string& text) : buf(text), in(&buf) {}
+  ViewBuf buf;
+  std::istream in;
+};
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_ingest_child: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* bytes, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
+  return fnv1a(hash, text.data(), text.size());
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  return fnv1a(hash, &value, sizeof value);
+}
+
+/// Order- and content-sensitive digest of everything the load produced.
+std::uint64_t digest(const io::Dataset& dataset, const io::LoadReport& report) {
+  std::uint64_t hash = 14695981039346656037ull;
+  hash = fnv1a(hash, report.summary());
+  obs::Registry metrics;
+  report.export_metrics(metrics);
+  hash = fnv1a(hash, obs::MetricsExporter::deterministic_json(metrics));
+  const scan::ScanSnapshot& snap = dataset.snapshot();
+  for (const scan::CertScanRecord& record : snap.certs()) {
+    hash = fnv1a(hash, record.ip.value());
+    hash = fnv1a(hash, record.cert);
+  }
+  for (bool https : {true, false}) {
+    snap.for_each_headers(
+        https, [&](net::IPv4 ip, const http::HeaderMap& headers) {
+          hash = fnv1a(hash, ip.value());
+          for (const http::Header& header : headers.all()) {
+            hash = fnv1a(hash, header.name);
+            hash = fnv1a(hash, header.value);
+          }
+        });
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: bench_ingest_child <slurp|stream> <dir> <YYYY-MM> "
+                 "<threads>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string dir = argv[2];
+  auto month = net::YearMonth::parse(argv[3]);
+  const int threads = std::atoi(argv[4]);
+  if (!month || (mode != "slurp" && mode != "stream") || threads < 1) {
+    std::fprintf(stderr, "bench_ingest_child: bad arguments\n");
+    return 2;
+  }
+
+  static const char* kNames[] = {"relationships.txt", "organizations.txt",
+                                 "prefix2as.txt",     "certificates.tsv",
+                                 "hosts.tsv",         "headers.tsv"};
+
+  obs::Stopwatch watch;
+  io::LoadReport report;
+  io::Dataset dataset;
+  if (mode == "slurp") {
+    std::string bytes[6];
+    for (int i = 0; i < 6; ++i) bytes[i] = slurp_file(dir + "/" + kNames[i]);
+    ViewStream rel(bytes[0]), org(bytes[1]), pfx(bytes[2]), certs(bytes[3]),
+        hosts(bytes[4]), headers(bytes[5]);
+    dataset = io::load_dataset(rel.in, org.in, pfx.in, certs.in, hosts.in,
+                               *month, {}, &report);
+    dataset.add_headers(headers.in, {}, &report);
+    // The corpus strings stay alive to this point — that residency is
+    // exactly what this mode exists to measure.
+  } else {
+    io::stream::StreamOptions stream;
+    stream.n_threads = threads;
+    std::ifstream rel(dir + "/" + kNames[0]), org(dir + "/" + kNames[1]),
+        pfx(dir + "/" + kNames[2]), certs(dir + "/" + kNames[3]),
+        hosts(dir + "/" + kNames[4]), headers(dir + "/" + kNames[5]);
+    dataset = io::load_dataset_stream(rel, org, pfx, certs, hosts, *month,
+                                      stream, {}, &report);
+    dataset.add_headers(headers, stream, {}, &report);
+  }
+  const double seconds = watch.seconds();
+
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is KiB on Linux
+
+  std::printf("records=%zu maxrss_kb=%ld seconds=%.6f digest=%016llx\n",
+              dataset.snapshot().certs().size(),
+              static_cast<long>(usage.ru_maxrss), seconds,
+              static_cast<unsigned long long>(digest(dataset, report)));
+  return 0;
+}

@@ -1,14 +1,22 @@
 // Wall-clock baseline for the sharded snapshot pipeline: serial vs
 // threaded OffnetPipeline::run on the latest snapshot, plus a short
-// longitudinal segment, written to BENCH_pipeline.json. Every threaded
-// run is also checked bit-identical to the serial result — a perf number
-// from a wrong answer is worthless.
+// longitudinal segment and a streaming-ingestion memory segment, written
+// to BENCH_pipeline.json. Every threaded run is also checked
+// bit-identical to the serial result — a perf number from a wrong answer
+// is worthless.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/delta_cache.h"
+#include "io/exporter.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 
@@ -39,6 +47,91 @@ bool same_result(const core::SnapshotResult& a,
       return false;
     }
   }
+  return true;
+}
+
+/// Rewrites one exported file with every data line emitted `factor`
+/// times. Certificate ids (and the host lines referencing them) get a
+/// `~k` suffix per extra copy so the duplicates stay unique keys; header
+/// lines repeat verbatim (duplicate IPs are no-ops for the catalog but
+/// real bytes for a whole-file reader). Comments pass through once.
+enum class AmplifyKind { kCertificates, kHosts, kVerbatim };
+
+void amplify_file(const std::filesystem::path& path, AmplifyKind kind,
+                  std::size_t factor) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      out << line << '\n';
+      continue;
+    }
+    for (std::size_t k = 0; k < factor; ++k) {
+      if (k == 0 || kind == AmplifyKind::kVerbatim) {
+        out << line << '\n';
+        continue;
+      }
+      if (kind == AmplifyKind::kCertificates) {
+        // "id\trest..." -> "id~k\trest..."
+        std::size_t tab = line.find('\t');
+        out << line.substr(0, tab) << '~' << k << line.substr(tab) << '\n';
+      } else {
+        // "ip\tcert_id" -> "ip\tcert_id~k"
+        out << line << '~' << k << '\n';
+      }
+    }
+  }
+  in.close();
+  std::ofstream rewrite(path, std::ios::trunc);
+  rewrite << out.str();
+}
+
+/// One bench_ingest_child run (see bench_ingest_child.cpp for why the
+/// probe is a separate process).
+struct IngestRun {
+  double records = 0.0;
+  double seconds = 0.0;
+  long maxrss_kb = 0;
+  std::string digest;
+};
+
+bool run_ingest_child(const char* mode, const std::string& dir,
+                      const std::string& month, int threads, IngestRun* out) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    close(fds[0]);
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[1]);
+    std::string threads_arg = std::to_string(threads);
+    const char* child_argv[] = {OFFNET_INGEST_BIN, mode,  dir.c_str(),
+                                month.c_str(),     threads_arg.c_str(),
+                                nullptr};
+    execv(OFFNET_INGEST_BIN, const_cast<char* const*>(child_argv));
+    _exit(127);  // exec failed; abandon the forked bench state
+  }
+  close(fds[1]);
+  std::string text;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buffer, sizeof buffer)) > 0) {
+    text.append(buffer, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return false;
+  char digest[64] = {0};
+  if (std::sscanf(text.c_str(),
+                  "records=%lf maxrss_kb=%ld seconds=%lf digest=%63s",
+                  &out->records, &out->maxrss_kb, &out->seconds,
+                  digest) != 4) {
+    return false;
+  }
+  out->digest = digest;
   return true;
 }
 
@@ -190,6 +283,75 @@ int main() {
       std::fprintf(stderr, "FAIL: warm delta run had zero cache hits\n");
       return 1;
     }
+  }
+
+  // The streaming loader's claim is about peak memory, which only a
+  // fresh process can measure honestly (ru_maxrss never goes down), so
+  // each mode runs in a fork+exec'd probe. The corpus is the exported
+  // snapshot with its three bulk files amplified 4x, so the
+  // whole-corpus residency of slurp mode dominates process noise.
+  bench::heading("streaming ingestion: bounded batches vs whole-file slurp");
+  {
+    namespace fs = std::filesystem;
+    const std::string month = net::study_snapshots()[t].to_string();
+    const fs::path corpus =
+        fs::temp_directory_path() / "offnet-bench-ingest";
+    fs::remove_all(corpus);
+    fs::create_directories(corpus);
+    io::export_dataset_to_dir(world, snap, corpus.string());
+    constexpr std::size_t kAmplify = 4;
+    amplify_file(corpus / "certificates.tsv", AmplifyKind::kCertificates,
+                 kAmplify);
+    amplify_file(corpus / "hosts.tsv", AmplifyKind::kHosts, kAmplify);
+    amplify_file(corpus / "headers.tsv", AmplifyKind::kVerbatim, kAmplify);
+    std::uintmax_t corpus_bytes = 0;
+    for (const auto& entry : fs::directory_iterator(corpus)) {
+      corpus_bytes += entry.file_size();
+    }
+    std::printf("corpus: %s (%.1f MiB, %zux bulk files)\n",
+                corpus.c_str(),
+                static_cast<double>(corpus_bytes) / (1024.0 * 1024.0),
+                kAmplify);
+
+    IngestRun slurp, stream1, stream4;
+    if (!run_ingest_child("slurp", corpus.string(), month, 1, &slurp) ||
+        !run_ingest_child("stream", corpus.string(), month, 1, &stream1) ||
+        !run_ingest_child("stream", corpus.string(), month, 4, &stream4)) {
+      std::fprintf(stderr, "FAIL: ingestion probe (%s) did not run\n",
+                   OFFNET_INGEST_BIN);
+      return 1;
+    }
+    std::printf("  slurp           : %7.3fs  peak rss %8ld KiB  (%.0f records/s)\n",
+                slurp.seconds, slurp.maxrss_kb,
+                slurp.seconds > 0 ? slurp.records / slurp.seconds : 0.0);
+    std::printf("  stream 1 thread : %7.3fs  peak rss %8ld KiB  (%.0f records/s)\n",
+                stream1.seconds, stream1.maxrss_kb,
+                stream1.seconds > 0 ? stream1.records / stream1.seconds : 0.0);
+    std::printf("  stream 4 threads: %7.3fs  peak rss %8ld KiB  (%.0f records/s)\n",
+                stream4.seconds, stream4.maxrss_kb,
+                stream4.seconds > 0 ? stream4.records / stream4.seconds : 0.0);
+    if (stream1.digest != slurp.digest || stream4.digest != slurp.digest ||
+        stream1.records != slurp.records || stream4.records != slurp.records) {
+      std::fprintf(stderr,
+                   "FAIL: streaming load not equivalent to slurp load "
+                   "(digest/records mismatch)\n");
+      return 1;
+    }
+    if (stream1.maxrss_kb >= slurp.maxrss_kb ||
+        stream4.maxrss_kb >= slurp.maxrss_kb) {
+      std::fprintf(stderr,
+                   "FAIL: streaming peak RSS (%ld / %ld KiB) not below "
+                   "slurp peak RSS (%ld KiB)\n",
+                   stream1.maxrss_kb, stream4.maxrss_kb, slurp.maxrss_kb);
+      return 1;
+    }
+    samples.push_back({"ingest.slurp", 1, slurp.seconds, slurp.records,
+                       static_cast<std::size_t>(slurp.maxrss_kb)});
+    samples.push_back({"ingest.stream", 1, stream1.seconds, stream1.records,
+                       static_cast<std::size_t>(stream1.maxrss_kb)});
+    samples.push_back({"ingest.stream", 4, stream4.seconds, stream4.records,
+                       static_cast<std::size_t>(stream4.maxrss_kb)});
+    fs::remove_all(corpus);
   }
 
   bench::write_bench_json("pipeline", "BENCH_pipeline.json", samples);

@@ -120,35 +120,49 @@ bool data_line(std::string_view line) {
          line.find_first_not_of(" \t\r") != std::string_view::npos;
 }
 
+/// Failure classes applicable to this format.
+std::vector<CorruptionKind> kinds_for(InputKind input, unsigned mask) {
+  std::vector<CorruptionKind> kinds;
+  for (unsigned bit : {kTruncateLine, kDeleteField, kSwapFields, kGarbageBytes,
+                       kDuplicateLine}) {
+    if (mask & bit) kinds.push_back(static_cast<CorruptionKind>(bit));
+  }
+  if ((mask & kPrefixLenOutOfRange) && input == InputKind::kPrefix2As) {
+    kinds.push_back(kPrefixLenOutOfRange);
+  }
+  if ((mask & kReverseDateRange) && input == InputKind::kCertificates) {
+    kinds.push_back(kReverseDateRange);
+  }
+  return kinds;
+}
+
 }  // namespace
 
 CorruptionInjector::CorruptionInjector(CorruptionConfig config)
     : config_(config) {}
 
+std::optional<std::string> CorruptionInjector::corrupt_record(
+    std::string_view line, InputKind input, std::size_t record_index) const {
+  std::vector<CorruptionKind> kinds = kinds_for(input, config_.kinds);
+  if (kinds.empty() || !data_line(line)) return std::nullopt;
+  // One RNG per record, forked from (seed, stream, record index): the
+  // draw sequence never depends on earlier lines, which is what makes
+  // the fault plan identical under whole-buffer and streamed application.
+  net::Rng rng = net::Rng(config_.seed)
+                     .fork(stream_tag(input))
+                     .fork(static_cast<std::uint64_t>(record_index));
+  if (!rng.bernoulli(config_.intensity)) return std::nullopt;
+  CorruptionKind kind = kinds[rng.index(kinds.size())];
+  return apply_corruption(kind, std::string(line), separator_of(input), rng);
+}
+
 std::string CorruptionInjector::corrupt(std::string_view text, InputKind input,
                                         CorruptionSummary* summary) const {
-  net::Rng rng = net::Rng(config_.seed).fork(stream_tag(input));
-  const char sep = separator_of(input);
-
-  // Failure classes applicable to this format.
-  std::vector<CorruptionKind> kinds;
-  for (unsigned bit : {kTruncateLine, kDeleteField, kSwapFields, kGarbageBytes,
-                       kDuplicateLine}) {
-    if (config_.kinds & bit) kinds.push_back(static_cast<CorruptionKind>(bit));
-  }
-  if ((config_.kinds & kPrefixLenOutOfRange) &&
-      input == InputKind::kPrefix2As) {
-    kinds.push_back(kPrefixLenOutOfRange);
-  }
-  if ((config_.kinds & kReverseDateRange) &&
-      input == InputKind::kCertificates) {
-    kinds.push_back(kReverseDateRange);
-  }
-
   CorruptionSummary stats;
   std::string out;
   out.reserve(text.size() + text.size() / 16);
   std::size_t start = 0;
+  std::size_t record = 0;  // data-line index, the corruption key
   while (start <= text.size()) {
     std::size_t end = text.find('\n', start);
     bool last = end == std::string_view::npos;
@@ -156,17 +170,15 @@ std::string CorruptionInjector::corrupt(std::string_view text, InputKind input,
         start, last ? std::string_view::npos : end - start);
     if (last && line.empty()) break;
 
-    if (data_line(line) && !kinds.empty()) {
+    if (data_line(line)) {
       ++stats.data_lines;
-      if (rng.bernoulli(config_.intensity)) {
+      if (auto damaged = corrupt_record(line, input, record++)) {
         ++stats.corrupted_lines;
-        CorruptionKind kind = kinds[rng.index(kinds.size())];
-        out += apply_corruption(kind, std::string(line), sep, rng);
+        out += *damaged;
       } else {
         out += line;
       }
     } else {
-      if (data_line(line)) ++stats.data_lines;
       out += line;
     }
     out += '\n';

@@ -2,14 +2,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 /// Deterministic fault injection for the on-disk dataset formats, so
 /// tests can drive the permissive loaders and degraded-mode longitudinal
 /// runs through every failure class real corpuses exhibit — without
-/// shipping fixture files. The same (seed, input kind, text) always
-/// produces the same damage, independent of call order.
+/// shipping fixture files. Damage is record-indexed: each data line's
+/// fate is a pure function of (seed, input kind, record index, line), so
+/// the same fault plan falls out whether a corpus is corrupted as one
+/// buffer or streamed line by line in any chunking.
 namespace offnet::io {
 
 /// Which dataset format a corpus is in — decides the field separator and
@@ -56,6 +59,18 @@ class CorruptionInjector {
   /// through untouched.
   std::string corrupt(std::string_view text, InputKind input,
                       CorruptionSummary* summary = nullptr) const;
+
+  /// Record-indexed damage: the fault decision for data record
+  /// `record_index` (0-based among the data lines of this input) depends
+  /// only on (seed, input, record_index, line text) — never on preceding
+  /// lines or buffer offsets — so a streaming consumer applying it line
+  /// by line produces exactly the fault plan corrupt() produces on the
+  /// whole buffer, at any chunk size. Returns the damaged line (which
+  /// may contain an embedded '\n' for kDuplicateLine), or nullopt when
+  /// this record is left intact.
+  std::optional<std::string> corrupt_record(std::string_view line,
+                                            InputKind input,
+                                            std::size_t record_index) const;
 
   /// Replaces every line with garbage: an unrecoverably corrupt file
   /// that blows any error budget.

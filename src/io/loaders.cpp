@@ -1,8 +1,11 @@
 #include "io/loaders.h"
 
 #include <charconv>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
+#include "io/stream/arena.h"
 #include "tls/ca.h"
 
 namespace offnet::io {
@@ -50,22 +53,29 @@ net::DayTime parse_date(std::string_view text, std::size_t line) {
   return net::DayTime::from(net::YearMonth(year, month), day);
 }
 
-bool is_comment_or_blank(std::string_view line) {
-  return line.empty() || line[0] == '#';
+/// How many bytes are left in `in`, when the stream is seekable. Used to
+/// prove an error budget unmeetable mid-read; non-seekable streams just
+/// lose early abort (except for a zero budget, which needs no bound).
+std::optional<std::uint64_t> bytes_remaining(std::istream& in) {
+  if (!in.good()) return std::nullopt;
+  std::streampos cur = in.tellg();
+  if (cur < 0) {
+    in.clear();
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  in.clear();
+  in.seekg(cur);
+  if (end < cur) return std::nullopt;
+  return static_cast<std::uint64_t>(end - cur);
 }
 
-std::string_view rstrip(std::string_view text,
-                        std::string_view chars = " \t\r") {
-  std::size_t end = text.find_last_not_of(chars);
-  return end == std::string_view::npos ? std::string_view{}
-                                       : text.substr(0, end + 1);
-}
-
-/// Per-file error accounting under the configured policy. Loaders parse
-/// each data line inside a try block; `skip()` is called from the catch
-/// handler and rethrows in strict mode, so strict failures keep their
-/// exact line numbers while permissive mode tallies and moves on.
-/// `finish()` enforces the error budget once the file is read.
+/// Per-file error accounting under the configured policy — the Sink the
+/// streaming driver commits through (io/stream/driver.h). All calls
+/// happen on the committing thread in input order, so every decision —
+/// including the early budget abort — is deterministic and identical at
+/// any thread count or batch size.
 class Tally {
  public:
   Tally(std::string kind, const ReadOptions& options, LoadReport* report)
@@ -73,17 +83,51 @@ class Tally {
     file_.kind = std::move(kind);
   }
 
+  /// Arms the early budget abort: with the input size known, the budget
+  /// trips at the first skipped line where even an all-clean remainder
+  /// could not bring the error fraction back under the bound.
+  void set_input_bytes(std::uint64_t bytes) {
+    remaining_ = bytes;
+    bounded_ = true;
+  }
+
+  // ---- Sink contract (driver calls, in input order) ----
+
+  void consume(std::size_t raw_bytes) {
+    if (bounded_) {
+      remaining_ -= std::min<std::uint64_t>(remaining_, raw_bytes);
+    }
+  }
+
+  bool on_truncated_final_line(std::size_t line, bool is_data) {
+    file_.missing_final_newline = true;
+    if (options_.final_newline == FinalNewlinePolicy::kAcceptData) {
+      return true;
+    }
+    if (is_data) {
+      skip(line, "truncated final line (missing newline) at line " +
+                     std::to_string(line));
+    }
+    return false;
+  }
+
   void ok() { ++file_.lines_ok; }
 
-  /// Must be called while a LoadError is in flight (from a catch block).
-  void skip(std::size_t line, const char* what) {
-    if (!options_.permissive()) throw;
-    record(line, what);
+  /// A malformed line: throws in strict mode, tallies in permissive mode
+  /// and aborts early once the budget provably cannot be met.
+  void skip(std::size_t line, const std::string& what) {
+    if (!options_.permissive()) throw LoadError(what);
+    record(line, what.c_str());
+    check_budget();
   }
+
+  // ---- Loader-side accounting ----
 
   /// Retracts a previously ok() line whose cross-reference turned out to
   /// be broken (e.g. an asn->org assignment naming an unknown org).
-  /// Throws in strict mode.
+  /// Throws in strict mode. Budget enforcement for demotions stays in
+  /// finish(): they are discovered after the scan, so there is no
+  /// "remaining input" to reason about.
   void demote(std::size_t line, const std::string& what) {
     if (!options_.permissive()) throw LoadError(what);
     if (file_.lines_ok > 0) --file_.lines_ok;
@@ -92,18 +136,10 @@ class Tally {
 
   void finish() {
     double fraction = file_.error_fraction();
-    std::string kind = file_.kind;
-    std::size_t skipped = file_.lines_skipped;
-    std::size_t total = file_.lines_ok + skipped;
-    std::string first_error =
-        file_.samples.empty() ? std::string("n/a") : file_.samples[0].what;
+    std::string error = budget_error();
     if (report_ != nullptr) report_->files.push_back(std::move(file_));
     if (options_.permissive() && fraction > options_.max_error_fraction) {
-      throw LoadError("error budget exceeded in " + kind + ": skipped " +
-                      std::to_string(skipped) + " of " +
-                      std::to_string(total) + " lines (budget " +
-                      std::to_string(options_.max_error_fraction) +
-                      "); first error: " + first_error);
+      throw LoadError(std::move(error));
     }
   }
 
@@ -115,61 +151,87 @@ class Tally {
     }
   }
 
+  /// Early abort: even if every remaining byte parses clean, could the
+  /// final error fraction still meet the budget? Each future data line
+  /// costs at least two bytes (one content byte + '\n'), except a final
+  /// unterminated one — hence the (remaining + 1) / 2 bound. At end of
+  /// input this reduces to exactly the finish() check, so the abort
+  /// point (and message) depends only on the committed line sequence:
+  /// deterministic, thread-count- and batch-size-independent.
+  void check_budget() {
+    std::size_t skipped = file_.lines_skipped;
+    if (bounded_) {
+      std::uint64_t max_more = (remaining_ + 1) / 2;
+      double max_total =
+          static_cast<double>(file_.lines_ok + skipped) +
+          static_cast<double>(max_more);
+      double fraction =
+          max_total == 0.0 ? 0.0 : static_cast<double>(skipped) / max_total;
+      if (fraction > options_.max_error_fraction) blow();
+    } else if (options_.max_error_fraction <= 0.0 && skipped > 0) {
+      blow();
+    }
+  }
+
+  [[noreturn]] void blow() {
+    std::string error = budget_error();
+    // Publish the partial accounting so the caller's report still says
+    // what was read before the abort, exactly like finish().
+    if (report_ != nullptr) report_->files.push_back(std::move(file_));
+    throw LoadError(std::move(error));
+  }
+
+  std::string budget_error() const {
+    std::size_t skipped = file_.lines_skipped;
+    std::size_t total = file_.lines_ok + skipped;
+    std::string first_error =
+        file_.samples.empty() ? std::string("n/a") : file_.samples[0].what;
+    return "error budget exceeded in " + file_.kind + ": skipped " +
+           std::to_string(skipped) + " of " + std::to_string(total) +
+           " lines (budget " + std::to_string(options_.max_error_fraction) +
+           "); first error: " + first_error;
+  }
+
   FileReport file_;
   const ReadOptions& options_;
   LoadReport* report_;
+  std::uint64_t remaining_ = 0;  // input bytes not yet consumed
+  bool bounded_ = false;         // remaining_ is meaningful
 };
 
-/// Reads every data line of `in` through `fn` (which throws LoadError on
-/// malformed input), routing failures through the tally. Trailing
-/// whitespace is stripped (`strip`), and blank / whitespace-only /
-/// comment lines are skipped without counting.
-template <class Fn>
-void scan_lines(std::istream& in, Tally& tally, Fn&& fn,
-                std::string_view strip = " \t\r") {
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view text = rstrip(line, strip);
-    if (is_comment_or_blank(text) ||
-        text.find_first_not_of(" \t") == std::string_view::npos) {
-      continue;
-    }
-    try {
-      fn(text, line_no);
-      tally.ok();
-    } catch (const LoadError& e) {
-      tally.skip(line_no, e.what());
-    }
-  }
+/// Probes the input size (for the early budget abort) and runs the
+/// streaming scan driver over `format` with `tally` as the sink.
+template <class Format>
+void run_scan(std::istream& in, Tally& tally, Format& format,
+              std::string_view strip, const stream::StreamOptions& opts) {
+  if (auto bytes = bytes_remaining(in)) tally.set_input_bytes(*bytes);
+  stream::scan_stream(in, format, tally, strip, opts);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------
+// Formats: one struct per on-disk file kind, split into a pure,
+// thread-safe parse() and a serial, stateful commit() (the contract in
+// io/stream/driver.h). Every loader — serial or fanned out — goes
+// through these, so both paths share one grammar and one set of error
+// messages.
+// ---------------------------------------------------------------------
 
-RelationshipData load_as_relationships(std::istream& in,
-                                       const ReadOptions& options,
-                                       LoadReport* report) {
-  RelationshipData data;
-  std::unordered_map<net::Asn, topo::AsId> ids;
-  auto intern = [&](net::Asn asn) {
-    auto it = ids.find(asn);
-    if (it != ids.end()) return it->second;
-    topo::AsId id = data.graph.add_as(asn);
-    data.asns.push_back(asn);
-    ids.emplace(asn, id);
-    return id;
+struct RelationshipsFormat {
+  RelationshipData& data;
+  std::unordered_map<net::Asn, topo::AsId>& ids;
+
+  struct Parsed {
+    net::Asn a = 0;
+    net::Asn b = 0;
+    int rel = 0;
   };
 
-  Tally tally("relationships", options, report);
-  scan_lines(in, tally, [&](std::string_view text, std::size_t line_no) {
+  Parsed parse(std::string_view text, std::size_t line_no) const {
     auto fields = split(text, '|');
     if (fields.size() < 3) fail("expected as1|as2|rel", line_no);
     auto a = static_cast<net::Asn>(parse_number(fields[0], line_no));
     auto b = static_cast<net::Asn>(parse_number(fields[1], line_no));
     if (a == b) fail("self link", line_no);
-    // Validate the relationship before interning so a skipped line does
-    // not leave orphan ASes behind.
     int rel;
     if (fields[2] == "-1") {
       rel = -1;
@@ -178,31 +240,293 @@ RelationshipData load_as_relationships(std::istream& in,
     } else {
       fail("unknown relationship '" + std::string(fields[2]) + "'", line_no);
     }
-    topo::AsId id_a = intern(a);
-    topo::AsId id_b = intern(b);
-    if (rel == -1) {
+    return {a, b, rel};
+  }
+
+  // Interning happens at commit, after full validation, so a skipped
+  // line does not leave orphan ASes behind.
+  void commit(Parsed&& p, std::size_t) {
+    topo::AsId id_a = intern(p.a);
+    topo::AsId id_b = intern(p.b);
+    if (p.rel == -1) {
       data.graph.add_customer_link(id_a, id_b);  // a provider of b
     } else {
       data.graph.add_peer_link(id_a, id_b);
     }
-  });
+  }
+
+  topo::AsId intern(net::Asn asn) {
+    auto it = ids.find(asn);
+    if (it != ids.end()) return it->second;
+    topo::AsId id = data.graph.add_as(asn);
+    data.asns.push_back(asn);
+    ids.emplace(asn, id);
+    return id;
+  }
+};
+
+/// An "asn|org_id" line, resolved after the whole file is read (the org
+/// definition may come later in the file).
+struct Assignment {
+  net::Asn asn;
+  std::string org;
+  std::size_t line;
+};
+
+struct OrganizationsFormat {
+  topo::OrgDb& orgs;
+  std::unordered_map<std::string, topo::OrgId>& org_ids;
+  std::vector<Assignment>& assignments;
+
+  struct Parsed {
+    bool is_assignment = false;
+    net::Asn asn = 0;
+    std::string first;   // org id (definition) — empty for assignments
+    std::string second;  // org name (definition) / org id (assignment)
+  };
+
+  // Org-id tokens are non-numeric (CAIDA uses opaque ids), so the two
+  // line kinds are distinguished by whether the first field parses as
+  // an ASN.
+  Parsed parse(std::string_view text, std::size_t line_no) const {
+    auto fields = split(text, '|');
+    if (fields.size() < 2) fail("expected two '|' fields", line_no);
+    net::Asn asn = 0;
+    auto [p, ec] = std::from_chars(
+        fields[0].data(), fields[0].data() + fields[0].size(), asn);
+    bool numeric =
+        ec == std::errc{} && p == fields[0].data() + fields[0].size();
+    if (numeric) return {true, asn, {}, std::string(fields[1])};
+    return {false, 0, std::string(fields[0]), std::string(fields[1])};
+  }
+
+  void commit(Parsed&& p, std::size_t line_no) {
+    if (p.is_assignment) {
+      assignments.push_back({p.asn, std::move(p.second), line_no});
+    } else {
+      org_ids.emplace(std::move(p.first),
+                      orgs.add_org(std::move(p.second), topo::kNoCountry));
+    }
+  }
+};
+
+struct Prefix2AsFormat {
+  bgp::Ip2AsMap& map;
+
+  struct Parsed {
+    net::IPv4 base;
+    std::uint8_t length = 0;
+    bgp::OriginSet origins;
+  };
+
+  Parsed parse(std::string_view text, std::size_t line_no) const {
+    auto fields = split(text, '\t');
+    if (fields.size() != 3) fail("expected base<TAB>len<TAB>asns", line_no);
+    auto base = net::IPv4::parse(fields[0]);
+    if (!base) fail("malformed prefix base", line_no);
+    auto length = parse_number(fields[1], line_no);
+    if (length > 32) fail("prefix length out of range", line_no);
+    bgp::OriginSet origins;
+    for (std::string_view token : split(fields[2], '_')) {
+      origins.add(static_cast<net::Asn>(parse_number(token, line_no)));
+    }
+    return {*base, static_cast<std::uint8_t>(length), origins};
+  }
+
+  void commit(Parsed&& p, std::size_t) {
+    map.insert(net::Prefix(p.base, p.length), p.origins);
+  }
+};
+
+struct CertificatesFormat {
+  tls::CaService& ca;
+  tls::CertId trusted_root;
+  stream::StringInterner& ids;       // cert-id symbol table (first-seen)
+  std::vector<tls::CertId>& by_sym;  // interned symbol -> issued CertId
+
+  enum class Trust { kTrusted, kSelfSigned, kUntrusted };
+
+  struct Parsed {
+    std::string id;
+    tls::DistinguishedName subject;
+    std::vector<std::string> sans;
+    net::DayTime not_before;
+    int days = 0;
+    Trust trust = Trust::kTrusted;
+  };
+
+  Parsed parse(std::string_view text, std::size_t line_no) const {
+    auto fields = split(text, '\t');
+    if (fields.size() != 6) {
+      fail("expected 6 tab-separated certificate fields", line_no);
+    }
+    Parsed out;
+    out.id = std::string(fields[0]);
+    out.subject.organization = std::string(fields[1]);
+    if (!fields[5].empty()) {
+      for (std::string_view san : split(fields[5], ',')) {
+        out.sans.emplace_back(san);
+      }
+    }
+    net::DayTime not_before = parse_date(fields[2], line_no);
+    net::DayTime not_after = parse_date(fields[3], line_no);
+    if (not_after < not_before) {
+      fail("not_after precedes not_before", line_no);
+    }
+    out.not_before = not_before;
+    out.days = static_cast<int>(not_after.days() - not_before.days());
+    if (fields[4] == "trusted") {
+      out.trust = Trust::kTrusted;
+    } else if (fields[4] == "self-signed") {
+      out.trust = Trust::kSelfSigned;
+    } else if (fields[4] == "untrusted") {
+      out.trust = Trust::kUntrusted;
+    } else {
+      fail("unknown trust '" + std::string(fields[4]) + "'", line_no);
+    }
+    return out;
+  }
+
+  // The duplicate-id check is a cross-record property, so it lives in
+  // commit, where records arrive strictly in input order.
+  void commit(Parsed&& p, std::size_t line_no) {
+    if (ids.find(p.id).has_value()) fail("duplicate certificate id", line_no);
+    tls::CertId cert = tls::kNoCert;
+    switch (p.trust) {
+      case Trust::kTrusted:
+        cert = ca.issue(trusted_root, std::move(p.subject), std::move(p.sans),
+                        p.not_before, p.days);
+        break;
+      case Trust::kSelfSigned:
+        cert = ca.issue_self_signed(std::move(p.subject), std::move(p.sans),
+                                    p.not_before, p.days);
+        break;
+      case Trust::kUntrusted:
+        cert = ca.issue_untrusted(std::move(p.subject), std::move(p.sans),
+                                  p.not_before, p.days);
+        break;
+    }
+    stream::StringInterner::Id sym = ids.intern(p.id);
+    if (sym >= by_sym.size()) by_sym.resize(sym + 1, tls::kNoCert);
+    by_sym[sym] = cert;
+  }
+};
+
+struct HostsFormat {
+  const stream::StringInterner& cert_ids;
+  const std::vector<tls::CertId>& by_sym;
+  scan::ScanSnapshot& snapshot;
+
+  struct Parsed {
+    net::IPv4 ip;
+    std::string cert_key;
+  };
+
+  Parsed parse(std::string_view text, std::size_t line_no) const {
+    auto fields = split(text, '\t');
+    if (fields.size() != 2) fail("expected ip<TAB>cert_id", line_no);
+    auto ip = net::IPv4::parse(fields[0]);
+    if (!ip) fail("malformed IP", line_no);
+    return {*ip, std::string(fields[1])};
+  }
+
+  // The unknown-certificate check reads the cert symbol table, which the
+  // certificates loader finished building — cross-file state, so commit.
+  void commit(Parsed&& p, std::size_t line_no) {
+    auto sym = cert_ids.find(p.cert_key);
+    if (!sym.has_value()) {
+      fail("host references unknown certificate '" + p.cert_key + "'",
+           line_no);
+    }
+    snapshot.certs().push_back(scan::CertScanRecord{p.ip, by_sym[*sym]});
+  }
+};
+
+struct HeadersFormat {
+  http::HeaderCatalog& catalog;
+  scan::ScanSnapshot& snapshot;
+
+  struct Parsed {
+    net::IPv4 ip;
+    http::HeaderMap headers;
+    bool https = false;
+  };
+
+  Parsed parse(std::string_view text, std::size_t line_no) const {
+    auto fields = split(text, '\t');
+    if (fields.size() != 3) {
+      fail("expected ip<TAB>port<TAB>headers", line_no);
+    }
+    auto ip = net::IPv4::parse(fields[0]);
+    if (!ip) fail("malformed IP", line_no);
+    Parsed out;
+    out.ip = *ip;
+    for (std::string_view pair : split(fields[2], '|')) {
+      auto colon = pair.find(':');
+      if (colon == std::string_view::npos) {
+        fail("malformed header", line_no);
+      }
+      std::string_view value = pair.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') {
+        value.remove_prefix(1);
+      }
+      out.headers.add(std::string(pair.substr(0, colon)), std::string(value));
+    }
+    // Port validation is part of parse, so a rejected line never reaches
+    // the catalog (the materializing loader used to intern the header
+    // set before noticing the bad port).
+    if (fields[1] == "443") {
+      out.https = true;
+    } else if (fields[1] == "80") {
+      out.https = false;
+    } else {
+      fail("unknown port", line_no);
+    }
+    return out;
+  }
+
+  void commit(Parsed&& p, std::size_t) {
+    http::HeaderSetId set = catalog.add(std::move(p.headers));
+    if (p.https) {
+      snapshot.add_https_headers(p.ip, set);
+      snapshot.set_header_availability(true, snapshot.has_http_headers());
+    } else {
+      snapshot.add_http_headers(p.ip, set);
+      snapshot.set_header_availability(snapshot.has_https_headers(), true);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Loader bodies, parameterized on StreamOptions. The public serial entry
+// points pass the defaults (n_threads = 1).
+// ---------------------------------------------------------------------
+
+RelationshipData load_as_relationships_impl(
+    std::istream& in, const ReadOptions& options, LoadReport* report,
+    const stream::StreamOptions& sopts) {
+  RelationshipData data;
+  std::unordered_map<net::Asn, topo::AsId> ids;
+  RelationshipsFormat format{data, ids};
+  Tally tally("relationships", options, report);
+  run_scan(in, tally, format, " \t\r", sopts);
   tally.finish();
   return data;
 }
 
-topo::Topology load_topology(std::istream& relationships,
-                             std::istream& organizations,
-                             const ReadOptions& options, LoadReport* report) {
-  RelationshipData rel = load_as_relationships(relationships, options, report);
+topo::Topology load_topology_impl(std::istream& relationships,
+                                  std::istream& organizations,
+                                  const ReadOptions& options,
+                                  LoadReport* report,
+                                  const stream::StreamOptions& sopts) {
+  RelationshipData rel =
+      load_as_relationships_impl(relationships, options, report, sopts);
 
   std::vector<topo::AsRecord> records(rel.asns.size());
   for (topo::AsId id = 0; id < rel.asns.size(); ++id) {
     records[id].asn = rel.asns[id];
   }
 
-  // Organizations file: "org_id|name" and "asn|org_id" lines. Org-id
-  // tokens are non-numeric (CAIDA uses opaque ids), so the two line
-  // kinds are distinguished by whether the first field parses as an ASN.
   topo::OrgDb orgs;
   std::unordered_map<std::string, topo::OrgId> org_ids;
   std::unordered_map<net::Asn, topo::AsId> asn_to_id;
@@ -210,31 +534,10 @@ topo::Topology load_topology(std::istream& relationships,
     asn_to_id.emplace(rel.asns[id], id);
   }
 
-  struct Assignment {
-    net::Asn asn;
-    std::string org;
-    std::size_t line;
-  };
   std::vector<Assignment> assignments;
+  OrganizationsFormat format{orgs, org_ids, assignments};
   Tally tally("organizations", options, report);
-  scan_lines(organizations, tally,
-             [&](std::string_view text, std::size_t line_no) {
-               auto fields = split(text, '|');
-               if (fields.size() < 2) fail("expected two '|' fields", line_no);
-               net::Asn asn = 0;
-               auto [p, ec] = std::from_chars(
-                   fields[0].data(), fields[0].data() + fields[0].size(), asn);
-               bool numeric = ec == std::errc{} &&
-                              p == fields[0].data() + fields[0].size();
-               if (numeric) {
-                 assignments.push_back(
-                     {asn, std::string(fields[1]), line_no});
-               } else {
-                 org_ids.emplace(
-                     std::string(fields[0]),
-                     orgs.add_org(std::string(fields[1]), topo::kNoCountry));
-               }
-             });
+  run_scan(organizations, tally, format, " \t\r", sopts);
   for (const Assignment& assignment : assignments) {
     auto as_it = asn_to_id.find(assignment.asn);
     auto org_it = org_ids.find(assignment.org);
@@ -254,130 +557,72 @@ topo::Topology load_topology(std::istream& relationships,
                         std::move(orgs));
 }
 
-bgp::Ip2AsMap load_prefix2as(std::istream& in, const ReadOptions& options,
-                             LoadReport* report) {
+bgp::Ip2AsMap load_prefix2as_impl(std::istream& in,
+                                  const ReadOptions& options,
+                                  LoadReport* report,
+                                  const stream::StreamOptions& sopts) {
   bgp::Ip2AsMap map;
+  Prefix2AsFormat format{map};
   Tally tally("prefix2as", options, report);
-  scan_lines(in, tally, [&](std::string_view text, std::size_t line_no) {
-    auto fields = split(text, '\t');
-    if (fields.size() != 3) fail("expected base<TAB>len<TAB>asns", line_no);
-    auto base = net::IPv4::parse(fields[0]);
-    if (!base) fail("malformed prefix base", line_no);
-    auto length = parse_number(fields[1], line_no);
-    if (length > 32) fail("prefix length out of range", line_no);
-    bgp::OriginSet origins;
-    for (std::string_view token : split(fields[2], '_')) {
-      origins.add(static_cast<net::Asn>(parse_number(token, line_no)));
-    }
-    map.insert(net::Prefix(*base, static_cast<std::uint8_t>(length)),
-               origins);
-  });
+  run_scan(in, tally, format, " \t\r", sopts);
   tally.finish();
   return map;
 }
 
-namespace {
-
 void load_certificates(std::istream& in, tls::CertificateStore& store,
-                       tls::RootStore& roots,
-                       std::unordered_map<std::string, tls::CertId>& by_id,
-                       const ReadOptions& options, LoadReport* report) {
+                       tls::RootStore& roots, stream::StringInterner& ids,
+                       std::vector<tls::CertId>& by_sym,
+                       const ReadOptions& options, LoadReport* report,
+                       const stream::StreamOptions& sopts) {
   // One shared trusted root / untrusted root pair models the flattened
   // chain-verification verdict in the input.
   tls::CaService ca(store, roots);
   tls::CertId trusted_root = ca.create_root("Imported WebPKI");
 
+  CertificatesFormat format{ca, trusted_root, ids, by_sym};
   Tally tally("certificates", options, report);
-  // The trailing SAN field is legitimately empty, so only line
-  // terminators are stripped — a trailing tab is part of the record.
-  scan_lines(
-      in, tally,
-      [&](std::string_view text, std::size_t line_no) {
-        auto fields = split(text, '\t');
-        if (fields.size() != 6) {
-          fail("expected 6 tab-separated certificate fields", line_no);
-        }
-        if (by_id.contains(std::string(fields[0]))) {
-          fail("duplicate certificate id", line_no);
-        }
-        tls::DistinguishedName subject;
-        subject.organization = std::string(fields[1]);
-        std::vector<std::string> sans;
-        if (!fields[5].empty()) {
-          for (std::string_view san : split(fields[5], ',')) {
-            sans.emplace_back(san);
-          }
-        }
-        net::DayTime not_before = parse_date(fields[2], line_no);
-        net::DayTime not_after = parse_date(fields[3], line_no);
-        if (not_after < not_before) {
-          fail("not_after precedes not_before", line_no);
-        }
-        auto days = static_cast<int>(not_after.days() - not_before.days());
-
-        tls::CertId id = tls::kNoCert;
-        if (fields[4] == "trusted") {
-          id = ca.issue(trusted_root, std::move(subject), std::move(sans),
-                        not_before, days);
-        } else if (fields[4] == "self-signed") {
-          id = ca.issue_self_signed(std::move(subject), std::move(sans),
-                                    not_before, days);
-        } else if (fields[4] == "untrusted") {
-          id = ca.issue_untrusted(std::move(subject), std::move(sans),
-                                  not_before, days);
-        } else {
-          fail("unknown trust '" + std::string(fields[4]) + "'", line_no);
-        }
-        by_id.emplace(std::string(fields[0]), id);
-      },
-      "\r");
+  // The trailing SAN field is legitimately empty, so nothing beyond the
+  // line terminator (handled by the reader) is stripped — a trailing tab
+  // is part of the record.
+  run_scan(in, tally, format, "", sopts);
   tally.finish();
 }
 
 }  // namespace
 
+RelationshipData load_as_relationships(std::istream& in,
+                                       const ReadOptions& options,
+                                       LoadReport* report) {
+  return load_as_relationships_impl(in, options, report, {});
+}
+
+topo::Topology load_topology(std::istream& relationships,
+                             std::istream& organizations,
+                             const ReadOptions& options, LoadReport* report) {
+  return load_topology_impl(relationships, organizations, options, report,
+                            {});
+}
+
+bgp::Ip2AsMap load_prefix2as(std::istream& in, const ReadOptions& options,
+                             LoadReport* report) {
+  return load_prefix2as_impl(in, options, report, {});
+}
+
 void Dataset::add_headers(std::istream& in, const ReadOptions& options,
                           LoadReport* report) {
+  add_headers(in, stream::StreamOptions{}, options, report);
+}
+
+void Dataset::add_headers(std::istream& in,
+                          const stream::StreamOptions& stream,
+                          const ReadOptions& options, LoadReport* report) {
   LoadReport& out = report != nullptr ? *report : report_;
   std::size_t base = out.files.size();
+  HeadersFormat format{*catalog_, *snapshot_};
   Tally tally("headers", options, &out);
-  // Header values may contain significant interior whitespace, so only
-  // line terminators are stripped here.
-  scan_lines(
-      in, tally,
-      [&](std::string_view text, std::size_t line_no) {
-        auto fields = split(text, '\t');
-        if (fields.size() != 3) {
-          fail("expected ip<TAB>port<TAB>headers", line_no);
-        }
-        auto ip = net::IPv4::parse(fields[0]);
-        if (!ip) fail("malformed IP", line_no);
-        http::HeaderMap headers;
-        for (std::string_view pair : split(fields[2], '|')) {
-          auto colon = pair.find(':');
-          if (colon == std::string_view::npos) {
-            fail("malformed header", line_no);
-          }
-          std::string_view value = pair.substr(colon + 1);
-          while (!value.empty() && value.front() == ' ') {
-            value.remove_prefix(1);
-          }
-          headers.add(std::string(pair.substr(0, colon)), std::string(value));
-        }
-        http::HeaderSetId set = catalog_->add(std::move(headers));
-        if (fields[1] == "443") {
-          snapshot_->add_https_headers(*ip, set);
-          snapshot_->set_header_availability(true,
-                                             snapshot_->has_http_headers());
-        } else if (fields[1] == "80") {
-          snapshot_->add_http_headers(*ip, set);
-          snapshot_->set_header_availability(snapshot_->has_https_headers(),
-                                             true);
-        } else {
-          fail("unknown port", line_no);
-        }
-      },
-      "\r");
+  // Header values may contain significant interior whitespace, so
+  // nothing beyond the line terminator is stripped here.
+  run_scan(in, tally, format, "", stream);
   tally.finish();
   if (report != nullptr) {
     report_.files.insert(report_.files.end(), out.files.begin() + base,
@@ -389,20 +634,36 @@ Dataset load_dataset(std::istream& relationships, std::istream& organizations,
                      std::istream& prefix2as, std::istream& certificates,
                      std::istream& hosts, net::YearMonth scan_month,
                      const ReadOptions& options, LoadReport* report) {
+  return load_dataset_stream(relationships, organizations, prefix2as,
+                             certificates, hosts, scan_month,
+                             stream::StreamOptions{}, options, report);
+}
+
+Dataset load_dataset_stream(std::istream& relationships,
+                            std::istream& organizations,
+                            std::istream& prefix2as,
+                            std::istream& certificates, std::istream& hosts,
+                            net::YearMonth scan_month,
+                            const stream::StreamOptions& stream,
+                            const ReadOptions& options, LoadReport* report) {
   Dataset dataset;
   // Fill the caller's report directly so it still holds the per-file
   // accounting when a load aborts mid-way.
   LoadReport& out = report != nullptr ? *report : dataset.report_;
   std::size_t base = out.files.size();
 
-  dataset.topology_ = std::make_unique<topo::Topology>(
-      load_topology(relationships, organizations, options, &out));
+  dataset.topology_ = std::make_unique<topo::Topology>(load_topology_impl(
+      relationships, organizations, options, &out, stream));
   dataset.ip2as_ = std::make_unique<bgp::FixedIp2As>(
-      load_prefix2as(prefix2as, options, &out));
+      load_prefix2as_impl(prefix2as, options, &out, stream));
 
-  std::unordered_map<std::string, tls::CertId> cert_ids;
+  // Certificate ids are interned once into an arena-backed symbol table;
+  // host lines reference them by symbol instead of re-keying a string
+  // map per occurrence.
+  stream::StringInterner cert_ids;
+  std::vector<tls::CertId> cert_by_sym;
   load_certificates(certificates, dataset.certs_, dataset.roots_, cert_ids,
-                    options, &out);
+                    cert_by_sym, options, &out, stream);
 
   dataset.catalog_ = std::make_unique<http::HeaderCatalog>();
   auto snapshot_idx = net::snapshot_index(scan_month);
@@ -410,21 +671,9 @@ Dataset load_dataset(std::istream& relationships, std::istream& organizations,
       scan::ScannerKind::kRapid7, snapshot_idx.value_or(0),
       net::DayTime::from(scan_month, 15), *dataset.catalog_);
 
+  HostsFormat format{cert_ids, cert_by_sym, *dataset.snapshot_};
   Tally tally("hosts", options, &out);
-  scan_lines(hosts, tally, [&](std::string_view text, std::size_t line_no) {
-    auto fields = split(text, '\t');
-    if (fields.size() != 2) fail("expected ip<TAB>cert_id", line_no);
-    auto ip = net::IPv4::parse(fields[0]);
-    if (!ip) fail("malformed IP", line_no);
-    auto it = cert_ids.find(std::string(fields[1]));
-    if (it == cert_ids.end()) {
-      fail("host references unknown certificate '" + std::string(fields[1]) +
-               "'",
-           line_no);
-    }
-    dataset.snapshot_->certs().push_back(
-        scan::CertScanRecord{*ip, it->second});
-  });
+  run_scan(hosts, tally, format, " \t\r", stream);
   tally.finish();
 
   if (report != nullptr) {

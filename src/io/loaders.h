@@ -8,6 +8,7 @@
 #include "bgp/ip2as.h"
 #include "http/catalog.h"
 #include "io/report.h"
+#include "io/stream/driver.h"
 #include "scan/record.h"
 #include "tls/validator.h"
 #include "topology/topology.h"
@@ -35,12 +36,18 @@
 /// the first malformed line throws LoadError with an exact line number;
 /// in permissive mode malformed lines are skipped and tallied into a
 /// LoadReport, and only blowing the per-file error budget aborts.
+///
+/// All loaders stream: input is read in fixed-size chunks through
+/// io::stream::LineReader (DESIGN.md §14), so peak memory is bounded by
+/// batch sizes and the loaded result, never by corpus size. CRLF line
+/// endings are normalized in the reader, and an unterminated final line
+/// is handled per ReadOptions::final_newline. load_dataset parses on the
+/// calling thread; load_dataset_stream fans parsing out to worker
+/// threads with a strict in-order commit, so both produce bit-identical
+/// datasets, reports, and error messages at any thread count.
 namespace offnet::io {
 
-class LoadError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// LoadError lives in io/report.h (shared with the streaming driver).
 
 /// AS graph + per-id ASNs parsed from CAIDA serial-1 relationships.
 struct RelationshipData {
@@ -80,10 +87,18 @@ class Dataset {
   void add_headers(std::istream& in, const ReadOptions& options = {},
                    LoadReport* report = nullptr);
 
+  /// add_headers with explicit streaming knobs (worker threads, batch
+  /// sizes). Bit-identical to the serial overload at any n_threads.
+  void add_headers(std::istream& in, const stream::StreamOptions& stream,
+                   const ReadOptions& options = {},
+                   LoadReport* report = nullptr);
+
  private:
-  friend Dataset load_dataset(std::istream&, std::istream&, std::istream&,
-                              std::istream&, std::istream&, net::YearMonth,
-                              const ReadOptions&, LoadReport*);
+  friend Dataset load_dataset_stream(std::istream&, std::istream&,
+                                     std::istream&, std::istream&,
+                                     std::istream&, net::YearMonth,
+                                     const stream::StreamOptions&,
+                                     const ReadOptions&, LoadReport*);
 
   std::unique_ptr<topo::Topology> topology_;
   std::unique_ptr<bgp::FixedIp2As> ip2as_;
@@ -103,5 +118,20 @@ Dataset load_dataset(std::istream& relationships, std::istream& organizations,
                      std::istream& hosts, net::YearMonth scan_month,
                      const ReadOptions& options = {},
                      LoadReport* report = nullptr);
+
+/// load_dataset with explicit streaming knobs: chunk/batch sizes and the
+/// number of parser workers (stream.n_threads). Reading and committing
+/// stay on the calling thread; parsing fans out to workers with a strict
+/// in-order commit, so the result — dataset, LoadReport, metrics, and
+/// every error message — is bit-identical to load_dataset at any thread
+/// count. Peak memory is O(batch × workers + loaded result).
+Dataset load_dataset_stream(std::istream& relationships,
+                            std::istream& organizations,
+                            std::istream& prefix2as,
+                            std::istream& certificates, std::istream& hosts,
+                            net::YearMonth scan_month,
+                            const stream::StreamOptions& stream,
+                            const ReadOptions& options = {},
+                            LoadReport* report = nullptr);
 
 }  // namespace offnet::io

@@ -16,6 +16,14 @@ std::size_t LoadReport::lines_skipped() const {
   return total;
 }
 
+std::size_t LoadReport::files_missing_final_newline() const {
+  std::size_t total = 0;
+  for (const FileReport& file : files) {
+    if (file.missing_final_newline) ++total;
+  }
+  return total;
+}
+
 const FileReport* LoadReport::find(std::string_view kind) const {
   for (const FileReport& file : files) {
     if (file.kind == kind) return &file;
@@ -30,25 +38,39 @@ void LoadReport::merge(const LoadReport& other) {
 std::string LoadReport::summary() const {
   std::size_t skipped = lines_skipped();
   std::size_t total = lines_ok() + skipped;
+  std::string out;
   if (skipped == 0) {
-    return "read " + std::to_string(total) + " lines, none skipped";
+    out = "read " + std::to_string(total) + " lines, none skipped";
+  } else {
+    out = "skipped " + std::to_string(skipped) + " of " +
+          std::to_string(total) + " lines (";
+    bool first = true;
+    for (const FileReport& file : files) {
+      if (file.lines_skipped == 0) continue;
+      if (!first) out += ", ";
+      out += file.kind + ": " + std::to_string(file.lines_skipped);
+      first = false;
+    }
+    out += ')';
   }
-  std::string out = "skipped " + std::to_string(skipped) + " of " +
-                    std::to_string(total) + " lines (";
-  bool first = true;
-  for (const FileReport& file : files) {
-    if (file.lines_skipped == 0) continue;
-    if (!first) out += ", ";
-    out += file.kind + ": " + std::to_string(file.lines_skipped);
-    first = false;
+  // Only mentioned when present, so clean corpora keep their summaries
+  // byte-identical to earlier releases.
+  std::size_t truncated = files_missing_final_newline();
+  if (truncated > 0) {
+    out += "; " + std::to_string(truncated) + " file" +
+           (truncated == 1 ? "" : "s") + " missing final newline";
   }
-  out += ')';
   return out;
 }
 
 void LoadReport::export_metrics(obs::Registry& registry) const {
   registry.counter(metric_names::kLinesOk).add(lines_ok());
   registry.counter(metric_names::kLinesSkipped).add(lines_skipped());
+  // Created only when nonzero: a clean corpus must export byte-identical
+  // metrics to releases that predate the counter.
+  if (std::size_t truncated = files_missing_final_newline(); truncated > 0) {
+    registry.counter(metric_names::kFilesMissingNewline).add(truncated);
+  }
   for (const FileReport& file : files) {
     registry.counter(metric_names::kPerKindPrefix + file.kind + "/lines_ok")
         .add(file.lines_ok);

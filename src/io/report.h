@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,12 +9,21 @@
 /// Ingestion accounting shared by every loader: how a read should treat
 /// malformed input (ReadOptions) and what it actually read and dropped
 /// (FileReport / LoadReport). Kept separate from loaders.h so the core
-/// pipeline can attach reports to results without pulling in the loaders.
+/// pipeline and the streaming scan driver can use the accounting types
+/// without pulling in the loaders.
 namespace offnet::obs {
 class Registry;
 }  // namespace offnet::obs
 
 namespace offnet::io {
+
+/// What every loader throws on malformed input (strict mode) or a blown
+/// error budget. Lives here rather than loaders.h so the streaming
+/// driver, which sits below the loaders, can recognize it.
+class LoadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// io:: metric names (LoadReport::export_metrics), mirroring
 /// core::metric_names so ingestion accounting is spelled once.
@@ -22,12 +32,24 @@ inline constexpr const char* kLinesOk = "load/lines_ok";
 inline constexpr const char* kLinesSkipped = "load/lines_skipped";
 inline constexpr const char* kPerKindPrefix =
     "load/";  // + file kind + "/lines_ok" | "/lines_skipped"
+/// Files whose final line had no '\n'. Only exported when nonzero, so
+/// clean corpora keep their metric exports byte-identical.
+inline constexpr const char* kFilesMissingNewline =
+    "load/files_missing_final_newline";
 }  // namespace metric_names
 
 /// How loaders treat malformed input.
 enum class ReadMode {
   kStrict,      // first malformed line throws LoadError
   kPermissive,  // malformed lines are skipped and tallied, within a budget
+};
+
+/// What to do with a final line that has no terminating '\n' — usually a
+/// truncated download or an interrupted writer, but some tools simply
+/// omit the last newline.
+enum class FinalNewlinePolicy {
+  kAcceptData,  // parse the record normally; flag the FileReport
+  kDropData,    // treat it as malformed: skip + tally (throw in strict)
 };
 
 /// Error policy threaded through every loader.
@@ -37,11 +59,17 @@ struct ReadOptions {
   /// Permissive mode only: abort the load (LoadError) when a file's
   /// skipped / (ok + skipped) fraction exceeds this budget, so a mostly
   /// garbage corpus fails loudly instead of yielding a near-empty
-  /// "successful" dataset.
+  /// "successful" dataset. The budget trips *early* — at the first line
+  /// where the bound provably cannot be met even if every remaining byte
+  /// parses clean — so a multi-GB garbage corpus fails in the first
+  /// megabytes, not after a full read.
   double max_error_fraction = 0.05;
 
   /// How many parse failures to keep per file for diagnostics.
   std::size_t max_error_samples = 4;
+
+  /// Unterminated-final-line handling (see FinalNewlinePolicy).
+  FinalNewlinePolicy final_newline = FinalNewlinePolicy::kAcceptData;
 
   bool permissive() const { return mode == ReadMode::kPermissive; }
 
@@ -66,6 +94,9 @@ struct FileReport {
   std::size_t lines_ok = 0;        // data lines parsed successfully
   std::size_t lines_skipped = 0;   // malformed data lines dropped
   std::vector<LineError> samples;  // first max_error_samples failures
+  /// The file's last line had no terminating '\n' (see
+  /// ReadOptions::final_newline for how the record itself was treated).
+  bool missing_final_newline = false;
 
   double error_fraction() const {
     std::size_t total = lines_ok + lines_skipped;
@@ -82,6 +113,7 @@ struct LoadReport {
 
   std::size_t lines_ok() const;
   std::size_t lines_skipped() const;
+  std::size_t files_missing_final_newline() const;
   bool clean() const { return lines_skipped() == 0; }
 
   const FileReport* find(std::string_view kind) const;

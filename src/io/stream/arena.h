@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// Arena (bump) storage and string interning for the streaming ingestion
+/// layer (DESIGN.md §14). Record batches are transient — their text is
+/// recycled as soon as a batch commits — so any byte that must outlive
+/// its batch (certificate ids, interned symbols) is copied into an Arena,
+/// whose chunks live until the owning loader finishes. Peak RSS is then
+/// O(batch × workers + interned symbols), never O(corpus).
+namespace offnet::io::stream {
+
+/// Append-only chunked byte storage. store() returns a view that stays
+/// valid for the Arena's lifetime; chunks are never reallocated or
+/// freed individually, so views are stable.
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Copies `text` into the arena; the returned view is stable until the
+  /// Arena is destroyed. Oversize strings get a dedicated chunk.
+  std::string_view store(std::string_view text) {
+    if (text.empty()) return {};
+    if (text.size() > chunk_bytes_ - used_ || chunks_.empty()) {
+      std::size_t size = text.size() > chunk_bytes_ ? text.size()
+                                                    : chunk_bytes_;
+      chunks_.push_back(std::make_unique<char[]>(size));
+      allocated_ += size;
+      used_ = text.size() > chunk_bytes_ ? chunk_bytes_ : 0;
+      if (text.size() > chunk_bytes_) {
+        // Dedicated chunk, already exactly full; keep the previous
+        // partially-filled chunk unusable rather than tracking two.
+        std::memcpy(chunks_.back().get(), text.data(), text.size());
+        stored_ += text.size();
+        return {chunks_.back().get(), text.size()};
+      }
+    }
+    char* dst = chunks_.back().get() + used_;
+    std::memcpy(dst, text.data(), text.size());
+    used_ += text.size();
+    stored_ += text.size();
+    return {dst, text.size()};
+  }
+
+  /// Total bytes handed out via store().
+  std::size_t bytes_stored() const { return stored_; }
+  /// Total bytes reserved from the allocator (≥ bytes_stored()).
+  std::size_t bytes_allocated() const { return allocated_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t used_ = 0;       // bytes used in chunks_.back()
+  std::size_t stored_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+/// Dense string → id table backed by an Arena: each distinct string is
+/// stored once, ids are assigned in first-seen order (deterministic for
+/// a deterministic input order), and lookups never copy. Loaders use it
+/// for certificate-id cross references and dNSName symbols so symbol
+/// storage scales with distinct values, not occurrences.
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Returns the existing id, or assigns the next dense id.
+  Id intern(std::string_view text) {
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+    std::string_view stored = arena_.store(text);
+    Id id = static_cast<Id>(by_id_.size());
+    by_id_.push_back(stored);
+    ids_.emplace(stored, id);
+    return id;
+  }
+
+  /// Lookup without inserting.
+  std::optional<Id> find(std::string_view text) const {
+    auto it = ids_.find(text);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string_view text(Id id) const { return by_id_[id]; }
+  std::size_t size() const { return by_id_.size(); }
+  std::size_t bytes_stored() const { return arena_.bytes_stored(); }
+
+ private:
+  Arena arena_;
+  // Keys view into arena_ storage, which outlives the map.
+  std::unordered_map<std::string_view, Id> ids_;
+  std::vector<std::string_view> by_id_;  // id → stored text
+};
+
+}  // namespace offnet::io::stream

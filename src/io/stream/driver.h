@@ -1,0 +1,335 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+#include "io/report.h"
+#include "io/stream/reader.h"
+#include "io/stream/ring.h"
+
+/// The streaming scan driver (DESIGN.md §14): carves an input stream
+/// into fixed-capacity line batches, parses them on worker threads, and
+/// commits results strictly in input order, so the loaded result — and
+/// every error message, tally, and budget decision — is bit-identical to
+/// a serial read at any thread count.
+///
+/// A loader supplies a *Format* with a pure parse and a stateful commit:
+///
+///   struct Format {
+///     using Parsed = ...;            // self-contained parse result
+///     // Thread-safe: reads only `text` (views into the batch are valid
+///     // until the batch commits). Throws LoadError on malformed input.
+///     Parsed parse(std::string_view text, std::size_t line_no) const;
+///     // Serial, in input order. May throw LoadError (e.g. a duplicate
+///     // key), which is tallied exactly like a parse failure.
+///     void commit(Parsed&& parsed, std::size_t line_no);
+///   };
+///
+/// and a *Sink* that owns error policy (io::Tally in the loaders):
+///
+///   struct Sink {
+///     void consume(std::size_t raw_bytes);  // every physical line, in order
+///     // Unterminated final line: returns true when the record should
+///     // still be parsed (after tallying per policy).
+///     bool on_truncated_final_line(std::size_t line_no, bool is_data);
+///     void ok();                            // line committed
+///     void skip(std::size_t line_no, const std::string& what);
+///   };
+///
+/// Memory is bounded by construction: (n_threads + 2) batches exist in
+/// total, recycled through a free ring; the reader cannot run ahead of
+/// commit by more than the pool, which is also the backpressure point.
+namespace offnet::io::stream {
+
+/// What scans did, for tests that assert boundedness. Written by the
+/// driver thread only; accumulates across scans sharing the options.
+struct DriverStats {
+  std::size_t batches = 0;        // batches filled
+  std::size_t max_in_flight = 0;  // peak batches outside the free pool
+  std::size_t peak_batch_bytes = 0;
+  std::size_t lines = 0;          // physical lines read
+};
+
+/// Tuning knobs for one streaming scan. Defaults suit multi-GB inputs;
+/// tests shrink them to force many tiny batches.
+struct StreamOptions {
+  std::size_t chunk_bytes = kDefaultChunkBytes;  // reader chunk size
+  std::size_t batch_lines = 2048;    // max lines per batch
+  std::size_t batch_bytes = 256 * 1024;  // max data bytes per batch
+  int n_threads = 1;                 // parser workers; <= 1 parses inline
+  DriverStats* stats = nullptr;      // test seam, may be null
+};
+
+namespace detail {
+
+/// One fixed-capacity run of physical lines. `text` packs the
+/// terminator-stripped bytes of data lines; blank/comment lines carry
+/// accounting only. `out` holds each data line's parse outcome.
+template <class Parsed>
+struct Batch {
+  struct Row {
+    std::size_t offset = 0;    // into text (data lines only)
+    std::size_t length = 0;
+    std::size_t number = 0;    // 1-based line number in the input
+    std::size_t raw_bytes = 0;
+    bool is_data = false;
+    bool truncated = false;    // final line without '\n'
+  };
+
+  std::size_t seq = 0;
+  std::string text;
+  std::vector<Row> rows;
+  std::vector<std::variant<std::monostate, Parsed, std::string>> out;
+  std::exception_ptr fatal;  // non-LoadError escape from parse
+
+  std::string_view view(const Row& row) const {
+    return std::string_view(text).substr(row.offset, row.length);
+  }
+
+  void reset(std::size_t reserve_bytes) {
+    seq = 0;
+    text.clear();
+    if (text.capacity() > reserve_bytes * 4) text.shrink_to_fit();
+    rows.clear();
+    out.clear();
+    fatal = nullptr;
+  }
+};
+
+/// Completed batches keyed by sequence number, so the committer can take
+/// them strictly in order regardless of which worker finished first.
+/// Capacity is implicitly bounded by the batch pool.
+template <class B>
+class ReorderSlots {
+ public:
+  void put(B* batch) OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    done_.emplace(batch->seq, batch);
+    ready_.notify_all();
+  }
+
+  /// Blocks until batch `seq` arrives. Bounded waits, as everywhere.
+  B* take(std::size_t seq) OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    while (done_.find(seq) == done_.end()) {
+      (void)ready_.wait_for_ms(lock, 100);
+    }
+    auto it = done_.find(seq);
+    B* out = it->second;
+    done_.erase(it);
+    return out;
+  }
+
+ private:
+  mutable core::Mutex mutex_;
+  core::CondVar ready_;
+  std::map<std::size_t, B*> done_ OFFNET_GUARDED_BY(mutex_);
+};
+
+inline bool comment_or_blank(std::string_view text) {
+  return text.empty() || text[0] == '#' ||
+         text.find_first_not_of(" \t") == std::string_view::npos;
+}
+
+inline std::string_view rstrip(std::string_view text, std::string_view chars) {
+  std::size_t end = text.find_last_not_of(chars);
+  return end == std::string_view::npos ? std::string_view{}
+                                       : text.substr(0, end + 1);
+}
+
+/// Fills `batch` from the reader. Returns false when the stream is
+/// drained and the batch is empty.
+template <class Parsed>
+bool fill_batch(LineReader& reader, Batch<Parsed>& batch,
+                std::string_view strip, const StreamOptions& opts) {
+  batch.reset(opts.batch_bytes);
+  Line line;
+  while (batch.rows.size() < (opts.batch_lines == 0 ? 1 : opts.batch_lines) &&
+         batch.text.size() < (opts.batch_bytes == 0 ? 1 : opts.batch_bytes)) {
+    if (!reader.next(line)) break;
+    typename Batch<Parsed>::Row row;
+    row.number = line.number;
+    row.raw_bytes = line.raw_bytes;
+    row.truncated = !line.had_newline;
+    std::string_view text = rstrip(line.text, strip);
+    if (!comment_or_blank(text)) {
+      row.is_data = true;
+      row.offset = batch.text.size();
+      row.length = text.size();
+      batch.text.append(text);
+    }
+    batch.rows.push_back(row);
+  }
+  batch.out.resize(batch.rows.size());
+  return !batch.rows.empty();
+}
+
+/// Parses every data line of `batch` (worker side). LoadError becomes a
+/// stored message; anything else is captured for the committer to
+/// rethrow.
+template <class Format>
+void parse_batch(Batch<typename Format::Parsed>& batch, const Format& format) {
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    const auto& row = batch.rows[i];
+    if (!row.is_data) continue;
+    try {
+      batch.out[i] = format.parse(batch.view(row), row.number);
+    } catch (const LoadError& e) {
+      batch.out[i] = std::string(e.what());
+    } catch (...) {
+      batch.fatal = std::current_exception();
+      return;
+    }
+  }
+}
+
+/// Commits `batch` in line order (committer side) — the only place
+/// loader state and the sink are touched, so the observable sequence is
+/// identical at any thread count.
+template <class Format, class Sink>
+void commit_batch(Batch<typename Format::Parsed>& batch, Format& format,
+                  Sink& sink) {
+  if (batch.fatal) std::rethrow_exception(batch.fatal);
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    const auto& row = batch.rows[i];
+    sink.consume(row.raw_bytes);
+    if (row.truncated && !sink.on_truncated_final_line(row.number, row.is_data)) {
+      continue;
+    }
+    if (!row.is_data) continue;
+    if (auto* what = std::get_if<std::string>(&batch.out[i])) {
+      sink.skip(row.number, *what);
+      continue;
+    }
+    try {
+      format.commit(std::get<typename Format::Parsed>(std::move(batch.out[i])),
+                    row.number);
+      sink.ok();
+    } catch (const LoadError& e) {
+      sink.skip(row.number, e.what());
+    }
+  }
+}
+
+/// Joins worker threads on every exit path, normal or exceptional, after
+/// closing the rings they block on.
+template <class B>
+struct WorkerGuard {
+  BoundedRing<B*>& work;
+  BoundedRing<B*>& free_pool;
+  std::vector<std::thread>& threads;
+  ~WorkerGuard() {
+    work.close();
+    free_pool.close();
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Streams `in` through `format` under `sink`'s error policy. With
+/// n_threads <= 1 everything runs on the calling thread; otherwise
+/// parse fans out to workers while reading and committing stay on the
+/// calling thread, interleaved so neither starves.
+template <class Format, class Sink>
+void scan_stream(std::istream& in, Format& format, Sink& sink,
+                 std::string_view strip, const StreamOptions& opts) {
+  using Parsed = typename Format::Parsed;
+  using B = detail::Batch<Parsed>;
+
+  LineReader reader(in, opts.chunk_bytes);
+  DriverStats local_stats;
+  DriverStats& stats = opts.stats != nullptr ? *opts.stats : local_stats;
+
+  if (opts.n_threads <= 1) {
+    B batch;
+    while (detail::fill_batch(reader, batch, strip, opts)) {
+      ++stats.batches;
+      stats.lines += batch.rows.size();
+      if (stats.max_in_flight < 1) stats.max_in_flight = 1;
+      if (batch.text.size() > stats.peak_batch_bytes) {
+        stats.peak_batch_bytes = batch.text.size();
+      }
+      detail::parse_batch(batch, format);
+      detail::commit_batch(batch, format, sink);
+    }
+    return;
+  }
+
+  const std::size_t workers = static_cast<std::size_t>(opts.n_threads);
+  const std::size_t pool = workers + 2;
+  std::vector<std::unique_ptr<B>> storage;
+  storage.reserve(pool);
+  BoundedRing<B*> free_ring(pool);
+  BoundedRing<B*> work_ring(pool);
+  detail::ReorderSlots<B> done;
+  for (std::size_t i = 0; i < pool; ++i) {
+    storage.push_back(std::make_unique<B>());
+    B* raw = storage.back().get();
+    free_ring.push(raw);
+  }
+
+  std::vector<std::thread> threads;
+  detail::WorkerGuard<B> guard{work_ring, free_ring, threads};
+  threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads.emplace_back([&work_ring, &done, &format] {
+      while (std::optional<B*> batch = work_ring.pop()) {
+        detail::parse_batch(**batch, format);
+        done.put(*batch);
+      }
+    });
+  }
+
+  std::size_t next_seq = 0;    // next batch to hand to workers
+  std::size_t committed = 0;   // next batch to commit
+  bool drained = false;
+  while (!drained || committed < next_seq) {
+    B* batch = nullptr;
+    if (!drained) {
+      // Prefer a free batch; while the pool is empty, commit completed
+      // batches (in order) to recycle one. The pool bounds read-ahead:
+      // at most n_threads + 2 batches exist at any moment.
+      while ((batch = free_ring.try_pop().value_or(nullptr)) == nullptr) {
+        B* ready = done.take(committed);
+        detail::commit_batch(*ready, format, sink);
+        ++committed;
+        free_ring.try_push(ready);
+      }
+      if (!detail::fill_batch(reader, *batch, strip, opts)) {
+        drained = true;
+        free_ring.try_push(batch);
+        continue;
+      }
+      batch->seq = next_seq++;
+      ++stats.batches;
+      stats.lines += batch->rows.size();
+      if (batch->text.size() > stats.peak_batch_bytes) {
+        stats.peak_batch_bytes = batch->text.size();
+      }
+      std::size_t in_flight = next_seq - committed;
+      if (in_flight > stats.max_in_flight) stats.max_in_flight = in_flight;
+      work_ring.push(batch);
+    } else {
+      B* ready = done.take(committed);
+      detail::commit_batch(*ready, format, sink);
+      ++committed;
+      free_ring.try_push(ready);
+    }
+  }
+}
+
+}  // namespace offnet::io::stream

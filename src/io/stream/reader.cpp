@@ -1,0 +1,61 @@
+#include "io/stream/reader.h"
+
+namespace offnet::io::stream {
+
+LineReader::LineReader(std::istream& in, std::size_t chunk_bytes)
+    : in_(in), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+bool LineReader::fill() {
+  if (eof_) return false;
+  // Compact: drop the consumed prefix so the buffer holds only the
+  // current partial line plus whatever the next read appends. This keeps
+  // memory at O(chunk + longest line) instead of O(file).
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  std::size_t old = buffer_.size();
+  buffer_.resize(old + chunk_bytes_);
+  in_.read(buffer_.data() + old, static_cast<std::streamsize>(chunk_bytes_));
+  std::size_t got = static_cast<std::size_t>(in_.gcount());
+  buffer_.resize(old + got);
+  if (got < chunk_bytes_) eof_ = true;
+  return got > 0;
+}
+
+bool LineReader::next(Line& out) {
+  std::size_t nl;
+  while ((nl = buffer_.find('\n', pos_)) == std::string::npos) {
+    if (!fill()) break;
+  }
+
+  if (nl == std::string::npos) {
+    // No terminator left in the stream. Either we are fully drained, or
+    // the final line lacks its newline — hand it out flagged so the
+    // caller's ReadOptions policy can decide what to do with it.
+    if (pos_ >= buffer_.size()) return false;
+    std::string_view text(buffer_.data() + pos_, buffer_.size() - pos_);
+    out.raw_bytes = text.size();
+    if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+    out.text = text;
+    out.number = ++line_no_;
+    out.had_newline = false;
+    consumed_ += out.raw_bytes;
+    pos_ = buffer_.size();
+    return true;
+  }
+
+  std::string_view text(buffer_.data() + pos_, nl - pos_);
+  out.raw_bytes = text.size() + 1;  // + '\n'
+  // The one place CRLF is handled: strip at most one '\r' directly
+  // before the terminator. Interior '\r' bytes are field data.
+  if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+  out.text = text;
+  out.number = ++line_no_;
+  out.had_newline = true;
+  consumed_ += out.raw_bytes;
+  pos_ = nl + 1;
+  return true;
+}
+
+}  // namespace offnet::io::stream

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+
+/// Chunked line reading for the streaming ingestion layer (DESIGN.md
+/// §14). The reader pulls fixed-size chunks from the stream and carves
+/// them into lines in place, so memory is O(chunk + longest line), never
+/// O(file). It is also the single place line terminators are decided:
+/// every loader sees `\n`- and `\r\n`-terminated files identically, and
+/// an unterminated final line is surfaced explicitly instead of being
+/// silently parsed or dropped.
+namespace offnet::io::stream {
+
+inline constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+/// One physical line as handed to loaders.
+struct Line {
+  /// Line content with the terminator removed: the trailing '\n' and at
+  /// most one '\r' immediately before it (CRLF). Interior '\r' bytes are
+  /// data and pass through. Valid until the next next() call.
+  std::string_view text;
+  std::size_t number = 0;     // 1-based physical line number
+  std::size_t raw_bytes = 0;  // bytes consumed, terminator included
+  /// False only for the last line of a stream that does not end in '\n'
+  /// (a truncated upload / interrupted write). ReadOptions decides
+  /// whether such a record is accepted or dropped.
+  bool had_newline = true;
+};
+
+/// Incremental line iterator over an istream. Reads `chunk_bytes` at a
+/// time into a rolling buffer; the buffer grows only when a single line
+/// exceeds the chunk size, and shrinks back afterwards.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in,
+                      std::size_t chunk_bytes = kDefaultChunkBytes);
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// Advances to the next line. Returns false at end of stream; `out` is
+  /// untouched in that case.
+  bool next(Line& out);
+
+  /// Total bytes consumed from the stream so far.
+  std::size_t bytes_consumed() const { return consumed_; }
+
+ private:
+  /// Pulls one more chunk into the buffer. Returns false at EOF.
+  bool fill();
+
+  std::istream& in_;
+  std::size_t chunk_bytes_;
+  std::string buffer_;
+  std::size_t pos_ = 0;       // start of the unconsumed region
+  std::size_t line_no_ = 0;
+  std::size_t consumed_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace offnet::io::stream

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+/// Bounded MPMC ring buffer — the backpressure point of the streaming
+/// ingestion pipeline (DESIGN.md §14), generalizing the queue semantics
+/// proven in svc::AdmissionQueue: a fixed capacity, push that either
+/// blocks (ingestion) or refuses (admission), and a pop that drains
+/// queued items after close() so accepted work is finished, not dropped.
+namespace offnet::io::stream {
+
+/// Fixed-capacity FIFO between producer and consumer threads. All
+/// blocking waits are bounded (100ms re-check), so a lost wakeup can
+/// delay progress but never hang it — the same discipline as the
+/// service-layer admission queue and checkpoint supervisor.
+template <class T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  /// Blocks while the ring is full. Returns false only when the ring is
+  /// closed — `item` is untouched, so the caller still owns it.
+  bool push(T& item) OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    while (!closed_ && items_.size() - head_ >= capacity_) {
+      (void)space_.wait_for_ms(lock, 100);
+    }
+    if (closed_) return false;
+    push_locked(item);
+    return true;
+  }
+
+  /// Never blocks: false when the ring is full or closed, with `item`
+  /// untouched (the caller sheds or retries).
+  bool try_push(T& item) OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    if (closed_ || items_.size() - head_ >= capacity_) return false;
+    push_locked(item);
+    return true;
+  }
+
+  /// Blocks until an item is available or the ring is closed and empty.
+  /// Items queued before close() still drain.
+  std::optional<T> pop() OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    while (head_ == items_.size() && !closed_) {
+      (void)ready_.wait_for_ms(lock, 100);
+    }
+    if (head_ == items_.size()) return std::nullopt;  // closed and empty
+    return pop_locked();
+  }
+
+  /// Never blocks: nullopt when nothing is queued right now.
+  std::optional<T> try_pop() OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    if (head_ == items_.size()) return std::nullopt;
+    return pop_locked();
+  }
+
+  /// Stops admission and wakes all waiters. Idempotent. Items already
+  /// queued remain poppable.
+  void close() OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  std::size_t size() const OFFNET_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    return items_.size() - head_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void push_locked(T& item) OFFNET_REQUIRES(mutex_) {
+    // Compact lazily so the vector never grows past capacity + drained
+    // prefix; erase-from-front on every pop would be O(n) per item.
+    if (head_ > 0 && head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    items_.push_back(std::move(item));
+    ready_.notify_one();
+  }
+
+  T pop_locked() OFFNET_REQUIRES(mutex_) {
+    T out = std::move(items_[head_]);
+    ++head_;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    space_.notify_one();
+    return out;
+  }
+
+  const std::size_t capacity_;
+  mutable core::Mutex mutex_;
+  core::CondVar ready_;  // an item is available
+  core::CondVar space_;  // a slot is available
+  std::vector<T> items_ OFFNET_GUARDED_BY(mutex_);  // FIFO, front = head_
+  std::size_t head_ OFFNET_GUARDED_BY(mutex_) = 0;
+  bool closed_ OFFNET_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace offnet::io::stream

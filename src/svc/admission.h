@@ -3,10 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <vector>
 
-#include "core/mutex.h"
-#include "core/thread_annotations.h"
+#include "io/stream/ring.h"
 #include "svc/socket.h"
 
 namespace offnet::svc {
@@ -27,35 +25,34 @@ struct Admitted {
 /// close() wakes every waiting worker; pop() then drains the remaining
 /// entries (drain semantics: admitted work is finished, not dropped)
 /// and returns nullopt once the queue is closed and empty.
+///
+/// A thin facade over io::stream::BoundedRing — the same ring the
+/// streaming ingestion pipeline uses for batch hand-off (DESIGN.md §14),
+/// so queue semantics are specified and tested once.
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit AdmissionQueue(std::size_t capacity) : ring_(capacity) {}
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
   /// False when the queue is full or closed — `item` is untouched, so
   /// the caller still owns the fd and sheds it (writes BUSY, closes).
-  bool try_push(Admitted& item) OFFNET_EXCLUDES(mutex_);
+  bool try_push(Admitted& item) { return ring_.try_push(item); }
 
   /// Blocks until an item is available or the queue is closed and empty.
   /// Each internal wait is bounded (no lost-wakeup hangs even under
   /// fault injection).
-  std::optional<Admitted> pop() OFFNET_EXCLUDES(mutex_);
+  std::optional<Admitted> pop() { return ring_.pop(); }
 
   /// Stops admission and wakes all waiters. Idempotent. Items already
   /// queued remain poppable.
-  void close() OFFNET_EXCLUDES(mutex_);
+  void close() { ring_.close(); }
 
-  std::size_t size() const OFFNET_EXCLUDES(mutex_);
-  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
 
  private:
-  const std::size_t capacity_;
-  mutable core::Mutex mutex_;
-  core::CondVar ready_;
-  std::vector<Admitted> items_ OFFNET_GUARDED_BY(mutex_);  // FIFO, front=0
-  std::size_t head_ OFFNET_GUARDED_BY(mutex_) = 0;
-  bool closed_ OFFNET_GUARDED_BY(mutex_) = false;
+  io::stream::BoundedRing<Admitted> ring_;
 };
 
 }  // namespace offnet::svc

@@ -1,0 +1,697 @@
+// Streaming-ingestion engine tests (DESIGN.md §14): the chunked line
+// reader's edge cases (CRLF, chunk-straddling lines, missing final
+// newline), the bounded ring + driver backpressure guarantees, the
+// bit-identity of streamed loads vs materialized loads at any thread
+// count and batch geometry, record-indexed corruption equivalence, and
+// the early (provable) error-budget abort.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/corruption.h"
+#include "io/loaders.h"
+#include "io/stream/arena.h"
+#include "io/stream/driver.h"
+#include "io/stream/reader.h"
+#include "io/stream/ring.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+
+namespace offnet::io {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+constexpr const char* kRelationships = R"(# CAIDA serial-1
+100|200|-1
+100|300|-1
+200|400|-1
+100|101|0
+101|600|-1
+)";
+
+constexpr const char* kOrganizations = R"(# org_id|name then asn|org_id
+ORG-G|Google LLC
+ORG-I|Island ISP
+100|ORG-I
+101|ORG-I
+200|ORG-I
+300|ORG-I
+400|ORG-I
+600|ORG-G
+)";
+
+constexpr const char* kPrefix2As =
+    "1.0.0.0\t20\t200\n"
+    "1.0.16.0\t20\t400\n"
+    "1.0.48.0\t20\t600\n";
+
+constexpr const char* kCertificates =
+    "c-google\tGoogle LLC\t2019-01-01\t2022-01-01\ttrusted\t*.google.com\n"
+    "c-self\tSelf Org\t2019-01-01\t2022-01-01\tself-signed\tself.example\n"
+    "c-other\tIsland ISP\t2019-01-01\t2022-01-01\ttrusted\twww.island.example\n";
+
+constexpr const char* kHosts =
+    "1.0.48.10\tc-google\n"
+    "1.0.0.10\tc-google\n"
+    "1.0.16.10\tc-other\n"
+    "1.0.0.11\tc-self\n";
+
+constexpr const char* kHeaders =
+    "1.0.48.10\t443\tServer: gws|Content-Type: text/html\n"
+    "1.0.0.10\t443\tServer: gws\n"
+    "1.0.16.10\t80\tServer: nginx\n";
+
+Dataset load_materialized(const ReadOptions& options, LoadReport* report) {
+  std::istringstream rel(kRelationships), org(kOrganizations),
+      pfx(kPrefix2As), certs(kCertificates), hosts(kHosts);
+  Dataset dataset =
+      load_dataset(rel, org, pfx, certs, hosts, net::YearMonth(2019, 10),
+                   options, report);
+  std::istringstream headers(kHeaders);
+  dataset.add_headers(headers, options, report);
+  return dataset;
+}
+
+Dataset load_streamed(const stream::StreamOptions& stream,
+                      const ReadOptions& options, LoadReport* report) {
+  std::istringstream rel(kRelationships), org(kOrganizations),
+      pfx(kPrefix2As), certs(kCertificates), hosts(kHosts);
+  Dataset dataset =
+      load_dataset_stream(rel, org, pfx, certs, hosts,
+                          net::YearMonth(2019, 10), stream, options, report);
+  std::istringstream headers(kHeaders);
+  dataset.add_headers(headers, stream, options, report);
+  return dataset;
+}
+
+std::string metrics_json(const LoadReport& report) {
+  obs::Registry registry;
+  report.export_metrics(registry);
+  return obs::MetricsExporter::deterministic_json(registry);
+}
+
+/// Everything the pipeline consumes from a load, flattened for equality
+/// checks: scan records in order, header corpuses in visit order, and
+/// the report's accounting.
+std::string dataset_fingerprint(const Dataset& dataset,
+                                const LoadReport& report) {
+  std::ostringstream out;
+  out << report.summary() << '\n' << metrics_json(report) << '\n';
+  out << "ases=" << dataset.topology().as_count() << '\n';
+  for (const scan::CertScanRecord& record : dataset.snapshot().certs()) {
+    out << record.ip.value() << ' ' << record.cert << '\n';
+  }
+  for (bool https : {true, false}) {
+    dataset.snapshot().for_each_headers(
+        https, [&](net::IPv4 ip, const http::HeaderMap& headers) {
+          out << (https ? "https " : "http ") << ip.value();
+          for (const http::Header& header : headers.all()) {
+            out << ' ' << header.name << '=' << header.value;
+          }
+          out << '\n';
+        });
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------------- LineReader
+
+TEST(LineReaderTest, SplitsLinesAcrossAnyChunkSize) {
+  const std::string text = "alpha\nbeta\r\n\ngamma longer line\nlast";
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                            std::size_t{7}, std::size_t{64 * 1024}}) {
+    std::istringstream in(text);
+    stream::LineReader reader(in, chunk);
+    stream::Line line;
+
+    ASSERT_TRUE(reader.next(line)) << "chunk=" << chunk;
+    EXPECT_EQ(line.text, "alpha");
+    EXPECT_EQ(line.number, 1u);
+    EXPECT_EQ(line.raw_bytes, 6u);
+    EXPECT_TRUE(line.had_newline);
+
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "beta") << "CRLF must be stripped (chunk=" << chunk
+                                 << ")";
+    EXPECT_EQ(line.raw_bytes, 6u);  // '\r' and '\n' still count as read
+
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "");
+    EXPECT_EQ(line.number, 3u);
+
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "gamma longer line");
+
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "last");
+    EXPECT_FALSE(line.had_newline) << "final line has no terminator";
+    EXPECT_EQ(line.number, 5u);
+
+    EXPECT_FALSE(reader.next(line));
+    EXPECT_EQ(reader.bytes_consumed(), text.size());
+  }
+}
+
+TEST(LineReaderTest, StripsAtMostOneCarriageReturn) {
+  std::istringstream in("value\r\r\n");
+  stream::LineReader reader(in, 4);
+  stream::Line line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line.text, "value\r") << "only the terminator's \\r is stripped";
+}
+
+TEST(LineReaderTest, StripsCarriageReturnOnUnterminatedFinalLine) {
+  std::istringstream in("a\nfinal\r");
+  stream::LineReader reader(in, 3);
+  stream::Line line;
+  ASSERT_TRUE(reader.next(line));
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line.text, "final");
+  EXPECT_FALSE(line.had_newline);
+}
+
+TEST(LineReaderTest, EmptyInput) {
+  std::istringstream in("");
+  stream::LineReader reader(in, 8);
+  stream::Line line;
+  EXPECT_FALSE(reader.next(line));
+  EXPECT_EQ(reader.bytes_consumed(), 0u);
+}
+
+// ------------------------------------------------------------ BoundedRing
+
+TEST(BoundedRingTest, TryPushRespectsCapacity) {
+  stream::BoundedRing<int> ring(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(ring.try_push(a));
+  EXPECT_TRUE(ring.try_push(b));
+  EXPECT_FALSE(ring.try_push(c)) << "full ring must refuse";
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.pop().value(), 1);
+  EXPECT_TRUE(ring.try_push(c));
+}
+
+TEST(BoundedRingTest, BlockingPushWaitsForSpace) {
+  stream::BoundedRing<int> ring(1);
+  int a = 1, b = 2;
+  ASSERT_TRUE(ring.push(a));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int value = b;
+    ring.push(value);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load()) << "push must block while the ring is full";
+  EXPECT_EQ(ring.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(ring.pop().value(), 2);
+}
+
+TEST(BoundedRingTest, CloseDrainsThenEnds) {
+  stream::BoundedRing<int> ring(4);
+  int a = 1, b = 2;
+  ring.push(a);
+  ring.push(b);
+  ring.close();
+  int c = 3;
+  EXPECT_FALSE(ring.push(c)) << "push after close must fail";
+  EXPECT_EQ(ring.pop().value(), 1) << "queued items drain after close";
+  EXPECT_EQ(ring.pop().value(), 2);
+  EXPECT_FALSE(ring.pop().has_value()) << "closed + empty ends the stream";
+}
+
+TEST(BoundedRingTest, CloseWakesBlockedConsumer) {
+  stream::BoundedRing<int> ring(1);
+  std::atomic<bool> ended{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(ring.pop().has_value());
+    ended.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(ended.load());
+}
+
+// --------------------------------------------------- driver backpressure
+
+/// Format that counts parses; commit sleeps so the committer (driver
+/// thread) becomes the bottleneck — exactly the "slow consumer" case the
+/// batch pool must bound.
+struct SlowCommitFormat {
+  struct Parsed {
+    std::size_t line = 0;
+  };
+  std::atomic<std::size_t>* parsed;
+  std::size_t* committed;
+
+  Parsed parse(std::string_view, std::size_t line_no) const {
+    parsed->fetch_add(1);
+    return {line_no};
+  }
+  void commit(Parsed&&, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++*committed;
+  }
+};
+
+struct CountingSink {
+  std::size_t ok_count = 0;
+  void consume(std::size_t) {}
+  bool on_truncated_final_line(std::size_t, bool) { return true; }
+  void ok() { ++ok_count; }
+  void skip(std::size_t, const std::string& what) {
+    FAIL() << "unexpected skip: " << what;
+  }
+};
+
+TEST(StreamDriverTest, ReadAheadBoundedByBatchPool) {
+  std::string text;
+  constexpr std::size_t kLines = 3000;
+  for (std::size_t i = 0; i < kLines; ++i) {
+    text += "line-" + std::to_string(i) + "\n";
+  }
+  std::istringstream in(text);
+
+  std::atomic<std::size_t> parsed{0};
+  std::size_t committed = 0;
+  SlowCommitFormat format{&parsed, &committed};
+  CountingSink sink;
+
+  stream::DriverStats stats;
+  stream::StreamOptions opts;
+  opts.n_threads = 4;
+  opts.batch_lines = 16;  // force many batches
+  opts.chunk_bytes = 256;
+  opts.stats = &stats;
+  stream::scan_stream(in, format, sink, " \t", opts);
+
+  EXPECT_EQ(sink.ok_count, kLines);
+  EXPECT_EQ(committed, kLines);
+  EXPECT_EQ(parsed.load(), kLines);
+  EXPECT_GE(stats.batches, kLines / 16);
+  // The memory bound: however slow commit is, at most n_threads + 2
+  // batches may leave the free pool at once.
+  EXPECT_LE(stats.max_in_flight, static_cast<std::size_t>(opts.n_threads) + 2);
+  EXPECT_GT(stats.max_in_flight, 1u) << "parallel path should overlap batches";
+}
+
+TEST(StreamDriverTest, SerialAndParallelCommitIdenticalSequences) {
+  std::string text;
+  for (std::size_t i = 0; i < 500; ++i) {
+    text += std::to_string(i) + "\n";
+    if (i % 7 == 0) text += "# comment\n";
+  }
+
+  struct RecordingFormat {
+    struct Parsed {
+      std::string text;
+    };
+    std::vector<std::string>* order;
+    Parsed parse(std::string_view text, std::size_t) const {
+      return {std::string(text)};
+    }
+    void commit(Parsed&& parsed, std::size_t line_no) {
+      order->push_back(std::to_string(line_no) + ":" + parsed.text);
+    }
+  };
+
+  auto run = [&text](int threads, std::size_t batch_lines) {
+    std::istringstream in(text);
+    std::vector<std::string> order;
+    RecordingFormat format{&order};
+    CountingSink sink;
+    stream::StreamOptions opts;
+    opts.n_threads = threads;
+    opts.batch_lines = batch_lines;
+    opts.chunk_bytes = 64;
+    stream::scan_stream(in, format, sink, " \t", opts);
+    return order;
+  };
+
+  const std::vector<std::string> serial = run(1, 2048);
+  EXPECT_EQ(run(1, 3), serial);
+  EXPECT_EQ(run(4, 3), serial);
+  EXPECT_EQ(run(4, 64), serial);
+  EXPECT_EQ(run(8, 1), serial);
+}
+
+// ------------------------------------------------- load equivalence
+
+TEST(IoStreamTest, StreamedLoadBitIdenticalToMaterialized) {
+  LoadReport base_report;
+  Dataset base = load_materialized(ReadOptions::strict(), &base_report);
+  const std::string want = dataset_fingerprint(base, base_report);
+  ASSERT_FALSE(base.snapshot().certs().empty());
+
+  for (int threads : {1, 4}) {
+    for (std::size_t chunk : {std::size_t{16}, std::size_t{64 * 1024}}) {
+      for (std::size_t batch : {std::size_t{3}, std::size_t{1024}}) {
+        stream::StreamOptions opts;
+        opts.n_threads = threads;
+        opts.chunk_bytes = chunk;
+        opts.batch_lines = batch;
+        LoadReport report;
+        Dataset dataset = load_streamed(opts, ReadOptions::strict(), &report);
+        EXPECT_EQ(dataset_fingerprint(dataset, report), want)
+            << "threads=" << threads << " chunk=" << chunk
+            << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(IoStreamTest, PermissiveStreamedLoadMatchesMaterialized) {
+  // Damage two lines so the permissive accounting paths run too.
+  std::string hosts(kHosts);
+  hosts += "not-an-ip\tc-google\n1.0.0.12\tc-missing\n";
+  auto load = [&hosts](const stream::StreamOptions* opts, LoadReport* report) {
+    std::istringstream rel(kRelationships), org(kOrganizations),
+        pfx(kPrefix2As), certs(kCertificates), hosts_in(hosts);
+    ReadOptions options = ReadOptions::lenient(0.5);
+    return opts == nullptr
+               ? load_dataset(rel, org, pfx, certs, hosts_in,
+                              net::YearMonth(2019, 10), options, report)
+               : load_dataset_stream(rel, org, pfx, certs, hosts_in,
+                                     net::YearMonth(2019, 10), *opts, options,
+                                     report);
+  };
+
+  LoadReport base_report;
+  Dataset base = load(nullptr, &base_report);
+  EXPECT_EQ(base_report.lines_skipped(), 2u);
+  const std::string want = dataset_fingerprint(base, base_report);
+
+  for (int threads : {1, 4}) {
+    stream::StreamOptions opts;
+    opts.n_threads = threads;
+    opts.batch_lines = 2;
+    opts.chunk_bytes = 32;
+    LoadReport report;
+    Dataset dataset = load(&opts, &report);
+    EXPECT_EQ(dataset_fingerprint(dataset, report), want)
+        << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------- CRLF / final-newline policy
+
+TEST(IoStreamTest, CrlfCorpusLoadsIdenticallyToLf) {
+  auto crlfify = [](const char* text) {
+    std::string out;
+    for (const char* p = text; *p != '\0'; ++p) {
+      if (*p == '\n') out += '\r';
+      out += *p;
+    }
+    return out;
+  };
+
+  std::istringstream rel(crlfify(kRelationships)),
+      org(crlfify(kOrganizations)), pfx(crlfify(kPrefix2As)),
+      certs(crlfify(kCertificates)), hosts(crlfify(kHosts));
+  LoadReport report;
+  Dataset dataset = load_dataset(rel, org, pfx, certs, hosts,
+                                 net::YearMonth(2019, 10),
+                                 ReadOptions::strict(), &report);
+  std::istringstream headers(crlfify(kHeaders));
+  dataset.add_headers(headers, ReadOptions::strict(), &report);
+
+  LoadReport base_report;
+  Dataset base = load_materialized(ReadOptions::strict(), &base_report);
+  EXPECT_EQ(dataset_fingerprint(dataset, report),
+            dataset_fingerprint(base, base_report));
+}
+
+TEST(IoStreamTest, MissingFinalNewlineAcceptedAndCounted) {
+  std::string rel_text(kRelationships);
+  ASSERT_EQ(rel_text.back(), '\n');
+  rel_text.pop_back();  // drop the final newline
+
+  std::istringstream in(rel_text);
+  LoadReport report;
+  RelationshipData data = load_as_relationships(in, ReadOptions::strict(),
+                                                &report);
+  EXPECT_EQ(data.graph.as_count(), 6u) << "truncated record still parses";
+  EXPECT_EQ(report.files_missing_final_newline(), 1u);
+  ASSERT_FALSE(report.files.empty());
+  EXPECT_TRUE(report.files[0].missing_final_newline);
+  EXPECT_EQ(metrics_json(report).find("files_missing_final_newline") ==
+                std::string::npos,
+            false);
+  EXPECT_NE(report.summary().find("missing final newline"), std::string::npos);
+}
+
+TEST(IoStreamTest, CleanCorpusExportsNoMissingNewlineMetric) {
+  std::istringstream in(kRelationships);
+  LoadReport report;
+  (void)load_as_relationships(in, ReadOptions::strict(), &report);
+  EXPECT_EQ(report.files_missing_final_newline(), 0u);
+  // The counter must stay absent so clean corpora keep byte-identical
+  // metric exports (and summaries) to pre-policy builds.
+  EXPECT_EQ(metrics_json(report).find("files_missing_final_newline"),
+            std::string::npos);
+  EXPECT_EQ(report.summary().find("missing final newline"),
+            std::string::npos);
+}
+
+TEST(IoStreamTest, DropDataPolicySkipsUnterminatedFinalRecord) {
+  std::string rel_text("100|200|-1\n300|400|-1");  // no final '\n'
+
+  ReadOptions lenient = ReadOptions::lenient(0.9);
+  lenient.final_newline = FinalNewlinePolicy::kDropData;
+  std::istringstream in(rel_text);
+  LoadReport report;
+  RelationshipData data = load_as_relationships(in, lenient, &report);
+  EXPECT_EQ(data.graph.as_count(), 2u) << "only the terminated record loads";
+  EXPECT_EQ(report.lines_skipped(), 1u);
+  ASSERT_FALSE(report.files[0].samples.empty());
+  EXPECT_NE(report.files[0].samples[0].what.find("truncated final line"),
+            std::string::npos);
+
+  ReadOptions strict = ReadOptions::strict();
+  strict.final_newline = FinalNewlinePolicy::kDropData;
+  std::istringstream again(rel_text);
+  try {
+    (void)load_as_relationships(again, strict);
+    FAIL() << "strict kDropData must throw on an unterminated final record";
+  } catch (const LoadError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated final line"),
+              std::string::npos);
+  }
+}
+
+TEST(IoStreamTest, UnterminatedFinalCommentOnlyFlagsTheFile) {
+  std::string rel_text("100|200|-1\n# trailing comment");
+  ReadOptions strict = ReadOptions::strict();
+  strict.final_newline = FinalNewlinePolicy::kDropData;
+  std::istringstream in(rel_text);
+  LoadReport report;
+  RelationshipData data = load_as_relationships(in, strict, &report);
+  EXPECT_EQ(data.graph.as_count(), 2u);
+  EXPECT_EQ(report.lines_skipped(), 0u) << "comments are not data to drop";
+  EXPECT_TRUE(report.files[0].missing_final_newline);
+}
+
+// --------------------------------------------------- early budget abort
+
+TEST(IoStreamTest, ErrorBudgetTripsEarlyOnProvablyBadFile) {
+  // 10k garbage data lines: the final fraction would be 1.0, so a 5%
+  // budget is provably unmeetable long before the end of the file.
+  constexpr std::size_t kLines = 10000;
+  std::string text;
+  for (std::size_t i = 0; i < kLines; ++i) text += "zz\n";
+
+  std::istringstream in(text);
+  LoadReport report;
+  std::string error;
+  try {
+    (void)load_as_relationships(in, ReadOptions::lenient(0.05), &report);
+    FAIL() << "budget must trip";
+  } catch (const LoadError& e) {
+    error = e.what();
+  }
+  ASSERT_FALSE(report.files.empty());
+  const FileReport& file = report.files[0];
+  EXPECT_GT(file.lines_skipped, 0u);
+  EXPECT_LT(file.lines_skipped, kLines / 2)
+      << "abort must come well before the end of the input";
+  EXPECT_NE(error.find("error budget exceeded in relationships"),
+            std::string::npos);
+}
+
+TEST(IoStreamTest, EarlyAbortMessageIdenticalAtAnyThreadCount) {
+  // A mixed file: enough garbage to blow a small budget part-way in.
+  // Appended piecewise: `const char* + std::to_string(...)` trips a GCC
+  // 12 -Wrestrict false positive at -O2 (see io/corruption.cpp).
+  std::string certs_text;
+  for (std::size_t i = 0; i < 400; ++i) {
+    if (i % 3 == 0) {
+      certs_text += "garbage line ";
+      certs_text += std::to_string(i);
+      certs_text += '\n';
+    } else {
+      certs_text += 'c';
+      certs_text += std::to_string(i);
+      certs_text += "\tOrg\t2019-01-01\t2022-01-01\ttrusted\ta.example\n";
+    }
+  }
+
+  auto run = [&certs_text](const stream::StreamOptions& opts) {
+    std::istringstream rel(kRelationships), org(kOrganizations),
+        pfx(kPrefix2As), certs(certs_text), hosts("");
+    LoadReport report;
+    try {
+      (void)load_dataset_stream(rel, org, pfx, certs, hosts,
+                                net::YearMonth(2019, 10), opts,
+                                ReadOptions::lenient(0.05), &report);
+      return std::string("no error");
+    } catch (const LoadError& e) {
+      const FileReport* file = report.find("certificates");
+      return std::string(e.what()) + " | skipped=" +
+             std::to_string(file != nullptr ? file->lines_skipped : 0);
+    }
+  };
+
+  stream::StreamOptions serial;
+  const std::string want = run(serial);
+  EXPECT_NE(want.find("error budget exceeded in certificates"),
+            std::string::npos);
+
+  for (int threads : {2, 4, 8}) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{7},
+                              std::size_t{512}}) {
+      stream::StreamOptions opts;
+      opts.n_threads = threads;
+      opts.batch_lines = batch;
+      opts.chunk_bytes = 128;
+      EXPECT_EQ(run(opts), want) << "threads=" << threads
+                                 << " batch=" << batch;
+    }
+  }
+}
+
+TEST(IoStreamTest, ZeroBudgetTripsOnFirstErrorEvenUnseekable) {
+  // A non-seekable stream loses the lookahead bound, but a zero budget
+  // needs none: the first skip is already fatal.
+  class NoSeekBuf : public std::stringbuf {
+   public:
+    explicit NoSeekBuf(const std::string& text) : std::stringbuf(text) {}
+
+   protected:
+    std::streampos seekoff(std::streamoff, std::ios_base::seekdir,
+                           std::ios_base::openmode) override {
+      return std::streampos(std::streamoff(-1));
+    }
+  };
+
+  NoSeekBuf buf("100|200|-1\ngarbage\n100|300|-1\n");
+  std::istream in(&buf);
+  LoadReport report;
+  EXPECT_THROW(
+      (void)load_as_relationships(in, ReadOptions::lenient(0.0), &report),
+      LoadError);
+  ASSERT_FALSE(report.files.empty());
+  EXPECT_EQ(report.files[0].lines_ok, 1u) << "aborted at the bad line";
+}
+
+// ------------------------------------------- record-indexed corruption
+
+TEST(CorruptionStreamTest, RecordIndexedDamageMatchesWholeBufferDamage) {
+  std::string text;
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i % 11 == 0) text += "# comment " + std::to_string(i) + "\n";
+    text += "1.0." + std::to_string(i) + ".0\t24\t" + std::to_string(i) +
+            "\n";
+  }
+
+  CorruptionConfig config;
+  config.intensity = 0.3;
+  CorruptionInjector injector(config);
+  CorruptionSummary summary;
+  const std::string whole =
+      injector.corrupt(text, InputKind::kPrefix2As, &summary);
+  EXPECT_GT(summary.corrupted_lines, 0u);
+
+  // Re-apply line by line through corrupt_record, tracking the running
+  // data-record index exactly as a streaming consumer would — in several
+  // different "chunkings" (which must not matter, since each decision
+  // depends only on the record index).
+  for (std::size_t chunk_lines : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000}}) {
+    std::string rebuilt;
+    std::size_t record = 0;
+    std::size_t start = 0;
+    std::size_t lines_in_chunk = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      std::string_view line(text.data() + start, end - start);
+      bool is_data = !line.empty() && line[0] != '#';
+      if (is_data) {
+        if (auto damaged =
+                injector.corrupt_record(line, InputKind::kPrefix2As, record)) {
+          rebuilt += *damaged;
+        } else {
+          rebuilt += line;
+        }
+        ++record;
+      } else {
+        rebuilt += line;
+      }
+      rebuilt += '\n';
+      start = end + 1;
+      if (++lines_in_chunk == chunk_lines) lines_in_chunk = 0;  // chunk seam
+    }
+    EXPECT_EQ(rebuilt, whole) << "chunk_lines=" << chunk_lines;
+  }
+}
+
+TEST(CorruptionStreamTest, RecordDecisionIndependentOfNeighbors) {
+  CorruptionInjector injector({.seed = 7, .intensity = 0.5});
+  const std::string_view line = "1.2.3.0\t24\t65000";
+  auto first = injector.corrupt_record(line, InputKind::kPrefix2As, 42);
+  // The same (line, input, index) must decide identically regardless of
+  // what was processed before — call again after unrelated work.
+  (void)injector.corrupt_record("9.9.9.0\t24\t1", InputKind::kPrefix2As, 0);
+  auto second = injector.corrupt_record(line, InputKind::kPrefix2As, 42);
+  EXPECT_EQ(first.has_value(), second.has_value());
+  if (first.has_value()) {
+    EXPECT_EQ(*first, *second);
+  }
+}
+
+// ------------------------------------------------------- arena/interner
+
+TEST(ArenaTest, StoredViewsStayValidAcrossGrowth) {
+  stream::Arena arena(64);  // tiny chunks force many allocations
+  std::vector<std::string_view> views;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    views.push_back(arena.store("value-" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], "value-" + std::to_string(i));
+  }
+  EXPECT_GE(arena.bytes_allocated(), arena.bytes_stored());
+}
+
+TEST(StringInternerTest, DenseFirstSeenIds) {
+  stream::StringInterner interner;
+  EXPECT_EQ(interner.intern("a"), 0u);
+  EXPECT_EQ(interner.intern("b"), 1u);
+  EXPECT_EQ(interner.intern("a"), 0u) << "re-interning returns the same id";
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.text(1), "b");
+  EXPECT_FALSE(interner.find("missing").has_value());
+  ASSERT_TRUE(interner.find("b").has_value());
+  EXPECT_EQ(*interner.find("b"), 1u);
+}
+
+}  // namespace
+}  // namespace offnet::io

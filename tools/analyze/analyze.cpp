@@ -108,6 +108,12 @@ int layer_of(std::string_view rel) {
     return -2;
   }
   if (dir == "net" || dir == "obs") return 1;
+  // The streaming ingestion engine (DESIGN.md §14) is declared
+  // explicitly rather than inherited from src/io/: it sits *below* the
+  // loaders (which include it) but may reach only layer-0/1 primitives
+  // (core/mutex, io/report) itself, and spelling it out keeps a future
+  // reshuffle of src/io from silently undeclaring it.
+  if (rel.substr(0, 14) == "src/io/stream/") return 2;
   if (dir == "io" || dir == "tls" || dir == "dns" || dir == "http" ||
       dir == "bgp" || dir == "topology") {
     return 2;

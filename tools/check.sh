@@ -25,10 +25,13 @@
 #                 without --delta and require byte-identical reports
 #                 and metrics (modulo the delta/* counters themselves,
 #                 which must be thread-count independent and nonzero)
+#   7b. stream    run `series` with and without --stream (1 and 4
+#                 threads) and require byte-identical reports and
+#                 timing-stripped metrics
 #   8. offnetd    serve the exported data, query it (including one
 #                 malformed request), SIGTERM, require a clean drain
-#   9. TSan       rebuild svc_test and delta_test with
-#                 -fsanitize=thread and rerun both suites under the
+#   9. TSan       rebuild svc_test, delta_test, and io_stream_test with
+#                 -fsanitize=thread and rerun the suites under the
 #                 sanitizer
 #  10. ASan/UBSan rebuild offnet_analyze + offnet_lint with
 #                 -fsanitize=address,undefined and rerun them over the
@@ -204,6 +207,37 @@ if ! grep -q '"delta/hits": [1-9]' "$delta_dir/delta-metrics.json"; then
 fi
 echo "delta smoke OK: byte-identical to full recompute, cache hit"
 
+step "streaming smoke (series --stream vs default load)"
+# The streaming ingestion engine (DESIGN.md §14) promises bit-identical
+# results at any thread count: same reports, same metrics (once the
+# wall-clock timing section is stripped), for the same corpus. Reuses
+# the delta smoke's export.
+stream_dir="$build_dir/stream-smoke"
+rm -rf "$stream_dir"
+mkdir -p "$stream_dir"
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" \
+    --metrics-out "$stream_dir/base-metrics.json" > "$stream_dir/base.txt"
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" --stream \
+    --metrics-out "$stream_dir/s1-metrics.json" > "$stream_dir/s1.txt"
+"$build_dir/tools/offnet_cli" series --root "$delta_dir/data" --stream \
+    --threads 4 \
+    --metrics-out "$stream_dir/s4-metrics.json" > "$stream_dir/s4.txt"
+for variant in s1 s4; do
+  if ! cmp -s "$stream_dir/base.txt" "$stream_dir/$variant.txt"; then
+    echo "check.sh: streaming smoke FAILED: --stream ($variant) report differs" >&2
+    diff "$stream_dir/base.txt" "$stream_dir/$variant.txt" >&2 || true
+    exit 1
+  fi
+  sed '/"timing"/,$d' "$stream_dir/base-metrics.json" > "$stream_dir/base.det"
+  sed '/"timing"/,$d' "$stream_dir/$variant-metrics.json" > "$stream_dir/$variant.det"
+  if ! cmp -s "$stream_dir/base.det" "$stream_dir/$variant.det"; then
+    echo "check.sh: streaming smoke FAILED: --stream ($variant) metrics differ" >&2
+    diff "$stream_dir/base.det" "$stream_dir/$variant.det" >&2 || true
+    exit 1
+  fi
+done
+echo "streaming smoke OK: --stream byte-identical at 1 and 4 threads"
+
 step "offnetd smoke (serve, query, malformed request, SIGTERM drain)"
 # Start the daemon over the metrics-smoke export, wait for its READY
 # line, query it through `offnet_cli query` (including one deliberately
@@ -273,19 +307,21 @@ grep -q 'svc/requests' "$svc_dir/metrics.json" || {
 }
 echo "offnetd smoke OK: served, survived malformed input, drained cleanly"
 
-step "TSan leg (svc_test + delta_test under -fsanitize=thread)"
+step "TSan leg (svc_test + delta_test + io_stream_test under -fsanitize=thread)"
 # The concurrency half of the proofs: svc_test (concurrent pin/publish,
-# queries racing reloads, drain) and delta_test (sharded probes against
-# the frozen cache at several thread counts) rebuilt with
+# queries racing reloads, drain), delta_test (sharded probes against
+# the frozen cache at several thread counts), and io_stream_test (the
+# bounded ring + streaming parse workers) rebuilt with
 # OFFNET_SANITIZE=thread so TSan watches the locking.
 tsan_dir="$build_dir-tsan"
 cmake -S "$repo_root" -B "$tsan_dir" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DOFFNET_SANITIZE=thread > /dev/null
 cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-      --target svc_test --target delta_test
+      --target svc_test --target delta_test --target io_stream_test
 "$tsan_dir/tests/svc_test"
 "$tsan_dir/tests/delta_test"
+"$tsan_dir/tests/io_stream_test"
 
 step "ASan/UBSan leg (offnet_analyze over the real tree)"
 # The analyzer parses every repo source with hand-rolled index

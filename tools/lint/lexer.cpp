@@ -54,7 +54,11 @@ Stripped strip(std::string_view text) {
             // R"delim( ... )delim"
             std::size_t paren = text.find('(', i + 1);
             if (paren == std::string_view::npos) break;
-            raw_delim = ")";
+            // clear + push_back, not `raw_delim = ")"`: GCC 12
+            // -Wrestrict misfires on the inlined const char*
+            // assignment path at -O2 (same as io/corruption.cpp).
+            raw_delim.clear();
+            raw_delim.push_back(')');
             raw_delim += text.substr(i + 1, paren - i - 1);
             raw_delim += '"';
             state = State::kRawString;

@@ -75,7 +75,10 @@ Args parse_args(int argc, char** argv) {
     if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
       args.options[key] = argv[++i];
     } else {
-      args.options[key] = "1";
+      // assign(1, '1'), not `= "1"`: GCC 12 -Wrestrict misfires on the
+      // inlined const char* assignment path at -O2 (same as
+      // io/corruption.cpp).
+      args.options[key].assign(1, '1');
     }
   }
   return args;
