@@ -16,7 +16,7 @@
 
 #include "bench_common.h"
 #include "core/delta_cache.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 
@@ -298,7 +298,7 @@ int main() {
         fs::temp_directory_path() / "offnet-bench-ingest";
     fs::remove_all(corpus);
     fs::create_directories(corpus);
-    io::export_dataset_to_dir(world, snap, corpus.string());
+    scan::export_dataset_to_dir(world, snap, corpus.string());
     constexpr std::size_t kAmplify = 4;
     amplify_file(corpus / "certificates.tsv", AmplifyKind::kCertificates,
                  kAmplify);

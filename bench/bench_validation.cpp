@@ -7,6 +7,7 @@
 // §4.3 containment-rule ablation.
 #include "analysis/validation.h"
 #include "dns/baselines.h"
+#include "scan/dns_view.h"
 #include "core/known_headers.h"
 #include "bench_common.h"
 #include "core/longitudinal.h"
@@ -83,9 +84,10 @@ int main() {
   for (const Earlier& s : studies) {
     auto t = net::snapshot_index(s.month).value();
     int hg_idx = hg::profile_index(world.profiles(), s.hg);
+    scan::WorldDnsView dns_view(world);
     std::vector<topo::AsId> baseline =
-        s.ecs ? dns::EcsMapper(world, hg_idx).map_footprint(t)
-              : dns::PatternEnumerator(world, hg_idx).map_footprint(t);
+        s.ecs ? dns::EcsMapper(dns_view, hg_idx).map_footprint(t)
+              : dns::PatternEnumerator(dns_view, hg_idx).map_footprint(t);
     // Netflix needs the longitudinal HTTP-recovery state (§6.2); run a
     // short window ending at the comparison snapshot.
     core::SnapshotResult r;

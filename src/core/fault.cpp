@@ -1,15 +1,55 @@
 #include "core/fault.h"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
 
 namespace offnet::core {
+
+std::string errno_name(int error) {
+  switch (error) {
+    case ENOSPC:
+      return "ENOSPC";
+    case EIO:
+      return "EIO";
+    case EMFILE:
+      return "EMFILE";
+    case EINTR:
+      return "EINTR";
+    default:
+      return "errno-" + std::to_string(error);
+  }
+}
+
+int errno_from_name(std::string_view name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EMFILE") return EMFILE;
+  if (name == "EINTR") return EINTR;
+  return 0;
+}
 
 FaultInjector& FaultInjector::fail_at(std::string_view stage,
                                       std::size_t occurrence, bool abort) {
   if (occurrence == 0) {
     throw std::invalid_argument("fault occurrences are 1-based");
   }
-  points_[std::string(stage)].push_back({occurrence, abort});
+  MutexLock lock(mutex_);
+  points_[std::string(stage)].push_back({occurrence, abort, 0});
+  return *this;
+}
+
+FaultInjector& FaultInjector::fail_with_errno(std::string_view stage,
+                                              std::size_t occurrence,
+                                              int error) {
+  if (occurrence == 0) {
+    throw std::invalid_argument("fault occurrences are 1-based");
+  }
+  if (error <= 0) {
+    throw std::invalid_argument("injected errno must be positive");
+  }
+  MutexLock lock(mutex_);
+  points_[std::string(stage)].push_back({occurrence, false, error});
   return *this;
 }
 
@@ -18,25 +58,27 @@ FaultInjector& FaultInjector::fail_randomly(std::string_view stage, double p,
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("fault probability must be in [0, 1]");
   }
+  MutexLock lock(mutex_);
   // Non-zero xorshift state, derived from the seed alone.
   random_[std::string(stage)] = {p, seed * 2654435761u + 1u};
   return *this;
 }
 
-void FaultInjector::on(std::string_view stage) {
+FaultInjector::Fired FaultInjector::evaluate(std::string_view stage) {
+  MutexLock lock(mutex_);
   auto count_it = counts_.find(stage);
   if (count_it == counts_.end()) {
     count_it = counts_.emplace(std::string(stage), 0).first;
   }
-  const std::size_t crossing = ++count_it->second;
+  Fired fired;
+  fired.crossing = ++count_it->second;
 
-  bool fire = false;
-  bool abort = false;
   if (auto it = points_.find(stage); it != points_.end()) {
     for (const Point& point : it->second) {
-      if (point.occurrence == crossing) {
-        fire = true;
-        abort = abort || point.abort;
+      if (point.occurrence == fired.crossing) {
+        fired.fire = true;
+        fired.abort = fired.abort || point.abort;
+        if (point.error != 0) fired.error = point.error;
       }
     }
   }
@@ -48,17 +90,96 @@ void FaultInjector::on(std::string_view stage) {
     plan.state ^= plan.state << 17;
     const double draw =
         static_cast<double>(plan.state >> 11) / 9007199254740992.0;
-    if (draw < plan.probability) fire = true;
+    if (draw < plan.probability) fired.fire = true;
   }
-  if (!fire) return;
-  if (abort) std::_Exit(kAbortExitCode);
+  return fired;
+}
+
+void FaultInjector::on(std::string_view stage) {
+  const Fired fired = evaluate(stage);
+  if (!fired.fire) return;
+  if (fired.abort) std::_Exit(kAbortExitCode);
+  if (fired.error != 0) {
+    // A control-flow boundary has no errno to return; resource
+    // exhaustion degrades to a recoverable injected failure that names
+    // the class it simulated.
+    throw InjectedFault("injected " + errno_name(fired.error) +
+                        " at stage '" + std::string(stage) + "' (crossing " +
+                        std::to_string(fired.crossing) + ")");
+  }
   throw InjectedFault("injected fault at stage '" + std::string(stage) +
-                      "' (crossing " + std::to_string(crossing) + ")");
+                      "' (crossing " + std::to_string(fired.crossing) + ")");
+}
+
+SysResult FaultInjector::on_sys(std::string_view stage) {
+  const Fired fired = evaluate(stage);
+  if (!fired.fire) return SysResult::success();
+  if (fired.abort) std::_Exit(kAbortExitCode);
+  if (fired.error != 0) return SysResult::failure(fired.error);
+  throw InjectedFault("injected fault at stage '" + std::string(stage) +
+                      "' (crossing " + std::to_string(fired.crossing) + ")");
 }
 
 std::size_t FaultInjector::occurrences(std::string_view stage) const {
+  MutexLock lock(mutex_);
   auto it = counts_.find(stage);
   return it == counts_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::size_t> FaultInjector::occurrence_counts() const {
+  MutexLock lock(mutex_);
+  return {counts_.begin(), counts_.end()};
+}
+
+void arm_fault_spec(FaultInjector& faults, std::string_view spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string_view::npos ? first : spec.find(':', first + 1);
+  if (second == std::string_view::npos) {
+    throw std::invalid_argument("fault spec '" + std::string(spec) +
+                                "' is not STAGE:OCCURRENCE:MODE");
+  }
+  const std::string_view stage = spec.substr(0, first);
+  const std::string occurrence_text(
+      spec.substr(first + 1, second - first - 1));
+  const std::string_view mode = spec.substr(second + 1);
+  char* end = nullptr;
+  const unsigned long long occurrence =
+      std::strtoull(occurrence_text.c_str(), &end, 10);
+  if (stage.empty() || end == occurrence_text.c_str() || *end != '\0' ||
+      occurrence == 0) {
+    throw std::invalid_argument("fault spec '" + std::string(spec) +
+                                "' needs a 1-based occurrence");
+  }
+  if (mode == "throw") {
+    faults.fail_at(stage, occurrence);
+  } else if (mode == "abort") {
+    faults.fail_at(stage, occurrence, /*abort=*/true);
+  } else if (const int error = errno_from_name(mode); error != 0) {
+    faults.fail_with_errno(stage, occurrence, error);
+  } else {
+    throw std::invalid_argument(
+        "fault spec '" + std::string(spec) +
+        "' mode must be throw, abort, ENOSPC, EIO, EMFILE, or EINTR");
+  }
+}
+
+namespace {
+std::atomic<FaultInjector*> g_sys_faults{nullptr};
+}  // namespace
+
+void install_sys_fault_injector(FaultInjector* injector) {
+  g_sys_faults.store(injector, std::memory_order_release);
+}
+
+FaultInjector* sys_fault_injector() {
+  return g_sys_faults.load(std::memory_order_acquire);
+}
+
+SysResult sys_fault(const char* stage) {
+  FaultInjector* faults = g_sys_faults.load(std::memory_order_acquire);
+  if (faults == nullptr) return SysResult::success();
+  return faults->on_sys(stage);
 }
 
 }  // namespace offnet::core

@@ -8,19 +8,25 @@
 #include <string_view>
 #include <vector>
 
-/// Deterministic control-flow fault injection for the supervised
-/// longitudinal runner — the control-flow counterpart of
+#include "core/mutex.h"
+
+/// Deterministic fault injection — the control-flow counterpart of
 /// io::CorruptionInjector's data faults. A FaultInjector carries an
-/// explicit plan of (stage, occurrence) points; the runner calls on()
-/// at each named stage boundary, and the plan decides whether that
-/// particular crossing throws an InjectedFault (recoverable — drives
-/// the retry/quarantine paths) or hard-kills the process (abort — the
-/// crash half of the crash/resume tests). The same plan against the
-/// same run faults at exactly the same points, independent of thread
-/// count, so recovery tests are reproducible.
+/// explicit plan of (stage, occurrence) points; instrumented code calls
+/// on() or on_sys() at each named stage boundary, and the plan decides
+/// whether that particular crossing throws an InjectedFault (recoverable
+/// — drives the retry/quarantine paths), hard-kills the process (abort —
+/// the crash half of the crash/resume tests), or reports an injected
+/// errno (on_sys only — the resource-exhaustion half: full disk, fd
+/// exhaustion, interrupted syscalls). The same plan against the same run
+/// faults at exactly the same points, independent of thread count, so
+/// recovery tests are reproducible, and offnet_chaos can sweep the whole
+/// (stage × occurrence × mode) space cell by cell.
 namespace offnet::core {
 
-/// The stage boundaries run_supervised and Checkpoint::save expose.
+/// The stage boundaries instrumented code exposes. Every constant here
+/// must appear in offnet_chaos's sweep table (the fault-stage-unswept
+/// analyze rule and a static_assert in the tool both enforce it).
 namespace fault_stage {
 inline constexpr const char* kFeed = "feed";
 inline constexpr const char* kPipeline = "pipeline";
@@ -30,6 +36,28 @@ inline constexpr const char* kArtifactRename = "artifact-rename";
 /// candidate snapshot is published: a throwing fault here must leave the
 /// previous version serving.
 inline constexpr const char* kSvcReload = "svc-reload";
+/// io::AtomicFile::commit, before the flushed stream is checked: an
+/// injected errno here is a write that hit a full disk.
+inline constexpr const char* kAtomicWrite = "atomic-write";
+/// io::AtomicFile::commit, before the data fsync: a lost write that only
+/// surfaces when durability is demanded.
+inline constexpr const char* kAtomicFsync = "atomic-fsync";
+/// io::stream::LineReader::fill, before each chunk read from the stream.
+inline constexpr const char* kStreamRead = "stream-read";
+/// svc::Listener::accept_with_timeout, after poll says readable and
+/// before ::accept — EMFILE lives here.
+inline constexpr const char* kSvcAccept = "svc-accept";
+/// svc::Stream::read_line, after poll and before each ::recv.
+inline constexpr const char* kSvcRead = "svc-read";
+/// svc::Stream::write_all, after poll and before each ::send.
+inline constexpr const char* kSvcWrite = "svc-write";
+
+/// Every registered stage, in sweep order; offnet_chaos enumerates this
+/// and its --fault-counts dump reports exactly these names.
+inline constexpr const char* kAllStages[] = {
+    kFeed,        kPipeline,   kCheckpointWrite, kArtifactRename,
+    kSvcReload,   kAtomicWrite, kAtomicFsync,    kStreamRead,
+    kSvcAccept,   kSvcRead,    kSvcWrite};
 }  // namespace fault_stage
 
 /// The exception a throwing fault point raises. Deliberately a plain
@@ -40,6 +68,26 @@ class InjectedFault : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Outcome of a syscall-level fault seam: success, or the errno the plan
+/// injected. Instrumented code converts a failure into the exact error
+/// path a real syscall failure would take (IoError, dropped connection,
+/// EINTR retry), so the sweep exercises production error handling, not
+/// injection-only shortcuts.
+struct SysResult {
+  int error = 0;  // 0 = ok, else an errno value (ENOSPC, EIO, ...)
+  bool ok() const { return error == 0; }
+  static SysResult success() { return {}; }
+  static SysResult failure(int err) { return {err}; }
+};
+
+/// Spells the errno classes the plan understands ("ENOSPC", "EIO",
+/// "EMFILE", "EINTR"); anything else renders as "errno-N" so injected
+/// error messages stay deterministic across libc flavors.
+std::string errno_name(int error);
+
+/// Inverse of errno_name for the sanctioned classes; 0 when unknown.
+int errno_from_name(std::string_view name);
+
 class FaultInjector {
  public:
   /// The exit status an abort-mode fault kills the process with
@@ -48,6 +96,8 @@ class FaultInjector {
   static constexpr int kAbortExitCode = 70;
 
   FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Arms the `occurrence`-th crossing (1-based) of `stage`: it throws
   /// InjectedFault, or with abort=true exits the process. Multiple
@@ -56,32 +106,100 @@ class FaultInjector {
   FaultInjector& fail_at(std::string_view stage, std::size_t occurrence,
                          bool abort = false);
 
+  /// Arms the `occurrence`-th crossing of `stage` with an injected
+  /// errno. At an on_sys() seam the crossing reports the errno exactly
+  /// as the underlying syscall would; at a control-flow on() boundary it
+  /// degrades to an InjectedFault naming the errno (resource exhaustion
+  /// surfacing as a recoverable snapshot failure).
+  FaultInjector& fail_with_errno(std::string_view stage,
+                                 std::size_t occurrence, int error);
+
   /// Seeded probabilistic plan: every crossing of `stage` faults with
   /// probability `p`, drawn from a private xorshift stream — the same
   /// seed always faults the same crossings.
   FaultInjector& fail_randomly(std::string_view stage, double p,
                                std::uint64_t seed);
 
-  /// Called by instrumented code at a stage boundary. Counts the
-  /// crossing, then faults if the plan says so.
+  /// Called by instrumented code at a control-flow stage boundary.
+  /// Counts the crossing, then faults if the plan says so (errno points
+  /// throw InjectedFault naming the errno).
   void on(std::string_view stage);
+
+  /// Called by instrumented code at a syscall seam. Counts the crossing;
+  /// an armed errno point returns it as a failure for the caller to
+  /// handle like the real syscall error, throw/abort points behave as in
+  /// on(). Unarmed crossings return success.
+  SysResult on_sys(std::string_view stage);
 
   /// How often `stage` has been crossed so far.
   std::size_t occurrences(std::string_view stage) const;
+
+  /// All crossing counts seen so far, for the --fault-counts dry-run
+  /// dump offnet_chaos uses to discover each stage's occurrence space.
+  std::map<std::string, std::size_t> occurrence_counts() const;
 
  private:
   struct Point {
     std::size_t occurrence = 0;
     bool abort = false;
+    int error = 0;  // nonzero selects errno mode
   };
   struct RandomPlan {
     double probability = 0.0;
     std::uint64_t state = 0;
   };
+  struct Fired {
+    bool fire = false;
+    bool abort = false;
+    int error = 0;
+    std::size_t crossing = 0;
+  };
 
-  std::map<std::string, std::vector<Point>, std::less<>> points_;
-  std::map<std::string, RandomPlan, std::less<>> random_;
-  std::map<std::string, std::size_t, std::less<>> counts_;
+  /// Counts the crossing and evaluates the plan under the lock; the
+  /// caller raises/returns outside it (never throw while holding it).
+  Fired evaluate(std::string_view stage);
+
+  /// Seams are crossed from the accept thread, svc workers, and pipeline
+  /// threads at once; the plan itself must not be the race.
+  mutable Mutex mutex_;
+  std::map<std::string, std::vector<Point>, std::less<>> points_
+      OFFNET_GUARDED_BY(mutex_);
+  std::map<std::string, RandomPlan, std::less<>> random_
+      OFFNET_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t, std::less<>> counts_
+      OFFNET_GUARDED_BY(mutex_);
+};
+
+/// Parses "STAGE:OCCURRENCE:MODE" (MODE ∈ throw | abort | ENOSPC | EIO |
+/// EMFILE | EINTR) and arms that point — the spec grammar behind the
+/// --fail-at flag on offnet_cli and offnetd, and the cell encoding
+/// offnet_chaos emits. Throws std::invalid_argument on a malformed spec.
+void arm_fault_spec(FaultInjector& faults, std::string_view spec);
+
+/// The process-wide syscall-fault seam. Production code never installs
+/// an injector — sys_fault() then reports success without counting; the
+/// --fail-at/--fault-counts flags and tests install one so the io/svc
+/// seams consult the same plan the supervisor was handed, without
+/// threading an injector through every layer ("no global interposition"
+/// means no LD_PRELOAD tricks; this is an explicit, in-process seam).
+/// Not thread-safe against concurrent install; install before the
+/// workload starts and uninstall after it drains.
+void install_sys_fault_injector(FaultInjector* injector);
+FaultInjector* sys_fault_injector();
+
+/// What the instrumented layers call: crosses `stage` on the installed
+/// injector, or reports success when none is installed.
+SysResult sys_fault(const char* stage);
+
+/// RAII install/uninstall for tests.
+class ScopedSysFaultInjector {
+ public:
+  explicit ScopedSysFaultInjector(FaultInjector& faults) {
+    install_sys_fault_injector(&faults);
+  }
+  ~ScopedSysFaultInjector() { install_sys_fault_injector(nullptr); }
+  ScopedSysFaultInjector(const ScopedSysFaultInjector&) = delete;
+  ScopedSysFaultInjector& operator=(const ScopedSysFaultInjector&) = delete;
 };
 
 }  // namespace offnet::core

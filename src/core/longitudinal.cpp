@@ -300,7 +300,17 @@ std::vector<SnapshotResult> LongitudinalRunner::run_supervised(
         result = compute_loaded_snapshot(
             std::move(input), t, netflix_ips,
             metrics != nullptr ? &scratch : nullptr);
-        done = true;
+        // A corrupt feed spends the retry budget too: a transient read
+        // fault (EIO mid-load) looks exactly like on-disk corruption to
+        // the loader, and only a re-read can tell them apart. The last
+        // attempt accepts the degraded classification — persistent
+        // corruption stays kCorrupt, never kQuarantined.
+        if (result.health == SnapshotHealth::kCorrupt &&
+            attempt < supervisor.max_retries) {
+          last_error = "corrupt feed";
+        } else {
+          done = true;
+        }
       } catch (const std::exception& e) {
         last_error = e.what();
       } catch (...) {

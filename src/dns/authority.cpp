@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "net/date.h"
 #include "net/rng.h"
 
 namespace offnet::dns {
@@ -40,30 +41,28 @@ std::string airport_code(const topo::Topology& topology, topo::AsId as) {
   return code + std::to_string(slot);
 }
 
-HgAuthority::HgAuthority(const scan::World& world, int hg)
+HgAuthority::HgAuthority(const WorldView& world, int hg)
     : world_(world), hg_(hg) {}
 
 const HgAuthority::Cache& HgAuthority::cache(std::size_t snapshot) const {
   if (cache_.snapshot != snapshot) {
     Cache fresh;
     fresh.snapshot = snapshot;
-    for (const hg::ServerRecord& rec :
-         world_.fleet().snapshot_fleet(snapshot)) {
-      if (rec.hg != hg_) continue;
-      if (rec.role == hg::ServerRole::kOnNet) {
-        if (fresh.onnets.size() < 8) fresh.onnets.push_back(rec.ip);
-      } else if (rec.role == hg::ServerRole::kOffNet) {
-        auto& ips = fresh.offnets[rec.as];
-        if (ips.size() < 3) ips.push_back(rec.ip);
+    world_.for_each_server(snapshot, hg_, [&](const ServerView& server) {
+      if (!server.offnet) {
+        if (fresh.onnets.size() < 8) fresh.onnets.push_back(server.ip);
+      } else {
+        auto& ips = fresh.offnets[server.as];
+        if (ips.size() < 3) ips.push_back(server.ip);
       }
-    }
+    });
     cache_ = std::move(fresh);
   }
   return cache_;
 }
 
 bool HgAuthority::in_domains(std::string_view hostname) const {
-  for (const std::string& domain : world_.profiles()[hg_].domains) {
+  for (const std::string& domain : world_.profile(hg_).domains) {
     if (hostname == domain) return true;
     if (hostname.size() > domain.size() + 1 &&
         hostname.substr(hostname.size() - domain.size()) == domain &&
@@ -75,7 +74,7 @@ bool HgAuthority::in_domains(std::string_view hostname) const {
 }
 
 bool HgAuthority::ecs_usable(std::size_t snapshot) const {
-  const hg::HgProfile& p = world_.profiles()[hg_];
+  const HgView p = world_.profile(hg_);
   // Only some HGs ever honoured ECS (§1: "many HGs do not support ECS").
   if (p.name != "Google" && p.name != "Akamai") return false;
   if (p.name == "Google" &&
@@ -91,7 +90,7 @@ HgAuthority::Response HgAuthority::resolve_ecs(std::string_view hostname,
   Response response;
   if (!in_domains(hostname)) return response;  // NXDOMAIN
 
-  const hg::HgProfile& p = world_.profiles()[hg_];
+  const HgView p = world_.profile(hg_);
   const Cache& state = cache(snapshot);
   auto onnet_answer = [&]() {
     // The default: an on-net front end.
@@ -140,10 +139,10 @@ HgAuthority::Response HgAuthority::resolve_ecs(std::string_view hostname,
   return response;
 }
 
-std::string HgAuthority::server_hostname(const hg::ServerRecord& server,
+std::string HgAuthority::server_hostname(const ServerView& server,
                                          std::size_t snapshot) const {
-  if (server.hg != hg_ || server.role != hg::ServerRole::kOffNet) return {};
-  const hg::HgProfile& p = world_.profiles()[hg_];
+  if (!server.offnet) return {};
+  const HgView p = world_.profile(hg_);
   const topo::Topology& topology = world_.topology();
 
   std::string suffix;
@@ -158,7 +157,7 @@ std::string HgAuthority::server_hostname(const hg::ServerRecord& server,
     return "edge-" + std::to_string(topology.as(server.as).asn) + suffix;
   }
   // "<code><k>" where k is the AS's rank among same-code hosts.
-  const auto& hosts = world_.plan().at(snapshot, hg_).confirmed;
+  const auto hosts = world_.confirmed_hosts(snapshot, hg_);
   std::string code = airport_code(topology, server.as);
   int k = 0;
   for (topo::AsId as : hosts) {
@@ -173,7 +172,7 @@ std::string HgAuthority::server_hostname(const hg::ServerRecord& server,
 HgAuthority::Response HgAuthority::resolve_name(std::string_view hostname,
                                                 std::size_t snapshot) const {
   Response response;
-  const hg::HgProfile& p = world_.profiles()[hg_];
+  const HgView p = world_.profile(hg_);
   std::string_view suffix;
   if (p.name == "Facebook") {
     suffix = ".fna.fbcdn.net";
@@ -189,7 +188,7 @@ HgAuthority::Response HgAuthority::resolve_name(std::string_view hostname,
   std::string_view label = hostname.substr(0, hostname.size() - suffix.size());
 
   const topo::Topology& topology = world_.topology();
-  const auto& hosts = world_.plan().at(snapshot, hg_).confirmed;
+  const auto hosts = world_.confirmed_hosts(snapshot, hg_);
   topo::AsId target = topo::kNoAs;
   if (label.substr(0, 5) == "edge-") {
     // Non-standard direct names resolve too — if you know them.

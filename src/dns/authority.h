@@ -5,8 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dns/world_view.h"
 #include "net/prefix.h"
-#include "scan/world.h"
 
 /// A DNS control-plane simulation for the earlier mapping techniques the
 /// paper compares against (§1, §5): EDNS Client-Subnet redirection
@@ -20,7 +20,9 @@ namespace offnet::dns {
 /// provider in whose customer cone the client sits, else an on-net.
 class HgAuthority {
  public:
-  HgAuthority(const scan::World& world, int hg);
+  /// `world` must outlive the authority (it is a facade over the
+  /// simulation; see scan::WorldDnsView).
+  HgAuthority(const WorldView& world, int hg);
 
   struct Response {
     std::vector<net::IPv4> addresses;
@@ -36,9 +38,10 @@ class HgAuthority {
   Response resolve_name(std::string_view hostname,
                         std::size_t snapshot) const;
 
-  /// The naming-scheme hostname of an off-net server (empty when the HG
-  /// has no per-server naming convention or the server opted out of it).
-  std::string server_hostname(const hg::ServerRecord& server,
+  /// The naming-scheme hostname of an off-net server of this HG (empty
+  /// when the HG has no per-server naming convention or the server
+  /// opted out of it).
+  std::string server_hostname(const ServerView& server,
                               std::size_t snapshot) const;
 
   /// Whether this HG's authority honours ECS at this point of the study
@@ -58,7 +61,7 @@ class HgAuthority {
   bool in_domains(std::string_view hostname) const;
   const Cache& cache(std::size_t snapshot) const;
 
-  const scan::World& world_;
+  const WorldView& world_;
   int hg_;
   mutable Cache cache_;
 };

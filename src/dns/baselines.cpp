@@ -9,13 +9,13 @@ namespace offnet::dns {
 namespace {
 
 std::vector<topo::AsId> to_sorted_ases(
-    const scan::World& world, int hg,
+    const WorldView& world, int hg,
     const std::unordered_set<std::uint32_t>& ips, std::size_t snapshot) {
   // Both techniques end with the standard IP-to-AS mapping step; HG-own
   // ASes are on-nets, not off-nets.
   std::unordered_set<net::Asn> own;
   if (auto org = world.topology().orgs().find_exact(
-          world.profiles()[hg].org_name)) {
+          world.profile(hg).org_name)) {
     for (topo::AsId id : world.topology().orgs().ases_of(*org)) {
       own.insert(world.topology().as(id).asn);
     }
@@ -36,14 +36,14 @@ std::vector<topo::AsId> to_sorted_ases(
 
 }  // namespace
 
-EcsMapper::EcsMapper(const scan::World& world, int hg)
+EcsMapper::EcsMapper(const WorldView& world, int hg)
     : world_(world), authority_(world, hg) {}
 
 std::vector<topo::AsId> EcsMapper::map_footprint(std::size_t snapshot) const {
   if (!authority_.ecs_usable(snapshot)) return {};
   const topo::Topology& topology = world_.topology();
   const std::string hostname =
-      "www." + world_.profiles()[authority_.hg()].domains.front();
+      "www." + world_.profile(authority_.hg()).domains.front();
   const auto& alive = topology.alive_mask(snapshot);
 
   std::unordered_set<std::uint32_t> ips;
@@ -58,7 +58,7 @@ std::vector<topo::AsId> EcsMapper::map_footprint(std::size_t snapshot) const {
   return to_sorted_ases(world_, authority_.hg(), ips, snapshot);
 }
 
-PatternEnumerator::PatternEnumerator(const scan::World& world, int hg)
+PatternEnumerator::PatternEnumerator(const WorldView& world, int hg)
     : world_(world), authority_(world, hg) {}
 
 std::size_t PatternEnumerator::guesses_per_snapshot() const {
@@ -68,7 +68,7 @@ std::size_t PatternEnumerator::guesses_per_snapshot() const {
 
 std::vector<topo::AsId> PatternEnumerator::map_footprint(
     std::size_t snapshot) const {
-  const hg::HgProfile& p = world_.profiles()[authority_.hg()];
+  const HgView p = world_.profile(authority_.hg());
   std::string suffix;
   if (p.name == "Facebook") {
     suffix = ".fna.fbcdn.net";

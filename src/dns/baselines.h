@@ -15,7 +15,8 @@ namespace offnet::dns {
 /// mapping the certificate pipeline uses.
 class EcsMapper {
  public:
-  EcsMapper(const scan::World& world, int hg);
+  /// `world` must outlive the mapper (see dns::WorldView).
+  EcsMapper(const WorldView& world, int hg);
 
   /// The AS footprint uncovered by the ECS sweep (sorted, HG's own ASes
   /// excluded). Empty when the HG ignores ECS or has stopped exposing
@@ -23,7 +24,7 @@ class EcsMapper {
   std::vector<topo::AsId> map_footprint(std::size_t snapshot) const;
 
  private:
-  const scan::World& world_;
+  const WorldView& world_;
   HgAuthority authority_;
 };
 
@@ -33,7 +34,8 @@ class EcsMapper {
 /// "Fragile and tedious": non-standard names are never found.
 class PatternEnumerator {
  public:
-  PatternEnumerator(const scan::World& world, int hg);
+  /// `world` must outlive the enumerator (see dns::WorldView).
+  PatternEnumerator(const WorldView& world, int hg);
 
   std::vector<topo::AsId> map_footprint(std::size_t snapshot) const;
 
@@ -41,7 +43,7 @@ class PatternEnumerator {
   std::size_t guesses_per_snapshot() const;
 
  private:
-  const scan::World& world_;
+  const WorldView& world_;
   HgAuthority authority_;
 };
 

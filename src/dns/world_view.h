@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "bgp/feed.h"
+#include "net/prefix.h"
+#include "topology/topology.h"
+
+/// The World-facing facade of the DNS control-plane simulation. The
+/// authority and the baseline mappers need exactly four things from the
+/// simulated Internet: the AS topology, the BGP-derived IP-to-AS view,
+/// a Hypergiant's public identity, and where that HG's servers sit in a
+/// given snapshot. scan::WorldDnsView projects the full scan::World onto
+/// this interface, so src/dns depends only on layer-2 domain types and
+/// the old dns -> scan layer back-edge is gone (ROADMAP item).
+namespace offnet::dns {
+
+/// One deployed server as the naming schemes and redirection logic see
+/// it: where it is, not what fleet machinery produced it.
+struct ServerView {
+  topo::AsId as = topo::kNoAs;
+  net::IPv4 ip;
+  bool offnet = false;  // false: an on-net front end
+};
+
+/// A Hypergiant's public identity: what its authoritative DNS serves
+/// and under which org its own ASes register.
+struct HgView {
+  std::string_view name;      // "Google", "Facebook", ...
+  std::string_view org_name;  // "Google LLC" (CAIDA-style org entry)
+  std::span<const std::string> domains;
+};
+
+class WorldView {
+ public:
+  virtual ~WorldView() = default;
+
+  virtual const topo::Topology& topology() const = 0;
+  virtual const bgp::Ip2AsSeries& ip2as() const = 0;
+
+  /// Identity of hypergiant `hg` (index into the study's HG list).
+  virtual HgView profile(int hg) const = 0;
+
+  /// Visits every on-net/off-net server of `hg` deployed in `snapshot`,
+  /// in the fleet's deterministic order.
+  virtual void for_each_server(
+      std::size_t snapshot, int hg,
+      const std::function<void(const ServerView&)>& fn) const = 0;
+
+  /// The ASes hosting a confirmed deployment of `hg` at `snapshot`,
+  /// sorted ascending (the ground-truth footprint the naming schemes
+  /// enumerate).
+  virtual std::span<const topo::AsId> confirmed_hosts(std::size_t snapshot,
+                                                      int hg) const = 0;
+};
+
+}  // namespace offnet::dns

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "core/fault.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -18,6 +20,20 @@ namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Crosses a syscall fault seam. Injected EINTR is retried exactly as an
+/// interrupted write would be; any other injected errno surfaces as the
+/// IoError a real syscall failure at this point produces.
+void sys_check(const char* stage, const std::string& what,
+               const std::string& path) {
+  for (;;) {
+    const core::SysResult result = core::sys_fault(stage);
+    if (result.ok()) return;
+    if (result.error == EINTR) continue;
+    errno = result.error;
+    fail(what, path);
+  }
 }
 
 /// Flushes file (and, for directories, rename) durability to the device.
@@ -59,16 +75,30 @@ AtomicFile::~AtomicFile() {
 
 void AtomicFile::commit() {
   if (committed_) throw std::logic_error("AtomicFile::commit called twice");
-  out_.flush();
-  if (!out_) fail("write failed for", path_);
-  out_.close();
-  if (!out_) fail("close failed for", path_);
-  fsync_path(temp_path(), /*directory=*/false);
-  if (commit_hook_) commit_hook_();
-  std::error_code ec;
-  std::filesystem::rename(temp_path(), path_, ec);
-  if (ec) {
-    throw IoError("cannot publish " + path_ + ": " + ec.message());
+  try {
+    sys_check(core::fault_stage::kAtomicWrite, "write failed for", path_);
+    out_.flush();
+    if (!out_) fail("write failed for", path_);
+    out_.close();
+    if (!out_) fail("close failed for", path_);
+    sys_check(core::fault_stage::kAtomicFsync, "fsync failed for",
+              temp_path());
+    fsync_path(temp_path(), /*directory=*/false);
+    if (commit_hook_) commit_hook_();
+    std::error_code ec;
+    std::filesystem::rename(temp_path(), path_, ec);
+    if (ec) {
+      throw IoError("cannot publish " + path_ + ": " + ec.message());
+    }
+  } catch (...) {
+    // No .tmp orphans: whichever step broke — write, fsync, rename, or
+    // an injected commit-hook fault — the temp file is gone before the
+    // exception reaches the caller. (An abort-mode fault still leaves
+    // it, deliberately: that is a crash, and the destructor never runs.)
+    out_.close();
+    std::error_code ignored;
+    std::filesystem::remove(temp_path(), ignored);
+    throw;
   }
   committed_ = true;
   const std::string dir = std::filesystem::path(path_).parent_path().string();

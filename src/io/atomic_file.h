@@ -2,20 +2,12 @@
 
 #include <fstream>
 #include <functional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
-namespace offnet::io {
+#include "io/report.h"  // IoError: shared with the streaming reader
 
-/// What AtomicFile (and artifact-publishing code built on it) throws on
-/// any write-side failure: unopenable temp file, full disk, failed
-/// flush/fsync/rename. A distinct type so CLIs can map I/O failures to
-/// their documented exit code (74, EX_IOERR) instead of a blanket 1.
-class IoError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+namespace offnet::io {
 
 /// The one sanctioned way to emit a final artifact (DESIGN.md §10): all
 /// bytes go to `<path>.tmp`, and only commit() — flush, stream check,
@@ -53,7 +45,11 @@ class AtomicFile {
   /// Publishes the artifact: flush, verify the stream never failed,
   /// fsync the temp file, rename it over `path`. Throws
   /// std::runtime_error (naming the path) on any failure; the final
-  /// path is untouched unless commit() returns.
+  /// path is untouched unless commit() returns, and the temp file is
+  /// unlinked before the exception propagates — a failed commit leaves
+  /// no `.tmp` orphan, whether the write, the fsync, the rename, or an
+  /// injected commit-hook fault broke it. Crosses the atomic-write and
+  /// atomic-fsync syscall fault seams (core::sys_fault).
   void commit();
 
   bool committed() const { return committed_; }

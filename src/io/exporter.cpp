@@ -4,8 +4,6 @@
 #include <unordered_set>
 #include <vector>
 
-#include "io/atomic_file.h"
-
 namespace offnet::io {
 
 namespace {
@@ -26,9 +24,9 @@ const char* trust_of(const tls::CertificateStore& store,
 
 }  // namespace
 
-void export_dataset(const scan::World& world,
+void export_dataset(const DatasetSources& sources,
                     const scan::ScanSnapshot& snapshot, ExportStreams out) {
-  const topo::Topology& topology = world.topology();
+  const topo::Topology& topology = sources.topology;
 
   // ---- AS relationships (CAIDA serial-1). Peer links are symmetric in
   // the graph; emit each once. ----
@@ -61,8 +59,8 @@ void export_dataset(const scan::World& world,
 
   // ---- prefix2as for this snapshot. ----
   out.prefix2as << "# offnet export | base\\tlen\\torigins\n";
-  world.ip2as().at(snapshot.snapshot_index())
-      .for_each([&](const net::Prefix& prefix, const bgp::OriginSet& origins) {
+  sources.prefix2as.for_each(
+      [&](const net::Prefix& prefix, const bgp::OriginSet& origins) {
         out.prefix2as << prefix.base().to_string() << '\t'
                       << static_cast<int>(prefix.length()) << '\t';
         bool first = true;
@@ -87,11 +85,11 @@ void export_dataset(const scan::World& world,
       << "# offnet export | id\\torg\\tnot_before\\tnot_after\\ttrust"
          "\\tsans\n";
   for (tls::CertId id : referenced) {
-    const tls::Certificate& cert = world.certs().get(id);
+    const tls::Certificate& cert = sources.certs.get(id);
     out.certificates << "c" << id << '\t' << cert.subject.organization
                      << '\t' << cert.not_before.date_string() << '\t'
                      << cert.not_after.date_string() << '\t'
-                     << trust_of(world.certs(), world.roots(), id) << '\t';
+                     << trust_of(sources.certs, sources.roots, id) << '\t';
     bool first = true;
     for (const std::string& san : cert.dns_names) {
       if (!first) out.certificates << ',';
@@ -123,26 +121,6 @@ void export_dataset(const scan::World& world,
   };
   if (snapshot.has_https_headers()) emit(true);
   if (snapshot.has_http_headers()) emit(false);
-}
-
-void export_dataset_to_dir(const scan::World& world,
-                           const scan::ScanSnapshot& snapshot,
-                           const std::string& dir) {
-  AtomicFile rel(dir + "/relationships.txt");
-  AtomicFile org(dir + "/organizations.txt");
-  AtomicFile pfx(dir + "/prefix2as.txt");
-  AtomicFile certs(dir + "/certificates.tsv");
-  AtomicFile hosts(dir + "/hosts.tsv");
-  AtomicFile headers(dir + "/headers.tsv");
-  export_dataset(world, snapshot,
-                 ExportStreams{rel.stream(), org.stream(), pfx.stream(),
-                               certs.stream(), hosts.stream(),
-                               headers.stream()});
-  // Commit only after every stream succeeded, so a failure mid-export
-  // publishes none of the six files (their temps are cleaned up).
-  for (AtomicFile* file : {&rel, &org, &pfx, &certs, &hosts, &headers}) {
-    file->commit();
-  }
 }
 
 }  // namespace offnet::io

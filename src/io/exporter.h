@@ -1,10 +1,12 @@
 #pragma once
 
 #include <ostream>
-#include <string>
 
+#include "bgp/ip2as.h"
 #include "scan/record.h"
-#include "scan/world.h"
+#include "tls/certificate.h"
+#include "tls/validator.h"
+#include "topology/topology.h"
 
 namespace offnet::io {
 
@@ -21,17 +23,18 @@ struct ExportStreams {
   std::ostream& headers;
 };
 
-void export_dataset(const scan::World& world,
-                    const scan::ScanSnapshot& snapshot, ExportStreams out);
+/// The slices of the simulation the exporter reads, as plain references
+/// to layer-2 stores. Callers that hold a scan::World assemble this DTO
+/// via scan::export_dataset / export_dataset_to_dir; keeping the World
+/// out of this header keeps src/io below src/scan in the layer DAG.
+struct DatasetSources {
+  const topo::Topology& topology;
+  const bgp::Ip2AsMap& prefix2as;  // the snapshot being exported
+  const tls::CertificateStore& certs;
+  const tls::RootStore& roots;
+};
 
-/// Writes the six dataset files (relationships.txt, organizations.txt,
-/// prefix2as.txt, certificates.tsv, hosts.tsv, headers.tsv) into `dir`
-/// through io::AtomicFile: every file is staged to a temp name and
-/// published only after its bytes are flushed and verified, so a crash
-/// or full disk can never leave a torn file under a final name. Throws
-/// std::runtime_error (naming the file) on any write failure.
-void export_dataset_to_dir(const scan::World& world,
-                           const scan::ScanSnapshot& snapshot,
-                           const std::string& dir);
+void export_dataset(const DatasetSources& sources,
+                    const scan::ScanSnapshot& snapshot, ExportStreams out);
 
 }  // namespace offnet::io

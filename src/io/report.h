@@ -25,6 +25,18 @@ class LoadError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// What AtomicFile (and artifact-publishing code built on it) throws on
+/// any write-side failure — and what LineReader raises on a stream-level
+/// read error: unopenable temp file, full disk, failed flush/fsync/
+/// rename, a read that died mid-file. A distinct type so CLIs can map
+/// I/O failures to their documented exit code (74, EX_IOERR) instead of
+/// a blanket 1. Lives here rather than atomic_file.h so the streaming
+/// reader, which sits below the artifact writer, can throw it too.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// io:: metric names (LoadReport::export_metrics), mirroring
 /// core::metric_names so ingestion accounting is spelled once.
 namespace metric_names {

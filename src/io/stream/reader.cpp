@@ -1,5 +1,10 @@
 #include "io/stream/reader.h"
 
+#include <cerrno>
+
+#include "core/fault.h"
+#include "io/report.h"
+
 namespace offnet::io::stream {
 
 LineReader::LineReader(std::istream& in, std::size_t chunk_bytes)
@@ -14,11 +19,30 @@ bool LineReader::fill() {
     buffer_.erase(0, pos_);
     pos_ = 0;
   }
+  // Syscall fault seam, crossed once per chunk. Injected EINTR retries
+  // like a real interrupted read; any other errno is a mid-file read
+  // failure and surfaces as IoError, never as silent EOF.
+  for (;;) {
+    const core::SysResult fault =
+        core::sys_fault(core::fault_stage::kStreamRead);
+    if (fault.ok()) break;
+    if (fault.error == EINTR) continue;
+    throw IoError("read failed after " + std::to_string(consumed_) +
+                  " bytes: " + core::errno_name(fault.error));
+  }
   std::size_t old = buffer_.size();
   buffer_.resize(old + chunk_bytes_);
   in_.read(buffer_.data() + old, static_cast<std::streamsize>(chunk_bytes_));
   std::size_t got = static_cast<std::size_t>(in_.gcount());
   buffer_.resize(old + got);
+  if (in_.bad()) {
+    // badbit after read(): the stream died mid-file (disk error, NFS
+    // hiccup). Before this check a short read was treated as EOF, so a
+    // real I/O error truncated the dataset silently — exactly the torn
+    // ingestion the health taxonomy is meant to catch.
+    throw IoError("stream read failed after " +
+                  std::to_string(consumed_ + got) + " bytes");
+  }
   if (got < chunk_bytes_) eof_ = true;
   return got > 0;
 }

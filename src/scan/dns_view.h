@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "dns/world_view.h"
+#include "scan/world.h"
+
+namespace offnet::scan {
+
+/// Projects the full simulation onto the dns::WorldView facade: the
+/// downward half of the broken dns -> scan back-edge. Header-only and
+/// stateless beyond the World reference, so any World owner can hand a
+/// view to HgAuthority/EcsMapper/PatternEnumerator without new link
+/// dependencies. The view must not outlive the World.
+class WorldDnsView final : public dns::WorldView {
+ public:
+  explicit WorldDnsView(const World& world) : world_(world) {}
+
+  const topo::Topology& topology() const override {
+    return world_.topology();
+  }
+  const bgp::Ip2AsSeries& ip2as() const override { return world_.ip2as(); }
+
+  dns::HgView profile(int hg) const override {
+    const hg::HgProfile& p = world_.profiles()[hg];
+    return {p.name, p.org_name, p.domains};
+  }
+
+  void for_each_server(
+      std::size_t snapshot, int hg,
+      const std::function<void(const dns::ServerView&)>& fn) const override {
+    for (const hg::ServerRecord& rec :
+         world_.fleet().snapshot_fleet(snapshot)) {
+      if (rec.hg != hg) continue;
+      if (rec.role == hg::ServerRole::kOnNet) {
+        fn({rec.as, rec.ip, /*offnet=*/false});
+      } else if (rec.role == hg::ServerRole::kOffNet) {
+        fn({rec.as, rec.ip, /*offnet=*/true});
+      }
+    }
+  }
+
+  std::span<const topo::AsId> confirmed_hosts(std::size_t snapshot,
+                                              int hg) const override {
+    return world_.plan().at(snapshot, hg).confirmed;
+  }
+
+ private:
+  const World& world_;
+};
+
+}  // namespace offnet::scan

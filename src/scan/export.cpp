@@ -1,0 +1,35 @@
+#include "scan/export.h"
+
+#include "io/atomic_file.h"
+
+namespace offnet::scan {
+
+void export_dataset(const World& world, const ScanSnapshot& snapshot,
+                    io::ExportStreams out) {
+  io::export_dataset(
+      io::DatasetSources{world.topology(),
+                         world.ip2as().at(snapshot.snapshot_index()),
+                         world.certs(), world.roots()},
+      snapshot, out);
+}
+
+void export_dataset_to_dir(const World& world, const ScanSnapshot& snapshot,
+                           const std::string& dir) {
+  io::AtomicFile rel(dir + "/relationships.txt");
+  io::AtomicFile org(dir + "/organizations.txt");
+  io::AtomicFile pfx(dir + "/prefix2as.txt");
+  io::AtomicFile certs(dir + "/certificates.tsv");
+  io::AtomicFile hosts(dir + "/hosts.tsv");
+  io::AtomicFile headers(dir + "/headers.tsv");
+  export_dataset(world, snapshot,
+                 io::ExportStreams{rel.stream(), org.stream(), pfx.stream(),
+                                   certs.stream(), hosts.stream(),
+                                   headers.stream()});
+  // Commit only after every stream succeeded, so a failure mid-export
+  // publishes none of the six files (their temps are cleaned up).
+  for (io::AtomicFile* file : {&rel, &org, &pfx, &certs, &hosts, &headers}) {
+    file->commit();
+  }
+}
+
+}  // namespace offnet::scan

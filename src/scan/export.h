@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "io/exporter.h"
+#include "scan/world.h"
+
+namespace offnet::scan {
+
+/// Exports `snapshot` in the on-disk formats `io/loaders.h` reads,
+/// assembling the io::DatasetSources DTO from `world` so the exporter
+/// itself never sees a scan::World (layering: io sits below scan).
+void export_dataset(const World& world, const ScanSnapshot& snapshot,
+                    io::ExportStreams out);
+
+/// Writes the six dataset files (relationships.txt, organizations.txt,
+/// prefix2as.txt, certificates.tsv, hosts.tsv, headers.tsv) into `dir`
+/// through io::AtomicFile: every file is staged to a temp name and
+/// published only after its bytes are flushed and verified, so a crash
+/// or full disk can never leave a torn file under a final name. Throws
+/// io::IoError (naming the file) on any write failure.
+void export_dataset_to_dir(const World& world, const ScanSnapshot& snapshot,
+                           const std::string& dir);
+
+}  // namespace offnet::scan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <set>
 #include <thread>
@@ -60,6 +61,10 @@ Server::~Server() {
 }
 
 void Server::start() {
+  // A peer that closes mid-reply must surface as a send error, never a
+  // process-killing SIGPIPE. send() already passes MSG_NOSIGNAL where it
+  // exists; ignoring the signal covers every other descriptor write.
+  std::signal(SIGPIPE, SIG_IGN);
   listener_ = std::make_unique<Listener>(options_.endpoint);
   bound_ = listener_->endpoint();
   queue_ = std::make_unique<AdmissionQueue>(
@@ -104,18 +109,31 @@ void Server::accept_loop() {
   obs::Counter& accepted = metrics_->counter(metric_names::kConnections);
   obs::Counter& shed_busy = metrics_->counter(metric_names::kShedBusy);
   while (!draining_.load(std::memory_order_relaxed)) {
-    Fd conn = listener_->accept_with_timeout(kPollSliceMs);
-    if (!conn.valid()) continue;
-    accepted.add();
-    Admitted admitted;
-    admitted.fd = std::move(conn);
-    admitted.accept_ns = obs::monotonic_nanoseconds();
-    if (!queue_->try_push(admitted)) {
-      // Overload shed: tell the client explicitly instead of letting it
-      // time out against an unbounded backlog.
-      shed_busy.add();
-      Stream stream(std::move(admitted.fd));
-      (void)stream.write_all(busy_response("queue-full"), kPollSliceMs);
+    // Exception-isolated per iteration: one failed accept (EMFILE, an
+    // injected fault) is one lost connection, never a dead accept
+    // thread — the server must keep admitting whatever still succeeds.
+    try {
+      int accept_error = 0;
+      Fd conn = listener_->accept_with_timeout(kPollSliceMs, &accept_error);
+      if (!conn.valid()) {
+        if (accept_error != 0) {
+          metrics_->counter(metric_names::kAcceptErrors).add();
+        }
+        continue;
+      }
+      accepted.add();
+      Admitted admitted;
+      admitted.fd = std::move(conn);
+      admitted.accept_ns = obs::monotonic_nanoseconds();
+      if (!queue_->try_push(admitted)) {
+        // Overload shed: tell the client explicitly instead of letting
+        // it time out against an unbounded backlog.
+        shed_busy.add();
+        Stream stream(std::move(admitted.fd));
+        (void)stream.write_all(busy_response("queue-full"), kPollSliceMs);
+      }
+    } catch (const std::exception&) {
+      metrics_->counter(metric_names::kAcceptErrors).add();
     }
   }
   // Stop admitting: workers drain what was already accepted.
@@ -125,7 +143,14 @@ void Server::accept_loop() {
 
 void Server::worker_loop() {
   while (auto admitted = queue_->pop()) {
-    serve_connection(std::move(*admitted));
+    // Same isolation as the accept loop: an exception (injected fault,
+    // handler bug) aborts one connection, not the worker — otherwise a
+    // single bad request would shrink the pool until drain hangs.
+    try {
+      serve_connection(std::move(*admitted));
+    } catch (const std::exception&) {
+      metrics_->counter(metric_names::kConnectionsAborted).add();
+    }
   }
   active_workers_.fetch_sub(1, std::memory_order_relaxed);
 }

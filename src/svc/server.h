@@ -31,6 +31,12 @@ inline constexpr const char* kShedBusy = "svc/shed/busy";
 inline constexpr const char* kShedDeadline = "svc/shed/deadline";
 inline constexpr const char* kMalformed = "svc/requests/malformed";
 inline constexpr const char* kConnections = "svc/connections/accepted";
+/// Hard accept failures (EMFILE and friends, real or injected): the
+/// accept thread counts them and keeps accepting.
+inline constexpr const char* kAcceptErrors = "svc/accept/errors";
+/// Connections whose worker died on an exception (injected faults,
+/// unexpected handler errors): the worker counts them and keeps serving.
+inline constexpr const char* kConnectionsAborted = "svc/connections/aborted";
 inline constexpr const char* kReloadAccepted = "svc/reload/accepted";
 inline constexpr const char* kReloadRejected = "svc/reload/rejected";
 inline constexpr const char* kLatencyUs = "svc/latency_us";

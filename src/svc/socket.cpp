@@ -1,5 +1,7 @@
 #include "svc/socket.h"
 
+#include "core/fault.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -134,10 +136,27 @@ Listener::~Listener() {
   if (endpoint_.is_unix()) ::unlink(endpoint_.unix_path.c_str());
 }
 
-Fd Listener::accept_with_timeout(int timeout_ms) {
+Fd Listener::accept_with_timeout(int timeout_ms, int* error) {
+  if (error != nullptr) *error = 0;
   if (!poll_one(fd_.get(), POLLIN, timeout_ms)) return Fd();
-  const int conn = ::accept(fd_.get(), nullptr, nullptr);
-  return conn >= 0 ? Fd(conn) : Fd();
+  for (;;) {
+    // Syscall fault seam between poll and accept: the injectable window
+    // where the kernel says "readable" but accept still fails (EMFILE).
+    const core::SysResult fault =
+        core::sys_fault(core::fault_stage::kSvcAccept);
+    if (!fault.ok()) {
+      if (fault.error == EINTR) continue;
+      if (error != nullptr) *error = fault.error;
+      return Fd();
+    }
+    const int conn = ::accept(fd_.get(), nullptr, nullptr);
+    if (conn >= 0) return Fd(conn);
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && error != nullptr) {
+      *error = errno;
+    }
+    return Fd();
+  }
 }
 
 Fd connect_endpoint(const Endpoint& endpoint, int timeout_ms) {
@@ -184,6 +203,14 @@ Stream::ReadStatus Stream::read_line(std::string& line, int timeout_ms,
     if (!poll_one(fd_.get(), POLLIN, timeout_ms)) {
       return ReadStatus::kTimeout;
     }
+    // Syscall fault seam before each recv: injected EINTR retries like
+    // the real signal interruption below; any other errno is a dead
+    // connection, reported exactly as a genuine recv failure.
+    const core::SysResult fault = core::sys_fault(core::fault_stage::kSvcRead);
+    if (!fault.ok()) {
+      if (fault.error == EINTR) continue;
+      return ReadStatus::kError;
+    }
     char chunk[1024];
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n == 0) return ReadStatus::kEof;
@@ -204,6 +231,13 @@ bool Stream::has_buffered_line() const {
 bool Stream::write_all(std::string_view bytes, int timeout_ms) {
   while (!bytes.empty()) {
     if (!poll_one(fd_.get(), POLLOUT, timeout_ms)) return false;
+    // Syscall fault seam before each send; mirrors the svc-read seam.
+    const core::SysResult fault =
+        core::sys_fault(core::fault_stage::kSvcWrite);
+    if (!fault.ok()) {
+      if (fault.error == EINTR) continue;
+      return false;
+    }
 #ifdef MSG_NOSIGNAL
     const int flags = MSG_NOSIGNAL;
 #else

@@ -69,9 +69,13 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// One accepted connection, or an invalid Fd after `timeout_ms` with
-  /// nothing to accept. Transient accept errors (EINTR, a peer that
-  /// vanished between poll and accept) report as timeouts.
-  Fd accept_with_timeout(int timeout_ms);
+  /// nothing to accept. EINTR (real or injected) is retried; a peer that
+  /// vanished between poll and accept reports as a timeout. A hard
+  /// accept failure (e.g. EMFILE — the fd table is full) also returns an
+  /// invalid Fd, with the errno stored in `*error` when `error` is
+  /// non-null, so the accept loop can count it instead of mistaking it
+  /// for an idle timeout. Crosses the svc-accept fault seam.
+  Fd accept_with_timeout(int timeout_ms, int* error = nullptr);
 
   /// The bound endpoint, with any ephemeral TCP port resolved.
   const Endpoint& endpoint() const { return endpoint_; }

@@ -1,0 +1,13 @@
+// Fixture: fault_stage registry for the fault-stage-unswept rule —
+// both stages are crossed (so neither is dead), but the sweep table in
+// tools/offnet_chaos.cpp only names kSweptStage.
+#pragma once
+
+namespace offnet::core {
+
+namespace fault_stage {
+inline constexpr const char* kSweptStage = "swept-stage";
+inline constexpr const char* kForgottenStage = "forgotten-stage";
+}  // namespace fault_stage
+
+}  // namespace offnet::core

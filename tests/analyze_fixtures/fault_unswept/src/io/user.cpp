@@ -1,0 +1,12 @@
+// Fixture: both stages are crossed through their constants, so the
+// only finding left for this tree is the sweep-coverage gap.
+#include "core/fault.h"
+
+namespace offnet::io {
+
+void cross(core::FaultInjector& faults) {
+  faults.on(core::fault_stage::kSweptStage);
+  faults.on_sys(core::fault_stage::kForgottenStage);
+}
+
+}  // namespace offnet::io

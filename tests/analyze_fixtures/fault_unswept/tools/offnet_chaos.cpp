@@ -1,0 +1,12 @@
+// Fixture: a sweep table that forgot one registered stage.
+#include "core/fault.h"
+
+namespace {
+
+const char* const kSweep[] = {
+    offnet::core::fault_stage::kSweptStage,
+};
+
+}  // namespace
+
+int main() { return kSweep[0] == nullptr; }

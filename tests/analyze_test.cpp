@@ -123,6 +123,20 @@ TEST(AnalyzeRegistries, FaultStagesFixture) {
   EXPECT_EQ(findings[2].key, "src/io/user.cpp:mystery-stage");
 }
 
+// A registered stage missing from the chaos harness's sweep table is a
+// coverage hole: its fault cells are never visited. The rule only fires
+// when offnet_chaos.cpp is part of the analyzed tree (the fault_stages
+// fixture above has no harness and stays at its 3 findings).
+TEST(AnalyzeRegistries, FaultUnsweptFixture) {
+  auto findings = analyze_fixture("fault_unswept");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "fault-stage-unswept");
+  EXPECT_EQ(findings[0].file, "src/core/fault.h");
+  EXPECT_EQ(findings[0].key, "kForgottenStage");
+  EXPECT_NE(findings[0].message.find("tools/offnet_chaos.cpp"),
+            std::string::npos);
+}
+
 TEST(AnalyzeRegistries, ExitCodesFixture) {
   auto findings = analyze_fixture("exit_codes");
   ASSERT_EQ(findings.size(), 4u) << describe(findings);

@@ -1,0 +1,184 @@
+// End-to-end tests for the fault-space sweep harness (offnet_chaos):
+// the bounded slice — every registered stage × first/last occurrence ×
+// every applicable mode — must sweep clean, two identical sweeps must
+// produce byte-identical summaries, and the flagship resource-
+// exhaustion cell (ENOSPC mid-checkpoint, then --resume) is pinned
+// directly against the CLI so its invariant survives even if the
+// harness's own checks regress. The exhaustive full slice runs in
+// tools/check.sh.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exit_codes.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_command(const std::string& command, const std::string& out_path,
+                const std::string& err_path) {
+  const std::string full =
+      command + " > " + out_path + " 2> " + err_path;
+  const int status = std::system(full.c_str());
+  EXPECT_NE(status, -1);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+int run_chaos(const std::string& args, const std::string& scratch) {
+  return run_command(std::string(OFFNET_CHAOS_BIN) + " --sweep --cli " +
+                         OFFNET_CLI_BIN + " --daemon " + OFFNETD_BIN + " " +
+                         args,
+                     scratch + "/out.txt", scratch + "/err.txt");
+}
+
+int run_cli(const std::string& args, const std::string& scratch) {
+  return run_command(std::string(OFFNET_CLI_BIN) + " " + args,
+                     scratch + "/out.txt", scratch + "/err.txt");
+}
+
+void export_month(const std::string& root, const std::string& month) {
+  const std::string dir = root + "/" + month;
+  fs::create_directories(dir);
+  const std::string scratch = temp_dir("chaos_export_scratch");
+  ASSERT_EQ(run_cli("export --out " + dir + " --scale 0.02 --month " + month,
+                    scratch),
+            0)
+      << read_file(scratch + "/err.txt");
+}
+
+/// The acceptance bar for the harness itself: the bounded slice visits
+/// every registered stage (first and last occurrence, every applicable
+/// mode) and every cell's invariants hold.
+TEST(ChaosSweepTest, BoundedSliceSweepsCleanAcrossEveryStage) {
+  const std::string scratch = temp_dir("chaos_bounded");
+  const int rc =
+      run_chaos("--slice bounded --dir " + scratch + "/sweep", scratch);
+  const std::string out = read_file(scratch + "/out.txt");
+  EXPECT_EQ(rc, 0) << out << read_file(scratch + "/err.txt");
+  EXPECT_NE(out.find(", 0 violations"), std::string::npos) << out;
+  // Every stage contributed cells: a `stage=0` entry would mean a
+  // registered stage whose fault space was silently skipped.
+  EXPECT_EQ(out.find("=0"), std::string::npos) << out;
+  for (const char* stage :
+       {"feed=", "pipeline=", "checkpoint-write=", "artifact-rename=",
+        "svc-reload=", "atomic-write=", "atomic-fsync=", "stream-read=",
+        "svc-accept=", "svc-read=", "svc-write="}) {
+    EXPECT_NE(out.find(stage), std::string::npos) << stage << "\n" << out;
+  }
+}
+
+/// Same seed, same corpus, same cells → byte-identical summary. The
+/// sweep's verdicts are evidence only if they are reproducible.
+TEST(ChaosSweepTest, SweepSummaryIsDeterministic) {
+  const std::string scratch = temp_dir("chaos_determinism");
+  const std::string args = "--slice bounded --stages checkpoint-write";
+  fs::create_directories(scratch + "/a");
+  fs::create_directories(scratch + "/b");
+  ASSERT_EQ(run_chaos(args + " --dir " + scratch + "/a/sweep",
+                      scratch + "/a"),
+            0)
+      << read_file(scratch + "/a/err.txt");
+  ASSERT_EQ(run_chaos(args + " --dir " + scratch + "/b/sweep",
+                      scratch + "/b"),
+            0)
+      << read_file(scratch + "/b/err.txt");
+  EXPECT_EQ(read_file(scratch + "/a/out.txt"),
+            read_file(scratch + "/b/out.txt"));
+}
+
+/// A malformed fault spec is a usage error, not a crash or a sweep
+/// that silently arms nothing.
+TEST(ChaosSweepTest, UnknownStageIsAUsageError) {
+  const std::string scratch = temp_dir("chaos_badstage");
+  const int rc = run_chaos("--stages no-such-stage --dir " + scratch +
+                               "/sweep",
+                           scratch);
+  EXPECT_EQ(rc, offnet::tools::kExitUsage);
+  EXPECT_NE(read_file(scratch + "/err.txt").find("no-such-stage"),
+            std::string::npos);
+}
+
+/// The flagship errno cell, pinned end-to-end: the disk fills (injected
+/// ENOSPC) during the third checkpoint publish. The run must die with
+/// the I/O exit code, leave the previous checkpoint intact and no torn
+/// temp behind, and --resume must reproduce the uninterrupted report
+/// byte for byte.
+TEST(ChaosSweepTest, EnospcMidCheckpointThenResumeIsByteIdentical) {
+  const std::string root = temp_dir("chaos_enospc_root");
+  export_month(root, "2013-10");
+  export_month(root, "2014-01");
+
+  const std::string ref_ckpt = temp_dir("chaos_enospc_ref_ckpt");
+  const std::string ref = temp_dir("chaos_enospc_ref");
+  ASSERT_EQ(run_cli("series --root " + root + " --checkpoint-dir " + ref_ckpt,
+                    ref),
+            0)
+      << read_file(ref + "/err.txt");
+
+  const std::string ckpt = temp_dir("chaos_enospc_ckpt");
+  const std::string faulted = temp_dir("chaos_enospc_run");
+  EXPECT_EQ(run_cli("series --root " + root + " --checkpoint-dir " + ckpt +
+                        " --fail-at atomic-write:3:ENOSPC",
+                    faulted),
+            offnet::tools::kExitIo)
+      << read_file(faulted + "/err.txt");
+  EXPECT_NE(read_file(faulted + "/err.txt").find("No space left"),
+            std::string::npos);
+  // The second checkpoint survived; the failed third publish must not
+  // leave a torn temp (AtomicFile unlinks it on every failure path).
+  EXPECT_TRUE(fs::exists(ckpt + "/checkpoint.offnet"));
+  EXPECT_FALSE(fs::exists(ckpt + "/checkpoint.offnet.tmp"));
+
+  const std::string resumed = temp_dir("chaos_enospc_resume");
+  ASSERT_EQ(run_cli("series --root " + root + " --checkpoint-dir " + ckpt +
+                        " --resume",
+                    resumed),
+            0)
+      << read_file(resumed + "/err.txt");
+  EXPECT_EQ(read_file(resumed + "/out.txt"), read_file(ref + "/out.txt"));
+}
+
+/// A transient read fault (EIO from the stream reader) must cost a
+/// retry, not the month: the supervised series re-reads and the report
+/// matches the fault-free run. Before the sweep existed this lost the
+/// month as "corrupt" with the retry budget unspent.
+TEST(ChaosSweepTest, TransientReadFaultIsRetriedNotCorrupt) {
+  const std::string root = temp_dir("chaos_eio_root");
+  export_month(root, "2013-10");
+
+  const std::string ref = temp_dir("chaos_eio_ref");
+  ASSERT_EQ(run_cli("series --root " + root + " --max-retries 2", ref), 0)
+      << read_file(ref + "/err.txt");
+
+  const std::string faulted = temp_dir("chaos_eio_run");
+  ASSERT_EQ(run_cli("series --root " + root + " --max-retries 2" +
+                        " --fail-at stream-read:1:EIO",
+                    faulted),
+            0)
+      << read_file(faulted + "/err.txt");
+  EXPECT_EQ(read_file(faulted + "/out.txt"), read_file(ref + "/out.txt"));
+  EXPECT_NE(read_file(faulted + "/out.txt").find("1 of 31 snapshots usable"),
+            std::string::npos);
+}
+
+}  // namespace

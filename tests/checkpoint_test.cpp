@@ -16,7 +16,7 @@
 #include "core/checkpoint.h"
 #include "core/fault.h"
 #include "core/longitudinal.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
@@ -42,7 +42,7 @@ const std::map<std::size_t, Corpus>& exported_corpuses() {
     for (std::size_t t = 0; t < net::snapshot_count(); ++t) {
       scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
       std::ostringstream rel, org, pfx, certs, hosts, headers;
-      io::export_dataset(world, snapshot,
+      scan::export_dataset(world, snapshot,
                          io::ExportStreams{rel, org, pfx, certs, hosts,
                                            headers});
       out[t] = Corpus{rel.str(), org.str(), pfx.str(),

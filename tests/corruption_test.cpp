@@ -6,7 +6,7 @@
 
 #include "core/pipeline.h"
 #include "io/corruption.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "test_world.h"
 
@@ -20,8 +20,8 @@ struct Corpus {
   static Corpus export_snapshot(const scan::World& world, std::size_t t) {
     scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
     std::ostringstream rel, org, pfx, certs, hosts, headers;
-    export_dataset(world, snapshot,
-                   ExportStreams{rel, org, pfx, certs, hosts, headers});
+    scan::export_dataset(world, snapshot,
+                         ExportStreams{rel, org, pfx, certs, hosts, headers});
     return Corpus{rel.str(), org.str(), pfx.str(),
                   certs.str(), hosts.str(), headers.str()};
   }

@@ -18,7 +18,7 @@
 #include "core/delta_cache.h"
 #include "core/fault.h"
 #include "core/longitudinal.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
@@ -43,7 +43,7 @@ const std::map<std::size_t, Corpus>& exported_corpuses() {
     for (std::size_t t = kFirst; t <= kLast; ++t) {
       scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
       std::ostringstream rel, org, pfx, certs, hosts, headers;
-      io::export_dataset(world, snapshot,
+      scan::export_dataset(world, snapshot,
                          io::ExportStreams{rel, org, pfx, certs, hosts,
                                            headers});
       out[t] = Corpus{rel.str(), org.str(), pfx.str(),

@@ -5,6 +5,7 @@
 #include "analysis/cohosting.h"
 #include "core/longitudinal.h"
 #include "dns/baselines.h"
+#include "scan/dns_view.h"
 #include "test_world.h"
 
 namespace offnet::dns {
@@ -13,6 +14,12 @@ namespace {
 class DnsTest : public ::testing::Test {
  protected:
   const scan::World& world() { return testing::small_world(); }
+  /// The facade the dns layer consumes; tests drive it exactly as
+  /// production callers do.
+  const dns::WorldView& view() {
+    static scan::WorldDnsView view(testing::small_world());
+    return view;
+  }
   int idx(std::string_view name) {
     return hg::profile_index(world().profiles(), name);
   }
@@ -20,7 +27,7 @@ class DnsTest : public ::testing::Test {
 
 TEST_F(DnsTest, EcsRedirectsToHostingAs) {
   int g = idx("Google");
-  HgAuthority authority(world(), g);
+  HgAuthority authority(view(), g);
   std::size_t t = 5;  // well before the ECS cutoff
   ASSERT_TRUE(authority.ecs_usable(t));
 
@@ -44,7 +51,7 @@ TEST_F(DnsTest, EcsRedirectsToHostingAs) {
 
 TEST_F(DnsTest, EcsCutoffHidesGoogleOffnets) {
   int g = idx("Google");
-  HgAuthority authority(world(), g);
+  HgAuthority authority(view(), g);
   auto after = net::snapshot_index(net::YearMonth(2017, 4)).value();
   EXPECT_FALSE(authority.ecs_usable(after));
   // Post-cutoff queries see on-nets only.
@@ -60,7 +67,7 @@ TEST_F(DnsTest, EcsCutoffHidesGoogleOffnets) {
 }
 
 TEST_F(DnsTest, UnsupportedHgRefusesEcs) {
-  HgAuthority authority(world(), idx("Facebook"));
+  HgAuthority authority(view(), idx("Facebook"));
   EXPECT_FALSE(authority.ecs_usable(5));
   auto prefix = world().topology().as(0).prefixes.empty()
                     ? net::Prefix(net::IPv4(0x01000000), 24)
@@ -70,7 +77,7 @@ TEST_F(DnsTest, UnsupportedHgRefusesEcs) {
 }
 
 TEST_F(DnsTest, NxdomainForForeignNames) {
-  HgAuthority authority(world(), idx("Google"));
+  HgAuthority authority(view(), idx("Google"));
   EXPECT_TRUE(authority.resolve_ecs("www.example.org",
                                     net::Prefix(net::IPv4(0x01000000), 24), 5)
                   .addresses.empty());
@@ -80,34 +87,34 @@ TEST_F(DnsTest, NxdomainForForeignNames) {
 
 TEST_F(DnsTest, FnaHostnamesResolveToTheirServers) {
   int fb = idx("Facebook");
-  HgAuthority authority(world(), fb);
+  HgAuthority authority(view(), fb);
   std::size_t t = net::snapshot_count() - 1;
   std::size_t resolved = 0;
   std::size_t named = 0;
-  for (const hg::ServerRecord& rec : world().fleet().snapshot_fleet(t)) {
-    if (rec.hg != fb || rec.role != hg::ServerRole::kOffNet) continue;
-    std::string hostname = authority.server_hostname(rec, t);
-    if (hostname.empty()) continue;
-    if (++named > 50) break;
+  view().for_each_server(t, fb, [&](const dns::ServerView& server) {
+    if (!server.offnet || named > 50) return;
+    std::string hostname = authority.server_hostname(server, t);
+    if (hostname.empty()) return;
+    ++named;
     auto response = authority.resolve_name(hostname, t);
     ASSERT_FALSE(response.addresses.empty()) << hostname;
     // The response addresses live in the server's AS.
     bool same_as = false;
-    for (const net::Prefix& p : world().topology().as(rec.as).prefixes) {
+    for (const net::Prefix& p : world().topology().as(server.as).prefixes) {
       for (net::IPv4 ip : response.addresses) {
         if (p.contains(ip)) same_as = true;
       }
     }
     EXPECT_TRUE(same_as) << hostname;
     ++resolved;
-  }
+  });
   EXPECT_GT(resolved, 20u);
 }
 
 TEST_F(DnsTest, EcsMapperRecoversMostOfGooglePreCutoff) {
   int g = idx("Google");
   std::size_t t = net::snapshot_index(net::YearMonth(2016, 4)).value();
-  EcsMapper mapper(world(), g);
+  EcsMapper mapper(view(), g);
   auto baseline = mapper.map_footprint(t);
   const auto& truth = world().plan().at(t, g).confirmed;
   ASSERT_FALSE(baseline.empty());
@@ -128,7 +135,7 @@ TEST_F(DnsTest, EcsMapperRecoversMostOfGooglePreCutoff) {
 TEST_F(DnsTest, PatternEnumeratorFindsStandardDeployments) {
   int fb = idx("Facebook");
   std::size_t t = net::snapshot_count() - 1;
-  PatternEnumerator enumerator(world(), fb);
+  PatternEnumerator enumerator(view(), fb);
   auto baseline = enumerator.map_footprint(t);
   const auto& truth = world().plan().at(t, fb).confirmed;
   ASSERT_FALSE(baseline.empty());
@@ -137,7 +144,7 @@ TEST_F(DnsTest, PatternEnumeratorFindsStandardDeployments) {
   EXPECT_GT(cmp.covered_share(), 0.80);
   EXPECT_LT(baseline.size(), truth.size());
   // No naming convention -> no baseline (Google, §1).
-  PatternEnumerator google(world(), idx("Google"));
+  PatternEnumerator google(view(), idx("Google"));
   EXPECT_TRUE(google.map_footprint(t).empty());
 }
 
@@ -148,7 +155,7 @@ TEST_F(DnsTest, PipelineCoversBaselines) {
   std::size_t t = net::snapshot_count() - 1;
   auto result = runner.run_one(t);
   int fb = idx("Facebook");
-  PatternEnumerator enumerator(world(), fb);
+  PatternEnumerator enumerator(view(), fb);
   auto baseline = enumerator.map_footprint(t);
   auto cmp = compare_footprints(
       baseline, analysis::effective_footprint(*result.find("Facebook")));

@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "core/pipeline.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "test_world.h"
 
@@ -18,8 +18,8 @@ TEST(IoRoundTripTest, PipelineEquivalence) {
   scan::ScanSnapshot snapshot = world.scan(t, scan::ScannerKind::kRapid7);
 
   std::ostringstream rel, org, pfx, certs, hosts, headers;
-  export_dataset(world, snapshot,
-                 ExportStreams{rel, org, pfx, certs, hosts, headers});
+  scan::export_dataset(world, snapshot,
+                       io::ExportStreams{rel, org, pfx, certs, hosts, headers});
 
   std::istringstream rel_in(rel.str());
   std::istringstream org_in(org.str());
@@ -71,8 +71,8 @@ TEST(IoRoundTripTest, ExportFormatsParse) {
   const scan::World& world = testing::tiny_world();
   scan::ScanSnapshot snapshot = world.scan(5, scan::ScannerKind::kRapid7);
   std::ostringstream rel, org, pfx, certs, hosts, headers;
-  export_dataset(world, snapshot,
-                 ExportStreams{rel, org, pfx, certs, hosts, headers});
+  scan::export_dataset(world, snapshot,
+                       io::ExportStreams{rel, org, pfx, certs, hosts, headers});
 
   std::istringstream rel_in(rel.str());
   auto graph = load_as_relationships(rel_in);

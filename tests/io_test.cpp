@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fault.h"
 #include "core/pipeline.h"
 #include "io/atomic_file.h"
 #include "io/loaders.h"
@@ -415,6 +417,59 @@ TEST(AtomicFileTest, UnwritableDirectoryThrowsOnOpen) {
                std::runtime_error);
   EXPECT_THROW(AtomicFile::write("/nonexistent-dir-8472/artifact.txt", "x"),
                std::runtime_error);
+}
+
+// Every commit failure path must unlink the temp *before* the exception
+// propagates — while the AtomicFile object is still alive — so a caller
+// holding several staged files (scan::export_dataset_to_dir) never
+// leaves an orphan even if it aborts mid-cleanup.
+TEST(AtomicFileTest, FailedCommitUnlinksTempWhileObjectIsAlive) {
+  const std::string path = atomic_path("hook_fail.txt");
+  AtomicFile file(path);
+  file.stream() << "doomed";
+  file.set_commit_hook([] { throw std::runtime_error("injected"); });
+  EXPECT_THROW(file.commit(), std::runtime_error);
+  // The object is still in scope; the temp must already be gone.
+  EXPECT_FALSE(std::filesystem::exists(file.temp_path()));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(file.committed());
+}
+
+// Same contract for an injected errno at the syscall seams: ENOSPC on
+// the write and EIO on the fsync surface as IoError with no temp left,
+// and EINTR is retried to a successful publish.
+TEST(AtomicFileTest, InjectedErrnoFailsCleanAndEintrRetries) {
+  offnet::core::FaultInjector faults;
+  // Occurrences count per stage: commit 1 dies at its write, so commit
+  // 2's fsync is that stage's first crossing; commit 3's write is the
+  // write stage's third.
+  faults.fail_with_errno(offnet::core::fault_stage::kAtomicWrite, 1, ENOSPC);
+  faults.fail_with_errno(offnet::core::fault_stage::kAtomicFsync, 1, EIO);
+  faults.fail_with_errno(offnet::core::fault_stage::kAtomicWrite, 3, EINTR);
+  offnet::core::ScopedSysFaultInjector seams(faults);
+
+  const std::string enospc = atomic_path("enospc.txt");
+  try {
+    AtomicFile file(enospc);  // crossing 1: ENOSPC on the write
+    file.stream() << "x";
+    file.commit();
+    FAIL() << "commit survived injected ENOSPC";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("No space left"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(std::filesystem::exists(enospc));
+  EXPECT_FALSE(std::filesystem::exists(enospc + ".tmp"));
+
+  const std::string eio = atomic_path("eio.txt");
+  EXPECT_THROW(AtomicFile::write(eio, "x"), IoError);  // EIO on fsync
+  EXPECT_FALSE(std::filesystem::exists(eio));
+  EXPECT_FALSE(std::filesystem::exists(eio + ".tmp"));
+
+  const std::string retried = atomic_path("eintr.txt");
+  AtomicFile::write(retried, "intact\n");  // crossing 3: EINTR, retried
+  EXPECT_EQ(file_contents(retried), "intact\n");
+  EXPECT_FALSE(std::filesystem::exists(retried + ".tmp"));
 }
 
 TEST(AtomicFileTest, CommitHookRunsBeforeRename) {

@@ -11,7 +11,7 @@
 
 #include "core/longitudinal.h"
 #include "core/pipeline.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
@@ -180,7 +180,7 @@ TEST(MetricsSeriesTest, RunLoadedRecordsHealthAndIngestionCounters) {
         scan::ScanSnapshot snapshot =
             world.scan(t, scan::ScannerKind::kRapid7);
         std::ostringstream rel, org, pfx, certs, hosts, headers;
-        io::export_dataset(
+        scan::export_dataset(
             world, snapshot,
             io::ExportStreams{rel, org, pfx, certs, hosts, headers});
         std::istringstream rel_in(rel.str()), org_in(org.str()),

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -542,6 +543,49 @@ TEST(ServerTest, MalformedBytesGetErrAndConnectionSurvives) {
   // The same connection still serves.
   EXPECT_EQ(client.request("PING"), "OK pong");
   EXPECT_GE(ts.counter(metric_names::kMalformed), 2u);
+
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+// A client that vanishes after sending its request (before the response
+// is written) must cost exactly that connection: the worker's send hits
+// a closed peer — MSG_NOSIGNAL, never SIGPIPE — and the server keeps
+// serving everyone else.
+TEST(ServerTest, ClientDisconnectMidResponseLeavesServerServing) {
+  TestServer ts("svc_disconnect");
+  ts.start();
+
+  for (int i = 0; i < 3; ++i) {
+    Client goner = ts.client();
+    ASSERT_TRUE(goner.send_raw("STATS\n"));
+    goner.close();  // gone before (or while) the response is written
+  }
+
+  Client client = ts.client();
+  EXPECT_EQ(client.request("PING"), "OK pong");
+  EXPECT_EQ(client.request("QUIT"), "OK bye");
+  ts.server->request_drain();
+  EXPECT_TRUE(ts.server->join());
+}
+
+// Injected EINTR at the socket seams must be retried transparently —
+// an interrupted recv/send is not a dead connection. The injector is
+// process-wide, so both the server's and the client's stream cross it;
+// the exchange must succeed either way.
+TEST(ServerTest, EintrAtSocketSeamsIsRetriedNotFatal) {
+  TestServer ts("svc_eintr");
+  ts.start();
+
+  FaultInjector faults;
+  faults.fail_with_errno(offnet::core::fault_stage::kSvcRead, 1, EINTR);
+  faults.fail_with_errno(offnet::core::fault_stage::kSvcWrite, 1, EINTR);
+  faults.fail_with_errno(offnet::core::fault_stage::kSvcAccept, 1, EINTR);
+  offnet::core::ScopedSysFaultInjector seams(faults);
+
+  Client client = ts.client();
+  EXPECT_EQ(client.request("PING"), "OK pong");
+  EXPECT_EQ(client.request("PING"), "OK pong");
 
   ts.server->request_drain();
   EXPECT_TRUE(ts.server->join());

@@ -31,7 +31,8 @@ const char* const kKnownRules[] = {
     "mutex-unguarded",   "condvar-unguarded",    "guard-dangling",
     "metric-bypass",     "metric-undeclared",    "metric-dead",
     "metric-duplicate",  "fault-stage-bypass",   "fault-stage-undeclared",
-    "fault-stage-dead",  "exit-code-literal",    "exit-code-dead",
+    "fault-stage-dead",  "fault-stage-unswept",  "exit-code-literal",
+    "exit-code-dead",
     "exit-code-mismatch", "stale-baseline",      "bad-suppression",
     "stale-suppression",
 };
@@ -724,13 +725,14 @@ std::vector<CallLiteral> metric_call_literals(const SourceFile& file) {
   return out;
 }
 
-/// FaultInjector call sites: .on("..."), .fail_at("..."),
-/// .fail_randomly("...").
+/// FaultInjector call sites: .on("..."), .on_sys("..."),
+/// .fail_at("..."), .fail_with_errno("..."), .fail_randomly("...").
 std::vector<CallLiteral> fault_call_literals(const SourceFile& file) {
   std::vector<CallLiteral> out;
   const std::string_view code = file.stripped.code;
   for (std::size_t i = 0; i < code.size(); ++i) {
-    for (std::string_view method : {"on", "fail_at", "fail_randomly"}) {
+    for (std::string_view method :
+         {"on_sys", "on", "fail_at", "fail_with_errno", "fail_randomly"}) {
       if (!word_at(code, i, method)) continue;
       if (!member_call_at(code, i)) break;
       std::size_t paren = skip_spaces(code, i + method.size());
@@ -919,6 +921,37 @@ void pass_registries(const std::vector<SourceFile>& files,
                    constant.name,
                    "fault stage constant " + constant.name + " (\"" +
                        constant.value + "\") is never crossed or armed"});
+  }
+
+  // -- Sweep coverage --
+  //
+  // The chaos harness's sweep table must name every registered stage:
+  // a stage that exists but is absent from tools/offnet_chaos.cpp has
+  // fault cells no sweep will ever visit. Keyed on the identifier (the
+  // kSweep rows spell out the fault_stage constants) so renaming the
+  // string value alone cannot fake coverage. Skipped when the harness
+  // is not part of the analyzed tree (fixture runs).
+  const SourceFile* chaos = nullptr;
+  for (const SourceFile& file : files) {
+    if (filename_of(file.rel) == "offnet_chaos.cpp") chaos = &file;
+  }
+  if (chaos != nullptr) {
+    for (const Constant& constant : stages) {
+      const std::string_view code = chaos->stripped.code;
+      bool swept = false;
+      for (std::size_t i = 0; i < code.size() && !swept; ++i) {
+        swept = code[i] == constant.name.front() &&
+                word_at(code, i, constant.name);
+      }
+      if (!swept) {
+        out.push_back({constant.file, constant.line, "fault-stage-unswept",
+                       constant.name,
+                       "fault stage constant " + constant.name + " (\"" +
+                           constant.value + "\") is missing from the " +
+                           chaos->rel + " sweep table — its fault space "
+                           "is never exercised"});
+      }
+    }
   }
 
   // -- Exit codes --

@@ -30,9 +30,16 @@
 #                 timing-stripped metrics
 #   8. offnetd    serve the exported data, query it (including one
 #                 malformed request), SIGTERM, require a clean drain
-#   9. TSan       rebuild svc_test, delta_test, and io_stream_test with
-#                 -fsanitize=thread and rerun the suites under the
-#                 sanitizer
+#   8b. chaos     exhaustive fault-space sweep (offnet_chaos --slice
+#                 full): every registered fault stage x every
+#                 occurrence the baseline runs cross x every applicable
+#                 failure mode, zero invariant violations and a nonzero
+#                 cell count per stage required (DESIGN.md §15)
+#   9. TSan       rebuild svc_test, delta_test, io_stream_test, and
+#                 chaos_test with -fsanitize=thread and rerun the
+#                 suites under the sanitizer (chaos_test minus its
+#                 service cells, whose protocol deadlines don't budget
+#                 for sanitizer slowdown)
 #  10. ASan/UBSan rebuild offnet_analyze + offnet_lint with
 #                 -fsanitize=address,undefined and rerun them over the
 #                 real tree (they parse every source file with raw
@@ -307,7 +314,39 @@ grep -q 'svc/requests' "$svc_dir/metrics.json" || {
 }
 echo "offnetd smoke OK: served, survived malformed input, drained cleanly"
 
-step "TSan leg (svc_test + delta_test + io_stream_test under -fsanitize=thread)"
+step "chaos sweep (offnet_chaos --slice full, exhaustive fault space)"
+# Every registered fault stage x every occurrence the baseline series
+# and service runs cross x every applicable failure mode (throw, abort,
+# and the errno menu). Exit 0 already implies zero invariant violations
+# and a nonzero cell count for every stage (a stage whose fault space
+# is unreachable is itself reported as a violation); the greps keep the
+# gate honest if those exit semantics ever drift.
+chaos_dir="$build_dir/chaos-sweep"
+rm -rf "$chaos_dir" "$build_dir/chaos-summary.txt"
+rc=0
+"$build_dir/tools/offnet_chaos" --sweep \
+    --cli "$build_dir/tools/offnet_cli" \
+    --daemon "$build_dir/tools/offnetd" \
+    --dir "$chaos_dir" --slice full \
+    > "$build_dir/chaos-summary.txt" 2>&1 || rc=$?
+cat "$build_dir/chaos-summary.txt"
+if [ "$rc" -ne 0 ]; then
+  echo "check.sh: chaos sweep FAILED: exit $rc, want 0" >&2
+  exit 1
+fi
+if ! grep -q ', 0 violations' "$build_dir/chaos-summary.txt"; then
+  echo "check.sh: chaos sweep FAILED: summary reports violations" >&2
+  exit 1
+fi
+# A `stage=0` entry in the per-stage cell counts would mean a
+# registered stage swept zero cells — coverage silently lost.
+if grep -q '=0' "$build_dir/chaos-summary.txt"; then
+  echo "check.sh: chaos sweep FAILED: a stage swept zero cells" >&2
+  exit 1
+fi
+echo "chaos sweep OK: exhaustive fault space swept clean"
+
+step "TSan leg (svc_test + delta_test + io_stream_test + chaos_test under -fsanitize=thread)"
 # The concurrency half of the proofs: svc_test (concurrent pin/publish,
 # queries racing reloads, drain), delta_test (sharded probes against
 # the frozen cache at several thread counts), and io_stream_test (the
@@ -318,10 +357,19 @@ cmake -S "$repo_root" -B "$tsan_dir" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DOFFNET_SANITIZE=thread > /dev/null
 cmake --build "$tsan_dir" -j "$(nproc 2>/dev/null || echo 2)" \
-      --target svc_test --target delta_test --target io_stream_test
+      --target svc_test --target delta_test --target io_stream_test \
+      --target chaos_test
 "$tsan_dir/tests/svc_test"
 "$tsan_dir/tests/delta_test"
 "$tsan_dir/tests/io_stream_test"
+# chaos_test also builds TSan-instrumented offnet_chaos, offnet_cli,
+# and offnetd (target dependencies). Run the cells that drive the CLI
+# directly — supervised retry loops and checkpoint publishes under
+# injected faults, with the thread pool instrumented. The sweep-driving
+# tests stay in the Release ctest leg: the harness's 2s query deadlines
+# don't budget for sanitizer slowdown.
+"$tsan_dir/tests/chaos_test" \
+    --gtest_filter='-*BoundedSlice*:*Deterministic*'
 
 step "ASan/UBSan leg (offnet_analyze over the real tree)"
 # The analyzer parses every repo source with hand-rolled index

@@ -1,0 +1,881 @@
+// offnet_chaos — the exhaustive fault-space sweep harness (DESIGN.md
+// §15).
+//
+//   offnet_chaos --sweep --cli BIN --daemon BIN --dir SCRATCH
+//                [--slice bounded|full] [--stages CSV]
+//                [--max-occurrences N] [--scale S] [--seed N] [--keep]
+//
+// The sweep enumerates every registered core::fault_stage constant ×
+// every occurrence the stage's workload actually crosses (discovered by
+// a dry-run counting pass over --fault-counts) × every applicable fault
+// mode (throw, abort, and the errno classes ENOSPC/EIO/EMFILE/EINTR),
+// runs one workload per cell with that single fault armed via
+// --fail-at, and checks the cell's invariants:
+//
+//   - the exit code lands in the tools/exit_codes.h taxonomy, with
+//     abort cells exiting exactly kExitCrashInjected;
+//   - no orphan io::AtomicFile temps or torn artifacts survive a
+//     non-abort failure, and none survive recovery from an abort;
+//   - a run killed mid-series resumes (--resume when a checkpoint was
+//     published, a fresh rerun otherwise) to a report byte-identical
+//     to the uninterrupted baseline;
+//   - funnel metrics are exactly-once: the recovered run's metrics
+//     (timing subtree and retry counters aside) match the baseline
+//     byte for byte;
+//   - offnetd survives every non-abort fault — the final PING answers,
+//     SIGTERM drains to exit 0 — and a faulted reload leaves the old
+//     snapshot serving (INFO still reports version=1).
+//
+// The summary table on stdout is deterministic for a fixed corpus seed:
+// enumeration order is the sweep table's, and no wall-clock or path
+// values appear in it. Exit 0 when every cell verdicts OK, 65 when any
+// invariant is violated.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/fault.h"
+#include "exit_codes.h"
+
+using namespace offnet;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+constexpr std::string_view kKnownFlags[] = {
+    "sweep", "cli",   "daemon", "dir",  "slice", "stages",
+    "max-occurrences", "scale", "seed", "keep"};
+
+struct Args {
+  std::map<std::string, std::string> options;
+  const char* get(const std::string& key, const char* fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+  bool has(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") {
+      throw UsageError("unexpected argument '" + std::string(arg) + "'");
+    }
+    std::string key(arg.substr(2));
+    if (std::find(std::begin(kKnownFlags), std::end(kKnownFlags), key) ==
+        std::end(kKnownFlags)) {
+      throw UsageError("unknown option --" + key);
+    }
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key].assign(1, '1');
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: offnet_chaos --sweep --cli BIN --daemon BIN --dir SCRATCH\n"
+      "                    [--slice bounded|full] [--stages CSV]\n"
+      "                    [--max-occurrences N] [--scale S] [--seed N]\n"
+      "                    [--keep]\n"
+      "  --sweep            run the fault-space sweep (required)\n"
+      "  --cli BIN          path to offnet_cli\n"
+      "  --daemon BIN       path to offnetd\n"
+      "  --dir SCRATCH      scratch directory (created; cells live here)\n"
+      "  --slice bounded    first and last occurrence per stage only\n"
+      "  --slice full       every occurrence (default)\n"
+      "  --stages CSV       restrict to these stages (default: all)\n"
+      "  --max-occurrences N  cap swept occurrences per stage (0 = all;\n"
+      "                     a truncating cap is reported in the summary)\n"
+      "  --scale S          corpus world scale (default 0.02)\n"
+      "  --seed N           corpus world seed (default 20210823)\n"
+      "  --keep             keep per-cell scratch even for OK verdicts\n");
+  return tools::kExitUsage;
+}
+
+// ---- Small file helpers ----
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses a --fault-counts dump: one `stage count` line per stage.
+std::map<std::string, std::size_t> parse_counts(const std::string& path) {
+  std::map<std::string, std::size_t> counts;
+  std::ifstream in(path);
+  std::string stage;
+  std::size_t n = 0;
+  while (in >> stage >> n) counts[stage] = n;
+  return counts;
+}
+
+/// Every io::AtomicFile staging temp below `dir` — an orphan when found
+/// after a completed (or recovered) run.
+std::vector<std::string> find_temps(const std::string& dir) {
+  std::vector<std::string> temps;
+  if (!fs::exists(dir)) return temps;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      temps.push_back(entry.path().lexically_relative(dir).string());
+    }
+  }
+  std::sort(temps.begin(), temps.end());
+  return temps;
+}
+
+/// The comparable part of a metrics JSON dump: the wall-clock "timing"
+/// subtree and the retry counters (legitimately nonzero in a run whose
+/// injected fault was absorbed by a retry) are dropped, along with
+/// checkpoint/save_bytes — checkpoints embed the metrics registry, so
+/// persisted retry counters change the payload size; everything left —
+/// the funnel, checkpoint-save, delta, and series counters — must be
+/// exactly-once across baseline, faulted, and recovered runs.
+std::string comparable_metrics(const std::string& json) {
+  std::istringstream in(json);
+  std::string line;
+  std::string out;
+  int skip_depth = 0;
+  while (std::getline(in, line)) {
+    if (skip_depth > 0) {
+      for (char c : line) {
+        if (c == '{') ++skip_depth;
+        if (c == '}') --skip_depth;
+      }
+      continue;
+    }
+    const std::size_t timing_at = line.find("\"timing\"");
+    if (timing_at != std::string::npos &&
+        line.find('{', timing_at) != std::string::npos) {
+      // Count braces from the opening one: an empty subtree closes on
+      // the same line ("timing": {}), a populated one spans lines.
+      for (std::size_t i = line.find('{', timing_at); i < line.size(); ++i) {
+        if (line[i] == '{') ++skip_depth;
+        if (line[i] == '}') --skip_depth;
+      }
+      continue;
+    }
+    if (line.find("\"retry/") != std::string::npos) continue;
+    if (line.find("\"checkpoint/save_bytes\"") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// ---- Subprocess helpers ----
+
+/// Runs `command` through the shell with stdout/stderr captured;
+/// returns the exit code, or 128+signal for abnormal termination.
+int run_shell(const std::string& command, const std::string& out_path,
+              const std::string& err_path) {
+  const std::string full =
+      command + " > " + out_path + " 2> " + err_path;
+  const int status = std::system(full.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+/// A forked offnetd under sweep control.
+struct Daemon {
+  pid_t pid = -1;
+  std::string out_path;
+  int exit_code = -1;  // valid after wait()
+
+  /// Waits for "READY" on the daemon's stdout; false when the daemon
+  /// exited (or `ms` elapsed) first.
+  bool wait_ready(int ms) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (read_file(out_path).find("READY") != std::string::npos) {
+        return true;
+      }
+      int status = 0;
+      if (waitpid(pid, &status, WNOHANG) == pid) {
+        exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        pid = -1;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  /// SIGTERM then a bounded wait; SIGKILL as a last resort. Returns the
+  /// daemon's exit code (-1 for signal death / lost child).
+  int stop(int ms) {
+    if (pid == -1) return exit_code;
+    ::kill(pid, SIGTERM);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      int status = 0;
+      const pid_t got = waitpid(pid, &status, WNOHANG);
+      if (got == pid) {
+        exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        pid = -1;
+        return exit_code;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    pid = -1;
+    exit_code = -1;
+    return exit_code;
+  }
+};
+
+Daemon start_daemon(const std::vector<std::string>& argv,
+                    const std::string& out_path,
+                    const std::string& err_path) {
+  Daemon daemon;
+  daemon.out_path = out_path;
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (std::freopen(out_path.c_str(), "w", stdout) == nullptr ||
+        std::freopen(err_path.c_str(), "w", stderr) == nullptr) {
+      std::_Exit(127);
+    }
+    ::execv(cargv[0], cargv.data());
+    std::_Exit(127);
+  }
+  daemon.pid = pid;
+  return daemon;
+}
+
+// ---- The sweep table ----
+
+enum class Workload { kSeries, kService };
+
+/// One registered stage, the workload that reaches it, and the fault
+/// modes that make sense there (every stage gets at least two, at least
+/// one of them an errno class — the acceptance bar for the sweep).
+struct StageSpec {
+  const char* stage;
+  Workload workload;
+  std::array<const char*, 5> modes;
+  int n_modes;
+};
+
+/// Every core::fault_stage constant, spelled out by name so the
+/// fault-stage-unswept analyze rule can hold this file and the registry
+/// in lockstep; the static_assert below catches a stage added to
+/// kAllStages but not here.
+const StageSpec kSweep[] = {
+    {core::fault_stage::kFeed, Workload::kSeries,
+     {"throw", "abort", "EIO"}, 3},
+    {core::fault_stage::kPipeline, Workload::kSeries,
+     {"throw", "abort", "EIO"}, 3},
+    {core::fault_stage::kCheckpointWrite, Workload::kSeries,
+     {"throw", "abort", "ENOSPC"}, 3},
+    {core::fault_stage::kArtifactRename, Workload::kSeries,
+     {"throw", "abort", "ENOSPC"}, 3},
+    {core::fault_stage::kSvcReload, Workload::kService,
+     {"throw", "abort", "EIO"}, 3},
+    {core::fault_stage::kAtomicWrite, Workload::kSeries,
+     {"ENOSPC", "EIO", "EINTR", "throw", "abort"}, 5},
+    {core::fault_stage::kAtomicFsync, Workload::kSeries,
+     {"EIO", "EINTR", "throw", "abort"}, 4},
+    {core::fault_stage::kStreamRead, Workload::kSeries,
+     {"EIO", "EINTR", "throw", "abort"}, 4},
+    {core::fault_stage::kSvcAccept, Workload::kService,
+     {"EMFILE", "EINTR", "throw", "abort"}, 4},
+    {core::fault_stage::kSvcRead, Workload::kService,
+     {"EIO", "EINTR", "throw", "abort"}, 4},
+    {core::fault_stage::kSvcWrite, Workload::kService,
+     {"EIO", "EINTR", "throw", "abort"}, 4},
+};
+
+static_assert(std::size(kSweep) == std::size(core::fault_stage::kAllStages),
+              "every registered fault stage needs a sweep table row");
+
+constexpr int kTaxonomy[] = {
+    tools::kExitOk,   tools::kExitUnexpected,    tools::kExitUsage,
+    tools::kExitData, tools::kExitCrashInjected, tools::kExitIo,
+    tools::kExitTempFail};
+
+bool in_taxonomy(int code) {
+  return std::find(std::begin(kTaxonomy), std::end(kTaxonomy), code) !=
+         std::end(kTaxonomy);
+}
+
+// ---- The sweep itself ----
+
+struct SweepConfig {
+  std::string cli;
+  std::string daemon;
+  std::string scratch;
+  std::string corpus;       // export root shared by every cell
+  bool bounded = false;
+  bool keep = false;
+  std::size_t max_occurrences = 0;  // 0 = unlimited
+  std::string scale = "0.02";
+  std::string seed = "20210823";
+};
+
+struct CellResult {
+  std::string stage;
+  std::size_t occurrence = 0;
+  std::string mode;
+  int exit_code = 0;
+  std::vector<std::string> issues;  // empty = OK
+
+  std::string key() const {
+    return stage + ":" + std::to_string(occurrence) + ":" + mode;
+  }
+};
+
+struct Baseline {
+  // Series workload.
+  int series_exit = -1;
+  std::string series_stdout;
+  std::string series_metrics;  // comparable part
+  std::map<std::string, std::size_t> series_counts;
+  // Service workload.
+  std::vector<int> service_steps;
+  int service_daemon_exit = -1;
+  std::string service_final_version;
+  std::map<std::string, std::size_t> service_counts;
+};
+
+/// The fixed offnetd conversation every service cell replays. RELOAD
+/// points at the corpus root, so a successful reload publishes
+/// version 2; INFO after it tells which snapshot is serving.
+std::vector<std::string> service_requests(const std::string& corpus) {
+  return {"PING", "INFO", "STATS", "RELOAD " + corpus, "INFO", "PING"};
+}
+
+std::string version_token(const std::string& text) {
+  const std::size_t at = text.find("version=");
+  if (at == std::string::npos) return "?";
+  std::size_t end = at + 8;
+  while (end < text.size() && std::isdigit(text[end]) != 0) ++end;
+  return text.substr(at + 8, end - (at + 8));
+}
+
+std::string series_command(const SweepConfig& config, const std::string& dir,
+                           const std::string& fail_at) {
+  std::string command = config.cli + " series --root " + config.corpus +
+                        " --checkpoint-dir " + dir + "/ckpt" +
+                        " --metrics-out " + dir + "/metrics.json" +
+                        " --fault-counts " + dir + "/counts.txt";
+  if (!fail_at.empty()) command += " --fail-at " + fail_at;
+  return command;
+}
+
+std::vector<std::string> daemon_argv(const SweepConfig& config,
+                                     const std::string& dir,
+                                     const std::string& fail_at) {
+  std::vector<std::string> argv = {
+      config.daemon,       "--socket", dir + "/sock",
+      "--root",            config.corpus,
+      "--workers",         "1",
+      "--queue",           "8",
+      "--metrics-out",     dir + "/metrics.json",
+      "--fault-counts",    dir + "/counts.txt"};
+  if (!fail_at.empty()) {
+    argv.push_back("--fail-at");
+    argv.push_back(fail_at);
+  }
+  return argv;
+}
+
+/// One client step; returns its exit code and stores the response text.
+int query_step(const SweepConfig& config, const std::string& dir,
+               const std::string& request, int step, std::string* response) {
+  const std::string out = dir + "/q" + std::to_string(step) + ".out";
+  const std::string err = dir + "/q" + std::to_string(step) + ".err";
+  const int rc = run_shell(config.cli + " query --socket " + dir +
+                               "/sock --timeout-ms 2000 --send '" + request +
+                               "'",
+                           out, err);
+  if (response != nullptr) *response = read_file(out);
+  return rc;
+}
+
+/// Runs the whole service conversation; returns per-step exit codes and
+/// the version reported by the final INFO.
+std::vector<int> run_service_steps(const SweepConfig& config,
+                                   const std::string& dir,
+                                   std::string* final_version) {
+  const std::vector<std::string> requests = service_requests(config.corpus);
+  std::vector<int> codes;
+  std::string last_info;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    std::string response;
+    codes.push_back(query_step(config, dir, requests[i],
+                               static_cast<int>(i), &response));
+    if (requests[i] == "INFO") last_info = response;
+  }
+  if (final_version != nullptr) *final_version = version_token(last_info);
+  return codes;
+}
+
+void scan_for_temps(const std::string& dir, const char* when,
+                    std::vector<std::string>* issues) {
+  const std::vector<std::string> temps = find_temps(dir);
+  if (!temps.empty()) {
+    issues->push_back(std::string("orphan temp ") + when + ": " + temps[0] +
+                      (temps.size() > 1
+                           ? " (+" + std::to_string(temps.size() - 1) + ")"
+                           : ""));
+  }
+}
+
+/// One series-workload cell: fault the run, then prove the world can be
+/// put back exactly — resume when a checkpoint was published, rerun
+/// from scratch otherwise, and compare the recovered report and metrics
+/// byte-for-byte against the baseline.
+CellResult run_series_cell(const SweepConfig& config,
+                           const Baseline& baseline,
+                           const std::string& stage, std::size_t occurrence,
+                           const std::string& mode) {
+  CellResult cell{stage, occurrence, mode, 0, {}};
+  const std::string dir = config.scratch + "/cells/" + stage + "." +
+                          std::to_string(occurrence) + "." + mode;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string spec =
+      stage + ":" + std::to_string(occurrence) + ":" + mode;
+  const int rc = run_shell(series_command(config, dir, spec),
+                           dir + "/run.out", dir + "/run.err");
+  cell.exit_code = rc;
+
+  if (!in_taxonomy(rc)) {
+    cell.issues.push_back("exit " + std::to_string(rc) +
+                          " outside the exit-code taxonomy");
+  }
+  if (mode == "abort") {
+    if (rc != tools::kExitCrashInjected) {
+      cell.issues.push_back("abort cell exited " + std::to_string(rc) +
+                            ", want 70");
+    }
+  } else {
+    if (rc == tools::kExitCrashInjected) {
+      cell.issues.push_back("non-abort cell exited 70");
+    }
+    // The counting seam proves the fault actually fired: the armed
+    // crossing is counted before the fault is raised. The counts dump
+    // itself goes through io::AtomicFile, so for the AtomicFile-family
+    // stages a missing dump is the fault landing on the dump's own
+    // write — evidence of firing, not of a miss.
+    const bool counts_may_self_destruct =
+        stage == core::fault_stage::kAtomicWrite ||
+        stage == core::fault_stage::kAtomicFsync ||
+        stage == core::fault_stage::kArtifactRename;
+    if (fs::exists(dir + "/counts.txt")) {
+      const auto counts = parse_counts(dir + "/counts.txt");
+      const auto it = counts.find(stage);
+      if (it == counts.end() || it->second < occurrence) {
+        cell.issues.push_back(
+            "stage crossed " +
+            std::to_string(it == counts.end() ? 0 : it->second) +
+            " times; armed occurrence " + std::to_string(occurrence) +
+            " never fired");
+      }
+    } else if (!counts_may_self_destruct) {
+      cell.issues.push_back("faulted run left no fault-counts dump");
+    }
+    // Failure paths must leave no staging temps behind (abort is the
+    // sanctioned exception: recovery below must clean those up).
+    scan_for_temps(dir, "after faulted run", &cell.issues);
+  }
+
+  if (rc == tools::kExitOk) {
+    // The fault was absorbed (EINTR retry, or a supervised retry of the
+    // faulted snapshot): the report and the funnel metrics must be
+    // byte-identical to the uninterrupted baseline.
+    if (read_file(dir + "/run.out") != baseline.series_stdout) {
+      cell.issues.push_back("recovered report differs from baseline");
+    }
+    if (comparable_metrics(read_file(dir + "/metrics.json")) !=
+        baseline.series_metrics) {
+      cell.issues.push_back("funnel metrics differ from baseline");
+    }
+  } else {
+    // The run died. Resume from the published checkpoint when there is
+    // one, rerun from scratch otherwise — either way the final report
+    // must be byte-identical to a run that never faulted.
+    std::string recover = series_command(config, dir, "");
+    if (fs::exists(dir + "/ckpt/checkpoint.offnet")) recover += " --resume";
+    const int rc2 = run_shell(recover, dir + "/recover.out",
+                              dir + "/recover.err");
+    if (rc2 != baseline.series_exit) {
+      cell.issues.push_back("recovery exited " + std::to_string(rc2) +
+                            ", baseline " +
+                            std::to_string(baseline.series_exit));
+    }
+    if (read_file(dir + "/recover.out") != baseline.series_stdout) {
+      cell.issues.push_back("recovered report differs from baseline");
+    }
+    if (comparable_metrics(read_file(dir + "/metrics.json")) !=
+        baseline.series_metrics) {
+      cell.issues.push_back("funnel metrics differ from baseline");
+    }
+    scan_for_temps(dir, "after recovery", &cell.issues);
+  }
+
+  if (cell.issues.empty() && !config.keep) fs::remove_all(dir);
+  return cell;
+}
+
+/// One service-workload cell: fault offnetd mid-conversation. Non-abort
+/// faults must be contained — the final PING answers and SIGTERM drains
+/// to exit 0 — and a faulted reload must leave version 1 serving.
+CellResult run_service_cell(const SweepConfig& config,
+                            const Baseline& baseline,
+                            const std::string& stage, std::size_t occurrence,
+                            const std::string& mode) {
+  CellResult cell{stage, occurrence, mode, 0, {}};
+  const std::string dir = config.scratch + "/cells/" + stage + "." +
+                          std::to_string(occurrence) + "." + mode;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string spec =
+      stage + ":" + std::to_string(occurrence) + ":" + mode;
+  Daemon daemon = start_daemon(daemon_argv(config, dir, spec),
+                               dir + "/daemon.out", dir + "/daemon.err");
+  if (!daemon.wait_ready(30'000)) {
+    daemon.stop(5'000);
+    cell.exit_code = daemon.exit_code;
+    cell.issues.push_back("daemon never reached READY");
+    return cell;
+  }
+
+  std::string final_version;
+  const std::vector<int> steps =
+      run_service_steps(config, dir, &final_version);
+  // Liveness probe, retried: the armed fault fires at most once, so if
+  // it landed on the probe itself (e.g. svc-write on the last scripted
+  // step's successor) the second attempt must get through.
+  bool alive = false;
+  for (int attempt = 0; attempt < 3 && !alive; ++attempt) {
+    alive = query_step(config, dir, "PING", 90 + attempt, nullptr) ==
+            tools::kExitOk;
+  }
+  const int daemon_exit = daemon.stop(10'000);
+  cell.exit_code = daemon_exit;
+
+  if (mode == "abort") {
+    if (daemon_exit != tools::kExitCrashInjected) {
+      cell.issues.push_back("abort cell: daemon exited " +
+                            std::to_string(daemon_exit) + ", want 70");
+    }
+  } else {
+    if (daemon_exit != tools::kExitOk) {
+      cell.issues.push_back("fault not contained: daemon exited " +
+                            std::to_string(daemon_exit));
+    }
+    if (!alive) {
+      cell.issues.push_back("daemon stopped answering PING after the fault");
+    }
+    const auto counts = parse_counts(dir + "/counts.txt");
+    const auto it = counts.find(stage);
+    if (it == counts.end() || it->second < occurrence) {
+      cell.issues.push_back("stage crossed " +
+                            std::to_string(it == counts.end() ? 0
+                                                              : it->second) +
+                            " times; armed occurrence " +
+                            std::to_string(occurrence) + " never fired");
+    }
+    scan_for_temps(dir, "after drain", &cell.issues);
+    if (stage == core::fault_stage::kSvcReload && mode != "EINTR") {
+      // The reload must fail closed: ERR to the client, old snapshot
+      // still serving.
+      if (steps[3] != tools::kExitData) {
+        cell.issues.push_back("faulted RELOAD exited " +
+                              std::to_string(steps[3]) + ", want 65");
+      }
+      if (final_version != "1") {
+        cell.issues.push_back("reload fault published version " +
+                              final_version + "; old snapshot lost");
+      }
+    } else if (mode == "EINTR") {
+      // Retried seam: the whole conversation must match the baseline.
+      if (steps != baseline.service_steps) {
+        cell.issues.push_back("EINTR conversation diverged from baseline");
+      }
+      if (final_version != baseline.service_final_version) {
+        cell.issues.push_back("EINTR cell final version " + final_version +
+                              ", baseline " +
+                              baseline.service_final_version);
+      }
+    }
+  }
+  for (int step : steps) {
+    if (!in_taxonomy(step) && step != 128 + SIGPIPE) {
+      cell.issues.push_back("client exit " + std::to_string(step) +
+                            " outside the exit-code taxonomy");
+    }
+  }
+
+  if (cell.issues.empty() && !config.keep) fs::remove_all(dir);
+  return cell;
+}
+
+/// Builds the shared corpus and measures both baselines.
+Baseline prepare(const SweepConfig& config) {
+  Baseline baseline;
+  std::fprintf(stderr, "chaos: exporting corpus...\n");
+  for (const char* month : {"2013-10", "2014-01"}) {
+    const std::string dir = config.corpus + "/" + month;
+    fs::create_directories(dir);
+    const int rc = run_shell(config.cli + " export --out " + dir +
+                                 " --scale " + config.scale + " --seed " +
+                                 config.seed + " --month " + month,
+                             config.scratch + "/export.out",
+                             config.scratch + "/export.err");
+    if (rc != 0) {
+      throw std::runtime_error("corpus export failed (exit " +
+                               std::to_string(rc) + "): " +
+                               read_file(config.scratch + "/export.err"));
+    }
+  }
+
+  std::fprintf(stderr, "chaos: baseline series run (dry-run counting)...\n");
+  const std::string dir = config.scratch + "/baseline";
+  fs::create_directories(dir);
+  baseline.series_exit = run_shell(series_command(config, dir, ""),
+                                   dir + "/run.out", dir + "/run.err");
+  if (baseline.series_exit != tools::kExitOk) {
+    throw std::runtime_error("baseline series run failed (exit " +
+                             std::to_string(baseline.series_exit) + "): " +
+                             read_file(dir + "/run.err"));
+  }
+  baseline.series_stdout = read_file(dir + "/run.out");
+  baseline.series_metrics =
+      comparable_metrics(read_file(dir + "/metrics.json"));
+  baseline.series_counts = parse_counts(dir + "/counts.txt");
+
+  std::fprintf(stderr, "chaos: baseline service run...\n");
+  const std::string sdir = config.scratch + "/baseline_svc";
+  fs::create_directories(sdir);
+  Daemon daemon = start_daemon(daemon_argv(config, sdir, ""),
+                               sdir + "/daemon.out", sdir + "/daemon.err");
+  if (!daemon.wait_ready(30'000)) {
+    daemon.stop(5'000);
+    throw std::runtime_error("baseline daemon never reached READY: " +
+                             read_file(sdir + "/daemon.err"));
+  }
+  baseline.service_steps =
+      run_service_steps(config, sdir, &baseline.service_final_version);
+  baseline.service_daemon_exit = daemon.stop(10'000);
+  if (baseline.service_daemon_exit != tools::kExitOk) {
+    throw std::runtime_error("baseline daemon exited " +
+                             std::to_string(baseline.service_daemon_exit));
+  }
+  for (std::size_t i = 0; i < baseline.service_steps.size(); ++i) {
+    if (baseline.service_steps[i] != tools::kExitOk) {
+      throw std::runtime_error("baseline service step " + std::to_string(i) +
+                               " exited " +
+                               std::to_string(baseline.service_steps[i]));
+    }
+  }
+  baseline.service_counts = parse_counts(sdir + "/counts.txt");
+  return baseline;
+}
+
+std::vector<std::size_t> occurrences_to_sweep(const SweepConfig& config,
+                                              std::size_t total,
+                                              bool* truncated) {
+  std::vector<std::size_t> occurrences;
+  if (total == 0) return occurrences;
+  if (config.bounded) {
+    occurrences.push_back(1);
+    if (total > 1) occurrences.push_back(total);
+    return occurrences;
+  }
+  std::size_t last = total;
+  if (config.max_occurrences != 0 && config.max_occurrences < total) {
+    last = config.max_occurrences;
+    *truncated = true;
+  }
+  for (std::size_t occ = 1; occ <= last; ++occ) occurrences.push_back(occ);
+  return occurrences;
+}
+
+int run_sweep(const SweepConfig& config,
+              const std::vector<std::string>& only_stages) {
+  fs::create_directories(config.scratch);
+  fs::create_directories(config.corpus);
+  const Baseline baseline = prepare(config);
+
+  std::vector<CellResult> cells;
+  std::map<std::string, std::size_t> per_stage_cells;
+  bool truncated = false;
+  for (const StageSpec& spec : kSweep) {
+    if (!only_stages.empty() &&
+        std::find(only_stages.begin(), only_stages.end(), spec.stage) ==
+            only_stages.end()) {
+      continue;
+    }
+    const auto& counts = spec.workload == Workload::kSeries
+                             ? baseline.series_counts
+                             : baseline.service_counts;
+    const auto it = counts.find(spec.stage);
+    const std::size_t total = it == counts.end() ? 0 : it->second;
+    if (total == 0) {
+      CellResult missing{spec.stage, 0, "-", -1, {}};
+      missing.issues.push_back(
+          "stage never crossed by its workload; fault space unreachable");
+      cells.push_back(std::move(missing));
+      continue;
+    }
+    for (std::size_t occ : occurrences_to_sweep(config, total, &truncated)) {
+      for (int m = 0; m < spec.n_modes; ++m) {
+        const std::string mode = spec.modes[static_cast<std::size_t>(m)];
+        std::fprintf(stderr, "chaos: cell %s:%zu:%s\n", spec.stage, occ,
+                     mode.c_str());
+        CellResult cell =
+            spec.workload == Workload::kSeries
+                ? run_series_cell(config, baseline, spec.stage, occ, mode)
+                : run_service_cell(config, baseline, spec.stage, occ, mode);
+        ++per_stage_cells[spec.stage];
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // ---- Deterministic summary ----
+  std::printf("offnet_chaos sweep summary (%s slice)\n",
+              config.bounded ? "bounded" : "full");
+  if (truncated) {
+    std::printf("note: occurrence space truncated at --max-occurrences "
+                "%zu\n",
+                config.max_occurrences);
+  }
+  std::printf("%-36s %-6s %s\n", "cell", "exit", "verdict");
+  std::size_t violations = 0;
+  for (const CellResult& cell : cells) {
+    if (cell.issues.empty()) {
+      std::printf("%-36s %-6d OK\n", cell.key().c_str(), cell.exit_code);
+    } else {
+      ++violations;
+      std::printf("%-36s %-6d VIOLATION\n", cell.key().c_str(),
+                  cell.exit_code);
+      for (const std::string& issue : cell.issues) {
+        std::printf("    - %s\n", issue.c_str());
+      }
+    }
+  }
+  std::printf("\nper-stage cells:");
+  for (const StageSpec& spec : kSweep) {
+    if (!only_stages.empty() &&
+        std::find(only_stages.begin(), only_stages.end(), spec.stage) ==
+            only_stages.end()) {
+      continue;
+    }
+    const auto it = per_stage_cells.find(spec.stage);
+    std::printf(" %s=%zu", spec.stage,
+                it == per_stage_cells.end() ? 0 : it->second);
+  }
+  std::printf("\n%zu cells, %zu violations\n", cells.size(), violations);
+  return violations == 0 ? tools::kExitOk : tools::kExitData;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.has("sweep") || !args.has("cli") || !args.has("daemon") ||
+      !args.has("dir")) {
+    return usage();
+  }
+  SweepConfig config;
+  config.cli = args.get("cli", "");
+  config.daemon = args.get("daemon", "");
+  config.scratch = args.get("dir", "");
+  config.corpus = config.scratch + "/corpus";
+  config.keep = args.has("keep");
+  config.scale = args.get("scale", "0.02");
+  config.seed = args.get("seed", "20210823");
+  const std::string slice = args.get("slice", "full");
+  if (slice == "bounded") {
+    config.bounded = true;
+  } else if (slice != "full") {
+    throw UsageError("--slice must be bounded or full");
+  }
+  if (args.has("max-occurrences")) {
+    char* end = nullptr;
+    const char* text = args.get("max-occurrences", "0");
+    const unsigned long n = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') {
+      throw UsageError("--max-occurrences must be an integer");
+    }
+    config.max_occurrences = static_cast<std::size_t>(n);
+  }
+  std::vector<std::string> only_stages;
+  if (args.has("stages")) {
+    std::string_view csv = args.get("stages", "");
+    while (!csv.empty()) {
+      const std::size_t comma = csv.find(',');
+      only_stages.emplace_back(csv.substr(0, comma));
+      csv = comma == std::string_view::npos ? std::string_view()
+                                            : csv.substr(comma + 1);
+    }
+    for (const std::string& stage : only_stages) {
+      const auto known = std::find_if(
+          std::begin(kSweep), std::end(kSweep),
+          [&](const StageSpec& spec) { return stage == spec.stage; });
+      if (known == std::end(kSweep)) {
+        throw UsageError("unknown stage '" + stage + "'");
+      }
+    }
+  }
+  return run_sweep(config, only_stages);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The sweep talks to sockets through offnet_cli only, but a daemon
+  // dying mid-conversation can still SIGPIPE the harness through an
+  // inherited descriptor; never die on it.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitIo;
+  }
+}

@@ -48,7 +48,7 @@
 #include "core/pipeline.h"
 #include "exit_codes.h"
 #include "io/atomic_file.h"
-#include "io/exporter.h"
+#include "scan/export.h"
 #include "io/loaders.h"
 #include "net/table.h"
 #include "obs/exporter.h"
@@ -90,7 +90,18 @@ constexpr std::string_view kKnownFlags[] = {
     "threads", "metrics-out", "stream",
     "checkpoint-dir", "resume", "max-retries", "crash-after",
     "delta", "no-delta",
+    "fail-at", "fault-counts",
     "socket", "port", "send", "timeout-ms"};
+
+/// The injector behind --fail-at and --fault-counts. One object serves
+/// both halves of the plan: the supervisor crosses the control-flow
+/// stages on it directly, and main() installs it as the process-wide
+/// syscall seam so io::AtomicFile / LineReader cross the same plan.
+core::FaultInjector& cli_faults() {
+  static core::FaultInjector faults;
+  return faults;
+}
+bool g_cli_faults_active = false;
 
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -152,7 +163,14 @@ int usage() {
                "  query    (--socket PATH | --port N) --send 'REQUEST' "
                "[--timeout-ms N]\n"
                "           one offnetd request; exit 0 on OK, 65 on ERR, "
-               "75 on BUSY, 74 on transport failure\n");
+               "75 on BUSY, 74 on transport failure\n"
+               "  --fail-at STAGE:OCC:MODE[,...]: testing aid; fault the "
+               "OCC-th crossing of STAGE (mode: throw, abort,\n"
+               "           or an errno class ENOSPC|EIO|EMFILE|EINTR); "
+               "any command\n"
+               "  --fault-counts FILE: write per-stage seam-crossing "
+               "counts after the run (offnet_chaos's dry-run pass);\n"
+               "           any command\n");
   return tools::kExitUsage;
 }
 
@@ -196,6 +214,28 @@ void maybe_write_metrics(const Args& args, obs::Registry& metrics) {
   const char* path = args.get("metrics-out", "");
   io::AtomicFile::write(path, obs::MetricsExporter::to_json(metrics));
   std::fprintf(stderr, "wrote metrics to %s\n", path);
+}
+
+/// Writes the per-stage seam-crossing counts observed this run, one
+/// `stage count` line per registered stage (zeros included, so a stage
+/// whose workload never reaches it is visible). offnet_chaos's dry-run
+/// pass reads this to discover each stage's occurrence space.
+/// Best-effort: a faulted run must still exit with its fault's code.
+void maybe_write_fault_counts(const Args& args) {
+  if (!args.has("fault-counts")) return;
+  try {
+    const auto counts = cli_faults().occurrence_counts();
+    std::string text;
+    for (const char* stage : core::fault_stage::kAllStages) {
+      const auto it = counts.find(stage);
+      text += std::string(stage) + " " +
+              std::to_string(it == counts.end() ? 0 : it->second) + "\n";
+    }
+    io::AtomicFile::write(args.get("fault-counts", ""), text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: cannot write fault counts: %s\n",
+                 e.what());
+  }
 }
 
 std::size_t parse_count(const Args& args, const char* flag,
@@ -284,7 +324,7 @@ int cmd_export(const Args& args) {
   // final name and renamed only after a verified flush, so a failed or
   // interrupted export never leaves torn dataset files ("silent success"
   // on a full disk was a real bug here).
-  io::export_dataset_to_dir(world, snap, dir);
+  scan::export_dataset_to_dir(world, snap, dir);
   obs::Registry metrics;
   metrics.counter(metric_names::kExportCertRecords).add(snap.certs().size());
   metrics.counter(metric_names::kExportFiles).add(6);
@@ -398,11 +438,14 @@ int cmd_series(const Args& args) {
   core::LongitudinalRunner runner{pipeline_options};
 
   // Any supervision flag selects the crash-safe runner; a plain series
-  // keeps the original fail-fast behaviour.
+  // keeps the original fail-fast behaviour. An armed fault plan (or a
+  // counting pass over the same path) implies supervision too, so the
+  // chaos sweep's baseline, dry-run, and faulted runs all take one code
+  // path.
   const bool supervised = args.has("checkpoint-dir") || args.has("resume") ||
-                          args.has("max-retries") || args.has("crash-after");
+                          args.has("max-retries") || args.has("crash-after") ||
+                          g_cli_faults_active;
   std::vector<core::SnapshotResult> results;
-  core::FaultInjector faults;
   if (supervised) {
     core::SupervisorOptions supervisor;
     if (args.has("checkpoint-dir")) {
@@ -424,11 +467,12 @@ int cmd_series(const Args& args) {
       // Die mid-publish of the (N+1)th checkpoint: after its temp file
       // is written, before the rename — the previous checkpoint stays
       // intact next to a torn .tmp, exactly like a power cut.
-      faults.fail_at(core::fault_stage::kCheckpointWrite,
-                     parse_count(args, "crash-after", 1000000) + 1,
-                     /*abort=*/true);
-      supervisor.faults = &faults;
+      cli_faults().fail_at(core::fault_stage::kCheckpointWrite,
+                           parse_count(args, "crash-after", 1000000) + 1,
+                           /*abort=*/true);
+      supervisor.faults = &cli_faults();
     }
+    if (g_cli_faults_active) supervisor.faults = &cli_faults();
     results = runner.run_supervised(feed, supervisor, 0, months.size() - 1);
   } else {
     results = runner.run_loaded(feed, 0, months.size() - 1);
@@ -513,17 +557,16 @@ int checked_stdout(int rc) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  auto args = parse_args(argc, argv);
-  if (!args) return usage();
-  // Exceptions map onto the tools/exit_codes.h taxonomy; most-derived
-  // types first.
+/// Runs the selected command under the exception-to-exit-code ladder.
+/// Exceptions map onto the tools/exit_codes.h taxonomy; most-derived
+/// types first.
+int dispatch(const Args& args) {
   try {
-    if (args->command == "simulate") return checked_stdout(cmd_simulate(*args));
-    if (args->command == "export") return checked_stdout(cmd_export(*args));
-    if (args->command == "analyze") return checked_stdout(cmd_analyze(*args));
-    if (args->command == "series") return checked_stdout(cmd_series(*args));
-    if (args->command == "query") return checked_stdout(cmd_query(*args));
+    if (args.command == "simulate") return checked_stdout(cmd_simulate(args));
+    if (args.command == "export") return checked_stdout(cmd_export(args));
+    if (args.command == "analyze") return checked_stdout(cmd_analyze(args));
+    if (args.command == "series") return checked_stdout(cmd_series(args));
+    if (args.command == "query") return checked_stdout(cmd_query(args));
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::kExitUsage;
@@ -544,4 +587,35 @@ int main(int argc, char** argv) {
     return tools::kExitUnexpected;
   }
   return usage();
+}
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  if (args->has("fail-at")) {
+    // Comma-separated specs so one flag can arm several points (e.g. a
+    // retry-exhaustion plan: feed:2:throw,feed:3:throw,feed:4:throw).
+    std::string_view specs = args->get("fail-at", "");
+    while (!specs.empty()) {
+      const std::size_t comma = specs.find(',');
+      const std::string_view spec = specs.substr(0, comma);
+      try {
+        core::arm_fault_spec(cli_faults(), spec);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: --fail-at: %s\n", e.what());
+        return tools::kExitUsage;
+      }
+      specs = comma == std::string_view::npos ? std::string_view()
+                                              : specs.substr(comma + 1);
+    }
+  }
+  std::optional<core::ScopedSysFaultInjector> sys_seams;
+  if (args->has("fail-at") || args->has("fault-counts")) {
+    g_cli_faults_active = true;
+    sys_seams.emplace(cli_faults());
+  }
+  const int rc = dispatch(*args);
+  // After the ladder, so a faulted run still reports how far it got.
+  maybe_write_fault_counts(*args);
+  return rc;
 }

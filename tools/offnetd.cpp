@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "core/checkpoint.h"
+#include "core/fault.h"
 #include "exit_codes.h"
 #include "io/atomic_file.h"
 #include "io/loaders.h"
@@ -49,7 +50,7 @@ struct UsageError : std::runtime_error {
 constexpr std::string_view kKnownFlags[] = {
     "socket", "port",        "root",    "checkpoint",   "workers",
     "queue",  "deadline-ms", "drain-ms", "threads",     "metrics-out",
-    "enable-sleep"};
+    "enable-sleep", "fail-at", "fault-counts"};
 
 struct Args {
   std::map<std::string, std::string> options;
@@ -105,7 +106,12 @@ int usage() {
       "  --drain-ms N       drain deadline after SIGTERM (default 5000)\n"
       "  --threads N        pipeline threads for --root loads and RELOAD\n"
       "  --metrics-out FILE write the service metrics as JSON on exit\n"
-      "  --enable-sleep     admit the SLEEP test verb (tests only)\n");
+      "  --enable-sleep     admit the SLEEP test verb (tests only)\n"
+      "  --fail-at STAGE:OCC:MODE[,...]  testing aid; fault the OCC-th\n"
+      "                     crossing of STAGE (throw | abort | ENOSPC |\n"
+      "                     EIO | EMFILE | EINTR)\n"
+      "  --fault-counts FILE write per-stage seam-crossing counts on\n"
+      "                     clean exit (offnet_chaos's dry-run pass)\n");
   return tools::kExitUsage;
 }
 
@@ -121,6 +127,28 @@ std::int64_t parse_int(const Args& args, const char* flag,
                      std::to_string(min) + ", " + std::to_string(max) + "]");
   }
   return v;
+}
+
+/// The injector behind --fail-at / --fault-counts: handed to the server
+/// for the control-flow stages (svc-reload) and installed as the
+/// process-wide seam for the socket/file syscall stages. Function-local
+/// static so it outlives the drain.
+core::FaultInjector& daemon_faults() {
+  static core::FaultInjector faults;
+  return faults;
+}
+
+/// One `stage count` line per registered stage (zeros included), same
+/// format as offnet_cli --fault-counts.
+void write_fault_counts(const std::string& path) {
+  const auto counts = daemon_faults().occurrence_counts();
+  std::string text;
+  for (const char* stage : core::fault_stage::kAllStages) {
+    const auto it = counts.find(stage);
+    text += std::string(stage) + " " +
+            std::to_string(it == counts.end() ? 0 : it->second) + "\n";
+  }
+  io::AtomicFile::write(path, text);
 }
 
 int run(int argc, char** argv) {
@@ -152,6 +180,25 @@ int run(int argc, char** argv) {
 
   obs::Registry metrics;
   options.metrics = &metrics;
+
+  if (args.has("fail-at")) {
+    std::string_view specs = args.get("fail-at", "");
+    while (!specs.empty()) {
+      const std::size_t comma = specs.find(',');
+      try {
+        core::arm_fault_spec(daemon_faults(), specs.substr(0, comma));
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(std::string("--fail-at: ") + e.what());
+      }
+      specs = comma == std::string_view::npos ? std::string_view()
+                                              : specs.substr(comma + 1);
+    }
+  }
+  std::optional<core::ScopedSysFaultInjector> sys_seams;
+  if (args.has("fail-at") || args.has("fault-counts")) {
+    options.faults = &daemon_faults();
+    sys_seams.emplace(daemon_faults());
+  }
 
   const std::string source = args.has("root") ? args.get("root", "")
                                               : args.get("checkpoint", "");
@@ -194,6 +241,9 @@ int run(int argc, char** argv) {
   if (args.has("metrics-out")) {
     io::AtomicFile::write(args.get("metrics-out", ""),
                           obs::MetricsExporter::to_json(metrics));
+  }
+  if (args.has("fault-counts")) {
+    write_fault_counts(args.get("fault-counts", ""));
   }
   std::fprintf(stderr, "offnetd: %s\n",
                clean ? "drained cleanly" : "drain deadline exceeded");
